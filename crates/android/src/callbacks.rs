@@ -1,0 +1,167 @@
+//! UI callback interfaces and implicit framework invocation rules.
+//!
+//! Android never calls `doInBackground` or `onClick` through an explicit
+//! call site; the framework invokes them. FlowDroid models these as entry
+//! points and implicit edges — this module is the rule table our call
+//! graph builder consumes.
+
+/// A UI callback interface method that becomes a component entry point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CallbackSpec {
+    /// Interface descriptor the listener class implements.
+    pub interface: &'static str,
+    /// Callback method name.
+    pub method: &'static str,
+    /// Callback method signature.
+    pub sig: &'static str,
+    /// `true` when the callback is triggered by direct user interaction
+    /// (clicks, menu selections) — requests reached only from such
+    /// callbacks are user-initiated/time-sensitive in the paper's sense.
+    pub user_triggered: bool,
+}
+
+/// The UI callback interfaces NChecker recognizes.
+pub const UI_CALLBACKS: &[CallbackSpec] = &[
+    CallbackSpec {
+        interface: "Landroid/view/View$OnClickListener;",
+        method: "onClick",
+        sig: "(Landroid/view/View;)V",
+        user_triggered: true,
+    },
+    CallbackSpec {
+        interface: "Landroid/view/View$OnLongClickListener;",
+        method: "onLongClick",
+        sig: "(Landroid/view/View;)Z",
+        user_triggered: true,
+    },
+    CallbackSpec {
+        interface: "Landroid/widget/AdapterView$OnItemClickListener;",
+        method: "onItemClick",
+        sig: "(Landroid/widget/AdapterView;Landroid/view/View;IJ)V",
+        user_triggered: true,
+    },
+    CallbackSpec {
+        interface: "Landroid/view/MenuItem$OnMenuItemClickListener;",
+        method: "onMenuItemClick",
+        sig: "(Landroid/view/MenuItem;)Z",
+        user_triggered: true,
+    },
+    CallbackSpec {
+        interface: "Landroid/widget/TextView$OnEditorActionListener;",
+        method: "onEditorAction",
+        sig: "(Landroid/widget/TextView;ILandroid/view/KeyEvent;)Z",
+        user_triggered: true,
+    },
+    CallbackSpec {
+        interface: "Landroid/content/BroadcastReceiver;",
+        method: "onReceive",
+        sig: "(Landroid/content/Context;Landroid/content/Intent;)V",
+        user_triggered: false,
+    },
+];
+
+/// Looks up the callback spec matching an implemented `interface` and a
+/// defined method `(name, sig)`.
+pub fn ui_callback_for(interface: &str, name: &str, sig: &str) -> Option<&'static CallbackSpec> {
+    UI_CALLBACKS
+        .iter()
+        .find(|c| c.interface == interface && c.method == name && c.sig == sig)
+}
+
+/// An implicit framework edge: calling `trigger` on an instance of (a
+/// subclass of) `trigger_class` causes the framework to invoke `targets`
+/// on the receiver (or on a `Runnable`-like argument).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ImplicitEdgeSpec {
+    /// Base class/interface of the receiver (descriptor).
+    pub trigger_class: &'static str,
+    /// Triggering method name.
+    pub trigger: &'static str,
+    /// Methods invoked by the framework on the flow target.
+    pub targets: &'static [(&'static str, &'static str)],
+    /// When `true` the flow target is the first argument (e.g.
+    /// `Handler.post(Runnable)`), otherwise the receiver itself.
+    pub via_argument: bool,
+}
+
+/// The implicit invocation rules for threading and task APIs.
+pub const IMPLICIT_EDGES: &[ImplicitEdgeSpec] = &[
+    ImplicitEdgeSpec {
+        trigger_class: "Landroid/os/AsyncTask;",
+        trigger: "execute",
+        targets: &[
+            ("onPreExecute", "()V"),
+            ("doInBackground", "([Ljava/lang/Object;)Ljava/lang/Object;"),
+            ("onPostExecute", "(Ljava/lang/Object;)V"),
+        ],
+        via_argument: false,
+    },
+    ImplicitEdgeSpec {
+        trigger_class: "Ljava/lang/Thread;",
+        trigger: "start",
+        targets: &[("run", "()V")],
+        via_argument: false,
+    },
+    ImplicitEdgeSpec {
+        trigger_class: "Landroid/os/Handler;",
+        trigger: "post",
+        targets: &[("run", "()V")],
+        via_argument: true,
+    },
+    ImplicitEdgeSpec {
+        trigger_class: "Landroid/os/Handler;",
+        trigger: "postDelayed",
+        targets: &[("run", "()V")],
+        via_argument: true,
+    },
+    ImplicitEdgeSpec {
+        trigger_class: "Ljava/util/concurrent/Executor;",
+        trigger: "execute",
+        targets: &[("run", "()V")],
+        via_argument: true,
+    },
+];
+
+/// Returns the implicit-edge rules whose trigger method is `name` (the
+/// caller still has to check the receiver's class hierarchy).
+pub fn implicit_edges_for(name: &str) -> Vec<&'static ImplicitEdgeSpec> {
+    IMPLICIT_EDGES.iter().filter(|e| e.trigger == name).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn onclick_is_user_triggered() {
+        let c = ui_callback_for(
+            "Landroid/view/View$OnClickListener;",
+            "onClick",
+            "(Landroid/view/View;)V",
+        )
+        .unwrap();
+        assert!(c.user_triggered);
+    }
+
+    #[test]
+    fn wrong_sig_does_not_match() {
+        assert!(ui_callback_for("Landroid/view/View$OnClickListener;", "onClick", "()V").is_none());
+    }
+
+    #[test]
+    fn async_task_execute_has_three_targets() {
+        let edges = implicit_edges_for("execute");
+        let at = edges
+            .iter()
+            .find(|e| e.trigger_class == "Landroid/os/AsyncTask;")
+            .unwrap();
+        assert_eq!(at.targets.len(), 3);
+        assert!(!at.via_argument);
+    }
+
+    #[test]
+    fn handler_post_flows_via_argument() {
+        let edges = implicit_edges_for("post");
+        assert!(edges.iter().any(|e| e.via_argument));
+    }
+}

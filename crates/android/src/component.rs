@@ -1,0 +1,123 @@
+//! Lifecycle methods of the four component kinds.
+
+use crate::manifest::ComponentKind;
+
+/// A lifecycle method specification: name plus signature descriptor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LifecycleMethod {
+    /// Method name (`onCreate`).
+    pub name: &'static str,
+    /// Signature descriptor.
+    pub sig: &'static str,
+}
+
+/// Returns the lifecycle methods the framework invokes on components of
+/// `kind`, in their canonical order.
+pub fn lifecycle_methods(kind: ComponentKind) -> &'static [LifecycleMethod] {
+    match kind {
+        ComponentKind::Activity => &[
+            LifecycleMethod {
+                name: "onCreate",
+                sig: "(Landroid/os/Bundle;)V",
+            },
+            LifecycleMethod {
+                name: "onStart",
+                sig: "()V",
+            },
+            LifecycleMethod {
+                name: "onResume",
+                sig: "()V",
+            },
+            LifecycleMethod {
+                name: "onPause",
+                sig: "()V",
+            },
+            LifecycleMethod {
+                name: "onStop",
+                sig: "()V",
+            },
+            LifecycleMethod {
+                name: "onRestart",
+                sig: "()V",
+            },
+            LifecycleMethod {
+                name: "onDestroy",
+                sig: "()V",
+            },
+        ],
+        ComponentKind::Service => &[
+            LifecycleMethod {
+                name: "onCreate",
+                sig: "()V",
+            },
+            LifecycleMethod {
+                name: "onStartCommand",
+                sig: "(Landroid/content/Intent;II)I",
+            },
+            LifecycleMethod {
+                name: "onBind",
+                sig: "(Landroid/content/Intent;)Landroid/os/IBinder;",
+            },
+            LifecycleMethod {
+                name: "onDestroy",
+                sig: "()V",
+            },
+        ],
+        ComponentKind::Receiver => &[LifecycleMethod {
+            name: "onReceive",
+            sig: "(Landroid/content/Context;Landroid/content/Intent;)V",
+        }],
+        ComponentKind::Provider => &[LifecycleMethod {
+            name: "onCreate",
+            sig: "()Z",
+        }],
+    }
+}
+
+/// Returns `true` when `(name, sig)` is a lifecycle method of `kind`.
+pub fn is_lifecycle_method(kind: ComponentKind, name: &str, sig: &str) -> bool {
+    lifecycle_methods(kind)
+        .iter()
+        .any(|m| m.name == name && m.sig == sig)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn activity_lifecycle_contains_oncreate() {
+        assert!(is_lifecycle_method(
+            ComponentKind::Activity,
+            "onCreate",
+            "(Landroid/os/Bundle;)V"
+        ));
+        assert!(!is_lifecycle_method(
+            ComponentKind::Activity,
+            "onCreate",
+            "()V"
+        ));
+    }
+
+    #[test]
+    fn service_lifecycle_contains_onstartcommand() {
+        assert!(is_lifecycle_method(
+            ComponentKind::Service,
+            "onStartCommand",
+            "(Landroid/content/Intent;II)I"
+        ));
+        assert!(!is_lifecycle_method(ComponentKind::Service, "onResume", "()V"));
+    }
+
+    #[test]
+    fn every_kind_has_lifecycle() {
+        for k in [
+            ComponentKind::Activity,
+            ComponentKind::Service,
+            ComponentKind::Receiver,
+            ComponentKind::Provider,
+        ] {
+            assert!(!lifecycle_methods(k).is_empty());
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! `nck-android`: the Android application model.
+//!
+//! Everything NChecker needs to know about the platform lives here: the
+//! manifest format ([`manifest`]), the APK bundle container ([`apk`]),
+//! component lifecycles ([`component`]), UI callback interfaces and
+//! implicit framework invocation rules ([`callbacks`]), entry-point
+//! discovery ([`entrypoints`]), and the UI alert classes used by the
+//! failure-notification check ([`ui`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use nck_android::manifest::{ComponentKind, Manifest};
+//!
+//! let mut m = Manifest::new("com.example.app");
+//! m.permission("android.permission.INTERNET")
+//!     .component("Lcom/example/app/Main;", ComponentKind::Activity);
+//! let parsed = Manifest::parse(&m.to_text()).unwrap();
+//! assert!(parsed.has_internet_permission());
+//! ```
+
+pub mod apk;
+pub mod callbacks;
+pub mod component;
+pub mod entrypoints;
+pub mod manifest;
+pub mod ui;
+
+pub use apk::{Apk, ApkError};
+pub use callbacks::{implicit_edges_for, ui_callback_for, CallbackSpec, ImplicitEdgeSpec};
+pub use component::{is_lifecycle_method, lifecycle_methods, LifecycleMethod};
+pub use entrypoints::{entry_points, EntryKind, EntryPoint};
+pub use manifest::{ComponentDecl, ComponentKind, Manifest, ManifestError};

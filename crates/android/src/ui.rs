@@ -1,0 +1,62 @@
+//! UI notification classes — how NChecker decides a callback "shows the
+//! user something" (§4.4.3).
+//!
+//! The paper: "Android mostly uses 5 classes to show alert messages:
+//! `AlertDialog`, `DialogFragment`, `Toast`, `TextView` and `ImageView`.
+//! If none of these classes' methods appear in the callback, NChecker
+//! raises an alarm."
+
+/// Class descriptors whose method calls count as user-visible alerts.
+pub const ALERT_CLASSES: &[&str] = &[
+    "Landroid/app/AlertDialog;",
+    "Landroid/app/AlertDialog$Builder;",
+    "Landroid/app/DialogFragment;",
+    "Landroid/widget/Toast;",
+    "Landroid/widget/TextView;",
+    "Landroid/widget/ImageView;",
+];
+
+/// Returns `true` when a call to `class.method` displays something in the
+/// UI.
+///
+/// Matching is by class: any method invoked on an alert class counts, as
+/// in the paper's check. `Snackbar` (a support-library equivalent) is also
+/// accepted.
+pub fn is_alert_call(class: &str, _method: &str) -> bool {
+    ALERT_CLASSES.contains(&class) || class == "Landroid/support/design/widget/Snackbar;"
+}
+
+/// Returns `true` when `class` is the framework `Handler`, through which a
+/// background thread can reach the UI thread (the paper's second
+/// notification route).
+pub fn is_handler_class(class: &str) -> bool {
+    class == "Landroid/os/Handler;"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn toast_show_is_an_alert() {
+        assert!(is_alert_call("Landroid/widget/Toast;", "show"));
+        assert!(is_alert_call("Landroid/widget/Toast;", "makeText"));
+    }
+
+    #[test]
+    fn textview_settext_is_an_alert() {
+        assert!(is_alert_call("Landroid/widget/TextView;", "setText"));
+    }
+
+    #[test]
+    fn arbitrary_classes_are_not_alerts() {
+        assert!(!is_alert_call("Lcom/app/Helper;", "show"));
+        assert!(!is_alert_call("Landroid/util/Log;", "d"));
+    }
+
+    #[test]
+    fn handler_detection() {
+        assert!(is_handler_class("Landroid/os/Handler;"));
+        assert!(!is_handler_class("Lcom/app/Handler;"));
+    }
+}

@@ -1,0 +1,70 @@
+//! Property tests for the manifest format and the APK container.
+
+use nck_android::apk::Apk;
+use nck_android::manifest::{ComponentKind, Manifest};
+use proptest::prelude::*;
+
+fn arb_kind() -> impl Strategy<Value = ComponentKind> {
+    prop_oneof![
+        Just(ComponentKind::Activity),
+        Just(ComponentKind::Service),
+        Just(ComponentKind::Receiver),
+        Just(ComponentKind::Provider),
+    ]
+}
+
+prop_compose! {
+    fn arb_manifest()(
+        package in "[a-z][a-z0-9]{0,8}(\\.[a-z][a-z0-9]{0,8}){0,3}",
+        perms in proptest::collection::vec("[a-zA-Z][a-zA-Z0-9._]{0,40}", 0..6),
+        comps in proptest::collection::vec(
+            ("L[a-zA-Z][a-zA-Z0-9/$]{0,30};", arb_kind(), any::<bool>()),
+            0..8
+        ),
+    ) -> Manifest {
+        let mut m = Manifest::new(&package);
+        for p in &perms {
+            m.permission(p);
+        }
+        for (class, kind, exported) in &comps {
+            m.component(class, *kind);
+            m.components.last_mut().expect("just pushed").exported = *exported;
+        }
+        m
+    }
+}
+
+proptest! {
+    #[test]
+    fn manifest_roundtrips(m in arb_manifest()) {
+        let text = m.to_text();
+        let parsed = Manifest::parse(&text).expect("own output parses");
+        prop_assert_eq!(parsed, m);
+    }
+
+    #[test]
+    fn manifest_parse_never_panics(text in "\\PC{0,400}") {
+        let _ = Manifest::parse(&text);
+    }
+
+    #[test]
+    fn apk_container_roundtrips(m in arb_manifest()) {
+        let apk = Apk::new(m, nck_dex::AdxFile::new());
+        let bytes = apk.to_bytes();
+        let parsed = Apk::from_bytes(&bytes).expect("roundtrip");
+        prop_assert_eq!(parsed.manifest, apk.manifest);
+    }
+
+    #[test]
+    fn apk_parse_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let _ = Apk::from_bytes(&bytes);
+    }
+
+    #[test]
+    fn apk_truncation_always_errors(m in arb_manifest(), cut in 1usize..64) {
+        let apk = Apk::new(m, nck_dex::AdxFile::new());
+        let bytes = apk.to_bytes();
+        let cut = cut.min(bytes.len() - 1);
+        prop_assert!(Apk::from_bytes(&bytes[..bytes.len() - cut]).is_err());
+    }
+}

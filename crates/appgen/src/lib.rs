@@ -1,0 +1,19 @@
+//! `nck-appgen`: the synthetic app corpus.
+//!
+//! The paper evaluates NChecker on 285 real Android apps; those binaries
+//! are not redistributable, so this crate generates a corpus of APK
+//! bundles with *seeded, ground-truthed* defects instead (see DESIGN.md's
+//! substitution table). [`spec`] declares apps oracle-first, [`gen`]
+//! compiles specs to binaries, [`profile`] calibrates a 285-app corpus to
+//! the paper's aggregate rates, [`opensource`] builds the 16 ground-truth
+//! apps of Table 9, and [`studyapps`] reconstructs named defects from the
+//! paper (ChatSecure, Telegram, GPSLogger, ...).
+
+pub mod gen;
+pub mod opensource;
+pub mod profile;
+pub mod spec;
+pub mod studyapps;
+
+pub use gen::generate;
+pub use spec::{AppSpec, ConnCheck, Notification, Origin, RequestSpec, RespCheck, RetryShape};

@@ -1,0 +1,144 @@
+//! Reconstructions of named apps from the paper: the motivating examples
+//! (Figures 1 and 2), the GPSLogger report example (Figure 7), and the
+//! user-study subjects (Table 10).
+
+use crate::spec::{AppSpec, ConnCheck, Notification, Origin, RequestSpec, RespCheck, RetryShape};
+use nck_netlibs::library::Library;
+
+/// Figure 1 — ChatSecure: connect guarded by `isConnected()`, but login
+/// still fails under poor (not absent) connectivity: no timeout, no
+/// failure handling beyond the guard.
+pub fn chatsecure() -> AppSpec {
+    let mut r = RequestSpec::new(Library::HttpUrlConnection, Origin::UserClick);
+    r.conn_check = ConnCheck::Guarding; // The patch of Figure 1.
+    r.set_timeout = false; // login() can still block forever.
+    r.notification = Notification::Missing;
+    AppSpec::new("info.guardianproject.chatsecure", vec![r])
+}
+
+/// Figure 2 — Telegram: a customized reconnect loop that hammers
+/// `connect()` every 500 ms with no backoff (battery drain).
+pub fn telegram() -> AppSpec {
+    let mut r = RequestSpec::new(Library::HttpUrlConnection, Origin::ActivityLifecycle);
+    r.conn_check = ConnCheck::Guarding; // The patch of Figure 2.
+    r.custom_retry = Some(RetryShape::SuccessExit); // Spin until success.
+    r.notification = Notification::Missing;
+    AppSpec::new("org.telegram.messenger", vec![r])
+}
+
+/// Figure 7 / Table 10 — GPSLogger: no timeout, no retry times, no
+/// retried exception class, and no connectivity check.
+pub fn gpslogger() -> AppSpec {
+    let mut r = RequestSpec::new(Library::AndroidAsyncHttp, Origin::UserClick);
+    r.conn_check = ConnCheck::Missing;
+    r.set_timeout = false;
+    r.set_retries = None;
+    r.notification = Notification::Alert;
+    AppSpec::new("com.mendhak.gpslogger", vec![r])
+}
+
+/// Table 10 — AnkiDroid: no connectivity check before the sync request.
+pub fn ankidroid() -> AppSpec {
+    let mut r = RequestSpec::new(Library::BasicHttpClient, Origin::UserClick);
+    r.conn_check = ConnCheck::Missing;
+    r.set_timeout = true;
+    r.set_retries = Some(2);
+    r.notification = Notification::Alert;
+    AppSpec::new("com.ichi2.anki", vec![r])
+}
+
+/// Table 10 — DevFest: no error message in the callback and an invalid
+/// (unchecked) response read.
+pub fn devfest() -> AppSpec {
+    let mut r = RequestSpec::new(Library::OkHttp, Origin::UserClick);
+    r.conn_check = ConnCheck::Guarding;
+    r.set_timeout = true;
+    r.notification = Notification::Missing;
+    r.response = RespCheck::Unchecked;
+    AppSpec::new("com.devfest.schedule", vec![r])
+}
+
+/// Table 10 — Maoshishu: background sync over-retries (5-retry default).
+pub fn maoshishu() -> AppSpec {
+    let mut r = RequestSpec::new(Library::AndroidAsyncHttp, Origin::Service);
+    r.conn_check = ConnCheck::Guarding;
+    r.set_timeout = true;
+    r.set_retries = None; // The library default retries 5 times.
+    AppSpec::new("com.maoshishu", vec![r])
+}
+
+/// All named reconstructions.
+pub fn all_study_apps() -> Vec<AppSpec> {
+    vec![
+        chatsecure(),
+        telegram(),
+        gpslogger(),
+        ankidroid(),
+        devfest(),
+        maoshishu(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nchecker::{DefectKind, NChecker, OverRetryContext};
+
+    fn kinds(spec: &AppSpec) -> Vec<DefectKind> {
+        let apk = crate::gen::generate(spec);
+        NChecker::new()
+            .analyze_apk(&apk)
+            .unwrap()
+            .defects
+            .iter()
+            .map(|d| d.kind)
+            .collect()
+    }
+
+    #[test]
+    fn chatsecure_guard_is_not_enough() {
+        let got = kinds(&chatsecure());
+        // The Figure 1 patch silences the connectivity warning but the
+        // timeout and notification defects remain.
+        assert!(!got.contains(&DefectKind::MissedConnectivityCheck));
+        assert!(got.contains(&DefectKind::MissedTimeout));
+        assert!(got.contains(&DefectKind::MissedFailureNotification));
+    }
+
+    #[test]
+    fn telegram_reconnect_loop_is_detected() {
+        let apk = crate::gen::generate(&telegram());
+        let report = NChecker::new().analyze_apk(&apk).unwrap();
+        assert_eq!(report.stats.custom_retry_loops, 1);
+    }
+
+    #[test]
+    fn gpslogger_matches_figure7() {
+        let got = kinds(&gpslogger());
+        assert!(got.contains(&DefectKind::MissedConnectivityCheck));
+        assert!(got.contains(&DefectKind::MissedTimeout));
+        assert!(got.contains(&DefectKind::MissedRetry));
+    }
+
+    #[test]
+    fn ankidroid_only_misses_the_connectivity_check() {
+        let got = kinds(&ankidroid());
+        assert_eq!(got, vec![DefectKind::MissedConnectivityCheck]);
+    }
+
+    #[test]
+    fn devfest_misses_notification_and_response_check() {
+        let got = kinds(&devfest());
+        assert!(got.contains(&DefectKind::MissedFailureNotification));
+        assert!(got.contains(&DefectKind::MissedResponseCheck));
+    }
+
+    #[test]
+    fn maoshishu_over_retries_in_background() {
+        let got = kinds(&maoshishu());
+        assert!(got.contains(&DefectKind::OverRetry {
+            context: OverRetryContext::Service,
+            default_caused: true,
+        }));
+    }
+}

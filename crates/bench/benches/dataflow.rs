@@ -1,0 +1,74 @@
+//! Dataflow-framework scaling: solver cost on synthetic bodies of
+//! growing size and branchiness.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nck_dataflow::{ConstProp, ControlDeps, Liveness, ReachingDefs};
+use nck_dex::builder::AdxBuilder;
+use nck_dex::{AccessFlags, BinOp, CondOp};
+use nck_ir::cfg::Cfg;
+use nck_ir::dom::{dominators, post_dominators};
+use nck_ir::Body;
+
+/// Builds a body with `blocks` diamond blocks, each defining and using a
+/// handful of locals.
+fn synthetic_body(blocks: usize) -> Body {
+    let mut b = AdxBuilder::new();
+    b.class("Lbench/B;", |c| {
+        c.method("f", "(I)I", AccessFlags::PUBLIC, 8, |m| {
+            let x = m.reg(0);
+            let y = m.reg(1);
+            let p = m.param(1).unwrap();
+            m.const_int(x, 0);
+            m.const_int(y, 1);
+            for _ in 0..blocks {
+                let else_ = m.new_label();
+                let join = m.new_label();
+                m.ifz(CondOp::Eq, p, else_);
+                m.binop(BinOp::Add, x, x, y);
+                m.goto(join);
+                m.bind(else_);
+                m.binop(BinOp::Mul, y, y, p);
+                m.bind(join);
+            }
+            m.ret(Some(x));
+        });
+    });
+    let program = nck_ir::lift_file(&b.finish().unwrap()).unwrap();
+    program.methods[0].body.clone().unwrap()
+}
+
+fn bench_analyses(c: &mut Criterion) {
+    for blocks in [16usize, 64, 256] {
+        let body = synthetic_body(blocks);
+        let cfg = Cfg::build(&body);
+
+        let mut group = c.benchmark_group(format!("dataflow_{blocks}_blocks"));
+        group.bench_function(BenchmarkId::new("cfg_build", blocks), |b| {
+            b.iter(|| Cfg::build(std::hint::black_box(&body)));
+        });
+        group.bench_function(BenchmarkId::new("reaching_defs", blocks), |b| {
+            b.iter(|| ReachingDefs::compute(std::hint::black_box(&body), &cfg));
+        });
+        group.bench_function(BenchmarkId::new("liveness", blocks), |b| {
+            b.iter(|| Liveness::compute(std::hint::black_box(&body), &cfg));
+        });
+        group.bench_function(BenchmarkId::new("constprop", blocks), |b| {
+            b.iter(|| ConstProp::compute(std::hint::black_box(&body), &cfg));
+        });
+        group.bench_function(BenchmarkId::new("dominators", blocks), |b| {
+            b.iter(|| dominators(std::hint::black_box(&cfg)));
+        });
+        group.bench_function(BenchmarkId::new("control_deps", blocks), |b| {
+            let pdom = post_dominators(&cfg);
+            b.iter(|| ControlDeps::compute(std::hint::black_box(&cfg), &pdom));
+        });
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_analyses
+}
+criterion_main!(benches);

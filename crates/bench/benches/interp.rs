@@ -1,0 +1,51 @@
+//! Interpreter and dynamic-checker throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nck_appgen::spec::{AppSpec, Origin, RequestSpec};
+use nck_dyntest::{DynConfig, DynamicChecker};
+use nck_netlibs::library::Library;
+
+fn spec(n: usize) -> AppSpec {
+    AppSpec::new(
+        "com.bench.dyn",
+        (0..n)
+            .map(|i| {
+                RequestSpec::new(
+                    [
+                        Library::BasicHttpClient,
+                        Library::Volley,
+                        Library::HttpUrlConnection,
+                    ][i % 3],
+                    if i % 2 == 0 {
+                        Origin::UserClick
+                    } else {
+                        Origin::Service
+                    },
+                )
+            })
+            .collect(),
+    )
+}
+
+fn bench_dynamic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dynamic_checker");
+    for n in [1usize, 8, 32] {
+        let apk = nck_appgen::generate(&spec(n));
+        let checker = DynamicChecker::new(DynConfig::full());
+        group.bench_with_input(BenchmarkId::new("observe_full", n), &apk, |b, apk| {
+            b.iter(|| checker.observe(std::hint::black_box(apk)).unwrap());
+        });
+        let vanarsena = DynamicChecker::new(DynConfig::vanarsena());
+        group.bench_with_input(BenchmarkId::new("observe_vanarsena", n), &apk, |b, apk| {
+            b.iter(|| vanarsena.observe(std::hint::black_box(apk)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_dynamic
+}
+criterion_main!(benches);

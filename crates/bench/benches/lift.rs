@@ -1,0 +1,54 @@
+//! Binary container throughput: serialize, parse (with checksum), verify,
+//! and lift.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nck_appgen::spec::{AppSpec, Origin, RequestSpec};
+use nck_netlibs::library::Library;
+
+fn spec(requests: usize) -> AppSpec {
+    AppSpec::new(
+        "com.bench.lift",
+        (0..requests)
+            .map(|i| {
+                RequestSpec::new(
+                    Library::Volley,
+                    if i % 2 == 0 {
+                        Origin::UserClick
+                    } else {
+                        Origin::Service
+                    },
+                )
+            })
+            .collect(),
+    )
+}
+
+fn bench_container(c: &mut Criterion) {
+    for n in [4usize, 32] {
+        let apk = nck_appgen::generate(&spec(n));
+        let bytes = nck_dex::write_adx(&apk.adx);
+
+        let mut group = c.benchmark_group(format!("container_{n}_requests"));
+        group.throughput(Throughput::Bytes(bytes.len() as u64));
+        group.bench_function(BenchmarkId::new("write_adx", n), |b| {
+            b.iter(|| nck_dex::write_adx(std::hint::black_box(&apk.adx)));
+        });
+        group.bench_function(BenchmarkId::new("read_adx", n), |b| {
+            b.iter(|| nck_dex::read_adx(std::hint::black_box(&bytes)).unwrap());
+        });
+        group.bench_function(BenchmarkId::new("verify", n), |b| {
+            b.iter(|| nck_dex::verify::verify(std::hint::black_box(&apk.adx)));
+        });
+        group.bench_function(BenchmarkId::new("lift", n), |b| {
+            b.iter(|| nck_ir::lift_file(std::hint::black_box(&apk.adx)).unwrap());
+        });
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_container
+}
+criterion_main!(benches);

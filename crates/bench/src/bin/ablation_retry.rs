@@ -1,0 +1,52 @@
+//! Ablation: the customized-retry identification rules of §4.5.
+//!
+//! Runs the checker over retry-loop-bearing apps with the loop detector
+//! on and off, showing the false "missed retry" warnings that appear
+//! when custom retry logic is not recognized, and the per-shape
+//! contribution of the two exit-condition rules.
+
+use nchecker::{CheckerConfig, DefectKind, NChecker};
+use nck_appgen::spec::{AppSpec, Origin, RequestSpec, RetryShape};
+use nck_netlibs::library::Library;
+
+fn main() {
+    let shapes = [
+        ("Figure 6(b) success-exit", RetryShape::SuccessExit),
+        ("Figure 6(c) catch-condition", RetryShape::CatchCondition),
+        ("Figure 6(d) interprocedural", RetryShape::InterprocCatchCondition),
+    ];
+
+    println!("Ablation: customized retry-loop identification (Section 4.5)");
+    println!("{:-<78}", "");
+    println!(
+        "{:<30} {:>16} {:>16}",
+        "loop shape", "detector ON", "detector OFF"
+    );
+
+    let on = NChecker::new();
+    let off = NChecker::with_config(CheckerConfig {
+        custom_retry: false,
+        ..CheckerConfig::default()
+    });
+
+    for (label, shape) in shapes {
+        let mut r = RequestSpec::new(Library::BasicHttpClient, Origin::UserClick);
+        r.custom_retry = Some(shape);
+        let spec = AppSpec::new("com.ablation.retry", vec![r]);
+        let apk = nck_appgen::generate(&spec);
+        let report_on = on.analyze_apk(&apk).unwrap();
+        let report_off = off.analyze_apk(&apk).unwrap();
+        let fmt = |rep: &nchecker::AppReport| {
+            format!(
+                "loops={} missedretry={}",
+                rep.stats.custom_retry_loops,
+                rep.count(DefectKind::MissedRetry)
+            )
+        };
+        println!("{:<30} {:>20} {:>20}", label, fmt(&report_on), fmt(&report_off));
+    }
+    println!(
+        "\nWithout the Section 4.5 rules every custom retry loop shows up as a false\n\
+          'missed retry API' warning — the detector removes exactly those."
+    );
+}

@@ -1,0 +1,140 @@
+//! Static vs. dynamic NPD detection — measuring the paper's §7 claims.
+//!
+//! The paper argues run-time tools (VanarSena, Caiipa) are "restricted
+//! by the code coverage and run-time overhead", that "NPDs caused by
+//! 'no timeout setting' require \[an\] additional timing fault model to be
+//! triggered", and that non-crash defects "cannot be observed by the
+//! dynamic tools". This binary runs three checkers over a defect suite
+//! and tabulates which defect classes each detects:
+//!
+//! - **NChecker** (static, this repository's core);
+//! - **VanarSena-mode dynamic**: fail-fast fault injection, crash
+//!   reports only;
+//! - **full dynamic**: adds the timing fault model (stalls) and
+//!   non-crash observations.
+
+use nchecker::{DefectKind, NChecker};
+use nck_appgen::spec::{AppSpec, ConnCheck, Notification, Origin, RequestSpec, RespCheck, RetryShape};
+use nck_dyntest::{DynConfig, DynFinding, DynamicChecker};
+use nck_netlibs::library::Library;
+
+/// One row of the comparison: a defect class and an app exhibiting it.
+struct Case {
+    label: &'static str,
+    spec: AppSpec,
+    /// The static defect kind that represents the class.
+    static_kind: fn(&DefectKind) -> bool,
+    /// The dynamic finding that would represent it.
+    dyn_kind: DynFinding,
+}
+
+fn cases() -> Vec<Case> {
+    let mut out = Vec::new();
+
+    let mut r = RequestSpec::new(Library::OkHttp, Origin::UserClick);
+    r.response = RespCheck::Unchecked;
+    r.notification = Notification::Alert;
+    r.set_timeout = true;
+    out.push(Case {
+        label: "unchecked response (crash)",
+        spec: AppSpec::new("com.cmp.resp", vec![r]),
+        static_kind: |k| matches!(k, DefectKind::MissedResponseCheck),
+        dyn_kind: DynFinding::Crash,
+    });
+
+    let mut r = RequestSpec::new(Library::BasicHttpClient, Origin::UserClick);
+    r.set_timeout = false;
+    r.notification = Notification::Alert;
+    r.conn_check = ConnCheck::Guarding;
+    r.set_retries = Some(1);
+    out.push(Case {
+        label: "missing timeout (hang)",
+        spec: AppSpec::new("com.cmp.hang", vec![r]),
+        static_kind: |k| matches!(k, DefectKind::MissedTimeout),
+        dyn_kind: DynFinding::Hang,
+    });
+
+    let mut r = RequestSpec::new(Library::BasicHttpClient, Origin::UserClick);
+    r.notification = Notification::Missing;
+    r.set_timeout = true;
+    r.set_retries = Some(1);
+    r.conn_check = ConnCheck::Guarding;
+    out.push(Case {
+        label: "silent failure (no UI message)",
+        spec: AppSpec::new("com.cmp.silent", vec![r]),
+        static_kind: |k| matches!(k, DefectKind::MissedFailureNotification),
+        dyn_kind: DynFinding::SilentFailure,
+    });
+
+    let mut r = RequestSpec::new(Library::AndroidAsyncHttp, Origin::Service);
+    r.conn_check = ConnCheck::Guarding;
+    r.set_timeout = true;
+    out.push(Case {
+        label: "over-retry in service (battery)",
+        spec: AppSpec::new("com.cmp.retry", vec![r]),
+        static_kind: |k| matches!(k, DefectKind::OverRetry { .. }),
+        dyn_kind: DynFinding::ExcessiveRetry,
+    });
+
+    let mut r = RequestSpec::new(Library::BasicHttpClient, Origin::ActivityLifecycle);
+    r.custom_retry = Some(RetryShape::SuccessExit);
+    r.notification = Notification::Alert;
+    r.set_timeout = true;
+    r.set_retries = Some(1);
+    r.conn_check = ConnCheck::Guarding;
+    out.push(Case {
+        label: "reconnect spin loop (Figure 2)",
+        spec: AppSpec::new("com.cmp.spin", vec![r]),
+        static_kind: |_| false, // Interval policy is beyond the static rules.
+        dyn_kind: DynFinding::SpinLoop,
+    });
+
+    out
+}
+
+fn main() {
+    let static_checker = NChecker::new();
+    let vanarsena = DynamicChecker::new(DynConfig::vanarsena());
+    let full = DynamicChecker::new(DynConfig::full());
+
+    println!("Static vs dynamic detection by defect class (Section 7)");
+    println!("{:-<86}", "");
+    println!(
+        "{:<34} {:>12} {:>18} {:>14}",
+        "defect class", "NChecker", "VanarSena-style", "full dynamic"
+    );
+
+    let mark = |b: bool| if b { "yes" } else { "-" };
+    for case in cases() {
+        let apk = nck_appgen::generate(&case.spec);
+        let s = static_checker.analyze_apk(&apk).unwrap();
+        let static_hit = s.defects.iter().any(|d| (case.static_kind)(&d.kind));
+
+        let vo = vanarsena.observe(&apk).unwrap();
+        let v_hit = vanarsena
+            .findings(&vo)
+            .iter()
+            .any(|&(k, _)| k == case.dyn_kind);
+
+        let fo = full.observe(&apk).unwrap();
+        let f_hit = full.findings(&fo).iter().any(|&(k, _)| k == case.dyn_kind);
+
+        println!(
+            "{:<34} {:>12} {:>18} {:>14}",
+            case.label,
+            mark(static_hit),
+            mark(v_hit),
+            mark(f_hit)
+        );
+    }
+
+    println!();
+    println!(
+        "Reading: crash-only fault injection sees only the first row; the timing fault\n\
+         model (stalls) is required for missing timeouts, and non-crash observations for\n\
+         silent failures and retry storms — while the static checker sees all of them\n\
+         without executing the app. The spin-loop row shows the complementary direction:\n\
+         the dynamic checker catches the aggressive retry *interval*, which the static\n\
+         rules do not reason about (the paper calls the approaches complementary)."
+    );
+}

@@ -1,0 +1,78 @@
+//! Runs the full evaluation once and prints every corpus-derived table
+//! and figure (6, 7, 8, 9 + the Section 5.2 headline numbers), reusing a
+//! single corpus pass.
+
+use nck_bench::{aggregate, downsample, run_corpus, SEED};
+use nchecker::CorpusStats;
+
+fn main() {
+    let start = std::time::Instant::now();
+    let reports = run_corpus(SEED);
+    let elapsed = start.elapsed();
+    let stats = aggregate(&reports);
+
+    println!("=== NChecker full evaluation (seed {SEED}) ===");
+    println!(
+        "analyzed {} apps in {:.2?} ({:.0} ms/app)\n",
+        stats.len(),
+        elapsed,
+        elapsed.as_millis() as f64 / stats.len() as f64
+    );
+
+    println!(
+        "Headline (Section 5.2): {} NPDs in {} of {} apps",
+        stats.total_defects(),
+        stats.buggy_apps(),
+        stats.len()
+    );
+    println!();
+
+    println!("--- Table 6 ---");
+    for row in stats.table6() {
+        println!(
+            "{:<30} {:>6}/{:<6} ({:.0}%)",
+            row.cause,
+            row.buggy,
+            row.evaluated,
+            row.percent()
+        );
+    }
+    println!();
+
+    println!("--- Table 8 ---");
+    for row in stats.table8() {
+        println!(
+            "{:<30} {:>4.0}%   (default-caused {:.0}%)",
+            row.behaviour,
+            row.apps as f64 / row.population.max(1) as f64 * 100.0,
+            row.default_caused_percent
+        );
+    }
+    println!();
+
+    println!("--- Figure 8 (10-quantile summary) ---");
+    let conn = CorpusStats::cdf(&stats.conn_miss_ratios());
+    let to = CorpusStats::cdf(&stats.timeout_miss_ratios());
+    println!("conn:    {:?}", downsample(&conn, 10).iter().map(|(x, _)| format!("{x:.2}")).collect::<Vec<_>>());
+    println!("timeout: {:?}", downsample(&to, 10).iter().map(|(x, _)| format!("{x:.2}")).collect::<Vec<_>>());
+    println!();
+
+    println!("--- Figure 9 (10-quantile summary) ---");
+    let nf = CorpusStats::cdf(&stats.notification_miss_ratios());
+    println!("notif:   {:?}", downsample(&nf, 10).iter().map(|(x, _)| format!("{x:.2}")).collect::<Vec<_>>());
+    println!();
+
+    println!("--- Section 5.2 extras ---");
+    println!(
+        "custom retry apps: {:.0}%   error types ignored: {:.0}%   responses unchecked: {:.0}%",
+        stats.custom_retry_rate() * 100.0,
+        stats.error_type_ignored_rate() * 100.0,
+        stats.response_miss_rate() * 100.0
+    );
+    let (e, i) = stats.notification_by_callback_kind();
+    println!(
+        "notified requests: explicit callbacks {:.0}% vs implicit {:.0}%",
+        e * 100.0,
+        i * 100.0
+    );
+}

@@ -1,0 +1,13 @@
+//! Regenerates Table 10: the real-world NPDs used in the user study and
+//! their correct fixes.
+
+use nck_userstudy::TASKS;
+
+fn main() {
+    println!("Table 10: Real world app NPDs used in the user study");
+    println!("{:-<110}", "");
+    println!("{:<34} Correct fix", "Name (NPD)");
+    for t in TASKS {
+        println!("{:<34} {}", t.name, t.correct_fix);
+    }
+}

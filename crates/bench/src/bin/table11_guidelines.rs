@@ -1,0 +1,7 @@
+//! Regenerates Table 11: design guidelines for mobile network libraries.
+
+fn main() {
+    println!("Table 11: Observations and derived library design guidelines");
+    println!("{:-<130}", "");
+    print!("{}", nck_study::render_table11());
+}

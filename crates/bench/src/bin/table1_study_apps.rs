@@ -1,0 +1,12 @@
+//! Regenerates Table 1: the 21 Android apps used in the study.
+
+use nck_study::STUDY_APPS;
+
+fn main() {
+    println!("Table 1: 21 Android apps used in the study");
+    println!("{:-<70}", "");
+    println!("{:<28} {:<22} {:>10}", "App/Sys", "Category", "#Installs");
+    for app in STUDY_APPS {
+        println!("{:<28} {:<22} {:>10}", app.name, app.category, app.installs);
+    }
+}

@@ -1,0 +1,26 @@
+//! Regenerates Table 2: representative NPDs found in real-world apps.
+
+use nck_study::study_npds;
+
+fn main() {
+    println!("Table 2: Representative NPDs found in real world mobile apps");
+    println!("{:-<110}", "");
+    println!(
+        "{:<6} {:<15} {:<14} {:<50} Developer's resolution",
+        "ID", "Category", "App", "NPD description"
+    );
+    for (i, npd) in study_npds()
+        .iter()
+        .filter(|n| n.description.is_some())
+        .enumerate()
+    {
+        println!(
+            "({:<4} {:<15} {:<14} {:<50} {}",
+            format!("{})", ["i", "ii", "iii", "iv", "v", "vi"][i]),
+            npd.impact.label(),
+            npd.app,
+            npd.description.unwrap_or(""),
+            npd.resolution.unwrap_or("")
+        );
+    }
+}

@@ -1,0 +1,19 @@
+//! Regenerates Table 3: root causes of the 90 studied NPDs, with the
+//! §2.3 subcause splits.
+
+use nck_study::{cause_distribution, study_npds, subcause_counts};
+
+fn main() {
+    let npds = study_npds();
+    println!("Table 3: Root causes of studied NPDs");
+    println!("{:-<56}", "");
+    println!("{:<36} {:>14}", "Root cause", "# Cases (%)");
+    for (bucket, n, pct) in cause_distribution(&npds) {
+        println!("{:<36} {:>8} ({:.0}%)", bucket, n, pct);
+    }
+    println!();
+    println!("Subcauses (Section 2.3):");
+    for (cause, n) in subcause_counts(&npds) {
+        println!("  {:<34} {:>4}", format!("{cause:?}"), n);
+    }
+}

@@ -1,0 +1,9 @@
+//! Regenerates Table 4: top libraries and their abilities in tolerating
+//! NPDs (* = automatic, o = APIs provided but developer must set).
+
+fn main() {
+    println!("Table 4: Top libraries and their abilities in tolerating NPDs");
+    println!("(* tolerates automatically; o provides APIs, developer must set)");
+    println!("{:-<160}", "");
+    print!("{}", nck_netlibs::render_table4());
+}

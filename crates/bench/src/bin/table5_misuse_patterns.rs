@@ -1,0 +1,7 @@
+//! Regenerates Table 5: the four API misuse patterns NChecker detects.
+
+fn main() {
+    println!("Table 5: API misuse patterns and examples");
+    println!("{:-<130}", "");
+    print!("{}", nck_netlibs::render_table5());
+}

@@ -1,0 +1,26 @@
+//! Regenerates Table 7: evaluated apps and their libraries.
+
+use nck_appgen::profile::corpus;
+use nck_bench::SEED;
+use nck_netlibs::library::Library;
+
+fn main() {
+    let apps = corpus(SEED);
+    let count = |pred: &dyn Fn(&nck_appgen::AppSpec) -> bool| apps.iter().filter(|a| pred(a)).count();
+    println!("Table 7: Evaluated apps and their libraries (n = {})", apps.len());
+    println!("{:-<34}", "");
+    println!("{:<22} {:>8}", "Lib used", "# Apps");
+    let native = count(&|a| {
+        a.libraries().contains(&Library::HttpUrlConnection)
+            || a.libraries().contains(&Library::ApacheHttpClient)
+    });
+    println!("{:<22} {:>8}", "Native", native);
+    for (name, lib) in [
+        ("Volley", Library::Volley),
+        ("Android Async Http", Library::AndroidAsyncHttp),
+        ("Basic Http", Library::BasicHttpClient),
+        ("OkHttp", Library::OkHttp),
+    ] {
+        println!("{:<22} {:>8}", name, count(&|a| a.libraries().contains(&lib)));
+    }
+}

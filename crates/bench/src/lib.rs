@@ -1,0 +1,124 @@
+//! Shared harness for the experiment binaries: corpus runner and text
+//! rendering helpers.
+
+use nchecker::{AppReport, CorpusStats, NChecker};
+use nck_appgen::profile::corpus;
+use nck_appgen::spec::AppSpec;
+
+/// The seed all experiment binaries use, so every table is reproducible.
+pub const SEED: u64 = 2016;
+
+/// Generates, serializes, re-parses, and analyzes every corpus app,
+/// returning per-app reports. The serialize/parse round trip is
+/// deliberate: the checker must consume *binaries*, as in the paper.
+pub fn run_corpus(seed: u64) -> Vec<AppReport> {
+    let specs = corpus(seed);
+    run_specs(&specs)
+}
+
+/// Analyzes a list of specs in parallel.
+pub fn run_specs(specs: &[AppSpec]) -> Vec<AppReport> {
+    let n_workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(16);
+    let mut out: Vec<Option<AppReport>> = vec![None; specs.len()];
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slots: Vec<std::sync::Mutex<Option<AppReport>>> =
+        (0..specs.len()).map(|_| std::sync::Mutex::new(None)).collect();
+
+    crossbeam::scope(|scope| {
+        for _ in 0..n_workers {
+            scope.spawn(|_| {
+                let checker = NChecker::new();
+                loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= specs.len() {
+                        break;
+                    }
+                    let apk = nck_appgen::generate(&specs[i]);
+                    let bytes = apk.to_bytes();
+                    let report = checker
+                        .analyze_bytes(&bytes)
+                        .expect("generated app analyzes");
+                    *slots[i].lock().expect("slot lock") = Some(report);
+                }
+            });
+        }
+    })
+    .expect("corpus workers");
+
+    for (i, slot) in slots.into_iter().enumerate() {
+        out[i] = slot.into_inner().expect("slot lock");
+    }
+    out.into_iter()
+        .map(|r| r.expect("every app analyzed"))
+        .collect()
+}
+
+/// Folds per-app reports into corpus statistics.
+pub fn aggregate(reports: &[AppReport]) -> CorpusStats {
+    let mut stats = CorpusStats::new();
+    for r in reports {
+        stats.add(r.stats.clone());
+    }
+    stats
+}
+
+/// Renders an ASCII bar of `frac` (0..=1) scaled to `width` characters.
+pub fn bar(frac: f64, width: usize) -> String {
+    let filled = (frac.clamp(0.0, 1.0) * width as f64).round() as usize;
+    format!("{}{}", "#".repeat(filled), ".".repeat(width - filled))
+}
+
+/// Prints a `(x, y)` series as a fixed-width two-column table.
+pub fn print_series(header: (&str, &str), series: &[(f64, f64)]) {
+    println!("{:>12} {:>12}", header.0, header.1);
+    for (x, y) in series {
+        println!("{x:>12.3} {y:>12.3}");
+    }
+}
+
+/// Downsamples a CDF to `points` evenly spaced quantiles for printing.
+pub fn downsample(series: &[(f64, f64)], points: usize) -> Vec<(f64, f64)> {
+    if series.len() <= points {
+        return series.to_vec();
+    }
+    (0..points)
+        .map(|i| {
+            let idx = i * (series.len() - 1) / (points - 1);
+            series[idx]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_scales() {
+        assert_eq!(bar(0.0, 10), "..........");
+        assert_eq!(bar(1.0, 10), "##########");
+        assert_eq!(bar(0.5, 10), "#####.....");
+    }
+
+    #[test]
+    fn downsample_keeps_ends() {
+        let series: Vec<(f64, f64)> = (0..100).map(|i| (i as f64, i as f64)).collect();
+        let ds = downsample(&series, 5);
+        assert_eq!(ds.len(), 5);
+        assert_eq!(ds[0], (0.0, 0.0));
+        assert_eq!(ds[4], (99.0, 99.0));
+    }
+
+    #[test]
+    fn small_spec_run_roundtrips() {
+        let specs = vec![nck_appgen::studyapps::gpslogger()];
+        let reports = run_specs(&specs);
+        assert_eq!(reports.len(), 1);
+        assert!(!reports[0].defects.is_empty());
+        let stats = aggregate(&reports);
+        assert_eq!(stats.len(), 1);
+    }
+}

@@ -1,0 +1,79 @@
+//! The `nchecker` command-line tool: analyze an APK bundle and print the
+//! warning reports (§4.6, Figure 7).
+//!
+//! ```text
+//! nchecker [--summary|--json] <app.apk>...
+//! ```
+
+use nchecker::NChecker;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: nchecker [--summary|--json] <app.apk>...");
+    eprintln!();
+    eprintln!("Statically analyzes ADX app bundles for network programming defects.");
+    eprintln!("  --summary   print one line per app instead of full reports");
+    eprintln!("  --json      print one JSON document per app");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let summary = args.iter().any(|a| a == "--summary");
+    let json = args.iter().any(|a| a == "--json");
+    let paths: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    if paths.is_empty() {
+        return usage();
+    }
+    if args
+        .iter()
+        .any(|a| a.starts_with("--") && a != "--summary" && a != "--json")
+    {
+        return usage();
+    }
+
+    let checker = NChecker::new();
+    let mut failures = 0usize;
+    for path in paths {
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                failures += 1;
+                continue;
+            }
+        };
+        match checker.analyze_bytes(&bytes) {
+            Ok(report) => {
+                if json {
+                    println!(
+                        "{}",
+                        serde_json::to_string_pretty(&nchecker::app_report_to_json(&report))
+                            .expect("report serializes")
+                    );
+                } else if summary {
+                    println!(
+                        "{path}: {} ({} requests, {} defects)",
+                        report.stats.package,
+                        report.stats.requests,
+                        report.defects.len()
+                    );
+                } else {
+                    println!("=== {} ({} defects) ===", report.stats.package, report.defects.len());
+                    for d in &report.defects {
+                        println!("{}", d.render());
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,557 @@
+//! The NChecker driver: binary in, warning reports out.
+
+use crate::checks::{
+    check_config, check_notification, check_response, is_guarded, is_guarded_strict,
+    methods_invoking_connectivity,
+};
+use crate::icc::{
+    conn_guarded_components, find_icc_sends, icc_send_reachable, some_component_displays_alert,
+};
+use crate::context::AnalyzedApp;
+use crate::reach::{find_request_sites, RequestSite};
+use crate::report::{fix_suggestion, DefectKind, Location, OverRetryContext, Report};
+use crate::retry::{covered_by_retry, find_retry_loops};
+use nck_android::apk::{Apk, ApkError};
+use nck_ir::lift::LiftError;
+use nck_ir::lift_file;
+use nck_netlibs::api::Registry;
+use nck_netlibs::library::Library;
+use std::collections::BTreeSet;
+
+/// Which analyses to run.
+#[derive(Debug, Clone, Copy)]
+pub struct CheckerConfig {
+    /// Check connectivity guards (§4.4.1).
+    pub connectivity: bool,
+    /// Check timeout config APIs (§4.4.1).
+    pub timeout: bool,
+    /// Check retry config APIs (§4.4.1).
+    pub retry: bool,
+    /// Check retry parameters against the request context (§4.4.2).
+    pub retry_params: bool,
+    /// Check failure notifications (§4.4.3).
+    pub notification: bool,
+    /// Check response validity (§4.4.4).
+    pub response: bool,
+    /// Identify customized retry loops (§4.5); disabling this is the
+    /// ablation of the loop rules.
+    pub custom_retry: bool,
+    /// Model inter-component communication (the paper's §4.7 future
+    /// work): connectivity guards and error displays may cross component
+    /// boundaries, removing the Table 9 false positives.
+    pub icc: bool,
+    /// Require connectivity checks to be *control conditions* of the
+    /// request (path-sensitive), removing the Table 9 known false
+    /// negatives. Off by default, as in the paper.
+    pub strict_connectivity: bool,
+}
+
+impl Default for CheckerConfig {
+    fn default() -> Self {
+        CheckerConfig {
+            connectivity: true,
+            timeout: true,
+            retry: true,
+            retry_params: true,
+            notification: true,
+            response: true,
+            custom_retry: true,
+            icc: false,
+            strict_connectivity: false,
+        }
+    }
+}
+
+/// Per-app aggregate statistics, the raw material of Tables 6 and 8 and
+/// Figures 8 and 9.
+#[derive(Debug, Clone, Default)]
+pub struct AppStats {
+    /// Package name.
+    pub package: String,
+    /// Libraries the app's requests go through.
+    pub libraries: BTreeSet<Library>,
+    /// Entry-reachable request sites.
+    pub requests: usize,
+    /// Requests without a connectivity guard.
+    pub requests_missing_conn: usize,
+    /// Requests without a timeout config.
+    pub requests_missing_timeout: usize,
+    /// Requests through retry-capable libraries.
+    pub retry_capable_requests: usize,
+    /// Of those, requests with no retry config and no custom retry loop.
+    pub requests_missing_retry: usize,
+    /// User-initiated requests.
+    pub user_requests: usize,
+    /// User-initiated requests without failure notification.
+    pub user_requests_missing_notification: usize,
+    /// User requests whose library path has an explicit error callback
+    /// implemented in the app.
+    pub user_requests_explicit_cb: usize,
+    /// Of those, notified ones.
+    pub user_requests_explicit_cb_notified: usize,
+    /// User requests on the implicit (Handler/onPostExecute) path.
+    pub user_requests_implicit_cb: usize,
+    /// Of those, notified ones.
+    pub user_requests_implicit_cb_notified: usize,
+    /// Error callbacks that expose typed errors (Volley).
+    pub typed_error_callbacks: usize,
+    /// Of those, callbacks that consult the error object.
+    pub typed_error_callbacks_checked: usize,
+    /// Checkable (synchronously captured) responses.
+    pub responses: usize,
+    /// Responses used without a validity check.
+    pub responses_missing_check: usize,
+    /// Customized retry loops found.
+    pub custom_retry_loops: usize,
+    /// User requests with retries disabled (cause 2.1).
+    pub no_retry_activity: usize,
+    /// Background requests with retries enabled (cause 2.2a).
+    pub over_retry_service: usize,
+    /// ... of which caused by library defaults.
+    pub over_retry_service_default: usize,
+    /// POST requests with retries enabled (cause 2.2b).
+    pub over_retry_post: usize,
+    /// ... of which caused by library defaults.
+    pub over_retry_post_default: usize,
+}
+
+/// The complete analysis result for one app.
+#[derive(Debug, Clone, Default)]
+pub struct AppReport {
+    /// Aggregate statistics.
+    pub stats: AppStats,
+    /// Individual warning reports.
+    pub defects: Vec<Report>,
+}
+
+impl AppReport {
+    /// Number of defects of `kind`-matching label (exact enum match for
+    /// non-parameterized kinds).
+    pub fn count(&self, kind: DefectKind) -> usize {
+        self.defects.iter().filter(|d| d.kind == kind).count()
+    }
+
+    /// Returns `true` when any defect of the given label family exists.
+    pub fn has(&self, kind: DefectKind) -> bool {
+        self.count(kind) > 0
+    }
+}
+
+/// Errors from analyzing an app container.
+#[derive(Debug)]
+pub enum AnalyzeError {
+    /// The container failed to parse.
+    Apk(ApkError),
+    /// The bytecode failed to lift.
+    Lift(LiftError),
+}
+
+impl std::fmt::Display for AnalyzeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AnalyzeError::Apk(e) => write!(f, "apk: {e}"),
+            AnalyzeError::Lift(e) => write!(f, "lift: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AnalyzeError {}
+
+/// The NChecker tool.
+#[derive(Debug, Default)]
+pub struct NChecker {
+    registry: Registry,
+    /// Analysis toggles.
+    pub config: CheckerConfig,
+}
+
+impl NChecker {
+    /// Creates a checker with the standard registry and all analyses on.
+    pub fn new() -> NChecker {
+        NChecker::default()
+    }
+
+    /// Creates a checker with specific toggles.
+    pub fn with_config(config: CheckerConfig) -> NChecker {
+        NChecker {
+            registry: Registry::standard(),
+            config,
+        }
+    }
+
+    /// Analyzes a serialized APK container.
+    pub fn analyze_bytes(&self, bytes: &[u8]) -> Result<AppReport, AnalyzeError> {
+        let apk = Apk::from_bytes(bytes).map_err(AnalyzeError::Apk)?;
+        self.analyze_apk(&apk)
+    }
+
+    /// Analyzes a parsed APK bundle.
+    pub fn analyze_apk(&self, apk: &Apk) -> Result<AppReport, AnalyzeError> {
+        let program = lift_file(&apk.adx).map_err(AnalyzeError::Lift)?;
+        let app = AnalyzedApp::new(apk.manifest.clone(), program, &self.registry);
+        Ok(self.analyze(&app))
+    }
+
+    /// Runs all configured analyses over an already-built context.
+    pub fn analyze(&self, app: &AnalyzedApp<'_>) -> AppReport {
+        let sites = find_request_sites(app);
+        let conn_methods = methods_invoking_connectivity(app);
+        let retry_loops = if self.config.custom_retry {
+            find_retry_loops(app)
+        } else {
+            Vec::new()
+        };
+        let icc_sends = if self.config.icc {
+            find_icc_sends(app)
+        } else {
+            Vec::new()
+        };
+        let icc_guarded = if self.config.icc {
+            conn_guarded_components(app, &icc_sends, &conn_methods)
+        } else {
+            Default::default()
+        };
+        let icc_alert_component = self.config.icc && some_component_displays_alert(app);
+
+        let mut report = AppReport::default();
+        report.stats.package = app.manifest.package.clone();
+        report.stats.custom_retry_loops = retry_loops.len();
+
+        for site in &sites {
+            let stats = &mut report.stats;
+            stats.requests += 1;
+            stats.libraries.insert(site.library());
+            let location = self.location_of(app, site);
+            let call_stack = self.call_stack_of(app, site);
+            let context = if site.user_initiated {
+                "Request made by user. Need to notify users if connection is unavailable."
+                    .to_owned()
+            } else if site.background {
+                "Request made by background service. Cache and stop the operation to save \
+                 energy and mobile data."
+                    .to_owned()
+            } else {
+                "Request context unknown.".to_owned()
+            };
+            let push = |report: &mut AppReport, kind: DefectKind, message: String| {
+                let fix = fix_suggestion(kind, site.library(), site.user_initiated);
+                report.defects.push(Report {
+                    kind,
+                    library: site.library(),
+                    location: location.clone(),
+                    message,
+                    context: context.clone(),
+                    call_stack: call_stack.clone(),
+                    fix,
+                });
+            };
+
+            let api = format!(
+                "{}.{}",
+                app.program
+                    .symbols
+                    .resolve(app.program.method(site.method).key.class),
+                site.target.api.name
+            );
+
+            // §4.4.1 — connectivity. ICC-aware mode also accepts a guard
+            // in the component that launched this one.
+            let icc_conn_guard = self.config.icc
+                && site.entries.iter().any(|&e| {
+                    app.entries[e]
+                        .component
+                        .is_some_and(|c| icc_guarded.contains(&c))
+                });
+            let conn_ok = if self.config.strict_connectivity {
+                is_guarded_strict(app, site)
+            } else {
+                is_guarded(app, site, &conn_methods)
+            } || icc_conn_guard;
+            if self.config.connectivity && !conn_ok {
+                report.stats.requests_missing_conn += 1;
+                push(
+                    &mut report,
+                    DefectKind::MissedConnectivityCheck,
+                    format!(
+                        "Missing network connectivity check before {}",
+                        site.target.api.name
+                    ),
+                );
+            }
+
+            // §4.4.1 — config APIs.
+            let sc = check_config(app, site);
+            let custom = covered_by_retry(app, &retry_loops, site);
+            if self.config.timeout && !sc.has_timeout {
+                report.stats.requests_missing_timeout += 1;
+                push(
+                    &mut report,
+                    DefectKind::MissedTimeout,
+                    format!("No timeout set for network request {api}"),
+                );
+            }
+            if site.library().has_retry_api() {
+                report.stats.retry_capable_requests += 1;
+                if self.config.retry && !sc.has_retry_config && !custom {
+                    report.stats.requests_missing_retry += 1;
+                    push(
+                        &mut report,
+                        DefectKind::MissedRetry,
+                        format!("No retry policy set for network request {api}"),
+                    );
+                }
+            }
+
+            // §4.4.2 — parameters in context. The paper evaluates retry
+            // behaviour only for apps "that use libraries with retry
+            // APIs" (Table 8, 91 apps).
+            if self.config.retry_params && site.library().has_retry_api() {
+                // `None` means a retry API was invoked with an unknown
+                // count: retries are enabled.
+                let retries_enabled = sc.effective_retries.map(|n| n > 0).unwrap_or(true);
+                if site.user_initiated && !retries_enabled && !custom {
+                    report.stats.no_retry_activity += 1;
+                    push(
+                        &mut report,
+                        DefectKind::NoRetryInActivity,
+                        "Time-sensitive user request performed without retry on transient errors"
+                            .to_owned(),
+                    );
+                }
+                if site.background && retries_enabled {
+                    report.stats.over_retry_service += 1;
+                    if sc.retry_default_used {
+                        report.stats.over_retry_service_default += 1;
+                    }
+                    push(
+                        &mut report,
+                        DefectKind::OverRetry {
+                            context: OverRetryContext::Service,
+                            default_caused: sc.retry_default_used,
+                        },
+                        "Background service request retries on failure, wasting energy"
+                            .to_owned(),
+                    );
+                }
+                // When the default is in force, it only bites POSTs if the
+                // library's default retry policy covers non-idempotent
+                // methods (Volley and Async HTTP do; Basic does not).
+                let post_retries = if sc.retry_default_used {
+                    retries_enabled
+                        && nck_netlibs::library::defaults(site.library()).retries_apply_to_post
+                } else {
+                    retries_enabled
+                };
+                if site.is_post() && post_retries {
+                    report.stats.over_retry_post += 1;
+                    if sc.retry_default_used {
+                        report.stats.over_retry_post_default += 1;
+                    }
+                    push(
+                        &mut report,
+                        DefectKind::OverRetry {
+                            context: OverRetryContext::Post,
+                            default_caused: sc.retry_default_used,
+                        },
+                        "Non-idempotent POST request is automatically retried".to_owned(),
+                    );
+                }
+            }
+
+            // §4.4.3 — failure notification (user requests only; "the
+            // error message is only helpful when the user initiates the
+            // request").
+            if self.config.notification && site.user_initiated {
+                report.stats.user_requests += 1;
+                let nf = check_notification(app, site);
+                if nf.explicit_error_callback {
+                    report.stats.user_requests_explicit_cb += 1;
+                    if nf.notified {
+                        report.stats.user_requests_explicit_cb_notified += 1;
+                    }
+                } else {
+                    report.stats.user_requests_implicit_cb += 1;
+                    if nf.notified {
+                        report.stats.user_requests_implicit_cb_notified += 1;
+                    }
+                }
+                let icc_notified = self.config.icc
+                    && !nf.notified
+                    && icc_alert_component
+                    && icc_send_reachable(app, &icc_sends, nf.callback.unwrap_or(site.method), 3);
+                if !nf.notified && !icc_notified {
+                    report.stats.user_requests_missing_notification += 1;
+                    push(
+                        &mut report,
+                        DefectKind::MissedFailureNotification,
+                        "No failure notification shown to the user when the request fails"
+                            .to_owned(),
+                    );
+                }
+                if let Some(checked) = nf.error_types_checked {
+                    report.stats.typed_error_callbacks += 1;
+                    if checked {
+                        report.stats.typed_error_callbacks_checked += 1;
+                    } else {
+                        push(
+                            &mut report,
+                            DefectKind::NoErrorTypeCheck,
+                            "Error callback ignores the typed error object".to_owned(),
+                        );
+                    }
+                }
+            } else if site.user_initiated {
+                report.stats.user_requests += 1;
+            }
+
+            // §4.4.4 — response validity.
+            if self.config.response {
+                if let Some(rf) = check_response(app, site) {
+                    if !rf.uses.is_empty() {
+                        report.stats.responses += 1;
+                        if !rf.unchecked_uses.is_empty() {
+                            report.stats.responses_missing_check += 1;
+                            push(
+                                &mut report,
+                                DefectKind::MissedResponseCheck,
+                                "Response used without a validity/null check".to_owned(),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+
+        report
+    }
+
+    fn location_of(&self, app: &AnalyzedApp<'_>, site: &RequestSite) -> Location {
+        let key = app.program.method(site.method).key;
+        Location {
+            class: nck_ir::Type::parse(app.program.symbols.resolve(key.class))
+                .map(|t| t.pretty())
+                .unwrap_or_else(|| app.program.symbols.resolve(key.class).to_owned()),
+            method: app.program.symbols.resolve(key.name).to_owned(),
+            stmt: site.stmt.0,
+        }
+    }
+
+    fn call_stack_of(&self, app: &AnalyzedApp<'_>, site: &RequestSite) -> Vec<String> {
+        let Some(&entry_idx) = site.entries.first() else {
+            return vec![];
+        };
+        let entry = &app.entries[entry_idx];
+        let mut frames = Vec::new();
+        let fmt = |m: nck_ir::MethodId, s: u32| {
+            let key = app.program.method(m).key;
+            format!(
+                "{}.{}: {s}",
+                nck_ir::Type::parse(app.program.symbols.resolve(key.class))
+                    .map(|t| t.pretty())
+                    .unwrap_or_default(),
+                app.program.symbols.resolve(key.name)
+            )
+        };
+        if let Some(path) = app.callgraph.path(entry.method, site.method) {
+            for e in &path {
+                frames.push(fmt(e.caller, e.stmt.0));
+            }
+        }
+        frames.push(fmt(site.method, site.stmt.0));
+        frames
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nck_android::manifest::{ComponentKind, Manifest};
+    use nck_dex::builder::AdxBuilder;
+    use nck_dex::AccessFlags;
+
+    const BASIC: &str = "Lcom/turbomanage/httpclient/BasicHttpClient;";
+    const GET_SIG: &str = "(Ljava/lang/String;Lcom/turbomanage/httpclient/ParameterMap;)Lcom/turbomanage/httpclient/HttpResponse;";
+
+    fn naive_apk() -> Apk {
+        let mut b = AdxBuilder::new();
+        b.class("Lapp/Main;", |c| {
+            c.super_class("Landroid/app/Activity;");
+            c.method(
+                "onCreate",
+                "(Landroid/os/Bundle;)V",
+                AccessFlags::PUBLIC,
+                8,
+                |m| {
+                    let cl = m.reg(0);
+                    m.new_instance(cl, BASIC);
+                    m.invoke_direct(BASIC, "<init>", "()V", &[cl]);
+                    m.invoke_virtual(BASIC, "get", GET_SIG, &[cl, m.reg(1), m.reg(2)]);
+                    m.move_result(m.reg(3));
+                    m.invoke_virtual(
+                        "Lcom/turbomanage/httpclient/HttpResponse;",
+                        "getBodyAsString",
+                        "()Ljava/lang/String;",
+                        &[m.reg(3)],
+                    );
+                    m.move_result(m.reg(4));
+                    m.ret(None);
+                },
+            );
+        });
+        let mut manifest = Manifest::new("com.example.naive");
+        manifest
+            .permission("android.permission.INTERNET")
+            .component("Lapp/Main;", ComponentKind::Activity);
+        Apk::new(manifest, b.finish().unwrap())
+    }
+
+    #[test]
+    fn naive_app_triggers_the_figure5_defects() {
+        let checker = NChecker::new();
+        let report = checker.analyze_apk(&naive_apk()).unwrap();
+        assert_eq!(report.stats.requests, 1);
+        assert!(report.has(DefectKind::MissedConnectivityCheck));
+        assert!(report.has(DefectKind::MissedTimeout));
+        assert!(report.has(DefectKind::MissedRetry));
+        assert!(report.has(DefectKind::MissedFailureNotification));
+        // BasicHttpClient has no response-check API annotated, so no
+        // response defect here.
+        assert!(!report.has(DefectKind::MissedResponseCheck));
+        // Every defect report renders.
+        for d in &report.defects {
+            let text = d.render();
+            assert!(text.contains("Fix Suggestion"));
+            assert!(text.contains("call stack"));
+        }
+    }
+
+    #[test]
+    fn analyze_bytes_roundtrip() {
+        let checker = NChecker::new();
+        let bytes = naive_apk().to_bytes();
+        let report = checker.analyze_bytes(&bytes).unwrap();
+        assert_eq!(report.stats.package, "com.example.naive");
+        assert!(!report.defects.is_empty());
+    }
+
+    #[test]
+    fn toggles_disable_checks() {
+        let checker = NChecker::with_config(CheckerConfig {
+            connectivity: false,
+            timeout: false,
+            ..CheckerConfig::default()
+        });
+        let report = checker.analyze_apk(&naive_apk()).unwrap();
+        assert!(!report.has(DefectKind::MissedConnectivityCheck));
+        assert!(!report.has(DefectKind::MissedTimeout));
+        assert!(report.has(DefectKind::MissedRetry));
+    }
+
+    #[test]
+    fn call_stack_starts_at_the_entry() {
+        let checker = NChecker::new();
+        let report = checker.analyze_apk(&naive_apk()).unwrap();
+        let d = &report.defects[0];
+        assert!(d.call_stack[0].contains("onCreate"));
+    }
+}

@@ -1,0 +1,198 @@
+//! The per-app analysis context shared by all checkers: lifted program,
+//! entry points, call graph, and per-method dataflow results.
+
+use crate::callgraph::CallGraph;
+use nck_android::entrypoints::{entry_points, EntryPoint};
+use nck_android::manifest::Manifest;
+use nck_dataflow::{ConstProp, ControlDeps, ReachingDefs};
+use nck_ir::body::{Body, MethodId, Program};
+use nck_ir::cfg::Cfg;
+use nck_ir::dom::{dominators, post_dominators, DomTree};
+use nck_ir::loops::{natural_loops, NaturalLoop};
+use nck_netlibs::api::Registry;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// All dataflow artifacts of one method body, computed once.
+#[derive(Debug)]
+pub struct MethodAnalysis {
+    /// Statement-level CFG.
+    pub cfg: Cfg,
+    /// Reaching definitions.
+    pub rd: ReachingDefs,
+    /// Constant propagation.
+    pub cp: ConstProp,
+    /// Dominator tree.
+    pub doms: DomTree,
+    /// Post-dominator tree.
+    pub pdoms: DomTree,
+    /// Control dependences.
+    pub cdeps: ControlDeps,
+    /// Control dependences over the exception-free CFG (used by the
+    /// strict connectivity check: "is the request control-dependent on a
+    /// branch?" is only meaningful without exceptional edges).
+    pub cdeps_normal: ControlDeps,
+    /// Natural loops.
+    pub loops: Vec<NaturalLoop>,
+}
+
+impl MethodAnalysis {
+    /// Computes everything for `body`.
+    pub fn compute(body: &Body) -> MethodAnalysis {
+        let cfg = Cfg::build(body);
+        let rd = ReachingDefs::compute(body, &cfg);
+        let cp = ConstProp::compute(body, &cfg);
+        let doms = dominators(&cfg);
+        let pdoms = post_dominators(&cfg);
+        let cdeps = ControlDeps::compute(&cfg, &pdoms);
+        let normal = cfg.normal_only();
+        let pdoms_normal = post_dominators(&normal);
+        let cdeps_normal = ControlDeps::compute(&normal, &pdoms_normal);
+        let loops = natural_loops(&cfg, &doms);
+        MethodAnalysis {
+            cfg,
+            rd,
+            cp,
+            doms,
+            pdoms,
+            cdeps,
+            cdeps_normal,
+            loops,
+        }
+    }
+}
+
+/// The fully analyzed app every checker consumes.
+#[derive(Debug)]
+pub struct AnalyzedApp<'r> {
+    /// The manifest the APK carried.
+    pub manifest: Manifest,
+    /// The lifted program.
+    pub program: Program,
+    /// The annotation registry in force.
+    pub registry: &'r Registry,
+    /// Framework entry points.
+    pub entries: Vec<EntryPoint>,
+    /// The call graph.
+    pub callgraph: CallGraph,
+    /// Per-entry reachable method sets (parallel to `entries`).
+    pub entry_reach: Vec<BTreeSet<MethodId>>,
+    analyses: BTreeMap<MethodId, MethodAnalysis>,
+}
+
+impl<'r> AnalyzedApp<'r> {
+    /// Lifts, builds the call graph, discovers entry points, and runs the
+    /// per-method dataflow analyses.
+    pub fn new(
+        manifest: Manifest,
+        program: Program,
+        registry: &'r Registry,
+    ) -> AnalyzedApp<'r> {
+        let entries = entry_points(&program, &manifest);
+        let callgraph = CallGraph::build(&program);
+        let entry_reach = entries
+            .iter()
+            .map(|e| callgraph.reachable_from(e.method))
+            .collect();
+        let analyses = program
+            .iter_methods()
+            .filter_map(|(id, m)| {
+                m.body
+                    .as_ref()
+                    .map(|body| (id, MethodAnalysis::compute(body)))
+            })
+            .collect();
+        AnalyzedApp {
+            manifest,
+            program,
+            registry,
+            entries,
+            callgraph,
+            entry_reach,
+            analyses,
+        }
+    }
+
+    /// The dataflow artifacts of `method`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `method` has no body.
+    pub fn analysis(&self, method: MethodId) -> &MethodAnalysis {
+        self.analyses
+            .get(&method)
+            .expect("analysis requested for a bodiless method")
+    }
+
+    /// The body of `method`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `method` has no body.
+    pub fn body(&self, method: MethodId) -> &Body {
+        self.program
+            .method(method)
+            .body
+            .as_ref()
+            .expect("body requested for a bodiless method")
+    }
+
+    /// Indices into [`Self::entries`] of the entry points that reach
+    /// `method`.
+    pub fn entries_reaching(&self, method: MethodId) -> Vec<usize> {
+        self.entry_reach
+            .iter()
+            .enumerate()
+            .filter(|(_, set)| set.contains(&method))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Renders `method` as `Lcls;.name(sig)`.
+    pub fn display_method(&self, method: MethodId) -> String {
+        self.program
+            .display_method_key(self.program.method(method).key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nck_android::manifest::ComponentKind;
+    use nck_dex::builder::AdxBuilder;
+    use nck_dex::AccessFlags;
+    use nck_ir::lift_file;
+
+    #[test]
+    fn analyzed_app_wires_everything() {
+        let mut b = AdxBuilder::new();
+        b.class("Lapp/Main;", |c| {
+            c.super_class("Landroid/app/Activity;");
+            c.method(
+                "onCreate",
+                "(Landroid/os/Bundle;)V",
+                AccessFlags::PUBLIC,
+                4,
+                |m| {
+                    m.invoke_virtual("Lapp/Main;", "helper", "()V", &[m.param(0).unwrap()]);
+                    m.ret(None);
+                },
+            );
+            c.method("helper", "()V", AccessFlags::PUBLIC, 2, |m| m.ret(None));
+        });
+        let program = lift_file(&b.finish().unwrap()).unwrap();
+        let mut manifest = Manifest::new("app");
+        manifest.component("Lapp/Main;", ComponentKind::Activity);
+        let registry = Registry::standard();
+        let app = AnalyzedApp::new(manifest, program, &registry);
+        assert_eq!(app.entries.len(), 1);
+        let helper = app
+            .program
+            .iter_methods()
+            .find(|(_, m)| app.program.symbols.resolve(m.key.name) == "helper")
+            .map(|(id, _)| id)
+            .unwrap();
+        assert_eq!(app.entries_reaching(helper).len(), 1);
+        // Method analyses exist for both bodies.
+        let _ = app.analysis(helper);
+    }
+}

@@ -1,0 +1,150 @@
+//! Machine-readable (JSON) export of analysis results, for CI
+//! integration and the CLI's `--json` mode.
+
+use crate::checker::{AppReport, AppStats};
+use crate::report::{DefectKind, OverRetryContext, Report};
+use serde_json::{json, Value};
+
+/// A stable machine-readable identifier for a defect kind.
+pub fn kind_id(kind: DefectKind) -> &'static str {
+    match kind {
+        DefectKind::MissedConnectivityCheck => "missed-connectivity-check",
+        DefectKind::MissedTimeout => "missed-timeout",
+        DefectKind::MissedRetry => "missed-retry",
+        DefectKind::NoRetryInActivity => "no-retry-in-activity",
+        DefectKind::OverRetry {
+            context: OverRetryContext::Service,
+            ..
+        } => "over-retry-in-service",
+        DefectKind::OverRetry {
+            context: OverRetryContext::Post,
+            ..
+        } => "over-retry-in-post",
+        DefectKind::MissedFailureNotification => "missed-failure-notification",
+        DefectKind::NoErrorTypeCheck => "no-error-type-check",
+        DefectKind::MissedResponseCheck => "missed-response-check",
+    }
+}
+
+/// Serializes one warning report.
+pub fn report_to_json(r: &Report) -> Value {
+    let default_caused = match r.kind {
+        DefectKind::OverRetry { default_caused, .. } => Some(default_caused),
+        _ => None,
+    };
+    json!({
+        "kind": kind_id(r.kind),
+        "library": r.library.name(),
+        "impact": r.kind.impact(),
+        "location": {
+            "class": r.location.class,
+            "method": r.location.method,
+            "stmt": r.location.stmt,
+        },
+        "message": r.message,
+        "context": r.context,
+        "call_stack": r.call_stack,
+        "fix": r.fix,
+        "default_caused": default_caused,
+    })
+}
+
+/// Serializes per-app statistics.
+pub fn stats_to_json(s: &AppStats) -> Value {
+    json!({
+        "package": s.package,
+        "libraries": s.libraries.iter().map(|l| l.name()).collect::<Vec<_>>(),
+        "requests": s.requests,
+        "requests_missing_conn": s.requests_missing_conn,
+        "requests_missing_timeout": s.requests_missing_timeout,
+        "retry_capable_requests": s.retry_capable_requests,
+        "requests_missing_retry": s.requests_missing_retry,
+        "user_requests": s.user_requests,
+        "user_requests_missing_notification": s.user_requests_missing_notification,
+        "responses": s.responses,
+        "responses_missing_check": s.responses_missing_check,
+        "custom_retry_loops": s.custom_retry_loops,
+        "no_retry_activity": s.no_retry_activity,
+        "over_retry_service": s.over_retry_service,
+        "over_retry_post": s.over_retry_post,
+    })
+}
+
+/// Serializes a full app report.
+pub fn app_report_to_json(r: &AppReport) -> Value {
+    json!({
+        "stats": stats_to_json(&r.stats),
+        "defects": r.defects.iter().map(report_to_json).collect::<Vec<_>>(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::Location;
+    use nck_netlibs::library::Library;
+
+    fn sample_report() -> Report {
+        Report {
+            kind: DefectKind::OverRetry {
+                context: OverRetryContext::Post,
+                default_caused: true,
+            },
+            library: Library::Volley,
+            location: Location {
+                class: "com.app.Main".into(),
+                method: "onCreate".into(),
+                stmt: 12,
+            },
+            message: "POST retried".into(),
+            context: "user".into(),
+            call_stack: vec!["a".into(), "b".into()],
+            fix: "disable".into(),
+        }
+    }
+
+    #[test]
+    fn report_json_has_stable_ids() {
+        let v = report_to_json(&sample_report());
+        assert_eq!(v["kind"], "over-retry-in-post");
+        assert_eq!(v["default_caused"], true);
+        assert_eq!(v["location"]["stmt"], 12);
+        assert_eq!(v["library"], "Volley");
+    }
+
+    #[test]
+    fn kind_ids_are_distinct() {
+        use std::collections::BTreeSet;
+        let all = [
+            DefectKind::MissedConnectivityCheck,
+            DefectKind::MissedTimeout,
+            DefectKind::MissedRetry,
+            DefectKind::NoRetryInActivity,
+            DefectKind::OverRetry {
+                context: OverRetryContext::Service,
+                default_caused: false,
+            },
+            DefectKind::OverRetry {
+                context: OverRetryContext::Post,
+                default_caused: false,
+            },
+            DefectKind::MissedFailureNotification,
+            DefectKind::NoErrorTypeCheck,
+            DefectKind::MissedResponseCheck,
+        ];
+        let ids: BTreeSet<_> = all.iter().map(|&k| kind_id(k)).collect();
+        assert_eq!(ids.len(), all.len());
+    }
+
+    #[test]
+    fn app_report_roundtrips_through_serde() {
+        let mut report = AppReport::default();
+        report.stats.package = "com.x".into();
+        report.defects.push(sample_report());
+        let v = app_report_to_json(&report);
+        let text = serde_json::to_string(&v).unwrap();
+        let back: serde_json::Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(back["stats"]["package"], "com.x");
+        assert_eq!(back["defects"].as_array().unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,401 @@
+//! Corpus-level aggregation of per-app results: the rows of Tables 6
+//! and 8 and the CDF series of Figures 8 and 9.
+
+use crate::checker::AppStats;
+
+/// One row of Table 6.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table6Row {
+    /// NPD cause label.
+    pub cause: &'static str,
+    /// Evaluation condition (which apps the row is computed over).
+    pub condition: &'static str,
+    /// Number of evaluated apps.
+    pub evaluated: usize,
+    /// Number of buggy apps.
+    pub buggy: usize,
+}
+
+impl Table6Row {
+    /// Buggy percentage, rounded like the paper prints it.
+    pub fn percent(&self) -> f64 {
+        if self.evaluated == 0 {
+            0.0
+        } else {
+            self.buggy as f64 / self.evaluated as f64 * 100.0
+        }
+    }
+}
+
+/// One row of Table 8.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table8Row {
+    /// Behaviour label.
+    pub behaviour: &'static str,
+    /// Apps showing it, over the retry-capable population.
+    pub apps: usize,
+    /// The retry-capable population size.
+    pub population: usize,
+    /// Of the buggy apps, the fraction caused purely by library defaults.
+    pub default_caused_percent: f64,
+}
+
+/// Aggregated corpus statistics.
+#[derive(Debug, Clone, Default)]
+pub struct CorpusStats {
+    apps: Vec<AppStats>,
+}
+
+impl CorpusStats {
+    /// Creates an empty aggregation.
+    pub fn new() -> CorpusStats {
+        CorpusStats::default()
+    }
+
+    /// Adds one app's results.
+    pub fn add(&mut self, stats: AppStats) {
+        self.apps.push(stats);
+    }
+
+    /// Number of aggregated apps.
+    pub fn len(&self) -> usize {
+        self.apps.len()
+    }
+
+    /// Returns `true` when nothing has been aggregated.
+    pub fn is_empty(&self) -> bool {
+        self.apps.is_empty()
+    }
+
+    /// Apps with at least one detected defect of any kind.
+    pub fn buggy_apps(&self) -> usize {
+        self.apps
+            .iter()
+            .filter(|a| {
+                a.requests_missing_conn > 0
+                    || a.requests_missing_timeout > 0
+                    || a.requests_missing_retry > 0
+                    || a.user_requests_missing_notification > 0
+                    || a.responses_missing_check > 0
+                    || a.no_retry_activity > 0
+                    || a.over_retry_service > 0
+                    || a.over_retry_post > 0
+            })
+            .count()
+    }
+
+    /// Total defects across all kinds (the paper's headline 4180).
+    pub fn total_defects(&self) -> usize {
+        self.apps
+            .iter()
+            .map(|a| {
+                a.requests_missing_conn
+                    + a.requests_missing_timeout
+                    + a.requests_missing_retry
+                    + a.user_requests_missing_notification
+                    + a.responses_missing_check
+                    + a.no_retry_activity
+                    + a.over_retry_service
+                    + a.over_retry_post
+                    + (a.typed_error_callbacks - a.typed_error_callbacks_checked)
+            })
+            .sum()
+    }
+
+    /// Computes Table 6.
+    pub fn table6(&self) -> Vec<Table6Row> {
+        let all = self.apps.len();
+        let retry_apps: Vec<&AppStats> = self
+            .apps
+            .iter()
+            .filter(|a| a.retry_capable_requests > 0)
+            .collect();
+        let user_apps: Vec<&AppStats> =
+            self.apps.iter().filter(|a| a.user_requests > 0).collect();
+        let resp_apps: Vec<&AppStats> = self
+            .apps
+            .iter()
+            .filter(|a| a.libraries.iter().any(|l| l.has_response_check_api()))
+            .collect();
+
+        vec![
+            Table6Row {
+                cause: "Missed conn. checks",
+                condition: "All apps",
+                evaluated: all,
+                buggy: self
+                    .apps
+                    .iter()
+                    .filter(|a| a.requests > 0 && a.requests_missing_conn == a.requests)
+                    .count(),
+            },
+            Table6Row {
+                cause: "Missed timeout APIs",
+                condition: "Use libs that have timeout APIs",
+                evaluated: all,
+                buggy: self
+                    .apps
+                    .iter()
+                    .filter(|a| a.requests > 0 && a.requests_missing_timeout == a.requests)
+                    .count(),
+            },
+            Table6Row {
+                cause: "Missed retry APIs",
+                condition: "Use libs that have retry APIs",
+                evaluated: retry_apps.len(),
+                buggy: retry_apps
+                    .iter()
+                    .filter(|a| a.requests_missing_retry == a.retry_capable_requests)
+                    .count(),
+            },
+            Table6Row {
+                cause: "Over retries",
+                condition: "Use libs that have retry APIs",
+                evaluated: retry_apps.len(),
+                buggy: retry_apps
+                    .iter()
+                    .filter(|a| a.over_retry_service > 0 || a.over_retry_post > 0)
+                    .count(),
+            },
+            Table6Row {
+                cause: "Missed failure notifications",
+                condition: "Include user initiated requests",
+                evaluated: user_apps.len(),
+                buggy: user_apps
+                    .iter()
+                    .filter(|a| a.user_requests_missing_notification == a.user_requests)
+                    .count(),
+            },
+            Table6Row {
+                cause: "Missed response checks",
+                condition: "Use libs that have resp. check APIs",
+                evaluated: resp_apps.len(),
+                buggy: resp_apps
+                    .iter()
+                    .filter(|a| a.responses_missing_check > 0)
+                    .count(),
+            },
+        ]
+    }
+
+    /// Computes Table 8 over the retry-capable apps.
+    pub fn table8(&self) -> Vec<Table8Row> {
+        let retry_apps: Vec<&AppStats> = self
+            .apps
+            .iter()
+            .filter(|a| a.retry_capable_requests > 0)
+            .collect();
+        let population = retry_apps.len();
+        let pct = |part: usize, whole: usize| {
+            if whole == 0 {
+                0.0
+            } else {
+                part as f64 / whole as f64 * 100.0
+            }
+        };
+
+        let no_retry = retry_apps.iter().filter(|a| a.no_retry_activity > 0).count();
+        let over_svc: Vec<&&AppStats> = retry_apps
+            .iter()
+            .filter(|a| a.over_retry_service > 0)
+            .collect();
+        let over_svc_default = over_svc
+            .iter()
+            .filter(|a| a.over_retry_service_default == a.over_retry_service)
+            .count();
+        let over_post: Vec<&&AppStats> = retry_apps
+            .iter()
+            .filter(|a| a.over_retry_post > 0)
+            .collect();
+        let over_post_default = over_post
+            .iter()
+            .filter(|a| a.over_retry_post_default == a.over_retry_post)
+            .count();
+
+        vec![
+            Table8Row {
+                behaviour: "No retry in Activities",
+                apps: no_retry,
+                population,
+                default_caused_percent: 0.0,
+            },
+            Table8Row {
+                behaviour: "Over retry in Services",
+                apps: over_svc.len(),
+                population,
+                default_caused_percent: pct(over_svc_default, over_svc.len()),
+            },
+            Table8Row {
+                behaviour: "Over retry in POST requests",
+                apps: over_post.len(),
+                population,
+                default_caused_percent: pct(over_post_default, over_post.len()),
+            },
+        ]
+    }
+
+    /// Figure 8 (red line): per-app ratio of requests missing the
+    /// connectivity check, over apps that check at least once but not
+    /// always. Sorted ascending, ready for CDF plotting.
+    pub fn conn_miss_ratios(&self) -> Vec<f64> {
+        let mut out: Vec<f64> = self
+            .apps
+            .iter()
+            .filter(|a| a.requests > 0 && a.requests_missing_conn < a.requests)
+            .map(|a| a.requests_missing_conn as f64 / a.requests as f64)
+            .collect();
+        out.sort_by(f64::total_cmp);
+        out
+    }
+
+    /// Figure 8 (blue line): the analogous timeout ratios.
+    pub fn timeout_miss_ratios(&self) -> Vec<f64> {
+        let mut out: Vec<f64> = self
+            .apps
+            .iter()
+            .filter(|a| a.requests > 0 && a.requests_missing_timeout < a.requests)
+            .map(|a| a.requests_missing_timeout as f64 / a.requests as f64)
+            .collect();
+        out.sort_by(f64::total_cmp);
+        out
+    }
+
+    /// Figure 9: per-app ratio of user requests missing the failure
+    /// notification, over apps that notify at least once but not always.
+    pub fn notification_miss_ratios(&self) -> Vec<f64> {
+        let mut out: Vec<f64> = self
+            .apps
+            .iter()
+            .filter(|a| {
+                a.user_requests > 0 && a.user_requests_missing_notification < a.user_requests
+            })
+            .map(|a| a.user_requests_missing_notification as f64 / a.user_requests as f64)
+            .collect();
+        out.sort_by(f64::total_cmp);
+        out
+    }
+
+    /// §5.2.3: notification rates split by explicit vs implicit callback
+    /// paths, as `(explicit_rate, implicit_rate)` over requests.
+    pub fn notification_by_callback_kind(&self) -> (f64, f64) {
+        let (mut en, mut ed, mut inn, mut ind) = (0usize, 0usize, 0usize, 0usize);
+        for a in &self.apps {
+            en += a.user_requests_explicit_cb_notified;
+            ed += a.user_requests_explicit_cb;
+            inn += a.user_requests_implicit_cb_notified;
+            ind += a.user_requests_implicit_cb;
+        }
+        let rate = |n: usize, d: usize| if d == 0 { 0.0 } else { n as f64 / d as f64 };
+        (rate(en, ed), rate(inn, ind))
+    }
+
+    /// §5.2.3: fraction of typed-error callbacks that ignore the error
+    /// object (the paper's 93%).
+    pub fn error_type_ignored_rate(&self) -> f64 {
+        let (mut n, mut d) = (0usize, 0usize);
+        for a in &self.apps {
+            d += a.typed_error_callbacks;
+            n += a.typed_error_callbacks - a.typed_error_callbacks_checked;
+        }
+        if d == 0 {
+            0.0
+        } else {
+            n as f64 / d as f64
+        }
+    }
+
+    /// §5.2.4: fraction of responses missing validity checks.
+    pub fn response_miss_rate(&self) -> f64 {
+        let (mut n, mut d) = (0usize, 0usize);
+        for a in &self.apps {
+            d += a.responses;
+            n += a.responses_missing_check;
+        }
+        if d == 0 {
+            0.0
+        } else {
+            n as f64 / d as f64
+        }
+    }
+
+    /// §5.2.1: fraction of apps with customized retry loops.
+    pub fn custom_retry_rate(&self) -> f64 {
+        if self.apps.is_empty() {
+            return 0.0;
+        }
+        self.apps.iter().filter(|a| a.custom_retry_loops > 0).count() as f64
+            / self.apps.len() as f64
+    }
+
+    /// Renders a CDF as `(x, fraction ≤ x)` steps for plotting.
+    pub fn cdf(sorted_ratios: &[f64]) -> Vec<(f64, f64)> {
+        let n = sorted_ratios.len();
+        sorted_ratios
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| (x, (i + 1) as f64 / n as f64))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::AppStats;
+
+    fn app(requests: usize, missing_conn: usize) -> AppStats {
+        AppStats {
+            requests,
+            requests_missing_conn: missing_conn,
+            ..AppStats::default()
+        }
+    }
+
+    #[test]
+    fn never_vs_partial_conn_classification() {
+        let mut c = CorpusStats::new();
+        c.add(app(4, 4)); // Never checks.
+        c.add(app(4, 2)); // Partial.
+        c.add(app(4, 0)); // Always checks.
+        let t6 = c.table6();
+        assert_eq!(t6[0].buggy, 1);
+        assert_eq!(t6[0].evaluated, 3);
+        let ratios = c.conn_miss_ratios();
+        assert_eq!(ratios, vec![0.0, 0.5]);
+    }
+
+    #[test]
+    fn cdf_steps() {
+        let cdf = CorpusStats::cdf(&[0.2, 0.5, 1.0]);
+        assert_eq!(cdf.len(), 3);
+        assert!((cdf[0].1 - 1.0 / 3.0).abs() < 1e-9);
+        assert!((cdf[2].1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn total_defects_sums_every_kind() {
+        let mut c = CorpusStats::new();
+        c.add(AppStats {
+            requests: 3,
+            requests_missing_conn: 2,
+            requests_missing_timeout: 1,
+            user_requests_missing_notification: 1,
+            typed_error_callbacks: 2,
+            typed_error_callbacks_checked: 1,
+            ..AppStats::default()
+        });
+        assert_eq!(c.total_defects(), 5);
+        assert_eq!(c.buggy_apps(), 1);
+    }
+
+    #[test]
+    fn empty_corpus_is_harmless() {
+        let c = CorpusStats::new();
+        assert!(c.is_empty());
+        assert_eq!(c.buggy_apps(), 0);
+        assert_eq!(c.response_miss_rate(), 0.0);
+        assert_eq!(c.custom_retry_rate(), 0.0);
+        let t8 = c.table8();
+        assert_eq!(t8[0].population, 0);
+    }
+}

@@ -1,0 +1,91 @@
+//! Tests of the `nchecker` command-line binary.
+
+use nck_appgen::spec::{AppSpec, Origin, RequestSpec};
+use nck_netlibs::library::Library;
+
+fn temp_path(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("nck-cli-{name}-{}", std::process::id()))
+}
+
+#[test]
+fn summary_mode_prints_one_line_per_app() {
+    let spec = AppSpec::new(
+        "com.test.cli",
+        vec![RequestSpec::new(Library::BasicHttpClient, Origin::UserClick)],
+    );
+    let path = temp_path("ok.apk");
+    nck_appgen::generate(&spec).save(&path).unwrap();
+
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_nchecker"))
+        .arg("--summary")
+        .arg(&path)
+        .output()
+        .expect("cli runs");
+    std::fs::remove_file(&path).ok();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("com.test.cli"), "{stdout}");
+    assert!(stdout.contains("defects"), "{stdout}");
+}
+
+#[test]
+fn full_mode_prints_reports() {
+    let spec = AppSpec::new(
+        "com.test.cli2",
+        vec![RequestSpec::new(Library::Volley, Origin::UserClick)],
+    );
+    let path = temp_path("full.apk");
+    nck_appgen::generate(&spec).save(&path).unwrap();
+
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_nchecker"))
+        .arg(&path)
+        .output()
+        .expect("cli runs");
+    std::fs::remove_file(&path).ok();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Fix Suggestion"), "{stdout}");
+}
+
+#[test]
+fn bad_file_fails() {
+    let path = temp_path("bad.apk");
+    std::fs::write(&path, b"not an apk").unwrap();
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_nchecker"))
+        .arg(&path)
+        .output()
+        .expect("cli runs");
+    std::fs::remove_file(&path).ok();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn no_arguments_shows_usage() {
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_nchecker"))
+        .output()
+        .expect("cli runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}
+
+#[test]
+fn json_mode_emits_valid_json() {
+    let spec = AppSpec::new(
+        "com.test.json",
+        vec![RequestSpec::new(Library::BasicHttpClient, Origin::UserClick)],
+    );
+    let path = temp_path("json.apk");
+    nck_appgen::generate(&spec).save(&path).unwrap();
+
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_nchecker"))
+        .arg("--json")
+        .arg(&path)
+        .output()
+        .expect("cli runs");
+    std::fs::remove_file(&path).ok();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"kind\""), "{stdout}");
+    assert!(stdout.contains("missed-connectivity-check"), "{stdout}");
+    assert!(stdout.contains("\"package\": \"com.test.json\""), "{stdout}");
+}

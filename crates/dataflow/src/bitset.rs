@@ -1,0 +1,187 @@
+//! A dense fixed-capacity bit set used as the lattice element of the
+//! bit-vector analyses.
+
+/// A fixed-capacity set of small integers backed by `u64` words.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    capacity: usize,
+}
+
+impl BitSet {
+    /// Creates an empty set able to hold values `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            words: vec![0; capacity.div_ceil(64)],
+            capacity,
+        }
+    }
+
+    /// The capacity this set was created with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Inserts `i`, returning `true` if it was newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= capacity`.
+    pub fn insert(&mut self, i: usize) -> bool {
+        assert!(i < self.capacity, "bit {i} out of capacity {}", self.capacity);
+        let (w, b) = (i / 64, i % 64);
+        let old = self.words[w];
+        self.words[w] |= 1 << b;
+        old & (1 << b) == 0
+    }
+
+    /// Removes `i`, returning `true` if it was present.
+    pub fn remove(&mut self, i: usize) -> bool {
+        if i >= self.capacity {
+            return false;
+        }
+        let (w, b) = (i / 64, i % 64);
+        let old = self.words[w];
+        self.words[w] &= !(1 << b);
+        old & (1 << b) != 0
+    }
+
+    /// Tests membership.
+    pub fn contains(&self, i: usize) -> bool {
+        if i >= self.capacity {
+            return false;
+        }
+        let (w, b) = (i / 64, i % 64);
+        self.words[w] & (1 << b) != 0
+    }
+
+    /// Unions `other` into `self`, returning `true` when `self` changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics on capacity mismatch.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        assert_eq!(self.capacity, other.capacity, "bitset capacity mismatch");
+        let mut changed = false;
+        for (a, &b) in self.words.iter_mut().zip(&other.words) {
+            let new = *a | b;
+            changed |= new != *a;
+            *a = new;
+        }
+        changed
+    }
+
+    /// Intersects `other` into `self`, returning `true` when `self` changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics on capacity mismatch.
+    pub fn intersect_with(&mut self, other: &BitSet) -> bool {
+        assert_eq!(self.capacity, other.capacity, "bitset capacity mismatch");
+        let mut changed = false;
+        for (a, &b) in self.words.iter_mut().zip(&other.words) {
+            let new = *a & b;
+            changed |= new != *a;
+            *a = new;
+        }
+        changed
+    }
+
+    /// Removes every element of `other` from `self`.
+    pub fn subtract(&mut self, other: &BitSet) {
+        assert_eq!(self.capacity, other.capacity, "bitset capacity mismatch");
+        for (a, &b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// Clears all bits.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Number of set bits.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Returns `true` when no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterates set bits in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            (0..64)
+                .filter(move |b| w & (1 << b) != 0)
+                .map(move |b| wi * 64 + b)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_contains() {
+        let mut s = BitSet::new(130);
+        assert!(s.insert(0));
+        assert!(s.insert(64));
+        assert!(s.insert(129));
+        assert!(!s.insert(64));
+        assert!(s.contains(0));
+        assert!(s.contains(129));
+        assert!(!s.contains(1));
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn union_and_intersect() {
+        let mut a = BitSet::new(10);
+        let mut b = BitSet::new(10);
+        a.insert(1);
+        a.insert(2);
+        b.insert(2);
+        b.insert(3);
+        let mut u = a.clone();
+        assert!(u.union_with(&b));
+        assert_eq!(u.iter().collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert!(!u.union_with(&b));
+        let mut i = a.clone();
+        assert!(i.intersect_with(&b));
+        assert_eq!(i.iter().collect::<Vec<_>>(), vec![2]);
+    }
+
+    #[test]
+    fn subtract_and_remove() {
+        let mut a = BitSet::new(8);
+        a.insert(1);
+        a.insert(2);
+        a.insert(3);
+        let mut b = BitSet::new(8);
+        b.insert(2);
+        a.subtract(&b);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![1, 3]);
+        assert!(a.remove(1));
+        assert!(!a.remove(1));
+        assert!(!a.remove(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of capacity")]
+    fn insert_out_of_capacity_panics() {
+        BitSet::new(4).insert(4);
+    }
+
+    #[test]
+    fn empty_and_clear() {
+        let mut s = BitSet::new(5);
+        assert!(s.is_empty());
+        s.insert(3);
+        assert!(!s.is_empty());
+        s.clear();
+        assert!(s.is_empty());
+    }
+}

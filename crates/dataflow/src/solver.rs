@@ -1,0 +1,276 @@
+//! The generic worklist solver every concrete analysis plugs into.
+//!
+//! Analyses are defined at statement granularity over an
+//! [`nck_ir::cfg::Cfg`]: provide a fact lattice (`bottom` + `join`) and a
+//! transfer function, and [`solve`] computes the fixpoint, returning the
+//! fact holding *before* and *after* every statement.
+
+use nck_ir::body::{Body, Stmt, StmtId};
+use nck_ir::cfg::Cfg;
+
+/// Direction of propagation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Facts flow from predecessors to successors.
+    Forward,
+    /// Facts flow from successors to predecessors.
+    Backward,
+}
+
+/// A dataflow analysis over statement-level CFGs.
+pub trait Analysis {
+    /// The lattice element.
+    type Fact: Clone + PartialEq;
+
+    /// Propagation direction.
+    fn direction(&self) -> Direction;
+
+    /// The least element, used to initialize all program points.
+    fn bottom(&self) -> Self::Fact;
+
+    /// The boundary fact (at entry for forward, at exit for backward).
+    fn boundary(&self) -> Self::Fact {
+        self.bottom()
+    }
+
+    /// Joins `other` into `fact`, returning `true` when `fact` changed.
+    fn join(&self, fact: &mut Self::Fact, other: &Self::Fact) -> bool;
+
+    /// Applies the effect of `stmt` to `fact` in the analysis direction.
+    fn transfer(&self, id: StmtId, stmt: &Stmt, fact: &mut Self::Fact);
+}
+
+/// The fixpoint result: facts before and after every statement.
+#[derive(Debug, Clone)]
+pub struct Solution<F> {
+    /// Fact holding immediately before each statement (in program order,
+    /// regardless of analysis direction).
+    pub before: Vec<F>,
+    /// Fact holding immediately after each statement.
+    pub after: Vec<F>,
+}
+
+impl<F> Solution<F> {
+    /// The fact before statement `id`.
+    pub fn before(&self, id: StmtId) -> &F {
+        &self.before[id.index()]
+    }
+
+    /// The fact after statement `id`.
+    pub fn after(&self, id: StmtId) -> &F {
+        &self.after[id.index()]
+    }
+}
+
+/// Runs `analysis` to fixpoint over `body`/`cfg`.
+///
+/// Exceptional edges participate in the propagation exactly like normal
+/// edges, which matches how Soot's `ExceptionalUnitGraph` drives
+/// FlowDroid-style analyses.
+pub fn solve<A: Analysis>(body: &Body, cfg: &Cfg, analysis: &A) -> Solution<A::Fact> {
+    let n = body.len();
+    let mut before: Vec<A::Fact> = vec![analysis.bottom(); n];
+    let mut after: Vec<A::Fact> = vec![analysis.bottom(); n];
+    if n == 0 {
+        return Solution { before, after };
+    }
+
+    let dir = analysis.direction();
+    // Seed boundary.
+    match dir {
+        Direction::Forward => before[0] = analysis.boundary(),
+        Direction::Backward => {
+            // Backward boundary applies at every statement that exits the
+            // method; join happens naturally since exit successors are
+            // empty and `after` starts at bottom joined with boundary.
+            let b = analysis.boundary();
+            for (i, slot) in after.iter_mut().enumerate().take(n) {
+                if cfg.succs(StmtId(i as u32), false).is_empty() {
+                    *slot = b.clone();
+                }
+            }
+        }
+    }
+
+    let mut work: Vec<u32> = (0..n as u32).collect();
+    let mut on_work = vec![true; n];
+    // Process in an order matching the direction for fast convergence.
+    if dir == Direction::Forward {
+        work.reverse(); // Pop from the back -> ascending order first pass.
+    }
+
+    while let Some(i) = work.pop() {
+        let idx = i as usize;
+        on_work[idx] = false;
+        let id = StmtId(i);
+
+        match dir {
+            Direction::Forward => {
+                // in = join of preds' out.
+                let mut fact = if idx == 0 {
+                    analysis.boundary()
+                } else {
+                    analysis.bottom()
+                };
+                for &p in &cfg.preds[idx] {
+                    analysis.join(&mut fact, &after[p.index()]);
+                }
+                before[idx] = fact.clone();
+                analysis.transfer(id, body.stmt(id), &mut fact);
+                if fact != after[idx] {
+                    after[idx] = fact;
+                    for s in cfg.succs(id, false) {
+                        if !on_work[s.index()] {
+                            on_work[s.index()] = true;
+                            work.push(s.0);
+                        }
+                    }
+                }
+            }
+            Direction::Backward => {
+                // out = join of succs' in.
+                let succs = cfg.succs(id, false);
+                let mut fact = if succs.is_empty() {
+                    analysis.boundary()
+                } else {
+                    analysis.bottom()
+                };
+                for s in &succs {
+                    analysis.join(&mut fact, &before[s.index()]);
+                }
+                after[idx] = fact.clone();
+                analysis.transfer(id, body.stmt(id), &mut fact);
+                if fact != before[idx] {
+                    before[idx] = fact;
+                    for &p in &cfg.preds[idx] {
+                        if p.index() < n && !on_work[p.index()] {
+                            on_work[p.index()] = true;
+                            work.push(p.0);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    Solution { before, after }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nck_ir::body::{LocalDecl, LocalId, Operand, Rvalue};
+
+    /// A toy forward "statement counting" analysis: fact = max number of
+    /// assignments seen on any path.
+    struct CountAssigns;
+
+    impl Analysis for CountAssigns {
+        type Fact = u32;
+
+        fn direction(&self) -> Direction {
+            Direction::Forward
+        }
+
+        fn bottom(&self) -> u32 {
+            0
+        }
+
+        fn join(&self, fact: &mut u32, other: &u32) -> bool {
+            if *other > *fact {
+                *fact = *other;
+                true
+            } else {
+                false
+            }
+        }
+
+        fn transfer(&self, _id: StmtId, stmt: &Stmt, fact: &mut u32) {
+            if matches!(stmt, Stmt::Assign { .. }) {
+                *fact += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn forward_fixpoint_on_straight_line() {
+        let body = Body {
+            locals: vec![LocalDecl {
+                name: "v0".into(),
+                ty: None,
+            }],
+            stmts: vec![
+                Stmt::Assign {
+                    local: LocalId(0),
+                    rvalue: Rvalue::Use(Operand::IntConst(1)),
+                },
+                Stmt::Assign {
+                    local: LocalId(0),
+                    rvalue: Rvalue::Use(Operand::IntConst(2)),
+                },
+                Stmt::Return { value: None },
+            ],
+            traps: vec![],
+        };
+        let cfg = Cfg::build(&body);
+        let sol = solve(&body, &cfg, &CountAssigns);
+        assert_eq!(sol.before[2], 2);
+        assert_eq!(sol.after[1], 2);
+        assert_eq!(sol.before[0], 0);
+    }
+
+    #[test]
+    fn loop_reaches_fixpoint() {
+        // 0: assign
+        // 1: if -> 0 (loop back)
+        // 2: return
+        let body = Body {
+            locals: vec![LocalDecl {
+                name: "v0".into(),
+                ty: None,
+            }],
+            stmts: vec![
+                Stmt::Assign {
+                    local: LocalId(0),
+                    rvalue: Rvalue::Use(Operand::IntConst(1)),
+                },
+                Stmt::If {
+                    cond: nck_dex::CondOp::Eq,
+                    a: Operand::IntConst(0),
+                    b: Operand::IntConst(0),
+                    target: nck_ir::StmtId(0),
+                },
+                Stmt::Return { value: None },
+            ],
+            traps: vec![],
+        };
+        let cfg = Cfg::build(&body);
+        // A max-lattice with unbounded growth would diverge; cap it via a
+        // saturating count to prove termination behavior of the solver.
+        struct Saturating;
+        impl Analysis for Saturating {
+            type Fact = u32;
+            fn direction(&self) -> Direction {
+                Direction::Forward
+            }
+            fn bottom(&self) -> u32 {
+                0
+            }
+            fn join(&self, fact: &mut u32, other: &u32) -> bool {
+                if *other > *fact {
+                    *fact = *other;
+                    true
+                } else {
+                    false
+                }
+            }
+            fn transfer(&self, _id: StmtId, stmt: &Stmt, fact: &mut u32) {
+                if matches!(stmt, Stmt::Assign { .. }) {
+                    *fact = (*fact + 1).min(5);
+                }
+            }
+        }
+        let sol = solve(&body, &cfg, &Saturating);
+        assert_eq!(sol.before[2], 5);
+    }
+}

@@ -1,0 +1,295 @@
+//! Object-flow (taint) analysis over one method body.
+//!
+//! This is the engine behind NChecker's config-API detection (§4.4.1):
+//! taint the HTTP client object at the target API call site, propagate
+//! *backward* to its creation site, then *forward* through every alias, and
+//! collect all methods invoked on the tainted object. The implementation
+//! computes the may-alias closure of a seed local over copies, casts,
+//! field loads/stores, and (optionally) fluent-builder returns, then reads
+//! the facts off the closure.
+
+use nck_ir::body::{Body, FieldKey, LocalId, Operand, Rvalue, Stmt, StmtId};
+use std::collections::BTreeSet;
+
+/// Options controlling object-flow propagation.
+#[derive(Debug, Clone, Copy)]
+pub struct FlowOptions {
+    /// Treat `x = tainted.m(...)` as also tainting `x` (fluent builders
+    /// returning `this`). Matches how the paper's taint records config
+    /// methods in OkHttp-style chains.
+    pub fluent_returns: bool,
+    /// Propagate through instance and static fields (field-insensitively
+    /// by [`FieldKey`]).
+    pub through_fields: bool,
+}
+
+impl Default for FlowOptions {
+    fn default() -> Self {
+        Self {
+            fluent_returns: true,
+            through_fields: true,
+        }
+    }
+}
+
+/// The result of an object-flow query.
+#[derive(Debug, Clone, Default)]
+pub struct ObjectFlow {
+    /// Locals that may alias the seed object.
+    pub locals: BTreeSet<LocalId>,
+    /// Field keys that may hold the seed object.
+    pub fields: BTreeSet<FieldKey>,
+    /// Statements that create the object (`new` or factory-call results).
+    pub alloc_sites: Vec<StmtId>,
+    /// Call statements whose receiver may be the object.
+    pub invoked_on: Vec<StmtId>,
+}
+
+/// Computes the object-flow closure of `seed` within `body`.
+pub fn object_flow(body: &Body, seed: LocalId, opts: FlowOptions) -> ObjectFlow {
+    let mut flow = ObjectFlow::default();
+    flow.locals.insert(seed);
+
+    // Fixpoint over the flow-insensitive alias closure.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for (_, stmt) in body.iter() {
+            match stmt {
+                Stmt::Assign { local, rvalue } => match rvalue {
+                    Rvalue::Use(Operand::Local(src)) | Rvalue::Cast {
+                        op: Operand::Local(src),
+                        ..
+                    } => {
+                        let d = flow.locals.contains(local);
+                        let s = flow.locals.contains(src);
+                        if d && !s {
+                            changed |= flow.locals.insert(*src);
+                        }
+                        if s && !d {
+                            changed |= flow.locals.insert(*local);
+                        }
+                    }
+                    Rvalue::InstanceField { field, .. } | Rvalue::StaticField { field }
+                        if opts.through_fields => {
+                            let d = flow.locals.contains(local);
+                            let f = flow.fields.contains(field);
+                            if d && !f {
+                                changed |= flow.fields.insert(*field);
+                            }
+                            if f && !d {
+                                changed |= flow.locals.insert(*local);
+                            }
+                        }
+                    Rvalue::Invoke(inv) => {
+                        if opts.fluent_returns && flow.locals.contains(local) {
+                            if let Some(Operand::Local(recv)) = inv.receiver() {
+                                changed |= flow.locals.insert(recv);
+                            }
+                        }
+                        if opts.fluent_returns {
+                            if let Some(Operand::Local(recv)) = inv.receiver() {
+                                if flow.locals.contains(&recv) {
+                                    changed |= flow.locals.insert(*local);
+                                }
+                            }
+                        }
+                    }
+                    _ => {}
+                },
+                Stmt::StoreInstanceField { field, value, .. }
+                | Stmt::StoreStaticField { field, value }
+                    if opts.through_fields => {
+                        if let Operand::Local(v) = value {
+                            let s = flow.locals.contains(v);
+                            let f = flow.fields.contains(field);
+                            if s && !f {
+                                changed |= flow.fields.insert(*field);
+                            }
+                            if f && !s {
+                                changed |= flow.locals.insert(*v);
+                            }
+                        }
+                    }
+                _ => {}
+            }
+        }
+    }
+
+    // Read the derived facts off the closure.
+    for (id, stmt) in body.iter() {
+        if let Stmt::Assign { local, rvalue } = stmt {
+            if flow.locals.contains(local) {
+                match rvalue {
+                    Rvalue::New { .. } | Rvalue::NewArray { .. } => flow.alloc_sites.push(id),
+                    Rvalue::Invoke(inv) => {
+                        // A call result assigned to an alias is a creation
+                        // site unless it is a fluent return of the object
+                        // itself.
+                        let self_returning = matches!(
+                            inv.receiver(),
+                            Some(Operand::Local(r)) if flow.locals.contains(&r)
+                        );
+                        if !self_returning {
+                            flow.alloc_sites.push(id);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        if let Some(inv) = stmt.invoke_expr() {
+            if let Some(Operand::Local(recv)) = inv.receiver() {
+                if flow.locals.contains(&recv) {
+                    flow.invoked_on.push(id);
+                }
+            }
+        }
+    }
+
+    flow
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nck_dex::builder::AdxBuilder;
+    use nck_dex::AccessFlags;
+    use nck_ir::lift::lift_file;
+    use nck_ir::Program;
+
+    /// Builds `Lapp/T;.run()V` from `emit` and returns the lifted program.
+    fn lift(
+        emit: impl FnOnce(&mut nck_dex::builder::CodeBuilder<'_>),
+    ) -> Program {
+        let mut b = AdxBuilder::new();
+        b.class("Lapp/T;", |c| {
+            c.method("run", "()V", AccessFlags::PUBLIC, 8, emit);
+        });
+        lift_file(&b.finish().unwrap()).unwrap()
+    }
+
+    fn flow_of(p: &Program, seed_name: &str) -> ObjectFlow {
+        let body = p.methods[0].body.as_ref().unwrap();
+        let seed = body
+            .locals
+            .iter()
+            .position(|l| l.name == seed_name)
+            .map(|i| LocalId(i as u32))
+            .expect("seed local");
+        object_flow(body, seed, FlowOptions::default())
+    }
+
+    #[test]
+    fn backward_to_allocation_forward_to_config_calls() {
+        // c = new Client; c.setMaxRetries(5); r = c.get(url);
+        // Seeding the receiver of get() must find the alloc and the config
+        // call.
+        let p = lift(|m| {
+            let c = m.reg(0);
+            let five = m.reg(1);
+            m.new_instance(c, "Lnet/Client;");
+            m.invoke_direct("Lnet/Client;", "<init>", "()V", &[c]);
+            m.const_int(five, 5);
+            m.invoke_virtual("Lnet/Client;", "setMaxRetries", "(I)V", &[c, five]);
+            m.invoke_virtual("Lnet/Client;", "get", "()V", &[c]);
+            m.ret(None);
+        });
+        let flow = flow_of(&p, "v0");
+        assert_eq!(flow.alloc_sites.len(), 1);
+        // init, setMaxRetries, get all invoked on the object.
+        assert_eq!(flow.invoked_on.len(), 3);
+    }
+
+    #[test]
+    fn aliases_through_copies() {
+        let p = lift(|m| {
+            let c = m.reg(0);
+            let d = m.reg(1);
+            m.new_instance(c, "Lnet/Client;");
+            m.invoke_direct("Lnet/Client;", "<init>", "()V", &[c]);
+            m.mov(d, c);
+            m.invoke_virtual("Lnet/Client;", "setTimeout", "(I)V", &[d, m.reg(2)]);
+            m.ret(None);
+        });
+        let flow = flow_of(&p, "v0");
+        assert!(flow.locals.contains(&LocalId(1)));
+        assert_eq!(flow.invoked_on.len(), 2);
+    }
+
+    #[test]
+    fn fields_carry_the_object_across_statements() {
+        // this.client = c; ... d = this.client; d.get()
+        let p = lift(|m| {
+            let this = m.param(0).unwrap();
+            let c = m.reg(0);
+            let d = m.reg(1);
+            m.new_instance(c, "Lnet/Client;");
+            m.invoke_direct("Lnet/Client;", "<init>", "()V", &[c]);
+            m.iput(c, this, "Lapp/T;", "client", "Lnet/Client;");
+            m.iget(d, this, "Lapp/T;", "client", "Lnet/Client;");
+            m.invoke_virtual("Lnet/Client;", "get", "()V", &[d]);
+            m.ret(None);
+        });
+        let flow = flow_of(&p, "v1");
+        assert_eq!(flow.fields.len(), 1);
+        assert_eq!(flow.alloc_sites.len(), 1);
+    }
+
+    #[test]
+    fn fluent_builder_chain_links_receivers() {
+        // b = new Builder; b2 = b.timeout(…); b2.build()
+        let p = lift(|m| {
+            let b = m.reg(0);
+            let b2 = m.reg(1);
+            m.new_instance(b, "Lnet/Builder;");
+            m.invoke_direct("Lnet/Builder;", "<init>", "()V", &[b]);
+            m.invoke_virtual("Lnet/Builder;", "timeout", "(I)Lnet/Builder;", &[b, m.reg(2)]);
+            m.move_result(b2);
+            m.invoke_virtual("Lnet/Builder;", "build", "()V", &[b2]);
+            m.ret(None);
+        });
+        let flow = flow_of(&p, "v1");
+        assert!(flow.locals.contains(&LocalId(0)));
+        assert_eq!(flow.alloc_sites.len(), 1);
+        assert_eq!(flow.invoked_on.len(), 3);
+    }
+
+    #[test]
+    fn factory_result_is_an_alloc_site() {
+        let p = lift(|m| {
+            let q = m.reg(0);
+            m.invoke_static(
+                "Lcom/android/volley/toolbox/Volley;",
+                "newRequestQueue",
+                "()Lcom/android/volley/RequestQueue;",
+                &[],
+            );
+            m.move_result(q);
+            m.invoke_virtual("Lcom/android/volley/RequestQueue;", "add", "()V", &[q]);
+            m.ret(None);
+        });
+        let flow = flow_of(&p, "v0");
+        assert_eq!(flow.alloc_sites.len(), 1);
+        assert_eq!(flow.invoked_on.len(), 1);
+    }
+
+    #[test]
+    fn unrelated_objects_stay_untainted() {
+        let p = lift(|m| {
+            let c = m.reg(0);
+            let other = m.reg(1);
+            m.new_instance(c, "Lnet/Client;");
+            m.invoke_direct("Lnet/Client;", "<init>", "()V", &[c]);
+            m.new_instance(other, "Lnet/Other;");
+            m.invoke_direct("Lnet/Other;", "<init>", "()V", &[other]);
+            m.invoke_virtual("Lnet/Other;", "doThing", "()V", &[other]);
+            m.invoke_virtual("Lnet/Client;", "get", "()V", &[c]);
+            m.ret(None);
+        });
+        let flow = flow_of(&p, "v0");
+        assert!(!flow.locals.contains(&LocalId(1)));
+        assert_eq!(flow.invoked_on.len(), 2); // <init> and get on v0 only.
+        assert_eq!(flow.alloc_sites.len(), 1);
+    }
+}

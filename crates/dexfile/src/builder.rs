@@ -1,0 +1,668 @@
+//! Ergonomic programmatic construction of [`AdxFile`]s.
+//!
+//! The builder is how the corpus generator, the tests, and the examples
+//! author app binaries. Branch targets are expressed through [`Label`]s
+//! that are patched to instruction indices when the method body finishes.
+//!
+//! # Examples
+//!
+//! ```
+//! use nck_dex::builder::AdxBuilder;
+//! use nck_dex::{AccessFlags, CondOp};
+//!
+//! let mut b = AdxBuilder::new();
+//! b.class("Lcom/app/Loop;", |c| {
+//!     c.method("spin", "(I)V", AccessFlags::PUBLIC, 4, |m| {
+//!         let n = m.param(1).unwrap();
+//!         let head = m.new_label();
+//!         let done = m.new_label();
+//!         m.bind(head);
+//!         m.ifz(CondOp::Le, n, done);
+//!         m.binop_lit(nck_dex::BinOp::Sub, n, n, 1);
+//!         m.goto(head);
+//!         m.bind(done);
+//!         m.ret(None);
+//!     });
+//! });
+//! let file = b.finish().unwrap();
+//! assert_eq!(file.insn_count(), 4);
+//! ```
+
+use crate::insn::{BinOp, CondOp, Insn, InvokeKind, Reg, UnOp};
+use crate::model::{
+    AccessFlags, AdxFile, CatchHandler, ClassDef, CodeItem, FieldDef, MethodDef, TryBlock,
+};
+use crate::pool::{FieldIdx, MethodIdx, StringIdx, TypeIdx};
+use crate::{parse_signature, AdxError, Result};
+
+/// A forward-referenceable branch target inside a method body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Label(usize);
+
+/// An opaque token marking the start of a try-covered region.
+#[derive(Debug)]
+pub struct TryScope {
+    start: u32,
+}
+
+/// Top-level builder for an [`AdxFile`].
+#[derive(Debug, Default)]
+pub struct AdxBuilder {
+    file: AdxFile,
+    pending_labels: usize,
+}
+
+impl AdxBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a type descriptor.
+    pub fn type_(&mut self, descriptor: &str) -> TypeIdx {
+        self.file.pools.type_(descriptor)
+    }
+
+    /// Interns a string.
+    pub fn string(&mut self, s: &str) -> StringIdx {
+        self.file.pools.string(s)
+    }
+
+    /// Interns a method reference `class.name(sig)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `sig` is not a valid signature; builder call sites
+    /// always pass literal signatures, so this is a programming error.
+    pub fn method_ref(&mut self, class: &str, name: &str, sig: &str) -> MethodIdx {
+        let (params, ret) = parse_signature(sig).expect("valid method signature literal");
+        let class = self.file.pools.type_(class);
+        let ret = self.file.pools.type_(&ret);
+        let params = params
+            .iter()
+            .map(|p| self.file.pools.type_(p))
+            .collect::<Vec<_>>();
+        let proto = self.file.pools.proto(ret, params);
+        let name = self.file.pools.string(name);
+        self.file.pools.method(class, proto, name)
+    }
+
+    /// Interns a field reference `class.name:ty`.
+    pub fn field_ref(&mut self, class: &str, name: &str, ty: &str) -> FieldIdx {
+        let class = self.file.pools.type_(class);
+        let ty = self.file.pools.type_(ty);
+        let name = self.file.pools.string(name);
+        self.file.pools.field(class, ty, name)
+    }
+
+    /// Defines a class, configured through `f`.
+    pub fn class(&mut self, descriptor: &str, f: impl FnOnce(&mut ClassBuilder<'_>)) {
+        let ty = self.file.pools.type_(descriptor);
+        let object = self.file.pools.type_("Ljava/lang/Object;");
+        let mut cb = ClassBuilder {
+            builder: self,
+            class: ClassDef {
+                ty,
+                superclass: Some(object),
+                interfaces: vec![],
+                flags: AccessFlags::PUBLIC,
+                fields: vec![],
+                methods: vec![],
+            },
+            unbound: 0,
+        };
+        f(&mut cb);
+        let (class, unbound) = (cb.class, cb.unbound);
+        self.pending_labels += unbound;
+        self.file.classes.push(class);
+    }
+
+    /// Finalizes the file.
+    ///
+    /// Fails when any method body was left with an unbound label.
+    pub fn finish(self) -> Result<AdxFile> {
+        if self.pending_labels > 0 {
+            return Err(AdxError::UnboundLabel {
+                label: self.pending_labels,
+            });
+        }
+        Ok(self.file)
+    }
+}
+
+/// Builder for one class definition.
+#[derive(Debug)]
+pub struct ClassBuilder<'a> {
+    builder: &'a mut AdxBuilder,
+    class: ClassDef,
+    unbound: usize,
+}
+
+impl ClassBuilder<'_> {
+    /// Sets the superclass (defaults to `Ljava/lang/Object;`).
+    pub fn super_class(&mut self, descriptor: &str) {
+        let ty = self.builder.file.pools.type_(descriptor);
+        self.class.superclass = Some(ty);
+    }
+
+    /// Adds an implemented interface.
+    pub fn interface(&mut self, descriptor: &str) {
+        let ty = self.builder.file.pools.type_(descriptor);
+        self.class.interfaces.push(ty);
+    }
+
+    /// Sets the class access flags.
+    pub fn flags(&mut self, flags: AccessFlags) {
+        self.class.flags = flags;
+    }
+
+    /// Declares an instance field on this class.
+    pub fn field(&mut self, name: &str, ty: &str, flags: AccessFlags) -> FieldIdx {
+        let class_desc = self
+            .builder
+            .file
+            .pools
+            .get_type(self.class.ty)
+            .expect("class type interned")
+            .to_owned();
+        let idx = self.builder.field_ref(&class_desc, name, ty);
+        self.class.fields.push(FieldDef { field: idx, flags });
+        idx
+    }
+
+    /// Declares an abstract (bodiless) method.
+    pub fn abstract_method(&mut self, name: &str, sig: &str, flags: AccessFlags) -> MethodIdx {
+        let class_desc = self
+            .builder
+            .file
+            .pools
+            .get_type(self.class.ty)
+            .expect("class type interned")
+            .to_owned();
+        let idx = self.builder.method_ref(&class_desc, name, sig);
+        self.class.methods.push(MethodDef {
+            method: idx,
+            flags: flags | AccessFlags::ABSTRACT,
+            code: None,
+        });
+        idx
+    }
+
+    /// Defines a concrete method with `registers` total frame slots.
+    ///
+    /// The incoming-parameter count is derived from `sig` plus one receiver
+    /// slot when `flags` lacks [`AccessFlags::STATIC`]. The body is emitted
+    /// through the [`CodeBuilder`] passed to `f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `sig` is invalid or `registers` cannot hold the
+    /// parameters; call sites pass literals, so this is a programming error.
+    pub fn method(
+        &mut self,
+        name: &str,
+        sig: &str,
+        flags: AccessFlags,
+        registers: u16,
+        f: impl FnOnce(&mut CodeBuilder<'_>),
+    ) -> MethodIdx {
+        let class_desc = self
+            .builder
+            .file
+            .pools
+            .get_type(self.class.ty)
+            .expect("class type interned")
+            .to_owned();
+        let (params, _) = parse_signature(sig).expect("valid method signature literal");
+        let receiver = usize::from(!flags.contains(AccessFlags::STATIC));
+        let ins = (params.len() + receiver) as u16;
+        assert!(
+            ins <= registers,
+            "method {name}{sig} declares {registers} registers but needs {ins} for parameters"
+        );
+        let idx = self.builder.method_ref(&class_desc, name, sig);
+        let mut cb = CodeBuilder {
+            builder: self.builder,
+            code: CodeItem {
+                registers,
+                ins,
+                insns: vec![],
+                tries: vec![],
+            },
+            labels: vec![],
+        };
+        f(&mut cb);
+        let (mut code, labels) = (cb.code, cb.labels);
+        let mut unbound = 0usize;
+        for insn in &mut code.insns {
+            insn.map_targets(|label_id| match labels.get(label_id as usize) {
+                Some(Some(pc)) => *pc,
+                _ => {
+                    unbound += 1;
+                    u32::MAX
+                }
+            });
+        }
+        for t in &mut code.tries {
+            for h in &mut t.handlers {
+                match labels.get(h.target as usize) {
+                    Some(Some(pc)) => h.target = *pc,
+                    _ => unbound += 1,
+                }
+            }
+        }
+        self.unbound += unbound;
+        self.class.methods.push(MethodDef {
+            method: idx,
+            flags,
+            code: Some(code),
+        });
+        idx
+    }
+}
+
+/// Builder for one method body.
+///
+/// Every emit method appends exactly one instruction; branch-target
+/// arguments are [`Label`]s created by [`CodeBuilder::new_label`] and
+/// placed by [`CodeBuilder::bind`].
+#[derive(Debug)]
+pub struct CodeBuilder<'a> {
+    builder: &'a mut AdxBuilder,
+    code: CodeItem,
+    labels: Vec<Option<u32>>,
+}
+
+impl CodeBuilder<'_> {
+    /// Returns register `n` of the frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n` is outside the declared frame.
+    pub fn reg(&self, n: u16) -> Reg {
+        assert!(n < self.code.registers, "register v{n} out of range");
+        Reg(n)
+    }
+
+    /// Returns the register holding parameter `i` (0-based, receiver first
+    /// for instance methods), or `None` if out of range.
+    pub fn param(&self, i: u16) -> Option<Reg> {
+        self.code.param_reg(i)
+    }
+
+    /// Returns the current instruction index (where the next emit lands).
+    pub fn pc(&self) -> u32 {
+        self.code.insns.len() as u32
+    }
+
+    /// Creates a fresh unbound label.
+    pub fn new_label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the current instruction index.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the label was already bound.
+    pub fn bind(&mut self, label: Label) {
+        let pc = self.pc();
+        let slot = &mut self.labels[label.0];
+        assert!(slot.is_none(), "label bound twice");
+        *slot = Some(pc);
+    }
+
+    fn emit(&mut self, insn: Insn) {
+        self.code.insns.push(insn);
+    }
+
+    /// Emits `nop`.
+    pub fn nop(&mut self) {
+        self.emit(Insn::Nop);
+    }
+
+    /// Emits a register copy.
+    pub fn mov(&mut self, dst: Reg, src: Reg) {
+        self.emit(Insn::Move { dst, src });
+    }
+
+    /// Emits an integer constant load.
+    pub fn const_int(&mut self, dst: Reg, value: i64) {
+        self.emit(Insn::ConstInt { dst, value });
+    }
+
+    /// Emits a string constant load, interning the string.
+    pub fn const_str(&mut self, dst: Reg, s: &str) {
+        let idx = self.builder.string(s);
+        self.emit(Insn::ConstString { dst, idx });
+    }
+
+    /// Emits a `null` load.
+    pub fn const_null(&mut self, dst: Reg) {
+        self.emit(Insn::ConstNull { dst });
+    }
+
+    /// Emits a class-object load.
+    pub fn const_class(&mut self, dst: Reg, descriptor: &str) {
+        let ty = self.builder.type_(descriptor);
+        self.emit(Insn::ConstClass { dst, ty });
+    }
+
+    /// Emits an allocation of `descriptor`.
+    pub fn new_instance(&mut self, dst: Reg, descriptor: &str) {
+        let ty = self.builder.type_(descriptor);
+        self.emit(Insn::NewInstance { dst, ty });
+    }
+
+    /// Emits an array allocation.
+    pub fn new_array(&mut self, dst: Reg, len: Reg, descriptor: &str) {
+        let ty = self.builder.type_(descriptor);
+        self.emit(Insn::NewArray { dst, len, ty });
+    }
+
+    /// Emits a checked cast.
+    pub fn check_cast(&mut self, reg: Reg, descriptor: &str) {
+        let ty = self.builder.type_(descriptor);
+        self.emit(Insn::CheckCast { reg, ty });
+    }
+
+    /// Emits an `instanceof` test.
+    pub fn instance_of(&mut self, dst: Reg, src: Reg, descriptor: &str) {
+        let ty = self.builder.type_(descriptor);
+        self.emit(Insn::InstanceOf { dst, src, ty });
+    }
+
+    /// Emits an array-length read.
+    pub fn array_length(&mut self, dst: Reg, arr: Reg) {
+        self.emit(Insn::ArrayLength { dst, arr });
+    }
+
+    /// Emits an array element read.
+    pub fn aget(&mut self, dst: Reg, arr: Reg, idx: Reg) {
+        self.emit(Insn::Aget { dst, arr, idx });
+    }
+
+    /// Emits an array element write.
+    pub fn aput(&mut self, src: Reg, arr: Reg, idx: Reg) {
+        self.emit(Insn::Aput { src, arr, idx });
+    }
+
+    /// Emits an instance field read.
+    pub fn iget(&mut self, dst: Reg, obj: Reg, class: &str, name: &str, ty: &str) {
+        let field = self.builder.field_ref(class, name, ty);
+        self.emit(Insn::Iget { dst, obj, field });
+    }
+
+    /// Emits an instance field write.
+    pub fn iput(&mut self, src: Reg, obj: Reg, class: &str, name: &str, ty: &str) {
+        let field = self.builder.field_ref(class, name, ty);
+        self.emit(Insn::Iput { src, obj, field });
+    }
+
+    /// Emits a static field read.
+    pub fn sget(&mut self, dst: Reg, class: &str, name: &str, ty: &str) {
+        let field = self.builder.field_ref(class, name, ty);
+        self.emit(Insn::Sget { dst, field });
+    }
+
+    /// Emits a static field write.
+    pub fn sput(&mut self, src: Reg, class: &str, name: &str, ty: &str) {
+        let field = self.builder.field_ref(class, name, ty);
+        self.emit(Insn::Sput { src, field });
+    }
+
+    /// Emits a call with explicit dispatch kind.
+    pub fn invoke(&mut self, kind: InvokeKind, class: &str, name: &str, sig: &str, args: &[Reg]) {
+        let method = self.builder.method_ref(class, name, sig);
+        self.emit(Insn::Invoke {
+            kind,
+            method,
+            args: args.to_vec(),
+        });
+    }
+
+    /// Emits a virtual call.
+    pub fn invoke_virtual(&mut self, class: &str, name: &str, sig: &str, args: &[Reg]) {
+        self.invoke(InvokeKind::Virtual, class, name, sig, args);
+    }
+
+    /// Emits a static call.
+    pub fn invoke_static(&mut self, class: &str, name: &str, sig: &str, args: &[Reg]) {
+        self.invoke(InvokeKind::Static, class, name, sig, args);
+    }
+
+    /// Emits a direct (constructor/private) call.
+    pub fn invoke_direct(&mut self, class: &str, name: &str, sig: &str, args: &[Reg]) {
+        self.invoke(InvokeKind::Direct, class, name, sig, args);
+    }
+
+    /// Emits an interface call.
+    pub fn invoke_interface(&mut self, class: &str, name: &str, sig: &str, args: &[Reg]) {
+        self.invoke(InvokeKind::Interface, class, name, sig, args);
+    }
+
+    /// Emits a superclass call.
+    pub fn invoke_super(&mut self, class: &str, name: &str, sig: &str, args: &[Reg]) {
+        self.invoke(InvokeKind::Super, class, name, sig, args);
+    }
+
+    /// Emits `move-result`.
+    pub fn move_result(&mut self, dst: Reg) {
+        self.emit(Insn::MoveResult { dst });
+    }
+
+    /// Emits `move-exception`.
+    pub fn move_exception(&mut self, dst: Reg) {
+        self.emit(Insn::MoveException { dst });
+    }
+
+    /// Emits a return.
+    pub fn ret(&mut self, src: Option<Reg>) {
+        self.emit(Insn::Return { src });
+    }
+
+    /// Emits a throw.
+    pub fn throw(&mut self, src: Reg) {
+        self.emit(Insn::Throw { src });
+    }
+
+    /// Emits an unconditional branch to `label`.
+    pub fn goto(&mut self, label: Label) {
+        self.emit(Insn::Goto {
+            target: label.0 as u32,
+        });
+    }
+
+    /// Emits a two-register conditional branch to `label`.
+    pub fn if_(&mut self, cond: CondOp, a: Reg, b: Reg, label: Label) {
+        self.emit(Insn::If {
+            cond,
+            a,
+            b,
+            target: label.0 as u32,
+        });
+    }
+
+    /// Emits a compare-with-zero conditional branch to `label`.
+    pub fn ifz(&mut self, cond: CondOp, a: Reg, label: Label) {
+        self.emit(Insn::IfZ {
+            cond,
+            a,
+            target: label.0 as u32,
+        });
+    }
+
+    /// Emits a three-register binary operation.
+    pub fn binop(&mut self, op: BinOp, dst: Reg, a: Reg, b: Reg) {
+        self.emit(Insn::BinOp { op, dst, a, b });
+    }
+
+    /// Emits a binary operation with a literal right operand.
+    pub fn binop_lit(&mut self, op: BinOp, dst: Reg, a: Reg, lit: i32) {
+        self.emit(Insn::BinOpLit { op, dst, a, lit });
+    }
+
+    /// Emits a unary operation.
+    pub fn unop(&mut self, op: UnOp, dst: Reg, src: Reg) {
+        self.emit(Insn::UnOp { op, dst, src });
+    }
+
+    /// Emits a switch on `src` over `(key, label)` arms.
+    pub fn switch(&mut self, src: Reg, arms: &[(i32, Label)]) {
+        self.emit(Insn::Switch {
+            src,
+            targets: arms.iter().map(|&(k, l)| (k, l.0 as u32)).collect(),
+        });
+    }
+
+    /// Opens a try-covered region at the current pc.
+    pub fn begin_try(&mut self) -> TryScope {
+        TryScope { start: self.pc() }
+    }
+
+    /// Closes `scope` at the current pc with the given catch clauses.
+    ///
+    /// Each clause is `(exception descriptor or None for catch-all, handler
+    /// label)`. Handler labels may be bound later in the body.
+    pub fn end_try(&mut self, scope: TryScope, handlers: &[(Option<&str>, Label)]) {
+        let handlers = handlers
+            .iter()
+            .map(|&(desc, label)| CatchHandler {
+                exception: desc.map(|d| self.builder.type_(d)),
+                target: label.0 as u32,
+            })
+            .collect();
+        self.code.tries.push(TryBlock {
+            start: scope.start,
+            end: self.pc(),
+            handlers,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::read::read_adx;
+    use crate::write::write_adx;
+
+    #[test]
+    fn build_simple_method() {
+        let mut b = AdxBuilder::new();
+        b.class("Lcom/app/A;", |c| {
+            c.method("f", "()V", AccessFlags::PUBLIC, 2, |m| {
+                let v = m.reg(0);
+                m.const_int(v, 1);
+                m.ret(None);
+            });
+        });
+        let f = b.finish().unwrap();
+        assert_eq!(f.classes.len(), 1);
+        assert_eq!(f.insn_count(), 2);
+        // Instance method with no params still has the receiver.
+        assert_eq!(f.classes[0].methods[0].code.as_ref().unwrap().ins, 1);
+    }
+
+    #[test]
+    fn static_method_has_no_receiver() {
+        let mut b = AdxBuilder::new();
+        b.class("Lcom/app/A;", |c| {
+            c.method(
+                "f",
+                "(II)I",
+                AccessFlags::PUBLIC | AccessFlags::STATIC,
+                4,
+                |m| {
+                    let a = m.param(0).unwrap();
+                    let b_ = m.param(1).unwrap();
+                    let d = m.reg(0);
+                    m.binop(BinOp::Add, d, a, b_);
+                    m.ret(Some(d));
+                },
+            );
+        });
+        let f = b.finish().unwrap();
+        let code = f.classes[0].methods[0].code.as_ref().unwrap();
+        assert_eq!(code.ins, 2);
+        assert_eq!(code.param_reg(0), Some(Reg(2)));
+    }
+
+    #[test]
+    fn forward_labels_are_patched() {
+        let mut b = AdxBuilder::new();
+        b.class("Lcom/app/A;", |c| {
+            c.method("f", "(I)V", AccessFlags::PUBLIC, 4, |m| {
+                let p = m.param(1).unwrap();
+                let end = m.new_label();
+                m.ifz(CondOp::Eq, p, end);
+                m.const_int(m.reg(0), 7);
+                m.bind(end);
+                m.ret(None);
+            });
+        });
+        let f = b.finish().unwrap();
+        let code = f.classes[0].methods[0].code.as_ref().unwrap();
+        match &code.insns[0] {
+            Insn::IfZ { target, .. } => assert_eq!(*target, 2),
+            other => panic!("expected ifz, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unbound_label_is_an_error() {
+        let mut b = AdxBuilder::new();
+        b.class("Lcom/app/A;", |c| {
+            c.method("f", "()V", AccessFlags::PUBLIC, 1, |m| {
+                let l = m.new_label();
+                m.goto(l);
+            });
+        });
+        assert!(matches!(b.finish(), Err(AdxError::UnboundLabel { .. })));
+    }
+
+    #[test]
+    fn try_catch_roundtrips_through_binary() {
+        let mut b = AdxBuilder::new();
+        b.class("Lcom/app/A;", |c| {
+            c.method("f", "()V", AccessFlags::PUBLIC, 4, |m| {
+                let handler = m.new_label();
+                let done = m.new_label();
+                let t = m.begin_try();
+                m.invoke_virtual("Lcom/app/A;", "g", "()V", &[m.param(0).unwrap()]);
+                m.end_try(t, &[(Some("Ljava/io/IOException;"), handler)]);
+                m.goto(done);
+                m.bind(handler);
+                m.move_exception(m.reg(1));
+                m.bind(done);
+                m.ret(None);
+            });
+        });
+        let f = b.finish().unwrap();
+        let bytes = write_adx(&f);
+        let g = read_adx(&bytes).unwrap();
+        let code = g.classes[0].methods[0].code.as_ref().unwrap();
+        assert_eq!(code.tries.len(), 1);
+        assert_eq!(code.tries[0].start, 0);
+        assert_eq!(code.tries[0].end, 1);
+        assert_eq!(code.tries[0].handlers[0].target, 2);
+        assert!(code.tries[0].handlers[0].exception.is_some());
+    }
+
+    #[test]
+    fn fields_and_interfaces() {
+        let mut b = AdxBuilder::new();
+        b.class("Lcom/app/A;", |c| {
+            c.super_class("Landroid/app/Activity;");
+            c.interface("Landroid/view/View$OnClickListener;");
+            c.field("count", "I", AccessFlags::PRIVATE);
+            c.abstract_method("g", "()V", AccessFlags::PUBLIC);
+        });
+        let f = b.finish().unwrap();
+        let cls = &f.classes[0];
+        assert_eq!(cls.interfaces.len(), 1);
+        assert_eq!(cls.fields.len(), 1);
+        assert!(cls.methods[0].flags.contains(AccessFlags::ABSTRACT));
+        assert!(cls.methods[0].code.is_none());
+    }
+}

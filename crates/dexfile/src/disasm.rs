@@ -1,0 +1,181 @@
+//! Textual disassembly of ADX files, for debugging and golden tests.
+
+use crate::insn::{Insn, InvokeKind};
+use crate::model::{AccessFlags, AdxFile, CodeItem};
+use std::fmt::Write as _;
+
+fn kind_name(k: InvokeKind) -> &'static str {
+    match k {
+        InvokeKind::Virtual => "invoke-virtual",
+        InvokeKind::Static => "invoke-static",
+        InvokeKind::Direct => "invoke-direct",
+        InvokeKind::Interface => "invoke-interface",
+        InvokeKind::Super => "invoke-super",
+    }
+}
+
+fn fmt_insn(file: &AdxFile, insn: &Insn) -> String {
+    match insn {
+        Insn::Nop => "nop".to_owned(),
+        Insn::Move { dst, src } => format!("move {dst}, {src}"),
+        Insn::ConstInt { dst, value } => format!("const {dst}, {value}"),
+        Insn::ConstString { dst, idx } => format!(
+            "const-string {dst}, {:?}",
+            file.pools.get_string(*idx).unwrap_or("<bad>")
+        ),
+        Insn::ConstNull { dst } => format!("const-null {dst}"),
+        Insn::ConstClass { dst, ty } => format!(
+            "const-class {dst}, {}",
+            file.pools.get_type(*ty).unwrap_or("<bad>")
+        ),
+        Insn::NewInstance { dst, ty } => format!(
+            "new-instance {dst}, {}",
+            file.pools.get_type(*ty).unwrap_or("<bad>")
+        ),
+        Insn::NewArray { dst, len, ty } => format!(
+            "new-array {dst}, {len}, {}",
+            file.pools.get_type(*ty).unwrap_or("<bad>")
+        ),
+        Insn::CheckCast { reg, ty } => format!(
+            "check-cast {reg}, {}",
+            file.pools.get_type(*ty).unwrap_or("<bad>")
+        ),
+        Insn::InstanceOf { dst, src, ty } => format!(
+            "instance-of {dst}, {src}, {}",
+            file.pools.get_type(*ty).unwrap_or("<bad>")
+        ),
+        Insn::ArrayLength { dst, arr } => format!("array-length {dst}, {arr}"),
+        Insn::Aget { dst, arr, idx } => format!("aget {dst}, {arr}[{idx}]"),
+        Insn::Aput { src, arr, idx } => format!("aput {src}, {arr}[{idx}]"),
+        Insn::Iget { dst, obj, field } => {
+            format!("iget {dst}, {obj}.{}", file.pools.display_field(*field))
+        }
+        Insn::Iput { src, obj, field } => {
+            format!("iput {src}, {obj}.{}", file.pools.display_field(*field))
+        }
+        Insn::Sget { dst, field } => format!("sget {dst}, {}", file.pools.display_field(*field)),
+        Insn::Sput { src, field } => format!("sput {src}, {}", file.pools.display_field(*field)),
+        Insn::Invoke { kind, method, args } => {
+            let args = args
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "{} {}({args})",
+                kind_name(*kind),
+                file.pools.display_method(*method)
+            )
+        }
+        Insn::MoveResult { dst } => format!("move-result {dst}"),
+        Insn::MoveException { dst } => format!("move-exception {dst}"),
+        Insn::Return { src: None } => "return-void".to_owned(),
+        Insn::Return { src: Some(r) } => format!("return {r}"),
+        Insn::Throw { src } => format!("throw {src}"),
+        Insn::Goto { target } => format!("goto @{target}"),
+        Insn::If { cond, a, b, target } => format!("if-{cond:?} {a}, {b} @{target}"),
+        Insn::IfZ { cond, a, target } => format!("ifz-{cond:?} {a} @{target}"),
+        Insn::BinOp { op, dst, a, b } => format!("{op:?} {dst}, {a}, {b}"),
+        Insn::BinOpLit { op, dst, a, lit } => format!("{op:?}-lit {dst}, {a}, #{lit}"),
+        Insn::UnOp { op, dst, src } => format!("{op:?} {dst}, {src}"),
+        Insn::Switch { src, targets } => {
+            let arms = targets
+                .iter()
+                .map(|(k, t)| format!("{k}=>@{t}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("switch {src} {{{arms}}}")
+        }
+    }
+}
+
+fn disasm_code(file: &AdxFile, code: &CodeItem, out: &mut String) {
+    let _ = writeln!(out, "    .registers {} .ins {}", code.registers, code.ins);
+    for (i, insn) in code.insns.iter().enumerate() {
+        let _ = writeln!(out, "    {i:4}: {}", fmt_insn(file, insn));
+    }
+    for t in &code.tries {
+        let handlers = t
+            .handlers
+            .iter()
+            .map(|h| {
+                let ty = h
+                    .exception
+                    .and_then(|t| file.pools.get_type(t))
+                    .unwrap_or("<any>");
+                format!("{ty} => @{}", h.target)
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = writeln!(out, "    .try [{}, {}) {{{handlers}}}", t.start, t.end);
+    }
+}
+
+/// Renders the whole file as human-readable assembly.
+pub fn disassemble(file: &AdxFile) -> String {
+    let mut out = String::new();
+    for class in &file.classes {
+        let name = file.pools.get_type(class.ty).unwrap_or("<bad>");
+        let sup = class
+            .superclass
+            .and_then(|s| file.pools.get_type(s))
+            .unwrap_or("<none>");
+        let _ = writeln!(out, ".class {name} extends {sup}");
+        for i in &class.interfaces {
+            let _ = writeln!(
+                out,
+                "  .implements {}",
+                file.pools.get_type(*i).unwrap_or("<bad>")
+            );
+        }
+        for f in &class.fields {
+            let _ = writeln!(out, "  .field {}", file.pools.display_field(f.field));
+        }
+        for m in &class.methods {
+            let abs = if m.flags.contains(AccessFlags::ABSTRACT) {
+                " (abstract)"
+            } else {
+                ""
+            };
+            let _ = writeln!(out, "  .method {}{abs}", file.pools.display_method(m.method));
+            if let Some(code) = &m.code {
+                disasm_code(file, code, &mut out);
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::AdxBuilder;
+    use crate::insn::CondOp;
+    use crate::model::AccessFlags;
+
+    #[test]
+    fn disassembly_mentions_everything() {
+        let mut b = AdxBuilder::new();
+        b.class("Lcom/app/A;", |c| {
+            c.super_class("Landroid/app/Activity;");
+            c.field("count", "I", AccessFlags::PRIVATE);
+            c.method("f", "(I)V", AccessFlags::PUBLIC, 4, |m| {
+                let p = m.param(1).unwrap();
+                let end = m.new_label();
+                m.ifz(CondOp::Eq, p, end);
+                m.const_str(m.reg(0), "hello");
+                m.invoke_virtual("Lcom/app/A;", "g", "()V", &[m.param(0).unwrap()]);
+                m.bind(end);
+                m.ret(None);
+            });
+        });
+        let f = b.finish().unwrap();
+        let text = disassemble(&f);
+        assert!(text.contains(".class Lcom/app/A; extends Landroid/app/Activity;"));
+        assert!(text.contains(".field Lcom/app/A;.count:I"));
+        assert!(text.contains("invoke-virtual Lcom/app/A;.g()V(v2)"));
+        assert!(text.contains("const-string v0, \"hello\""));
+        assert!(text.contains("return-void"));
+    }
+}

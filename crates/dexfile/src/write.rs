@@ -1,0 +1,407 @@
+//! Serialization of an [`AdxFile`] into the ADX binary container.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic    "ADX1"
+//! version  u16        (currently 1)
+//! reserved u16        (zero)
+//! length   u64        payload byte length
+//! checksum u64        FNV-1a 64 of the payload
+//! payload  sections: strings, types, protos, fields, methods, classes
+//! ```
+
+use crate::insn::{BinOp, CondOp, Insn, InvokeKind, UnOp};
+use crate::model::{AdxFile, ClassDef, CodeItem, MethodDef};
+use crate::wire::{fnv1a, Writer};
+
+/// File magic bytes.
+pub const MAGIC: &[u8; 4] = b"ADX1";
+/// Current format version.
+pub const VERSION: u16 = 1;
+
+/// Opcode byte assignments for the instruction encoding.
+pub(crate) mod opcode {
+    pub const NOP: u8 = 0x00;
+    pub const MOVE: u8 = 0x01;
+    pub const CONST_INT: u8 = 0x02;
+    pub const CONST_STRING: u8 = 0x03;
+    pub const CONST_NULL: u8 = 0x04;
+    pub const CONST_CLASS: u8 = 0x05;
+    pub const NEW_INSTANCE: u8 = 0x06;
+    pub const NEW_ARRAY: u8 = 0x07;
+    pub const CHECK_CAST: u8 = 0x08;
+    pub const INSTANCE_OF: u8 = 0x09;
+    pub const ARRAY_LENGTH: u8 = 0x0a;
+    pub const AGET: u8 = 0x0b;
+    pub const APUT: u8 = 0x0c;
+    pub const IGET: u8 = 0x0d;
+    pub const IPUT: u8 = 0x0e;
+    pub const SGET: u8 = 0x0f;
+    pub const SPUT: u8 = 0x10;
+    pub const INVOKE: u8 = 0x11;
+    pub const MOVE_RESULT: u8 = 0x12;
+    pub const MOVE_EXCEPTION: u8 = 0x13;
+    pub const RETURN_VOID: u8 = 0x14;
+    pub const RETURN_VALUE: u8 = 0x15;
+    pub const THROW: u8 = 0x16;
+    pub const GOTO: u8 = 0x17;
+    pub const IF: u8 = 0x18;
+    pub const IFZ: u8 = 0x19;
+    pub const BINOP: u8 = 0x1a;
+    pub const BINOP_LIT: u8 = 0x1b;
+    pub const UNOP: u8 = 0x1c;
+    pub const SWITCH: u8 = 0x1d;
+}
+
+pub(crate) fn invoke_kind_code(k: InvokeKind) -> u8 {
+    match k {
+        InvokeKind::Virtual => 0,
+        InvokeKind::Static => 1,
+        InvokeKind::Direct => 2,
+        InvokeKind::Interface => 3,
+        InvokeKind::Super => 4,
+    }
+}
+
+pub(crate) fn cond_code(c: CondOp) -> u8 {
+    match c {
+        CondOp::Eq => 0,
+        CondOp::Ne => 1,
+        CondOp::Lt => 2,
+        CondOp::Ge => 3,
+        CondOp::Gt => 4,
+        CondOp::Le => 5,
+    }
+}
+
+pub(crate) fn binop_code(b: BinOp) -> u8 {
+    match b {
+        BinOp::Add => 0,
+        BinOp::Sub => 1,
+        BinOp::Mul => 2,
+        BinOp::Div => 3,
+        BinOp::Rem => 4,
+        BinOp::And => 5,
+        BinOp::Or => 6,
+        BinOp::Xor => 7,
+        BinOp::Shl => 8,
+        BinOp::Shr => 9,
+    }
+}
+
+pub(crate) fn unop_code(u: UnOp) -> u8 {
+    match u {
+        UnOp::Neg => 0,
+        UnOp::Not => 1,
+    }
+}
+
+fn write_insn(w: &mut Writer, insn: &Insn) {
+    use opcode::*;
+    match insn {
+        Insn::Nop => w.u8(NOP),
+        Insn::Move { dst, src } => {
+            w.u8(MOVE);
+            w.u16(dst.0);
+            w.u16(src.0);
+        }
+        Insn::ConstInt { dst, value } => {
+            w.u8(CONST_INT);
+            w.u16(dst.0);
+            w.i64(*value);
+        }
+        Insn::ConstString { dst, idx } => {
+            w.u8(CONST_STRING);
+            w.u16(dst.0);
+            w.u32(idx.0);
+        }
+        Insn::ConstNull { dst } => {
+            w.u8(CONST_NULL);
+            w.u16(dst.0);
+        }
+        Insn::ConstClass { dst, ty } => {
+            w.u8(CONST_CLASS);
+            w.u16(dst.0);
+            w.u32(ty.0);
+        }
+        Insn::NewInstance { dst, ty } => {
+            w.u8(NEW_INSTANCE);
+            w.u16(dst.0);
+            w.u32(ty.0);
+        }
+        Insn::NewArray { dst, len, ty } => {
+            w.u8(NEW_ARRAY);
+            w.u16(dst.0);
+            w.u16(len.0);
+            w.u32(ty.0);
+        }
+        Insn::CheckCast { reg, ty } => {
+            w.u8(CHECK_CAST);
+            w.u16(reg.0);
+            w.u32(ty.0);
+        }
+        Insn::InstanceOf { dst, src, ty } => {
+            w.u8(INSTANCE_OF);
+            w.u16(dst.0);
+            w.u16(src.0);
+            w.u32(ty.0);
+        }
+        Insn::ArrayLength { dst, arr } => {
+            w.u8(ARRAY_LENGTH);
+            w.u16(dst.0);
+            w.u16(arr.0);
+        }
+        Insn::Aget { dst, arr, idx } => {
+            w.u8(AGET);
+            w.u16(dst.0);
+            w.u16(arr.0);
+            w.u16(idx.0);
+        }
+        Insn::Aput { src, arr, idx } => {
+            w.u8(APUT);
+            w.u16(src.0);
+            w.u16(arr.0);
+            w.u16(idx.0);
+        }
+        Insn::Iget { dst, obj, field } => {
+            w.u8(IGET);
+            w.u16(dst.0);
+            w.u16(obj.0);
+            w.u32(field.0);
+        }
+        Insn::Iput { src, obj, field } => {
+            w.u8(IPUT);
+            w.u16(src.0);
+            w.u16(obj.0);
+            w.u32(field.0);
+        }
+        Insn::Sget { dst, field } => {
+            w.u8(SGET);
+            w.u16(dst.0);
+            w.u32(field.0);
+        }
+        Insn::Sput { src, field } => {
+            w.u8(SPUT);
+            w.u16(src.0);
+            w.u32(field.0);
+        }
+        Insn::Invoke { kind, method, args } => {
+            w.u8(INVOKE);
+            w.u8(invoke_kind_code(*kind));
+            w.u32(method.0);
+            w.u8(args.len() as u8);
+            for a in args {
+                w.u16(a.0);
+            }
+        }
+        Insn::MoveResult { dst } => {
+            w.u8(MOVE_RESULT);
+            w.u16(dst.0);
+        }
+        Insn::MoveException { dst } => {
+            w.u8(MOVE_EXCEPTION);
+            w.u16(dst.0);
+        }
+        Insn::Return { src: None } => w.u8(RETURN_VOID),
+        Insn::Return { src: Some(r) } => {
+            w.u8(RETURN_VALUE);
+            w.u16(r.0);
+        }
+        Insn::Throw { src } => {
+            w.u8(THROW);
+            w.u16(src.0);
+        }
+        Insn::Goto { target } => {
+            w.u8(GOTO);
+            w.u32(*target);
+        }
+        Insn::If { cond, a, b, target } => {
+            w.u8(IF);
+            w.u8(cond_code(*cond));
+            w.u16(a.0);
+            w.u16(b.0);
+            w.u32(*target);
+        }
+        Insn::IfZ { cond, a, target } => {
+            w.u8(IFZ);
+            w.u8(cond_code(*cond));
+            w.u16(a.0);
+            w.u32(*target);
+        }
+        Insn::BinOp { op, dst, a, b } => {
+            w.u8(BINOP);
+            w.u8(binop_code(*op));
+            w.u16(dst.0);
+            w.u16(a.0);
+            w.u16(b.0);
+        }
+        Insn::BinOpLit { op, dst, a, lit } => {
+            w.u8(BINOP_LIT);
+            w.u8(binop_code(*op));
+            w.u16(dst.0);
+            w.u16(a.0);
+            w.i32(*lit);
+        }
+        Insn::UnOp { op, dst, src } => {
+            w.u8(UNOP);
+            w.u8(unop_code(*op));
+            w.u16(dst.0);
+            w.u16(src.0);
+        }
+        Insn::Switch { src, targets } => {
+            w.u8(SWITCH);
+            w.u16(src.0);
+            w.u32(targets.len() as u32);
+            for (k, t) in targets {
+                w.i32(*k);
+                w.u32(*t);
+            }
+        }
+    }
+}
+
+fn write_code(w: &mut Writer, code: &CodeItem) {
+    w.u16(code.registers);
+    w.u16(code.ins);
+    w.u32(code.insns.len() as u32);
+    for insn in &code.insns {
+        write_insn(w, insn);
+    }
+    w.u32(code.tries.len() as u32);
+    for t in &code.tries {
+        w.u32(t.start);
+        w.u32(t.end);
+        w.u32(t.handlers.len() as u32);
+        for h in &t.handlers {
+            match h.exception {
+                Some(ty) => {
+                    w.u8(1);
+                    w.u32(ty.0);
+                }
+                None => w.u8(0),
+            }
+            w.u32(h.target);
+        }
+    }
+}
+
+fn write_method(w: &mut Writer, m: &MethodDef) {
+    w.u32(m.method.0);
+    w.u32(m.flags.0);
+    match &m.code {
+        Some(code) => {
+            w.u8(1);
+            write_code(w, code);
+        }
+        None => w.u8(0),
+    }
+}
+
+fn write_class(w: &mut Writer, c: &ClassDef) {
+    w.u32(c.ty.0);
+    match c.superclass {
+        Some(s) => {
+            w.u8(1);
+            w.u32(s.0);
+        }
+        None => w.u8(0),
+    }
+    w.u32(c.interfaces.len() as u32);
+    for i in &c.interfaces {
+        w.u32(i.0);
+    }
+    w.u32(c.flags.0);
+    w.u32(c.fields.len() as u32);
+    for f in &c.fields {
+        w.u32(f.field.0);
+        w.u32(f.flags.0);
+    }
+    w.u32(c.methods.len() as u32);
+    for m in &c.methods {
+        write_method(w, m);
+    }
+}
+
+/// Serializes `file` into the ADX binary container.
+pub fn write_adx(file: &AdxFile) -> Vec<u8> {
+    let mut p = Writer::new();
+
+    let strings = file.pools.strings();
+    p.u32(strings.len() as u32);
+    for s in strings {
+        p.str(s);
+    }
+
+    let types = file.pools.types();
+    p.u32(types.len() as u32);
+    for t in types {
+        p.u32(t.0);
+    }
+
+    let protos = file.pools.protos();
+    p.u32(protos.len() as u32);
+    for pr in protos {
+        p.u32(pr.return_type.0);
+        p.u32(pr.params.len() as u32);
+        for t in &pr.params {
+            p.u32(t.0);
+        }
+    }
+
+    let fields = file.pools.fields();
+    p.u32(fields.len() as u32);
+    for f in fields {
+        p.u32(f.class.0);
+        p.u32(f.ty.0);
+        p.u32(f.name.0);
+    }
+
+    let methods = file.pools.methods();
+    p.u32(methods.len() as u32);
+    for m in methods {
+        p.u32(m.class.0);
+        p.u32(m.proto.0);
+        p.u32(m.name.0);
+    }
+
+    p.u32(file.classes.len() as u32);
+    for c in &file.classes {
+        write_class(&mut p, c);
+    }
+
+    let payload = p.into_bytes();
+    let mut w = Writer::new();
+    w.bytes(MAGIC);
+    w.u16(VERSION);
+    w.u16(0);
+    w.u64(payload.len() as u64);
+    w.u64(fnv1a(&payload));
+    w.bytes(&payload);
+    w.into_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_file_has_header_and_sections() {
+        let bytes = write_adx(&AdxFile::new());
+        assert_eq!(&bytes[0..4], MAGIC);
+        // Header (24 bytes) + six u32 zero counts.
+        assert_eq!(bytes.len(), 24 + 6 * 4);
+    }
+
+    #[test]
+    fn checksum_covers_payload() {
+        let mut f = AdxFile::new();
+        f.pools.string("x");
+        let a = write_adx(&f);
+        let mut g = AdxFile::new();
+        g.pools.string("y");
+        let b = write_adx(&g);
+        assert_ne!(a, b);
+        assert_ne!(a[16..24], b[16..24]);
+    }
+}

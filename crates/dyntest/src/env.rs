@@ -1,0 +1,447 @@
+//! The fault-injecting Android environment: the dynamic analogue of the
+//! Network Link Conditioner plus VanarSena's fault injectors.
+//!
+//! Every framework/library call an app makes lands here. Network target
+//! APIs consume a per-attempt fault schedule; config APIs leave marks on
+//! the client objects so timeout semantics can be honoured; UI and ICC
+//! calls are recorded as observable events.
+
+use nck_interp::{Env, EnvCtx, ExtResult, Thrown, Value};
+use nck_netlibs::api::Registry;
+use nck_netlibs::library::Library;
+
+/// One injected network condition, consumed per request attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// The request succeeds.
+    Ok,
+    /// The connection fails fast (VanarSena-style web error).
+    Disconnect,
+    /// The connection black-holes: only apps with a configured timeout
+    /// ever see an exception — the *timing* fault model the paper notes
+    /// dynamic tools lack (§7).
+    Stall,
+    /// The server answers garbage: the response object is `null`.
+    InvalidResponse,
+}
+
+/// An observable event recorded during one run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A network request attempt through `library`.
+    Request {
+        /// The library used.
+        library: Library,
+        /// 1-based attempt number within this run.
+        attempt: usize,
+    },
+    /// The attempt failed with a connection error.
+    RequestFailed,
+    /// The attempt completed.
+    RequestOk,
+    /// The app blocked on a stalled connection with no timeout set —
+    /// an ANR in production.
+    Hang,
+    /// A configured timeout fired after `ms`.
+    TimedOut {
+        /// The configured timeout in milliseconds.
+        ms: i64,
+    },
+    /// The app queried connectivity state.
+    ConnectivityQueried,
+    /// A UI alert (Toast/TextView/...) was displayed.
+    UiAlert,
+    /// Something was written to the log only.
+    Log,
+    /// An ICC send (broadcast / startActivity / startService).
+    Icc,
+    /// The app slept/scheduled for `ms` (retry pacing).
+    Sleep {
+        /// Milliseconds.
+        ms: i64,
+    },
+}
+
+/// The network scenario of one run.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Per-attempt faults; the last entry repeats.
+    pub faults: Vec<Fault>,
+    /// What the connectivity APIs report.
+    pub connectivity_up: bool,
+}
+
+impl Scenario {
+    /// Everything works.
+    pub fn connected() -> Scenario {
+        Scenario {
+            name: "connected",
+            faults: vec![Fault::Ok],
+            connectivity_up: true,
+        }
+    }
+
+    /// Airplane mode: connectivity reports down, every attempt fails.
+    pub fn disconnected() -> Scenario {
+        Scenario {
+            name: "disconnected",
+            faults: vec![Fault::Disconnect],
+            connectivity_up: false,
+        }
+    }
+
+    /// Poor signal: connectivity reports *up* but attempts fail — the
+    /// condition that defeats the ChatSecure patch of Figure 1.
+    pub fn flaky() -> Scenario {
+        Scenario {
+            name: "flaky",
+            faults: vec![Fault::Disconnect],
+            connectivity_up: true,
+        }
+    }
+
+    /// Dead black-hole connection with connectivity up: exposes missing
+    /// timeouts (requires the timing fault model).
+    pub fn stalled() -> Scenario {
+        Scenario {
+            name: "stalled",
+            faults: vec![Fault::Stall],
+            connectivity_up: true,
+        }
+    }
+
+    /// Server returns an invalid (null) response.
+    pub fn invalid_response() -> Scenario {
+        Scenario {
+            name: "invalid-response",
+            faults: vec![Fault::InvalidResponse],
+            connectivity_up: true,
+        }
+    }
+
+    fn fault_for(&self, attempt: usize) -> Fault {
+        *self
+            .faults
+            .get(attempt.saturating_sub(1))
+            .or(self.faults.last())
+            .unwrap_or(&Fault::Ok)
+    }
+}
+
+const IOE: &str = "Ljava/io/IOException;";
+const STE: &str = "Ljava/net/SocketTimeoutException;";
+
+/// Marker fields the environment leaves on client objects.
+const CFG_TIMEOUT: &str = "__cfg_timeout";
+const CFG_RETRIES: &str = "__cfg_retries";
+const ERR_LISTENER: &str = "__err_listener";
+
+/// The fault-injecting environment.
+pub struct AndroidEnv<'r> {
+    registry: &'r Registry,
+    /// The active scenario.
+    pub scenario: Scenario,
+    /// Events observed so far.
+    pub events: Vec<Event>,
+    attempts: usize,
+}
+
+impl<'r> AndroidEnv<'r> {
+    /// Creates an environment for one run.
+    pub fn new(registry: &'r Registry, scenario: Scenario) -> AndroidEnv<'r> {
+        AndroidEnv {
+            registry,
+            scenario,
+            events: Vec::new(),
+            attempts: 0,
+        }
+    }
+
+    /// Number of request attempts observed.
+    pub fn attempts(&self) -> usize {
+        self.attempts
+    }
+
+    fn default_return(sig: &str, ctx: &mut EnvCtx<'_>, class_hint: &str) -> ExtResult {
+        if sig.ends_with(")V") {
+            ExtResult::Return(None)
+        } else if sig.ends_with(")I") || sig.ends_with(")Z") || sig.ends_with(")J") {
+            ExtResult::Return(Some(Value::Int(0)))
+        } else if let Some(ret) = sig.rsplit(')').next() {
+            if ret.starts_with('L') {
+                ExtResult::Return(Some(ctx.alloc(ret)))
+            } else {
+                let _ = class_hint;
+                ExtResult::Return(Some(Value::Null))
+            }
+        } else {
+            ExtResult::Return(Some(Value::Null))
+        }
+    }
+
+    fn handle_target(
+        &mut self,
+        ctx: &mut EnvCtx<'_>,
+        library: Library,
+        sig: &str,
+        args: &[Value],
+    ) -> ExtResult {
+        self.attempts += 1;
+        self.events.push(Event::Request {
+            library,
+            attempt: self.attempts,
+        });
+        let fault = self.scenario.fault_for(self.attempts);
+        match fault {
+            Fault::Ok => {
+                self.events.push(Event::RequestOk);
+                Self::default_return(sig, ctx, "response")
+            }
+            Fault::InvalidResponse => {
+                self.events.push(Event::RequestOk);
+                ExtResult::Return(if sig.ends_with(")V") {
+                    None
+                } else {
+                    Some(Value::Null)
+                })
+            }
+            Fault::Disconnect => {
+                self.events.push(Event::RequestFailed);
+                // Library-internal automatic retries: configured count on
+                // the carrier, or the library default.
+                let retries = {
+                    let key = ctx.symbols.intern(CFG_RETRIES);
+                    args.iter()
+                        .find_map(|a| match a {
+                            // An unset marker reads as Null; only an
+                            // explicit Int overrides the library default.
+                            Value::Obj(o) => match ctx.heap.get_field(*o, key) {
+                                Value::Int(v) => Some(v),
+                                _ => None,
+                            },
+                            _ => None,
+                        })
+                        .unwrap_or_else(|| {
+                            i64::from(nck_netlibs::library::defaults(library).retries)
+                        })
+                };
+                for _ in 0..retries.max(0) {
+                    self.attempts += 1;
+                    self.events.push(Event::Request {
+                        library,
+                        attempt: self.attempts,
+                    });
+                    self.events.push(Event::RequestFailed);
+                }
+                // Async libraries deliver the failure to a listener.
+                match library {
+                    Library::Volley => {
+                        // `add(request)`: the listener was stashed on the
+                        // request object at construction.
+                        if let Some(Value::Obj(req)) = args.get(1) {
+                            let key = ctx.symbols.intern(ERR_LISTENER);
+                            let listener = ctx.heap.get_field(*req, key);
+                            if !listener.is_null() {
+                                return ExtResult::CallThen {
+                                    receiver: listener,
+                                    method: "onErrorResponse".to_owned(),
+                                    args: vec![Value::Null],
+                                    result: Some(Value::Null),
+                                };
+                            }
+                        }
+                        ExtResult::Return(Some(Value::Null))
+                    }
+                    Library::AndroidAsyncHttp => {
+                        // `get(url, handler)`: the handler is the last arg.
+                        if let Some(handler @ Value::Obj(_)) = args.last() {
+                            return ExtResult::CallThen {
+                                receiver: handler.clone(),
+                                method: "onFailure".to_owned(),
+                                args: vec![Value::Int(0), Value::Null, Value::Null, Value::Null],
+                                result: Some(Value::Null),
+                            };
+                        }
+                        ExtResult::Return(Some(Value::Null))
+                    }
+                    _ => ExtResult::Throw(Thrown::new(IOE, "connection failed")),
+                }
+            }
+            Fault::Stall => {
+                // Honour a configured timeout; otherwise the thread blocks.
+                let key = ctx.symbols.intern(CFG_TIMEOUT);
+                let configured = args.iter().find_map(|a| match a {
+                    Value::Obj(o) => ctx.heap.get_field(*o, key).as_int().filter(|&v| v > 0),
+                    _ => None,
+                });
+                match configured {
+                    Some(ms) => {
+                        self.events.push(Event::TimedOut { ms });
+                        ExtResult::Throw(Thrown::new(STE, "read timed out"))
+                    }
+                    None => {
+                        self.events.push(Event::Hang);
+                        // Execution proceeds as if the call returned so the
+                        // rest of the run stays observable; the Hang event
+                        // is the finding.
+                        Self::default_return(sig, ctx, "response")
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Env for AndroidEnv<'_> {
+    fn call_external(
+        &mut self,
+        ctx: &mut EnvCtx<'_>,
+        class: &str,
+        name: &str,
+        sig: &str,
+        args: &[Value],
+    ) -> ExtResult {
+        // Network target APIs.
+        if let Some(t) = self.registry.target(class, name) {
+            return self.handle_target(ctx, t.library, sig, args);
+        }
+
+        // Config APIs: leave a timeout mark on the carrier object.
+        if let Some(cfg) = self.registry.config(class, name) {
+            if cfg.kind.is_timeout() {
+                let key = ctx.symbols.intern(CFG_TIMEOUT);
+                let ms = args
+                    .iter()
+                    .find_map(|a| match a {
+                        Value::Int(v) if *v > 0 => Some(*v),
+                        _ => None,
+                    })
+                    .unwrap_or(10_000);
+                for a in args {
+                    if let Value::Obj(o) = a {
+                        ctx.heap.set_field(*o, key, Value::Int(ms));
+                    }
+                }
+            }
+            // Retry configuration: mark the carrier with the count.
+            if cfg.kind.is_retry() {
+                let key = ctx.symbols.intern(CFG_RETRIES);
+                let count = cfg
+                    .kind
+                    .retry_count_arg()
+                    .and_then(|i| args.get(1 + i).and_then(Value::as_int))
+                    .unwrap_or(1);
+                for a in args {
+                    if let Value::Obj(o) = a {
+                        ctx.heap.set_field(*o, key, Value::Int(count));
+                    }
+                }
+            }
+            // `setRetryPolicy(req, policy)`: copy the policy's marks onto
+            // the request.
+            if name == "setRetryPolicy" {
+                if let (Some(Value::Obj(req)), Some(Value::Obj(pol))) = (args.first(), args.get(1))
+                {
+                    for marker in [CFG_TIMEOUT, CFG_RETRIES] {
+                        let key = ctx.symbols.intern(marker);
+                        let v = ctx.heap.get_field(*pol, key);
+                        if !v.is_null() {
+                            ctx.heap.set_field(*req, key, v);
+                        }
+                    }
+                }
+                return ExtResult::Return(Some(args.first().cloned().unwrap_or(Value::Null)));
+            }
+            return Self::default_return(sig, ctx, class);
+        }
+
+        // Connectivity APIs.
+        if self.registry.is_connectivity_check(class, name) {
+            self.events.push(Event::ConnectivityQueried);
+            return match name {
+                "getActiveNetworkInfo" | "getNetworkInfo" => {
+                    if self.scenario.connectivity_up {
+                        ExtResult::Return(Some(ctx.alloc("Landroid/net/NetworkInfo;")))
+                    } else {
+                        ExtResult::Return(Some(Value::Null))
+                    }
+                }
+                _ => ExtResult::Return(Some(Value::Int(i64::from(
+                    self.scenario.connectivity_up,
+                )))),
+            };
+        }
+
+        // Volley request construction: stash the error listener.
+        if name == "<init>" && class.starts_with("Lcom/android/volley/") {
+            if let Some(Value::Obj(req)) = args.first() {
+                if let Some(listener @ Value::Obj(_)) =
+                    args.iter().skip(1).find(|a| matches!(a, Value::Obj(_)))
+                {
+                    let key = ctx.symbols.intern(ERR_LISTENER);
+                    ctx.heap.set_field(*req, key, listener.clone());
+                }
+            }
+            return ExtResult::Return(None);
+        }
+
+        // UI alerts.
+        if nck_android::ui::is_alert_call(class, name) {
+            self.events.push(Event::UiAlert);
+            return Self::default_return(sig, ctx, class);
+        }
+
+        // Logging.
+        if class == "Landroid/util/Log;" {
+            self.events.push(Event::Log);
+            return ExtResult::Return(Some(Value::Int(0)));
+        }
+
+        // ICC.
+        if matches!(
+            name,
+            "sendBroadcast" | "sendOrderedBroadcast" | "startActivity" | "startService"
+        ) {
+            self.events.push(Event::Icc);
+            return Self::default_return(sig, ctx, class);
+        }
+
+        // Pacing.
+        if name == "sleep" || name == "postDelayed" || name == "scheduleTask" {
+            let ms = args.iter().find_map(|a| a.as_int()).unwrap_or(0);
+            self.events.push(Event::Sleep { ms });
+            return Self::default_return(sig, ctx, class);
+        }
+
+        Self::default_return(sig, ctx, class)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_fault_schedules_repeat_the_tail() {
+        let s = Scenario {
+            name: "t",
+            faults: vec![Fault::Disconnect, Fault::Ok],
+            connectivity_up: true,
+        };
+        assert_eq!(s.fault_for(1), Fault::Disconnect);
+        assert_eq!(s.fault_for(2), Fault::Ok);
+        assert_eq!(s.fault_for(9), Fault::Ok);
+    }
+
+    #[test]
+    fn presets_are_consistent() {
+        assert!(Scenario::connected().connectivity_up);
+        assert!(!Scenario::disconnected().connectivity_up);
+        // Flaky: connectivity up, requests fail — the Figure 1 trap.
+        let f = Scenario::flaky();
+        assert!(f.connectivity_up);
+        assert_eq!(f.fault_for(1), Fault::Disconnect);
+    }
+}

@@ -1,0 +1,22 @@
+//! `nck-dyntest`: the dynamic-analysis baseline (§7 of the paper).
+//!
+//! The paper positions NChecker against run-time tools like VanarSena
+//! and Caiipa, which "dynamically inject environment related faults ...
+//! and file a crash report if the injected fault causes a crash", and
+//! argues some NPDs — "no timeout setting" in particular — "can hardly
+//! be detected by \[the\] dynamic tools" because they need a timing fault
+//! model and do not manifest as crashes.
+//!
+//! This crate *implements* that baseline so the claim can be measured:
+//! [`env::AndroidEnv`] injects network faults into apps executed by the
+//! [`nck-interp`](../nck_interp/index.html) machine, and
+//! [`driver::DynamicChecker`] derives findings from observed crashes,
+//! hangs, silent failures, and retry storms. The
+//! `dynamic_vs_static` experiment binary tabulates what each approach
+//! detects.
+
+pub mod driver;
+pub mod env;
+
+pub use driver::{DynConfig, DynFinding, DynamicChecker, Observation, RunOutcome};
+pub use env::{AndroidEnv, Event, Fault, Scenario};

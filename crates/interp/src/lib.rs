@@ -1,0 +1,15 @@
+//! `nck-interp`: an interpreter for lifted IR programs.
+//!
+//! Execution delegates every framework/library call to a pluggable
+//! [`Env`], which is what makes the crate useful here: the dynamic
+//! baseline checker ([`nck-dyntest`](../nck_dyntest/index.html)) plugs in
+//! a fault-injecting network environment and *runs* apps under simulated
+//! disruptions — the VanarSena/Caiipa approach the paper contrasts with
+//! in §7 — and the test suite uses a differential harness (interpreter
+//! vs. constant propagation) to validate the dataflow framework.
+
+pub mod machine;
+pub mod value;
+
+pub use machine::{Env, EnvCtx, ExecError, ExtResult, Machine, NopEnv, Outcome, Thrown};
+pub use value::{Heap, ObjId, Object, Value};

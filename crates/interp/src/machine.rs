@@ -1,0 +1,848 @@
+//! The IR interpreter: a small register machine over lifted programs.
+//!
+//! Framework and library calls are delegated to a pluggable [`Env`],
+//! which is how the dynamic checker injects network faults and observes
+//! app behaviour. Execution is bounded by a step limit so the Figure 2
+//! reconnect loop terminates the run instead of the test suite.
+
+use crate::value::{Heap, Value};
+use nck_dex::{InvokeKind, UnOp};
+#[cfg(test)]
+use nck_dex::{BinOp, CondOp};
+use nck_ir::body::{
+    Body, IdentityKind, InvokeExpr, MethodId, MethodKey, Operand, Program, Rvalue, Stmt, StmtId,
+};
+use nck_ir::symbols::{Interner, Symbol};
+
+/// A thrown (possibly in-flight) exception.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Thrown {
+    /// Exception class descriptor (`Ljava/io/IOException;`).
+    pub class: String,
+    /// Diagnostic message.
+    pub message: String,
+}
+
+impl Thrown {
+    /// Creates an exception.
+    pub fn new(class: &str, message: &str) -> Thrown {
+        Thrown {
+            class: class.to_owned(),
+            message: message.to_owned(),
+        }
+    }
+}
+
+/// Why execution could not continue.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// The step budget ran out (e.g. an unbounded retry loop).
+    StepLimit,
+    /// The program reached a state the interpreter cannot represent.
+    BadState(&'static str),
+}
+
+/// The result of running a method to completion.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// Normal return.
+    Returned(Option<Value>),
+    /// An exception escaped the outermost frame — an app crash.
+    Threw(Thrown),
+}
+
+/// What an external (framework/library) call produced.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExtResult {
+    /// Normal completion with an optional value.
+    Return(Option<Value>),
+    /// The call threw.
+    Throw(Thrown),
+    /// The framework delivers a callback before the call returns: the
+    /// machine invokes `method` on `receiver` (resolved on its runtime
+    /// class) with `args` appended after the receiver, then completes the
+    /// original call with `result`. This is how a fault-injecting
+    /// environment drives `onErrorResponse`/`onFailure` listeners.
+    CallThen {
+        /// The callback receiver (usually a listener object).
+        receiver: Value,
+        /// Callback method name.
+        method: String,
+        /// Arguments after the receiver.
+        args: Vec<Value>,
+        /// The original call's final result.
+        result: Option<Value>,
+    },
+}
+
+/// Host services available to [`Env`] implementations.
+pub struct EnvCtx<'a> {
+    /// The interpreter heap.
+    pub heap: &'a mut Heap,
+    /// Symbol interner (a private copy; safe to extend).
+    pub symbols: &'a mut Interner,
+}
+
+impl EnvCtx<'_> {
+    /// Allocates an object of the named external class.
+    pub fn alloc(&mut self, class: &str) -> Value {
+        let sym = self.symbols.intern(class);
+        Value::Obj(self.heap.alloc(sym))
+    }
+}
+
+/// The external world: every call whose target is not defined in the
+/// program lands here.
+pub trait Env {
+    /// Handles one external call. `receiver` is `None` for static calls.
+    fn call_external(
+        &mut self,
+        ctx: &mut EnvCtx<'_>,
+        class: &str,
+        name: &str,
+        sig: &str,
+        args: &[Value],
+    ) -> ExtResult;
+}
+
+/// A do-nothing environment: every external call returns `null`/void.
+#[derive(Debug, Default)]
+pub struct NopEnv;
+
+impl Env for NopEnv {
+    fn call_external(
+        &mut self,
+        _ctx: &mut EnvCtx<'_>,
+        _class: &str,
+        _name: &str,
+        sig: &str,
+        _args: &[Value],
+    ) -> ExtResult {
+        if sig.ends_with(")V") {
+            ExtResult::Return(None)
+        } else {
+            ExtResult::Return(Some(Value::Null))
+        }
+    }
+}
+
+const NPE: &str = "Ljava/lang/NullPointerException;";
+const ARITH: &str = "Ljava/lang/ArithmeticException;";
+
+/// The interpreter.
+pub struct Machine<'p, E: Env> {
+    program: &'p Program,
+    /// The environment handling external calls.
+    pub env: E,
+    /// The heap.
+    pub heap: Heap,
+    /// Private interner seeded from the program's (same symbol ids).
+    pub symbols: Interner,
+    steps: u64,
+    step_limit: u64,
+    call_depth: usize,
+}
+
+impl<'p, E: Env> Machine<'p, E> {
+    /// Creates a machine over `program` with the given environment.
+    pub fn new(program: &'p Program, env: E) -> Machine<'p, E> {
+        Machine {
+            program,
+            env,
+            heap: Heap::new(),
+            symbols: program.symbols.clone(),
+            steps: 0,
+            step_limit: 100_000,
+            call_depth: 0,
+        }
+    }
+
+    /// Overrides the step budget.
+    pub fn with_step_limit(mut self, limit: u64) -> Self {
+        self.step_limit = limit;
+        self
+    }
+
+    /// Steps consumed so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    fn resolve_str(&self, s: Symbol) -> &str {
+        self.symbols.resolve(s)
+    }
+
+    /// Calls `method` with `args` (receiver first for instance methods).
+    pub fn call(&mut self, method: MethodId, args: Vec<Value>) -> Result<Outcome, ExecError> {
+        if self.call_depth > 128 {
+            return Err(ExecError::BadState("call depth exceeded"));
+        }
+        self.call_depth += 1;
+        let result = self.run_body(method, args);
+        self.call_depth -= 1;
+        result
+    }
+
+    fn run_body(&mut self, method: MethodId, args: Vec<Value>) -> Result<Outcome, ExecError> {
+        let m = self.program.method(method);
+        let Some(body) = &m.body else {
+            return Err(ExecError::BadState("call to a bodiless method"));
+        };
+        let mut locals: Vec<Value> = vec![Value::Null; body.locals.len()];
+        let mut pc = StmtId(0);
+        let mut pending: Option<Thrown> = None;
+
+        loop {
+            self.steps += 1;
+            if self.steps > self.step_limit {
+                return Err(ExecError::StepLimit);
+            }
+            if pc.index() >= body.stmts.len() {
+                return Err(ExecError::BadState("fell off the end of a body"));
+            }
+            let stmt = body.stmt(pc);
+
+            let step = self.exec_stmt(body, stmt, &mut locals, &args, &mut pending);
+            match step {
+                Err(e) => return Err(e),
+                Ok(Control::Next) => pc = StmtId(pc.0 + 1),
+                Ok(Control::Jump(t)) => pc = t,
+                Ok(Control::Return(v)) => return Ok(Outcome::Returned(v)),
+                Ok(Control::Throw(t)) => {
+                    // Find a matching handler covering this pc.
+                    let handler = body.traps_at(pc).into_iter().find(|trap| {
+                        trap.exception
+                            .map(|e| exception_matches(&t.class, self.resolve_str(e)))
+                            .unwrap_or(true)
+                    });
+                    match handler {
+                        Some(trap) => {
+                            pending = Some(t);
+                            pc = trap.handler;
+                        }
+                        None => return Ok(Outcome::Threw(t)),
+                    }
+                }
+            }
+        }
+    }
+
+    fn eval(&self, locals: &[Value], op: Operand) -> Value {
+        match op {
+            Operand::Local(l) => locals[l.0 as usize].clone(),
+            Operand::IntConst(v) => Value::Int(v),
+            Operand::StrConst(s) => Value::Str(self.resolve_str(s).to_owned()),
+            Operand::Null => Value::Null,
+            Operand::ClassConst(c) => Value::Class(c),
+        }
+    }
+
+    fn exec_stmt(
+        &mut self,
+        body: &Body,
+        stmt: &Stmt,
+        locals: &mut [Value],
+        args: &[Value],
+        pending: &mut Option<Thrown>,
+    ) -> Result<Control, ExecError> {
+        Ok(match stmt {
+            Stmt::Nop => Control::Next,
+            Stmt::Identity { local, kind } => {
+                let v = match kind {
+                    IdentityKind::This => args
+                        .first()
+                        .cloned()
+                        .ok_or(ExecError::BadState("missing receiver"))?,
+                    IdentityKind::Param(i) => {
+                        // Instance methods: args[0] is the receiver.
+                        let receiver = usize::from(body.iter().any(|(_, s)| {
+                            matches!(
+                                s,
+                                Stmt::Identity {
+                                    kind: IdentityKind::This,
+                                    ..
+                                }
+                            )
+                        }));
+                        args.get(receiver + *i as usize)
+                            .cloned()
+                            .unwrap_or(Value::Null)
+                    }
+                    IdentityKind::CaughtException => {
+                        // Bind the in-flight exception as an object-ish
+                        // value; represent it as a string for simplicity.
+                        match pending.take() {
+                            Some(t) => Value::Str(t.class),
+                            None => Value::Null,
+                        }
+                    }
+                };
+                locals[local.0 as usize] = v;
+                Control::Next
+            }
+            Stmt::Assign { local, rvalue } => {
+                match self.eval_rvalue(body, rvalue, locals)? {
+                    Ok(v) => {
+                        locals[local.0 as usize] = v;
+                        Control::Next
+                    }
+                    Err(t) => Control::Throw(t),
+                }
+            }
+            Stmt::Invoke(inv) => match self.do_invoke(inv, locals)? {
+                Ok(_) => Control::Next,
+                Err(t) => Control::Throw(t),
+            },
+            Stmt::StoreInstanceField { base, field, value } => {
+                let base = self.eval(locals, *base);
+                let v = self.eval(locals, *value);
+                match base {
+                    Value::Obj(o) => {
+                        self.heap.set_field(o, field.name, v);
+                        Control::Next
+                    }
+                    Value::Null => Control::Throw(Thrown::new(NPE, "field store on null")),
+                    _ => Control::Next,
+                }
+            }
+            Stmt::StoreStaticField { field, value } => {
+                let v = self.eval(locals, *value);
+                self.heap.set_static(field.class, field.name, v);
+                Control::Next
+            }
+            Stmt::StoreArrayElem { array, .. } => {
+                if self.eval(locals, *array).is_null() {
+                    Control::Throw(Thrown::new(NPE, "array store on null"))
+                } else {
+                    Control::Next
+                }
+            }
+            Stmt::If { cond, a, b, target } => {
+                let a = self.eval(locals, *a).cond_int();
+                let b = self.eval(locals, *b).cond_int();
+                if cond.eval(a, b) {
+                    Control::Jump(*target)
+                } else {
+                    Control::Next
+                }
+            }
+            Stmt::Goto { target } => Control::Jump(*target),
+            Stmt::Switch { key, arms } => {
+                let k = self.eval(locals, *key).cond_int();
+                arms.iter()
+                    .find(|(v, _)| i64::from(*v) == k)
+                    .map(|&(_, t)| Control::Jump(t))
+                    .unwrap_or(Control::Next)
+            }
+            Stmt::Return { value } => {
+                Control::Return(value.map(|v| self.eval(locals, v)))
+            }
+            Stmt::Throw { value } => {
+                let v = self.eval(locals, *value);
+                let class = match v {
+                    Value::Obj(o) => self
+                        .heap
+                        .class_of(o)
+                        .map(|c| self.resolve_str(c).to_owned())
+                        .unwrap_or_else(|| "Ljava/lang/Throwable;".to_owned()),
+                    Value::Str(s) => s,
+                    Value::Null => {
+                        return Ok(Control::Throw(Thrown::new(NPE, "throw null")));
+                    }
+                    _ => "Ljava/lang/Throwable;".to_owned(),
+                };
+                Control::Throw(Thrown::new(&class, "explicit throw"))
+            }
+        })
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn eval_rvalue(
+        &mut self,
+        _body: &Body,
+        rvalue: &Rvalue,
+        locals: &[Value],
+    ) -> Result<Result<Value, Thrown>, ExecError> {
+        Ok(match rvalue {
+            Rvalue::Use(op) => Ok(self.eval(locals, *op)),
+            Rvalue::BinOp { op, a, b } => {
+                let a = self.eval(locals, *a).cond_int();
+                let b = self.eval(locals, *b).cond_int();
+                match op.eval(a, b) {
+                    Some(v) => Ok(Value::Int(v)),
+                    None => Err(Thrown::new(ARITH, "divide by zero")),
+                }
+            }
+            Rvalue::UnOp { op, a } => {
+                let a = self.eval(locals, *a).cond_int();
+                Ok(Value::Int(match op {
+                    UnOp::Neg => a.wrapping_neg(),
+                    UnOp::Not => !a,
+                }))
+            }
+            Rvalue::Cast { op, .. } => Ok(self.eval(locals, *op)),
+            Rvalue::InstanceOf { ty, op } => {
+                let v = self.eval(locals, *op);
+                let is = match v {
+                    Value::Obj(o) => self.heap.class_of(o) == Some(*ty),
+                    _ => false,
+                };
+                Ok(Value::Int(i64::from(is)))
+            }
+            Rvalue::New { ty } => Ok(Value::Obj(self.heap.alloc(*ty))),
+            Rvalue::NewArray { ty, .. } => Ok(Value::Obj(self.heap.alloc(*ty))),
+            Rvalue::InstanceField { base, field } => match self.eval(locals, *base) {
+                Value::Obj(o) => Ok(self.heap.get_field(o, field.name)),
+                Value::Null => Err(Thrown::new(NPE, "field load on null")),
+                _ => Ok(Value::Null),
+            },
+            Rvalue::StaticField { field } => {
+                Ok(self.heap.get_static(field.class, field.name))
+            }
+            Rvalue::ArrayElem { array, .. } => match self.eval(locals, *array) {
+                Value::Null => Err(Thrown::new(NPE, "array load on null")),
+                _ => Ok(Value::Null),
+            },
+            Rvalue::ArrayLength { array } => match self.eval(locals, *array) {
+                Value::Null => Err(Thrown::new(NPE, "length of null")),
+                _ => Ok(Value::Int(0)),
+            },
+            Rvalue::Invoke(inv) => {
+                return self
+                    .do_invoke(inv, locals)
+                    .map(|r| r.map(|v| v.unwrap_or(Value::Null)));
+            }
+        })
+    }
+
+    /// Resolves and performs a call; `Err(Thrown)` in the inner result is
+    /// an exception propagating to the caller's handler search.
+    #[allow(clippy::type_complexity)]
+    fn do_invoke(
+        &mut self,
+        inv: &InvokeExpr,
+        locals: &[Value],
+    ) -> Result<Result<Option<Value>, Thrown>, ExecError> {
+        let args: Vec<Value> = inv.args.iter().map(|&a| self.eval(locals, a)).collect();
+
+        // Null receiver on instance calls.
+        if inv.kind.has_receiver() {
+            match args.first() {
+                Some(Value::Null) | None => {
+                    return Ok(Err(Thrown::new(NPE, "call on null receiver")));
+                }
+                _ => {}
+            }
+        }
+
+        // Internal dispatch: virtual/interface calls resolve on the
+        // receiver's *runtime* class first (walking up the hierarchy),
+        // falling back to the statically named class.
+        let mut target = None;
+        if matches!(inv.kind, InvokeKind::Virtual | InvokeKind::Interface) {
+            if let Some(Value::Obj(o)) = args.first() {
+                if let Some(runtime_class) = self.heap.class_of(*o) {
+                    for cls in self.program.hierarchy(runtime_class) {
+                        let key = MethodKey {
+                            class: cls,
+                            ..inv.callee
+                        };
+                        if let Some(id) = self.program.lookup_method(key) {
+                            target = Some(id);
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        if target.is_none() {
+            target = self.program.lookup_method(inv.callee);
+        }
+
+        if let Some(id) = target {
+            if self.program.method(id).body.is_some() {
+                return match self.call(id, args)? {
+                    Outcome::Returned(v) => Ok(Ok(v)),
+                    Outcome::Threw(t) => Ok(Err(t)),
+                };
+            }
+        }
+
+        // Implicit framework dispatch: `task.execute()` runs the task's
+        // lifecycle methods, `thread.start()` runs `run`, etc. — the
+        // dynamic analogue of the call graph's implicit edges.
+        let name_str = self.resolve_str(inv.callee.name).to_owned();
+        for rule in nck_android::implicit_edges_for(&name_str) {
+            let flow = if rule.via_argument {
+                args.get(usize::from(inv.kind.has_receiver())).cloned()
+            } else {
+                args.first().cloned()
+            };
+            let Some(Value::Obj(o)) = flow else { continue };
+            let Some(runtime_class) = self.heap.class_of(o) else {
+                continue;
+            };
+            let extends = self.program.hierarchy(runtime_class).iter().any(|&s| {
+                self.resolve_str(s) == rule.trigger_class
+            }) || rule.via_argument;
+            if !extends {
+                continue;
+            }
+            for &(tname, _tsig) in rule.targets {
+                if let Some(id) = self.find_on_hierarchy(runtime_class, tname) {
+                    // Frame: receiver plus nulls for declared parameters.
+                    let m = self.program.method(id);
+                    let sig = self.resolve_str(m.key.sig).to_owned();
+                    let nparams = nck_dex::parse_signature(&sig)
+                        .map(|(p, _)| p.len())
+                        .unwrap_or(0);
+                    let mut cargs = vec![Value::Obj(o)];
+                    cargs.extend(std::iter::repeat_with(|| Value::Null).take(nparams));
+                    match self.call(id, cargs)? {
+                        Outcome::Returned(_) => {}
+                        Outcome::Threw(t) => return Ok(Err(t)),
+                    }
+                }
+            }
+            return Ok(Ok(Some(Value::Null)));
+        }
+
+        // External call.
+        let class = self.resolve_str(inv.callee.class).to_owned();
+        let sig = self.resolve_str(inv.callee.sig).to_owned();
+        let mut ctx = EnvCtx {
+            heap: &mut self.heap,
+            symbols: &mut self.symbols,
+        };
+        match self
+            .env
+            .call_external(&mut ctx, &class, &name_str, &sig, &args)
+        {
+            ExtResult::Return(v) => Ok(Ok(v)),
+            ExtResult::Throw(t) => Ok(Err(t)),
+            ExtResult::CallThen {
+                receiver,
+                method,
+                args: cb_args,
+                result,
+            } => {
+                if let Value::Obj(o) = receiver {
+                    if let Some(runtime_class) = self.heap.class_of(o) {
+                        if let Some(id) = self.find_on_hierarchy(runtime_class, &method) {
+                            let mut cargs = vec![receiver];
+                            cargs.extend(cb_args);
+                            // Pad with nulls to the declared arity.
+                            let m = self.program.method(id);
+                            let sig = self.resolve_str(m.key.sig).to_owned();
+                            let nparams = nck_dex::parse_signature(&sig)
+                                .map(|(p, _)| p.len())
+                                .unwrap_or(0);
+                            while cargs.len() < nparams + 1 {
+                                cargs.push(Value::Null);
+                            }
+                            cargs.truncate(nparams + 1);
+                            match self.call(id, cargs)? {
+                                Outcome::Returned(_) => {}
+                                Outcome::Threw(t) => return Ok(Err(t)),
+                            }
+                        }
+                    }
+                }
+                Ok(Ok(result))
+            }
+        }
+    }
+
+    /// Finds a program method named `name` on `class` or a superclass.
+    fn find_on_hierarchy(&self, class: Symbol, name: &str) -> Option<MethodId> {
+        for cls in self.program.hierarchy(class) {
+            let found = self.program.iter_methods().find(|(_, m)| {
+                m.key.class == cls
+                    && self.program.symbols.resolve(m.key.name) == name
+                    && m.body.is_some()
+            });
+            if let Some((id, _)) = found {
+                return Some(id);
+            }
+        }
+        None
+    }
+}
+
+enum Control {
+    Next,
+    Jump(StmtId),
+    Return(Option<Value>),
+    Throw(Thrown),
+}
+
+/// Returns `true` when an exception of class `thrown` is caught by a
+/// handler declared for `caught`, using the small built-in hierarchy of
+/// the exception classes this substrate throws.
+pub fn exception_matches(thrown: &str, caught: &str) -> bool {
+    if thrown == caught {
+        return true;
+    }
+    let supers: &[&str] = match thrown {
+        "Ljava/net/SocketTimeoutException;" => &[
+            "Ljava/io/InterruptedIOException;",
+            "Ljava/io/IOException;",
+            "Ljava/lang/Exception;",
+            "Ljava/lang/Throwable;",
+        ],
+        "Ljava/net/UnknownHostException;" | "Ljava/net/ConnectException;" => &[
+            "Ljava/io/IOException;",
+            "Ljava/lang/Exception;",
+            "Ljava/lang/Throwable;",
+        ],
+        "Ljava/io/IOException;" => &["Ljava/lang/Exception;", "Ljava/lang/Throwable;"],
+        "Ljava/lang/NullPointerException;" | "Ljava/lang/ArithmeticException;" => &[
+            "Ljava/lang/RuntimeException;",
+            "Ljava/lang/Exception;",
+            "Ljava/lang/Throwable;",
+        ],
+        _ => &["Ljava/lang/Exception;", "Ljava/lang/Throwable;"],
+    };
+    supers.contains(&caught)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nck_dex::builder::AdxBuilder;
+    use nck_dex::AccessFlags;
+    use nck_ir::lift_file;
+
+    fn program_of(build: impl FnOnce(&mut AdxBuilder)) -> Program {
+        let mut b = AdxBuilder::new();
+        build(&mut b);
+        lift_file(&b.finish().unwrap()).unwrap()
+    }
+
+    fn method(p: &Program, name: &str) -> MethodId {
+        p.iter_methods()
+            .find(|(_, m)| p.symbols.resolve(m.key.name) == name)
+            .map(|(id, _)| id)
+            .unwrap()
+    }
+
+    #[test]
+    fn arithmetic_and_branches() {
+        let p = program_of(|b| {
+            b.class("La/A;", |c| {
+                c.method("f", "(I)I", AccessFlags::PUBLIC | AccessFlags::STATIC, 4, |m| {
+                    // return x > 10 ? x * 2 : x + 1
+                    let x = m.param(0).unwrap();
+                    let big = m.new_label();
+                    let ten = m.reg(0);
+                    m.const_int(ten, 10);
+                    m.if_(CondOp::Gt, x, ten, big);
+                    m.binop_lit(BinOp::Add, x, x, 1);
+                    m.ret(Some(x));
+                    m.bind(big);
+                    m.binop_lit(BinOp::Mul, x, x, 2);
+                    m.ret(Some(x));
+                });
+            });
+        });
+        let f = method(&p, "f");
+        let mut mach = Machine::new(&p, NopEnv);
+        assert_eq!(
+            mach.call(f, vec![Value::Int(3)]).unwrap(),
+            Outcome::Returned(Some(Value::Int(4)))
+        );
+        assert_eq!(
+            mach.call(f, vec![Value::Int(20)]).unwrap(),
+            Outcome::Returned(Some(Value::Int(40)))
+        );
+    }
+
+    #[test]
+    fn loops_terminate_and_compute() {
+        let p = program_of(|b| {
+            b.class("La/A;", |c| {
+                // sum 1..=n
+                c.method("sum", "(I)I", AccessFlags::PUBLIC | AccessFlags::STATIC, 6, |m| {
+                    let n = m.param(0).unwrap();
+                    let acc = m.reg(0);
+                    let i = m.reg(1);
+                    let head = m.new_label();
+                    let done = m.new_label();
+                    m.const_int(acc, 0);
+                    m.const_int(i, 1);
+                    m.bind(head);
+                    m.if_(CondOp::Gt, i, n, done);
+                    m.binop(BinOp::Add, acc, acc, i);
+                    m.binop_lit(BinOp::Add, i, i, 1);
+                    m.goto(head);
+                    m.bind(done);
+                    m.ret(Some(acc));
+                });
+            });
+        });
+        let f = method(&p, "sum");
+        let mut mach = Machine::new(&p, NopEnv);
+        assert_eq!(
+            mach.call(f, vec![Value::Int(10)]).unwrap(),
+            Outcome::Returned(Some(Value::Int(55)))
+        );
+    }
+
+    #[test]
+    fn infinite_loop_hits_the_step_limit() {
+        let p = program_of(|b| {
+            b.class("La/A;", |c| {
+                c.method("spin", "()V", AccessFlags::PUBLIC | AccessFlags::STATIC, 2, |m| {
+                    let head = m.new_label();
+                    m.bind(head);
+                    m.goto(head);
+                });
+            });
+        });
+        let f = method(&p, "spin");
+        let mut mach = Machine::new(&p, NopEnv).with_step_limit(1000);
+        assert_eq!(mach.call(f, vec![]), Err(ExecError::StepLimit));
+    }
+
+    #[test]
+    fn exceptions_route_to_matching_handlers() {
+        let p = program_of(|b| {
+            b.class("La/A;", |c| {
+                c.method("f", "()I", AccessFlags::PUBLIC | AccessFlags::STATIC, 6, |m| {
+                    // try { 1 / 0 } catch (Arithmetic) { return 42 }
+                    let a = m.reg(0);
+                    let z = m.reg(1);
+                    let handler = m.new_label();
+                    m.const_int(a, 1);
+                    m.const_int(z, 0);
+                    let t = m.begin_try();
+                    m.binop(BinOp::Div, a, a, z);
+                    m.end_try(t, &[(Some("Ljava/lang/ArithmeticException;"), handler)]);
+                    m.ret(Some(a));
+                    m.bind(handler);
+                    m.move_exception(m.reg(2));
+                    m.const_int(a, 42);
+                    m.ret(Some(a));
+                });
+            });
+        });
+        let f = method(&p, "f");
+        let mut mach = Machine::new(&p, NopEnv);
+        assert_eq!(
+            mach.call(f, vec![]).unwrap(),
+            Outcome::Returned(Some(Value::Int(42)))
+        );
+    }
+
+    #[test]
+    fn uncaught_exception_is_a_crash() {
+        let p = program_of(|b| {
+            b.class("La/A;", |c| {
+                c.method("f", "()I", AccessFlags::PUBLIC | AccessFlags::STATIC, 4, |m| {
+                    let a = m.reg(0);
+                    let z = m.reg(1);
+                    m.const_int(a, 1);
+                    m.const_int(z, 0);
+                    m.binop(BinOp::Div, a, a, z);
+                    m.ret(Some(a));
+                });
+            });
+        });
+        let f = method(&p, "f");
+        let mut mach = Machine::new(&p, NopEnv);
+        match mach.call(f, vec![]).unwrap() {
+            Outcome::Threw(t) => assert_eq!(t.class, ARITH),
+            other => panic!("expected crash, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn null_receiver_raises_npe() {
+        let p = program_of(|b| {
+            b.class("La/A;", |c| {
+                c.method("f", "()V", AccessFlags::PUBLIC | AccessFlags::STATIC, 2, |m| {
+                    let x = m.reg(0);
+                    m.const_null(x);
+                    m.invoke_virtual("Lx/Y;", "poke", "()V", &[x]);
+                    m.ret(None);
+                });
+            });
+        });
+        let f = method(&p, "f");
+        let mut mach = Machine::new(&p, NopEnv);
+        match mach.call(f, vec![]).unwrap() {
+            Outcome::Threw(t) => assert_eq!(t.class, NPE),
+            other => panic!("expected NPE, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn virtual_dispatch_uses_runtime_class() {
+        let p = program_of(|b| {
+            b.class("La/Base;", |c| {
+                c.method("val", "()I", AccessFlags::PUBLIC, 2, |m| {
+                    m.const_int(m.reg(0), 1);
+                    m.ret(Some(m.reg(0)));
+                });
+            });
+            b.class("La/Derived;", |c| {
+                c.super_class("La/Base;");
+                c.method("val", "()I", AccessFlags::PUBLIC, 2, |m| {
+                    m.const_int(m.reg(0), 2);
+                    m.ret(Some(m.reg(0)));
+                });
+            });
+            b.class("La/Main;", |c| {
+                c.method("f", "()I", AccessFlags::PUBLIC | AccessFlags::STATIC, 4, |m| {
+                    let o = m.reg(0);
+                    m.new_instance(o, "La/Derived;");
+                    // Static callee type is Base; runtime type is Derived.
+                    m.invoke_virtual("La/Base;", "val", "()I", &[o]);
+                    m.move_result(m.reg(1));
+                    m.ret(Some(m.reg(1)));
+                });
+            });
+        });
+        let f = method(&p, "f");
+        let mut mach = Machine::new(&p, NopEnv);
+        assert_eq!(
+            mach.call(f, vec![]).unwrap(),
+            Outcome::Returned(Some(Value::Int(2)))
+        );
+    }
+
+    #[test]
+    fn fields_persist_across_calls() {
+        let p = program_of(|b| {
+            b.class("La/A;", |c| {
+                c.method("set", "(I)V", AccessFlags::PUBLIC, 4, |m| {
+                    let this = m.param(0).unwrap();
+                    let v = m.param(1).unwrap();
+                    m.iput(v, this, "La/A;", "x", "I");
+                    m.ret(None);
+                });
+                c.method("get", "()I", AccessFlags::PUBLIC, 4, |m| {
+                    let this = m.param(0).unwrap();
+                    m.iget(m.reg(0), this, "La/A;", "x", "I");
+                    m.ret(Some(m.reg(0)));
+                });
+                c.method("f", "()I", AccessFlags::PUBLIC | AccessFlags::STATIC, 4, |m| {
+                    let o = m.reg(0);
+                    let v = m.reg(1);
+                    m.new_instance(o, "La/A;");
+                    m.const_int(v, 9);
+                    m.invoke_virtual("La/A;", "set", "(I)V", &[o, v]);
+                    m.invoke_virtual("La/A;", "get", "()I", &[o]);
+                    m.move_result(v);
+                    m.ret(Some(v));
+                });
+            });
+        });
+        let f = method(&p, "f");
+        let mut mach = Machine::new(&p, NopEnv);
+        assert_eq!(
+            mach.call(f, vec![]).unwrap(),
+            Outcome::Returned(Some(Value::Int(9)))
+        );
+    }
+}

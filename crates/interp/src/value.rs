@@ -1,0 +1,167 @@
+//! Runtime values and the object heap of the IR interpreter.
+
+use nck_ir::symbols::Symbol;
+use std::collections::HashMap;
+
+/// A heap object handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjId(pub u32);
+
+/// A runtime value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Integers, booleans, chars — everything numeric.
+    Int(i64),
+    /// A string.
+    Str(String),
+    /// The null reference.
+    Null,
+    /// A heap object.
+    Obj(ObjId),
+    /// A class literal.
+    Class(Symbol),
+}
+
+impl Value {
+    /// Integer view; `Null` reads as 0 (reference comparisons against the
+    /// zero literal are how null checks lift).
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            Value::Null => Some(0),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` for `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Truthiness for branch evaluation: zero and null are false-like.
+    pub fn cond_int(&self) -> i64 {
+        match self {
+            Value::Int(v) => *v,
+            Value::Null => 0,
+            // References and strings compare as non-zero identities.
+            Value::Obj(o) => i64::from(o.0) + 1,
+            Value::Str(_) | Value::Class(_) => 1,
+        }
+    }
+}
+
+/// One heap object: its class and fields.
+#[derive(Debug, Clone, Default)]
+pub struct Object {
+    /// Runtime class descriptor symbol.
+    pub class: Option<Symbol>,
+    /// Instance fields, keyed by field name symbol.
+    pub fields: HashMap<Symbol, Value>,
+}
+
+/// The interpreter heap.
+#[derive(Debug, Default)]
+pub struct Heap {
+    objects: Vec<Object>,
+    /// Static fields, keyed by (class, name) symbols.
+    statics: HashMap<(Symbol, Symbol), Value>,
+}
+
+impl Heap {
+    /// Creates an empty heap.
+    pub fn new() -> Heap {
+        Heap::default()
+    }
+
+    /// Allocates an object of `class`.
+    pub fn alloc(&mut self, class: Symbol) -> ObjId {
+        let id = ObjId(self.objects.len() as u32);
+        self.objects.push(Object {
+            class: Some(class),
+            fields: HashMap::new(),
+        });
+        id
+    }
+
+    /// Returns the object's class.
+    pub fn class_of(&self, id: ObjId) -> Option<Symbol> {
+        self.objects.get(id.0 as usize)?.class
+    }
+
+    /// Reads an instance field (defaults to `Null` when unset).
+    pub fn get_field(&self, id: ObjId, name: Symbol) -> Value {
+        self.objects
+            .get(id.0 as usize)
+            .and_then(|o| o.fields.get(&name).cloned())
+            .unwrap_or(Value::Null)
+    }
+
+    /// Writes an instance field.
+    pub fn set_field(&mut self, id: ObjId, name: Symbol, value: Value) {
+        if let Some(o) = self.objects.get_mut(id.0 as usize) {
+            o.fields.insert(name, value);
+        }
+    }
+
+    /// Reads a static field.
+    pub fn get_static(&self, class: Symbol, name: Symbol) -> Value {
+        self.statics
+            .get(&(class, name))
+            .cloned()
+            .unwrap_or(Value::Null)
+    }
+
+    /// Writes a static field.
+    pub fn set_static(&mut self, class: Symbol, name: Symbol, value: Value) {
+        self.statics.insert((class, name), value);
+    }
+
+    /// Number of live objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Returns `true` when nothing has been allocated.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_fields() {
+        let mut interner = nck_ir::Interner::new();
+        let cls = interner.intern("La/B;");
+        let f = interner.intern("count");
+        let mut heap = Heap::new();
+        let o = heap.alloc(cls);
+        assert_eq!(heap.class_of(o), Some(cls));
+        assert_eq!(heap.get_field(o, f), Value::Null);
+        heap.set_field(o, f, Value::Int(7));
+        assert_eq!(heap.get_field(o, f), Value::Int(7));
+    }
+
+    #[test]
+    fn statics_default_to_null() {
+        let mut interner = nck_ir::Interner::new();
+        let cls = interner.intern("La/B;");
+        let f = interner.intern("flag");
+        let mut heap = Heap::new();
+        assert_eq!(heap.get_static(cls, f), Value::Null);
+        heap.set_static(cls, f, Value::Int(1));
+        assert_eq!(heap.get_static(cls, f), Value::Int(1));
+    }
+
+    #[test]
+    fn value_truthiness() {
+        assert_eq!(Value::Null.cond_int(), 0);
+        assert_eq!(Value::Int(3).cond_int(), 3);
+        assert_ne!(Value::Obj(ObjId(0)).cond_int(), 0);
+        assert!(Value::Null.is_null());
+        assert_eq!(Value::Null.as_int(), Some(0));
+        assert_eq!(Value::Str("x".into()).as_int(), None);
+    }
+}

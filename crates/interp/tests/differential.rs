@@ -1,0 +1,130 @@
+//! Differential testing: the interpreter and the dataflow framework's
+//! constant propagation must agree on straight-line arithmetic.
+//!
+//! For a random straight-line program over integer locals, whatever value
+//! constant propagation proves for the returned local must be exactly
+//! the value the interpreter computes.
+
+use nck_dataflow::constprop::{CVal, ConstProp};
+use nck_dex::builder::AdxBuilder;
+use nck_dex::{AccessFlags, BinOp, UnOp};
+use nck_interp::{Machine, NopEnv, Outcome, Value};
+use nck_ir::cfg::Cfg;
+use nck_ir::{LocalId, StmtId};
+use proptest::prelude::*;
+
+const LOCALS: u16 = 4;
+
+/// One straight-line operation on the local pool.
+#[derive(Debug, Clone)]
+enum Op {
+    Const { dst: u16, v: i32 },
+    Bin { op: BinOp, dst: u16, a: u16, b: u16 },
+    BinLit { op: BinOp, dst: u16, a: u16, lit: i32 },
+    Un { op: UnOp, dst: u16, a: u16 },
+    Copy { dst: u16, src: u16 },
+}
+
+fn arb_binop() -> impl Strategy<Value = BinOp> {
+    prop_oneof![
+        Just(BinOp::Add),
+        Just(BinOp::Sub),
+        Just(BinOp::Mul),
+        Just(BinOp::Div),
+        Just(BinOp::Rem),
+        Just(BinOp::And),
+        Just(BinOp::Or),
+        Just(BinOp::Xor),
+        Just(BinOp::Shl),
+        Just(BinOp::Shr),
+    ]
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    let reg = || 0..LOCALS;
+    prop_oneof![
+        (reg(), any::<i32>()).prop_map(|(dst, v)| Op::Const { dst, v }),
+        (arb_binop(), reg(), reg(), reg()).prop_map(|(op, dst, a, b)| Op::Bin { op, dst, a, b }),
+        (arb_binop(), reg(), reg(), any::<i32>())
+            .prop_map(|(op, dst, a, lit)| Op::BinLit { op, dst, a, lit }),
+        (prop_oneof![Just(UnOp::Neg), Just(UnOp::Not)], reg(), reg())
+            .prop_map(|(op, dst, a)| Op::Un { op, dst, a }),
+        (reg(), reg()).prop_map(|(dst, src)| Op::Copy { dst, src }),
+    ]
+}
+
+fn build(ops: &[Op], ret: u16) -> nck_ir::Program {
+    let mut b = AdxBuilder::new();
+    b.class("Lgen/D;", |c| {
+        c.method(
+            "f",
+            "()I",
+            AccessFlags::PUBLIC | AccessFlags::STATIC,
+            LOCALS,
+            |m| {
+                // Deterministic initialization of every local.
+                for r in 0..LOCALS {
+                    m.const_int(m.reg(r), i64::from(r) + 1);
+                }
+                for op in ops {
+                    match *op {
+                        Op::Const { dst, v } => m.const_int(m.reg(dst), i64::from(v)),
+                        Op::Bin { op, dst, a, b } => m.binop(op, m.reg(dst), m.reg(a), m.reg(b)),
+                        Op::BinLit { op, dst, a, lit } => m.binop_lit(op, m.reg(dst), m.reg(a), lit),
+                        Op::Un { op, dst, a } => m.unop(op, m.reg(dst), m.reg(a)),
+                        Op::Copy { dst, src } => m.mov(m.reg(dst), m.reg(src)),
+                    }
+                }
+                m.ret(Some(m.reg(ret)));
+            },
+        );
+    });
+    nck_ir::lift_file(&b.finish().unwrap()).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn constprop_agrees_with_the_interpreter(
+        ops in proptest::collection::vec(arb_op(), 0..24),
+        ret in 0..LOCALS,
+    ) {
+        let program = build(&ops, ret);
+        let body = program.methods[0].body.as_ref().unwrap();
+        let cfg = Cfg::build(body);
+        let cp = ConstProp::compute(body, &cfg);
+        // The return statement is the last one.
+        let ret_stmt = StmtId(body.stmts.len() as u32 - 1);
+        let proved = cp.value_before(ret_stmt, LocalId(u32::from(ret)));
+
+        let f = program
+            .iter_methods()
+            .find(|(_, m)| program.symbols.resolve(m.key.name) == "f")
+            .map(|(id, _)| id)
+            .unwrap();
+        let mut machine = Machine::new(&program, NopEnv);
+        let outcome = machine.call(f, vec![]);
+
+        match (proved, outcome) {
+            // A proven constant must be exactly what execution returns.
+            (CVal::Int(v), Ok(Outcome::Returned(Some(Value::Int(got))))) => {
+                prop_assert_eq!(v, got);
+            }
+            // Constprop proves values *for executions that reach the
+            // return*; a division elsewhere may throw first, which the
+            // value analysis deliberately does not model.
+            (CVal::NonConst, Ok(_)) => {}
+            (CVal::Int(_), Ok(Outcome::Threw(t))) => {
+                prop_assert_eq!(
+                    t.class.as_str(),
+                    "Ljava/lang/ArithmeticException;",
+                    "only arithmetic faults may preempt a proven return"
+                );
+            }
+            (proved, outcome) => {
+                prop_assert!(false, "unexpected pair: {proved:?} vs {outcome:?}");
+            }
+        }
+    }
+}

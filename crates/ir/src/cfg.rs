@@ -1,0 +1,365 @@
+//! Statement-level control-flow graphs with explicit exceptional edges.
+//!
+//! CFG nodes are statement ids; an extra *virtual exit* node (index
+//! `body.len()`) is the target of every return and uncaught throw so that
+//! post-dominance is well defined.
+
+use crate::body::{Body, Stmt, StmtId};
+
+/// The kind of a CFG edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeKind {
+    /// Ordinary fallthrough or branch.
+    Normal,
+    /// Exceptional transfer to a trap handler (or the exit for uncaught).
+    Exceptional,
+}
+
+/// A statement-level CFG.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// Normal successors per statement.
+    pub normal_succs: Vec<Vec<StmtId>>,
+    /// Exceptional successors (handler entries) per statement.
+    pub exc_succs: Vec<Vec<StmtId>>,
+    /// Predecessors per node (statements plus the virtual exit), combined
+    /// over both edge kinds.
+    pub preds: Vec<Vec<StmtId>>,
+    /// Number of real statements (the virtual exit is node `len`).
+    pub len: usize,
+}
+
+impl Cfg {
+    /// The virtual exit node id.
+    pub fn exit(&self) -> StmtId {
+        StmtId(self.len as u32)
+    }
+
+    /// Builds the CFG of `body`.
+    pub fn build(body: &Body) -> Cfg {
+        let n = body.len();
+        let mut normal_succs: Vec<Vec<StmtId>> = vec![Vec::new(); n];
+        let mut exc_succs: Vec<Vec<StmtId>> = vec![Vec::new(); n];
+        let mut preds: Vec<Vec<StmtId>> = vec![Vec::new(); n + 1];
+
+        for (id, stmt) in body.iter() {
+            let i = id.index();
+            match stmt {
+                Stmt::Goto { target } => normal_succs[i].push(*target),
+                Stmt::If { target, .. } => {
+                    if i + 1 < n {
+                        normal_succs[i].push(StmtId((i + 1) as u32));
+                    }
+                    normal_succs[i].push(*target);
+                }
+                Stmt::Switch { arms, .. } => {
+                    if i + 1 < n {
+                        normal_succs[i].push(StmtId((i + 1) as u32));
+                    }
+                    for &(_, t) in arms {
+                        normal_succs[i].push(t);
+                    }
+                }
+                Stmt::Return { .. } => normal_succs[i].push(StmtId(n as u32)),
+                Stmt::Throw { .. } => {
+                    // Handled below via the exceptional machinery; a throw
+                    // with no covering trap goes straight to the exit.
+                }
+                _ => {
+                    if i + 1 < n {
+                        normal_succs[i].push(StmtId((i + 1) as u32));
+                    }
+                }
+            }
+
+            if stmt.can_throw() {
+                let traps = body.traps_at(id);
+                if traps.is_empty() {
+                    exc_succs[i].push(StmtId(n as u32));
+                } else {
+                    // All matching handlers are possible targets: exception
+                    // types are not statically known, so every covering
+                    // clause gets an edge (sound over-approximation).
+                    for t in traps {
+                        exc_succs[i].push(t.handler);
+                    }
+                    // The exception may also be of a type no clause
+                    // catches, unless some clause is a catch-all.
+                    if !body.traps_at(id).iter().any(|t| t.exception.is_none()) {
+                        exc_succs[i].push(StmtId(n as u32));
+                    }
+                }
+            }
+
+            // Dedup successor lists (switch arms may repeat targets).
+            normal_succs[i].sort_unstable();
+            normal_succs[i].dedup();
+            exc_succs[i].sort_unstable();
+            exc_succs[i].dedup();
+        }
+
+        for i in 0..n {
+            let from = StmtId(i as u32);
+            for &t in normal_succs[i].iter().chain(exc_succs[i].iter()) {
+                preds[t.index()].push(from);
+            }
+        }
+        for p in &mut preds {
+            p.sort_unstable();
+            p.dedup();
+        }
+
+        Cfg {
+            normal_succs,
+            exc_succs,
+            preds,
+            len: n,
+        }
+    }
+
+    /// Returns a copy of this CFG with the exceptional edges removed —
+    /// the graph on which "is X a control condition of Y" questions make
+    /// sense (every possibly-throwing call otherwise controls everything
+    /// after it).
+    pub fn normal_only(&self) -> Cfg {
+        let mut preds: Vec<Vec<StmtId>> = vec![Vec::new(); self.len + 1];
+        for (i, succs) in self.normal_succs.iter().enumerate() {
+            for &t in succs {
+                preds[t.index()].push(StmtId(i as u32));
+            }
+        }
+        for p in &mut preds {
+            p.sort_unstable();
+            p.dedup();
+        }
+        Cfg {
+            normal_succs: self.normal_succs.clone(),
+            exc_succs: vec![Vec::new(); self.len],
+            preds,
+            len: self.len,
+        }
+    }
+
+    /// Iterates all successors (normal then exceptional) of `s`, excluding
+    /// the virtual exit when `include_exit` is false.
+    pub fn succs(&self, s: StmtId, include_exit: bool) -> Vec<StmtId> {
+        let mut out: Vec<StmtId> = self.normal_succs[s.index()]
+            .iter()
+            .chain(self.exc_succs[s.index()].iter())
+            .copied()
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        if !include_exit {
+            out.retain(|t| t.index() < self.len);
+        }
+        out
+    }
+
+    /// Returns the statements reachable from the entry over all edges.
+    pub fn reachable(&self) -> Vec<bool> {
+        let mut seen = vec![false; self.len];
+        if self.len == 0 {
+            return seen;
+        }
+        let mut stack = vec![StmtId(0)];
+        seen[0] = true;
+        while let Some(s) = stack.pop() {
+            for t in self.succs(s, false) {
+                if !seen[t.index()] {
+                    seen[t.index()] = true;
+                    stack.push(t);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Returns a reverse-postorder enumeration of reachable statements
+    /// (over all edges, ignoring the virtual exit).
+    pub fn reverse_postorder(&self) -> Vec<StmtId> {
+        let mut visited = vec![false; self.len];
+        let mut order = Vec::with_capacity(self.len);
+        if self.len == 0 {
+            return order;
+        }
+        // Iterative DFS with an explicit post stack.
+        let mut stack: Vec<(StmtId, usize)> = vec![(StmtId(0), 0)];
+        visited[0] = true;
+        let mut succ_cache: Vec<Option<Vec<StmtId>>> = vec![None; self.len];
+        while let Some(&mut (node, ref mut idx)) = stack.last_mut() {
+            let succs = succ_cache[node.index()]
+                .get_or_insert_with(|| self.succs(node, false))
+                .clone();
+            if *idx < succs.len() {
+                let next = succs[*idx];
+                *idx += 1;
+                if !visited[next.index()] {
+                    visited[next.index()] = true;
+                    stack.push((next, 0));
+                }
+            } else {
+                order.push(node);
+                stack.pop();
+            }
+        }
+        order.reverse();
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::body::{Operand, Stmt, Trap};
+
+    fn body_of(stmts: Vec<Stmt>, traps: Vec<Trap>) -> Body {
+        Body {
+            locals: vec![],
+            stmts,
+            traps,
+        }
+    }
+
+    #[test]
+    fn straightline_chains() {
+        let b = body_of(vec![Stmt::Nop, Stmt::Nop, Stmt::Return { value: None }], vec![]);
+        let cfg = Cfg::build(&b);
+        assert_eq!(cfg.normal_succs[0], vec![StmtId(1)]);
+        assert_eq!(cfg.normal_succs[1], vec![StmtId(2)]);
+        assert_eq!(cfg.normal_succs[2], vec![cfg.exit()]);
+        assert_eq!(cfg.preds[1], vec![StmtId(0)]);
+    }
+
+    #[test]
+    fn if_has_two_successors() {
+        let b = body_of(
+            vec![
+                Stmt::If {
+                    cond: nck_dex::CondOp::Eq,
+                    a: Operand::IntConst(0),
+                    b: Operand::IntConst(0),
+                    target: StmtId(2),
+                },
+                Stmt::Nop,
+                Stmt::Return { value: None },
+            ],
+            vec![],
+        );
+        let cfg = Cfg::build(&b);
+        assert_eq!(cfg.normal_succs[0], vec![StmtId(1), StmtId(2)]);
+    }
+
+    #[test]
+    fn uncaught_throw_goes_to_exit() {
+        let b = body_of(
+            vec![Stmt::Throw {
+                value: Operand::Null,
+            }],
+            vec![],
+        );
+        let cfg = Cfg::build(&b);
+        assert!(cfg.normal_succs[0].is_empty());
+        assert_eq!(cfg.exc_succs[0], vec![cfg.exit()]);
+    }
+
+    #[test]
+    fn trapped_call_gets_handler_edge_and_escape_edge() {
+        let mut p = crate::body::Program::new();
+        let key = crate::body::MethodKey {
+            class: p.symbols.intern("La/B;"),
+            name: p.symbols.intern("f"),
+            sig: p.symbols.intern("()V"),
+        };
+        let io = p.symbols.intern("Ljava/io/IOException;");
+        let b = body_of(
+            vec![
+                Stmt::Invoke(crate::body::InvokeExpr {
+                    kind: nck_dex::InvokeKind::Static,
+                    callee: key,
+                    args: vec![],
+                }),
+                Stmt::Return { value: None },
+                Stmt::Nop,
+                Stmt::Return { value: None },
+            ],
+            vec![Trap {
+                start: StmtId(0),
+                end: StmtId(1),
+                exception: Some(io),
+                handler: StmtId(2),
+            }],
+        );
+        let cfg = Cfg::build(&b);
+        // Typed handler: edge to handler plus escape edge to exit.
+        assert_eq!(cfg.exc_succs[0], vec![StmtId(2), cfg.exit()]);
+        assert_eq!(cfg.normal_succs[0], vec![StmtId(1)]);
+    }
+
+    #[test]
+    fn catch_all_suppresses_escape_edge() {
+        let mut p = crate::body::Program::new();
+        let key = crate::body::MethodKey {
+            class: p.symbols.intern("La/B;"),
+            name: p.symbols.intern("f"),
+            sig: p.symbols.intern("()V"),
+        };
+        let b = body_of(
+            vec![
+                Stmt::Invoke(crate::body::InvokeExpr {
+                    kind: nck_dex::InvokeKind::Static,
+                    callee: key,
+                    args: vec![],
+                }),
+                Stmt::Return { value: None },
+                Stmt::Return { value: None },
+            ],
+            vec![Trap {
+                start: StmtId(0),
+                end: StmtId(1),
+                exception: None,
+                handler: StmtId(2),
+            }],
+        );
+        let cfg = Cfg::build(&b);
+        assert_eq!(cfg.exc_succs[0], vec![StmtId(2)]);
+    }
+
+    #[test]
+    fn reverse_postorder_starts_at_entry() {
+        let b = body_of(
+            vec![
+                Stmt::If {
+                    cond: nck_dex::CondOp::Eq,
+                    a: Operand::IntConst(0),
+                    b: Operand::IntConst(0),
+                    target: StmtId(3),
+                },
+                Stmt::Nop,
+                Stmt::Goto { target: StmtId(4) },
+                Stmt::Nop,
+                Stmt::Return { value: None },
+            ],
+            vec![],
+        );
+        let cfg = Cfg::build(&b);
+        let rpo = cfg.reverse_postorder();
+        assert_eq!(rpo[0], StmtId(0));
+        assert_eq!(rpo.len(), 5);
+    }
+
+    #[test]
+    fn unreachable_code_is_detected() {
+        let b = body_of(
+            vec![
+                Stmt::Return { value: None },
+                Stmt::Nop, // Dead.
+                Stmt::Return { value: None },
+            ],
+            vec![],
+        );
+        let cfg = Cfg::build(&b);
+        let reach = cfg.reachable();
+        assert_eq!(reach, vec![true, false, false]);
+    }
+}

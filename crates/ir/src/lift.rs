@@ -1,0 +1,690 @@
+//! Lifting ADX bytecode into the IR (the Dexpler role).
+//!
+//! Registers become locals (`v0`..`vN`), parameters get identity
+//! statements, `invoke`/`move-result` pairs fuse into assigning calls, and
+//! branch targets are remapped from instruction indices to statement ids.
+
+use crate::body::{
+    Body, Class, FieldKey, IdentityKind, InvokeExpr, LocalDecl, LocalId, Method, MethodKey,
+    Operand, Program, Rvalue, Stmt, StmtId, Trap,
+};
+use nck_dex::{AccessFlags, AdxFile, CodeItem, Insn, Reg};
+
+/// Errors produced during lifting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LiftError {
+    /// A pool reference inside an instruction was unresolvable.
+    BadPoolRef {
+        /// Rendered method identity.
+        method: String,
+        /// Instruction index.
+        pc: u32,
+        /// Which pool failed.
+        what: &'static str,
+    },
+    /// A branch target fell outside the method.
+    BadTarget {
+        /// Rendered method identity.
+        method: String,
+        /// Instruction index of the branch.
+        pc: u32,
+        /// The bad target.
+        target: u32,
+    },
+    /// The method's declared signature disagrees with its frame.
+    BadFrame {
+        /// Rendered method identity.
+        method: String,
+    },
+}
+
+impl std::fmt::Display for LiftError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LiftError::BadPoolRef { method, pc, what } => {
+                write!(f, "{method} @{pc}: unresolvable {what} reference")
+            }
+            LiftError::BadTarget { method, pc, target } => {
+                write!(f, "{method} @{pc}: branch target {target} out of range")
+            }
+            LiftError::BadFrame { method } => write!(f, "{method}: bad parameter frame"),
+        }
+    }
+}
+
+impl std::error::Error for LiftError {}
+
+/// Convenience alias for lifting results.
+pub type Result<T> = std::result::Result<T, LiftError>;
+
+struct Lifter<'a> {
+    file: &'a AdxFile,
+    program: Program,
+}
+
+impl<'a> Lifter<'a> {
+    fn local(reg: Reg) -> LocalId {
+        LocalId(u32::from(reg.0))
+    }
+
+    fn op(reg: Reg) -> Operand {
+        Operand::Local(Self::local(reg))
+    }
+
+    fn method_key(&mut self, idx: nck_dex::MethodIdx) -> Option<MethodKey> {
+        let m = self.file.pools.get_method(idx)?;
+        let class = self.file.pools.get_type(m.class)?;
+        let name = self.file.pools.get_string(m.name)?;
+        let sig = self.file.pools.display_proto(m.proto);
+        Some(MethodKey {
+            class: self.program.symbols.intern(class),
+            name: self.program.symbols.intern(name),
+            sig: self.program.symbols.intern(&sig),
+        })
+    }
+
+    fn field_key(&mut self, idx: nck_dex::FieldIdx) -> Option<FieldKey> {
+        let f = self.file.pools.get_field(idx)?;
+        let class = self.file.pools.get_type(f.class)?;
+        let name = self.file.pools.get_string(f.name)?;
+        let ty = self.file.pools.get_type(f.ty)?;
+        Some(FieldKey {
+            class: self.program.symbols.intern(class),
+            name: self.program.symbols.intern(name),
+            ty: self.program.symbols.intern(ty),
+        })
+    }
+
+    fn type_sym(&mut self, idx: nck_dex::TypeIdx) -> Option<crate::symbols::Symbol> {
+        let t = self.file.pools.get_type(idx)?;
+        Some(self.program.symbols.intern(t))
+    }
+
+    fn lift_code(
+        &mut self,
+        method_name: &str,
+        code: &CodeItem,
+        is_static: bool,
+        param_descriptors: &[String],
+    ) -> Result<Body> {
+        let bad = |pc: u32, what: &'static str| LiftError::BadPoolRef {
+            method: method_name.to_owned(),
+            pc,
+            what,
+        };
+
+        let mut locals: Vec<LocalDecl> = (0..code.registers)
+            .map(|r| LocalDecl {
+                name: format!("v{r}"),
+                ty: None,
+            })
+            .collect();
+
+        let receiver = usize::from(!is_static);
+        if usize::from(code.ins) != param_descriptors.len() + receiver {
+            return Err(LiftError::BadFrame {
+                method: method_name.to_owned(),
+            });
+        }
+
+        let mut stmts: Vec<Stmt> = Vec::with_capacity(code.insns.len() + usize::from(code.ins));
+        // Identity preamble: bind parameter registers.
+        for i in 0..code.ins {
+            let reg = code.param_reg(i).ok_or_else(|| LiftError::BadFrame {
+                method: method_name.to_owned(),
+            })?;
+            let kind = if !is_static && i == 0 {
+                locals[reg.0 as usize].name = "this".to_owned();
+                IdentityKind::This
+            } else {
+                IdentityKind::Param(i - receiver as u16)
+            };
+            if let IdentityKind::Param(p) = kind {
+                let desc = &param_descriptors[p as usize];
+                let sym = self.program.symbols.intern(desc);
+                locals[reg.0 as usize].ty = Some(sym);
+            }
+            stmts.push(Stmt::Identity {
+                local: Self::local(reg),
+                kind,
+            });
+        }
+
+        // Fusion map: instruction index -> statement index.
+        let mut map: Vec<u32> = Vec::with_capacity(code.insns.len());
+        let mut i = 0usize;
+        while i < code.insns.len() {
+            let pc = i as u32;
+            let stmt_idx = stmts.len() as u32;
+            match &code.insns[i] {
+                Insn::Invoke { kind, method, args } => {
+                    let callee = self.method_key(*method).ok_or_else(|| bad(pc, "method"))?;
+                    let expr = InvokeExpr {
+                        kind: *kind,
+                        callee,
+                        args: args.iter().map(|&r| Self::op(r)).collect(),
+                    };
+                    // Fuse a following move-result into an assigning call.
+                    if let Some(Insn::MoveResult { dst }) = code.insns.get(i + 1) {
+                        stmts.push(Stmt::Assign {
+                            local: Self::local(*dst),
+                            rvalue: Rvalue::Invoke(expr),
+                        });
+                        map.push(stmt_idx);
+                        map.push(stmt_idx);
+                        i += 2;
+                        continue;
+                    }
+                    stmts.push(Stmt::Invoke(expr));
+                }
+                Insn::MoveResult { dst } => {
+                    // Unfused move-result (verifier rejects these, but the
+                    // lifter stays total): treat as an opaque definition.
+                    stmts.push(Stmt::Assign {
+                        local: Self::local(*dst),
+                        rvalue: Rvalue::Use(Operand::Null),
+                    });
+                }
+                Insn::Nop => stmts.push(Stmt::Nop),
+                Insn::Move { dst, src } => stmts.push(Stmt::Assign {
+                    local: Self::local(*dst),
+                    rvalue: Rvalue::Use(Self::op(*src)),
+                }),
+                Insn::ConstInt { dst, value } => stmts.push(Stmt::Assign {
+                    local: Self::local(*dst),
+                    rvalue: Rvalue::Use(Operand::IntConst(*value)),
+                }),
+                Insn::ConstString { dst, idx } => {
+                    let s = self
+                        .file
+                        .pools
+                        .get_string(*idx)
+                        .ok_or_else(|| bad(pc, "string"))?
+                        .to_owned();
+                    let sym = self.program.symbols.intern(&s);
+                    stmts.push(Stmt::Assign {
+                        local: Self::local(*dst),
+                        rvalue: Rvalue::Use(Operand::StrConst(sym)),
+                    });
+                }
+                Insn::ConstNull { dst } => stmts.push(Stmt::Assign {
+                    local: Self::local(*dst),
+                    rvalue: Rvalue::Use(Operand::Null),
+                }),
+                Insn::ConstClass { dst, ty } => {
+                    let sym = self.type_sym(*ty).ok_or_else(|| bad(pc, "type"))?;
+                    stmts.push(Stmt::Assign {
+                        local: Self::local(*dst),
+                        rvalue: Rvalue::Use(Operand::ClassConst(sym)),
+                    });
+                }
+                Insn::NewInstance { dst, ty } => {
+                    let sym = self.type_sym(*ty).ok_or_else(|| bad(pc, "type"))?;
+                    locals[dst.0 as usize].ty = Some(sym);
+                    stmts.push(Stmt::Assign {
+                        local: Self::local(*dst),
+                        rvalue: Rvalue::New { ty: sym },
+                    });
+                }
+                Insn::NewArray { dst, len, ty } => {
+                    let sym = self.type_sym(*ty).ok_or_else(|| bad(pc, "type"))?;
+                    stmts.push(Stmt::Assign {
+                        local: Self::local(*dst),
+                        rvalue: Rvalue::NewArray {
+                            ty: sym,
+                            len: Self::op(*len),
+                        },
+                    });
+                }
+                Insn::CheckCast { reg, ty } => {
+                    let sym = self.type_sym(*ty).ok_or_else(|| bad(pc, "type"))?;
+                    stmts.push(Stmt::Assign {
+                        local: Self::local(*reg),
+                        rvalue: Rvalue::Cast {
+                            ty: sym,
+                            op: Self::op(*reg),
+                        },
+                    });
+                }
+                Insn::InstanceOf { dst, src, ty } => {
+                    let sym = self.type_sym(*ty).ok_or_else(|| bad(pc, "type"))?;
+                    stmts.push(Stmt::Assign {
+                        local: Self::local(*dst),
+                        rvalue: Rvalue::InstanceOf {
+                            ty: sym,
+                            op: Self::op(*src),
+                        },
+                    });
+                }
+                Insn::ArrayLength { dst, arr } => stmts.push(Stmt::Assign {
+                    local: Self::local(*dst),
+                    rvalue: Rvalue::ArrayLength {
+                        array: Self::op(*arr),
+                    },
+                }),
+                Insn::Aget { dst, arr, idx } => stmts.push(Stmt::Assign {
+                    local: Self::local(*dst),
+                    rvalue: Rvalue::ArrayElem {
+                        array: Self::op(*arr),
+                        index: Self::op(*idx),
+                    },
+                }),
+                Insn::Aput { src, arr, idx } => stmts.push(Stmt::StoreArrayElem {
+                    array: Self::op(*arr),
+                    index: Self::op(*idx),
+                    value: Self::op(*src),
+                }),
+                Insn::Iget { dst, obj, field } => {
+                    let field = self.field_key(*field).ok_or_else(|| bad(pc, "field"))?;
+                    stmts.push(Stmt::Assign {
+                        local: Self::local(*dst),
+                        rvalue: Rvalue::InstanceField {
+                            base: Self::op(*obj),
+                            field,
+                        },
+                    });
+                }
+                Insn::Iput { src, obj, field } => {
+                    let field = self.field_key(*field).ok_or_else(|| bad(pc, "field"))?;
+                    stmts.push(Stmt::StoreInstanceField {
+                        base: Self::op(*obj),
+                        field,
+                        value: Self::op(*src),
+                    });
+                }
+                Insn::Sget { dst, field } => {
+                    let field = self.field_key(*field).ok_or_else(|| bad(pc, "field"))?;
+                    stmts.push(Stmt::Assign {
+                        local: Self::local(*dst),
+                        rvalue: Rvalue::StaticField { field },
+                    });
+                }
+                Insn::Sput { src, field } => {
+                    let field = self.field_key(*field).ok_or_else(|| bad(pc, "field"))?;
+                    stmts.push(Stmt::StoreStaticField {
+                        field,
+                        value: Self::op(*src),
+                    });
+                }
+                Insn::MoveException { dst } => stmts.push(Stmt::Identity {
+                    local: Self::local(*dst),
+                    kind: IdentityKind::CaughtException,
+                }),
+                Insn::Return { src } => stmts.push(Stmt::Return {
+                    value: src.map(Self::op),
+                }),
+                Insn::Throw { src } => stmts.push(Stmt::Throw {
+                    value: Self::op(*src),
+                }),
+                Insn::Goto { target } => stmts.push(Stmt::Goto {
+                    target: StmtId(*target),
+                }),
+                Insn::If { cond, a, b, target } => stmts.push(Stmt::If {
+                    cond: *cond,
+                    a: Self::op(*a),
+                    b: Self::op(*b),
+                    target: StmtId(*target),
+                }),
+                Insn::IfZ { cond, a, target } => stmts.push(Stmt::If {
+                    cond: *cond,
+                    a: Self::op(*a),
+                    b: Operand::IntConst(0),
+                    target: StmtId(*target),
+                }),
+                Insn::BinOp { op, dst, a, b } => stmts.push(Stmt::Assign {
+                    local: Self::local(*dst),
+                    rvalue: Rvalue::BinOp {
+                        op: *op,
+                        a: Self::op(*a),
+                        b: Self::op(*b),
+                    },
+                }),
+                Insn::BinOpLit { op, dst, a, lit } => stmts.push(Stmt::Assign {
+                    local: Self::local(*dst),
+                    rvalue: Rvalue::BinOp {
+                        op: *op,
+                        a: Self::op(*a),
+                        b: Operand::IntConst(i64::from(*lit)),
+                    },
+                }),
+                Insn::UnOp { op, dst, src } => stmts.push(Stmt::Assign {
+                    local: Self::local(*dst),
+                    rvalue: Rvalue::UnOp {
+                        op: *op,
+                        a: Self::op(*src),
+                    },
+                }),
+                Insn::Switch { src, targets } => stmts.push(Stmt::Switch {
+                    key: Self::op(*src),
+                    arms: targets.iter().map(|&(k, t)| (k, StmtId(t))).collect(),
+                }),
+            }
+            map.push(stmt_idx);
+            i += 1;
+        }
+
+        // Remap branch targets from instruction indices to statement ids.
+        let remap = |method: &str, pc: u32, target: StmtId| -> Result<StmtId> {
+            map.get(target.index())
+                .map(|&s| StmtId(s))
+                .ok_or(LiftError::BadTarget {
+                    method: method.to_owned(),
+                    pc,
+                    target: target.0,
+                })
+        };
+        for (idx, stmt) in stmts.iter_mut().enumerate() {
+            let pc = idx as u32;
+            match stmt {
+                Stmt::Goto { target } => *target = remap(method_name, pc, *target)?,
+                Stmt::If { target, .. } => *target = remap(method_name, pc, *target)?,
+                Stmt::Switch { arms, .. } => {
+                    let mut new_arms = Vec::with_capacity(arms.len());
+                    for &(k, t) in arms.iter() {
+                        new_arms.push((k, remap(method_name, pc, t)?));
+                    }
+                    *arms = new_arms;
+                }
+                _ => {}
+            }
+        }
+
+        // Lift traps: one per catch clause.
+        let end_map = |insn_idx: u32| -> StmtId {
+            if insn_idx as usize >= map.len() {
+                StmtId(stmts.len() as u32)
+            } else {
+                StmtId(map[insn_idx as usize])
+            }
+        };
+        let mut traps = Vec::new();
+        for t in &code.tries {
+            let start = end_map(t.start);
+            // NOTE: a try range ending exactly between a fused invoke and
+            // its move-result collapses onto the call statement; the fused
+            // statement then counts as covered, which errs on the side of
+            // more exceptional edges (sound for the checkers).
+            let end = end_map(t.end);
+            for h in &t.handlers {
+                let exception = match h.exception {
+                    Some(ty) => Some(
+                        self.type_sym(ty)
+                            .ok_or_else(|| bad(t.start, "exception type"))?,
+                    ),
+                    None => None,
+                };
+                traps.push(Trap {
+                    start,
+                    end,
+                    exception,
+                    handler: end_map(h.target),
+                });
+            }
+        }
+
+        Ok(Body {
+            locals,
+            stmts,
+            traps,
+        })
+    }
+}
+
+/// Lifts a whole ADX file into an IR [`Program`].
+pub fn lift_file(file: &AdxFile) -> Result<Program> {
+    let mut lifter = Lifter {
+        file,
+        program: Program::new(),
+    };
+
+    for class in &file.classes {
+        let name_str = file.pools.get_type(class.ty).unwrap_or("<bad>").to_owned();
+        let name = lifter.program.symbols.intern(&name_str);
+        let superclass = class
+            .superclass
+            .and_then(|s| file.pools.get_type(s))
+            .map(|s| s.to_owned())
+            .map(|s| lifter.program.symbols.intern(&s));
+        let interfaces = class
+            .interfaces
+            .iter()
+            .filter_map(|&i| file.pools.get_type(i))
+            .map(|s| s.to_owned())
+            .collect::<Vec<_>>()
+            .iter()
+            .map(|s| lifter.program.symbols.intern(s))
+            .collect();
+        let fields = class
+            .fields
+            .iter()
+            .filter_map(|f| lifter.field_key(f.field))
+            .collect();
+
+        let mut method_ids = Vec::new();
+        for m in &class.methods {
+            let display = file.pools.display_method(m.method);
+            let key = lifter
+                .method_key(m.method)
+                .ok_or(LiftError::BadPoolRef {
+                    method: display.clone(),
+                    pc: 0,
+                    what: "method definition",
+                })?;
+            let body = match &m.code {
+                Some(code) => {
+                    let sig_str = lifter.program.symbols.resolve(key.sig).to_owned();
+                    let (params, _) =
+                        nck_dex::parse_signature(&sig_str).map_err(|_| LiftError::BadFrame {
+                            method: display.clone(),
+                        })?;
+                    let is_static = m.flags.contains(AccessFlags::STATIC);
+                    Some(lifter.lift_code(&display, code, is_static, &params)?)
+                }
+                None => None,
+            };
+            let id = lifter.program.add_method(Method {
+                key,
+                flags: m.flags,
+                body,
+            });
+            method_ids.push(id);
+        }
+
+        lifter.program.add_class(Class {
+            name,
+            superclass,
+            interfaces,
+            flags: class.flags,
+            fields,
+            methods: method_ids,
+        });
+    }
+
+    Ok(lifter.program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nck_dex::builder::AdxBuilder;
+    use nck_dex::CondOp;
+
+    fn lift_one(build: impl FnOnce(&mut nck_dex::builder::ClassBuilder<'_>)) -> Program {
+        let mut b = AdxBuilder::new();
+        b.class("Lapp/T;", build);
+        let file = b.finish().unwrap();
+        lift_file(&file).unwrap()
+    }
+
+    #[test]
+    fn identity_preamble_for_instance_method() {
+        let p = lift_one(|c| {
+            c.method("f", "(I)V", AccessFlags::PUBLIC, 4, |m| m.ret(None));
+        });
+        let body = p.methods[0].body.as_ref().unwrap();
+        assert_eq!(body.stmts.len(), 3);
+        assert!(matches!(
+            body.stmts[0],
+            Stmt::Identity {
+                kind: IdentityKind::This,
+                ..
+            }
+        ));
+        assert!(matches!(
+            body.stmts[1],
+            Stmt::Identity {
+                kind: IdentityKind::Param(0),
+                ..
+            }
+        ));
+        // Parameter type hint recorded on the local.
+        let this_local = match body.stmts[0] {
+            Stmt::Identity { local, .. } => local,
+            _ => unreachable!(),
+        };
+        assert_eq!(body.locals[this_local.0 as usize].name, "this");
+    }
+
+    #[test]
+    fn invoke_move_result_fuses() {
+        let p = lift_one(|c| {
+            c.method("f", "()I", AccessFlags::PUBLIC, 4, |m| {
+                let this = m.param(0).unwrap();
+                m.invoke_virtual("Lapp/T;", "g", "()I", &[this]);
+                m.move_result(m.reg(0));
+                m.ret(Some(m.reg(0)));
+            });
+        });
+        let body = p.methods[0].body.as_ref().unwrap();
+        // this-identity, fused call, return.
+        assert_eq!(body.stmts.len(), 3);
+        assert!(matches!(
+            &body.stmts[1],
+            Stmt::Assign {
+                rvalue: Rvalue::Invoke(_),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn branch_targets_remap_over_preamble_and_fusion() {
+        let p = lift_one(|c| {
+            c.method("f", "(I)V", AccessFlags::PUBLIC, 4, |m| {
+                let x = m.param(1).unwrap();
+                let end = m.new_label();
+                // insn 0: ifz -> end
+                m.ifz(CondOp::Eq, x, end);
+                // insns 1-2: fused pair
+                m.invoke_virtual("Lapp/T;", "g", "()I", &[m.param(0).unwrap()]);
+                m.move_result(m.reg(0));
+                // insn 3: target
+                m.bind(end);
+                m.ret(None);
+            });
+        });
+        let body = p.methods[0].body.as_ref().unwrap();
+        // Stmts: this(0), param(1), if(2), fused(3), return(4).
+        assert_eq!(body.stmts.len(), 5);
+        match &body.stmts[2] {
+            Stmt::If { target, .. } => assert_eq!(*target, StmtId(4)),
+            other => panic!("expected if, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ifz_becomes_compare_with_zero() {
+        let p = lift_one(|c| {
+            c.method("f", "(I)V", AccessFlags::PUBLIC, 4, |m| {
+                let x = m.param(1).unwrap();
+                let end = m.new_label();
+                m.ifz(CondOp::Ne, x, end);
+                m.bind(end);
+                m.ret(None);
+            });
+        });
+        let body = p.methods[0].body.as_ref().unwrap();
+        match &body.stmts[2] {
+            Stmt::If { b, .. } => assert_eq!(*b, Operand::IntConst(0)),
+            other => panic!("expected if, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn traps_lift_per_handler() {
+        let p = lift_one(|c| {
+            c.method("f", "()V", AccessFlags::PUBLIC, 4, |m| {
+                let h1 = m.new_label();
+                let h2 = m.new_label();
+                let done = m.new_label();
+                let t = m.begin_try();
+                m.invoke_virtual("Lapp/T;", "g", "()V", &[m.param(0).unwrap()]);
+                m.end_try(
+                    t,
+                    &[
+                        (Some("Ljava/io/IOException;"), h1),
+                        (None, h2),
+                    ],
+                );
+                m.goto(done);
+                m.bind(h1);
+                m.move_exception(m.reg(0));
+                m.goto(done);
+                m.bind(h2);
+                m.move_exception(m.reg(1));
+                m.bind(done);
+                m.ret(None);
+            });
+        });
+        let body = p.methods[0].body.as_ref().unwrap();
+        assert_eq!(body.traps.len(), 2);
+        assert!(body.traps[0].exception.is_some());
+        assert!(body.traps[1].exception.is_none());
+        // Handlers begin with caught-exception identities.
+        assert!(matches!(
+            body.stmt(body.traps[0].handler),
+            Stmt::Identity {
+                kind: IdentityKind::CaughtException,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn string_constants_are_interned() {
+        let p = lift_one(|c| {
+            c.method("f", "()V", AccessFlags::PUBLIC, 2, |m| {
+                m.const_str(m.reg(0), "http://example.com");
+                m.ret(None);
+            });
+        });
+        let body = p.methods[0].body.as_ref().unwrap();
+        match &body.stmts[1] {
+            Stmt::Assign {
+                rvalue: Rvalue::Use(Operand::StrConst(s)),
+                ..
+            } => {
+                assert_eq!(p.symbols.resolve(*s), "http://example.com");
+            }
+            other => panic!("expected string const, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn classes_and_hierarchy_lift() {
+        let mut b = AdxBuilder::new();
+        b.class("Lapp/A;", |c| {
+            c.super_class("Landroid/app/Activity;");
+            c.interface("Landroid/view/View$OnClickListener;");
+            c.method("f", "()V", AccessFlags::PUBLIC, 1, |m| m.ret(None));
+        });
+        let file = b.finish().unwrap();
+        let p = lift_file(&file).unwrap();
+        assert_eq!(p.classes.len(), 1);
+        let a = p.symbols.get("Lapp/A;").unwrap();
+        let chain = p.hierarchy(a);
+        assert_eq!(chain.len(), 2);
+        assert_eq!(p.symbols.resolve(chain[1]), "Landroid/app/Activity;");
+        assert_eq!(p.all_interfaces(a).len(), 1);
+    }
+}

@@ -1,0 +1,82 @@
+//! String interning for class names, method names, and descriptors.
+//!
+//! Checker rules compare names millions of times across a corpus; interning
+//! turns those comparisons into `u32` equality.
+
+use std::collections::HashMap;
+
+/// An interned string handle, valid for the [`Interner`] that produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(pub u32);
+
+/// An append-only string interner.
+#[derive(Debug, Default, Clone)]
+pub struct Interner {
+    strings: Vec<String>,
+    map: HashMap<String, Symbol>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `s`, returning its symbol.
+    pub fn intern(&mut self, s: &str) -> Symbol {
+        if let Some(&sym) = self.map.get(s) {
+            return sym;
+        }
+        let sym = Symbol(self.strings.len() as u32);
+        self.strings.push(s.to_owned());
+        self.map.insert(s.to_owned(), sym);
+        sym
+    }
+
+    /// Looks up a previously interned string without interning.
+    pub fn get(&self, s: &str) -> Option<Symbol> {
+        self.map.get(s).copied()
+    }
+
+    /// Resolves a symbol back to its string.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `sym` did not come from this interner.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.strings[sym.0 as usize]
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Returns `true` when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("foo");
+        let b = i.intern("foo");
+        assert_eq!(a, b);
+        assert_eq!(i.resolve(a), "foo");
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut i = Interner::new();
+        assert!(i.get("bar").is_none());
+        let s = i.intern("bar");
+        assert_eq!(i.get("bar"), Some(s));
+    }
+}

@@ -1,0 +1,152 @@
+//! The IR type system: JVM-style descriptors parsed into structured types.
+
+/// A lifted type.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// `V`.
+    Void,
+    /// `Z`.
+    Boolean,
+    /// `B`.
+    Byte,
+    /// `S`.
+    Short,
+    /// `C`.
+    Char,
+    /// `I`.
+    Int,
+    /// `J`.
+    Long,
+    /// `F`.
+    Float,
+    /// `D`.
+    Double,
+    /// `L<name>;` — the stored string keeps the full descriptor form.
+    Class(String),
+    /// `[<elem>`.
+    Array(Box<Type>),
+    /// A reference whose class could not be resolved; behaves like `Class`.
+    Unknown,
+}
+
+impl Type {
+    /// Parses a descriptor such as `I`, `Ljava/lang/String;`, or `[[B`.
+    ///
+    /// Returns `None` on malformed descriptors.
+    pub fn parse(descriptor: &str) -> Option<Type> {
+        let mut chars = descriptor.chars();
+        match chars.next()? {
+            'V' if descriptor.len() == 1 => Some(Type::Void),
+            'Z' if descriptor.len() == 1 => Some(Type::Boolean),
+            'B' if descriptor.len() == 1 => Some(Type::Byte),
+            'S' if descriptor.len() == 1 => Some(Type::Short),
+            'C' if descriptor.len() == 1 => Some(Type::Char),
+            'I' if descriptor.len() == 1 => Some(Type::Int),
+            'J' if descriptor.len() == 1 => Some(Type::Long),
+            'F' if descriptor.len() == 1 => Some(Type::Float),
+            'D' if descriptor.len() == 1 => Some(Type::Double),
+            'L' if descriptor.ends_with(';') && descriptor.len() > 2 => {
+                Some(Type::Class(descriptor.to_owned()))
+            }
+            '[' => Some(Type::Array(Box::new(Type::parse(&descriptor[1..])?))),
+            _ => None,
+        }
+    }
+
+    /// Renders the type back to descriptor form.
+    pub fn descriptor(&self) -> String {
+        match self {
+            Type::Void => "V".to_owned(),
+            Type::Boolean => "Z".to_owned(),
+            Type::Byte => "B".to_owned(),
+            Type::Short => "S".to_owned(),
+            Type::Char => "C".to_owned(),
+            Type::Int => "I".to_owned(),
+            Type::Long => "J".to_owned(),
+            Type::Float => "F".to_owned(),
+            Type::Double => "D".to_owned(),
+            Type::Class(c) => c.clone(),
+            Type::Array(e) => format!("[{}", e.descriptor()),
+            Type::Unknown => "Ljava/lang/Object;".to_owned(),
+        }
+    }
+
+    /// Returns `true` for class and array types (and [`Type::Unknown`]).
+    pub fn is_reference(&self) -> bool {
+        matches!(self, Type::Class(_) | Type::Array(_) | Type::Unknown)
+    }
+
+    /// Returns `true` for numeric and boolean primitives.
+    pub fn is_primitive(&self) -> bool {
+        !self.is_reference() && !matches!(self, Type::Void)
+    }
+
+    /// Returns the human-readable dotted class name for class types
+    /// (`Ljava/lang/String;` → `java.lang.String`), or the descriptor
+    /// otherwise.
+    pub fn pretty(&self) -> String {
+        match self {
+            Type::Class(c) => c
+                .trim_start_matches('L')
+                .trim_end_matches(';')
+                .replace('/', "."),
+            other => other.descriptor(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_primitives() {
+        assert_eq!(Type::parse("I"), Some(Type::Int));
+        assert_eq!(Type::parse("V"), Some(Type::Void));
+        assert_eq!(Type::parse("Z"), Some(Type::Boolean));
+    }
+
+    #[test]
+    fn parse_class_and_array() {
+        assert_eq!(
+            Type::parse("Ljava/lang/String;"),
+            Some(Type::Class("Ljava/lang/String;".to_owned()))
+        );
+        assert_eq!(
+            Type::parse("[[I"),
+            Some(Type::Array(Box::new(Type::Array(Box::new(Type::Int)))))
+        );
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        assert!(Type::parse("").is_none());
+        assert!(Type::parse("Q").is_none());
+        assert!(Type::parse("II").is_none());
+        assert!(Type::parse("Lfoo").is_none());
+        assert!(Type::parse("L;").is_none());
+        assert!(Type::parse("[").is_none());
+    }
+
+    #[test]
+    fn descriptor_roundtrip() {
+        for d in ["I", "V", "Ljava/lang/String;", "[[Lfoo/Bar;", "[Z"] {
+            assert_eq!(Type::parse(d).unwrap().descriptor(), d);
+        }
+    }
+
+    #[test]
+    fn pretty_names() {
+        assert_eq!(Type::parse("Ljava/lang/String;").unwrap().pretty(), "java.lang.String");
+        assert_eq!(Type::Int.pretty(), "I");
+    }
+
+    #[test]
+    fn reference_classification() {
+        assert!(Type::parse("[I").unwrap().is_reference());
+        assert!(Type::parse("Lx/Y;").unwrap().is_reference());
+        assert!(Type::Int.is_primitive());
+        assert!(!Type::Void.is_primitive());
+        assert!(!Type::Void.is_reference());
+    }
+}

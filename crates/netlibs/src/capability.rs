@@ -1,0 +1,180 @@
+//! The library capability matrix — Table 4 of the paper.
+
+use crate::library::{Library, ALL_LIBRARIES};
+
+/// The eight NPD causes of Table 4's rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NpdCause {
+    /// No connectivity check before the request.
+    NoConnectivityCheck,
+    /// No retry on transient errors.
+    NoRetryOnTransient,
+    /// Over-retry (background services, POST requests).
+    OverRetry,
+    /// No timeout configured.
+    NoTimeout,
+    /// No or misleading failure notification.
+    NoFailureNotification,
+    /// No validity check on the response.
+    NoInvalidResponseCheck,
+    /// No reconnection on network switch.
+    NoReconnectOnNetSwitch,
+    /// No automatic failure recovery.
+    NoAutoFailureRecovery,
+}
+
+/// All causes in Table 4 row order.
+pub const ALL_CAUSES: &[NpdCause] = &[
+    NpdCause::NoConnectivityCheck,
+    NpdCause::NoRetryOnTransient,
+    NpdCause::OverRetry,
+    NpdCause::NoTimeout,
+    NpdCause::NoFailureNotification,
+    NpdCause::NoInvalidResponseCheck,
+    NpdCause::NoReconnectOnNetSwitch,
+    NpdCause::NoAutoFailureRecovery,
+];
+
+impl NpdCause {
+    /// The row label used in Table 4.
+    pub fn label(self) -> &'static str {
+        match self {
+            NpdCause::NoConnectivityCheck => "No connectivity check",
+            NpdCause::NoRetryOnTransient => "No retry on transient error",
+            NpdCause::OverRetry => "Over retry",
+            NpdCause::NoTimeout => "No timeout",
+            NpdCause::NoFailureNotification => "No/Misleading Failure notification",
+            NpdCause::NoInvalidResponseCheck => "No invalid response check",
+            NpdCause::NoReconnectOnNetSwitch => "No reconnetion on net switch",
+            NpdCause::NoAutoFailureRecovery => "No auto failure recovery",
+        }
+    }
+}
+
+/// How a library relates to an NPD cause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Support {
+    /// ⋆ — the library tolerates this NPD automatically.
+    Auto,
+    /// © — the library offers APIs but the developer must set them.
+    Manual,
+}
+
+impl Support {
+    /// The glyph used in Table 4.
+    pub fn glyph(self) -> char {
+        match self {
+            Support::Auto => '*',
+            Support::Manual => 'o',
+        }
+    }
+}
+
+/// Returns Table 4's cell for `(lib, cause)`.
+pub fn capability(lib: Library, cause: NpdCause) -> Support {
+    use Library::*;
+    use NpdCause::*;
+    use Support::*;
+    match cause {
+        // Row: "No retry on transient error" — ⋆ © ⋆ ⋆ © ⋆.
+        NoRetryOnTransient => match lib {
+            HttpUrlConnection | Volley | OkHttp | BasicHttpClient => Auto,
+            ApacheHttpClient | AndroidAsyncHttp => Manual,
+        },
+        // Row: "No timeout" — © © ⋆ © ⋆ ⋆.
+        NoTimeout => match lib {
+            Volley | AndroidAsyncHttp | BasicHttpClient => Auto,
+            HttpUrlConnection | ApacheHttpClient | OkHttp => Manual,
+        },
+        // Row: "No invalid response check" — © © ⋆ © © ©.
+        NoInvalidResponseCheck => match lib {
+            Volley => Auto,
+            _ => Manual,
+        },
+        // Every other row is all ©.
+        _ => Manual,
+    }
+}
+
+/// Renders the full Table 4 matrix as aligned text.
+pub fn render_table4() -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{:38}", "NPD Causes"));
+    for lib in ALL_LIBRARIES {
+        out.push_str(&format!("{:>20}", lib.name()));
+    }
+    out.push('\n');
+    for &cause in ALL_CAUSES {
+        out.push_str(&format!("{:38}", cause.label()));
+        for &lib in ALL_LIBRARIES {
+            out.push_str(&format!("{:>20}", capability(lib, cause).glyph()));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volley_auto_checks_responses() {
+        assert_eq!(
+            capability(Library::Volley, NpdCause::NoInvalidResponseCheck),
+            Support::Auto
+        );
+        assert_eq!(
+            capability(Library::OkHttp, NpdCause::NoInvalidResponseCheck),
+            Support::Manual
+        );
+    }
+
+    #[test]
+    fn timeout_row_matches_paper() {
+        use Library::*;
+        let expected = [
+            (HttpUrlConnection, Support::Manual),
+            (ApacheHttpClient, Support::Manual),
+            (Volley, Support::Auto),
+            (OkHttp, Support::Manual),
+            (AndroidAsyncHttp, Support::Auto),
+            (BasicHttpClient, Support::Auto),
+        ];
+        for (lib, support) in expected {
+            assert_eq!(capability(lib, NpdCause::NoTimeout), support, "{lib}");
+        }
+    }
+
+    #[test]
+    fn connectivity_row_is_all_manual() {
+        for &lib in ALL_LIBRARIES {
+            assert_eq!(
+                capability(lib, NpdCause::NoConnectivityCheck),
+                Support::Manual
+            );
+        }
+    }
+
+    #[test]
+    fn network_switch_rows_are_all_manual() {
+        for &lib in ALL_LIBRARIES {
+            assert_eq!(
+                capability(lib, NpdCause::NoReconnectOnNetSwitch),
+                Support::Manual
+            );
+            assert_eq!(
+                capability(lib, NpdCause::NoAutoFailureRecovery),
+                Support::Manual
+            );
+        }
+    }
+
+    #[test]
+    fn table_renders_all_rows() {
+        let t = render_table4();
+        assert_eq!(t.lines().count(), 1 + ALL_CAUSES.len());
+        assert!(t.contains("Volley"));
+        assert!(t.contains("No timeout"));
+    }
+}

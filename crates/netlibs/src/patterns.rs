@@ -1,0 +1,108 @@
+//! The four API misuse patterns NChecker detects — Table 5 of the paper.
+
+/// One of the four misuse pattern families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MisusePattern {
+    /// Pattern 1: missing request setting APIs (connectivity check, retry,
+    /// timeout).
+    MissingRequestSettings,
+    /// Pattern 2: improper API parameters (over-retry in services/POST).
+    ImproperParameters,
+    /// Pattern 3: no or implicit error messages in request callbacks.
+    NoErrorMessage,
+    /// Pattern 4: missing response checking APIs.
+    MissingResponseCheck,
+}
+
+/// All patterns in Table 5 row order.
+pub const ALL_PATTERNS: &[MisusePattern] = &[
+    MisusePattern::MissingRequestSettings,
+    MisusePattern::ImproperParameters,
+    MisusePattern::NoErrorMessage,
+    MisusePattern::MissingResponseCheck,
+];
+
+/// One row of Table 5.
+#[derive(Debug, Clone, Copy)]
+pub struct PatternRow {
+    /// The pattern.
+    pub pattern: MisusePattern,
+    /// Table 5 column 1.
+    pub label: &'static str,
+    /// Table 5 column 2: the NPD causes this pattern maps to.
+    pub causes: &'static [&'static str],
+    /// Table 5 column 3: an example of identifying the misuse in code.
+    pub example: &'static str,
+}
+
+/// The contents of Table 5.
+pub const TABLE5: &[PatternRow] = &[
+    PatternRow {
+        pattern: MisusePattern::MissingRequestSettings,
+        label: "Miss request setting APIs",
+        causes: &[
+            "No connectivity check",
+            "No retry on transient error",
+            "No timeout",
+        ],
+        example: "Do not call getNetworkInfo to check connectivity / setMaxRetries to set \
+                  retry times / setReadTimeout to set timeout before sending a network request",
+    },
+    PatternRow {
+        pattern: MisusePattern::ImproperParameters,
+        label: "Improper API parameters",
+        causes: &["Over retry"],
+        example: "Set retries >= 0 in setMaxRetries in Android Service or POST request",
+    },
+    PatternRow {
+        pattern: MisusePattern::NoErrorMessage,
+        label: "No/implicit error message",
+        causes: &["No failure notification"],
+        example: "Do not call Toast.show to display a UI message in onErrorResponse() in \
+                  request callbacks of a network request made by user",
+    },
+    PatternRow {
+        pattern: MisusePattern::MissingResponseCheck,
+        label: "Miss resp. checking APIs",
+        causes: &["No invalid resp. check"],
+        example: "Do not call isSuccessful() to check the response status before reading \
+                  the response body",
+    },
+];
+
+/// Renders Table 5 as text.
+pub fn render_table5() -> String {
+    let mut out = String::new();
+    for row in TABLE5 {
+        out.push_str(&format!(
+            "{:28} | {:32} | {}\n",
+            row.label,
+            row.causes.join("; "),
+            row.example
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_patterns() {
+        assert_eq!(TABLE5.len(), 4);
+        assert_eq!(ALL_PATTERNS.len(), 4);
+    }
+
+    #[test]
+    fn pattern_one_covers_three_causes() {
+        assert_eq!(TABLE5[0].causes.len(), 3);
+    }
+
+    #[test]
+    fn table_renders() {
+        let t = render_table5();
+        assert!(t.contains("Improper API parameters"));
+        assert!(t.contains("isSuccessful"));
+    }
+}

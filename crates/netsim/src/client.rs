@@ -1,0 +1,222 @@
+//! Library client models: application-level timeout and retry policy on
+//! top of the simulated transport — the mechanism whose defaults
+//! Figure 3 stresses.
+
+use crate::link::LinkModel;
+use crate::tcp::{connect, download, TcpParams, TransferOutcome};
+use rand::rngs::StdRng;
+
+/// An HTTP client's reliability configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClientConfig {
+    /// Per-attempt deadline in milliseconds; `None` blocks until the
+    /// transport itself gives up (the missing-timeout defect).
+    pub timeout_ms: Option<f64>,
+    /// Automatic retries after a failed attempt.
+    pub retries: u32,
+    /// Multiplier applied to the timeout after each retry (Volley's
+    /// backoff multiplier).
+    pub backoff_mult: f64,
+}
+
+impl ClientConfig {
+    /// Volley's defaults: 2500 ms timeout, 1 retry, backoff ×1 (§1.2).
+    pub fn volley_default() -> ClientConfig {
+        ClientConfig {
+            timeout_ms: Some(2500.0),
+            retries: 1,
+            backoff_mult: 1.0,
+        }
+    }
+
+    /// Android Async HTTP defaults: 10 s timeout, 5 retries.
+    pub fn async_http_default() -> ClientConfig {
+        ClientConfig {
+            timeout_ms: Some(10_000.0),
+            retries: 5,
+            backoff_mult: 1.0,
+        }
+    }
+
+    /// `HttpURLConnection` defaults: no application timeout at all.
+    pub fn http_url_connection_default() -> ClientConfig {
+        ClientConfig {
+            timeout_ms: None,
+            retries: 0,
+            backoff_mult: 1.0,
+        }
+    }
+}
+
+/// The result of one request through a client.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RequestResult {
+    /// Whether any attempt completed.
+    pub success: bool,
+    /// Attempts made (1 + retries used).
+    pub attempts: u32,
+    /// Total wall-clock milliseconds spent, including failed attempts.
+    pub total_ms: f64,
+}
+
+/// Issues one download of `bytes` through a client configured with
+/// `config` over `link`.
+pub fn request(
+    link: &LinkModel,
+    config: &ClientConfig,
+    bytes: u64,
+    rng: &mut StdRng,
+) -> RequestResult {
+    let params = TcpParams::default();
+    let mut total_ms = 0.0;
+    let mut timeout = config.timeout_ms;
+    for attempt in 0..=config.retries {
+        let deadline = timeout.unwrap_or(f64::MAX);
+        let outcome = match connect(link, &params, rng) {
+            Some(conn_ms) if conn_ms <= deadline => {
+                match download(link, &params, bytes, deadline - conn_ms, rng) {
+                    TransferOutcome::Completed(ms) => Some(conn_ms + ms),
+                    TransferOutcome::DeadlineExceeded => {
+                        total_ms += deadline;
+                        None
+                    }
+                    TransferOutcome::ConnectionReset => {
+                        total_ms += (conn_ms + deadline).min(deadline);
+                        None
+                    }
+                }
+            }
+            Some(conn_ms) => {
+                total_ms += conn_ms.min(deadline);
+                None
+            }
+            None => {
+                // The SYN exchange died; the app waited out its deadline
+                // (or a long transport timeout when none is set).
+                total_ms += timeout.unwrap_or(120_000.0);
+                None
+            }
+        };
+        if let Some(ms) = outcome {
+            return RequestResult {
+                success: true,
+                attempts: attempt + 1,
+                total_ms: total_ms + ms,
+            };
+        }
+        timeout = timeout.map(|t| t * config.backoff_mult.max(1.0));
+    }
+    RequestResult {
+        success: false,
+        attempts: config.retries + 1,
+        total_ms,
+    }
+}
+
+/// Monte-Carlo success rate of downloading `bytes` under `link` with
+/// `config`, over `trials` runs.
+pub fn success_rate(
+    link: &LinkModel,
+    config: &ClientConfig,
+    bytes: u64,
+    trials: u32,
+    rng: &mut StdRng,
+) -> f64 {
+    let mut ok = 0u32;
+    for _ in 0..trials {
+        if request(link, config, bytes, rng).success {
+            ok += 1;
+        }
+    }
+    f64::from(ok) / f64::from(trials)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn small_files_succeed_with_volley_defaults() {
+        let rate = success_rate(
+            &LinkModel::three_g(),
+            &ClientConfig::volley_default(),
+            2048,
+            100,
+            &mut rng(),
+        );
+        assert!(rate > 0.95, "rate {rate}");
+    }
+
+    #[test]
+    fn huge_files_fail_with_volley_defaults() {
+        let rate = success_rate(
+            &LinkModel::three_g(),
+            &ClientConfig::volley_default(),
+            2 * 1024 * 1024,
+            50,
+            &mut rng(),
+        );
+        assert!(rate < 0.05, "rate {rate}");
+    }
+
+    #[test]
+    fn loss_reduces_success() {
+        let clean = success_rate(
+            &LinkModel::three_g(),
+            &ClientConfig::volley_default(),
+            128 * 1024,
+            200,
+            &mut rng(),
+        );
+        let lossy = success_rate(
+            &LinkModel::three_g().with_loss(0.10),
+            &ClientConfig::volley_default(),
+            128 * 1024,
+            200,
+            &mut rng(),
+        );
+        assert!(clean > lossy + 0.1, "clean {clean} lossy {lossy}");
+    }
+
+    #[test]
+    fn a_larger_timeout_rescues_large_files() {
+        let default = success_rate(
+            &LinkModel::three_g(),
+            &ClientConfig::volley_default(),
+            1024 * 1024,
+            50,
+            &mut rng(),
+        );
+        let tuned = success_rate(
+            &LinkModel::three_g(),
+            &ClientConfig {
+                timeout_ms: Some(30_000.0),
+                retries: 1,
+                backoff_mult: 1.0,
+            },
+            1024 * 1024,
+            50,
+            &mut rng(),
+        );
+        assert!(tuned > default, "tuned {tuned} vs default {default}");
+        assert!(tuned > 0.9);
+    }
+
+    #[test]
+    fn retries_add_attempts_on_failure() {
+        let r = request(
+            &LinkModel::three_g().with_loss(1.0),
+            &ClientConfig::volley_default(),
+            2048,
+            &mut rng(),
+        );
+        assert!(!r.success);
+        assert_eq!(r.attempts, 2);
+        assert!(r.total_ms >= 2500.0);
+    }
+}

@@ -1,0 +1,155 @@
+//! Disruption timelines: the connectivity events mobile apps must
+//! tolerate (§1) — outages, signal fades, and network-type switches.
+
+use crate::link::LinkModel;
+
+/// The network condition during one timeline segment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Condition {
+    /// Connected with the given link quality.
+    Up(LinkModel),
+    /// No connectivity at all.
+    Down,
+}
+
+/// One segment of a disruption timeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    /// Duration of the segment in milliseconds.
+    pub duration_ms: f64,
+    /// Condition during the segment.
+    pub condition: Condition,
+}
+
+/// A piecewise-constant network timeline; repeats cyclically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Timeline {
+    segments: Vec<Segment>,
+    total_ms: f64,
+}
+
+impl Timeline {
+    /// Builds a timeline from segments.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty segment list or non-positive durations.
+    pub fn new(segments: Vec<Segment>) -> Timeline {
+        assert!(!segments.is_empty(), "timeline needs at least one segment");
+        assert!(
+            segments.iter().all(|s| s.duration_ms > 0.0),
+            "segment durations must be positive"
+        );
+        let total_ms = segments.iter().map(|s| s.duration_ms).sum();
+        Timeline { segments, total_ms }
+    }
+
+    /// A permanently-up timeline.
+    pub fn always(link: LinkModel) -> Timeline {
+        Timeline::new(vec![Segment {
+            duration_ms: f64::MAX / 4.0,
+            condition: Condition::Up(link),
+        }])
+    }
+
+    /// Intermittent connectivity: `up_ms` of `link` alternating with
+    /// `down_ms` outages — the "intermittent network" that breaks the
+    /// ChatSecure patch of Figure 1.
+    pub fn intermittent(link: LinkModel, up_ms: f64, down_ms: f64) -> Timeline {
+        Timeline::new(vec![
+            Segment {
+                duration_ms: up_ms,
+                condition: Condition::Up(link),
+            },
+            Segment {
+                duration_ms: down_ms,
+                condition: Condition::Down,
+            },
+        ])
+    }
+
+    /// A WiFi→cellular switch at `at_ms`: a brief outage between two
+    /// different links (§2.3 cause 4).
+    pub fn network_switch(from: LinkModel, to: LinkModel, at_ms: f64, gap_ms: f64) -> Timeline {
+        Timeline::new(vec![
+            Segment {
+                duration_ms: at_ms,
+                condition: Condition::Up(from),
+            },
+            Segment {
+                duration_ms: gap_ms,
+                condition: Condition::Down,
+            },
+            Segment {
+                duration_ms: f64::MAX / 8.0,
+                condition: Condition::Up(to),
+            },
+        ])
+    }
+
+    /// The condition at absolute time `t_ms` (cyclic).
+    pub fn at(&self, t_ms: f64) -> Condition {
+        let mut t = t_ms % self.total_ms;
+        for s in &self.segments {
+            if t < s.duration_ms {
+                return s.condition;
+            }
+            t -= s.duration_ms;
+        }
+        self.segments.last().expect("non-empty").condition
+    }
+
+    /// Returns the fraction of `[0, window_ms)` that is connected.
+    pub fn availability(&self, window_ms: f64, step_ms: f64) -> f64 {
+        let mut up = 0u64;
+        let mut n = 0u64;
+        let mut t = 0.0;
+        while t < window_ms {
+            if matches!(self.at(t), Condition::Up(_)) {
+                up += 1;
+            }
+            n += 1;
+            t += step_ms;
+        }
+        up as f64 / n.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn always_is_always_up() {
+        let t = Timeline::always(LinkModel::wifi());
+        assert!(matches!(t.at(0.0), Condition::Up(_)));
+        assert!(matches!(t.at(1e9), Condition::Up(_)));
+    }
+
+    #[test]
+    fn intermittent_cycles() {
+        let t = Timeline::intermittent(LinkModel::three_g(), 1000.0, 500.0);
+        assert!(matches!(t.at(500.0), Condition::Up(_)));
+        assert_eq!(t.at(1200.0), Condition::Down);
+        // Next cycle.
+        assert!(matches!(t.at(1600.0), Condition::Up(_)));
+        let avail = t.availability(15_000.0, 10.0);
+        assert!((avail - 2.0 / 3.0).abs() < 0.05, "{avail}");
+    }
+
+    #[test]
+    fn switch_has_a_gap_then_new_link() {
+        let t = Timeline::network_switch(LinkModel::wifi(), LinkModel::three_g(), 5000.0, 800.0);
+        assert_eq!(t.at(5400.0), Condition::Down);
+        match t.at(10_000.0) {
+            Condition::Up(l) => assert_eq!(l, LinkModel::three_g()),
+            Condition::Down => panic!("expected the new link"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one segment")]
+    fn empty_timeline_panics() {
+        Timeline::new(vec![]);
+    }
+}

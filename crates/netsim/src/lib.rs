@@ -1,0 +1,55 @@
+//! `nck-netsim`: a network simulator standing in for the paper's
+//! testbed.
+//!
+//! Figure 3 of the paper downloads files through Volley under a Network
+//! Link Conditioner; §2's study catalogues disruptions, switches, and
+//! battery-drain retry loops. This crate simulates the same mechanisms:
+//!
+//! - [`link`]: 3G/WiFi/EDGE link models with tunable loss;
+//! - [`tcp`]: simplified windowed transfers with RTO retransmission;
+//! - [`client`]: library client models (timeout + retry policy, with the
+//!   real libraries' defaults) over the simulated transport;
+//! - [`disruption`]: connectivity timelines (outages, network switches);
+//! - [`session`]: reconnection policies played against timelines (the
+//!   Figure 2 Telegram loop, quantified);
+//! - [`energy`]: a 3G radio-state energy model for over-retry costs.
+//!
+//! # Examples
+//!
+//! ```
+//! use nck_netsim::client::{success_rate, ClientConfig};
+//! use nck_netsim::link::LinkModel;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let small = success_rate(
+//!     &LinkModel::three_g(),
+//!     &ClientConfig::volley_default(),
+//!     2048,
+//!     50,
+//!     &mut rng,
+//! );
+//! let large = success_rate(
+//!     &LinkModel::three_g(),
+//!     &ClientConfig::volley_default(),
+//!     2 * 1024 * 1024,
+//!     50,
+//!     &mut rng,
+//! );
+//! assert!(small > large, "Figure 3's shape: size kills the default timeout");
+//! ```
+
+pub mod client;
+pub mod disruption;
+pub mod energy;
+pub mod link;
+pub mod session;
+pub mod tcp;
+
+pub use client::{request, success_rate, ClientConfig, RequestResult};
+pub use disruption::{Condition, Segment, Timeline};
+pub use energy::{backoff_retry_energy, energy_mj, periodic_retry_energy, Activity, RadioModel};
+pub use link::LinkModel;
+pub use session::{average_sessions, run_session, ReconnectPolicy, SessionResult};
+pub use tcp::{connect, download, TcpParams, TransferOutcome};

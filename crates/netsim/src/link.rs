@@ -1,0 +1,98 @@
+//! Link models: bandwidth, latency, and loss for the network types the
+//! paper's Figure 3 experiment throttles with the Network Link
+//! Conditioner.
+
+/// A bidirectional link model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkModel {
+    /// Downlink bandwidth in bits per second.
+    pub downlink_bps: f64,
+    /// Uplink bandwidth in bits per second.
+    pub uplink_bps: f64,
+    /// One-way latency in milliseconds (RTT is twice this).
+    pub latency_ms: f64,
+    /// Independent per-packet loss probability in `[0, 1]`.
+    pub loss_rate: f64,
+}
+
+impl LinkModel {
+    /// The round-trip time in milliseconds.
+    pub fn rtt_ms(&self) -> f64 {
+        self.latency_ms * 2.0
+    }
+
+    /// Returns a copy with a different loss rate.
+    pub fn with_loss(mut self, loss_rate: f64) -> LinkModel {
+        self.loss_rate = loss_rate;
+        self
+    }
+
+    /// A typical 3G (HSPA) link: ~2 Mbps down, 600 kbps up, 75 ms one-way
+    /// latency — the profile of the Network Link Conditioner's "3G"
+    /// preset used in Figure 3.
+    pub fn three_g() -> LinkModel {
+        LinkModel {
+            downlink_bps: 2_000_000.0,
+            uplink_bps: 600_000.0,
+            latency_ms: 75.0,
+            loss_rate: 0.0,
+        }
+    }
+
+    /// A home WiFi link: 20 Mbps down, 5 Mbps up, 10 ms one-way latency.
+    pub fn wifi() -> LinkModel {
+        LinkModel {
+            downlink_bps: 20_000_000.0,
+            uplink_bps: 5_000_000.0,
+            latency_ms: 10.0,
+            loss_rate: 0.0,
+        }
+    }
+
+    /// An EDGE (2G) link: 200 kbps down, 100 kbps up, 250 ms one-way.
+    pub fn edge() -> LinkModel {
+        LinkModel {
+            downlink_bps: 200_000.0,
+            uplink_bps: 100_000.0,
+            latency_ms: 250.0,
+            loss_rate: 0.0,
+        }
+    }
+
+    /// Ideal time in milliseconds to move `bytes` down the link, ignoring
+    /// loss (bandwidth + one RTT of protocol overhead).
+    pub fn ideal_download_ms(&self, bytes: u64) -> f64 {
+        (bytes as f64 * 8.0) / self.downlink_bps * 1000.0 + self.rtt_ms()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_g_is_slower_than_wifi() {
+        let g = LinkModel::three_g();
+        let w = LinkModel::wifi();
+        assert!(g.ideal_download_ms(1_000_000) > w.ideal_download_ms(1_000_000));
+        assert!(g.rtt_ms() > w.rtt_ms());
+    }
+
+    #[test]
+    fn with_loss_only_changes_loss() {
+        let g = LinkModel::three_g();
+        let lossy = g.with_loss(0.1);
+        assert_eq!(lossy.loss_rate, 0.1);
+        assert_eq!(lossy.downlink_bps, g.downlink_bps);
+    }
+
+    #[test]
+    fn ideal_download_scales_with_size() {
+        let g = LinkModel::three_g();
+        // 2 MB at 2 Mbps ≈ 8 s + RTT: far beyond Volley's 2500 ms default.
+        let t = g.ideal_download_ms(2 * 1024 * 1024);
+        assert!(t > 8000.0);
+        // 2 KB fits comfortably.
+        assert!(g.ideal_download_ms(2048) < 300.0);
+    }
+}

@@ -1,0 +1,239 @@
+//! Reconnection sessions: an app's retry policy played against a
+//! disruption timeline — the quantitative version of the Figure 2
+//! Telegram story and the §2.3 cause-4 "reconnect on network switch"
+//! guidance.
+
+use crate::disruption::{Condition, Timeline};
+use crate::energy::{energy_mj, Activity, RadioModel};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A reconnection policy: when to try again after a failed attempt.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ReconnectPolicy {
+    /// Retry every `interval_ms` (Figure 2's bug at 500 ms).
+    Fixed {
+        /// Interval between attempts.
+        interval_ms: f64,
+    },
+    /// Exponential backoff from `initial_ms`, doubling to `max_ms`.
+    Backoff {
+        /// First retry interval.
+        initial_ms: f64,
+        /// Interval ceiling.
+        max_ms: f64,
+    },
+    /// Give up after the first failure (the opposite defect: cause 2.1).
+    GiveUp,
+}
+
+/// The result of one reconnection session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionResult {
+    /// Whether a connection was eventually established.
+    pub connected: bool,
+    /// Wall-clock milliseconds until connection (or until `give_up`).
+    pub elapsed_ms: f64,
+    /// Connection attempts made.
+    pub attempts: u32,
+    /// Radio energy spent in millijoules.
+    pub energy_mj: f64,
+}
+
+/// Plays `policy` against `timeline` starting at `start_ms`, with each
+/// attempt taking `attempt_ms` of radio activity; gives up at
+/// `deadline_ms` of elapsed time.
+pub fn run_session(
+    timeline: &Timeline,
+    policy: ReconnectPolicy,
+    radio: &RadioModel,
+    start_ms: f64,
+    attempt_ms: f64,
+    deadline_ms: f64,
+    rng: &mut StdRng,
+) -> SessionResult {
+    let mut t = 0.0;
+    let mut attempts = 0u32;
+    let mut activities = Vec::new();
+    let mut interval = match policy {
+        ReconnectPolicy::Fixed { interval_ms } => interval_ms,
+        ReconnectPolicy::Backoff { initial_ms, .. } => initial_ms,
+        ReconnectPolicy::GiveUp => 0.0,
+    };
+
+    loop {
+        attempts += 1;
+        activities.push(Activity {
+            start_ms: t,
+            active_ms: attempt_ms,
+        });
+        let up = matches!(timeline.at(start_ms + t), Condition::Up(_));
+        // A little success jitter even when up: the first attempt after an
+        // outage can still catch a stale route.
+        let succeeded = up && rng.gen::<f64>() > 0.05;
+        if succeeded {
+            let elapsed = t + attempt_ms;
+            return SessionResult {
+                connected: true,
+                elapsed_ms: elapsed,
+                attempts,
+                energy_mj: energy_mj(radio, &activities, elapsed.max(1.0)),
+            };
+        }
+        match policy {
+            ReconnectPolicy::GiveUp => {
+                let elapsed = t + attempt_ms;
+                return SessionResult {
+                    connected: false,
+                    elapsed_ms: elapsed,
+                    attempts,
+                    energy_mj: energy_mj(radio, &activities, elapsed.max(1.0)),
+                };
+            }
+            ReconnectPolicy::Fixed { .. } => {}
+            ReconnectPolicy::Backoff { max_ms, .. } => {
+                interval = (interval * 2.0).min(max_ms);
+            }
+        }
+        t += attempt_ms + interval;
+        if t >= deadline_ms {
+            return SessionResult {
+                connected: false,
+                elapsed_ms: deadline_ms,
+                attempts,
+                energy_mj: energy_mj(radio, &activities, deadline_ms),
+            };
+        }
+    }
+}
+
+/// Averages sessions over `trials` random outage phases.
+pub fn average_sessions(
+    timeline: &Timeline,
+    policy: ReconnectPolicy,
+    radio: &RadioModel,
+    attempt_ms: f64,
+    deadline_ms: f64,
+    trials: u32,
+    rng: &mut StdRng,
+) -> SessionResult {
+    let mut connected = 0u32;
+    let (mut elapsed, mut attempts, mut energy) = (0.0, 0u64, 0.0);
+    for _ in 0..trials {
+        let start = rng.gen::<f64>() * 60_000.0;
+        let r = run_session(timeline, policy, radio, start, attempt_ms, deadline_ms, rng);
+        connected += u32::from(r.connected);
+        elapsed += r.elapsed_ms;
+        attempts += u64::from(r.attempts);
+        energy += r.energy_mj;
+    }
+    let n = f64::from(trials);
+    SessionResult {
+        connected: connected * 2 > trials,
+        elapsed_ms: elapsed / n,
+        attempts: (attempts as f64 / n).round() as u32,
+        energy_mj: energy / n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LinkModel;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(11)
+    }
+
+    fn outage_then_up() -> Timeline {
+        // 10 s down, then 50 s up, cyclic.
+        Timeline::new(vec![
+            crate::disruption::Segment {
+                duration_ms: 10_000.0,
+                condition: Condition::Down,
+            },
+            crate::disruption::Segment {
+                duration_ms: 50_000.0,
+                condition: Condition::Up(LinkModel::three_g()),
+            },
+        ])
+    }
+
+    #[test]
+    fn fixed_and_backoff_both_reconnect() {
+        let t = outage_then_up();
+        let radio = RadioModel::three_g();
+        let mut r = rng();
+        // Start at the beginning of the 10 s outage so both policies have
+        // to ride it out.
+        let fixed = run_session(
+            &t,
+            ReconnectPolicy::Fixed { interval_ms: 500.0 },
+            &radio,
+            0.0,
+            200.0,
+            120_000.0,
+            &mut r,
+        );
+        let backoff = run_session(
+            &t,
+            ReconnectPolicy::Backoff {
+                initial_ms: 1000.0,
+                max_ms: 32_000.0,
+            },
+            &radio,
+            0.0,
+            200.0,
+            120_000.0,
+            &mut r,
+        );
+        assert!(fixed.connected);
+        assert!(backoff.connected);
+        // The fixed 500 ms loop makes far more attempts...
+        assert!(fixed.attempts > backoff.attempts);
+        // ...and burns more energy per connection.
+        assert!(fixed.energy_mj > backoff.energy_mj);
+    }
+
+    #[test]
+    fn give_up_fails_during_outages() {
+        let t = outage_then_up();
+        let radio = RadioModel::three_g();
+        let mut r = rng();
+        // Starting inside the outage window, a single attempt fails.
+        let res = run_session(
+            &t,
+            ReconnectPolicy::GiveUp,
+            &radio,
+            5_000.0, // Inside the 10 s outage.
+            200.0,
+            120_000.0,
+            &mut r,
+        );
+        assert!(!res.connected);
+        assert_eq!(res.attempts, 1);
+    }
+
+    #[test]
+    fn backoff_latency_is_bounded_by_its_ceiling() {
+        let t = outage_then_up();
+        let radio = RadioModel::three_g();
+        let mut r = rng();
+        let res = average_sessions(
+            &t,
+            ReconnectPolicy::Backoff {
+                initial_ms: 1000.0,
+                max_ms: 16_000.0,
+            },
+            &radio,
+            200.0,
+            240_000.0,
+            40,
+            &mut r,
+        );
+        assert!(res.connected);
+        // Average outage exposure is ≤ 10 s plus at most one ceiling wait.
+        assert!(res.elapsed_ms < 30_000.0, "{}", res.elapsed_ms);
+    }
+}

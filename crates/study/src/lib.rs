@@ -1,0 +1,18 @@
+//! `nck-study`: the §2 empirical study encoded as data.
+//!
+//! The paper studies 90 real-world NPDs across 21 open-source Android
+//! apps. This crate carries the study's artifacts — the app list
+//! (Table 1, [`apps`]), the per-case records with impact and root-cause
+//! classifications (Table 2/3 and Figure 4, [`dataset`]), and the library
+//! design guidelines (Table 11, [`guidelines`]) — and re-derives every
+//! printed distribution from the per-case records.
+
+pub mod apps;
+pub mod dataset;
+pub mod guidelines;
+
+pub use apps::{StudyApp, STUDY_APPS};
+pub use dataset::{
+    cause_distribution, impact_distribution, study_npds, subcause_counts, Impact, Npd, RootCause,
+};
+pub use guidelines::{render_table11, Guideline, GUIDELINES};

@@ -1,0 +1,14 @@
+//! `nck-userstudy`: the §5.4 controlled user study as a Monte-Carlo
+//! developer model.
+//!
+//! The original study put 7 real NPDs (Table 10, [`tasks`]) in front of
+//! 20 volunteers and timed their fixes with NChecker reports in hand
+//! (Figure 10). Humans are not redistributable; [`model`] replaces them
+//! with a calibrated stochastic developer whose with/without-report
+//! contrast doubles as an ablation of the report's value.
+
+pub mod model;
+pub mod tasks;
+
+pub use model::{fix_attempt, simulate, Attempt, StudyResult, TaskStat, Volunteer};
+pub use tasks::{Task, TASKS};

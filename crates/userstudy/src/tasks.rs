@@ -1,0 +1,117 @@
+//! The user-study tasks — Table 10.
+
+use nchecker::{DefectKind, OverRetryContext};
+
+/// One NPD-fixing task given to the volunteers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Task {
+    /// Task name as printed in Table 10 / Figure 10.
+    pub name: &'static str,
+    /// The defect being fixed.
+    pub defect: DefectKind,
+    /// The correct fix (Table 10 column 2).
+    pub correct_fix: &'static str,
+    /// Base fix time in minutes for a novice following the NChecker
+    /// report (model parameter; see `model`).
+    pub base_minutes: f64,
+    /// Probability a volunteer produces the correct fix at all; only the
+    /// retried-exception task is hard enough to fail (1 of 20 volunteers
+    /// succeeded).
+    pub success_prob: f64,
+    /// Whether the task appears in Figure 10 (the retried-exception task
+    /// is excluded because most volunteers could not finish it).
+    pub in_figure10: bool,
+}
+
+/// Table 10's seven tasks.
+pub const TASKS: &[Task] = &[
+    Task {
+        name: "AnkiDroid no conn. check",
+        defect: DefectKind::MissedConnectivityCheck,
+        correct_fix: "Add connectivity check before the request. Show error message if not \
+                      connected.",
+        base_minutes: 1.5,
+        success_prob: 1.0,
+        in_figure10: true,
+    },
+    Task {
+        name: "GPSLogger no timeout",
+        defect: DefectKind::MissedTimeout,
+        correct_fix: "Add timeout API to set timeout value",
+        base_minutes: 1.4,
+        success_prob: 1.0,
+        in_figure10: true,
+    },
+    Task {
+        name: "GPSLogger no retry times",
+        defect: DefectKind::MissedRetry,
+        correct_fix: "Add retry API to set retry times",
+        base_minutes: 1.6,
+        success_prob: 1.0,
+        in_figure10: true,
+    },
+    Task {
+        name: "GPSLogger no retried exception",
+        defect: DefectKind::MissedRetry,
+        correct_fix: "Add another retry API to set exception class that should be retried",
+        base_minutes: 6.0,
+        success_prob: 0.05,
+        in_figure10: false,
+    },
+    Task {
+        name: "DevFest no err msg",
+        defect: DefectKind::MissedFailureNotification,
+        correct_fix: "Add error message in callback according to the error status.",
+        base_minutes: 1.9,
+        success_prob: 1.0,
+        in_figure10: true,
+    },
+    Task {
+        name: "DevFest invalid resp",
+        defect: DefectKind::MissedResponseCheck,
+        correct_fix: "Add null check and status check on the response before reading its body",
+        base_minutes: 2.1,
+        success_prob: 1.0,
+        in_figure10: true,
+    },
+    Task {
+        name: "Maoshishu over retry",
+        defect: DefectKind::OverRetry {
+            context: OverRetryContext::Service,
+            default_caused: true,
+        },
+        correct_fix: "Add retry API and set retry time to be 0",
+        base_minutes: 1.7,
+        success_prob: 1.0,
+        in_figure10: true,
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seven_tasks_six_in_figure() {
+        assert_eq!(TASKS.len(), 7);
+        assert_eq!(TASKS.iter().filter(|t| t.in_figure10).count(), 6);
+    }
+
+    #[test]
+    fn figure_tasks_average_near_paper_mean() {
+        let mean: f64 = TASKS
+            .iter()
+            .filter(|t| t.in_figure10)
+            .map(|t| t.base_minutes)
+            .sum::<f64>()
+            / 6.0;
+        assert!((mean - 1.7).abs() < 0.05, "base means average to {mean}");
+    }
+
+    #[test]
+    fn only_the_exception_task_is_hard() {
+        let hard: Vec<_> = TASKS.iter().filter(|t| t.success_prob < 0.5).collect();
+        assert_eq!(hard.len(), 1);
+        assert!(hard[0].name.contains("retried exception"));
+    }
+}

@@ -1,0 +1,34 @@
+//! Inspect the pipeline's artifacts: build an app, save the APK bundle to
+//! disk, reload it, and print both the ADX disassembly and the lifted
+//! Jimple-style IR of its main method.
+//!
+//! ```sh
+//! cargo run --example disassemble
+//! ```
+
+use nck_android::apk::Apk;
+use nck_appgen::studyapps::telegram;
+
+fn main() {
+    // The Telegram reconstruction carries a customized retry loop —
+    // interesting bytecode to look at.
+    let apk = nck_appgen::generate(&telegram());
+
+    // Round-trip through disk, as the real tool would.
+    let path = std::env::temp_dir().join("telegram-reconstruction.apk");
+    apk.save(&path).expect("writable temp dir");
+    let loaded = Apk::load(&path).expect("reload");
+    println!("wrote and reloaded {} ({} bytes)\n", path.display(), apk.to_bytes().len());
+
+    println!("=== manifest ===");
+    println!("{}", loaded.manifest.to_text());
+
+    println!("=== ADX disassembly ===");
+    print!("{}", nck_dex::disasm::disassemble(&loaded.adx));
+
+    println!("=== lifted IR ===");
+    let program = nck_ir::lift_file(&loaded.adx).expect("liftable");
+    print!("{}", nck_ir::pretty::fmt_program(&program));
+
+    std::fs::remove_file(&path).ok();
+}

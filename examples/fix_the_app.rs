@@ -1,0 +1,52 @@
+//! Before/after: analyze the GPSLogger reconstruction (the paper's
+//! Figure 7 report example), apply the fixes its reports suggest, and
+//! show the warnings disappear — the workflow the user study timed.
+//!
+//! ```sh
+//! cargo run --example fix_the_app
+//! ```
+
+use nchecker::NChecker;
+use nck_appgen::spec::{ConnCheck, Notification};
+use nck_appgen::studyapps::gpslogger;
+
+fn main() {
+    let checker = NChecker::new();
+
+    // Before: the app as shipped.
+    let buggy = gpslogger();
+    let report = checker
+        .analyze_apk(&nck_appgen::generate(&buggy))
+        .expect("analyzable");
+    println!(
+        "=== {} (before): {} defects ===\n",
+        report.stats.package,
+        report.defects.len()
+    );
+    for d in &report.defects {
+        println!("{}", d.render());
+    }
+
+    // After: apply each report's fix suggestion to the spec —
+    // connectivity check, timeout API, retry API.
+    let mut fixed = buggy;
+    for r in &mut fixed.requests {
+        r.conn_check = ConnCheck::Guarding;
+        r.set_timeout = true;
+        r.set_retries = Some(2);
+        r.notification = Notification::Alert;
+    }
+    let report = checker
+        .analyze_apk(&nck_appgen::generate(&fixed))
+        .expect("analyzable");
+    println!(
+        "=== {} (after fixes): {} defects ===",
+        report.stats.package,
+        report.defects.len()
+    );
+    assert!(
+        report.defects.is_empty(),
+        "applying the suggested fixes must clear every warning"
+    );
+    println!("all warnings resolved — average fix time in the study: 1.7 minutes.");
+}

@@ -1,0 +1,74 @@
+//! Quickstart: build a small buggy app binary with the ADX builder, run
+//! NChecker on it, and print the Figure 7-style warning reports.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use nchecker::NChecker;
+use nck_android::apk::Apk;
+use nck_android::manifest::{ComponentKind, Manifest};
+use nck_dex::builder::AdxBuilder;
+use nck_dex::AccessFlags;
+
+fn main() {
+    // 1. Author an app the way a careless developer would: an Activity
+    //    that fires an HTTP request straight from onCreate with no
+    //    connectivity check, no timeout, and no failure handling.
+    let mut b = AdxBuilder::new();
+    b.class("Lcom/example/quickstart/MainActivity;", |c| {
+        c.super_class("Landroid/app/Activity;");
+        c.method(
+            "onCreate",
+            "(Landroid/os/Bundle;)V",
+            AccessFlags::PUBLIC,
+            8,
+            |m| {
+                let client = m.reg(0);
+                let url = m.reg(1);
+                let params = m.reg(2);
+                m.new_instance(client, "Lcom/turbomanage/httpclient/BasicHttpClient;");
+                m.invoke_direct(
+                    "Lcom/turbomanage/httpclient/BasicHttpClient;",
+                    "<init>",
+                    "()V",
+                    &[client],
+                );
+                m.const_str(url, "http://api.example.com/feed");
+                m.const_null(params);
+                m.invoke_virtual(
+                    "Lcom/turbomanage/httpclient/BasicHttpClient;",
+                    "get",
+                    "(Ljava/lang/String;Lcom/turbomanage/httpclient/ParameterMap;)Lcom/turbomanage/httpclient/HttpResponse;",
+                    &[client, url, params],
+                );
+                m.move_result(m.reg(3));
+                m.ret(None);
+            },
+        );
+    });
+
+    let mut manifest = Manifest::new("com.example.quickstart");
+    manifest
+        .permission("android.permission.INTERNET")
+        .component("Lcom/example/quickstart/MainActivity;", ComponentKind::Activity);
+    let apk = Apk::new(manifest, b.finish().expect("valid app"));
+
+    // 2. Serialize to the binary container — the artifact NChecker
+    //    actually consumes — and analyze it.
+    let bytes = apk.to_bytes();
+    println!("built app binary: {} bytes\n", bytes.len());
+
+    let checker = NChecker::new();
+    let report = checker.analyze_bytes(&bytes).expect("analyzable binary");
+
+    // 3. Read the warnings.
+    println!(
+        "NChecker found {} defects in {} request(s):\n",
+        report.defects.len(),
+        report.stats.requests
+    );
+    for d in &report.defects {
+        println!("{}", d.render());
+    }
+}

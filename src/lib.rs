@@ -1,0 +1,21 @@
+//! Umbrella crate re-exporting the NChecker reproduction workspace.
+//!
+//! See the individual crates for the real functionality:
+//! [`nchecker`] (the tool), [`nck_dex`] (binary format), [`nck_ir`]
+//! (3-address IR), [`nck_dataflow`] (dataflow framework), [`nck_android`]
+//! (Android model), [`nck_netlibs`] (library annotations), [`nck_appgen`]
+//! (corpus generator), [`nck_netsim`] (network simulator), [`nck_study`]
+//! (empirical study data), and [`nck_userstudy`] (user-study model).
+
+pub use nck_android as android;
+pub use nck_appgen as appgen;
+pub use nck_dataflow as dataflow;
+pub use nck_dex as dex;
+pub use nck_dyntest as dyntest;
+pub use nck_interp as interp;
+pub use nck_ir as ir;
+pub use nck_netlibs as netlibs;
+pub use nck_netsim as netsim;
+pub use nck_study as study;
+pub use nck_userstudy as userstudy;
+pub use nchecker as checker;

@@ -1,0 +1,70 @@
+//! Corpus-level integration tests: a sampled slice of the 285-app corpus
+//! goes through the full binary pipeline, and per-app results must match
+//! each spec's oracle.
+
+use nchecker::{CorpusStats, NChecker};
+use nck_appgen::profile::{corpus, CORPUS_SIZE};
+
+fn sorted_kinds(kinds: Vec<nchecker::DefectKind>) -> Vec<String> {
+    let mut v: Vec<String> = kinds.into_iter().map(|k| format!("{k:?}")).collect();
+    v.sort();
+    v
+}
+
+#[test]
+fn sampled_corpus_apps_match_their_oracles() {
+    let specs = corpus(2016);
+    let checker = NChecker::new();
+    // Every 12th app covers all the library/flag zones without the cost
+    // of the full run (the bench harness covers all 285).
+    for spec in specs.iter().step_by(12) {
+        let apk = nck_appgen::generate(spec);
+        let report = checker
+            .analyze_bytes(&apk.to_bytes())
+            .expect("corpus app analyzes");
+        let got = sorted_kinds(report.defects.iter().map(|d| d.kind).collect());
+        let want = sorted_kinds(spec.expected_tool_report());
+        assert_eq!(got, want, "app {}", spec.package);
+    }
+}
+
+#[test]
+fn corpus_statistics_land_on_the_paper_rates() {
+    // Aggregate a prefix slice large enough to cover the retry zone and
+    // check the never-X invariants hold exactly within it.
+    let specs = corpus(2016);
+    assert_eq!(specs.len(), CORPUS_SIZE);
+    let checker = NChecker::new();
+    let mut stats = CorpusStats::new();
+    for spec in specs.iter().take(95) {
+        let report = checker
+            .analyze_apk(&nck_appgen::generate(spec))
+            .expect("analyzable");
+        stats.add(report.stats);
+    }
+    // All 91 retry-zone apps are inside this prefix.
+    let t8 = stats.table8();
+    assert_eq!(t8[0].population, 91);
+    // Table 8 absolute app counts are exact by construction.
+    assert_eq!(t8[0].apps, 7, "no-retry-in-activity apps");
+    assert_eq!(t8[1].apps, 29, "over-retry-service apps");
+    assert_eq!(t8[2].apps, 23, "over-retry-post apps");
+}
+
+#[test]
+fn corpus_analysis_is_deterministic() {
+    let specs = corpus(2016);
+    let checker = NChecker::new();
+    let spec = &specs[40];
+    let a = checker
+        .analyze_apk(&nck_appgen::generate(spec))
+        .unwrap();
+    let b = checker
+        .analyze_apk(&nck_appgen::generate(spec))
+        .unwrap();
+    assert_eq!(a.defects.len(), b.defects.len());
+    for (x, y) in a.defects.iter().zip(&b.defects) {
+        assert_eq!(x.kind, y.kind);
+        assert_eq!(x.location, y.location);
+    }
+}

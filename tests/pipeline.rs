@@ -1,0 +1,110 @@
+//! End-to-end pipeline tests: spec → binary on disk → parse → lift →
+//! analyze, including failure paths.
+
+use nchecker::{DefectKind, NChecker};
+use nck_android::apk::Apk;
+use nck_appgen::spec::{AppSpec, ConnCheck, Notification, Origin, RequestSpec};
+use nck_netlibs::library::Library;
+
+fn temp_path(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("nck-pipeline-{name}-{}", std::process::id()))
+}
+
+#[test]
+fn binary_on_disk_roundtrip_and_analysis() {
+    let mut r = RequestSpec::new(Library::BasicHttpClient, Origin::UserClick);
+    r.conn_check = ConnCheck::Missing;
+    let spec = AppSpec::new("com.test.disk", vec![r]);
+    let apk = nck_appgen::generate(&spec);
+
+    let path = temp_path("roundtrip.apk");
+    apk.save(&path).unwrap();
+    let loaded = Apk::load(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    assert_eq!(loaded.manifest.package, "com.test.disk");
+    let report = NChecker::new().analyze_apk(&loaded).unwrap();
+    assert!(report.has(DefectKind::MissedConnectivityCheck));
+}
+
+#[test]
+fn corrupted_binary_is_rejected_not_misanalyzed() {
+    let spec = AppSpec::new(
+        "com.test.corrupt",
+        vec![RequestSpec::new(Library::Volley, Origin::UserClick)],
+    );
+    let mut bytes = nck_appgen::generate(&spec).to_bytes();
+    let checker = NChecker::new();
+    // Flip bytes throughout the container; every corruption must either
+    // error out or (for bytes in dead padding) still parse — never panic
+    // and never silently produce an empty result from garbage.
+    for i in (0..bytes.len()).step_by(97) {
+        bytes[i] ^= 0x5a;
+        let _ = checker.analyze_bytes(&bytes);
+        bytes[i] ^= 0x5a;
+    }
+    // Truncations always error.
+    for cut in [1usize, 7, bytes.len() / 3, bytes.len() - 5] {
+        assert!(checker.analyze_bytes(&bytes[..bytes.len() - cut]).is_err());
+    }
+}
+
+#[test]
+fn fixing_defects_clears_reports_incrementally() {
+    // Start from a fully buggy volley request and fix one defect at a
+    // time; each step must remove exactly the targeted warning family.
+    let mut r = RequestSpec::new(Library::Volley, Origin::UserClick);
+    r.check_error_types = true; // Keep the error-type warning out of the way.
+    let checker = NChecker::new();
+
+    let count = |r: &RequestSpec, kind: DefectKind| {
+        let spec = AppSpec::new("com.test.steps", vec![r.clone()]);
+        let report = checker
+            .analyze_apk(&nck_appgen::generate(&spec))
+            .unwrap();
+        report.count(kind)
+    };
+
+    assert_eq!(count(&r, DefectKind::MissedConnectivityCheck), 1);
+    r.conn_check = ConnCheck::Guarding;
+    assert_eq!(count(&r, DefectKind::MissedConnectivityCheck), 0);
+
+    assert_eq!(count(&r, DefectKind::MissedRetry), 1);
+    r.set_retries = Some(2);
+    r.set_timeout = true;
+    assert_eq!(count(&r, DefectKind::MissedRetry), 0);
+    assert_eq!(count(&r, DefectKind::MissedTimeout), 0);
+
+    assert_eq!(count(&r, DefectKind::MissedFailureNotification), 1);
+    r.notification = Notification::Alert;
+    assert_eq!(count(&r, DefectKind::MissedFailureNotification), 0);
+}
+
+#[test]
+fn report_rendering_is_complete_for_every_defect() {
+    // Every defect kind produced across a varied spec set renders all
+    // five report sections.
+    let mut specs = nck_appgen::studyapps::all_study_apps();
+    specs.push(AppSpec::new(
+        "com.test.render",
+        vec![RequestSpec::new(Library::AndroidAsyncHttp, Origin::Service)],
+    ));
+    let checker = NChecker::new();
+    for spec in specs {
+        let report = checker
+            .analyze_apk(&nck_appgen::generate(&spec))
+            .unwrap();
+        for d in &report.defects {
+            let text = d.render();
+            for section in [
+                "NPD Information",
+                "NPD impact",
+                "Network request context",
+                "Network request call stack",
+                "Fix Suggestion",
+            ] {
+                assert!(text.contains(section), "{section} missing in:\n{text}");
+            }
+        }
+    }
+}

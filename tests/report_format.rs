@@ -1,0 +1,80 @@
+//! Golden test for the Figure 7 report format: the GPSLogger
+//! reconstruction's connectivity warning must render with the exact
+//! structure the paper shows — the user study's 1.7-minute fixes depend
+//! on every section being present and specific.
+
+use nchecker::{DefectKind, NChecker};
+use nck_appgen::studyapps::gpslogger;
+
+#[test]
+fn gpslogger_report_matches_figure7_structure() {
+    let apk = nck_appgen::generate(&gpslogger());
+    let report = NChecker::new().analyze_apk(&apk).unwrap();
+
+    let conn = report
+        .defects
+        .iter()
+        .find(|d| d.kind == DefectKind::MissedConnectivityCheck)
+        .expect("GPSLogger misses the connectivity check");
+    let text = conn.render();
+
+    // Section order as in Figure 7.
+    let sections = [
+        "NPD Information",
+        "NPD impact",
+        "Network request context",
+        "Network request call stack",
+        "Fix Suggestion",
+    ];
+    let mut last = 0;
+    for s in sections {
+        let pos = text.find(s).unwrap_or_else(|| panic!("missing section {s}:\n{text}"));
+        assert!(pos >= last, "section {s} out of order:\n{text}");
+        last = pos;
+    }
+
+    // Figure 7's content, field by field.
+    assert!(
+        text.contains("Missing network connectivity check"),
+        "{text}"
+    );
+    assert!(text.contains("Bad UX, battery life"), "{text}");
+    assert!(text.contains("Request made by user"), "{text}");
+    assert!(
+        text.contains("Use getActiveNetworkInfo() to check connectivity"),
+        "{text}"
+    );
+    assert!(text.contains("Show error message if no connection"), "{text}");
+    // The call stack starts at the entry point (the click listener) and
+    // ends at the request.
+    let stack_pos = text.find("call stack").unwrap();
+    let tail = &text[stack_pos..];
+    assert!(tail.contains("onClick"), "{text}");
+
+    // And the timeout warning names the library-specific remedy.
+    let timeout = report
+        .defects
+        .iter()
+        .find(|d| d.kind == DefectKind::MissedTimeout)
+        .expect("GPSLogger misses the timeout");
+    assert!(
+        timeout.fix.contains("Android Async HTTP"),
+        "fix should name the library: {}",
+        timeout.fix
+    );
+}
+
+#[test]
+fn json_and_text_reports_agree_on_counts() {
+    let apk = nck_appgen::generate(&gpslogger());
+    let report = NChecker::new().analyze_apk(&apk).unwrap();
+    let json = nchecker::app_report_to_json(&report);
+    assert_eq!(
+        json["defects"].as_array().unwrap().len(),
+        report.defects.len()
+    );
+    for (d, j) in report.defects.iter().zip(json["defects"].as_array().unwrap()) {
+        assert_eq!(j["kind"], nchecker::kind_id(d.kind));
+        assert_eq!(j["message"], d.message.as_str());
+    }
+}
