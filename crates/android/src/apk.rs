@@ -131,9 +131,13 @@ mod tests {
         let mut b = AdxBuilder::new();
         b.class("Lcom/example/Main;", |c| {
             c.super_class("Landroid/app/Activity;");
-            c.method("onCreate", "(Landroid/os/Bundle;)V", AccessFlags::PUBLIC, 4, |m| {
-                m.ret(None)
-            });
+            c.method(
+                "onCreate",
+                "(Landroid/os/Bundle;)V",
+                AccessFlags::PUBLIC,
+                4,
+                |m| m.ret(None),
+            );
         });
         Apk::new(m, b.finish().unwrap())
     }

@@ -125,7 +125,10 @@ pub const IMPLICIT_EDGES: &[ImplicitEdgeSpec] = &[
 /// Returns the implicit-edge rules whose trigger method is `name` (the
 /// caller still has to check the receiver's class hierarchy).
 pub fn implicit_edges_for(name: &str) -> Vec<&'static ImplicitEdgeSpec> {
-    IMPLICIT_EDGES.iter().filter(|e| e.trigger == name).collect()
+    IMPLICIT_EDGES
+        .iter()
+        .filter(|e| e.trigger == name)
+        .collect()
 }
 
 #[cfg(test)]

@@ -106,7 +106,11 @@ mod tests {
             "onStartCommand",
             "(Landroid/content/Intent;II)I"
         ));
-        assert!(!is_lifecycle_method(ComponentKind::Service, "onResume", "()V"));
+        assert!(!is_lifecycle_method(
+            ComponentKind::Service,
+            "onResume",
+            "()V"
+        ));
     }
 
     #[test]

@@ -196,12 +196,18 @@ mod tests {
         let mut b = AdxBuilder::new();
         b.class("Lcom/app/Main;", |c| {
             c.super_class("Landroid/app/Activity;");
-            c.method("onCreate", "(Landroid/os/Bundle;)V", AccessFlags::PUBLIC, 4, |m| {
-                // new Main$1() — registers the click listener.
-                m.new_instance(m.reg(0), "Lcom/app/Main$1;");
-                m.invoke_direct("Lcom/app/Main$1;", "<init>", "()V", &[m.reg(0)]);
-                m.ret(None);
-            });
+            c.method(
+                "onCreate",
+                "(Landroid/os/Bundle;)V",
+                AccessFlags::PUBLIC,
+                4,
+                |m| {
+                    // new Main$1() — registers the click listener.
+                    m.new_instance(m.reg(0), "Lcom/app/Main$1;");
+                    m.invoke_direct("Lcom/app/Main$1;", "<init>", "()V", &[m.reg(0)]);
+                    m.ret(None);
+                },
+            );
         });
         b.class("Lcom/app/Main$1;", |c| {
             c.interface("Landroid/view/View$OnClickListener;");
@@ -215,10 +221,16 @@ mod tests {
         });
         b.class("Lcom/app/Sync;", |c| {
             c.super_class("Landroid/app/Service;");
-            c.method("onStartCommand", "(Landroid/content/Intent;II)I", AccessFlags::PUBLIC, 4, |m| {
-                m.const_int(m.reg(0), 0);
-                m.ret(Some(m.reg(0)));
-            });
+            c.method(
+                "onStartCommand",
+                "(Landroid/content/Intent;II)I",
+                AccessFlags::PUBLIC,
+                4,
+                |m| {
+                    m.const_int(m.reg(0), 0);
+                    m.ret(Some(m.reg(0)));
+                },
+            );
         });
         let program = lift_file(&b.finish().unwrap()).unwrap();
         let mut manifest = Manifest::new("com.app");

@@ -100,7 +100,10 @@ impl fmt::Display for ManifestError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ManifestError::BadLine { line, content } => {
-                write!(f, "manifest line {line}: unrecognized directive {content:?}")
+                write!(
+                    f,
+                    "manifest line {line}: unrecognized directive {content:?}"
+                )
             }
             ManifestError::MissingPackage => write!(f, "manifest missing package directive"),
         }

@@ -76,7 +76,12 @@ fn emit_toast(m: &mut CodeBuilder<'_>) {
     let t = m.reg(11);
     let s = m.reg(12);
     m.const_str(s, "Network error");
-    m.invoke_static(TOAST, "makeText", "(Ljava/lang/String;)Landroid/widget/Toast;", &[s]);
+    m.invoke_static(
+        TOAST,
+        "makeText",
+        "(Ljava/lang/String;)Landroid/widget/Toast;",
+        &[s],
+    );
     m.move_result(t);
     m.invoke_virtual(TOAST, "show", "()V", &[t]);
 }
@@ -86,7 +91,12 @@ fn emit_broadcast(m: &mut CodeBuilder<'_>) {
     let this = m.param(0).expect("instance method");
     m.new_instance(i, INTENT);
     m.invoke_direct(INTENT, "<init>", "()V", &[i]);
-    m.invoke_virtual(CONTEXT, "sendBroadcast", "(Landroid/content/Intent;)V", &[this, i]);
+    m.invoke_virtual(
+        CONTEXT,
+        "sendBroadcast",
+        "(Landroid/content/Intent;)V",
+        &[this, i],
+    );
 }
 
 fn emit_log(m: &mut CodeBuilder<'_>) {
@@ -105,8 +115,23 @@ fn emit_log(m: &mut CodeBuilder<'_>) {
 
 /// Emits the connectivity prefix; returns the skip label for a guarding
 /// check (to be bound at the end of the request block).
-fn emit_conn_prefix(m: &mut CodeBuilder<'_>, spec: &RequestSpec) -> Option<nck_dex::builder::Label> {
+fn emit_conn_prefix(
+    m: &mut CodeBuilder<'_>,
+    spec: &RequestSpec,
+    host: &str,
+) -> Option<nck_dex::builder::Label> {
     match spec.conn_check {
+        ConnCheck::GuardingViaHelper => {
+            // The guard-wrapper idiom: the connectivity APIs live in an
+            // app helper and only the boolean comes back.
+            let ok = m.reg(10);
+            let skip = m.new_label();
+            let this = m.param(0).expect("instance method");
+            m.invoke_virtual(host, "isOnline", "()Z", &[this]);
+            m.move_result(ok);
+            m.ifz(CondOp::Eq, ok, skip);
+            Some(skip)
+        }
         ConnCheck::Guarding => {
             // The recommended pattern: `info != null && info.isConnected()`
             // — getActiveNetworkInfo() returns null when offline.
@@ -116,7 +141,12 @@ fn emit_conn_prefix(m: &mut CodeBuilder<'_>, spec: &RequestSpec) -> Option<nck_d
             let skip = m.new_label();
             m.new_instance(cm, CM);
             m.invoke_direct(CM, "<init>", "()V", &[cm]);
-            m.invoke_virtual(CM, "getActiveNetworkInfo", "()Landroid/net/NetworkInfo;", &[cm]);
+            m.invoke_virtual(
+                CM,
+                "getActiveNetworkInfo",
+                "()Landroid/net/NetworkInfo;",
+                &[cm],
+            );
             m.move_result(info);
             m.ifz(CondOp::Eq, info, skip);
             m.invoke_virtual(NETINFO, "isConnected", "()Z", &[info]);
@@ -133,7 +163,12 @@ fn emit_conn_prefix(m: &mut CodeBuilder<'_>, spec: &RequestSpec) -> Option<nck_d
             let cont = m.new_label();
             m.new_instance(cm, CM);
             m.invoke_direct(CM, "<init>", "()V", &[cm]);
-            m.invoke_virtual(CM, "getActiveNetworkInfo", "()Landroid/net/NetworkInfo;", &[cm]);
+            m.invoke_virtual(
+                CM,
+                "getActiveNetworkInfo",
+                "()Landroid/net/NetworkInfo;",
+                &[cm],
+            );
             m.move_result(info);
             m.ifz(CondOp::Eq, info, cont); // Null-safe, but...
             m.invoke_virtual(NETINFO, "isConnected", "()Z", &[info]);
@@ -149,7 +184,7 @@ fn emit_conn_prefix(m: &mut CodeBuilder<'_>, spec: &RequestSpec) -> Option<nck_d
 ///
 /// Callback-based libraries take `err_class` (the generated error
 /// listener / response handler class) when one exists.
-fn emit_core(m: &mut CodeBuilder<'_>, spec: &RequestSpec, err_class: Option<&str>) {
+fn emit_core(m: &mut CodeBuilder<'_>, spec: &RequestSpec, err_class: Option<&str>, host: &str) {
     match spec.library {
         Library::BasicHttpClient => {
             let cl = m.reg(0);
@@ -163,7 +198,7 @@ fn emit_core(m: &mut CodeBuilder<'_>, spec: &RequestSpec, err_class: Option<&str
                 m.invoke_virtual(BASIC, "setReadTimeout", "(I)V", &[cl, v]);
             }
             if let Some(n) = spec.set_retries {
-                m.const_int(v, i64::from(n));
+                emit_retry_count(m, spec, v, n, host);
                 m.invoke_virtual(BASIC, "setMaxRetries", "(I)V", &[cl, v]);
             }
             m.const_str(url, "http://api.example.com/data");
@@ -189,7 +224,7 @@ fn emit_core(m: &mut CodeBuilder<'_>, spec: &RequestSpec, err_class: Option<&str
                 m.invoke_virtual(ASYNC, "setTimeout", "(I)V", &[cl, v]);
             }
             if let Some(n) = spec.set_retries {
-                m.const_int(v, i64::from(n));
+                emit_retry_count(m, spec, v, n, host);
                 m.const_int(t, 1500);
                 m.invoke_virtual(ASYNC, "setMaxRetriesAndTimeout", "(II)V", &[cl, v, t]);
             }
@@ -236,7 +271,12 @@ fn emit_core(m: &mut CodeBuilder<'_>, spec: &RequestSpec, err_class: Option<&str
                 HttpMethod::Head => 4,
             };
             m.const_int(mc, method_const);
-            m.invoke_direct(VOLLEY_STRING_REQ, "<init>", VOLLEY_REQ_INIT_SIG, &[req, mc, l]);
+            m.invoke_direct(
+                VOLLEY_STRING_REQ,
+                "<init>",
+                VOLLEY_REQ_INIT_SIG,
+                &[req, mc, l],
+            );
             if let Some(n) = spec.set_retries {
                 let pol = m.reg(4);
                 let t = m.reg(5);
@@ -244,7 +284,7 @@ fn emit_core(m: &mut CodeBuilder<'_>, spec: &RequestSpec, err_class: Option<&str
                 let f = m.reg(7);
                 m.new_instance(pol, VOLLEY_POLICY);
                 m.const_int(t, 5000);
-                m.const_int(nreg, i64::from(n));
+                emit_retry_count(m, spec, nreg, n, host);
                 m.const_int(f, 1);
                 m.invoke_direct(VOLLEY_POLICY, "<init>", "(IIF)V", &[pol, t, nreg, f]);
                 m.invoke_virtual(
@@ -290,10 +330,24 @@ fn emit_core(m: &mut CodeBuilder<'_>, spec: &RequestSpec, err_class: Option<&str
                 &[cl, req],
             );
             m.move_result(call);
-            m.invoke_virtual(OK_CALL, "execute", "()Lcom/squareup/okhttp/Response;", &[call]);
+            m.invoke_virtual(
+                OK_CALL,
+                "execute",
+                "()Lcom/squareup/okhttp/Response;",
+                &[call],
+            );
             m.move_result(resp);
-            emit_response_use(m, spec, resp, OK_RESP, "isSuccessful", "()Z", "body",
-                "()Lcom/squareup/okhttp/ResponseBody;");
+            emit_response_use(
+                m,
+                spec,
+                resp,
+                OK_RESP,
+                "isSuccessful",
+                "()Z",
+                "body",
+                "()Lcom/squareup/okhttp/ResponseBody;",
+                host,
+            );
         }
         Library::ApacheHttpClient => {
             let cl = m.reg(0);
@@ -304,7 +358,12 @@ fn emit_core(m: &mut CodeBuilder<'_>, spec: &RequestSpec, err_class: Option<&str
             m.new_instance(cl, APACHE);
             m.invoke_direct(APACHE, "<init>", "()V", &[cl]);
             if spec.set_timeout {
-                m.invoke_virtual(APACHE, "getParams", "()Lorg/apache/http/params/HttpParams;", &[cl]);
+                m.invoke_virtual(
+                    APACHE,
+                    "getParams",
+                    "()Lorg/apache/http/params/HttpParams;",
+                    &[cl],
+                );
                 m.move_result(params);
                 m.const_int(v, 5000);
                 m.invoke_static(
@@ -323,8 +382,17 @@ fn emit_core(m: &mut CodeBuilder<'_>, spec: &RequestSpec, err_class: Option<&str
             m.invoke_direct(req_class, "<init>", "()V", &[req]);
             m.invoke_virtual(APACHE, "execute", APACHE_EXEC_SIG, &[cl, req]);
             m.move_result(resp);
-            emit_response_use(m, spec, resp, APACHE_RESP, "getStatusLine",
-                "()Lorg/apache/http/StatusLine;", "getEntity", "()Lorg/apache/http/HttpEntity;");
+            emit_response_use(
+                m,
+                spec,
+                resp,
+                APACHE_RESP,
+                "getStatusLine",
+                "()Lorg/apache/http/StatusLine;",
+                "getEntity",
+                "()Lorg/apache/http/HttpEntity;",
+                host,
+            );
         }
         Library::HttpUrlConnection => {
             let conn = m.reg(0);
@@ -347,6 +415,24 @@ fn emit_core(m: &mut CodeBuilder<'_>, spec: &RequestSpec, err_class: Option<&str
     }
 }
 
+/// Loads the configured retry count into `v`: a plain constant, or a
+/// `getRetryCount()` helper call when the spec routes it through one.
+fn emit_retry_count(
+    m: &mut CodeBuilder<'_>,
+    spec: &RequestSpec,
+    v: nck_dex::Reg,
+    n: u32,
+    host: &str,
+) {
+    if spec.retries_via_helper {
+        let this = m.param(0).expect("instance method");
+        m.invoke_virtual(host, "getRetryCount", "()I", &[this]);
+        m.move_result(v);
+    } else {
+        m.const_int(v, i64::from(n));
+    }
+}
+
 /// Emits the response-consumption tail for a response-returning library.
 #[allow(clippy::too_many_arguments)]
 fn emit_response_use(
@@ -358,6 +444,7 @@ fn emit_response_use(
     check_sig: &str,
     read_name: &str,
     read_sig: &str,
+    host: &str,
 ) {
     match spec.response {
         RespCheck::NotUsed => {}
@@ -378,6 +465,23 @@ fn emit_response_use(
             m.invoke_virtual(resp_class, read_name, read_sig, &[resp]);
             m.move_result(m.reg(7));
         }
+        RespCheck::CheckedViaHelper => {
+            // The validation lives in an app helper; only the summary
+            // engine can tell the read is guarded.
+            let ok = m.reg(6);
+            let skip = m.new_label();
+            m.invoke_static(
+                host,
+                "isValidResponse",
+                &format!("({resp_class})Z"),
+                &[resp],
+            );
+            m.move_result(ok);
+            m.ifz(CondOp::Eq, ok, skip);
+            m.invoke_virtual(resp_class, read_name, read_sig, &[resp]);
+            m.move_result(m.reg(7));
+            m.bind(skip);
+        }
     }
 }
 
@@ -397,7 +501,7 @@ fn is_sync(library: Library) -> bool {
 /// sync-path notification) into the current method.
 fn emit_request_block(m: &mut CodeBuilder<'_>, ctx: &Ctx<'_>, err_class: Option<&str>) {
     let spec = ctx.spec;
-    let skip = emit_conn_prefix(m, spec);
+    let skip = emit_conn_prefix(m, spec, &ctx.host_class);
 
     match spec.custom_retry {
         // Synchronous libraries throw checked IOExceptions, which Java
@@ -407,7 +511,7 @@ fn emit_request_block(m: &mut CodeBuilder<'_>, ctx: &Ctx<'_>, err_class: Option<
             let handler = m.new_label();
             let done = m.new_label();
             let t = m.begin_try();
-            emit_core(m, spec, err_class);
+            emit_core(m, spec, err_class, &ctx.host_class);
             m.end_try(t, &[(Some(IOE), handler)]);
             m.goto(done);
             m.bind(handler);
@@ -421,14 +525,14 @@ fn emit_request_block(m: &mut CodeBuilder<'_>, ctx: &Ctx<'_>, err_class: Option<
             }
             m.bind(done);
         }
-        None => emit_core(m, spec, err_class),
+        None => emit_core(m, spec, err_class, &ctx.host_class),
         Some(RetryShape::SuccessExit) => {
             let head = m.new_label();
             let handler = m.new_label();
             let done = m.new_label();
             m.bind(head);
             let t = m.begin_try();
-            emit_core(m, spec, err_class);
+            emit_core(m, spec, err_class, &ctx.host_class);
             m.end_try(t, &[(Some(IOE), handler)]);
             m.goto(done);
             m.bind(handler);
@@ -445,7 +549,7 @@ fn emit_request_block(m: &mut CodeBuilder<'_>, ctx: &Ctx<'_>, err_class: Option<
             m.bind(head);
             m.ifz(CondOp::Eq, retry, done);
             let t = m.begin_try();
-            emit_core(m, spec, err_class);
+            emit_core(m, spec, err_class, &ctx.host_class);
             m.end_try(t, &[(Some(IOE), handler)]);
             m.goto(done);
             m.bind(handler);
@@ -494,9 +598,11 @@ fn emit_request_block(m: &mut CodeBuilder<'_>, ctx: &Ctx<'_>, err_class: Option<
     }
 }
 
-/// Emits the retry helper methods (`shouldRetry`, `trySend`) on the host
-/// class when the spec's retry shape needs them.
-fn emit_retry_helpers(c: &mut nck_dex::builder::ClassBuilder<'_>, spec: &RequestSpec) {
+/// Emits every helper method the spec needs on the host class: the
+/// retry-shape helpers (`shouldRetry`, `trySend`), the connectivity
+/// guard wrapper (`isOnline`), the retry-count getter (`getRetryCount`),
+/// and the response validator (`isValidResponse`).
+fn emit_spec_helpers(c: &mut nck_dex::builder::ClassBuilder<'_>, spec: &RequestSpec, host: &str) {
     match spec.custom_retry {
         Some(RetryShape::CatchCondition) => {
             c.method("shouldRetry", "()Z", AccessFlags::PUBLIC, 4, |m| {
@@ -506,6 +612,7 @@ fn emit_retry_helpers(c: &mut nck_dex::builder::ClassBuilder<'_>, spec: &Request
         }
         Some(RetryShape::InterprocCatchCondition) => {
             let spec = spec.clone();
+            let host = host.to_owned();
             c.method("trySend", "()Z", AccessFlags::PUBLIC, REGS, move |m| {
                 let ok = m.reg(13);
                 let handler = m.new_label();
@@ -515,7 +622,7 @@ fn emit_retry_helpers(c: &mut nck_dex::builder::ClassBuilder<'_>, spec: &Request
                 // The core request without retry wrapping.
                 let mut inner = spec.clone();
                 inner.custom_retry = None;
-                emit_core(m, &inner, None);
+                emit_core(m, &inner, None, &host);
                 m.end_try(t, &[(Some(IOE), handler)]);
                 m.goto(out);
                 m.bind(handler);
@@ -526,6 +633,71 @@ fn emit_retry_helpers(c: &mut nck_dex::builder::ClassBuilder<'_>, spec: &Request
             });
         }
         _ => {}
+    }
+    if spec.conn_check == ConnCheck::GuardingViaHelper {
+        c.method("isOnline", "()Z", AccessFlags::PUBLIC, 8, |m| {
+            let cm = m.reg(0);
+            let info = m.reg(1);
+            let ok = m.reg(2);
+            let offline = m.new_label();
+            m.new_instance(cm, CM);
+            m.invoke_direct(CM, "<init>", "()V", &[cm]);
+            m.invoke_virtual(
+                CM,
+                "getActiveNetworkInfo",
+                "()Landroid/net/NetworkInfo;",
+                &[cm],
+            );
+            m.move_result(info);
+            m.ifz(CondOp::Eq, info, offline);
+            m.invoke_virtual(NETINFO, "isConnected", "()Z", &[info]);
+            m.move_result(ok);
+            m.ret(Some(ok));
+            m.bind(offline);
+            m.const_int(ok, 0);
+            m.ret(Some(ok));
+        });
+    }
+    if spec.retries_via_helper {
+        if let Some(n) = spec.set_retries {
+            c.method("getRetryCount", "()I", AccessFlags::PUBLIC, 2, move |m| {
+                m.const_int(m.reg(0), i64::from(n));
+                m.ret(Some(m.reg(0)));
+            });
+        }
+    }
+    if spec.response == RespCheck::CheckedViaHelper {
+        let resp_check = match spec.library {
+            Library::OkHttp => Some((OK_RESP, "isSuccessful", "()Z")),
+            Library::ApacheHttpClient => Some((
+                APACHE_RESP,
+                "getStatusLine",
+                "()Lorg/apache/http/StatusLine;",
+            )),
+            _ => None,
+        };
+        if let Some((resp_class, check_name, check_sig)) = resp_check {
+            c.method(
+                "isValidResponse",
+                &format!("({resp_class})Z"),
+                AccessFlags::PUBLIC | AccessFlags::STATIC,
+                4,
+                move |m| {
+                    let resp = m.param(0).expect("response param");
+                    let ok = m.reg(0);
+                    let bad = m.new_label();
+                    m.ifz(CondOp::Eq, resp, bad);
+                    m.invoke_virtual(resp_class, check_name, check_sig, &[resp]);
+                    m.move_result(ok);
+                    m.ifz(CondOp::Eq, ok, bad);
+                    m.const_int(ok, 1);
+                    m.ret(Some(ok));
+                    m.bind(bad);
+                    m.const_int(ok, 0);
+                    m.ret(Some(ok));
+                },
+            );
+        }
     }
 }
 
@@ -543,24 +715,30 @@ fn emit_callback_class(
             let spec = spec.clone();
             b.class(&name, move |c| {
                 c.interface(VOLLEY_ERR_IFACE);
-                c.method("onErrorResponse", VOLLEY_ERR_SIG, AccessFlags::PUBLIC, REGS, |m| {
-                    if spec.check_error_types {
-                        let err = m.param(1).expect("error param");
-                        m.invoke_virtual(
-                            "Lcom/android/volley/VolleyError;",
-                            "getMessage",
-                            "()Ljava/lang/String;",
-                            &[err],
-                        );
-                        m.move_result(m.reg(0));
-                    }
-                    match spec.notification {
-                        Notification::Alert => emit_toast(m),
-                        Notification::InterComponent => emit_broadcast(m),
-                        Notification::Missing => emit_log(m),
-                    }
-                    m.ret(None);
-                });
+                c.method(
+                    "onErrorResponse",
+                    VOLLEY_ERR_SIG,
+                    AccessFlags::PUBLIC,
+                    REGS,
+                    |m| {
+                        if spec.check_error_types {
+                            let err = m.param(1).expect("error param");
+                            m.invoke_virtual(
+                                "Lcom/android/volley/VolleyError;",
+                                "getMessage",
+                                "()Ljava/lang/String;",
+                                &[err],
+                            );
+                            m.move_result(m.reg(0));
+                        }
+                        match spec.notification {
+                            Notification::Alert => emit_toast(m),
+                            Notification::InterComponent => emit_broadcast(m),
+                            Notification::Missing => emit_log(m),
+                        }
+                        m.ret(None);
+                    },
+                );
             });
             Some(name)
         }
@@ -598,7 +776,13 @@ fn emit_callback_class(
 }
 
 /// Emits one request's classes and manifest entries.
-fn emit_request(b: &mut AdxBuilder, manifest: &mut Manifest, base: &str, i: usize, spec: &RequestSpec) {
+fn emit_request(
+    b: &mut AdxBuilder,
+    manifest: &mut Manifest,
+    base: &str,
+    i: usize,
+    spec: &RequestSpec,
+) {
     let err_class = emit_callback_class(b, base, i, spec);
 
     // Native user-facing requests go through an AsyncTask; the request
@@ -639,7 +823,7 @@ fn emit_request(b: &mut AdxBuilder, manifest: &mut Manifest, base: &str, i: usiz
                     m.ret(None);
                 },
             );
-            emit_retry_helpers(c, &spec_c);
+            emit_spec_helpers(c, &spec_c, &host);
         });
     }
 
@@ -694,7 +878,7 @@ fn emit_request(b: &mut AdxBuilder, manifest: &mut Manifest, base: &str, i: usiz
                     m.ret(None);
                 });
                 if !native_task {
-                    emit_retry_helpers(c, &spec_c);
+                    emit_spec_helpers(c, &spec_c, &host);
                 }
             });
         }
@@ -735,7 +919,7 @@ fn emit_request(b: &mut AdxBuilder, manifest: &mut Manifest, base: &str, i: usiz
                     },
                 );
                 if !native_task {
-                    emit_retry_helpers(c, &spec_c);
+                    emit_spec_helpers(c, &spec_c, &host);
                 }
             });
         }
@@ -762,7 +946,7 @@ fn emit_request(b: &mut AdxBuilder, manifest: &mut Manifest, base: &str, i: usiz
                         m.ret(Some(m.reg(7)));
                     },
                 );
-                emit_retry_helpers(c, &spec_c);
+                emit_spec_helpers(c, &spec_c, &host);
             });
         }
     }
@@ -895,11 +1079,12 @@ mod tests {
     #[test]
     fn tool_matches_oracle_on_naive_specs() {
         for &lib in ALL_LIBRARIES {
-            for origin in [Origin::UserClick, Origin::ActivityLifecycle, Origin::Service] {
-                let spec = AppSpec::new(
-                    "com.gen.naive",
-                    vec![RequestSpec::new(lib, origin)],
-                );
+            for origin in [
+                Origin::UserClick,
+                Origin::ActivityLifecycle,
+                Origin::Service,
+            ] {
+                let spec = AppSpec::new("com.gen.naive", vec![RequestSpec::new(lib, origin)]);
                 let got = sorted(report_kinds(&spec));
                 let want = sorted(spec.expected_tool_report());
                 assert_eq!(got, want, "library {lib}, origin {origin:?}");
@@ -929,7 +1114,10 @@ mod tests {
             let got = sorted(report_kinds(&spec));
             let want = sorted(spec.expected_tool_report());
             assert_eq!(got, want, "library {lib}");
-            assert!(got.is_empty(), "well-configured app must be clean: {lib}: {got:?}");
+            assert!(
+                got.is_empty(),
+                "well-configured app must be clean: {lib}: {got:?}"
+            );
         }
     }
 
@@ -972,6 +1160,75 @@ mod tests {
                 .iter()
                 .any(|d| d.kind == DefectKind::MissedRetry));
         }
+    }
+
+    #[test]
+    fn helper_idioms_are_seen_by_the_summary_engine() {
+        // Guard wrapper, helper-provided retry count, and helper-checked
+        // response: clean under the default (interprocedural) analysis.
+        let mut r = RequestSpec::new(Library::OkHttp, Origin::UserClick);
+        r.conn_check = ConnCheck::GuardingViaHelper;
+        r.set_timeout = true;
+        r.notification = Notification::Alert;
+        r.response = RespCheck::CheckedViaHelper;
+        let spec = AppSpec::new("com.gen.helpers", vec![r]);
+        let got = sorted(report_kinds(&spec));
+        let want = sorted(spec.expected_tool_report());
+        assert_eq!(got, want);
+        assert!(
+            got.is_empty(),
+            "helper-mediated practices must be clean: {got:?}"
+        );
+    }
+
+    #[test]
+    fn helper_idioms_defeat_the_method_local_analysis() {
+        use nchecker::CheckerConfig;
+        let mut r = RequestSpec::new(Library::OkHttp, Origin::UserClick);
+        r.conn_check = ConnCheck::GuardingViaHelper;
+        r.set_timeout = true;
+        r.notification = Notification::Alert;
+        r.response = RespCheck::CheckedViaHelper;
+        let spec = AppSpec::new("com.gen.helpersoff", vec![r]);
+        let apk = generate(&spec);
+        let off = NChecker::with_config(CheckerConfig {
+            interproc: false,
+            ..CheckerConfig::default()
+        });
+        let report = off.analyze_apk(&apk).unwrap();
+        assert!(report.has(DefectKind::MissedConnectivityCheck));
+        assert!(report.has(DefectKind::MissedResponseCheck));
+    }
+
+    #[test]
+    fn helper_retry_count_recovers_the_no_retry_defect() {
+        use nchecker::CheckerConfig;
+        // setMaxRetries(getRetryCount()) with a helper returning 0 in an
+        // activity: a true NoRetryInActivity defect only the summary
+        // engine can see (the local analysis cannot prove the count).
+        let mut r = RequestSpec::new(Library::BasicHttpClient, Origin::UserClick);
+        r.set_retries = Some(0);
+        r.retries_via_helper = true;
+        r.set_timeout = true;
+        r.conn_check = ConnCheck::Guarding;
+        r.notification = Notification::Alert;
+        let spec = AppSpec::new("com.gen.retryhelper", vec![r]);
+        assert!(spec.oracle().contains(&DefectKind::NoRetryInActivity));
+        let apk = generate(&spec);
+        let on = NChecker::new().analyze_apk(&apk).unwrap();
+        assert!(
+            on.has(DefectKind::NoRetryInActivity),
+            "summary engine recovers the count"
+        );
+        let off = NChecker::with_config(CheckerConfig {
+            interproc: false,
+            ..CheckerConfig::default()
+        });
+        let report = off.analyze_apk(&apk).unwrap();
+        assert!(
+            !report.has(DefectKind::NoRetryInActivity),
+            "method-local analysis cannot prove retries are disabled"
+        );
     }
 
     #[test]

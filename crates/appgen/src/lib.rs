@@ -6,10 +6,12 @@
 //! substitution table). [`spec`] declares apps oracle-first, [`gen`]
 //! compiles specs to binaries, [`profile`] calibrates a 285-app corpus to
 //! the paper's aggregate rates, [`opensource`] builds the 16 ground-truth
-//! apps of Table 9, and [`studyapps`] reconstructs named defects from the
-//! paper (ChatSecure, Telegram, GPSLogger, ...).
+//! apps of Table 9, [`interproc_suite`] seeds helper-mediated idioms for
+//! the summary-engine ablation, and [`studyapps`] reconstructs named
+//! defects from the paper (ChatSecure, Telegram, GPSLogger, ...).
 
 pub mod gen;
+pub mod interproc_suite;
 pub mod opensource;
 pub mod profile;
 pub mod spec;

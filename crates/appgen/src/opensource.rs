@@ -255,8 +255,17 @@ pub fn evaluate_accuracy() -> std::collections::BTreeMap<Table9Row, Accuracy> {
 }
 
 /// Runs the accuracy evaluation under a specific checker configuration
-/// (used by the ICC / strict-connectivity ablations).
+/// (used by the ICC / strict-connectivity / summary-engine ablations).
 pub fn evaluate_accuracy_with(
+    config: nchecker::CheckerConfig,
+) -> std::collections::BTreeMap<Table9Row, Accuracy> {
+    tally_accuracy(&open_source_apps(), config)
+}
+
+/// Tallies per-row accuracy of the checker under `config` over `specs`,
+/// scoring each app's report against its oracle.
+pub fn tally_accuracy(
+    specs: &[AppSpec],
     config: nchecker::CheckerConfig,
 ) -> std::collections::BTreeMap<Table9Row, Accuracy> {
     use std::collections::BTreeMap;
@@ -266,8 +275,8 @@ pub fn evaluate_accuracy_with(
         .map(|&r| (r, Accuracy::default()))
         .collect();
 
-    for spec in open_source_apps() {
-        let apk = crate::gen::generate(&spec);
+    for spec in specs {
+        let apk = crate::gen::generate(spec);
         let report = checker.analyze_apk(&apk).expect("analyzable app");
         let mut reported: BTreeMap<Table9Row, usize> = BTreeMap::new();
         for d in &report.defects {
@@ -361,9 +370,9 @@ mod tests {
             },
             "response row"
         );
-        let total: (usize, usize, usize) = table
-            .values()
-            .fold((0, 0, 0), |(c, f, n), a| (c + a.correct, f + a.fp, n + a.known_fn));
+        let total: (usize, usize, usize) = table.values().fold((0, 0, 0), |(c, f, n), a| {
+            (c + a.correct, f + a.fp, n + a.known_fn)
+        });
         assert_eq!(total, (130, 9, 5), "Table 9 totals");
         // Accuracy: 130 / (130 + 9) ≈ 93.5% — the paper's "94+%" rounds
         // from the same ratio.

@@ -117,8 +117,7 @@ fn assign_flags(seed: u64) -> Vec<Flags> {
     // --- Table 8: retry parameter misuse over the 91 retry-zone apps.
     // Designated sets live inside 0..78 (Volley) so POSTs go through a
     // default-retries-POST library. ---
-    let never_retry_volley: Vec<usize> =
-        never_retry.iter().copied().filter(|&i| i < 78).collect();
+    let never_retry_volley: Vec<usize> = never_retry.iter().copied().filter(|&i| i < 78).collect();
     let configuring: Vec<usize> = retry_zone
         .iter()
         .copied()

@@ -42,6 +42,11 @@ pub enum ConnCheck {
     /// The check happens in another component (inter-component flow) — no
     /// true defect, but the tool reports one (Table 9 FP).
     InterComponent,
+    /// A proper guard through an app-level wrapper (`if (!isOnline())
+    /// return`). No true defect; only the interprocedural summary engine
+    /// sees through the wrapper — the method-local analysis reports a
+    /// false positive.
+    GuardingViaHelper,
 }
 
 /// How the failure notification is implemented.
@@ -66,6 +71,10 @@ pub enum RespCheck {
     Checked,
     /// Read with no validity check — a true defect.
     Unchecked,
+    /// Read guarded by an app-level validation helper
+    /// (`if (isValidResponse(resp))`). No true defect; visible only to
+    /// the interprocedural summary engine.
+    CheckedViaHelper,
 }
 
 /// The customized retry-loop shape to wrap the request in (Figure 6).
@@ -95,6 +104,10 @@ pub struct RequestSpec {
     /// Retry configuration: `Some(n)` invokes the retry API with count
     /// `n`; `None` leaves the library default in force.
     pub set_retries: Option<u32>,
+    /// Route the configured retry count through an app-level helper
+    /// (`setMaxRetries(getRetryCount())`): the value is only
+    /// recoverable through the interprocedural summaries.
+    pub retries_via_helper: bool,
     /// Failure-notification behaviour (user-facing requests).
     pub notification: Notification,
     /// For Volley: whether the error callback consults the error object.
@@ -115,6 +128,7 @@ impl RequestSpec {
             conn_check: ConnCheck::Missing,
             set_timeout: false,
             set_retries: None,
+            retries_via_helper: false,
             notification: Notification::Missing,
             check_error_types: false,
             response: RespCheck::NotUsed,
@@ -133,7 +147,10 @@ impl RequestSpec {
         let mut out = Vec::new();
         // Connectivity: Missing and UnusedResult are real defects;
         // Guarding and InterComponent are not.
-        if matches!(self.conn_check, ConnCheck::Missing | ConnCheck::UnusedResult) {
+        if matches!(
+            self.conn_check,
+            ConnCheck::Missing | ConnCheck::UnusedResult
+        ) {
             out.push(DefectKind::MissedConnectivityCheck);
         }
         if !self.set_timeout {

@@ -63,6 +63,37 @@ fn bench_phases(c: &mut Criterion) {
             )
         });
     });
+    // Summary engine in isolation, with CFGs prebuilt as the analysis
+    // context does it: resolve what the program can resolve, leave
+    // framework calls opaque (a slight over-approximation of the real
+    // classifier, which also consults the call graph and registry).
+    let program2 = nck_ir::lift_file(&apk.adx).unwrap();
+    let cfgs_owned: Vec<Option<nck_ir::cfg::Cfg>> = program2
+        .methods
+        .iter()
+        .map(|m| m.body.as_ref().map(nck_ir::cfg::Cfg::build))
+        .collect();
+    c.bench_function("phase_summaries", |b| {
+        b.iter(|| {
+            let p = std::hint::black_box(&program2);
+            let inputs: Vec<nck_dataflow::MethodInput<'_>> = p
+                .methods
+                .iter()
+                .map(|m| nck_dataflow::MethodInput {
+                    body: m.body.as_ref(),
+                    is_static: m.flags.contains(nck_dex::AccessFlags::STATIC),
+                })
+                .collect();
+            let cfgs: Vec<Option<&nck_ir::cfg::Cfg>> =
+                cfgs_owned.iter().map(Option::as_ref).collect();
+            nck_dataflow::Summaries::compute_with_cfgs(&inputs, &cfgs, |_, _, inv| {
+                match p.lookup_method(inv.callee) {
+                    Some(id) => nck_dataflow::CallKind::Callees(vec![id.0 as usize]),
+                    None => nck_dataflow::CallKind::Opaque,
+                }
+            })
+        });
+    });
     let app = AnalyzedApp::new(apk.manifest.clone(), program, &registry);
     let checker = NChecker::new();
     c.bench_function("phase_checks", |b| {

@@ -27,9 +27,15 @@ fn main() {
     println!("Ablation: retry policy energy over a 60 s outage (3G radio model)");
     println!("{:-<64}", "");
     println!("{:<38} {:>12}", "strategy", "energy (mJ)");
-    println!("{:<38} {:>12.0}", "retry every 500 ms (Figure 2 bug)", telegram);
+    println!(
+        "{:<38} {:>12.0}",
+        "retry every 500 ms (Figure 2 bug)", telegram
+    );
     println!("{:<38} {:>12.0}", "retry every 5 s", five_s);
-    println!("{:<38} {:>12.0}", "exponential backoff 1 s -> 32 s", backoff);
+    println!(
+        "{:<38} {:>12.0}",
+        "exponential backoff 1 s -> 32 s", backoff
+    );
     println!("{:<38} {:>12.0}", "single attempt", single);
     println!("{:<38} {:>12.0}", "radio idle (floor)", idle);
     println!(

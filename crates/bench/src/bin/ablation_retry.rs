@@ -13,7 +13,10 @@ fn main() {
     let shapes = [
         ("Figure 6(b) success-exit", RetryShape::SuccessExit),
         ("Figure 6(c) catch-condition", RetryShape::CatchCondition),
-        ("Figure 6(d) interprocedural", RetryShape::InterprocCatchCondition),
+        (
+            "Figure 6(d) interprocedural",
+            RetryShape::InterprocCatchCondition,
+        ),
     ];
 
     println!("Ablation: customized retry-loop identification (Section 4.5)");
@@ -43,7 +46,12 @@ fn main() {
                 rep.count(DefectKind::MissedRetry)
             )
         };
-        println!("{:<30} {:>20} {:>20}", label, fmt(&report_on), fmt(&report_off));
+        println!(
+            "{:<30} {:>20} {:>20}",
+            label,
+            fmt(&report_on),
+            fmt(&report_off)
+        );
     }
     println!(
         "\nWithout the Section 4.5 rules every custom retry loop shows up as a false\n\

@@ -14,7 +14,9 @@
 //!   non-crash observations.
 
 use nchecker::{DefectKind, NChecker};
-use nck_appgen::spec::{AppSpec, ConnCheck, Notification, Origin, RequestSpec, RespCheck, RetryShape};
+use nck_appgen::spec::{
+    AppSpec, ConnCheck, Notification, Origin, RequestSpec, RespCheck, RetryShape,
+};
 use nck_dyntest::{DynConfig, DynFinding, DynamicChecker};
 use nck_netlibs::library::Library;
 

@@ -5,9 +5,17 @@ use nck_study::{impact_distribution, study_npds};
 
 fn main() {
     let npds = study_npds();
-    println!("Figure 4: Distribution of NPD impact on user experience (n = {})", npds.len());
+    println!(
+        "Figure 4: Distribution of NPD impact on user experience (n = {})",
+        npds.len()
+    );
     println!("{:-<60}", "");
     for (label, n, pct) in impact_distribution(&npds) {
-        println!("{:<16} {:>3.0}% |{}| ({n})", label, pct, bar(pct / 100.0, 30));
+        println!(
+            "{:<16} {:>3.0}% |{}| ({n})",
+            label,
+            pct,
+            bar(pct / 100.0, 30)
+        );
     }
 }

@@ -2,8 +2,8 @@
 //! connectivity checks (red) and timeouts (blue), among apps that set
 //! the API at least once but not everywhere.
 
-use nck_bench::{aggregate, downsample, print_series, run_corpus, SEED};
 use nchecker::CorpusStats;
+use nck_bench::{aggregate, downsample, print_series, run_corpus, SEED};
 
 fn main() {
     let reports = run_corpus(SEED);

@@ -1,8 +1,8 @@
 //! Regenerates Figure 9: CDF over apps of the ratio of user requests
 //! missing failure notifications, among apps that notify at least once.
 
-use nck_bench::{aggregate, downsample, print_series, run_corpus, SEED};
 use nchecker::CorpusStats;
+use nck_bench::{aggregate, downsample, print_series, run_corpus, SEED};
 
 fn main() {
     let reports = run_corpus(SEED);

@@ -10,15 +10,23 @@ use nck_bench::SEED;
 use nck_netsim::{
     run_session, Condition, LinkModel, RadioModel, ReconnectPolicy, Segment, Timeline,
 };
-use rand::Rng;
 use rand::rngs::StdRng;
+use rand::Rng;
 use rand::SeedableRng;
 
 fn main() {
     let radio = RadioModel::three_g();
     let policies = [
-        ("fixed 500 ms (Figure 2 bug)", ReconnectPolicy::Fixed { interval_ms: 500.0 }),
-        ("fixed 5 s", ReconnectPolicy::Fixed { interval_ms: 5000.0 }),
+        (
+            "fixed 500 ms (Figure 2 bug)",
+            ReconnectPolicy::Fixed { interval_ms: 500.0 },
+        ),
+        (
+            "fixed 5 s",
+            ReconnectPolicy::Fixed {
+                interval_ms: 5000.0,
+            },
+        ),
         (
             "backoff 1 s -> 32 s (the fix)",
             ReconnectPolicy::Backoff {

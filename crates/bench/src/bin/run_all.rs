@@ -2,8 +2,8 @@
 //! and figure (6, 7, 8, 9 + the Section 5.2 headline numbers), reusing a
 //! single corpus pass.
 
-use nck_bench::{aggregate, downsample, run_corpus, SEED};
 use nchecker::CorpusStats;
+use nck_bench::{aggregate, downsample, run_corpus, SEED};
 
 fn main() {
     let start = std::time::Instant::now();
@@ -53,13 +53,31 @@ fn main() {
     println!("--- Figure 8 (10-quantile summary) ---");
     let conn = CorpusStats::cdf(&stats.conn_miss_ratios());
     let to = CorpusStats::cdf(&stats.timeout_miss_ratios());
-    println!("conn:    {:?}", downsample(&conn, 10).iter().map(|(x, _)| format!("{x:.2}")).collect::<Vec<_>>());
-    println!("timeout: {:?}", downsample(&to, 10).iter().map(|(x, _)| format!("{x:.2}")).collect::<Vec<_>>());
+    println!(
+        "conn:    {:?}",
+        downsample(&conn, 10)
+            .iter()
+            .map(|(x, _)| format!("{x:.2}"))
+            .collect::<Vec<_>>()
+    );
+    println!(
+        "timeout: {:?}",
+        downsample(&to, 10)
+            .iter()
+            .map(|(x, _)| format!("{x:.2}"))
+            .collect::<Vec<_>>()
+    );
     println!();
 
     println!("--- Figure 9 (10-quantile summary) ---");
     let nf = CorpusStats::cdf(&stats.notification_miss_ratios());
-    println!("notif:   {:?}", downsample(&nf, 10).iter().map(|(x, _)| format!("{x:.2}")).collect::<Vec<_>>());
+    println!(
+        "notif:   {:?}",
+        downsample(&nf, 10)
+            .iter()
+            .map(|(x, _)| format!("{x:.2}"))
+            .collect::<Vec<_>>()
+    );
     println!();
 
     println!("--- Section 5.2 extras ---");

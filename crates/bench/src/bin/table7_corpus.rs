@@ -6,8 +6,12 @@ use nck_netlibs::library::Library;
 
 fn main() {
     let apps = corpus(SEED);
-    let count = |pred: &dyn Fn(&nck_appgen::AppSpec) -> bool| apps.iter().filter(|a| pred(a)).count();
-    println!("Table 7: Evaluated apps and their libraries (n = {})", apps.len());
+    let count =
+        |pred: &dyn Fn(&nck_appgen::AppSpec) -> bool| apps.iter().filter(|a| pred(a)).count();
+    println!(
+        "Table 7: Evaluated apps and their libraries (n = {})",
+        apps.len()
+    );
     println!("{:-<34}", "");
     println!("{:<22} {:>8}", "Lib used", "# Apps");
     let native = count(&|a| {
@@ -21,6 +25,10 @@ fn main() {
         ("Basic Http", Library::BasicHttpClient),
         ("OkHttp", Library::OkHttp),
     ] {
-        println!("{:<22} {:>8}", name, count(&|a| a.libraries().contains(&lib)));
+        println!(
+            "{:<22} {:>8}",
+            name,
+            count(&|a| a.libraries().contains(&lib))
+        );
     }
 }

@@ -24,8 +24,9 @@ pub fn run_specs(specs: &[AppSpec]) -> Vec<AppReport> {
         .min(16);
     let mut out: Vec<Option<AppReport>> = vec![None; specs.len()];
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let slots: Vec<std::sync::Mutex<Option<AppReport>>> =
-        (0..specs.len()).map(|_| std::sync::Mutex::new(None)).collect();
+    let slots: Vec<std::sync::Mutex<Option<AppReport>>> = (0..specs.len())
+        .map(|_| std::sync::Mutex::new(None))
+        .collect();
 
     crossbeam::scope(|scope| {
         for _ in 0..n_workers {

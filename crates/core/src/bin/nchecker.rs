@@ -2,37 +2,60 @@
 //! warning reports (§4.6, Figure 7).
 //!
 //! ```text
-//! nchecker [--summary|--json] <app.apk>...
+//! nchecker [--summary|--json] [--strict] [--no-interproc] <app.apk>...
 //! ```
 
-use nchecker::NChecker;
+use nchecker::{CheckerConfig, NChecker};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: nchecker [--summary|--json] <app.apk>...");
+    eprintln!("usage: nchecker [--summary|--json] [--strict] [--no-interproc] <app.apk>...");
     eprintln!();
     eprintln!("Statically analyzes ADX app bundles for network programming defects.");
-    eprintln!("  --summary   print one line per app instead of full reports");
-    eprintln!("  --json      print one JSON document per app");
+    eprintln!("  --summary       print one line per app instead of full reports");
+    eprintln!("  --json          print one JSON document per app");
+    eprintln!("  --strict        require connectivity checks to be control conditions");
+    eprintln!("  --interproc     enable the summary engine (the default)");
+    eprintln!("  --no-interproc  ablate the interprocedural summary engine");
     ExitCode::from(2)
 }
+
+const FLAGS: &[&str] = &[
+    "--summary",
+    "--json",
+    "--strict",
+    "--interproc",
+    "--no-interproc",
+];
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let summary = args.iter().any(|a| a == "--summary");
     let json = args.iter().any(|a| a == "--json");
+    let strict = args.iter().any(|a| a == "--strict");
+    // Last occurrence wins when both interproc flags are given.
+    let interproc = !matches!(
+        args.iter()
+            .rev()
+            .find(|a| *a == "--interproc" || *a == "--no-interproc"),
+        Some(a) if a == "--no-interproc"
+    );
     let paths: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
     if paths.is_empty() {
         return usage();
     }
     if args
         .iter()
-        .any(|a| a.starts_with("--") && a != "--summary" && a != "--json")
+        .any(|a| a.starts_with("--") && !FLAGS.contains(&a.as_str()))
     {
         return usage();
     }
 
-    let checker = NChecker::new();
+    let checker = NChecker::with_config(CheckerConfig {
+        strict_connectivity: strict,
+        interproc,
+        ..CheckerConfig::default()
+    });
     let mut failures = 0usize;
     for path in paths {
         let bytes = match std::fs::read(path) {
@@ -59,7 +82,11 @@ fn main() -> ExitCode {
                         report.defects.len()
                     );
                 } else {
-                    println!("=== {} ({} defects) ===", report.stats.package, report.defects.len());
+                    println!(
+                        "=== {} ({} defects) ===",
+                        report.stats.package,
+                        report.defects.len()
+                    );
                     for d in &report.defects {
                         println!("{}", d.render());
                     }

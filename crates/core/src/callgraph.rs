@@ -98,8 +98,7 @@ impl CallGraph {
                         // Look strictly above the caller's class.
                         let mut found = None;
                         for cls in program.hierarchy(method.key.class).into_iter().skip(1) {
-                            if let Some(id) =
-                                program.lookup_method(MethodKey { class: cls, ..key })
+                            if let Some(id) = program.lookup_method(MethodKey { class: cls, ..key })
                             {
                                 found = Some(id);
                                 break;
@@ -134,7 +133,9 @@ impl CallGraph {
                     } else {
                         Some(key.class)
                     };
-                    let Some(flow_class) = flow_class else { continue };
+                    let Some(flow_class) = flow_class else {
+                        continue;
+                    };
                     // The receiver (or argument) class must extend the
                     // rule's trigger class.
                     let trigger_matches = if rule.via_argument {
@@ -183,13 +184,24 @@ impl CallGraph {
     }
 
     fn add_edge(&mut self, edge: CallEdge) {
-        self.out_edges.entry(edge.caller).or_default().push(edge);
+        // CHA and the implicit-edge rules can derive the same edge more
+        // than once (e.g. a target reachable both as an override and an
+        // inherited definition); keep the edge lists duplicate-free so
+        // downstream traversals never visit a callee twice per site.
+        let out = self.out_edges.entry(edge.caller).or_default();
+        if out.contains(&edge) {
+            return;
+        }
+        out.push(edge);
         self.in_edges.entry(edge.callee).or_default().push(edge);
     }
 
     /// Outgoing edges of `caller`.
     pub fn callees(&self, caller: MethodId) -> &[CallEdge] {
-        self.out_edges.get(&caller).map(Vec::as_slice).unwrap_or(&[])
+        self.out_edges
+            .get(&caller)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Incoming edges of `callee`.
@@ -197,13 +209,17 @@ impl CallGraph {
         self.in_edges.get(&callee).map(Vec::as_slice).unwrap_or(&[])
     }
 
-    /// Callees of one specific call statement.
-    pub fn callees_at(&self, caller: MethodId, stmt: StmtId) -> Vec<MethodId> {
+    /// Callees of one specific call statement, yielded lazily (no
+    /// per-query allocation).
+    pub fn callees_at(
+        &self,
+        caller: MethodId,
+        stmt: StmtId,
+    ) -> impl Iterator<Item = MethodId> + '_ {
         self.callees(caller)
             .iter()
-            .filter(|e| e.stmt == stmt)
+            .filter(move |e| e.stmt == stmt)
             .map(|e| e.callee)
-            .collect()
     }
 
     /// Methods reachable from `entry` (inclusive).
@@ -370,17 +386,23 @@ mod tests {
                 );
             });
             b.class("Lapp/Main;", |c| {
-                c.method("onClick", "(Landroid/view/View;)V", AccessFlags::PUBLIC, 4, |m| {
-                    m.new_instance(m.reg(0), "Lapp/FetchTask;");
-                    m.invoke_direct("Lapp/FetchTask;", "<init>", "()V", &[m.reg(0)]);
-                    m.invoke_virtual(
-                        "Lapp/FetchTask;",
-                        "execute",
-                        "([Ljava/lang/Object;)Landroid/os/AsyncTask;",
-                        &[m.reg(0), m.reg(1)],
-                    );
-                    m.ret(None);
-                });
+                c.method(
+                    "onClick",
+                    "(Landroid/view/View;)V",
+                    AccessFlags::PUBLIC,
+                    4,
+                    |m| {
+                        m.new_instance(m.reg(0), "Lapp/FetchTask;");
+                        m.invoke_direct("Lapp/FetchTask;", "<init>", "()V", &[m.reg(0)]);
+                        m.invoke_virtual(
+                            "Lapp/FetchTask;",
+                            "execute",
+                            "([Ljava/lang/Object;)Landroid/os/AsyncTask;",
+                            &[m.reg(0), m.reg(1)],
+                        );
+                        m.ret(None);
+                    },
+                );
             });
         });
         let cg = CallGraph::build(&p);
@@ -423,6 +445,42 @@ mod tests {
         let go = method_named(&p, "Lapp/Main;", "go");
         let run = method_named(&p, "Lapp/Job;", "run");
         assert!(cg.reachable_from(go).contains(&run));
+    }
+
+    #[test]
+    fn edges_are_deduplicated_per_site() {
+        // Base defines run(); Job overrides it AND inherits the slot, so
+        // naive CHA resolution can surface Job.run twice for one call.
+        let p = program_of(|b| {
+            b.class("La/Base;", |c| {
+                c.method("run", "()V", AccessFlags::PUBLIC, 1, |m| m.ret(None));
+            });
+            b.class("La/Job;", |c| {
+                c.super_class("La/Base;");
+                c.method("run", "()V", AccessFlags::PUBLIC, 1, |m| m.ret(None));
+            });
+            b.class("La/User;", |c| {
+                c.method("use", "()V", AccessFlags::PUBLIC, 2, |m| {
+                    m.invoke_virtual("La/Base;", "run", "()V", &[m.reg(0)]);
+                    m.invoke_virtual("La/Base;", "run", "()V", &[m.reg(0)]);
+                    m.ret(None);
+                });
+            });
+        });
+        let cg = CallGraph::build(&p);
+        let use_ = method_named(&p, "La/User;", "use");
+        let mut seen = std::collections::BTreeSet::new();
+        for e in cg.callees(use_) {
+            assert!(
+                seen.insert((e.stmt, e.callee, e.implicit)),
+                "duplicate edge at {:?} -> {:?}",
+                e.stmt,
+                e.callee
+            );
+        }
+        // Each of the two call sites resolves to both implementations.
+        let first_site = cg.callees(use_)[0].stmt;
+        assert_eq!(cg.callees_at(use_, first_site).count(), 2);
     }
 
     #[test]

@@ -1,13 +1,13 @@
 //! The NChecker driver: binary in, warning reports out.
 
 use crate::checks::{
-    check_config, check_notification, check_response, is_guarded, is_guarded_strict,
-    methods_invoking_connectivity,
+    check_config_with, check_notification, check_response_with, is_guarded_strict_with,
+    is_guarded_with, methods_invoking_connectivity, methods_observing_connectivity,
 };
+use crate::context::AnalyzedApp;
 use crate::icc::{
     conn_guarded_components, find_icc_sends, icc_send_reachable, some_component_displays_alert,
 };
-use crate::context::AnalyzedApp;
 use crate::reach::{find_request_sites, RequestSite};
 use crate::report::{fix_suggestion, DefectKind, Location, OverRetryContext, Report};
 use crate::retry::{covered_by_retry, find_retry_loops};
@@ -44,6 +44,15 @@ pub struct CheckerConfig {
     /// request (path-sensitive), removing the Table 9 known false
     /// negatives. Off by default, as in the paper.
     pub strict_connectivity: bool,
+    /// Use the interprocedural summary engine: guard wrappers,
+    /// config-value helpers, and response checks through app helpers.
+    /// Disabling this is the ablation of the summary engine, reverting
+    /// to the method-local analyses.
+    pub interproc: bool,
+    /// Bound the strict connectivity check's caller walk to this depth
+    /// instead of the default unbounded visited-set traversal. Only
+    /// meaningful with `strict_connectivity`; kept for ablation.
+    pub strict_caller_depth: Option<usize>,
 }
 
 impl Default for CheckerConfig {
@@ -58,6 +67,8 @@ impl Default for CheckerConfig {
             custom_retry: true,
             icc: false,
             strict_connectivity: false,
+            interproc: true,
+            strict_caller_depth: None,
         }
     }
 }
@@ -113,6 +124,14 @@ pub struct AppStats {
     pub over_retry_post: usize,
     /// ... of which caused by library defaults.
     pub over_retry_post_default: usize,
+    /// Methods summarized by the interprocedural engine.
+    pub summary_methods: usize,
+    /// Call-graph SCCs condensed during summary computation.
+    pub summary_sccs: usize,
+    /// Methods whose summary proves a constant return.
+    pub summary_const_returns: usize,
+    /// Summary-cache lookups served during checking.
+    pub summary_hits: usize,
 }
 
 /// The complete analysis result for one app.
@@ -195,7 +214,11 @@ impl NChecker {
     /// Runs all configured analyses over an already-built context.
     pub fn analyze(&self, app: &AnalyzedApp<'_>) -> AppReport {
         let sites = find_request_sites(app);
-        let conn_methods = methods_invoking_connectivity(app);
+        let conn_methods = if self.config.interproc {
+            methods_observing_connectivity(app)
+        } else {
+            methods_invoking_connectivity(app)
+        };
         let retry_loops = if self.config.custom_retry {
             find_retry_loops(app)
         } else {
@@ -263,9 +286,14 @@ impl NChecker {
                         .is_some_and(|c| icc_guarded.contains(&c))
                 });
             let conn_ok = if self.config.strict_connectivity {
-                is_guarded_strict(app, site)
+                is_guarded_strict_with(
+                    app,
+                    site,
+                    self.config.interproc,
+                    self.config.strict_caller_depth,
+                )
             } else {
-                is_guarded(app, site, &conn_methods)
+                is_guarded_with(app, site, &conn_methods, self.config.interproc)
             } || icc_conn_guard;
             if self.config.connectivity && !conn_ok {
                 report.stats.requests_missing_conn += 1;
@@ -280,7 +308,7 @@ impl NChecker {
             }
 
             // §4.4.1 — config APIs.
-            let sc = check_config(app, site);
+            let sc = check_config_with(app, site, self.config.interproc);
             let custom = covered_by_retry(app, &retry_loops, site);
             if self.config.timeout && !sc.has_timeout {
                 report.stats.requests_missing_timeout += 1;
@@ -329,8 +357,7 @@ impl NChecker {
                             context: OverRetryContext::Service,
                             default_caused: sc.retry_default_used,
                         },
-                        "Background service request retries on failure, wasting energy"
-                            .to_owned(),
+                        "Background service request retries on failure, wasting energy".to_owned(),
                     );
                 }
                 // When the default is in force, it only bites POSTs if the
@@ -406,7 +433,7 @@ impl NChecker {
 
             // §4.4.4 — response validity.
             if self.config.response {
-                if let Some(rf) = check_response(app, site) {
+                if let Some(rf) = check_response_with(app, site, self.config.interproc) {
                     if !rf.uses.is_empty() {
                         report.stats.responses += 1;
                         if !rf.unchecked_uses.is_empty() {
@@ -421,6 +448,12 @@ impl NChecker {
                 }
             }
         }
+
+        let sstats = app.summaries().stats();
+        report.stats.summary_methods = sstats.methods;
+        report.stats.summary_sccs = sstats.sccs;
+        report.stats.summary_const_returns = sstats.const_returns;
+        report.stats.summary_hits = app.summaries().hits();
 
         report
     }

@@ -8,7 +8,8 @@
 use crate::context::AnalyzedApp;
 use crate::reach::{carrier_flow, RequestSite};
 use nck_dataflow::taint::{object_flow, FlowOptions, ObjectFlow};
-use nck_ir::body::{Body, FieldKey, MethodId, Rvalue, Stmt, StmtId};
+use nck_dataflow::CVal;
+use nck_ir::body::{Body, FieldKey, MethodId, Operand, Rvalue, Stmt, StmtId};
 use nck_netlibs::api::ConfigKind;
 use nck_netlibs::library::{defaults, Library};
 use std::collections::BTreeSet;
@@ -42,12 +43,68 @@ struct ConfigCall {
     retry_count: Option<i64>,
 }
 
+/// Recovers an operand's constant int through the interprocedural
+/// summaries when intraprocedural constant propagation fails: every
+/// reaching definition must resolve — a constant-returning helper call
+/// (`setMaxRetries(getRetryCount())`) or a load of a field only ever
+/// stored one constant — and all resolved values must agree.
+fn operand_int_via_summaries(
+    app: &AnalyzedApp<'_>,
+    method: MethodId,
+    body: &Body,
+    at: StmtId,
+    op: Operand,
+) -> Option<i64> {
+    let local = op.as_local()?;
+    let ma = app.analysis(method);
+    let summaries = app.summaries();
+    let defs = ma.rd.reaching(at, local);
+    if defs.is_empty() {
+        return None;
+    }
+    let mut joined = CVal::Undef;
+    for d in defs {
+        let v = match body.stmt(d) {
+            Stmt::Assign {
+                rvalue: Rvalue::Invoke(_),
+                ..
+            } => {
+                // Join the constant returns over the explicit callees.
+                let mut v = CVal::Undef;
+                let mut any = false;
+                for e in app
+                    .callgraph
+                    .callees(method)
+                    .iter()
+                    .filter(|e| e.stmt == d && !e.implicit)
+                {
+                    any = true;
+                    v = v.join(summaries.summary(e.callee.0 as usize).const_return);
+                }
+                if any {
+                    v
+                } else {
+                    CVal::NonConst
+                }
+            }
+            Stmt::Assign {
+                rvalue: Rvalue::InstanceField { field, .. } | Rvalue::StaticField { field },
+                ..
+            } => summaries.field_const(field),
+            _ => CVal::NonConst,
+        };
+        joined = joined.join(v);
+    }
+    joined.as_int()
+}
+
 fn match_config_calls(
     app: &AnalyzedApp<'_>,
     method: MethodId,
     body: &Body,
     flow: &ObjectFlow,
     library: Library,
+    interproc: bool,
     out: &mut Vec<ConfigCall>,
 ) {
     let ma = app.analysis(method);
@@ -66,9 +123,8 @@ fn match_config_calls(
         // The call configures the carrier when the carrier is the receiver
         // — or, for static helpers like Apache's
         // `HttpConnectionParams.setSoTimeout(params, v)`, any argument.
-        let in_flow = |op: &nck_ir::Operand| {
-            op.as_local().is_some_and(|l| flow.locals.contains(&l))
-        };
+        let in_flow =
+            |op: &nck_ir::Operand| op.as_local().is_some_and(|l| flow.locals.contains(&l));
         let relevant = if inv.kind.has_receiver() {
             inv.args.first().is_some_and(&in_flow)
         } else {
@@ -79,9 +135,13 @@ fn match_config_calls(
         }
         let offset = usize::from(inv.kind.has_receiver());
         let retry_count = cfg.kind.retry_count_arg().and_then(|arg| {
-            inv.args
-                .get(offset + arg)
-                .and_then(|&op| ma.cp.operand_value(call, op).as_int())
+            inv.args.get(offset + arg).and_then(|&op| {
+                ma.cp.operand_value(call, op).as_int().or_else(|| {
+                    interproc
+                        .then(|| operand_int_via_summaries(app, method, body, call, op))
+                        .flatten()
+                })
+            })
         });
         out.push(ConfigCall {
             method,
@@ -99,6 +159,7 @@ fn config_calls_via_fields(
     fields: &BTreeSet<FieldKey>,
     library: Library,
     skip_method: MethodId,
+    interproc: bool,
     out: &mut Vec<ConfigCall>,
 ) {
     if fields.is_empty() {
@@ -132,7 +193,7 @@ fn config_calls_via_fields(
         seeds.dedup();
         for seed in seeds {
             let flow = object_flow(body, seed, FlowOptions::default());
-            match_config_calls(app, mid, body, &flow, library, out);
+            match_config_calls(app, mid, body, &flow, library, interproc, out);
         }
     }
 }
@@ -144,6 +205,7 @@ fn volley_policy_calls(
     app: &AnalyzedApp<'_>,
     method: MethodId,
     body: &Body,
+    interproc: bool,
     out: &mut Vec<ConfigCall>,
 ) {
     let ma = app.analysis(method);
@@ -156,10 +218,14 @@ fn volley_policy_calls(
         if class != "Lcom/android/volley/DefaultRetryPolicy;" || name != "<init>" {
             continue;
         }
-        let retry_count = inv
-            .args
-            .get(2) // Receiver, timeoutMs, maxRetries.
-            .and_then(|&op| ma.cp.operand_value(sid, op).as_int());
+        let retry_count = inv.args.get(2).and_then(|&op| {
+            // Receiver, timeoutMs, maxRetries.
+            ma.cp.operand_value(sid, op).as_int().or_else(|| {
+                interproc
+                    .then(|| operand_int_via_summaries(app, method, body, sid, op))
+                    .flatten()
+            })
+        });
         out.push(ConfigCall {
             method,
             stmt: sid,
@@ -172,21 +238,45 @@ fn volley_policy_calls(
     }
 }
 
-/// Analyzes the config APIs in force for `site`.
+/// Analyzes the config APIs in force for `site`, resolving parameter
+/// values through the interprocedural summaries by default; see
+/// [`check_config_with`].
 pub fn check_config(app: &AnalyzedApp<'_>, site: &RequestSite) -> SiteConfig {
+    check_config_with(app, site, true)
+}
+
+/// [`check_config`] with explicit configuration: `interproc` enables
+/// resolving config parameters through constant-returning helpers and
+/// app-wide field constants when local constant propagation fails.
+pub fn check_config_with(app: &AnalyzedApp<'_>, site: &RequestSite, interproc: bool) -> SiteConfig {
     let body = app.body(site.method);
     let library = site.library();
     let mut calls = Vec::new();
 
     if let Some(flow) = carrier_flow(body, site.stmt, &site.target) {
-        match_config_calls(app, site.method, body, &flow, library, &mut calls);
-        config_calls_via_fields(app, &flow.fields, library, site.method, &mut calls);
+        match_config_calls(
+            app,
+            site.method,
+            body,
+            &flow,
+            library,
+            interproc,
+            &mut calls,
+        );
+        config_calls_via_fields(
+            app,
+            &flow.fields,
+            library,
+            site.method,
+            interproc,
+            &mut calls,
+        );
         if library == Library::Volley
-            && calls.iter().any(|c| {
-                matches!(c.kind, ConfigKind::Retry { .. })
-            })
+            && calls
+                .iter()
+                .any(|c| matches!(c.kind, ConfigKind::Retry { .. }))
         {
-            volley_policy_calls(app, site.method, body, &mut calls);
+            volley_policy_calls(app, site.method, body, interproc, &mut calls);
         }
     }
 
@@ -464,6 +554,9 @@ mod tests {
         });
         let sites = find_request_sites(&app);
         let sc = check_config(&app, &sites[0]);
-        assert!(!sc.has_timeout, "config on an unrelated object must not count");
+        assert!(
+            !sc.has_timeout,
+            "config on an unrelated object must not count"
+        );
     }
 }

@@ -36,6 +36,36 @@ pub fn methods_invoking_connectivity(app: &AnalyzedApp<'_>) -> BTreeSet<MethodId
     out
 }
 
+/// Returns the methods that *observe* connectivity according to the
+/// interprocedural summaries: they invoke a connectivity API directly or
+/// through any chain of app helpers (`isOnline()`-style wrappers). A
+/// strict superset of [`methods_invoking_connectivity`].
+pub fn methods_observing_connectivity(app: &AnalyzedApp<'_>) -> BTreeSet<MethodId> {
+    let summaries = app.summaries();
+    app.program
+        .iter_methods()
+        .filter(|(id, m)| m.body.is_some() && summaries.summary(id.0 as usize).calls_source)
+        .map(|(id, _)| id)
+        .collect()
+}
+
+/// Returns `true` when the call at `stmt` in `method` resolves (via
+/// explicit edges) to at least one app method whose summary satisfies
+/// `pred`.
+fn callee_summary_matches(
+    app: &AnalyzedApp<'_>,
+    method: MethodId,
+    stmt: StmtId,
+    pred: impl Fn(&nck_dataflow::interproc::MethodSummary) -> bool,
+) -> bool {
+    let summaries = app.summaries();
+    app.callgraph
+        .callees(method)
+        .iter()
+        .filter(|e| e.stmt == stmt && !e.implicit)
+        .any(|e| pred(summaries.summary(e.callee.0 as usize)))
+}
+
 /// Returns the set of methods from which `target` is reachable in the
 /// call graph (inclusive).
 fn methods_reaching(app: &AnalyzedApp<'_>, target: MethodId) -> BTreeSet<MethodId> {
@@ -51,18 +81,21 @@ fn methods_reaching(app: &AnalyzedApp<'_>, target: MethodId) -> BTreeSet<MethodI
     seen
 }
 
-/// Returns `true` when a connectivity API call inside `method` can reach
-/// `site` along CFG edges (i.e. occurs "before" the request).
-fn guarded_intra(app: &AnalyzedApp<'_>, method: MethodId, site: StmtId) -> bool {
+/// Returns `true` when a connectivity check inside `method` can reach
+/// `site` along CFG edges (i.e. occurs "before" the request). With
+/// `interproc`, a call to an app helper that transitively performs a
+/// connectivity check counts as a check statement too.
+fn guarded_intra(app: &AnalyzedApp<'_>, method: MethodId, site: StmtId, interproc: bool) -> bool {
     let body = app.body(method);
     let ma = app.analysis(method);
     let checks: Vec<StmtId> = body
         .iter()
-        .filter(|(_, stmt)| {
+        .filter(|(id, stmt)| {
             stmt.invoke_expr().is_some_and(|inv| {
                 let class = app.program.symbols.resolve(inv.callee.class);
                 let name = app.program.symbols.resolve(inv.callee.name);
                 app.registry.is_connectivity_check(class, name)
+                    || (interproc && callee_summary_matches(app, method, *id, |s| s.calls_source))
             })
         })
         .map(|(id, _)| id)
@@ -97,12 +130,55 @@ fn guarded_intra(app: &AnalyzedApp<'_>, method: MethodId, site: StmtId) -> bool 
 /// This is the fix for the paper's five known false negatives (§5.3):
 /// the default analysis treats a connectivity API call whose result is
 /// ignored as a guard; this one does not.
+///
+/// Defaults to interprocedural summaries and an unbounded caller walk;
+/// see [`is_guarded_strict_with`] for the ablation knobs.
 pub fn is_guarded_strict(app: &AnalyzedApp<'_>, site: &RequestSite) -> bool {
-    strict_rec(app, site.method, site.stmt, 3)
+    is_guarded_strict_with(app, site, true, None)
 }
 
-fn strict_rec(app: &AnalyzedApp<'_>, method: MethodId, stmt: StmtId, depth: usize) -> bool {
-    if guarded_by_conn_branch(app, method, stmt) {
+/// [`is_guarded_strict`] with explicit configuration: `interproc`
+/// enables summary-based guard recognition (`if (isOnline())` wrappers),
+/// and `caller_depth` optionally restores the historical bounded caller
+/// recursion (`Some(3)`) instead of the exhaustive visited-set walk.
+pub fn is_guarded_strict_with(
+    app: &AnalyzedApp<'_>,
+    site: &RequestSite,
+    interproc: bool,
+    caller_depth: Option<usize>,
+) -> bool {
+    match caller_depth {
+        Some(depth) => strict_rec(app, site.method, site.stmt, depth, interproc),
+        None => {
+            // Exhaustive caller walk: visit each (method, call-site)
+            // pair once, so recursion and diamond caller graphs cost
+            // nothing extra and no guard is missed by a depth cutoff.
+            let mut seen: BTreeSet<(MethodId, StmtId)> = BTreeSet::new();
+            let mut work = vec![(site.method, site.stmt)];
+            while let Some((method, stmt)) = work.pop() {
+                if !seen.insert((method, stmt)) {
+                    continue;
+                }
+                if guarded_by_conn_branch(app, method, stmt, interproc) {
+                    return true;
+                }
+                for e in app.callgraph.callers(method) {
+                    work.push((e.caller, e.stmt));
+                }
+            }
+            false
+        }
+    }
+}
+
+fn strict_rec(
+    app: &AnalyzedApp<'_>,
+    method: MethodId,
+    stmt: StmtId,
+    depth: usize,
+    interproc: bool,
+) -> bool {
+    if guarded_by_conn_branch(app, method, stmt, interproc) {
         return true;
     }
     if depth == 0 {
@@ -113,26 +189,38 @@ fn strict_rec(app: &AnalyzedApp<'_>, method: MethodId, stmt: StmtId, depth: usiz
     app.callgraph
         .callers(method)
         .iter()
-        .any(|e| strict_rec(app, e.caller, e.stmt, depth - 1))
+        .any(|e| strict_rec(app, e.caller, e.stmt, depth - 1, interproc))
 }
 
 /// Returns `true` when `stmt` is transitively control-dependent on an
 /// `if` whose condition data-derives from a connectivity API result
-/// within `method`.
-fn guarded_by_conn_branch(app: &AnalyzedApp<'_>, method: MethodId, stmt: StmtId) -> bool {
+/// within `method`. With `interproc`, results of app helpers whose
+/// summaries return connectivity-derived values count as connectivity
+/// definitions too.
+fn guarded_by_conn_branch(
+    app: &AnalyzedApp<'_>,
+    method: MethodId,
+    stmt: StmtId,
+    interproc: bool,
+) -> bool {
     use nck_dataflow::slice::{backward_slice, SliceKind};
     let body = app.body(method);
     let ma = app.analysis(method);
 
-    // Connectivity-API result definitions.
+    // Connectivity-result definitions: direct API results, plus (with
+    // summaries) results of guard wrappers like `isOnline()`.
     let conn_defs: BTreeSet<StmtId> = body
         .iter()
-        .filter(|(_, s)| {
+        .filter(|(id, s)| {
             matches!(s, nck_ir::Stmt::Assign { .. })
                 && s.invoke_expr().is_some_and(|inv| {
                     let class = app.program.symbols.resolve(inv.callee.class);
                     let name = app.program.symbols.resolve(inv.callee.name);
                     app.registry.is_connectivity_check(class, name)
+                        || (interproc
+                            && callee_summary_matches(app, method, *id, |s| {
+                                s.returns_connectivity()
+                            }))
                 })
         })
         .map(|(id, _)| id)
@@ -176,14 +264,29 @@ fn guarded_by_conn_branch(app: &AnalyzedApp<'_>, method: MethodId, stmt: StmtId)
 }
 
 /// Decides whether `site` is guarded by a connectivity check on some
-/// entry-to-request path.
+/// entry-to-request path. Defaults to summary-aware guard recognition;
+/// see [`is_guarded_with`].
 pub fn is_guarded(
     app: &AnalyzedApp<'_>,
     site: &RequestSite,
     conn_methods: &BTreeSet<MethodId>,
 ) -> bool {
+    is_guarded_with(app, site, conn_methods, true)
+}
+
+/// [`is_guarded`] with explicit configuration. `conn_methods` is the set
+/// of connectivity-checking methods the caller considers (typically
+/// [`methods_observing_connectivity`] when `interproc` is on, or
+/// [`methods_invoking_connectivity`] when off).
+pub fn is_guarded_with(
+    app: &AnalyzedApp<'_>,
+    site: &RequestSite,
+    conn_methods: &BTreeSet<MethodId>,
+    interproc: bool,
+) -> bool {
     // Same-method check must occur before the request in the CFG.
-    if conn_methods.contains(&site.method) && guarded_intra(app, site.method, site.stmt) {
+    if conn_methods.contains(&site.method) && guarded_intra(app, site.method, site.stmt, interproc)
+    {
         return true;
     }
     // Otherwise: any method on an entry→site call path that invokes a
@@ -242,7 +345,13 @@ mod tests {
         let app = app_of(|b| {
             b.class("Lapp/Main;", |c| {
                 c.super_class("Landroid/app/Activity;");
-                c.method("onCreate", "(Landroid/os/Bundle;)V", AccessFlags::PUBLIC, 6, emit_request);
+                c.method(
+                    "onCreate",
+                    "(Landroid/os/Bundle;)V",
+                    AccessFlags::PUBLIC,
+                    6,
+                    emit_request,
+                );
             });
         });
         let sites = find_request_sites(&app);
@@ -266,7 +375,12 @@ mod tests {
                         let ok = m.reg(5);
                         let done = m.new_label();
                         m.new_instance(cm, "Landroid/net/ConnectivityManager;");
-                        m.invoke_direct("Landroid/net/ConnectivityManager;", "<init>", "()V", &[cm]);
+                        m.invoke_direct(
+                            "Landroid/net/ConnectivityManager;",
+                            "<init>",
+                            "()V",
+                            &[cm],
+                        );
                         m.invoke_virtual(
                             "Landroid/net/ConnectivityManager;",
                             "getActiveNetworkInfo",
@@ -274,7 +388,12 @@ mod tests {
                             &[cm],
                         );
                         m.move_result(info);
-                        m.invoke_virtual("Landroid/net/NetworkInfo;", "isConnected", "()Z", &[info]);
+                        m.invoke_virtual(
+                            "Landroid/net/NetworkInfo;",
+                            "isConnected",
+                            "()Z",
+                            &[info],
+                        );
                         m.move_result(ok);
                         m.ifz(CondOp::Eq, ok, done);
                         emit_request_inner(m);
@@ -311,7 +430,12 @@ mod tests {
                         emit_request_inner(m);
                         let cm = m.reg(3);
                         m.new_instance(cm, "Landroid/net/ConnectivityManager;");
-                        m.invoke_direct("Landroid/net/ConnectivityManager;", "<init>", "()V", &[cm]);
+                        m.invoke_direct(
+                            "Landroid/net/ConnectivityManager;",
+                            "<init>",
+                            "()V",
+                            &[cm],
+                        );
                         m.invoke_virtual(
                             "Landroid/net/ConnectivityManager;",
                             "getActiveNetworkInfo",
@@ -342,7 +466,12 @@ mod tests {
                     |m| {
                         let cm = m.reg(3);
                         m.new_instance(cm, "Landroid/net/ConnectivityManager;");
-                        m.invoke_direct("Landroid/net/ConnectivityManager;", "<init>", "()V", &[cm]);
+                        m.invoke_direct(
+                            "Landroid/net/ConnectivityManager;",
+                            "<init>",
+                            "()V",
+                            &[cm],
+                        );
                         m.invoke_virtual(
                             "Landroid/net/ConnectivityManager;",
                             "getActiveNetworkInfo",
@@ -369,7 +498,13 @@ mod tests {
         let app = app_of(|b| {
             b.class("Lapp/Main;", |c| {
                 c.super_class("Landroid/app/Activity;");
-                c.method("onCreate", "(Landroid/os/Bundle;)V", AccessFlags::PUBLIC, 6, emit_request);
+                c.method(
+                    "onCreate",
+                    "(Landroid/os/Bundle;)V",
+                    AccessFlags::PUBLIC,
+                    6,
+                    emit_request,
+                );
                 c.method("unrelatedCheck", "()V", AccessFlags::PUBLIC, 6, |m| {
                     let cm = m.reg(0);
                     m.new_instance(cm, "Landroid/net/ConnectivityManager;");
@@ -406,7 +541,12 @@ mod tests {
                     |m| {
                         let cm = m.reg(3);
                         m.new_instance(cm, "Landroid/net/ConnectivityManager;");
-                        m.invoke_direct("Landroid/net/ConnectivityManager;", "<init>", "()V", &[cm]);
+                        m.invoke_direct(
+                            "Landroid/net/ConnectivityManager;",
+                            "<init>",
+                            "()V",
+                            &[cm],
+                        );
                         m.invoke_virtual(
                             "Landroid/net/ConnectivityManager;",
                             "getActiveNetworkInfo",
@@ -423,6 +563,100 @@ mod tests {
         });
         let sites = find_request_sites(&app);
         let conn = methods_invoking_connectivity(&app);
-        assert!(is_guarded(&app, &sites[0], &conn), "path-insensitivity: treated as guarded");
+        assert!(
+            is_guarded(&app, &sites[0], &conn),
+            "path-insensitivity: treated as guarded"
+        );
+    }
+
+    /// `onCreate` guards the request with `if (w1())`, where `w1..wD`
+    /// forward to each other and only `wD` touches the connectivity APIs.
+    fn wrapper_chain_app(depth: usize) -> AnalyzedApp<'static> {
+        app_of(|b| {
+            b.class("Lapp/Main;", |c| {
+                c.super_class("Landroid/app/Activity;");
+                c.method(
+                    "onCreate",
+                    "(Landroid/os/Bundle;)V",
+                    AccessFlags::PUBLIC,
+                    8,
+                    |m| {
+                        let ok = m.reg(5);
+                        let skip = m.new_label();
+                        m.invoke_virtual("Lapp/Main;", "w1", "()Z", &[m.param(0).unwrap()]);
+                        m.move_result(ok);
+                        m.ifz(CondOp::Eq, ok, skip);
+                        emit_request_inner(m);
+                        m.bind(skip);
+                        m.ret(None);
+                    },
+                );
+                for i in 1..depth {
+                    let next = format!("w{}", i + 1);
+                    c.method(&format!("w{i}"), "()Z", AccessFlags::PUBLIC, 4, move |m| {
+                        m.invoke_virtual("Lapp/Main;", &next, "()Z", &[m.param(0).unwrap()]);
+                        m.move_result(m.reg(0));
+                        m.ret(Some(m.reg(0)));
+                    });
+                }
+                c.method(&format!("w{depth}"), "()Z", AccessFlags::PUBLIC, 6, |m| {
+                    let cm = m.reg(0);
+                    let info = m.reg(1);
+                    let ok = m.reg(2);
+                    let offline = m.new_label();
+                    m.new_instance(cm, "Landroid/net/ConnectivityManager;");
+                    m.invoke_direct("Landroid/net/ConnectivityManager;", "<init>", "()V", &[cm]);
+                    m.invoke_virtual(
+                        "Landroid/net/ConnectivityManager;",
+                        "getActiveNetworkInfo",
+                        "()Landroid/net/NetworkInfo;",
+                        &[cm],
+                    );
+                    m.move_result(info);
+                    m.ifz(CondOp::Eq, info, offline);
+                    m.invoke_virtual("Landroid/net/NetworkInfo;", "isConnected", "()Z", &[info]);
+                    m.move_result(ok);
+                    m.ret(Some(ok));
+                    m.bind(offline);
+                    m.const_int(ok, 0);
+                    m.ret(Some(ok));
+                });
+            });
+        })
+    }
+
+    #[test]
+    fn guard_wrappers_guard_at_depths_one_through_five() {
+        for depth in 1..=5 {
+            let app = wrapper_chain_app(depth);
+            let sites = find_request_sites(&app);
+            assert_eq!(sites.len(), 1, "depth {depth}");
+            let observing = methods_observing_connectivity(&app);
+            assert!(
+                is_guarded(&app, &sites[0], &observing),
+                "summaries see through the wrapper chain at depth {depth}"
+            );
+            assert!(
+                is_guarded_strict(&app, &sites[0]),
+                "the strict check accepts the wrapper-derived branch at depth {depth}"
+            );
+        }
+    }
+
+    #[test]
+    fn guard_wrappers_defeat_the_method_local_analysis() {
+        for depth in 1..=5 {
+            let app = wrapper_chain_app(depth);
+            let sites = find_request_sites(&app);
+            let invoking = methods_invoking_connectivity(&app);
+            assert!(
+                !is_guarded_with(&app, &sites[0], &invoking, false),
+                "without summaries the wrapper is invisible at depth {depth}"
+            );
+            assert!(
+                !is_guarded_strict_with(&app, &sites[0], false, Some(3)),
+                "the bounded local strict walk misses the wrapper at depth {depth}"
+            );
+        }
     }
 }

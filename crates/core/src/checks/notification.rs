@@ -192,11 +192,19 @@ mod tests {
     const ERR_LISTENER: &str = "Lcom/android/volley/Response$ErrorListener;";
     const ON_ERR_SIG: &str = "(Lcom/android/volley/VolleyError;)V";
 
-    fn volley_app(listener_body: impl FnOnce(&mut nck_dex::builder::CodeBuilder<'_>)) -> AnalyzedApp<'static> {
+    fn volley_app(
+        listener_body: impl FnOnce(&mut nck_dex::builder::CodeBuilder<'_>),
+    ) -> AnalyzedApp<'static> {
         app_of(move |b| {
             b.class("Lapp/Main$Err;", |c| {
                 c.interface(ERR_LISTENER);
-                c.method("onErrorResponse", ON_ERR_SIG, AccessFlags::PUBLIC, 6, listener_body);
+                c.method(
+                    "onErrorResponse",
+                    ON_ERR_SIG,
+                    AccessFlags::PUBLIC,
+                    6,
+                    listener_body,
+                );
             });
             b.class("Lapp/Main;", |c| {
                 c.super_class("Landroid/app/Activity;");

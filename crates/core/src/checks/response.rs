@@ -7,8 +7,8 @@
 
 use crate::context::AnalyzedApp;
 use crate::reach::RequestSite;
-use nck_dataflow::taint::{object_flow, FlowOptions};
-use nck_ir::body::{LocalId, Operand, Stmt, StmtId};
+use nck_dataflow::taint::{object_flow, FlowOptions, ObjectFlow};
+use nck_ir::body::{InvokeExpr, LocalId, MethodId, Operand, Stmt, StmtId};
 
 /// The response-check findings for one request site.
 #[derive(Debug, Clone)]
@@ -28,6 +28,17 @@ pub struct ResponseFinding {
 /// evaluates this check only on "apps that use libs that have resp. check
 /// APIs", Table 6).
 pub fn check_response(app: &AnalyzedApp<'_>, site: &RequestSite) -> Option<ResponseFinding> {
+    check_response_with(app, site, true)
+}
+
+/// [`check_response`] with explicit configuration: `interproc` lets a
+/// call that hands the response to an app helper count as a validity
+/// check when the helper's summary proves it checks that argument.
+pub fn check_response_with(
+    app: &AnalyzedApp<'_>,
+    site: &RequestSite,
+    interproc: bool,
+) -> Option<ResponseFinding> {
     if !site.library().has_response_check_api() {
         return None;
     }
@@ -69,7 +80,16 @@ pub fn check_response(app: &AnalyzedApp<'_>, site: &RequestSite) -> Option<Respo
                 }
             }
             _ => {
-                let Some(inv) = stmt.invoke_expr() else { continue };
+                let Some(inv) = stmt.invoke_expr() else {
+                    continue;
+                };
+                // Interprocedural: passing the response to an app helper
+                // whose summary proves it validity-checks that argument
+                // position counts as a check at this site.
+                if interproc && callee_checks_flow_arg(app, site.method, sid, inv, &flow) {
+                    checks.push(sid);
+                    continue;
+                }
                 let Some(Operand::Local(recv)) = inv.receiver() else {
                     continue;
                 };
@@ -100,6 +120,41 @@ pub fn check_response(app: &AnalyzedApp<'_>, site: &RequestSite) -> Option<Respo
     })
 }
 
+/// Does every explicit callee of the invoke at `stmt` check some
+/// argument position that carries an alias of the response?
+fn callee_checks_flow_arg(
+    app: &AnalyzedApp<'_>,
+    method: MethodId,
+    stmt: StmtId,
+    inv: &InvokeExpr,
+    flow: &ObjectFlow,
+) -> bool {
+    let positions: Vec<usize> = inv
+        .args
+        .iter()
+        .enumerate()
+        .filter(|(_, op)| op.as_local().is_some_and(|l| flow.locals.contains(&l)))
+        .map(|(j, _)| j)
+        .collect();
+    if positions.is_empty() {
+        return false;
+    }
+    let callees: Vec<usize> = app
+        .callgraph
+        .callees(method)
+        .iter()
+        .filter(|e| e.stmt == stmt && !e.implicit)
+        .map(|e| e.callee.0 as usize)
+        .collect();
+    if callees.is_empty() {
+        return false;
+    }
+    let summaries = app.summaries();
+    positions
+        .iter()
+        .any(|&j| callees.iter().all(|&c| summaries.summary(c).checks_arg(j)))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -125,7 +180,13 @@ mod tests {
         let mut b = AdxBuilder::new();
         b.class("Lapp/Main;", |c| {
             c.super_class("Landroid/app/Activity;");
-            c.method("onCreate", "(Landroid/os/Bundle;)V", AccessFlags::PUBLIC, 10, emit);
+            c.method(
+                "onCreate",
+                "(Landroid/os/Bundle;)V",
+                AccessFlags::PUBLIC,
+                10,
+                emit,
+            );
         });
         let program = lift_file(&b.finish().unwrap()).unwrap();
         let mut manifest = Manifest::new("app");
@@ -215,7 +276,11 @@ mod tests {
         });
         let sites = find_request_sites(&app);
         let f = check_response(&app, &sites[0]).unwrap();
-        assert_eq!(f.unchecked_uses.len(), 1, "non-dominating check is not a guard");
+        assert_eq!(
+            f.unchecked_uses.len(),
+            1,
+            "non-dominating check is not a guard"
+        );
     }
 
     #[test]

@@ -4,6 +4,7 @@
 use crate::callgraph::CallGraph;
 use nck_android::entrypoints::{entry_points, EntryPoint};
 use nck_android::manifest::Manifest;
+use nck_dataflow::interproc::{CallKind, MethodInput, Summaries};
 use nck_dataflow::{ConstProp, ControlDeps, ReachingDefs};
 use nck_ir::body::{Body, MethodId, Program};
 use nck_ir::cfg::Cfg;
@@ -77,23 +78,20 @@ pub struct AnalyzedApp<'r> {
     /// Per-entry reachable method sets (parallel to `entries`).
     pub entry_reach: Vec<BTreeSet<MethodId>>,
     analyses: BTreeMap<MethodId, MethodAnalysis>,
+    summaries: Summaries,
 }
 
 impl<'r> AnalyzedApp<'r> {
     /// Lifts, builds the call graph, discovers entry points, and runs the
     /// per-method dataflow analyses.
-    pub fn new(
-        manifest: Manifest,
-        program: Program,
-        registry: &'r Registry,
-    ) -> AnalyzedApp<'r> {
+    pub fn new(manifest: Manifest, program: Program, registry: &'r Registry) -> AnalyzedApp<'r> {
         let entries = entry_points(&program, &manifest);
         let callgraph = CallGraph::build(&program);
         let entry_reach = entries
             .iter()
             .map(|e| callgraph.reachable_from(e.method))
             .collect();
-        let analyses = program
+        let analyses: BTreeMap<MethodId, MethodAnalysis> = program
             .iter_methods()
             .filter_map(|(id, m)| {
                 m.body
@@ -101,6 +99,7 @@ impl<'r> AnalyzedApp<'r> {
                     .map(|body| (id, MethodAnalysis::compute(body)))
             })
             .collect();
+        let summaries = compute_summaries(&program, &callgraph, registry, &analyses);
         AnalyzedApp {
             manifest,
             program,
@@ -109,7 +108,14 @@ impl<'r> AnalyzedApp<'r> {
             callgraph,
             entry_reach,
             analyses,
+            summaries,
         }
+    }
+
+    /// The interprocedural method summaries, computed once per app.
+    /// Method indices are dense: `MethodId(i)` ↔ summary index `i`.
+    pub fn summaries(&self) -> &Summaries {
+        &self.summaries
     }
 
     /// The dataflow artifacts of `method`.
@@ -152,6 +158,52 @@ impl<'r> AnalyzedApp<'r> {
         self.program
             .display_method_key(self.program.method(method).key)
     }
+}
+
+/// Computes per-method summaries, classifying each call site against the
+/// API registry (connectivity APIs are sources, response-validity APIs
+/// are check sinks) and the explicit call-graph edges (app-internal
+/// callees). Everything else — framework calls, implicit edges — stays
+/// opaque to keep the summaries conservative.
+fn compute_summaries(
+    program: &Program,
+    callgraph: &CallGraph,
+    registry: &Registry,
+    analyses: &BTreeMap<MethodId, MethodAnalysis>,
+) -> Summaries {
+    let inputs: Vec<MethodInput<'_>> = program
+        .methods
+        .iter()
+        .map(|m| MethodInput {
+            body: m.body.as_ref(),
+            is_static: m.flags.contains(nck_dex::AccessFlags::STATIC),
+        })
+        .collect();
+    // Reuse the per-method CFGs the analysis context just built.
+    let cfgs: Vec<Option<&Cfg>> = (0..inputs.len())
+        .map(|i| analyses.get(&MethodId(i as u32)).map(|a| &a.cfg))
+        .collect();
+    Summaries::compute_with_cfgs(&inputs, &cfgs, |m, stmt, inv| {
+        let class = program.symbols.resolve(inv.callee.class);
+        let name = program.symbols.resolve(inv.callee.name);
+        if registry.is_connectivity_check(class, name) {
+            return CallKind::Source;
+        }
+        if registry.response_check(class, name).is_some() {
+            return CallKind::CheckSink;
+        }
+        let callees: Vec<usize> = callgraph
+            .callees(MethodId(m as u32))
+            .iter()
+            .filter(|e| e.stmt == stmt && !e.implicit)
+            .map(|e| e.callee.0 as usize)
+            .collect();
+        if callees.is_empty() {
+            CallKind::Opaque
+        } else {
+            CallKind::Callees(callees)
+        }
+    })
 }
 
 #[cfg(test)]

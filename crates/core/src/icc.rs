@@ -71,7 +71,10 @@ fn resolve_target(app: &AnalyzedApp<'_>, method: MethodId, stmt: StmtId) -> Opti
     for &call in &flow.invoked_on {
         let cinv = body.stmt(call).invoke_expr()?;
         let name = app.program.symbols.resolve(cinv.callee.name);
-        if !matches!(name, "<init>" | "setClass" | "setComponent" | "setClassName") {
+        if !matches!(
+            name,
+            "<init>" | "setClass" | "setComponent" | "setClassName"
+        ) {
             continue;
         }
         // The class literal usually travels through a register: chase the
@@ -241,10 +244,7 @@ mod tests {
         R.get_or_init(Registry::standard)
     }
 
-    fn app_of(
-        build: impl FnOnce(&mut AdxBuilder),
-        manifest: Manifest,
-    ) -> AnalyzedApp<'static> {
+    fn app_of(build: impl FnOnce(&mut AdxBuilder), manifest: Manifest) -> AnalyzedApp<'static> {
         let mut b = AdxBuilder::new();
         build(&mut b);
         let program = lift_file(&b.finish().unwrap()).unwrap();

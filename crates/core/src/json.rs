@@ -67,6 +67,10 @@ pub fn stats_to_json(s: &AppStats) -> Value {
         "no_retry_activity": s.no_retry_activity,
         "over_retry_service": s.over_retry_service,
         "over_retry_post": s.over_retry_post,
+        "summary_methods": s.summary_methods,
+        "summary_sccs": s.summary_sccs,
+        "summary_const_returns": s.summary_const_returns,
+        "summary_hits": s.summary_hits,
     })
 }
 

@@ -163,9 +163,7 @@ pub fn find_request_sites(app: &AnalyzedApp<'_>) -> Vec<RequestSite> {
                 // Dead code: no framework path triggers it.
                 continue;
             }
-            let user_initiated = entries
-                .iter()
-                .any(|&e| app.entries[e].is_user_context());
+            let user_initiated = entries.iter().any(|&e| app.entries[e].is_user_context());
             let background = entries.iter().any(|&e| {
                 app.entries[e].component_kind == nck_android::manifest::ComponentKind::Service
             });
@@ -387,7 +385,12 @@ mod tests {
                             let conn = m.reg(0);
                             let s = m.reg(1);
                             m.new_instance(conn, "Ljava/net/HttpURLConnection;");
-                            m.invoke_direct("Ljava/net/HttpURLConnection;", "<init>", "()V", &[conn]);
+                            m.invoke_direct(
+                                "Ljava/net/HttpURLConnection;",
+                                "<init>",
+                                "()V",
+                                &[conn],
+                            );
                             m.const_str(s, "POST");
                             m.invoke_virtual(
                                 "Ljava/net/HttpURLConnection;",

@@ -157,15 +157,18 @@ pub fn fix_suggestion(kind: DefectKind, library: Library, user_initiated: bool) 
             "Add a timeout API of {library} to set the timeout value explicitly; the default \
              blocking behavior can wait minutes for a TCP timeout."
         ),
-        DefectKind::MissedRetry => format!(
-            "Add a retry API of {library} to set retry times for transient network errors."
-        ),
+        DefectKind::MissedRetry => {
+            format!("Add a retry API of {library} to set retry times for transient network errors.")
+        }
         DefectKind::NoRetryInActivity => {
             "Enable retry for this user-initiated request so transient errors are bypassed \
              and the response is delivered timely."
                 .to_owned()
         }
-        DefectKind::OverRetry { context, default_caused } => {
+        DefectKind::OverRetry {
+            context,
+            default_caused,
+        } => {
             let what = match context {
                 OverRetryContext::Service => {
                     "Disable retry for this background request to save energy and mobile data"
@@ -192,8 +195,7 @@ pub fn fix_suggestion(kind: DefectKind, library: Library, user_initiated: bool) 
                 .to_owned()
         }
         DefectKind::MissedResponseCheck => {
-            "Add a null check and status check on the response before reading its body."
-                .to_owned()
+            "Add a null check and status check on the response before reading its body.".to_owned()
         }
     }
 }

@@ -151,8 +151,7 @@ pub fn find_retry_loops(app: &AnalyzedApp<'_>) -> Vec<RetryLoop> {
                 }
                 app.callgraph
                     .callees_at(mid, s)
-                    .iter()
-                    .any(|c| reach_targets.contains(c))
+                    .any(|c| reach_targets.contains(&c))
             });
             if !issues_request {
                 continue;
@@ -188,8 +187,7 @@ pub fn find_retry_loops(app: &AnalyzedApp<'_>) -> Vec<RetryLoop> {
                         if app
                             .callgraph
                             .callees_at(mid, s)
-                            .iter()
-                            .any(|&c| return_depends_on_catch(app, c))
+                            .any(|c| return_depends_on_catch(app, c))
                         {
                             interproc = true;
                         }
@@ -336,7 +334,12 @@ mod tests {
                         m.bind(handler);
                         m.move_exception(m.reg(5));
                         // retry = shouldRetry()
-                        m.invoke_virtual("Lapp/Main;", "shouldRetry", "()Z", &[m.param(0).unwrap()]);
+                        m.invoke_virtual(
+                            "Lapp/Main;",
+                            "shouldRetry",
+                            "()Z",
+                            &[m.param(0).unwrap()],
+                        );
                         m.move_result(retry);
                         m.goto(head);
                         m.bind(done);

@@ -110,8 +110,7 @@ impl CorpusStats {
             .iter()
             .filter(|a| a.retry_capable_requests > 0)
             .collect();
-        let user_apps: Vec<&AppStats> =
-            self.apps.iter().filter(|a| a.user_requests > 0).collect();
+        let user_apps: Vec<&AppStats> = self.apps.iter().filter(|a| a.user_requests > 0).collect();
         let resp_apps: Vec<&AppStats> = self
             .apps
             .iter()
@@ -194,7 +193,10 @@ impl CorpusStats {
             }
         };
 
-        let no_retry = retry_apps.iter().filter(|a| a.no_retry_activity > 0).count();
+        let no_retry = retry_apps
+            .iter()
+            .filter(|a| a.no_retry_activity > 0)
+            .count();
         let over_svc: Vec<&&AppStats> = retry_apps
             .iter()
             .filter(|a| a.over_retry_service > 0)
@@ -323,7 +325,10 @@ impl CorpusStats {
         if self.apps.is_empty() {
             return 0.0;
         }
-        self.apps.iter().filter(|a| a.custom_retry_loops > 0).count() as f64
+        self.apps
+            .iter()
+            .filter(|a| a.custom_retry_loops > 0)
+            .count() as f64
             / self.apps.len() as f64
     }
 

@@ -11,7 +11,10 @@ fn temp_path(name: &str) -> std::path::PathBuf {
 fn summary_mode_prints_one_line_per_app() {
     let spec = AppSpec::new(
         "com.test.cli",
-        vec![RequestSpec::new(Library::BasicHttpClient, Origin::UserClick)],
+        vec![RequestSpec::new(
+            Library::BasicHttpClient,
+            Origin::UserClick,
+        )],
     );
     let path = temp_path("ok.apk");
     nck_appgen::generate(&spec).save(&path).unwrap();
@@ -72,7 +75,10 @@ fn no_arguments_shows_usage() {
 fn json_mode_emits_valid_json() {
     let spec = AppSpec::new(
         "com.test.json",
-        vec![RequestSpec::new(Library::BasicHttpClient, Origin::UserClick)],
+        vec![RequestSpec::new(
+            Library::BasicHttpClient,
+            Origin::UserClick,
+        )],
     );
     let path = temp_path("json.apk");
     nck_appgen::generate(&spec).save(&path).unwrap();
@@ -87,5 +93,8 @@ fn json_mode_emits_valid_json() {
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("\"kind\""), "{stdout}");
     assert!(stdout.contains("missed-connectivity-check"), "{stdout}");
-    assert!(stdout.contains("\"package\": \"com.test.json\""), "{stdout}");
+    assert!(
+        stdout.contains("\"package\": \"com.test.json\""),
+        "{stdout}"
+    );
 }

@@ -112,11 +112,12 @@ fn both_extensions_reach_perfect_table9_accuracy() {
         strict_connectivity: true,
         ..CheckerConfig::default()
     });
-    let (c, f, n) = nck_appgen::opensource::Table9Row::ALL
-        .iter()
-        .fold((0, 0, 0), |(c, f, n), row| {
-            let a = table[row];
-            (c + a.correct, f + a.fp, n + a.known_fn)
-        });
+    let (c, f, n) =
+        nck_appgen::opensource::Table9Row::ALL
+            .iter()
+            .fold((0, 0, 0), |(c, f, n), row| {
+                let a = table[row];
+                (c + a.correct, f + a.fp, n + a.known_fn)
+            });
     assert_eq!((c, f, n), (135, 0, 0));
 }

@@ -28,7 +28,11 @@ impl BitSet {
     ///
     /// Panics when `i >= capacity`.
     pub fn insert(&mut self, i: usize) -> bool {
-        assert!(i < self.capacity, "bit {i} out of capacity {}", self.capacity);
+        assert!(
+            i < self.capacity,
+            "bit {i} out of capacity {}",
+            self.capacity
+        );
         let (w, b) = (i / 64, i % 64);
         let old = self.words[w];
         self.words[w] |= 1 << b;

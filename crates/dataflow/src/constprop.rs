@@ -25,7 +25,10 @@ pub enum CVal {
 }
 
 impl CVal {
-    fn join(self, other: CVal) -> CVal {
+    /// Flat-lattice join: `Undef` is the identity, equal values keep,
+    /// anything else goes to `NonConst`. Shared with the interprocedural
+    /// summary engine so both fold constants identically.
+    pub fn join(self, other: CVal) -> CVal {
         match (self, other) {
             (CVal::Undef, x) | (x, CVal::Undef) => x,
             (a, b) if a == b => a,

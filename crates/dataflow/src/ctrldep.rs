@@ -73,9 +73,9 @@ impl ControlDeps {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use nck_dex::CondOp;
     use nck_ir::body::{Body, InvokeExpr, Operand, Program, Stmt, Trap};
     use nck_ir::dom::post_dominators;
-    use nck_dex::CondOp;
 
     #[test]
     fn branch_arms_depend_on_the_branch() {

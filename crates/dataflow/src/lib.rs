@@ -43,6 +43,7 @@
 pub mod bitset;
 pub mod constprop;
 pub mod ctrldep;
+pub mod interproc;
 pub mod liveness;
 pub mod reachdefs;
 pub mod slice;
@@ -52,6 +53,7 @@ pub mod taint;
 pub use bitset::BitSet;
 pub use constprop::{CVal, ConstProp};
 pub use ctrldep::ControlDeps;
+pub use interproc::{CallKind, MethodInput, MethodSummary, Summaries, SummaryStats};
 pub use liveness::Liveness;
 pub use reachdefs::ReachingDefs;
 pub use slice::{backward_slice, handler_entries, slice_reaches, SliceKind};

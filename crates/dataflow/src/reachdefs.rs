@@ -108,8 +108,8 @@ impl ReachingDefs {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nck_ir::body::{LocalDecl, Operand, Rvalue};
     use nck_dex::CondOp;
+    use nck_ir::body::{LocalDecl, Operand, Rvalue};
 
     fn two_defs_one_use() -> Body {
         // 0: v0 = 1

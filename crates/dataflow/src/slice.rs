@@ -116,10 +116,10 @@ mod tests {
     use super::*;
     use crate::ctrldep::ControlDeps;
     use crate::reachdefs::ReachingDefs;
+    use nck_dex::CondOp;
     use nck_ir::body::{LocalDecl, LocalId, Operand, Rvalue};
     use nck_ir::cfg::Cfg;
     use nck_ir::dom::post_dominators;
-    use nck_dex::CondOp;
 
     fn analyze(body: &Body) -> (Cfg, ReachingDefs, ControlDeps) {
         let cfg = Cfg::build(body);

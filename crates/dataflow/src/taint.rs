@@ -57,7 +57,8 @@ pub fn object_flow(body: &Body, seed: LocalId, opts: FlowOptions) -> ObjectFlow 
         for (_, stmt) in body.iter() {
             match stmt {
                 Stmt::Assign { local, rvalue } => match rvalue {
-                    Rvalue::Use(Operand::Local(src)) | Rvalue::Cast {
+                    Rvalue::Use(Operand::Local(src))
+                    | Rvalue::Cast {
                         op: Operand::Local(src),
                         ..
                     } => {
@@ -71,16 +72,17 @@ pub fn object_flow(body: &Body, seed: LocalId, opts: FlowOptions) -> ObjectFlow 
                         }
                     }
                     Rvalue::InstanceField { field, .. } | Rvalue::StaticField { field }
-                        if opts.through_fields => {
-                            let d = flow.locals.contains(local);
-                            let f = flow.fields.contains(field);
-                            if d && !f {
-                                changed |= flow.fields.insert(*field);
-                            }
-                            if f && !d {
-                                changed |= flow.locals.insert(*local);
-                            }
+                        if opts.through_fields =>
+                    {
+                        let d = flow.locals.contains(local);
+                        let f = flow.fields.contains(field);
+                        if d && !f {
+                            changed |= flow.fields.insert(*field);
                         }
+                        if f && !d {
+                            changed |= flow.locals.insert(*local);
+                        }
+                    }
                     Rvalue::Invoke(inv) => {
                         if opts.fluent_returns && flow.locals.contains(local) {
                             if let Some(Operand::Local(recv)) = inv.receiver() {
@@ -99,18 +101,19 @@ pub fn object_flow(body: &Body, seed: LocalId, opts: FlowOptions) -> ObjectFlow 
                 },
                 Stmt::StoreInstanceField { field, value, .. }
                 | Stmt::StoreStaticField { field, value }
-                    if opts.through_fields => {
-                        if let Operand::Local(v) = value {
-                            let s = flow.locals.contains(v);
-                            let f = flow.fields.contains(field);
-                            if s && !f {
-                                changed |= flow.fields.insert(*field);
-                            }
-                            if f && !s {
-                                changed |= flow.locals.insert(*v);
-                            }
+                    if opts.through_fields =>
+                {
+                    if let Operand::Local(v) = value {
+                        let s = flow.locals.contains(v);
+                        let f = flow.fields.contains(field);
+                        if s && !f {
+                            changed |= flow.fields.insert(*field);
+                        }
+                        if f && !s {
+                            changed |= flow.locals.insert(*v);
                         }
                     }
+                }
                 _ => {}
             }
         }
@@ -159,9 +162,7 @@ mod tests {
     use nck_ir::Program;
 
     /// Builds `Lapp/T;.run()V` from `emit` and returns the lifted program.
-    fn lift(
-        emit: impl FnOnce(&mut nck_dex::builder::CodeBuilder<'_>),
-    ) -> Program {
+    fn lift(emit: impl FnOnce(&mut nck_dex::builder::CodeBuilder<'_>)) -> Program {
         let mut b = AdxBuilder::new();
         b.class("Lapp/T;", |c| {
             c.method("run", "()V", AccessFlags::PUBLIC, 8, emit);
@@ -244,7 +245,12 @@ mod tests {
             let b2 = m.reg(1);
             m.new_instance(b, "Lnet/Builder;");
             m.invoke_direct("Lnet/Builder;", "<init>", "()V", &[b]);
-            m.invoke_virtual("Lnet/Builder;", "timeout", "(I)Lnet/Builder;", &[b, m.reg(2)]);
+            m.invoke_virtual(
+                "Lnet/Builder;",
+                "timeout",
+                "(I)Lnet/Builder;",
+                &[b, m.reg(2)],
+            );
             m.move_result(b2);
             m.invoke_virtual("Lnet/Builder;", "build", "()V", &[b2]);
             m.ret(None);

@@ -89,28 +89,34 @@ proptest! {
 fn random_body(n_blocks: usize, seed_consts: &[i32]) -> Body {
     let mut b = AdxBuilder::new();
     b.class("Lp/P;", |c| {
-        c.method("f", "(I)I", AccessFlags::PUBLIC | AccessFlags::STATIC, 4, |m| {
-            let p = m.param(0).unwrap();
-            for (i, &v) in seed_consts.iter().take(3).enumerate() {
-                m.const_int(m.reg(i as u16), i64::from(v));
-            }
-            for i in 0..n_blocks {
-                let alt = m.new_label();
-                let join = m.new_label();
-                m.ifz(CondOp::Eq, p, alt);
-                m.binop(BinOp::Add, m.reg(0), m.reg(0), m.reg(1));
-                m.goto(join);
-                m.bind(alt);
-                m.binop(
-                    if i % 2 == 0 { BinOp::Xor } else { BinOp::Sub },
-                    m.reg(1),
-                    m.reg(1),
-                    m.reg(2),
-                );
-                m.bind(join);
-            }
-            m.ret(Some(m.reg(0)));
-        });
+        c.method(
+            "f",
+            "(I)I",
+            AccessFlags::PUBLIC | AccessFlags::STATIC,
+            4,
+            |m| {
+                let p = m.param(0).unwrap();
+                for (i, &v) in seed_consts.iter().take(3).enumerate() {
+                    m.const_int(m.reg(i as u16), i64::from(v));
+                }
+                for i in 0..n_blocks {
+                    let alt = m.new_label();
+                    let join = m.new_label();
+                    m.ifz(CondOp::Eq, p, alt);
+                    m.binop(BinOp::Add, m.reg(0), m.reg(0), m.reg(1));
+                    m.goto(join);
+                    m.bind(alt);
+                    m.binop(
+                        if i % 2 == 0 { BinOp::Xor } else { BinOp::Sub },
+                        m.reg(1),
+                        m.reg(1),
+                        m.reg(2),
+                    );
+                    m.bind(join);
+                }
+                m.ret(Some(m.reg(0)));
+            },
+        );
     });
     let program = nck_ir::lift_file(&b.finish().unwrap()).unwrap();
     program.methods[0].body.clone().unwrap()

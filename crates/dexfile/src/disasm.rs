@@ -137,7 +137,11 @@ pub fn disassemble(file: &AdxFile) -> String {
             } else {
                 ""
             };
-            let _ = writeln!(out, "  .method {}{abs}", file.pools.display_method(m.method));
+            let _ = writeln!(
+                out,
+                "  .method {}{abs}",
+                file.pools.display_method(m.method)
+            );
             if let Some(code) = &m.code {
                 disasm_code(file, code, &mut out);
             }

@@ -513,10 +513,7 @@ mod tests {
         let f = AdxFile::new();
         let mut bytes = write_adx(&f);
         bytes[4] = 99;
-        assert!(matches!(
-            read_adx(&bytes),
-            Err(AdxError::BadVersion { .. })
-        ));
+        assert!(matches!(read_adx(&bytes), Err(AdxError::BadVersion { .. })));
     }
 
     #[test]

@@ -113,7 +113,10 @@ fn check_code(file: &AdxFile, method: &str, code: &CodeItem, errors: &mut Vec<Ve
 
     for (ti, t) in code.tries.iter().enumerate() {
         if t.start >= t.end || t.end > len {
-            err(None, format!("try range {ti} [{}, {}) invalid", t.start, t.end));
+            err(
+                None,
+                format!("try range {ti} [{}, {}) invalid", t.start, t.end),
+            );
         }
         if t.handlers.is_empty() {
             err(None, format!("try range {ti} has no handlers"));
@@ -127,7 +130,10 @@ fn check_code(file: &AdxFile, method: &str, code: &CodeItem, errors: &mut Vec<Ve
             }
             if let Some(ty) = h.exception {
                 if ty.0 >= n_types {
-                    err(None, format!("try range {ti} handler type {ty} out of range"));
+                    err(
+                        None,
+                        format!("try range {ti} handler type {ty} out of range"),
+                    );
                 }
             }
         }
@@ -225,18 +231,13 @@ mod tests {
     #[test]
     fn out_of_frame_register_is_flagged() {
         let mut f = valid_file();
-        f.classes[0].methods[0]
-            .code
-            .as_mut()
-            .unwrap()
-            .insns
-            .insert(
-                0,
-                Insn::ConstInt {
-                    dst: Reg(99),
-                    value: 0,
-                },
-            );
+        f.classes[0].methods[0].code.as_mut().unwrap().insns.insert(
+            0,
+            Insn::ConstInt {
+                dst: Reg(99),
+                value: 0,
+            },
+        );
         let errs = verify(&f);
         assert!(errs.iter().any(|e| e.message.contains("out of frame")));
     }

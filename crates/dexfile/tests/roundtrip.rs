@@ -2,9 +2,7 @@
 //! in-memory model, and the parser never panics on corrupted inputs.
 
 use nck_dex::builder::AdxBuilder;
-use nck_dex::{
-    read_adx, write_adx, AccessFlags, AdxFile, BinOp, CondOp, Insn, Reg, UnOp,
-};
+use nck_dex::{read_adx, write_adx, AccessFlags, AdxFile, BinOp, CondOp, Insn, Reg, UnOp};
 use proptest::prelude::*;
 
 const REGS: u16 = 8;
@@ -21,10 +19,18 @@ fn arb_straightline_insn() -> impl Strategy<Value = Insn> {
         (reg(), reg()).prop_map(|(dst, arr)| Insn::ArrayLength { dst, arr }),
         (reg(), reg(), reg()).prop_map(|(dst, arr, idx)| Insn::Aget { dst, arr, idx }),
         (reg(), reg(), reg()).prop_map(|(src, arr, idx)| Insn::Aput { src, arr, idx }),
-        (arb_binop(), reg(), reg(), reg())
-            .prop_map(|(op, dst, a, b)| Insn::BinOp { op, dst, a, b }),
-        (arb_binop(), reg(), reg(), any::<i32>())
-            .prop_map(|(op, dst, a, lit)| Insn::BinOpLit { op, dst, a, lit }),
+        (arb_binop(), reg(), reg(), reg()).prop_map(|(op, dst, a, b)| Insn::BinOp {
+            op,
+            dst,
+            a,
+            b
+        }),
+        (arb_binop(), reg(), reg(), any::<i32>()).prop_map(|(op, dst, a, lit)| Insn::BinOpLit {
+            op,
+            dst,
+            a,
+            lit
+        }),
         (arb_unop(), reg(), reg()).prop_map(|(op, dst, src)| Insn::UnOp { op, dst, src }),
     ]
 }

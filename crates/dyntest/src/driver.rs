@@ -234,10 +234,15 @@ impl DynamicChecker {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nck_appgen::spec::{AppSpec, ConnCheck, Notification, Origin, RequestSpec, RespCheck, RetryShape};
+    use nck_appgen::spec::{
+        AppSpec, ConnCheck, Notification, Origin, RequestSpec, RespCheck, RetryShape,
+    };
     use nck_netlibs::library::Library;
 
-    fn observe(spec: &AppSpec, config: DynConfig) -> (Vec<Observation>, Vec<(DynFinding, &'static str)>) {
+    fn observe(
+        spec: &AppSpec,
+        config: DynConfig,
+    ) -> (Vec<Observation>, Vec<(DynFinding, &'static str)>) {
         let apk = nck_appgen::generate(spec);
         let checker = DynamicChecker::new(config);
         let obs = checker.observe(&apk).unwrap();

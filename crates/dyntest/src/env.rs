@@ -368,9 +368,7 @@ impl Env for AndroidEnv<'_> {
                         ExtResult::Return(Some(Value::Null))
                     }
                 }
-                _ => ExtResult::Return(Some(Value::Int(i64::from(
-                    self.scenario.connectivity_up,
-                )))),
+                _ => ExtResult::Return(Some(Value::Int(i64::from(self.scenario.connectivity_up)))),
             };
         }
 

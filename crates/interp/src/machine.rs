@@ -6,9 +6,9 @@
 //! reconnect loop terminates the run instead of the test suite.
 
 use crate::value::{Heap, Value};
-use nck_dex::{InvokeKind, UnOp};
 #[cfg(test)]
 use nck_dex::{BinOp, CondOp};
+use nck_dex::{InvokeKind, UnOp};
 use nck_ir::body::{
     Body, IdentityKind, InvokeExpr, MethodId, MethodKey, Operand, Program, Rvalue, Stmt, StmtId,
 };
@@ -280,15 +280,13 @@ impl<'p, E: Env> Machine<'p, E> {
                 locals[local.0 as usize] = v;
                 Control::Next
             }
-            Stmt::Assign { local, rvalue } => {
-                match self.eval_rvalue(body, rvalue, locals)? {
-                    Ok(v) => {
-                        locals[local.0 as usize] = v;
-                        Control::Next
-                    }
-                    Err(t) => Control::Throw(t),
+            Stmt::Assign { local, rvalue } => match self.eval_rvalue(body, rvalue, locals)? {
+                Ok(v) => {
+                    locals[local.0 as usize] = v;
+                    Control::Next
                 }
-            }
+                Err(t) => Control::Throw(t),
+            },
             Stmt::Invoke(inv) => match self.do_invoke(inv, locals)? {
                 Ok(_) => Control::Next,
                 Err(t) => Control::Throw(t),
@@ -334,9 +332,7 @@ impl<'p, E: Env> Machine<'p, E> {
                     .map(|&(_, t)| Control::Jump(t))
                     .unwrap_or(Control::Next)
             }
-            Stmt::Return { value } => {
-                Control::Return(value.map(|v| self.eval(locals, v)))
-            }
+            Stmt::Return { value } => Control::Return(value.map(|v| self.eval(locals, v))),
             Stmt::Throw { value } => {
                 let v = self.eval(locals, *value);
                 let class = match v {
@@ -396,9 +392,7 @@ impl<'p, E: Env> Machine<'p, E> {
                 Value::Null => Err(Thrown::new(NPE, "field load on null")),
                 _ => Ok(Value::Null),
             },
-            Rvalue::StaticField { field } => {
-                Ok(self.heap.get_static(field.class, field.name))
-            }
+            Rvalue::StaticField { field } => Ok(self.heap.get_static(field.class, field.name)),
             Rvalue::ArrayElem { array, .. } => match self.eval(locals, *array) {
                 Value::Null => Err(Thrown::new(NPE, "array load on null")),
                 _ => Ok(Value::Null),
@@ -482,9 +476,12 @@ impl<'p, E: Env> Machine<'p, E> {
             let Some(runtime_class) = self.heap.class_of(o) else {
                 continue;
             };
-            let extends = self.program.hierarchy(runtime_class).iter().any(|&s| {
-                self.resolve_str(s) == rule.trigger_class
-            }) || rule.via_argument;
+            let extends = self
+                .program
+                .hierarchy(runtime_class)
+                .iter()
+                .any(|&s| self.resolve_str(s) == rule.trigger_class)
+                || rule.via_argument;
             if !extends {
                 continue;
             }
@@ -630,19 +627,25 @@ mod tests {
     fn arithmetic_and_branches() {
         let p = program_of(|b| {
             b.class("La/A;", |c| {
-                c.method("f", "(I)I", AccessFlags::PUBLIC | AccessFlags::STATIC, 4, |m| {
-                    // return x > 10 ? x * 2 : x + 1
-                    let x = m.param(0).unwrap();
-                    let big = m.new_label();
-                    let ten = m.reg(0);
-                    m.const_int(ten, 10);
-                    m.if_(CondOp::Gt, x, ten, big);
-                    m.binop_lit(BinOp::Add, x, x, 1);
-                    m.ret(Some(x));
-                    m.bind(big);
-                    m.binop_lit(BinOp::Mul, x, x, 2);
-                    m.ret(Some(x));
-                });
+                c.method(
+                    "f",
+                    "(I)I",
+                    AccessFlags::PUBLIC | AccessFlags::STATIC,
+                    4,
+                    |m| {
+                        // return x > 10 ? x * 2 : x + 1
+                        let x = m.param(0).unwrap();
+                        let big = m.new_label();
+                        let ten = m.reg(0);
+                        m.const_int(ten, 10);
+                        m.if_(CondOp::Gt, x, ten, big);
+                        m.binop_lit(BinOp::Add, x, x, 1);
+                        m.ret(Some(x));
+                        m.bind(big);
+                        m.binop_lit(BinOp::Mul, x, x, 2);
+                        m.ret(Some(x));
+                    },
+                );
             });
         });
         let f = method(&p, "f");
@@ -662,22 +665,28 @@ mod tests {
         let p = program_of(|b| {
             b.class("La/A;", |c| {
                 // sum 1..=n
-                c.method("sum", "(I)I", AccessFlags::PUBLIC | AccessFlags::STATIC, 6, |m| {
-                    let n = m.param(0).unwrap();
-                    let acc = m.reg(0);
-                    let i = m.reg(1);
-                    let head = m.new_label();
-                    let done = m.new_label();
-                    m.const_int(acc, 0);
-                    m.const_int(i, 1);
-                    m.bind(head);
-                    m.if_(CondOp::Gt, i, n, done);
-                    m.binop(BinOp::Add, acc, acc, i);
-                    m.binop_lit(BinOp::Add, i, i, 1);
-                    m.goto(head);
-                    m.bind(done);
-                    m.ret(Some(acc));
-                });
+                c.method(
+                    "sum",
+                    "(I)I",
+                    AccessFlags::PUBLIC | AccessFlags::STATIC,
+                    6,
+                    |m| {
+                        let n = m.param(0).unwrap();
+                        let acc = m.reg(0);
+                        let i = m.reg(1);
+                        let head = m.new_label();
+                        let done = m.new_label();
+                        m.const_int(acc, 0);
+                        m.const_int(i, 1);
+                        m.bind(head);
+                        m.if_(CondOp::Gt, i, n, done);
+                        m.binop(BinOp::Add, acc, acc, i);
+                        m.binop_lit(BinOp::Add, i, i, 1);
+                        m.goto(head);
+                        m.bind(done);
+                        m.ret(Some(acc));
+                    },
+                );
             });
         });
         let f = method(&p, "sum");
@@ -692,11 +701,17 @@ mod tests {
     fn infinite_loop_hits_the_step_limit() {
         let p = program_of(|b| {
             b.class("La/A;", |c| {
-                c.method("spin", "()V", AccessFlags::PUBLIC | AccessFlags::STATIC, 2, |m| {
-                    let head = m.new_label();
-                    m.bind(head);
-                    m.goto(head);
-                });
+                c.method(
+                    "spin",
+                    "()V",
+                    AccessFlags::PUBLIC | AccessFlags::STATIC,
+                    2,
+                    |m| {
+                        let head = m.new_label();
+                        m.bind(head);
+                        m.goto(head);
+                    },
+                );
             });
         });
         let f = method(&p, "spin");
@@ -708,22 +723,28 @@ mod tests {
     fn exceptions_route_to_matching_handlers() {
         let p = program_of(|b| {
             b.class("La/A;", |c| {
-                c.method("f", "()I", AccessFlags::PUBLIC | AccessFlags::STATIC, 6, |m| {
-                    // try { 1 / 0 } catch (Arithmetic) { return 42 }
-                    let a = m.reg(0);
-                    let z = m.reg(1);
-                    let handler = m.new_label();
-                    m.const_int(a, 1);
-                    m.const_int(z, 0);
-                    let t = m.begin_try();
-                    m.binop(BinOp::Div, a, a, z);
-                    m.end_try(t, &[(Some("Ljava/lang/ArithmeticException;"), handler)]);
-                    m.ret(Some(a));
-                    m.bind(handler);
-                    m.move_exception(m.reg(2));
-                    m.const_int(a, 42);
-                    m.ret(Some(a));
-                });
+                c.method(
+                    "f",
+                    "()I",
+                    AccessFlags::PUBLIC | AccessFlags::STATIC,
+                    6,
+                    |m| {
+                        // try { 1 / 0 } catch (Arithmetic) { return 42 }
+                        let a = m.reg(0);
+                        let z = m.reg(1);
+                        let handler = m.new_label();
+                        m.const_int(a, 1);
+                        m.const_int(z, 0);
+                        let t = m.begin_try();
+                        m.binop(BinOp::Div, a, a, z);
+                        m.end_try(t, &[(Some("Ljava/lang/ArithmeticException;"), handler)]);
+                        m.ret(Some(a));
+                        m.bind(handler);
+                        m.move_exception(m.reg(2));
+                        m.const_int(a, 42);
+                        m.ret(Some(a));
+                    },
+                );
             });
         });
         let f = method(&p, "f");
@@ -738,14 +759,20 @@ mod tests {
     fn uncaught_exception_is_a_crash() {
         let p = program_of(|b| {
             b.class("La/A;", |c| {
-                c.method("f", "()I", AccessFlags::PUBLIC | AccessFlags::STATIC, 4, |m| {
-                    let a = m.reg(0);
-                    let z = m.reg(1);
-                    m.const_int(a, 1);
-                    m.const_int(z, 0);
-                    m.binop(BinOp::Div, a, a, z);
-                    m.ret(Some(a));
-                });
+                c.method(
+                    "f",
+                    "()I",
+                    AccessFlags::PUBLIC | AccessFlags::STATIC,
+                    4,
+                    |m| {
+                        let a = m.reg(0);
+                        let z = m.reg(1);
+                        m.const_int(a, 1);
+                        m.const_int(z, 0);
+                        m.binop(BinOp::Div, a, a, z);
+                        m.ret(Some(a));
+                    },
+                );
             });
         });
         let f = method(&p, "f");
@@ -760,12 +787,18 @@ mod tests {
     fn null_receiver_raises_npe() {
         let p = program_of(|b| {
             b.class("La/A;", |c| {
-                c.method("f", "()V", AccessFlags::PUBLIC | AccessFlags::STATIC, 2, |m| {
-                    let x = m.reg(0);
-                    m.const_null(x);
-                    m.invoke_virtual("Lx/Y;", "poke", "()V", &[x]);
-                    m.ret(None);
-                });
+                c.method(
+                    "f",
+                    "()V",
+                    AccessFlags::PUBLIC | AccessFlags::STATIC,
+                    2,
+                    |m| {
+                        let x = m.reg(0);
+                        m.const_null(x);
+                        m.invoke_virtual("Lx/Y;", "poke", "()V", &[x]);
+                        m.ret(None);
+                    },
+                );
             });
         });
         let f = method(&p, "f");
@@ -793,14 +826,20 @@ mod tests {
                 });
             });
             b.class("La/Main;", |c| {
-                c.method("f", "()I", AccessFlags::PUBLIC | AccessFlags::STATIC, 4, |m| {
-                    let o = m.reg(0);
-                    m.new_instance(o, "La/Derived;");
-                    // Static callee type is Base; runtime type is Derived.
-                    m.invoke_virtual("La/Base;", "val", "()I", &[o]);
-                    m.move_result(m.reg(1));
-                    m.ret(Some(m.reg(1)));
-                });
+                c.method(
+                    "f",
+                    "()I",
+                    AccessFlags::PUBLIC | AccessFlags::STATIC,
+                    4,
+                    |m| {
+                        let o = m.reg(0);
+                        m.new_instance(o, "La/Derived;");
+                        // Static callee type is Base; runtime type is Derived.
+                        m.invoke_virtual("La/Base;", "val", "()I", &[o]);
+                        m.move_result(m.reg(1));
+                        m.ret(Some(m.reg(1)));
+                    },
+                );
             });
         });
         let f = method(&p, "f");
@@ -826,16 +865,22 @@ mod tests {
                     m.iget(m.reg(0), this, "La/A;", "x", "I");
                     m.ret(Some(m.reg(0)));
                 });
-                c.method("f", "()I", AccessFlags::PUBLIC | AccessFlags::STATIC, 4, |m| {
-                    let o = m.reg(0);
-                    let v = m.reg(1);
-                    m.new_instance(o, "La/A;");
-                    m.const_int(v, 9);
-                    m.invoke_virtual("La/A;", "set", "(I)V", &[o, v]);
-                    m.invoke_virtual("La/A;", "get", "()I", &[o]);
-                    m.move_result(v);
-                    m.ret(Some(v));
-                });
+                c.method(
+                    "f",
+                    "()I",
+                    AccessFlags::PUBLIC | AccessFlags::STATIC,
+                    4,
+                    |m| {
+                        let o = m.reg(0);
+                        let v = m.reg(1);
+                        m.new_instance(o, "La/A;");
+                        m.const_int(v, 9);
+                        m.invoke_virtual("La/A;", "set", "(I)V", &[o, v]);
+                        m.invoke_virtual("La/A;", "get", "()I", &[o]);
+                        m.move_result(v);
+                        m.ret(Some(v));
+                    },
+                );
             });
         });
         let f = method(&p, "f");

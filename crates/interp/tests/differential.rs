@@ -18,11 +18,31 @@ const LOCALS: u16 = 4;
 /// One straight-line operation on the local pool.
 #[derive(Debug, Clone)]
 enum Op {
-    Const { dst: u16, v: i32 },
-    Bin { op: BinOp, dst: u16, a: u16, b: u16 },
-    BinLit { op: BinOp, dst: u16, a: u16, lit: i32 },
-    Un { op: UnOp, dst: u16, a: u16 },
-    Copy { dst: u16, src: u16 },
+    Const {
+        dst: u16,
+        v: i32,
+    },
+    Bin {
+        op: BinOp,
+        dst: u16,
+        a: u16,
+        b: u16,
+    },
+    BinLit {
+        op: BinOp,
+        dst: u16,
+        a: u16,
+        lit: i32,
+    },
+    Un {
+        op: UnOp,
+        dst: u16,
+        a: u16,
+    },
+    Copy {
+        dst: u16,
+        src: u16,
+    },
 }
 
 fn arb_binop() -> impl Strategy<Value = BinOp> {
@@ -45,8 +65,12 @@ fn arb_op() -> impl Strategy<Value = Op> {
     prop_oneof![
         (reg(), any::<i32>()).prop_map(|(dst, v)| Op::Const { dst, v }),
         (arb_binop(), reg(), reg(), reg()).prop_map(|(op, dst, a, b)| Op::Bin { op, dst, a, b }),
-        (arb_binop(), reg(), reg(), any::<i32>())
-            .prop_map(|(op, dst, a, lit)| Op::BinLit { op, dst, a, lit }),
+        (arb_binop(), reg(), reg(), any::<i32>()).prop_map(|(op, dst, a, lit)| Op::BinLit {
+            op,
+            dst,
+            a,
+            lit
+        }),
         (prop_oneof![Just(UnOp::Neg), Just(UnOp::Not)], reg(), reg())
             .prop_map(|(op, dst, a)| Op::Un { op, dst, a }),
         (reg(), reg()).prop_map(|(dst, src)| Op::Copy { dst, src }),
@@ -70,7 +94,9 @@ fn build(ops: &[Op], ret: u16) -> nck_ir::Program {
                     match *op {
                         Op::Const { dst, v } => m.const_int(m.reg(dst), i64::from(v)),
                         Op::Bin { op, dst, a, b } => m.binop(op, m.reg(dst), m.reg(a), m.reg(b)),
-                        Op::BinLit { op, dst, a, lit } => m.binop_lit(op, m.reg(dst), m.reg(a), lit),
+                        Op::BinLit { op, dst, a, lit } => {
+                            m.binop_lit(op, m.reg(dst), m.reg(a), lit)
+                        }
                         Op::Un { op, dst, a } => m.unop(op, m.reg(dst), m.reg(a)),
                         Op::Copy { dst, src } => m.mov(m.reg(dst), m.reg(src)),
                     }

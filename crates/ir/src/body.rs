@@ -511,7 +511,9 @@ impl Program {
 
     /// Looks up a class by name symbol.
     pub fn class(&self, name: Symbol) -> Option<&Class> {
-        self.class_map.get(&name).map(|&id| &self.classes[id.0 as usize])
+        self.class_map
+            .get(&name)
+            .map(|&id| &self.classes[id.0 as usize])
     }
 
     /// Returns the method with id `id`.
@@ -621,7 +623,10 @@ mod tests {
         };
         assert!(s1.invoke_expr().is_some());
         assert!(s2.invoke_expr().is_some());
-        assert_eq!(s2.invoke_expr().unwrap().receiver(), Some(Operand::Local(LocalId(0))));
+        assert_eq!(
+            s2.invoke_expr().unwrap().receiver(),
+            Some(Operand::Local(LocalId(0)))
+        );
     }
 
     #[test]

@@ -223,7 +223,10 @@ mod tests {
 
     #[test]
     fn straightline_chains() {
-        let b = body_of(vec![Stmt::Nop, Stmt::Nop, Stmt::Return { value: None }], vec![]);
+        let b = body_of(
+            vec![Stmt::Nop, Stmt::Nop, Stmt::Return { value: None }],
+            vec![],
+        );
         let cfg = Cfg::build(&b);
         assert_eq!(cfg.normal_succs[0], vec![StmtId(1)]);
         assert_eq!(cfg.normal_succs[1], vec![StmtId(2)]);

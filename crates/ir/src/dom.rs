@@ -27,11 +27,7 @@ impl DomTree {
         if node.0 == self.root {
             return None;
         }
-        self.idom
-            .get(node.index())
-            .copied()
-            .flatten()
-            .map(StmtId)
+        self.idom.get(node.index()).copied().flatten().map(StmtId)
     }
 
     /// Returns `true` when `node` is reachable from the root (and hence has
@@ -140,13 +136,7 @@ fn compute_idoms(n: usize, root: usize, succs: &[Vec<usize>]) -> Vec<Option<u32>
 
     idom.iter()
         .enumerate()
-        .map(|(i, &d)| {
-            if i == root {
-                None
-            } else {
-                d.map(|x| x as u32)
-            }
-        })
+        .map(|(i, &d)| if i == root { None } else { d.map(|x| x as u32) })
         .collect()
 }
 

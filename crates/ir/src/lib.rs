@@ -34,8 +34,8 @@ pub mod symbols;
 pub mod types;
 
 pub use body::{
-    Body, Class, ClassId, FieldKey, IdentityKind, InvokeExpr, LocalDecl, LocalId, Method,
-    MethodId, MethodKey, Operand, Program, Rvalue, Stmt, StmtId, Trap,
+    Body, Class, ClassId, FieldKey, IdentityKind, InvokeExpr, LocalDecl, LocalId, Method, MethodId,
+    MethodKey, Operand, Program, Rvalue, Stmt, StmtId, Trap,
 };
 pub use lift::{lift_file, LiftError};
 pub use symbols::{Interner, Symbol};

@@ -463,13 +463,11 @@ pub fn lift_file(file: &AdxFile) -> Result<Program> {
         let mut method_ids = Vec::new();
         for m in &class.methods {
             let display = file.pools.display_method(m.method);
-            let key = lifter
-                .method_key(m.method)
-                .ok_or(LiftError::BadPoolRef {
-                    method: display.clone(),
-                    pc: 0,
-                    what: "method definition",
-                })?;
+            let key = lifter.method_key(m.method).ok_or(LiftError::BadPoolRef {
+                method: display.clone(),
+                pc: 0,
+                what: "method definition",
+            })?;
             let body = match &m.code {
                 Some(code) => {
                     let sig_str = lifter.program.symbols.resolve(key.sig).to_owned();
@@ -619,13 +617,7 @@ mod tests {
                 let done = m.new_label();
                 let t = m.begin_try();
                 m.invoke_virtual("Lapp/T;", "g", "()V", &[m.param(0).unwrap()]);
-                m.end_try(
-                    t,
-                    &[
-                        (Some("Ljava/io/IOException;"), h1),
-                        (None, h2),
-                    ],
-                );
+                m.end_try(t, &[(Some("Ljava/io/IOException;"), h1), (None, h2)]);
                 m.goto(done);
                 m.bind(h1);
                 m.move_exception(m.reg(0));

@@ -201,7 +201,9 @@ mod tests {
         assert_eq!(loops.len(), 1);
         let exits = loops[0].exits(&b, &cfg);
         // Exit via fallthrough of the if to stmt 2 (outside the loop).
-        assert!(exits.iter().any(|e| e.from == StmtId(1) && e.to == Some(StmtId(2))));
+        assert!(exits
+            .iter()
+            .any(|e| e.from == StmtId(1) && e.to == Some(StmtId(2))));
     }
 
     #[test]

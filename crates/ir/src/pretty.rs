@@ -192,9 +192,7 @@ mod tests {
         b.class("Lapp/T;", |c| {
             c.method("f", "(I)V", AccessFlags::PUBLIC, 4, |m| {
                 m.const_str(m.reg(0), "http://x");
-                m.invoke_virtual("Lnet/Client;", "get", "(Ljava/lang/String;)V", &[
-                    m.reg(0),
-                ]);
+                m.invoke_virtual("Lnet/Client;", "get", "(Ljava/lang/String;)V", &[m.reg(0)]);
                 m.ret(None);
             });
         });

@@ -137,7 +137,10 @@ mod tests {
 
     #[test]
     fn pretty_names() {
-        assert_eq!(Type::parse("Ljava/lang/String;").unwrap().pretty(), "java.lang.String");
+        assert_eq!(
+            Type::parse("Ljava/lang/String;").unwrap().pretty(),
+            "java.lang.String"
+        );
         assert_eq!(Type::Int.pretty(), "I");
     }
 

@@ -9,22 +9,28 @@ use nck_ir::{lift_file, Stmt, StmtId};
 fn switch_arms_remap_to_statements() {
     let mut b = AdxBuilder::new();
     b.class("Le/S;", |c| {
-        c.method("f", "(I)I", AccessFlags::PUBLIC | AccessFlags::STATIC, 4, |m| {
-            let x = m.param(0).unwrap();
-            let one = m.new_label();
-            let two = m.new_label();
-            let out = m.new_label();
-            m.switch(x, &[(1, one), (2, two)]);
-            m.const_int(m.reg(0), 0);
-            m.goto(out);
-            m.bind(one);
-            m.const_int(m.reg(0), 10);
-            m.goto(out);
-            m.bind(two);
-            m.const_int(m.reg(0), 20);
-            m.bind(out);
-            m.ret(Some(m.reg(0)));
-        });
+        c.method(
+            "f",
+            "(I)I",
+            AccessFlags::PUBLIC | AccessFlags::STATIC,
+            4,
+            |m| {
+                let x = m.param(0).unwrap();
+                let one = m.new_label();
+                let two = m.new_label();
+                let out = m.new_label();
+                m.switch(x, &[(1, one), (2, two)]);
+                m.const_int(m.reg(0), 0);
+                m.goto(out);
+                m.bind(one);
+                m.const_int(m.reg(0), 10);
+                m.goto(out);
+                m.bind(two);
+                m.const_int(m.reg(0), 20);
+                m.bind(out);
+                m.ret(Some(m.reg(0)));
+            },
+        );
     });
     let p = lift_file(&b.finish().unwrap()).unwrap();
     let body = p.methods[0].body.as_ref().unwrap();
@@ -38,7 +44,10 @@ fn switch_arms_remap_to_statements() {
     assert_eq!(switch.len(), 2);
     // Each arm must land on a constant assignment.
     for (_, target) in switch {
-        assert!(matches!(body.stmt(target), Stmt::Assign { .. }), "{target:?}");
+        assert!(
+            matches!(body.stmt(target), Stmt::Assign { .. }),
+            "{target:?}"
+        );
     }
 }
 
@@ -60,8 +69,7 @@ fn super_calls_resolve_in_the_call_graph_sense() {
     let derived_g = p
         .iter_methods()
         .find(|(_, m)| {
-            p.symbols.resolve(m.key.class) == "Le/Derived;"
-                && p.symbols.resolve(m.key.name) == "g"
+            p.symbols.resolve(m.key.class) == "Le/Derived;" && p.symbols.resolve(m.key.name) == "g"
         })
         .map(|(id, _)| id)
         .unwrap();
@@ -122,15 +130,21 @@ fn binary_ir_binary_is_stable() {
     // write → read → lift → (no mutation) → write must be byte-identical.
     let mut b = AdxBuilder::new();
     b.class("Le/R;", |c| {
-        c.method("f", "(II)I", AccessFlags::PUBLIC | AccessFlags::STATIC, 6, |m| {
-            let a = m.param(0).unwrap();
-            let bb = m.param(1).unwrap();
-            let out = m.new_label();
-            m.if_(CondOp::Le, a, bb, out);
-            m.binop(BinOp::Sub, a, a, bb);
-            m.bind(out);
-            m.ret(Some(a));
-        });
+        c.method(
+            "f",
+            "(II)I",
+            AccessFlags::PUBLIC | AccessFlags::STATIC,
+            6,
+            |m| {
+                let a = m.param(0).unwrap();
+                let bb = m.param(1).unwrap();
+                let out = m.new_label();
+                m.if_(CondOp::Le, a, bb, out);
+                m.binop(BinOp::Sub, a, a, bb);
+                m.bind(out);
+                m.ret(Some(a));
+            },
+        );
     });
     let file = b.finish().unwrap();
     let bytes1 = write_adx(&file);
@@ -150,15 +164,21 @@ fn binary_ir_binary_is_stable() {
 fn goto_only_method_lifts_with_correct_targets() {
     let mut b = AdxBuilder::new();
     b.class("Le/G;", |c| {
-        c.method("f", "()V", AccessFlags::PUBLIC | AccessFlags::STATIC, 2, |m| {
-            let a = m.new_label();
-            let bb = m.new_label();
-            m.goto(a);
-            m.bind(bb);
-            m.ret(None);
-            m.bind(a);
-            m.goto(bb);
-        });
+        c.method(
+            "f",
+            "()V",
+            AccessFlags::PUBLIC | AccessFlags::STATIC,
+            2,
+            |m| {
+                let a = m.new_label();
+                let bb = m.new_label();
+                m.goto(a);
+                m.bind(bb);
+                m.ret(None);
+                m.bind(a);
+                m.goto(bb);
+            },
+        );
     });
     let p = lift_file(&b.finish().unwrap()).unwrap();
     let body = p.methods[0].body.as_ref().unwrap();

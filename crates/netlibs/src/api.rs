@@ -355,88 +355,553 @@ fn config_apis() -> Vec<ConfigApi> {
     };
     vec![
         // --- HttpURLConnection (10) ---
-        c("Ljava/net/HttpURLConnection;", "setConnectTimeout", "(I)V", HttpUrlConnection, ConnectTimeout),
-        c("Ljava/net/HttpURLConnection;", "setReadTimeout", "(I)V", HttpUrlConnection, ReadTimeout),
-        c("Ljava/net/HttpURLConnection;", "setRequestMethod", "(Ljava/lang/String;)V", HttpUrlConnection, Other),
-        c("Ljava/net/HttpURLConnection;", "setDoOutput", "(Z)V", HttpUrlConnection, Other),
-        c("Ljava/net/HttpURLConnection;", "setDoInput", "(Z)V", HttpUrlConnection, Other),
-        c("Ljava/net/HttpURLConnection;", "setUseCaches", "(Z)V", HttpUrlConnection, Other),
-        c("Ljava/net/HttpURLConnection;", "setRequestProperty", "(Ljava/lang/String;Ljava/lang/String;)V", HttpUrlConnection, Other),
-        c("Ljava/net/HttpURLConnection;", "setInstanceFollowRedirects", "(Z)V", HttpUrlConnection, Other),
-        c("Ljava/net/HttpURLConnection;", "setChunkedStreamingMode", "(I)V", HttpUrlConnection, Other),
-        c("Ljava/net/HttpURLConnection;", "setFixedLengthStreamingMode", "(I)V", HttpUrlConnection, Other),
+        c(
+            "Ljava/net/HttpURLConnection;",
+            "setConnectTimeout",
+            "(I)V",
+            HttpUrlConnection,
+            ConnectTimeout,
+        ),
+        c(
+            "Ljava/net/HttpURLConnection;",
+            "setReadTimeout",
+            "(I)V",
+            HttpUrlConnection,
+            ReadTimeout,
+        ),
+        c(
+            "Ljava/net/HttpURLConnection;",
+            "setRequestMethod",
+            "(Ljava/lang/String;)V",
+            HttpUrlConnection,
+            Other,
+        ),
+        c(
+            "Ljava/net/HttpURLConnection;",
+            "setDoOutput",
+            "(Z)V",
+            HttpUrlConnection,
+            Other,
+        ),
+        c(
+            "Ljava/net/HttpURLConnection;",
+            "setDoInput",
+            "(Z)V",
+            HttpUrlConnection,
+            Other,
+        ),
+        c(
+            "Ljava/net/HttpURLConnection;",
+            "setUseCaches",
+            "(Z)V",
+            HttpUrlConnection,
+            Other,
+        ),
+        c(
+            "Ljava/net/HttpURLConnection;",
+            "setRequestProperty",
+            "(Ljava/lang/String;Ljava/lang/String;)V",
+            HttpUrlConnection,
+            Other,
+        ),
+        c(
+            "Ljava/net/HttpURLConnection;",
+            "setInstanceFollowRedirects",
+            "(Z)V",
+            HttpUrlConnection,
+            Other,
+        ),
+        c(
+            "Ljava/net/HttpURLConnection;",
+            "setChunkedStreamingMode",
+            "(I)V",
+            HttpUrlConnection,
+            Other,
+        ),
+        c(
+            "Ljava/net/HttpURLConnection;",
+            "setFixedLengthStreamingMode",
+            "(I)V",
+            HttpUrlConnection,
+            Other,
+        ),
         // --- Apache HttpClient (16) ---
-        c("Lorg/apache/http/params/HttpConnectionParams;", "setConnectionTimeout", "(Lorg/apache/http/params/HttpParams;I)V", ApacheHttpClient, ConnectTimeout),
-        c("Lorg/apache/http/params/HttpConnectionParams;", "setSoTimeout", "(Lorg/apache/http/params/HttpParams;I)V", ApacheHttpClient, ReadTimeout),
-        c("Lorg/apache/http/params/HttpConnectionParams;", "setSocketBufferSize", "(Lorg/apache/http/params/HttpParams;I)V", ApacheHttpClient, Other),
-        c("Lorg/apache/http/params/HttpConnectionParams;", "setLinger", "(Lorg/apache/http/params/HttpParams;I)V", ApacheHttpClient, Other),
-        c("Lorg/apache/http/params/HttpConnectionParams;", "setStaleCheckingEnabled", "(Lorg/apache/http/params/HttpParams;Z)V", ApacheHttpClient, Other),
-        c("Lorg/apache/http/params/HttpConnectionParams;", "setTcpNoDelay", "(Lorg/apache/http/params/HttpParams;Z)V", ApacheHttpClient, Other),
-        c("Lorg/apache/http/params/HttpParams;", "setParameter", "(Ljava/lang/String;Ljava/lang/Object;)Lorg/apache/http/params/HttpParams;", ApacheHttpClient, Other),
-        c("Lorg/apache/http/params/HttpParams;", "setIntParameter", "(Ljava/lang/String;I)Lorg/apache/http/params/HttpParams;", ApacheHttpClient, Other),
-        c("Lorg/apache/http/params/HttpParams;", "setLongParameter", "(Ljava/lang/String;J)Lorg/apache/http/params/HttpParams;", ApacheHttpClient, Other),
-        c("Lorg/apache/http/params/HttpParams;", "setBooleanParameter", "(Ljava/lang/String;Z)Lorg/apache/http/params/HttpParams;", ApacheHttpClient, Other),
-        c("Lorg/apache/http/impl/client/DefaultHttpClient;", "setHttpRequestRetryHandler", "(Lorg/apache/http/client/HttpRequestRetryHandler;)V", ApacheHttpClient, Retry { count_arg: None }),
-        c("Lorg/apache/http/impl/client/DefaultHttpClient;", "setRedirectHandler", "(Lorg/apache/http/client/RedirectHandler;)V", ApacheHttpClient, Other),
-        c("Lorg/apache/http/impl/client/DefaultHttpClient;", "setKeepAliveStrategy", "(Lorg/apache/http/conn/ConnectionKeepAliveStrategy;)V", ApacheHttpClient, Other),
-        c("Lorg/apache/http/impl/client/DefaultHttpClient;", "setReuseStrategy", "(Lorg/apache/http/ConnectionReuseStrategy;)V", ApacheHttpClient, Other),
-        c("Lorg/apache/http/client/params/HttpClientParams;", "setRedirecting", "(Lorg/apache/http/params/HttpParams;Z)V", ApacheHttpClient, Other),
-        c("Lorg/apache/http/client/params/HttpClientParams;", "setAuthenticating", "(Lorg/apache/http/params/HttpParams;Z)V", ApacheHttpClient, Other),
+        c(
+            "Lorg/apache/http/params/HttpConnectionParams;",
+            "setConnectionTimeout",
+            "(Lorg/apache/http/params/HttpParams;I)V",
+            ApacheHttpClient,
+            ConnectTimeout,
+        ),
+        c(
+            "Lorg/apache/http/params/HttpConnectionParams;",
+            "setSoTimeout",
+            "(Lorg/apache/http/params/HttpParams;I)V",
+            ApacheHttpClient,
+            ReadTimeout,
+        ),
+        c(
+            "Lorg/apache/http/params/HttpConnectionParams;",
+            "setSocketBufferSize",
+            "(Lorg/apache/http/params/HttpParams;I)V",
+            ApacheHttpClient,
+            Other,
+        ),
+        c(
+            "Lorg/apache/http/params/HttpConnectionParams;",
+            "setLinger",
+            "(Lorg/apache/http/params/HttpParams;I)V",
+            ApacheHttpClient,
+            Other,
+        ),
+        c(
+            "Lorg/apache/http/params/HttpConnectionParams;",
+            "setStaleCheckingEnabled",
+            "(Lorg/apache/http/params/HttpParams;Z)V",
+            ApacheHttpClient,
+            Other,
+        ),
+        c(
+            "Lorg/apache/http/params/HttpConnectionParams;",
+            "setTcpNoDelay",
+            "(Lorg/apache/http/params/HttpParams;Z)V",
+            ApacheHttpClient,
+            Other,
+        ),
+        c(
+            "Lorg/apache/http/params/HttpParams;",
+            "setParameter",
+            "(Ljava/lang/String;Ljava/lang/Object;)Lorg/apache/http/params/HttpParams;",
+            ApacheHttpClient,
+            Other,
+        ),
+        c(
+            "Lorg/apache/http/params/HttpParams;",
+            "setIntParameter",
+            "(Ljava/lang/String;I)Lorg/apache/http/params/HttpParams;",
+            ApacheHttpClient,
+            Other,
+        ),
+        c(
+            "Lorg/apache/http/params/HttpParams;",
+            "setLongParameter",
+            "(Ljava/lang/String;J)Lorg/apache/http/params/HttpParams;",
+            ApacheHttpClient,
+            Other,
+        ),
+        c(
+            "Lorg/apache/http/params/HttpParams;",
+            "setBooleanParameter",
+            "(Ljava/lang/String;Z)Lorg/apache/http/params/HttpParams;",
+            ApacheHttpClient,
+            Other,
+        ),
+        c(
+            "Lorg/apache/http/impl/client/DefaultHttpClient;",
+            "setHttpRequestRetryHandler",
+            "(Lorg/apache/http/client/HttpRequestRetryHandler;)V",
+            ApacheHttpClient,
+            Retry { count_arg: None },
+        ),
+        c(
+            "Lorg/apache/http/impl/client/DefaultHttpClient;",
+            "setRedirectHandler",
+            "(Lorg/apache/http/client/RedirectHandler;)V",
+            ApacheHttpClient,
+            Other,
+        ),
+        c(
+            "Lorg/apache/http/impl/client/DefaultHttpClient;",
+            "setKeepAliveStrategy",
+            "(Lorg/apache/http/conn/ConnectionKeepAliveStrategy;)V",
+            ApacheHttpClient,
+            Other,
+        ),
+        c(
+            "Lorg/apache/http/impl/client/DefaultHttpClient;",
+            "setReuseStrategy",
+            "(Lorg/apache/http/ConnectionReuseStrategy;)V",
+            ApacheHttpClient,
+            Other,
+        ),
+        c(
+            "Lorg/apache/http/client/params/HttpClientParams;",
+            "setRedirecting",
+            "(Lorg/apache/http/params/HttpParams;Z)V",
+            ApacheHttpClient,
+            Other,
+        ),
+        c(
+            "Lorg/apache/http/client/params/HttpClientParams;",
+            "setAuthenticating",
+            "(Lorg/apache/http/params/HttpParams;Z)V",
+            ApacheHttpClient,
+            Other,
+        ),
         // --- Volley (9) ---
-        c("Lcom/android/volley/Request;", "setRetryPolicy", "(Lcom/android/volley/RetryPolicy;)Lcom/android/volley/Request;", Volley, Retry { count_arg: None }),
-        c("Lcom/android/volley/DefaultRetryPolicy;", "<init>", "(IIF)V", Volley, TimeoutAndRetry { timeout_arg: 0, count_arg: 1 }),
-        c("Lcom/android/volley/Request;", "setShouldCache", "(Z)Lcom/android/volley/Request;", Volley, Other),
-        c("Lcom/android/volley/Request;", "setTag", "(Ljava/lang/Object;)Lcom/android/volley/Request;", Volley, Other),
-        c("Lcom/android/volley/Request;", "setPriority", "(Lcom/android/volley/Request$Priority;)Lcom/android/volley/Request;", Volley, Other),
-        c("Lcom/android/volley/Request;", "setSequence", "(I)Lcom/android/volley/Request;", Volley, Other),
-        c("Lcom/android/volley/Request;", "setShouldRetryServerErrors", "(Z)Lcom/android/volley/Request;", Volley, Retry { count_arg: None }),
-        c("Lcom/android/volley/Request;", "setRequestQueue", "(Lcom/android/volley/RequestQueue;)Lcom/android/volley/Request;", Volley, Other),
-        c("Lcom/android/volley/RequestQueue;", "start", "()V", Volley, Other),
+        c(
+            "Lcom/android/volley/Request;",
+            "setRetryPolicy",
+            "(Lcom/android/volley/RetryPolicy;)Lcom/android/volley/Request;",
+            Volley,
+            Retry { count_arg: None },
+        ),
+        c(
+            "Lcom/android/volley/DefaultRetryPolicy;",
+            "<init>",
+            "(IIF)V",
+            Volley,
+            TimeoutAndRetry {
+                timeout_arg: 0,
+                count_arg: 1,
+            },
+        ),
+        c(
+            "Lcom/android/volley/Request;",
+            "setShouldCache",
+            "(Z)Lcom/android/volley/Request;",
+            Volley,
+            Other,
+        ),
+        c(
+            "Lcom/android/volley/Request;",
+            "setTag",
+            "(Ljava/lang/Object;)Lcom/android/volley/Request;",
+            Volley,
+            Other,
+        ),
+        c(
+            "Lcom/android/volley/Request;",
+            "setPriority",
+            "(Lcom/android/volley/Request$Priority;)Lcom/android/volley/Request;",
+            Volley,
+            Other,
+        ),
+        c(
+            "Lcom/android/volley/Request;",
+            "setSequence",
+            "(I)Lcom/android/volley/Request;",
+            Volley,
+            Other,
+        ),
+        c(
+            "Lcom/android/volley/Request;",
+            "setShouldRetryServerErrors",
+            "(Z)Lcom/android/volley/Request;",
+            Volley,
+            Retry { count_arg: None },
+        ),
+        c(
+            "Lcom/android/volley/Request;",
+            "setRequestQueue",
+            "(Lcom/android/volley/RequestQueue;)Lcom/android/volley/Request;",
+            Volley,
+            Other,
+        ),
+        c(
+            "Lcom/android/volley/RequestQueue;",
+            "start",
+            "()V",
+            Volley,
+            Other,
+        ),
         // --- OkHttp (20) ---
-        c("Lcom/squareup/okhttp/OkHttpClient;", "setConnectTimeout", "(JLjava/util/concurrent/TimeUnit;)V", OkHttp, ConnectTimeout),
-        c("Lcom/squareup/okhttp/OkHttpClient;", "setReadTimeout", "(JLjava/util/concurrent/TimeUnit;)V", OkHttp, ReadTimeout),
-        c("Lcom/squareup/okhttp/OkHttpClient;", "setWriteTimeout", "(JLjava/util/concurrent/TimeUnit;)V", OkHttp, Other),
-        c("Lcom/squareup/okhttp/OkHttpClient;", "setRetryOnConnectionFailure", "(Z)V", OkHttp, Retry { count_arg: None }),
-        c("Lcom/squareup/okhttp/OkHttpClient;", "setFollowRedirects", "(Z)V", OkHttp, Other),
-        c("Lcom/squareup/okhttp/OkHttpClient;", "setFollowSslRedirects", "(Z)V", OkHttp, Other),
-        c("Lcom/squareup/okhttp/OkHttpClient;", "setCache", "(Lcom/squareup/okhttp/Cache;)Lcom/squareup/okhttp/OkHttpClient;", OkHttp, Other),
-        c("Lcom/squareup/okhttp/OkHttpClient;", "setConnectionPool", "(Lcom/squareup/okhttp/ConnectionPool;)Lcom/squareup/okhttp/OkHttpClient;", OkHttp, Other),
-        c("Lcom/squareup/okhttp/OkHttpClient;", "setProtocols", "(Ljava/util/List;)Lcom/squareup/okhttp/OkHttpClient;", OkHttp, Other),
-        c("Lcom/squareup/okhttp/OkHttpClient;", "setProxy", "(Ljava/net/Proxy;)Lcom/squareup/okhttp/OkHttpClient;", OkHttp, Other),
-        c("Lcom/squareup/okhttp/OkHttpClient;", "setAuthenticator", "(Lcom/squareup/okhttp/Authenticator;)Lcom/squareup/okhttp/OkHttpClient;", OkHttp, Other),
-        c("Lcom/squareup/okhttp/OkHttpClient;", "setConnectionSpecs", "(Ljava/util/List;)Lcom/squareup/okhttp/OkHttpClient;", OkHttp, Other),
-        c("Lcom/squareup/okhttp/OkHttpClient;", "setDns", "(Lcom/squareup/okhttp/Dns;)Lcom/squareup/okhttp/OkHttpClient;", OkHttp, Other),
-        c("Lcom/squareup/okhttp/OkHttpClient;", "setSocketFactory", "(Ljavax/net/SocketFactory;)Lcom/squareup/okhttp/OkHttpClient;", OkHttp, Other),
-        c("Lcom/squareup/okhttp/OkHttpClient;", "setSslSocketFactory", "(Ljavax/net/ssl/SSLSocketFactory;)Lcom/squareup/okhttp/OkHttpClient;", OkHttp, Other),
-        c("Lcom/squareup/okhttp/OkHttpClient;", "setHostnameVerifier", "(Ljavax/net/ssl/HostnameVerifier;)Lcom/squareup/okhttp/OkHttpClient;", OkHttp, Other),
-        c("Lcom/squareup/okhttp/OkHttpClient;", "setCertificatePinner", "(Lcom/squareup/okhttp/CertificatePinner;)Lcom/squareup/okhttp/OkHttpClient;", OkHttp, Other),
-        c("Lcom/squareup/okhttp/OkHttpClient;", "setCookieHandler", "(Ljava/net/CookieHandler;)Lcom/squareup/okhttp/OkHttpClient;", OkHttp, Other),
-        c("Lcom/squareup/okhttp/OkHttpClient;", "setDispatcher", "(Lcom/squareup/okhttp/Dispatcher;)Lcom/squareup/okhttp/OkHttpClient;", OkHttp, Other),
-        c("Lcom/squareup/okhttp/OkHttpClient;", "interceptors", "()Ljava/util/List;", OkHttp, Other),
+        c(
+            "Lcom/squareup/okhttp/OkHttpClient;",
+            "setConnectTimeout",
+            "(JLjava/util/concurrent/TimeUnit;)V",
+            OkHttp,
+            ConnectTimeout,
+        ),
+        c(
+            "Lcom/squareup/okhttp/OkHttpClient;",
+            "setReadTimeout",
+            "(JLjava/util/concurrent/TimeUnit;)V",
+            OkHttp,
+            ReadTimeout,
+        ),
+        c(
+            "Lcom/squareup/okhttp/OkHttpClient;",
+            "setWriteTimeout",
+            "(JLjava/util/concurrent/TimeUnit;)V",
+            OkHttp,
+            Other,
+        ),
+        c(
+            "Lcom/squareup/okhttp/OkHttpClient;",
+            "setRetryOnConnectionFailure",
+            "(Z)V",
+            OkHttp,
+            Retry { count_arg: None },
+        ),
+        c(
+            "Lcom/squareup/okhttp/OkHttpClient;",
+            "setFollowRedirects",
+            "(Z)V",
+            OkHttp,
+            Other,
+        ),
+        c(
+            "Lcom/squareup/okhttp/OkHttpClient;",
+            "setFollowSslRedirects",
+            "(Z)V",
+            OkHttp,
+            Other,
+        ),
+        c(
+            "Lcom/squareup/okhttp/OkHttpClient;",
+            "setCache",
+            "(Lcom/squareup/okhttp/Cache;)Lcom/squareup/okhttp/OkHttpClient;",
+            OkHttp,
+            Other,
+        ),
+        c(
+            "Lcom/squareup/okhttp/OkHttpClient;",
+            "setConnectionPool",
+            "(Lcom/squareup/okhttp/ConnectionPool;)Lcom/squareup/okhttp/OkHttpClient;",
+            OkHttp,
+            Other,
+        ),
+        c(
+            "Lcom/squareup/okhttp/OkHttpClient;",
+            "setProtocols",
+            "(Ljava/util/List;)Lcom/squareup/okhttp/OkHttpClient;",
+            OkHttp,
+            Other,
+        ),
+        c(
+            "Lcom/squareup/okhttp/OkHttpClient;",
+            "setProxy",
+            "(Ljava/net/Proxy;)Lcom/squareup/okhttp/OkHttpClient;",
+            OkHttp,
+            Other,
+        ),
+        c(
+            "Lcom/squareup/okhttp/OkHttpClient;",
+            "setAuthenticator",
+            "(Lcom/squareup/okhttp/Authenticator;)Lcom/squareup/okhttp/OkHttpClient;",
+            OkHttp,
+            Other,
+        ),
+        c(
+            "Lcom/squareup/okhttp/OkHttpClient;",
+            "setConnectionSpecs",
+            "(Ljava/util/List;)Lcom/squareup/okhttp/OkHttpClient;",
+            OkHttp,
+            Other,
+        ),
+        c(
+            "Lcom/squareup/okhttp/OkHttpClient;",
+            "setDns",
+            "(Lcom/squareup/okhttp/Dns;)Lcom/squareup/okhttp/OkHttpClient;",
+            OkHttp,
+            Other,
+        ),
+        c(
+            "Lcom/squareup/okhttp/OkHttpClient;",
+            "setSocketFactory",
+            "(Ljavax/net/SocketFactory;)Lcom/squareup/okhttp/OkHttpClient;",
+            OkHttp,
+            Other,
+        ),
+        c(
+            "Lcom/squareup/okhttp/OkHttpClient;",
+            "setSslSocketFactory",
+            "(Ljavax/net/ssl/SSLSocketFactory;)Lcom/squareup/okhttp/OkHttpClient;",
+            OkHttp,
+            Other,
+        ),
+        c(
+            "Lcom/squareup/okhttp/OkHttpClient;",
+            "setHostnameVerifier",
+            "(Ljavax/net/ssl/HostnameVerifier;)Lcom/squareup/okhttp/OkHttpClient;",
+            OkHttp,
+            Other,
+        ),
+        c(
+            "Lcom/squareup/okhttp/OkHttpClient;",
+            "setCertificatePinner",
+            "(Lcom/squareup/okhttp/CertificatePinner;)Lcom/squareup/okhttp/OkHttpClient;",
+            OkHttp,
+            Other,
+        ),
+        c(
+            "Lcom/squareup/okhttp/OkHttpClient;",
+            "setCookieHandler",
+            "(Ljava/net/CookieHandler;)Lcom/squareup/okhttp/OkHttpClient;",
+            OkHttp,
+            Other,
+        ),
+        c(
+            "Lcom/squareup/okhttp/OkHttpClient;",
+            "setDispatcher",
+            "(Lcom/squareup/okhttp/Dispatcher;)Lcom/squareup/okhttp/OkHttpClient;",
+            OkHttp,
+            Other,
+        ),
+        c(
+            "Lcom/squareup/okhttp/OkHttpClient;",
+            "interceptors",
+            "()Ljava/util/List;",
+            OkHttp,
+            Other,
+        ),
         // --- Android Async HTTP (14) ---
-        c("Lcom/loopj/android/http/AsyncHttpClient;", "setTimeout", "(I)V", AndroidAsyncHttp, CombinedTimeout),
-        c("Lcom/loopj/android/http/AsyncHttpClient;", "setConnectTimeout", "(I)V", AndroidAsyncHttp, ConnectTimeout),
-        c("Lcom/loopj/android/http/AsyncHttpClient;", "setResponseTimeout", "(I)V", AndroidAsyncHttp, ReadTimeout),
-        c("Lcom/loopj/android/http/AsyncHttpClient;", "setMaxRetriesAndTimeout", "(II)V", AndroidAsyncHttp, Retry { count_arg: Some(0) }),
-        c("Lcom/loopj/android/http/AsyncHttpClient;", "allowRetryExceptionClass", "(Ljava/lang/Class;)V", AndroidAsyncHttp, RetryException),
-        c("Lcom/loopj/android/http/AsyncHttpClient;", "blockRetryExceptionClass", "(Ljava/lang/Class;)V", AndroidAsyncHttp, RetryException),
-        c("Lcom/loopj/android/http/AsyncHttpClient;", "setMaxConnections", "(I)V", AndroidAsyncHttp, Other),
-        c("Lcom/loopj/android/http/AsyncHttpClient;", "setUserAgent", "(Ljava/lang/String;)V", AndroidAsyncHttp, Other),
-        c("Lcom/loopj/android/http/AsyncHttpClient;", "setEnableRedirects", "(Z)V", AndroidAsyncHttp, Other),
-        c("Lcom/loopj/android/http/AsyncHttpClient;", "setProxy", "(Ljava/lang/String;I)V", AndroidAsyncHttp, Other),
-        c("Lcom/loopj/android/http/AsyncHttpClient;", "setSSLSocketFactory", "(Lcom/loopj/android/http/MySSLSocketFactory;)V", AndroidAsyncHttp, Other),
-        c("Lcom/loopj/android/http/AsyncHttpClient;", "setThreadPool", "(Ljava/util/concurrent/ExecutorService;)V", AndroidAsyncHttp, Other),
-        c("Lcom/loopj/android/http/AsyncHttpClient;", "setURLEncodingEnabled", "(Z)V", AndroidAsyncHttp, Other),
-        c("Lcom/loopj/android/http/AsyncHttpClient;", "setAuthenticationPreemptive", "(Z)V", AndroidAsyncHttp, Other),
+        c(
+            "Lcom/loopj/android/http/AsyncHttpClient;",
+            "setTimeout",
+            "(I)V",
+            AndroidAsyncHttp,
+            CombinedTimeout,
+        ),
+        c(
+            "Lcom/loopj/android/http/AsyncHttpClient;",
+            "setConnectTimeout",
+            "(I)V",
+            AndroidAsyncHttp,
+            ConnectTimeout,
+        ),
+        c(
+            "Lcom/loopj/android/http/AsyncHttpClient;",
+            "setResponseTimeout",
+            "(I)V",
+            AndroidAsyncHttp,
+            ReadTimeout,
+        ),
+        c(
+            "Lcom/loopj/android/http/AsyncHttpClient;",
+            "setMaxRetriesAndTimeout",
+            "(II)V",
+            AndroidAsyncHttp,
+            Retry { count_arg: Some(0) },
+        ),
+        c(
+            "Lcom/loopj/android/http/AsyncHttpClient;",
+            "allowRetryExceptionClass",
+            "(Ljava/lang/Class;)V",
+            AndroidAsyncHttp,
+            RetryException,
+        ),
+        c(
+            "Lcom/loopj/android/http/AsyncHttpClient;",
+            "blockRetryExceptionClass",
+            "(Ljava/lang/Class;)V",
+            AndroidAsyncHttp,
+            RetryException,
+        ),
+        c(
+            "Lcom/loopj/android/http/AsyncHttpClient;",
+            "setMaxConnections",
+            "(I)V",
+            AndroidAsyncHttp,
+            Other,
+        ),
+        c(
+            "Lcom/loopj/android/http/AsyncHttpClient;",
+            "setUserAgent",
+            "(Ljava/lang/String;)V",
+            AndroidAsyncHttp,
+            Other,
+        ),
+        c(
+            "Lcom/loopj/android/http/AsyncHttpClient;",
+            "setEnableRedirects",
+            "(Z)V",
+            AndroidAsyncHttp,
+            Other,
+        ),
+        c(
+            "Lcom/loopj/android/http/AsyncHttpClient;",
+            "setProxy",
+            "(Ljava/lang/String;I)V",
+            AndroidAsyncHttp,
+            Other,
+        ),
+        c(
+            "Lcom/loopj/android/http/AsyncHttpClient;",
+            "setSSLSocketFactory",
+            "(Lcom/loopj/android/http/MySSLSocketFactory;)V",
+            AndroidAsyncHttp,
+            Other,
+        ),
+        c(
+            "Lcom/loopj/android/http/AsyncHttpClient;",
+            "setThreadPool",
+            "(Ljava/util/concurrent/ExecutorService;)V",
+            AndroidAsyncHttp,
+            Other,
+        ),
+        c(
+            "Lcom/loopj/android/http/AsyncHttpClient;",
+            "setURLEncodingEnabled",
+            "(Z)V",
+            AndroidAsyncHttp,
+            Other,
+        ),
+        c(
+            "Lcom/loopj/android/http/AsyncHttpClient;",
+            "setAuthenticationPreemptive",
+            "(Z)V",
+            AndroidAsyncHttp,
+            Other,
+        ),
         // --- Basic HTTP client (8) ---
-        c("Lcom/turbomanage/httpclient/BasicHttpClient;", "setConnectionTimeout", "(I)V", BasicHttpClient, ConnectTimeout),
-        c("Lcom/turbomanage/httpclient/BasicHttpClient;", "setReadTimeout", "(I)V", BasicHttpClient, ReadTimeout),
-        c("Lcom/turbomanage/httpclient/BasicHttpClient;", "setMaxRetries", "(I)V", BasicHttpClient, Retry { count_arg: Some(0) }),
-        c("Lcom/turbomanage/httpclient/BasicHttpClient;", "addHeader", "(Ljava/lang/String;Ljava/lang/String;)V", BasicHttpClient, Other),
-        c("Lcom/turbomanage/httpclient/BasicHttpClient;", "setLogger", "(Lcom/turbomanage/httpclient/RequestLogger;)V", BasicHttpClient, Other),
-        c("Lcom/turbomanage/httpclient/BasicHttpClient;", "setRequestHandler", "(Lcom/turbomanage/httpclient/RequestHandler;)V", BasicHttpClient, Other),
-        c("Lcom/turbomanage/httpclient/BasicHttpClient;", "setAsync", "(Z)V", BasicHttpClient, Other),
-        c("Lcom/turbomanage/httpclient/BasicHttpClient;", "addQueryParameter", "(Ljava/lang/String;Ljava/lang/String;)V", BasicHttpClient, Other),
+        c(
+            "Lcom/turbomanage/httpclient/BasicHttpClient;",
+            "setConnectionTimeout",
+            "(I)V",
+            BasicHttpClient,
+            ConnectTimeout,
+        ),
+        c(
+            "Lcom/turbomanage/httpclient/BasicHttpClient;",
+            "setReadTimeout",
+            "(I)V",
+            BasicHttpClient,
+            ReadTimeout,
+        ),
+        c(
+            "Lcom/turbomanage/httpclient/BasicHttpClient;",
+            "setMaxRetries",
+            "(I)V",
+            BasicHttpClient,
+            Retry { count_arg: Some(0) },
+        ),
+        c(
+            "Lcom/turbomanage/httpclient/BasicHttpClient;",
+            "addHeader",
+            "(Ljava/lang/String;Ljava/lang/String;)V",
+            BasicHttpClient,
+            Other,
+        ),
+        c(
+            "Lcom/turbomanage/httpclient/BasicHttpClient;",
+            "setLogger",
+            "(Lcom/turbomanage/httpclient/RequestLogger;)V",
+            BasicHttpClient,
+            Other,
+        ),
+        c(
+            "Lcom/turbomanage/httpclient/BasicHttpClient;",
+            "setRequestHandler",
+            "(Lcom/turbomanage/httpclient/RequestHandler;)V",
+            BasicHttpClient,
+            Other,
+        ),
+        c(
+            "Lcom/turbomanage/httpclient/BasicHttpClient;",
+            "setAsync",
+            "(Z)V",
+            BasicHttpClient,
+            Other,
+        ),
+        c(
+            "Lcom/turbomanage/httpclient/BasicHttpClient;",
+            "addQueryParameter",
+            "(Ljava/lang/String;Ljava/lang/String;)V",
+            BasicHttpClient,
+            Other,
+        ),
     ]
 }
 
@@ -676,14 +1141,19 @@ mod tests {
             .unwrap();
         assert_eq!(t.library, Library::Volley);
         assert!(t.is_async);
-        assert!(r.target("Lcom/android/volley/RequestQueue;", "remove").is_none());
+        assert!(r
+            .target("Lcom/android/volley/RequestQueue;", "remove")
+            .is_none());
     }
 
     #[test]
     fn config_lookup_and_kinds() {
         let r = Registry::standard();
         let c = r
-            .config("Lcom/turbomanage/httpclient/BasicHttpClient;", "setMaxRetries")
+            .config(
+                "Lcom/turbomanage/httpclient/BasicHttpClient;",
+                "setMaxRetries",
+            )
             .unwrap();
         assert_eq!(c.kind, ConfigKind::Retry { count_arg: Some(0) });
         assert!(c.kind.is_retry());
@@ -696,10 +1166,9 @@ mod tests {
     #[test]
     fn connectivity_apis_recognized() {
         let r = Registry::standard();
-        assert!(r.is_connectivity_check(
-            "Landroid/net/ConnectivityManager;",
-            "getActiveNetworkInfo"
-        ));
+        assert!(
+            r.is_connectivity_check("Landroid/net/ConnectivityManager;", "getActiveNetworkInfo")
+        );
         assert!(r.is_connectivity_check("Landroid/net/NetworkInfo;", "isConnected"));
         assert!(!r.is_connectivity_check("Lcom/app/Net;", "isConnected"));
     }

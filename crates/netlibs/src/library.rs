@@ -45,10 +45,7 @@ impl Library {
 
     /// Returns `true` for the two Android native libraries.
     pub fn is_native(self) -> bool {
-        matches!(
-            self,
-            Library::HttpUrlConnection | Library::ApacheHttpClient
-        )
+        matches!(self, Library::HttpUrlConnection | Library::ApacheHttpClient)
     }
 
     /// Returns `true` when the library exposes retry-policy APIs.
@@ -194,10 +191,7 @@ mod tests {
 
     #[test]
     fn retry_api_availability() {
-        let with: Vec<_> = ALL_LIBRARIES
-            .iter()
-            .filter(|l| l.has_retry_api())
-            .collect();
+        let with: Vec<_> = ALL_LIBRARIES.iter().filter(|l| l.has_retry_api()).collect();
         assert_eq!(with.len(), 3);
     }
 }

@@ -13,27 +13,111 @@ pub struct StudyApp {
 
 /// Table 1's 21 rows.
 pub const STUDY_APPS: &[StudyApp] = &[
-    StudyApp { name: "Chrome", category: "Communication", installs: ">500M" },
-    StudyApp { name: "Barcode scanner", category: "Tools", installs: ">100M" },
-    StudyApp { name: "Firefox", category: "Communication", installs: ">50M" },
-    StudyApp { name: "Telegram", category: "Communication", installs: ">10M" },
-    StudyApp { name: "K9", category: "Communication", installs: ">5M" },
-    StudyApp { name: "XBMC", category: "Media & Video", installs: ">1M" },
-    StudyApp { name: "Wordpress", category: "Social", installs: ">1M" },
-    StudyApp { name: "Sipdroid", category: "Communication", installs: ">1M" },
-    StudyApp { name: "ConnectBot", category: "Communication", installs: ">1M" },
-    StudyApp { name: "NPR news", category: "News & Magazines", installs: ">1M" },
-    StudyApp { name: "Csipsimple", category: "Communication", installs: ">1M" },
-    StudyApp { name: "Signal private messenger", category: "Communication", installs: ">1M" },
-    StudyApp { name: "ChatSecure", category: "Communication", installs: ">100K" },
-    StudyApp { name: "Owncloud", category: "Productivity", installs: ">100K" },
-    StudyApp { name: "GTalkSMS", category: "Tools", installs: ">50K" },
-    StudyApp { name: "Yaxim", category: "Communication", installs: ">50K" },
-    StudyApp { name: "Jamendo Player", category: "Music & Audio", installs: ">10K" },
-    StudyApp { name: "Hacker News", category: "News & Magazines", installs: ">10K" },
-    StudyApp { name: "BombusMod", category: "Social", installs: ">10K" },
-    StudyApp { name: "Kontalk", category: "Communication", installs: ">10K" },
-    StudyApp { name: "Android Framework", category: "System", installs: "built-in" },
+    StudyApp {
+        name: "Chrome",
+        category: "Communication",
+        installs: ">500M",
+    },
+    StudyApp {
+        name: "Barcode scanner",
+        category: "Tools",
+        installs: ">100M",
+    },
+    StudyApp {
+        name: "Firefox",
+        category: "Communication",
+        installs: ">50M",
+    },
+    StudyApp {
+        name: "Telegram",
+        category: "Communication",
+        installs: ">10M",
+    },
+    StudyApp {
+        name: "K9",
+        category: "Communication",
+        installs: ">5M",
+    },
+    StudyApp {
+        name: "XBMC",
+        category: "Media & Video",
+        installs: ">1M",
+    },
+    StudyApp {
+        name: "Wordpress",
+        category: "Social",
+        installs: ">1M",
+    },
+    StudyApp {
+        name: "Sipdroid",
+        category: "Communication",
+        installs: ">1M",
+    },
+    StudyApp {
+        name: "ConnectBot",
+        category: "Communication",
+        installs: ">1M",
+    },
+    StudyApp {
+        name: "NPR news",
+        category: "News & Magazines",
+        installs: ">1M",
+    },
+    StudyApp {
+        name: "Csipsimple",
+        category: "Communication",
+        installs: ">1M",
+    },
+    StudyApp {
+        name: "Signal private messenger",
+        category: "Communication",
+        installs: ">1M",
+    },
+    StudyApp {
+        name: "ChatSecure",
+        category: "Communication",
+        installs: ">100K",
+    },
+    StudyApp {
+        name: "Owncloud",
+        category: "Productivity",
+        installs: ">100K",
+    },
+    StudyApp {
+        name: "GTalkSMS",
+        category: "Tools",
+        installs: ">50K",
+    },
+    StudyApp {
+        name: "Yaxim",
+        category: "Communication",
+        installs: ">50K",
+    },
+    StudyApp {
+        name: "Jamendo Player",
+        category: "Music & Audio",
+        installs: ">10K",
+    },
+    StudyApp {
+        name: "Hacker News",
+        category: "News & Magazines",
+        installs: ">10K",
+    },
+    StudyApp {
+        name: "BombusMod",
+        category: "Social",
+        installs: ">10K",
+    },
+    StudyApp {
+        name: "Kontalk",
+        category: "Communication",
+        installs: ">10K",
+    },
+    StudyApp {
+        name: "Android Framework",
+        category: "System",
+        installs: "built-in",
+    },
 ];
 
 #[cfg(test)]

@@ -291,8 +291,7 @@ mod tests {
     #[test]
     fn subcauses_match_section_2_3() {
         let npds = study_npds();
-        let counts: std::collections::BTreeMap<_, _> =
-            subcause_counts(&npds).into_iter().collect();
+        let counts: std::collections::BTreeMap<_, _> = subcause_counts(&npds).into_iter().collect();
         assert_eq!(counts[&RootCause::TransientNoRetry], 7);
         assert_eq!(counts[&RootCause::TransientOverRetry], 5);
         assert_eq!(counts[&RootCause::PermanentNoTimeout], 8);

@@ -107,7 +107,9 @@ fn mean_ci(samples: &[f64]) -> (f64, f64) {
 /// Runs the study with `volunteers` participants.
 pub fn simulate(volunteers: usize, with_report: bool, seed: u64) -> StudyResult {
     let mut rng = StdRng::seed_from_u64(seed);
-    let vols: Vec<Volunteer> = (0..volunteers).map(|_| Volunteer::sample(&mut rng)).collect();
+    let vols: Vec<Volunteer> = (0..volunteers)
+        .map(|_| Volunteer::sample(&mut rng))
+        .collect();
 
     let mut per_task = Vec::new();
     let mut all: Vec<f64> = Vec::new();
@@ -185,10 +187,7 @@ mod tests {
     fn retried_exception_task_mostly_fails() {
         // Run the excluded task directly: at most a few of 20 succeed.
         let mut rng = StdRng::seed_from_u64(3);
-        let task = crate::tasks::TASKS
-            .iter()
-            .find(|t| !t.in_figure10)
-            .unwrap();
+        let task = crate::tasks::TASKS.iter().find(|t| !t.in_figure10).unwrap();
         let vols: Vec<Volunteer> = (0..20).map(|_| Volunteer::sample(&mut rng)).collect();
         let correct = vols
             .iter()

@@ -37,7 +37,10 @@ fn main() {
         stats.len(),
         stats.buggy_apps()
     );
-    println!("{:<30} {:>14} {:>10}", "NPD cause", "buggy/evaluated", "percent");
+    println!(
+        "{:<30} {:>14} {:>10}",
+        "NPD cause", "buggy/evaluated", "percent"
+    );
     for row in stats.table6() {
         println!(
             "{:<30} {:>8}/{:<5} {:>9.0}%",

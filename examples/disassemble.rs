@@ -18,7 +18,11 @@ fn main() {
     let path = std::env::temp_dir().join("telegram-reconstruction.apk");
     apk.save(&path).expect("writable temp dir");
     let loaded = Apk::load(&path).expect("reload");
-    println!("wrote and reloaded {} ({} bytes)\n", path.display(), apk.to_bytes().len());
+    println!(
+        "wrote and reloaded {} ({} bytes)\n",
+        path.display(),
+        apk.to_bytes().len()
+    );
 
     println!("=== manifest ===");
     println!("{}", loaded.manifest.to_text());

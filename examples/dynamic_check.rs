@@ -24,18 +24,17 @@ fn main() {
     // Dynamic: execute every entry point under each scenario.
     let dynamic = DynamicChecker::new(DynConfig::full());
     let observations = dynamic.observe(&apk).expect("runs");
-    println!("{:<16} {:>10} {:>10} {:>8} {:>8}", "scenario", "requests", "outcome", "alerts", "hangs");
+    println!(
+        "{:<16} {:>10} {:>10} {:>8} {:>8}",
+        "scenario", "requests", "outcome", "alerts", "hangs"
+    );
     for o in &observations {
         let alerts = o
             .events
             .iter()
             .filter(|e| matches!(e, Event::UiAlert))
             .count();
-        let hangs = o
-            .events
-            .iter()
-            .filter(|e| matches!(e, Event::Hang))
-            .count();
+        let hangs = o.events.iter().filter(|e| matches!(e, Event::Hang)).count();
         let outcome = match &o.outcome {
             RunOutcome::Completed => "ok",
             RunOutcome::Crashed(_) => "CRASH",

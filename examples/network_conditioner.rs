@@ -10,8 +10,8 @@
 //! ```
 
 use nck_netsim::{
-    backoff_retry_energy, periodic_retry_energy, success_rate, ClientConfig, LinkModel,
-    RadioModel, Timeline,
+    backoff_retry_energy, periodic_retry_energy, success_rate, ClientConfig, LinkModel, RadioModel,
+    Timeline,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -27,7 +27,10 @@ fn main() {
     );
     let configs = [
         ("Volley (2500 ms, 1 retry)", ClientConfig::volley_default()),
-        ("Async HTTP (10 s, 5 retries)", ClientConfig::async_http_default()),
+        (
+            "Async HTTP (10 s, 5 retries)",
+            ClientConfig::async_http_default(),
+        ),
         (
             "HttpURLConnection (no timeout)",
             ClientConfig::http_url_connection_default(),
@@ -36,7 +39,13 @@ fn main() {
     for (name, cfg) in configs {
         let wifi = success_rate(&LinkModel::wifi(), &cfg, size, 200, &mut rng);
         let g3 = success_rate(&LinkModel::three_g(), &cfg, size, 200, &mut rng);
-        let lossy = success_rate(&LinkModel::three_g().with_loss(0.10), &cfg, size, 200, &mut rng);
+        let lossy = success_rate(
+            &LinkModel::three_g().with_loss(0.10),
+            &cfg,
+            size,
+            200,
+            &mut rng,
+        );
         println!("{name:<28} {wifi:>10.2} {g3:>12.2} {lossy:>14.2}");
     }
 
@@ -54,5 +63,8 @@ fn main() {
     let backoff = backoff_retry_energy(&radio, 1000.0, 32_000.0, 200.0, 60_000.0);
     println!("  retry every 500 ms (Figure 2 bug): {telegram:>8.0} mJ");
     println!("  exponential backoff 1 s -> 32 s:   {backoff:>8.0} mJ");
-    println!("  -> the buggy loop costs {:.0}x more battery", telegram / backoff);
+    println!(
+        "  -> the buggy loop costs {:.0}x more battery",
+        telegram / backoff
+    );
 }

@@ -51,7 +51,10 @@ fn main() {
     let mut manifest = Manifest::new("com.example.quickstart");
     manifest
         .permission("android.permission.INTERNET")
-        .component("Lcom/example/quickstart/MainActivity;", ComponentKind::Activity);
+        .component(
+            "Lcom/example/quickstart/MainActivity;",
+            ComponentKind::Activity,
+        );
     let apk = Apk::new(manifest, b.finish().expect("valid app"));
 
     // 2. Serialize to the binary container — the artifact NChecker

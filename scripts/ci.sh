@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Repository CI gate: build, test, lint, format. Run from the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test --workspace"
+cargo test --workspace --quiet
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets --quiet -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "CI green."

@@ -7,6 +7,7 @@
 //! (corpus generator), [`nck_netsim`] (network simulator), [`nck_study`]
 //! (empirical study data), and [`nck_userstudy`] (user-study model).
 
+pub use nchecker as checker;
 pub use nck_android as android;
 pub use nck_appgen as appgen;
 pub use nck_dataflow as dataflow;
@@ -18,4 +19,3 @@ pub use nck_netlibs as netlibs;
 pub use nck_netsim as netsim;
 pub use nck_study as study;
 pub use nck_userstudy as userstudy;
-pub use nchecker as checker;

@@ -56,12 +56,8 @@ fn corpus_analysis_is_deterministic() {
     let specs = corpus(2016);
     let checker = NChecker::new();
     let spec = &specs[40];
-    let a = checker
-        .analyze_apk(&nck_appgen::generate(spec))
-        .unwrap();
-    let b = checker
-        .analyze_apk(&nck_appgen::generate(spec))
-        .unwrap();
+    let a = checker.analyze_apk(&nck_appgen::generate(spec)).unwrap();
+    let b = checker.analyze_apk(&nck_appgen::generate(spec)).unwrap();
     assert_eq!(a.defects.len(), b.defects.len());
     for (x, y) in a.defects.iter().zip(&b.defects) {
         assert_eq!(x.kind, y.kind);

@@ -38,6 +38,7 @@ fn arb_conn() -> impl Strategy<Value = ConnCheck> {
     prop_oneof![
         Just(ConnCheck::Missing),
         Just(ConnCheck::Guarding),
+        Just(ConnCheck::GuardingViaHelper),
         Just(ConnCheck::UnusedResult),
         Just(ConnCheck::InterComponent),
     ]
@@ -73,14 +74,18 @@ prop_compose! {
         notification in arb_notification(),
         check_error_types in any::<bool>(),
         unchecked_resp in any::<bool>(),
+        resp_via_helper in any::<bool>(),
+        retry_via_helper in any::<bool>(),
         post in any::<bool>(),
         custom in arb_retry_shape(),
     ) -> RequestSpec {
         let mut r = RequestSpec::new(library, origin);
         r.conn_check = conn_check;
         r.notification = notification;
-        // Retry APIs only exist for retry-capable libraries.
+        // Retry APIs only exist for retry-capable libraries. The count may
+        // flow through a helper getter (the summary engine resolves it).
         r.set_retries = if library.has_retry_api() { retries } else { None };
+        r.retries_via_helper = retry_via_helper && r.set_retries.is_some();
         // Volley couples the two through DefaultRetryPolicy.
         r.set_timeout = if library == Library::Volley {
             r.set_retries.is_some()
@@ -88,9 +93,16 @@ prop_compose! {
             set_timeout
         };
         r.check_error_types = check_error_types;
-        // Response handling only for response-capable libraries.
+        // Response handling only for response-capable libraries; the
+        // check itself may live in a helper validator.
         r.response = if library.has_response_check_api() {
-            if unchecked_resp { RespCheck::Unchecked } else { RespCheck::Checked }
+            if unchecked_resp {
+                RespCheck::Unchecked
+            } else if resp_via_helper {
+                RespCheck::CheckedViaHelper
+            } else {
+                RespCheck::Checked
+            }
         } else {
             RespCheck::NotUsed
         };

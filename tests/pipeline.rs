@@ -59,9 +59,7 @@ fn fixing_defects_clears_reports_incrementally() {
 
     let count = |r: &RequestSpec, kind: DefectKind| {
         let spec = AppSpec::new("com.test.steps", vec![r.clone()]);
-        let report = checker
-            .analyze_apk(&nck_appgen::generate(&spec))
-            .unwrap();
+        let report = checker.analyze_apk(&nck_appgen::generate(&spec)).unwrap();
         report.count(kind)
     };
 
@@ -91,9 +89,7 @@ fn report_rendering_is_complete_for_every_defect() {
     ));
     let checker = NChecker::new();
     for spec in specs {
-        let report = checker
-            .analyze_apk(&nck_appgen::generate(&spec))
-            .unwrap();
+        let report = checker.analyze_apk(&nck_appgen::generate(&spec)).unwrap();
         for d in &report.defects {
             let text = d.render();
             for section in [

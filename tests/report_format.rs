@@ -28,7 +28,9 @@ fn gpslogger_report_matches_figure7_structure() {
     ];
     let mut last = 0;
     for s in sections {
-        let pos = text.find(s).unwrap_or_else(|| panic!("missing section {s}:\n{text}"));
+        let pos = text
+            .find(s)
+            .unwrap_or_else(|| panic!("missing section {s}:\n{text}"));
         assert!(pos >= last, "section {s} out of order:\n{text}");
         last = pos;
     }
@@ -44,7 +46,10 @@ fn gpslogger_report_matches_figure7_structure() {
         text.contains("Use getActiveNetworkInfo() to check connectivity"),
         "{text}"
     );
-    assert!(text.contains("Show error message if no connection"), "{text}");
+    assert!(
+        text.contains("Show error message if no connection"),
+        "{text}"
+    );
     // The call stack starts at the entry point (the click listener) and
     // ends at the request.
     let stack_pos = text.find("call stack").unwrap();
@@ -73,7 +78,11 @@ fn json_and_text_reports_agree_on_counts() {
         json["defects"].as_array().unwrap().len(),
         report.defects.len()
     );
-    for (d, j) in report.defects.iter().zip(json["defects"].as_array().unwrap()) {
+    for (d, j) in report
+        .defects
+        .iter()
+        .zip(json["defects"].as_array().unwrap())
+    {
         assert_eq!(j["kind"], nchecker::kind_id(d.kind));
         assert_eq!(j["message"], d.message.as_str());
     }

@@ -1,0 +1,53 @@
+//! Offline stand-in for the `crossbeam` crate: just `crossbeam::scope`,
+//! implemented on top of `std::thread::scope`.
+
+use std::thread::ScopedJoinHandle;
+
+/// A scope handle mirroring `crossbeam::thread::Scope`.
+#[derive(Clone, Copy)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread; the closure receives the scope handle,
+    /// as in crossbeam.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let scope = *self;
+        self.inner.spawn(move || f(&scope))
+    }
+}
+
+/// Runs `f` with a thread scope; all spawned threads are joined before
+/// this returns. The `Result` mirrors crossbeam's signature (a panic in
+/// a child thread propagates out of `std::thread::scope`, so the error
+/// arm is never produced here).
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_all_threads() {
+        let counter = AtomicUsize::new(0);
+        super::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        })
+        .expect("workers");
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+    }
+}

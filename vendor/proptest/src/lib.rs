@@ -1,0 +1,624 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset this workspace's property tests use: the
+//! [`Strategy`] trait with `prop_map`, range / tuple / regex-string
+//! strategies, `any::<T>()`, `proptest::collection::vec`,
+//! `prop::sample::Index`, and the `proptest!` / `prop_compose!` /
+//! `prop_oneof!` / `prop_assert*!` macros. Generation is deterministic
+//! (seeded per test name and case index); failing cases panic with the
+//! assertion message but are not shrunk.
+
+pub mod test_runner {
+    //! Deterministic RNG and per-test configuration.
+
+    /// SplitMix64 generator driving all strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds the generator for one test case.
+        pub fn for_case(test_name: &str, case: u32) -> TestRng {
+            // FNV-1a over the test name, mixed with the case index.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng {
+                state: h ^ (u64::from(case).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+            }
+        }
+
+        /// Next raw 64-bit word.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: usize) -> usize {
+            (self.next_u64() % bound as u64) as usize
+        }
+
+        /// Uniform f64 in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// Per-test configuration (subset: case count only).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 64 }
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let off = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + off as i128) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    let off = (rng.next_u64() as u128) % span;
+                    (lo as i128 + off as i128) as $t
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for RangeInclusive<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            self.start() + rng.unit_f64() * (self.end() - self.start())
+        }
+    }
+
+    /// String-literal strategies are interpreted as regexes (see
+    /// [`crate::string`] for the supported subset).
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            crate::string::generate(self, rng)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident : $idx:tt),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A: 0);
+    impl_tuple_strategy!(A: 0, B: 1);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7);
+
+    /// A strategy backed by a generation closure (used by
+    /// `prop_compose!`).
+    pub struct FnStrategy<F>(F);
+
+    /// Wraps a closure as a strategy.
+    pub fn fn_strategy<T, F: Fn(&mut TestRng) -> T>(f: F) -> FnStrategy<F> {
+        FnStrategy(f)
+    }
+
+    impl<T, F: Fn(&mut TestRng) -> T> Strategy for FnStrategy<F> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    /// A boxed generation closure, one `prop_oneof!` branch.
+    pub type BoxedGen<T> = Box<dyn Fn(&mut TestRng) -> T>;
+
+    /// Boxes a strategy into a [`BoxedGen`].
+    pub fn boxed_gen<S: Strategy + 'static>(s: S) -> BoxedGen<S::Value> {
+        Box::new(move |rng| s.generate(rng))
+    }
+
+    /// Uniform choice among branches (used by `prop_oneof!`).
+    pub struct Union<T> {
+        branches: Vec<BoxedGen<T>>,
+    }
+
+    /// Builds a [`Union`] from boxed branches.
+    pub fn union<T>(branches: Vec<BoxedGen<T>>) -> Union<T> {
+        assert!(!branches.is_empty(), "prop_oneof! needs branches");
+        Union { branches }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let k = rng.below(self.branches.len());
+            (self.branches[k])(rng)
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! The [`Arbitrary`] trait behind `any::<T>()`.
+
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            rng.unit_f64()
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for crate::sample::Index {
+        fn arbitrary(rng: &mut TestRng) -> crate::sample::Index {
+            crate::sample::Index::new(rng.next_u64() as usize)
+        }
+    }
+
+    /// The `any::<T>()` strategy.
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> crate::strategy::Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Canonical strategy for `T`'s full domain.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+}
+
+pub mod sample {
+    //! Index sampling.
+
+    /// A raw index scaled into any collection length at use time.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Index(usize);
+
+    impl Index {
+        /// Wraps a raw value.
+        pub fn new(raw: usize) -> Index {
+            Index(raw)
+        }
+
+        /// Projects into `[0, size)`; `size` must be non-zero.
+        pub fn index(&self, size: usize) -> usize {
+            assert!(size > 0, "Index::index on empty collection");
+            self.0 % size
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive-exclusive bounds for generated collection sizes.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a size drawn from the range.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` strategy from an element strategy and a size range.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.hi - self.size.lo;
+            let n = self.size.lo + rng.below(span.max(1));
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod string {
+    //! Tiny regex-shaped string generator backing `&str` strategies.
+    //!
+    //! Supported syntax: literal characters, `\.`-style escapes, `\PC`
+    //! (any printable ASCII), character classes `[a-z0-9_...]` with
+    //! ranges and literals, non-capturing sequence groups `( ... )`, and
+    //! `{m,n}` / `{n}` repetition. This covers every pattern used in the
+    //! workspace's tests.
+
+    use crate::test_runner::TestRng;
+
+    #[derive(Debug, Clone)]
+    enum Atom {
+        Literal(char),
+        Printable,
+        Class(Vec<(char, char)>),
+        Group(Vec<(Atom, usize, usize)>),
+    }
+
+    fn parse_class(chars: &[char], mut i: usize) -> (Atom, usize) {
+        let mut ranges = Vec::new();
+        while i < chars.len() && chars[i] != ']' {
+            let c = chars[i];
+            if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                ranges.push((c, chars[i + 2]));
+                i += 3;
+            } else {
+                ranges.push((c, c));
+                i += 1;
+            }
+        }
+        (Atom::Class(ranges), i + 1)
+    }
+
+    fn parse_quant(chars: &[char], i: usize) -> (usize, usize, usize) {
+        if chars.get(i) != Some(&'{') {
+            return (1, 1, i);
+        }
+        let close = chars[i..].iter().position(|&c| c == '}').unwrap() + i;
+        let body: String = chars[i + 1..close].iter().collect();
+        let (lo, hi) = match body.split_once(',') {
+            Some((a, b)) => (a.parse().unwrap(), b.parse().unwrap()),
+            None => {
+                let n = body.parse().unwrap();
+                (n, n)
+            }
+        };
+        (lo, hi, close + 1)
+    }
+
+    fn parse_seq(
+        chars: &[char],
+        mut i: usize,
+        stop: Option<char>,
+    ) -> (Vec<(Atom, usize, usize)>, usize) {
+        let mut seq = Vec::new();
+        while i < chars.len() {
+            if stop == Some(chars[i]) {
+                i += 1;
+                break;
+            }
+            let (atom, next) = match chars[i] {
+                '\\' => {
+                    let c = chars[i + 1];
+                    if c == 'P' {
+                        // \PC — treat as printable ASCII.
+                        (Atom::Printable, i + 3)
+                    } else {
+                        (Atom::Literal(c), i + 2)
+                    }
+                }
+                '[' => parse_class(chars, i + 1),
+                '(' => {
+                    let (inner, next) = parse_seq(chars, i + 1, Some(')'));
+                    (Atom::Group(inner), next)
+                }
+                c => (Atom::Literal(c), i + 1),
+            };
+            let (lo, hi, next) = parse_quant(chars, next);
+            seq.push((atom, lo, hi));
+            i = next;
+        }
+        (seq, i)
+    }
+
+    fn emit(seq: &[(Atom, usize, usize)], rng: &mut TestRng, out: &mut String) {
+        for (atom, lo, hi) in seq {
+            let reps = lo + rng.below(hi - lo + 1);
+            for _ in 0..reps {
+                match atom {
+                    Atom::Literal(c) => out.push(*c),
+                    Atom::Printable => out.push((0x20 + rng.below(0x5f)) as u8 as char),
+                    Atom::Class(ranges) => {
+                        let (a, b) = ranges[rng.below(ranges.len())];
+                        let span = b as u32 - a as u32 + 1;
+                        out.push(
+                            char::from_u32(a as u32 + rng.below(span as usize) as u32).unwrap(),
+                        );
+                    }
+                    Atom::Group(inner) => emit(inner, rng, out),
+                }
+            }
+        }
+    }
+
+    /// Generates one string matching `pattern`.
+    pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+        let chars: Vec<char> = pattern.chars().collect();
+        let (seq, _) = parse_seq(&chars, 0, None);
+        let mut out = String::new();
+        emit(&seq, rng, &mut out);
+        out
+    }
+}
+
+pub mod prelude {
+    //! Everything the tests import with `use proptest::prelude::*;`.
+
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_compose, prop_oneof, proptest,
+    };
+}
+
+/// Defines property tests: each `fn` runs `config.cases` times with
+/// fresh deterministic inputs.
+#[macro_export]
+macro_rules! proptest {
+    (@body ($config:expr) $($(#[$meta:meta])* fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                for __pt_case in 0..config.cases {
+                    let mut __pt_rng =
+                        $crate::test_runner::TestRng::for_case(stringify!($name), __pt_case);
+                    $(
+                        let $pat =
+                            $crate::strategy::Strategy::generate(&($strat), &mut __pt_rng);
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest! { @body ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! { @body ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Composes named sub-strategies into a derived strategy function.
+#[macro_export]
+macro_rules! prop_compose {
+    ($(#[$meta:meta])* $vis:vis fn $name:ident ($($args:tt)*)
+        ( $($pat:pat in $strat:expr),+ $(,)? ) -> $ret:ty $body:block) => {
+        $(#[$meta])*
+        $vis fn $name($($args)*) -> impl $crate::strategy::Strategy<Value = $ret> {
+            $crate::strategy::fn_strategy(move |__pt_rng: &mut $crate::test_runner::TestRng| {
+                $(
+                    let $pat =
+                        $crate::strategy::Strategy::generate(&($strat), __pt_rng);
+                )+
+                $body
+            })
+        }
+    };
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::union(vec![
+            $( $crate::strategy::boxed_gen($strat) ),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    prop_compose! {
+        /// A short lowercase identifier paired with a parity flag.
+        fn arb_tagged()(name in "[a-z]{1,4}", flag in any::<bool>()) -> (String, bool) {
+            (name, flag)
+        }
+    }
+
+    fn arb_small() -> impl Strategy<Value = i64> {
+        prop_oneof![Just(0i64), (1i64..10).prop_map(|v| v * 2)]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(a in 3u16..9, b in 1usize..=4, f in 0.5f64..2.0) {
+            prop_assert!((3..9).contains(&a));
+            prop_assert!((1..=4).contains(&b));
+            prop_assert!((0.5..2.0).contains(&f));
+        }
+
+        #[test]
+        fn composed_strategies_generate(t in arb_tagged(), v in arb_small()) {
+            prop_assert!(!t.0.is_empty() && t.0.len() <= 4);
+            prop_assert!(v == 0 || (v % 2 == 0 && (2..20).contains(&v)));
+        }
+
+        #[test]
+        fn vec_and_index(items in prop::collection::vec(0i32..100, 1..8),
+                         at in any::<prop::sample::Index>()) {
+            let i = at.index(items.len());
+            prop_assert!((0..100).contains(&items[i]));
+        }
+
+        #[test]
+        fn regex_subset_shapes(s in "L[a-z][a-z0-9/$]{0,5};",
+                               dotted in "[a-z]{1,3}(\\.[a-z]{1,3}){0,2}") {
+            prop_assert!(s.starts_with('L') && s.ends_with(';'));
+            prop_assert!(dotted.split('.').count() <= 3);
+            for part in dotted.split('.') {
+                prop_assert!(!part.is_empty());
+            }
+        }
+    }
+}

@@ -1,0 +1,655 @@
+//! Offline stand-in for the `serde_json` crate.
+//!
+//! Provides the subset this workspace uses: the [`Value`] tree, the
+//! [`json!`] macro (object literals with string keys, nested objects and
+//! arrays, and general expressions via [`ToJson`]), and the
+//! [`to_string`] / [`to_string_pretty`] / [`from_str`] entry points.
+//! Objects are backed by a `BTreeMap`, so keys serialize sorted.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed or constructed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object (sorted keys).
+    Object(BTreeMap<String, Value>),
+}
+
+/// A JSON number: integer when exactly representable, float otherwise.
+#[derive(Debug, Clone, Copy)]
+pub enum Number {
+    /// A signed integer.
+    Int(i64),
+    /// A floating-point number.
+    Float(f64),
+}
+
+impl Number {
+    fn as_f64(self) -> f64 {
+        match self {
+            Number::Int(v) => v as f64,
+            Number::Float(v) => v,
+        }
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Number) -> bool {
+        match (self, other) {
+            (Number::Int(a), Number::Int(b)) => a == b,
+            _ => self.as_f64() == other.as_f64(),
+        }
+    }
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// Returns the array contents, if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Returns the object contents, if this is an object.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Returns the string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the integer value, if this is an integer number.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(Number::Int(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Looks up an object key; `None` for non-objects or missing keys.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|o| o.get(key))
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        self.as_array().and_then(|a| a.get(idx)).unwrap_or(&NULL)
+    }
+}
+
+macro_rules! impl_value_eq_num {
+    ($($t:ty),*) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                matches!(self, Value::Number(n) if *n == Number::Int(*other as i64))
+            }
+        }
+    )*};
+}
+impl_value_eq_num!(i32, i64, u32, u64, usize);
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        matches!(self, Value::Bool(b) if b == other)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        matches!(self, Value::String(s) if s == other)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self == *other
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self == other.as_str()
+    }
+}
+
+/// Conversion into a [`Value`], used by the [`json!`] macro for general
+/// expressions (always invoked through a reference, so fields of
+/// borrowed structs serialize without moving).
+pub trait ToJson {
+    /// Converts `self` to a JSON value.
+    fn to_json(&self) -> Value;
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Value {
+        (**self).to_json()
+    }
+}
+
+impl ToJson for Value {
+    fn to_json(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+macro_rules! impl_tojson_int {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Value {
+                Value::Number(Number::Int(*self as i64))
+            }
+        }
+    )*};
+}
+impl_tojson_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Value {
+        Value::Number(Number::Float(*self))
+    }
+}
+
+impl ToJson for f32 {
+    fn to_json(&self) -> Value {
+        Value::Number(Number::Float(f64::from(*self)))
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Value {
+        match self {
+            Some(v) => v.to_json(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+/// Builds a [`Value`] from a JSON-shaped literal.
+///
+/// Subset: object literals with string-literal keys whose values are
+/// nested objects, `[expr, ...]` arrays, `null`, or general expressions
+/// (converted via [`ToJson`]); bare arrays; bare expressions.
+#[macro_export]
+macro_rules! json {
+    ($($tt:tt)+) => {
+        $crate::json_internal!($($tt)+)
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal {
+    // Object entry whose value is a nested object.
+    (@object $map:ident $key:literal : { $($nested:tt)* } , $($rest:tt)*) => {
+        $map.insert($key.to_owned(), $crate::json_internal!({ $($nested)* }));
+        $crate::json_internal!(@object $map $($rest)*);
+    };
+    (@object $map:ident $key:literal : { $($nested:tt)* } $(,)?) => {
+        $map.insert($key.to_owned(), $crate::json_internal!({ $($nested)* }));
+    };
+    // Object entry whose value is an array literal.
+    (@object $map:ident $key:literal : [ $($arr:tt)* ] , $($rest:tt)*) => {
+        $map.insert($key.to_owned(), $crate::json_internal!([ $($arr)* ]));
+        $crate::json_internal!(@object $map $($rest)*);
+    };
+    (@object $map:ident $key:literal : [ $($arr:tt)* ] $(,)?) => {
+        $map.insert($key.to_owned(), $crate::json_internal!([ $($arr)* ]));
+    };
+    // Object entry whose value is the null literal.
+    (@object $map:ident $key:literal : null , $($rest:tt)*) => {
+        $map.insert($key.to_owned(), $crate::Value::Null);
+        $crate::json_internal!(@object $map $($rest)*);
+    };
+    (@object $map:ident $key:literal : null $(,)?) => {
+        $map.insert($key.to_owned(), $crate::Value::Null);
+    };
+    // Object entry whose value is a general expression.
+    (@object $map:ident $key:literal : $value:expr , $($rest:tt)*) => {
+        $map.insert($key.to_owned(), $crate::json_internal!($value));
+        $crate::json_internal!(@object $map $($rest)*);
+    };
+    (@object $map:ident $key:literal : $value:expr) => {
+        $map.insert($key.to_owned(), $crate::json_internal!($value));
+    };
+    (@object $map:ident) => {};
+    // Values.
+    (null) => {
+        $crate::Value::Null
+    };
+    (true) => {
+        $crate::Value::Bool(true)
+    };
+    (false) => {
+        $crate::Value::Bool(false)
+    };
+    ({}) => {
+        $crate::Value::Object(::std::collections::BTreeMap::new())
+    };
+    ({ $($tt:tt)+ }) => {{
+        let mut map = ::std::collections::BTreeMap::new();
+        $crate::json_internal!(@object map $($tt)+);
+        $crate::Value::Object(map)
+    }};
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $($crate::json_internal!($elem)),* ])
+    };
+    ($other:expr) => {
+        $crate::ToJson::to_json(&$other)
+    };
+}
+
+/// Serialization / deserialization failure.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_value(v: &Value, out: &mut String, pretty: bool, depth: usize) {
+    let pad = |out: &mut String, depth: usize| {
+        if pretty {
+            out.push('\n');
+            for _ in 0..depth {
+                out.push_str("  ");
+            }
+        }
+    };
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(Number::Int(n)) => out.push_str(&n.to_string()),
+        Value::Number(Number::Float(n)) => {
+            if n.fract() == 0.0 && n.is_finite() {
+                out.push_str(&format!("{n:.1}"));
+            } else {
+                out.push_str(&n.to_string());
+            }
+        }
+        Value::String(s) => escape_into(s, out),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                pad(out, depth + 1);
+                write_value(item, out, pretty, depth + 1);
+            }
+            if !items.is_empty() {
+                pad(out, depth);
+            }
+            out.push(']');
+        }
+        Value::Object(map) => {
+            out.push('{');
+            for (i, (k, val)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                pad(out, depth + 1);
+                escape_into(k, out);
+                out.push(':');
+                if pretty {
+                    out.push(' ');
+                }
+                write_value(val, out, pretty, depth + 1);
+            }
+            if !map.is_empty() {
+                pad(out, depth);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Serializes a value compactly.
+pub fn to_string(v: &Value) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(v, &mut out, false, 0);
+    Ok(out)
+}
+
+/// Serializes a value with two-space indentation.
+pub fn to_string_pretty(v: &Value) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(v, &mut out, true, 0);
+    Ok(out)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, msg: &str) -> Result<T, Error> {
+        Err(Error(format!("{msg} at byte {}", self.pos)))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(&format!("expected '{}'", b as char))
+        }
+    }
+
+    fn eat_word(&mut self, word: &str) -> Result<(), Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(())
+        } else {
+            self.err(&format!("expected '{word}'"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => {
+                self.eat_word("null")?;
+                Ok(Value::Null)
+            }
+            Some(b't') => {
+                self.eat_word("true")?;
+                Ok(Value::Bool(true))
+            }
+            Some(b'f') => {
+                self.eat_word("false")?;
+                Ok(Value::Bool(false))
+            }
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Value::Array(items));
+                        }
+                        _ => return self.err("expected ',' or ']'"),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut map = BTreeMap::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    self.eat(b':')?;
+                    map.insert(key, self.value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Value::Object(map));
+                        }
+                        _ => return self.err("expected ',' or '}'"),
+                    }
+                }
+            }
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => self.err("expected a JSON value"),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return self.err("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok());
+                            match hex.and_then(char::from_u32) {
+                                Some(c) => {
+                                    out.push(c);
+                                    self.pos += 4;
+                                }
+                                None => return self.err("bad \\u escape"),
+                            }
+                        }
+                        _ => return self.err("bad escape"),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar.
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| Error("bad utf-8".into()))?;
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if !is_float {
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Value::Number(Number::Int(v)));
+            }
+        }
+        match text.parse::<f64>() {
+            Ok(v) => Ok(Value::Number(Number::Float(v))),
+            Err(_) => self.err("bad number"),
+        }
+    }
+}
+
+/// Parses a JSON document into a [`Value`].
+pub fn from_str(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return p.err("trailing garbage");
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn macro_objects_arrays_and_exprs() {
+        let name = String::from("volley");
+        let v = json!({
+            "name": name,
+            "count": 3usize,
+            "nested": { "ok": true, "missing": null },
+            "items": vec!["a", "b"],
+        });
+        assert_eq!(v["name"], "volley");
+        assert_eq!(v["count"], 3);
+        assert_eq!(v["nested"]["ok"], true);
+        assert_eq!(v["nested"]["missing"], Value::Null);
+        assert_eq!(v["items"].as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn roundtrip_compact_and_pretty() {
+        let v = json!({
+            "s": "a \"quoted\" line\n",
+            "n": -42,
+            "f": 1.5,
+            "arr": vec![1, 2, 3],
+            "none": Option::<bool>::None,
+        });
+        for text in [to_string(&v).unwrap(), to_string_pretty(&v).unwrap()] {
+            let back = from_str(&text).unwrap();
+            assert_eq!(back, v);
+        }
+    }
+
+    #[test]
+    fn index_misses_are_null() {
+        let v = json!({ "a": 1 });
+        assert_eq!(v["b"], Value::Null);
+        assert_eq!(v["a"][0], Value::Null);
+    }
+}
