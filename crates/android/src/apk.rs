@@ -5,7 +5,7 @@
 
 use crate::manifest::{Manifest, ManifestError};
 use nck_dex::wire::{Reader, Writer};
-use nck_dex::{read_adx, write_adx, AdxError, AdxFile};
+use nck_dex::{write_adx, AdxError, AdxFile};
 
 /// Container magic bytes.
 pub const APK_MAGIC: &[u8; 4] = b"APK1";
@@ -85,6 +85,12 @@ impl Apk {
 
     /// Parses a bundle, validating the embedded manifest and ADX payload.
     pub fn from_bytes(bytes: &[u8]) -> Result<Apk, ApkError> {
+        Apk::from_bytes_obs(bytes, &nck_obs::Metrics::disabled())
+    }
+
+    /// Like [`Apk::from_bytes`], recording parser volume metrics
+    /// (`parse.bytes`, `parse.classes`, ...) into `metrics`.
+    pub fn from_bytes_obs(bytes: &[u8], metrics: &nck_obs::Metrics) -> Result<Apk, ApkError> {
         let mut r = Reader::new(bytes);
         let mut magic = [0u8; 4];
         for m in &mut magic {
@@ -100,7 +106,7 @@ impl Apk {
             return Err(ApkError::Truncated);
         }
         let start = bytes.len() - r.remaining();
-        let adx = read_adx(&bytes[start..start + adx_len])?;
+        let adx = nck_dex::read_adx_obs(&bytes[start..start + adx_len], metrics)?;
         Ok(Apk { manifest, adx })
     }
 

@@ -1,0 +1,54 @@
+//! Generates one synthetic APK bundle and writes it to disk, so shell
+//! scripts (CI smoke tests, manual `nchecker` runs) can produce inputs
+//! without linking against the generator.
+//!
+//! ```text
+//! genapp <gpslogger|suite:N|corpus:SEED:INDEX> <out.apk>
+//! ```
+
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: genapp <gpslogger|suite:N|corpus:SEED:INDEX> <out.apk>");
+    eprintln!();
+    eprintln!("  gpslogger        the GPSLogger study app");
+    eprintln!("  suite:N          app N of the interprocedural suite");
+    eprintln!("  corpus:SEED:IDX  app IDX of the seeded evaluation corpus");
+    ExitCode::from(2)
+}
+
+fn spec_for(what: &str) -> Option<nck_appgen::AppSpec> {
+    if what == "gpslogger" {
+        return Some(nck_appgen::studyapps::gpslogger());
+    }
+    if let Some(n) = what.strip_prefix("suite:") {
+        let n: usize = n.parse().ok()?;
+        return nck_appgen::interproc_suite::interproc_apps()
+            .into_iter()
+            .nth(n);
+    }
+    if let Some(rest) = what.strip_prefix("corpus:") {
+        let (seed, idx) = rest.split_once(':')?;
+        let seed: u64 = seed.parse().ok()?;
+        let idx: usize = idx.parse().ok()?;
+        return nck_appgen::profile::corpus(seed).into_iter().nth(idx);
+    }
+    None
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [what, out] = args.as_slice() else {
+        return usage();
+    };
+    let Some(spec) = spec_for(what) else {
+        return usage();
+    };
+    let apk = nck_appgen::generate(&spec);
+    if let Err(e) = apk.save(std::path::Path::new(out)) {
+        eprintln!("{out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {out} ({})", spec.package);
+    ExitCode::SUCCESS
+}

@@ -1,15 +1,83 @@
 //! Runs the full evaluation once and prints every corpus-derived table
 //! and figure (6, 7, 8, 9 + the Section 5.2 headline numbers), reusing a
-//! single corpus pass.
+//! single corpus pass. The pass runs with tracing and metrics enabled
+//! and writes the per-phase wall-time breakdown and corpus throughput to
+//! `BENCH_pipeline.json`.
 
-use nchecker::CorpusStats;
-use nck_bench::{aggregate, downsample, run_corpus, SEED};
+use nchecker::{CheckerConfig, CorpusStats};
+use nck_bench::{aggregate, collect_obs, downsample, run_specs_with, SEED};
+use nck_obs::{MetricsSnapshot, Obs, PhaseTotals};
+use serde_json::{json, Value};
+use std::collections::BTreeMap;
+
+/// Serializes the corpus-level pipeline observations.
+fn pipeline_json(
+    apps: usize,
+    elapsed: std::time::Duration,
+    phases: &PhaseTotals,
+    metrics: &MetricsSnapshot,
+) -> Value {
+    let wall_ms = elapsed.as_secs_f64() * 1e3;
+    let phase_obj: BTreeMap<String, Value> = phases
+        .iter()
+        .map(|(path, t)| {
+            (
+                path.to_owned(),
+                json!({
+                    "total_ms": t.millis(),
+                    "items": t.items,
+                    "count": t.count,
+                }),
+            )
+        })
+        .collect();
+    let counters: BTreeMap<String, Value> = metrics
+        .counters
+        .iter()
+        .map(|(k, v)| (k.clone(), json!(v)))
+        .collect();
+    let gauges: BTreeMap<String, Value> = metrics
+        .gauges
+        .iter()
+        .map(|(k, v)| (k.clone(), json!(v)))
+        .collect();
+    let histograms: BTreeMap<String, Value> = metrics
+        .histograms
+        .iter()
+        .map(|(k, h)| {
+            (
+                k.clone(),
+                json!({
+                    "count": h.count,
+                    "sum": h.sum,
+                    "mean": h.mean(),
+                }),
+            )
+        })
+        .collect();
+    json!({
+        "schema": 1,
+        "seed": SEED,
+        "apps": apps,
+        "wall_ms": wall_ms,
+        "ms_per_app": wall_ms / apps.max(1) as f64,
+        "apps_per_sec": apps as f64 / elapsed.as_secs_f64().max(1e-9),
+        "phases": Value::Object(phase_obj),
+        "metrics": {
+            "counters": Value::Object(counters),
+            "gauges": Value::Object(gauges),
+            "histograms": Value::Object(histograms),
+        },
+    })
+}
 
 fn main() {
+    let specs = nck_appgen::profile::corpus(SEED);
     let start = std::time::Instant::now();
-    let reports = run_corpus(SEED);
+    let reports = run_specs_with(&specs, CheckerConfig::default(), &Obs::enabled());
     let elapsed = start.elapsed();
     let stats = aggregate(&reports);
+    let (phases, metrics) = collect_obs(&reports);
 
     println!("=== NChecker full evaluation (seed {SEED}) ===");
     println!(
@@ -93,4 +161,20 @@ fn main() {
         e * 100.0,
         i * 100.0
     );
+    println!();
+
+    println!("--- Pipeline phases (corpus totals) ---");
+    for (path, t) in phases.iter() {
+        println!(
+            "{path:<40} {:>10.3} ms  ({} spans, {} items)",
+            t.millis(),
+            t.count,
+            t.items
+        );
+    }
+
+    let doc = pipeline_json(reports.len(), elapsed, &phases, &metrics);
+    let out = serde_json::to_string_pretty(&doc).expect("pipeline doc serializes");
+    std::fs::write("BENCH_pipeline.json", out).expect("write BENCH_pipeline.json");
+    println!("\nwrote BENCH_pipeline.json");
 }

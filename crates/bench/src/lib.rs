@@ -1,9 +1,10 @@
 //! Shared harness for the experiment binaries: corpus runner and text
 //! rendering helpers.
 
-use nchecker::{AppReport, CorpusStats, NChecker};
+use nchecker::{AppReport, CheckerConfig, CorpusStats, NChecker};
 use nck_appgen::profile::corpus;
 use nck_appgen::spec::AppSpec;
+use nck_obs::{MetricsSnapshot, Obs, PhaseTotals};
 
 /// The seed all experiment binaries use, so every table is reproducible.
 pub const SEED: u64 = 2016;
@@ -18,6 +19,14 @@ pub fn run_corpus(seed: u64) -> Vec<AppReport> {
 
 /// Analyzes a list of specs in parallel.
 pub fn run_specs(specs: &[AppSpec]) -> Vec<AppReport> {
+    run_specs_with(specs, CheckerConfig::default(), &Obs::disabled())
+}
+
+/// Analyzes a list of specs in parallel with explicit checker toggles
+/// and an observability template. Each worker derives fresh sinks from
+/// `obs` (see [`Obs::fresh`]), so traces and metrics land per-app on the
+/// returned [`AppReport`]s; aggregate them with [`collect_obs`].
+pub fn run_specs_with(specs: &[AppSpec], config: CheckerConfig, obs: &Obs) -> Vec<AppReport> {
     let n_workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4)
@@ -31,7 +40,8 @@ pub fn run_specs(specs: &[AppSpec]) -> Vec<AppReport> {
     crossbeam::scope(|scope| {
         for _ in 0..n_workers {
             scope.spawn(|_| {
-                let checker = NChecker::new();
+                let mut checker = NChecker::with_config(config);
+                checker.obs = obs.fresh();
                 loop {
                     let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     if i >= specs.len() {
@@ -55,6 +65,22 @@ pub fn run_specs(specs: &[AppSpec]) -> Vec<AppReport> {
     out.into_iter()
         .map(|r| r.expect("every app analyzed"))
         .collect()
+}
+
+/// Folds the per-app traces and metrics of `reports` into corpus-level
+/// phase totals and one merged metrics snapshot.
+pub fn collect_obs(reports: &[AppReport]) -> (PhaseTotals, MetricsSnapshot) {
+    let mut phases = PhaseTotals::new();
+    let mut metrics = MetricsSnapshot::default();
+    for r in reports {
+        if let Some(t) = &r.trace {
+            phases.absorb(t);
+        }
+        if let Some(m) = &r.metrics {
+            metrics.merge(m);
+        }
+    }
+    (phases, metrics)
 }
 
 /// Folds per-app reports into corpus statistics.
@@ -121,5 +147,30 @@ mod tests {
         assert!(!reports[0].defects.is_empty());
         let stats = aggregate(&reports);
         assert_eq!(stats.len(), 1);
+    }
+
+    #[test]
+    fn obs_template_yields_per_app_traces_and_corpus_totals() {
+        let specs = vec![
+            nck_appgen::studyapps::gpslogger(),
+            nck_appgen::studyapps::gpslogger(),
+        ];
+        let reports = run_specs_with(&specs, nchecker::CheckerConfig::default(), &Obs::enabled());
+        for r in &reports {
+            let trace = r.trace.as_ref().expect("trace attached");
+            assert!(trace.find("context").is_some());
+            assert!(trace.find("checkers").is_some());
+            assert!(r.metrics.is_some());
+        }
+        let (phases, metrics) = collect_obs(&reports);
+        assert!(!phases.is_empty());
+        // Two apps absorbed: the root phase was seen twice.
+        let app = phases
+            .iter()
+            .find(|(path, _)| *path == "app")
+            .expect("app phase")
+            .1;
+        assert_eq!(app.count, 2);
+        assert!(metrics.counters.contains_key("parse.classes"));
     }
 }

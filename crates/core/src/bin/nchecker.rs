@@ -2,14 +2,19 @@
 //! warning reports (§4.6, Figure 7).
 //!
 //! ```text
-//! nchecker [--summary|--json] [--strict] [--no-interproc] <app.apk>...
+//! nchecker [--summary|--json] [--strict] [--no-interproc]
+//!          [--trace] [--metrics] [--quiet|-v|-vv] <app.apk>...
 //! ```
 
 use nchecker::{CheckerConfig, NChecker};
+use nck_obs::{Events, Level, Metrics, Obs, Tracer};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: nchecker [--summary|--json] [--strict] [--no-interproc] <app.apk>...");
+    eprintln!(
+        "usage: nchecker [--summary|--json] [--strict] [--no-interproc] [--trace] [--metrics] \
+         [--quiet|-v|-vv] <app.apk>..."
+    );
     eprintln!();
     eprintln!("Statically analyzes ADX app bundles for network programming defects.");
     eprintln!("  --summary       print one line per app instead of full reports");
@@ -17,6 +22,10 @@ fn usage() -> ExitCode {
     eprintln!("  --strict        require connectivity checks to be control conditions");
     eprintln!("  --interproc     enable the summary engine (the default)");
     eprintln!("  --no-interproc  ablate the interprocedural summary engine");
+    eprintln!("  --trace         record per-phase spans; tree printed to stderr");
+    eprintln!("  --metrics       record pipeline metrics (embedded in --json output)");
+    eprintln!("  --quiet, -q     suppress all diagnostics on stderr");
+    eprintln!("  -v, -vv         raise diagnostic verbosity to info / debug");
     ExitCode::from(2)
 }
 
@@ -26,6 +35,12 @@ const FLAGS: &[&str] = &[
     "--strict",
     "--interproc",
     "--no-interproc",
+    "--trace",
+    "--metrics",
+    "--quiet",
+    "-q",
+    "-v",
+    "-vv",
 ];
 
 fn main() -> ExitCode {
@@ -33,6 +48,11 @@ fn main() -> ExitCode {
     let summary = args.iter().any(|a| a == "--summary");
     let json = args.iter().any(|a| a == "--json");
     let strict = args.iter().any(|a| a == "--strict");
+    let trace = args.iter().any(|a| a == "--trace");
+    let metrics = args.iter().any(|a| a == "--metrics");
+    let quiet = args.iter().any(|a| a == "--quiet" || a == "-q");
+    let verbose = args.iter().any(|a| a == "-v");
+    let very_verbose = args.iter().any(|a| a == "-vv");
     // Last occurrence wins when both interproc flags are given.
     let interproc = !matches!(
         args.iter()
@@ -40,34 +60,65 @@ fn main() -> ExitCode {
             .find(|a| *a == "--interproc" || *a == "--no-interproc"),
         Some(a) if a == "--no-interproc"
     );
-    let paths: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let paths: Vec<&String> = args.iter().filter(|a| !a.starts_with('-')).collect();
     if paths.is_empty() {
         return usage();
     }
     if args
         .iter()
-        .any(|a| a.starts_with("--") && !FLAGS.contains(&a.as_str()))
+        .any(|a| a.starts_with('-') && !FLAGS.contains(&a.as_str()))
     {
         return usage();
     }
 
-    let checker = NChecker::with_config(CheckerConfig {
+    let events = if quiet {
+        Events::silent()
+    } else if very_verbose {
+        Events::at(Level::Debug)
+    } else if verbose {
+        Events::at(Level::Info)
+    } else {
+        Events::default()
+    };
+    let mut checker = NChecker::with_config(CheckerConfig {
         strict_connectivity: strict,
         interproc,
         ..CheckerConfig::default()
     });
+    checker.obs = Obs {
+        tracer: if trace {
+            Tracer::enabled()
+        } else {
+            Tracer::disabled()
+        },
+        // --trace implies metrics: the span tree and counters describe
+        // the same run and are cheap to record together.
+        metrics: if metrics || trace {
+            Metrics::enabled()
+        } else {
+            Metrics::disabled()
+        },
+        events: events.clone(),
+    };
+
     let mut failures = 0usize;
     for path in paths {
         let bytes = match std::fs::read(path) {
             Ok(b) => b,
             Err(e) => {
-                eprintln!("{path}: {e}");
+                events.error(&format!("{path}: {e}"));
                 failures += 1;
                 continue;
             }
         };
+        events.debug(&format!("{path}: read {} bytes", bytes.len()));
         match checker.analyze_bytes(&bytes) {
             Ok(report) => {
+                events.info(&format!(
+                    "{path}: {} requests, {} defects",
+                    report.stats.requests,
+                    report.defects.len()
+                ));
                 if json {
                     println!(
                         "{}",
@@ -91,9 +142,21 @@ fn main() -> ExitCode {
                         println!("{}", d.render());
                     }
                 }
+                // Observability output goes to stderr so stdout stays
+                // machine-parseable under --json.
+                if let Some(t) = &report.trace {
+                    eprintln!("--- trace: {} ---", report.stats.package);
+                    eprint!("{}", t.render());
+                }
+                if !json {
+                    if let Some(m) = &report.metrics {
+                        eprintln!("--- metrics: {} ---", report.stats.package);
+                        eprint!("{}", m.render());
+                    }
+                }
             }
             Err(e) => {
-                eprintln!("{path}: {e}");
+                events.error(&format!("{path}: {e}"));
                 failures += 1;
             }
         }

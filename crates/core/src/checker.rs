@@ -9,14 +9,15 @@ use crate::icc::{
     conn_guarded_components, find_icc_sends, icc_send_reachable, some_component_displays_alert,
 };
 use crate::reach::{find_request_sites, RequestSite};
-use crate::report::{fix_suggestion, DefectKind, Location, OverRetryContext, Report};
+use crate::report::{fix_suggestion, DefectKind, Evidence, Location, OverRetryContext, Report};
 use crate::retry::{covered_by_retry, find_retry_loops};
 use nck_android::apk::{Apk, ApkError};
 use nck_ir::lift::LiftError;
-use nck_ir::lift_file;
 use nck_netlibs::api::Registry;
 use nck_netlibs::library::Library;
+use nck_obs::{MetricsSnapshot, Obs, PipelineTrace};
 use std::collections::BTreeSet;
+use std::time::{Duration, Instant};
 
 /// Which analyses to run.
 #[derive(Debug, Clone, Copy)]
@@ -130,6 +131,10 @@ pub struct AppStats {
     pub summary_sccs: usize,
     /// Methods whose summary proves a constant return.
     pub summary_const_returns: usize,
+    /// Size of the largest SCC condensed during summary computation.
+    pub summary_largest_scc: usize,
+    /// Static fields the summary engine proved write-once constant.
+    pub summary_field_consts: usize,
     /// Summary-cache lookups served during checking.
     pub summary_hits: usize,
 }
@@ -141,6 +146,10 @@ pub struct AppReport {
     pub stats: AppStats,
     /// Individual warning reports.
     pub defects: Vec<Report>,
+    /// Phase-level span tree of the run, when tracing was enabled.
+    pub trace: Option<PipelineTrace>,
+    /// Metrics recorded during the run, when metrics were enabled.
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 impl AppReport {
@@ -182,6 +191,22 @@ pub struct NChecker {
     registry: Registry,
     /// Analysis toggles.
     pub config: CheckerConfig,
+    /// Observability template. Disabled by default; each analyzed app
+    /// mints fresh sinks from it via [`Obs::fresh`], so span trees and
+    /// metrics stay per-app even under a parallel corpus runner.
+    pub obs: Obs,
+}
+
+/// Attaches the finished trace and metrics snapshot to a report. Every
+/// live span guard must be dropped before this runs.
+fn seal(mut report: AppReport, obs: &Obs) -> AppReport {
+    if obs.tracer.is_enabled() {
+        report.trace = Some(obs.tracer.finish());
+    }
+    if obs.metrics.is_enabled() {
+        report.metrics = Some(obs.metrics.snapshot());
+    }
+    report
 }
 
 impl NChecker {
@@ -195,35 +220,79 @@ impl NChecker {
         NChecker {
             registry: Registry::standard(),
             config,
+            obs: Obs::disabled(),
         }
     }
 
     /// Analyzes a serialized APK container.
     pub fn analyze_bytes(&self, bytes: &[u8]) -> Result<AppReport, AnalyzeError> {
-        let apk = Apk::from_bytes(bytes).map_err(AnalyzeError::Apk)?;
-        self.analyze_apk(&apk)
+        let obs = self.obs.fresh();
+        let report = {
+            let _app = obs.tracer.span("app");
+            let apk = {
+                let _s = obs.tracer.span("parse");
+                Apk::from_bytes_obs(bytes, &obs.metrics).map_err(AnalyzeError::Apk)?
+            };
+            self.analyze_apk_with(&apk, &obs)?
+        };
+        Ok(seal(report, &obs))
     }
 
     /// Analyzes a parsed APK bundle.
     pub fn analyze_apk(&self, apk: &Apk) -> Result<AppReport, AnalyzeError> {
-        let program = lift_file(&apk.adx).map_err(AnalyzeError::Lift)?;
-        let app = AnalyzedApp::new(apk.manifest.clone(), program, &self.registry);
-        Ok(self.analyze(&app))
+        let obs = self.obs.fresh();
+        let report = {
+            let _app = obs.tracer.span("app");
+            self.analyze_apk_with(apk, &obs)?
+        };
+        Ok(seal(report, &obs))
+    }
+
+    fn analyze_apk_with(&self, apk: &Apk, obs: &Obs) -> Result<AppReport, AnalyzeError> {
+        let program = {
+            let _s = obs.tracer.span("lift");
+            nck_ir::lift_file_obs(&apk.adx, &obs.metrics).map_err(AnalyzeError::Lift)?
+        };
+        let app = AnalyzedApp::new_with_obs(apk.manifest.clone(), program, &self.registry, obs);
+        Ok(self.analyze_with(&app, obs))
     }
 
     /// Runs all configured analyses over an already-built context.
     pub fn analyze(&self, app: &AnalyzedApp<'_>) -> AppReport {
-        let sites = find_request_sites(app);
-        let conn_methods = if self.config.interproc {
-            methods_observing_connectivity(app)
-        } else {
-            methods_invoking_connectivity(app)
+        let obs = self.obs.fresh();
+        let report = self.analyze_with(app, &obs);
+        seal(report, &obs)
+    }
+
+    fn analyze_with(&self, app: &AnalyzedApp<'_>, obs: &Obs) -> AppReport {
+        let _checkers = obs.tracer.span("checkers");
+        let sites = {
+            let s = obs.tracer.span("find_sites");
+            let sites = find_request_sites(app);
+            s.add_items(sites.len() as u64);
+            sites
         };
-        let retry_loops = if self.config.custom_retry {
-            find_retry_loops(app)
-        } else {
-            Vec::new()
+        let conn_methods = {
+            let s = obs.tracer.span("conn_methods");
+            let set = if self.config.interproc {
+                methods_observing_connectivity(app)
+            } else {
+                methods_invoking_connectivity(app)
+            };
+            s.add_items(set.len() as u64);
+            set
         };
+        let retry_loops = {
+            let s = obs.tracer.span("retry_loops");
+            let loops = if self.config.custom_retry {
+                find_retry_loops(app)
+            } else {
+                Vec::new()
+            };
+            s.add_items(loops.len() as u64);
+            loops
+        };
+        let icc_span = self.config.icc.then(|| obs.tracer.span("icc"));
         let icc_sends = if self.config.icc {
             find_icc_sends(app)
         } else {
@@ -235,6 +304,21 @@ impl NChecker {
             Default::default()
         };
         let icc_alert_component = self.config.icc && some_component_displays_alert(app);
+        drop(icc_span);
+
+        if obs.metrics.is_enabled() {
+            obs.metrics.inc("check.sites", sites.len() as u64);
+            obs.metrics
+                .inc("check.conn_methods", conn_methods.len() as u64);
+            obs.metrics
+                .inc("check.retry_loops", retry_loops.len() as u64);
+        }
+        let timing = obs.tracer.is_enabled();
+        let mut t_conn = Duration::ZERO;
+        let mut t_config = Duration::ZERO;
+        let mut t_params = Duration::ZERO;
+        let mut t_notif = Duration::ZERO;
+        let mut t_resp = Duration::ZERO;
 
         let mut report = AppReport::default();
         report.stats.package = app.manifest.package.clone();
@@ -256,8 +340,48 @@ impl NChecker {
             } else {
                 "Request context unknown.".to_owned()
             };
-            let push = |report: &mut AppReport, kind: DefectKind, message: String| {
+            let api = format!(
+                "{}.{}",
+                app.program
+                    .symbols
+                    .resolve(app.program.method(site.method).key.class),
+                site.target.api.name
+            );
+            let site_method = app.display_method(site.method);
+
+            // Every defect's evidence chain starts from the request
+            // itself and the call-graph path that reaches it.
+            let mut base_ev = vec![Evidence::Request {
+                method: site_method.clone(),
+                stmt: site.stmt.0,
+                api: api.clone(),
+            }];
+            if let Some(&entry_idx) = site.entries.first() {
+                if let Some(path) = app
+                    .callgraph
+                    .path(app.entries[entry_idx].method, site.method)
+                {
+                    for edge in path.iter().take(3) {
+                        base_ev.push(Evidence::CallEdge {
+                            caller: app.display_method(edge.caller),
+                            callee: app.display_method(edge.callee),
+                            stmt: edge.stmt.0,
+                        });
+                    }
+                }
+            }
+
+            let push = |report: &mut AppReport,
+                        kind: DefectKind,
+                        message: String,
+                        extra: Vec<Evidence>| {
                 let fix = fix_suggestion(kind, site.library(), site.user_initiated);
+                let mut provenance = base_ev.clone();
+                provenance.extend(extra);
+                if obs.metrics.is_enabled() {
+                    obs.metrics
+                        .inc(&format!("defects.{}", crate::json::kind_id(kind)), 1);
+                }
                 report.defects.push(Report {
                     kind,
                     library: site.library(),
@@ -266,19 +390,13 @@ impl NChecker {
                     context: context.clone(),
                     call_stack: call_stack.clone(),
                     fix,
+                    provenance,
                 });
             };
 
-            let api = format!(
-                "{}.{}",
-                app.program
-                    .symbols
-                    .resolve(app.program.method(site.method).key.class),
-                site.target.api.name
-            );
-
             // §4.4.1 — connectivity. ICC-aware mode also accepts a guard
             // in the component that launched this one.
+            let t0 = timing.then(Instant::now);
             let icc_conn_guard = self.config.icc
                 && site.entries.iter().any(|&e| {
                     app.entries[e]
@@ -297,6 +415,21 @@ impl NChecker {
             } || icc_conn_guard;
             if self.config.connectivity && !conn_ok {
                 report.stats.requests_missing_conn += 1;
+                let mut ev = vec![Evidence::Absence {
+                    what: "connectivity check guarding the request".into(),
+                    scanned: site
+                        .entries
+                        .iter()
+                        .map(|&e| app.entry_reach[e].len())
+                        .max()
+                        .unwrap_or(0),
+                }];
+                if let Some(&m) = conn_methods.iter().next() {
+                    ev.push(Evidence::SummaryFact {
+                        method: app.display_method(m),
+                        what: "observes a connectivity API but does not guard this request".into(),
+                    });
+                }
                 push(
                     &mut report,
                     DefectKind::MissedConnectivityCheck,
@@ -304,39 +437,87 @@ impl NChecker {
                         "Missing network connectivity check before {}",
                         site.target.api.name
                     ),
+                    ev,
                 );
+            }
+            if let Some(t0) = t0 {
+                t_conn += t0.elapsed();
             }
 
             // §4.4.1 — config APIs.
+            let t0 = timing.then(Instant::now);
             let sc = check_config_with(app, site, self.config.interproc);
             let custom = covered_by_retry(app, &retry_loops, site);
+            // IR facts for the config calls the taint analysis attributed
+            // to this request's carrier object, shared by the config and
+            // parameter checks below.
+            let config_call_ev: Vec<Evidence> = sc
+                .config_calls
+                .iter()
+                .take(3)
+                .map(|&(m, s)| Evidence::IrFact {
+                    method: app.display_method(m),
+                    stmt: s.0,
+                    what: "config API call on the request object".into(),
+                })
+                .collect();
             if self.config.timeout && !sc.has_timeout {
                 report.stats.requests_missing_timeout += 1;
+                let mut ev = vec![Evidence::Absence {
+                    what: format!("timeout config API call for {api}"),
+                    scanned: sc.config_calls.len(),
+                }];
+                ev.extend(config_call_ev.iter().cloned());
                 push(
                     &mut report,
                     DefectKind::MissedTimeout,
                     format!("No timeout set for network request {api}"),
+                    ev,
                 );
             }
             if site.library().has_retry_api() {
                 report.stats.retry_capable_requests += 1;
                 if self.config.retry && !sc.has_retry_config && !custom {
                     report.stats.requests_missing_retry += 1;
+                    let ev = vec![Evidence::Absence {
+                        what: format!("retry config API call or custom retry loop for {api}"),
+                        scanned: sc.config_calls.len() + retry_loops.len(),
+                    }];
                     push(
                         &mut report,
                         DefectKind::MissedRetry,
                         format!("No retry policy set for network request {api}"),
+                        ev,
                     );
                 }
+            }
+            if let Some(t0) = t0 {
+                t_config += t0.elapsed();
             }
 
             // §4.4.2 — parameters in context. The paper evaluates retry
             // behaviour only for apps "that use libraries with retry
             // APIs" (Table 8, 91 apps).
+            let t0 = timing.then(Instant::now);
             if self.config.retry_params && site.library().has_retry_api() {
                 // `None` means a retry API was invoked with an unknown
                 // count: retries are enabled.
                 let retries_enabled = sc.effective_retries.map(|n| n > 0).unwrap_or(true);
+                // How the analysis resolved the retry behaviour, shared
+                // by the three parameter-in-context defects.
+                let retry_fact = if sc.retry_default_used {
+                    "library default retry policy in force (no retry API call found)".to_owned()
+                } else {
+                    match sc.effective_retries {
+                        Some(n) => format!("retry count resolved to the constant {n}"),
+                        None => "retry API invoked with a non-constant count".to_owned(),
+                    }
+                };
+                let mut retry_prov = vec![Evidence::SummaryFact {
+                    method: site_method.clone(),
+                    what: retry_fact,
+                }];
+                retry_prov.extend(config_call_ev.iter().cloned());
                 if site.user_initiated && !retries_enabled && !custom {
                     report.stats.no_retry_activity += 1;
                     push(
@@ -344,6 +525,7 @@ impl NChecker {
                         DefectKind::NoRetryInActivity,
                         "Time-sensitive user request performed without retry on transient errors"
                             .to_owned(),
+                        retry_prov.clone(),
                     );
                 }
                 if site.background && retries_enabled {
@@ -358,6 +540,7 @@ impl NChecker {
                             default_caused: sc.retry_default_used,
                         },
                         "Background service request retries on failure, wasting energy".to_owned(),
+                        retry_prov.clone(),
                     );
                 }
                 // When the default is in force, it only bites POSTs if the
@@ -381,13 +564,18 @@ impl NChecker {
                             default_caused: sc.retry_default_used,
                         },
                         "Non-idempotent POST request is automatically retried".to_owned(),
+                        retry_prov.clone(),
                     );
                 }
+            }
+            if let Some(t0) = t0 {
+                t_params += t0.elapsed();
             }
 
             // §4.4.3 — failure notification (user requests only; "the
             // error message is only helpful when the user initiates the
             // request").
+            let t0 = timing.then(Instant::now);
             if self.config.notification && site.user_initiated {
                 report.stats.user_requests += 1;
                 let nf = check_notification(app, site);
@@ -408,11 +596,28 @@ impl NChecker {
                     && icc_send_reachable(app, &icc_sends, nf.callback.unwrap_or(site.method), 3);
                 if !nf.notified && !icc_notified {
                     report.stats.user_requests_missing_notification += 1;
+                    let mut ev = vec![match nf.callback {
+                        Some(cb) => Evidence::SummaryFact {
+                            method: app.display_method(cb),
+                            what: "error callback contains no user-visible notification call"
+                                .into(),
+                        },
+                        None => Evidence::Absence {
+                            what: "explicit error callback for the request".into(),
+                            scanned: 0,
+                        },
+                    }];
+                    ev.push(Evidence::Absence {
+                        what: "failure notification (Toast/dialog/setText) on the error path"
+                            .into(),
+                        scanned: 1,
+                    });
                     push(
                         &mut report,
                         DefectKind::MissedFailureNotification,
                         "No failure notification shown to the user when the request fails"
                             .to_owned(),
+                        ev,
                     );
                 }
                 if let Some(checked) = nf.error_types_checked {
@@ -420,39 +625,85 @@ impl NChecker {
                     if checked {
                         report.stats.typed_error_callbacks_checked += 1;
                     } else {
+                        let ev = vec![Evidence::SummaryFact {
+                            method: app.display_method(nf.callback.unwrap_or(site.method)),
+                            what: "typed error parameter never consulted in the callback body"
+                                .into(),
+                        }];
                         push(
                             &mut report,
                             DefectKind::NoErrorTypeCheck,
                             "Error callback ignores the typed error object".to_owned(),
+                            ev,
                         );
                     }
                 }
             } else if site.user_initiated {
                 report.stats.user_requests += 1;
             }
+            if let Some(t0) = t0 {
+                t_notif += t0.elapsed();
+            }
 
             // §4.4.4 — response validity.
+            let t0 = timing.then(Instant::now);
             if self.config.response {
                 if let Some(rf) = check_response_with(app, site, self.config.interproc) {
                     if !rf.uses.is_empty() {
                         report.stats.responses += 1;
                         if !rf.unchecked_uses.is_empty() {
                             report.stats.responses_missing_check += 1;
+                            let mut ev: Vec<Evidence> = rf
+                                .unchecked_uses
+                                .iter()
+                                .take(3)
+                                .map(|u| Evidence::IrFact {
+                                    method: site_method.clone(),
+                                    stmt: u.0,
+                                    what: "response value used without a dominating validity check"
+                                        .into(),
+                                })
+                                .collect();
+                            ev.push(Evidence::Absence {
+                                what: "null/validity check dominating the response use".into(),
+                                scanned: rf.uses.len(),
+                            });
                             push(
                                 &mut report,
                                 DefectKind::MissedResponseCheck,
                                 "Response used without a validity/null check".to_owned(),
+                                ev,
                             );
                         }
                     }
                 }
             }
+            if let Some(t0) = t0 {
+                t_resp += t0.elapsed();
+            }
+        }
+
+        if timing {
+            let n = sites.len() as u64;
+            obs.tracer.record("connectivity", t_conn, n);
+            obs.tracer.record("config", t_config, n);
+            obs.tracer.record("retry_params", t_params, n);
+            obs.tracer
+                .record("notification", t_notif, report.stats.user_requests as u64);
+            obs.tracer
+                .record("response", t_resp, report.stats.responses as u64);
+        }
+        if obs.metrics.is_enabled() {
+            obs.metrics
+                .inc("check.defects", report.defects.len() as u64);
         }
 
         let sstats = app.summaries().stats();
         report.stats.summary_methods = sstats.methods;
         report.stats.summary_sccs = sstats.sccs;
         report.stats.summary_const_returns = sstats.const_returns;
+        report.stats.summary_largest_scc = sstats.largest_scc;
+        report.stats.summary_field_consts = sstats.field_consts;
         report.stats.summary_hits = app.summaries().hits();
 
         report

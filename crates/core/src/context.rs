@@ -11,6 +11,7 @@ use nck_ir::cfg::Cfg;
 use nck_ir::dom::{dominators, post_dominators, DomTree};
 use nck_ir::loops::{natural_loops, NaturalLoop};
 use nck_netlibs::api::Registry;
+use nck_obs::Obs;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// All dataflow artifacts of one method body, computed once.
@@ -85,21 +86,57 @@ impl<'r> AnalyzedApp<'r> {
     /// Lifts, builds the call graph, discovers entry points, and runs the
     /// per-method dataflow analyses.
     pub fn new(manifest: Manifest, program: Program, registry: &'r Registry) -> AnalyzedApp<'r> {
-        let entries = entry_points(&program, &manifest);
-        let callgraph = CallGraph::build(&program);
-        let entry_reach = entries
-            .iter()
-            .map(|e| callgraph.reachable_from(e.method))
-            .collect();
-        let analyses: BTreeMap<MethodId, MethodAnalysis> = program
-            .iter_methods()
-            .filter_map(|(id, m)| {
-                m.body
-                    .as_ref()
-                    .map(|body| (id, MethodAnalysis::compute(body)))
-            })
-            .collect();
-        let summaries = compute_summaries(&program, &callgraph, registry, &analyses);
+        AnalyzedApp::new_with_obs(manifest, program, registry, &Obs::disabled())
+    }
+
+    /// Like [`AnalyzedApp::new`], recording per-phase spans and metrics
+    /// into `obs`.
+    pub fn new_with_obs(
+        manifest: Manifest,
+        program: Program,
+        registry: &'r Registry,
+        obs: &Obs,
+    ) -> AnalyzedApp<'r> {
+        let _ctx = obs.tracer.span("context");
+        let entries = {
+            let s = obs.tracer.span("entry_points");
+            let entries = entry_points(&program, &manifest);
+            s.add_items(entries.len() as u64);
+            entries
+        };
+        let callgraph = {
+            let _s = obs.tracer.span("callgraph");
+            CallGraph::build(&program)
+        };
+        let entry_reach = {
+            let _s = obs.tracer.span("entry_reach");
+            entries
+                .iter()
+                .map(|e| callgraph.reachable_from(e.method))
+                .collect()
+        };
+        let analyses: BTreeMap<MethodId, MethodAnalysis> = {
+            let s = obs.tracer.span("method_analyses");
+            let analyses: BTreeMap<MethodId, MethodAnalysis> = program
+                .iter_methods()
+                .filter_map(|(id, m)| {
+                    m.body
+                        .as_ref()
+                        .map(|body| (id, MethodAnalysis::compute(body)))
+                })
+                .collect();
+            s.add_items(analyses.len() as u64);
+            analyses
+        };
+        let summaries = {
+            let _s = obs.tracer.span("summaries");
+            compute_summaries(&program, &callgraph, registry, &analyses, obs)
+        };
+        if obs.metrics.is_enabled() {
+            obs.metrics.inc("context.entries", entries.len() as u64);
+            obs.metrics
+                .inc("context.methods_analyzed", analyses.len() as u64);
+        }
         AnalyzedApp {
             manifest,
             program,
@@ -170,6 +207,7 @@ fn compute_summaries(
     callgraph: &CallGraph,
     registry: &Registry,
     analyses: &BTreeMap<MethodId, MethodAnalysis>,
+    obs: &Obs,
 ) -> Summaries {
     let inputs: Vec<MethodInput<'_>> = program
         .methods
@@ -183,27 +221,32 @@ fn compute_summaries(
     let cfgs: Vec<Option<&Cfg>> = (0..inputs.len())
         .map(|i| analyses.get(&MethodId(i as u32)).map(|a| &a.cfg))
         .collect();
-    Summaries::compute_with_cfgs(&inputs, &cfgs, |m, stmt, inv| {
-        let class = program.symbols.resolve(inv.callee.class);
-        let name = program.symbols.resolve(inv.callee.name);
-        if registry.is_connectivity_check(class, name) {
-            return CallKind::Source;
-        }
-        if registry.response_check(class, name).is_some() {
-            return CallKind::CheckSink;
-        }
-        let callees: Vec<usize> = callgraph
-            .callees(MethodId(m as u32))
-            .iter()
-            .filter(|e| e.stmt == stmt && !e.implicit)
-            .map(|e| e.callee.0 as usize)
-            .collect();
-        if callees.is_empty() {
-            CallKind::Opaque
-        } else {
-            CallKind::Callees(callees)
-        }
-    })
+    Summaries::compute_with_cfgs_obs(
+        &inputs,
+        &cfgs,
+        |m, stmt, inv| {
+            let class = program.symbols.resolve(inv.callee.class);
+            let name = program.symbols.resolve(inv.callee.name);
+            if registry.is_connectivity_check(class, name) {
+                return CallKind::Source;
+            }
+            if registry.response_check(class, name).is_some() {
+                return CallKind::CheckSink;
+            }
+            let callees: Vec<usize> = callgraph
+                .callees(MethodId(m as u32))
+                .iter()
+                .filter(|e| e.stmt == stmt && !e.implicit)
+                .map(|e| e.callee.0 as usize)
+                .collect();
+            if callees.is_empty() {
+                CallKind::Opaque
+            } else {
+                CallKind::Callees(callees)
+            }
+        },
+        obs,
+    )
 }
 
 #[cfg(test)]

@@ -2,8 +2,9 @@
 //! integration and the CLI's `--json` mode.
 
 use crate::checker::{AppReport, AppStats};
-use crate::report::{DefectKind, OverRetryContext, Report};
+use crate::report::{DefectKind, Evidence, OverRetryContext, Report};
 use serde_json::{json, Value};
+use std::collections::BTreeMap;
 
 /// A stable machine-readable identifier for a defect kind.
 pub fn kind_id(kind: DefectKind) -> &'static str {
@@ -26,6 +27,22 @@ pub fn kind_id(kind: DefectKind) -> &'static str {
     }
 }
 
+/// Serializes one evidence item of a defect's provenance chain.
+pub fn evidence_to_json(e: &Evidence) -> Value {
+    let kind = match e {
+        Evidence::Request { .. } => "request",
+        Evidence::CallEdge { .. } => "call-edge",
+        Evidence::IrFact { .. } => "ir-fact",
+        Evidence::SummaryFact { .. } => "summary-fact",
+        Evidence::Absence { .. } => "absence",
+    };
+    json!({
+        "kind": kind,
+        "method": e.method().map(str::to_owned),
+        "detail": e.render(),
+    })
+}
+
 /// Serializes one warning report.
 pub fn report_to_json(r: &Report) -> Value {
     let default_caused = match r.kind {
@@ -46,6 +63,7 @@ pub fn report_to_json(r: &Report) -> Value {
         "call_stack": r.call_stack,
         "fix": r.fix,
         "default_caused": default_caused,
+        "provenance": r.provenance.iter().map(evidence_to_json).collect::<Vec<_>>(),
     })
 }
 
@@ -70,8 +88,85 @@ pub fn stats_to_json(s: &AppStats) -> Value {
         "summary_methods": s.summary_methods,
         "summary_sccs": s.summary_sccs,
         "summary_const_returns": s.summary_const_returns,
+        "summary_largest_scc": s.summary_largest_scc,
+        "summary_field_consts": s.summary_field_consts,
         "summary_hits": s.summary_hits,
     })
+}
+
+/// Serializes the observability payload placed under the stable
+/// `"metrics"` key of an app report.
+///
+/// Schema (version 1):
+///
+/// ```text
+/// {
+///   "schema": 1,
+///   "summary_cache": { "methods", "sccs", "largest_scc",
+///                      "const_returns", "field_consts", "hits" },
+///   // present only when the run recorded metrics:
+///   "counters":   { "<name>": u64, ... },
+///   "gauges":     { "<name>": i64, ... },
+///   "histograms": { "<name>": { "bounds": [u64], "counts": [u64],
+///                               "sum": u64, "count": u64 }, ... }
+/// }
+/// ```
+pub fn metrics_to_json(r: &AppReport) -> Value {
+    let s = &r.stats;
+    let mut obj = match json!({
+        "schema": 1,
+        "summary_cache": {
+            "methods": s.summary_methods,
+            "sccs": s.summary_sccs,
+            "largest_scc": s.summary_largest_scc,
+            "const_returns": s.summary_const_returns,
+            "field_consts": s.summary_field_consts,
+            "hits": s.summary_hits,
+        },
+    }) {
+        Value::Object(m) => m,
+        _ => unreachable!(),
+    };
+    if let Some(snap) = &r.metrics {
+        obj.insert(
+            "counters".to_owned(),
+            Value::Object(
+                snap.counters
+                    .iter()
+                    .map(|(k, v)| (k.clone(), json!(v)))
+                    .collect::<BTreeMap<_, _>>(),
+            ),
+        );
+        obj.insert(
+            "gauges".to_owned(),
+            Value::Object(
+                snap.gauges
+                    .iter()
+                    .map(|(k, v)| (k.clone(), json!(v)))
+                    .collect::<BTreeMap<_, _>>(),
+            ),
+        );
+        obj.insert(
+            "histograms".to_owned(),
+            Value::Object(
+                snap.histograms
+                    .iter()
+                    .map(|(k, h)| {
+                        (
+                            k.clone(),
+                            json!({
+                                "bounds": h.bounds,
+                                "counts": h.counts,
+                                "sum": h.sum,
+                                "count": h.count,
+                            }),
+                        )
+                    })
+                    .collect::<BTreeMap<_, _>>(),
+            ),
+        );
+    }
+    Value::Object(obj)
 }
 
 /// Serializes a full app report.
@@ -79,6 +174,7 @@ pub fn app_report_to_json(r: &AppReport) -> Value {
     json!({
         "stats": stats_to_json(&r.stats),
         "defects": r.defects.iter().map(report_to_json).collect::<Vec<_>>(),
+        "metrics": metrics_to_json(r),
     })
 }
 
@@ -104,6 +200,17 @@ mod tests {
             context: "user".into(),
             call_stack: vec!["a".into(), "b".into()],
             fix: "disable".into(),
+            provenance: vec![
+                Evidence::Request {
+                    method: "Lcom/app/Main;.onCreate".into(),
+                    stmt: 12,
+                    api: "RequestQueue.add".into(),
+                },
+                Evidence::Absence {
+                    what: "retry limit".into(),
+                    scanned: 2,
+                },
+            ],
         }
     }
 
@@ -114,6 +221,40 @@ mod tests {
         assert_eq!(v["default_caused"], true);
         assert_eq!(v["location"]["stmt"], 12);
         assert_eq!(v["library"], "Volley");
+    }
+
+    #[test]
+    fn report_json_carries_provenance() {
+        let v = report_to_json(&sample_report());
+        let prov = v["provenance"].as_array().unwrap();
+        assert_eq!(prov.len(), 2);
+        assert_eq!(prov[0]["kind"], "request");
+        assert_eq!(prov[0]["method"], "Lcom/app/Main;.onCreate");
+        assert_eq!(prov[1]["kind"], "absence");
+        assert_eq!(prov[1]["method"], Value::Null);
+    }
+
+    #[test]
+    fn app_report_json_has_stable_metrics_key() {
+        let mut report = AppReport::default();
+        report.stats.summary_methods = 7;
+        report.stats.summary_hits = 3;
+        // Without a snapshot: schema + summary_cache only.
+        let v = app_report_to_json(&report);
+        assert_eq!(v["metrics"]["schema"], 1);
+        assert_eq!(v["metrics"]["summary_cache"]["methods"], 7);
+        assert_eq!(v["metrics"]["summary_cache"]["hits"], 3);
+        assert_eq!(v["metrics"]["counters"], Value::Null);
+        // With a snapshot: counters, gauges, and histograms appear.
+        let m = nck_obs::Metrics::enabled();
+        m.inc("parse.classes", 4);
+        m.gauge("summary.largest_scc", 2);
+        m.observe("summary.scc_size", 2);
+        report.metrics = Some(m.snapshot());
+        let v = app_report_to_json(&report);
+        assert_eq!(v["metrics"]["counters"]["parse.classes"], 4);
+        assert_eq!(v["metrics"]["gauges"]["summary.largest_scc"], 2);
+        assert_eq!(v["metrics"]["histograms"]["summary.scc_size"]["count"], 1);
     }
 
     #[test]

@@ -68,8 +68,10 @@ pub use callgraph::{CallEdge, CallGraph};
 pub use checker::{AnalyzeError, AppReport, AppStats, CheckerConfig, NChecker};
 pub use context::{AnalyzedApp, MethodAnalysis};
 pub use icc::{find_icc_sends, IccKind, IccSend};
-pub use json::{app_report_to_json, kind_id, report_to_json, stats_to_json};
+pub use json::{
+    app_report_to_json, evidence_to_json, kind_id, metrics_to_json, report_to_json, stats_to_json,
+};
 pub use reach::{find_request_sites, RequestSite};
-pub use report::{fix_suggestion, DefectKind, Location, OverRetryContext, Report};
+pub use report::{fix_suggestion, DefectKind, Evidence, Location, OverRetryContext, Report};
 pub use retry::{covered_by_retry, find_retry_loops, RetryKind, RetryLoop};
 pub use stats::{CorpusStats, Table6Row, Table8Row};

@@ -101,6 +101,88 @@ impl std::fmt::Display for Location {
     }
 }
 
+/// One link in a defect's evidence chain: the concrete analysis fact
+/// that led NChecker to report the defect. Together the chain explains
+/// *why* the warning fired — which request, which call-graph edges the
+/// analysis walked, which IR statements and summary facts it consulted,
+/// and what it looked for but did not find.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Evidence {
+    /// The network request the defect is about.
+    Request {
+        /// Method containing the request statement.
+        method: String,
+        /// Statement index of the request.
+        stmt: u32,
+        /// The invoked library API, `Class.name` form.
+        api: String,
+    },
+    /// A call-graph edge the analysis followed from an entry point.
+    CallEdge {
+        /// Calling method.
+        caller: String,
+        /// Called method.
+        callee: String,
+        /// Call-site statement index in the caller.
+        stmt: u32,
+    },
+    /// A statement-level IR fact.
+    IrFact {
+        /// Method the statement belongs to.
+        method: String,
+        /// Statement index.
+        stmt: u32,
+        /// What the statement shows.
+        what: String,
+    },
+    /// A fact proved by an interprocedural method summary.
+    SummaryFact {
+        /// The summarized method.
+        method: String,
+        /// The proven fact.
+        what: String,
+    },
+    /// Something the analysis searched for and did not find.
+    Absence {
+        /// What was missing.
+        what: String,
+        /// How many candidates were examined before concluding absence.
+        scanned: usize,
+    },
+}
+
+impl Evidence {
+    /// Renders the evidence item as one human-readable line.
+    pub fn render(&self) -> String {
+        match self {
+            Evidence::Request { method, stmt, api } => {
+                format!("request {api} at {method}:{stmt}")
+            }
+            Evidence::CallEdge {
+                caller,
+                callee,
+                stmt,
+            } => format!("call edge {caller} -> {callee} (stmt {stmt})"),
+            Evidence::IrFact { method, stmt, what } => format!("{method}:{stmt}: {what}"),
+            Evidence::SummaryFact { method, what } => format!("summary({method}): {what}"),
+            Evidence::Absence { what, scanned } => {
+                format!("not found: {what} ({scanned} candidates examined)")
+            }
+        }
+    }
+
+    /// The app method this evidence names, when it names one.
+    pub fn method(&self) -> Option<&str> {
+        match self {
+            Evidence::Request { method, .. }
+            | Evidence::IrFact { method, .. }
+            | Evidence::SummaryFact { method, .. } => Some(method),
+            Evidence::CallEdge { caller, .. } => Some(caller),
+            Evidence::Absence { .. } => None,
+        }
+    }
+}
+
 /// One NChecker warning (Figure 7).
 #[derive(Debug, Clone)]
 pub struct Report {
@@ -118,6 +200,8 @@ pub struct Report {
     pub call_stack: Vec<String>,
     /// Fix suggestion.
     pub fix: String,
+    /// Evidence chain: the analysis facts behind this warning.
+    pub provenance: Vec<Evidence>,
 }
 
 impl Report {
@@ -137,6 +221,12 @@ impl Report {
         }
         out.push_str("Fix Suggestion\n");
         out.push_str(&format!("  {}\n", self.fix));
+        if !self.provenance.is_empty() {
+            out.push_str("Evidence\n");
+            for e in &self.provenance {
+                out.push_str(&format!("  - {}\n", e.render()));
+            }
+        }
         out
     }
 }
@@ -228,6 +318,17 @@ mod tests {
                 Library::BasicHttpClient,
                 true,
             ),
+            provenance: vec![
+                Evidence::Request {
+                    method: "LOpenGTSClient;.sendHttp".into(),
+                    stmt: 115,
+                    api: "HttpClient.get".into(),
+                },
+                Evidence::Absence {
+                    what: "connectivity check guarding the request".into(),
+                    scanned: 4,
+                },
+            ],
         };
         let text = r.render();
         assert!(text.contains("NPD Information"));
@@ -236,6 +337,28 @@ mod tests {
         assert!(text.contains("call stack"));
         assert!(text.contains("GpsMainActivity: 756"));
         assert!(text.contains("Show error message if no connection"));
+        // The evidence section trails the Figure 7 sections.
+        let fix_at = text.find("Fix Suggestion").unwrap();
+        let ev_at = text.find("Evidence").unwrap();
+        assert!(ev_at > fix_at);
+        assert!(text.contains("request HttpClient.get at LOpenGTSClient;.sendHttp:115"));
+        assert!(text.contains("not found: connectivity check"));
+    }
+
+    #[test]
+    fn evidence_names_methods() {
+        let e = Evidence::CallEdge {
+            caller: "La/Main;.onCreate".into(),
+            callee: "La/Helper;.run".into(),
+            stmt: 3,
+        };
+        assert_eq!(e.method(), Some("La/Main;.onCreate"));
+        assert!(e.render().contains("->"));
+        let a = Evidence::Absence {
+            what: "x".into(),
+            scanned: 0,
+        };
+        assert_eq!(a.method(), None);
     }
 
     #[test]

@@ -251,7 +251,26 @@ impl Summaries {
     pub fn compute_with_cfgs<F>(
         methods: &[MethodInput<'_>],
         cfgs: &[Option<&Cfg>],
+        classify: F,
+    ) -> Summaries
+    where
+        F: FnMut(usize, StmtId, &InvokeExpr) -> CallKind,
+    {
+        Summaries::compute_with_cfgs_obs(methods, cfgs, classify, &nck_obs::Obs::disabled())
+    }
+
+    /// [`Summaries::compute_with_cfgs`] with observability: records a
+    /// `scc_fixpoint` span per recursive (size > 1) component, an SCC
+    /// size histogram (`summary.scc_size`), fixpoint iteration and
+    /// per-method solve counters (`summary.fixpoint_iters`,
+    /// `summary.method_passes`), field refinement rounds
+    /// (`summary.field_rounds`), and the final [`SummaryStats`] as
+    /// `summary.*` counters.
+    pub fn compute_with_cfgs_obs<F>(
+        methods: &[MethodInput<'_>],
+        cfgs: &[Option<&Cfg>],
         mut classify: F,
+        obs: &nck_obs::Obs,
     ) -> Summaries
     where
         F: FnMut(usize, StmtId, &InvokeExpr) -> CallKind,
@@ -285,6 +304,14 @@ impl Summaries {
 
         // Tarjan emits components callees-first: exactly bottom-up order.
         let components = tarjan_sccs(n, &succs);
+        if obs.metrics.is_enabled() {
+            for comp in &components {
+                obs.metrics.observe("summary.scc_size", comp.len() as u64);
+            }
+        }
+        // Fixpoint effort counters, written once at the end.
+        let fixpoint_iters = std::cell::Cell::new(0u64);
+        let method_passes = std::cell::Cell::new(0u64);
 
         // Reverse edges and self-loops drive the incremental recompute:
         // a changed summary only dirties its callers, and a singleton
@@ -351,12 +378,18 @@ impl Summaries {
                 } else {
                     MAX_SCC_ITERS
                 };
+                let span = (comp.len() > 1).then(|| obs.tracer.span("scc_fixpoint"));
+                if let Some(s) = &span {
+                    s.add_items(comp.len() as u64);
+                }
                 for _ in 0..max_iters {
+                    fixpoint_iters.set(fixpoint_iters.get() + 1);
                     let mut changed = false;
                     for &m in comp {
                         let Some(body) = methods[m].body else {
                             continue;
                         };
+                        method_passes.set(method_passes.get() + 1);
                         let cfg = cfgs[m].expect("cfg exists for body");
                         let analysis = IpAnalysis {
                             n_locals: body.locals.len(),
@@ -388,7 +421,10 @@ impl Summaries {
         // the transitive callers of anything that shifted.
         let mut stable = false;
         let mut dirty: BTreeSet<usize> = (0..n).collect();
+        let mut field_rounds = 0u64;
         for _ in 0..MAX_FIELD_ROUNDS {
+            field_rounds += 1;
+            let _round = obs.tracer.span("field_round");
             recompute(&mut summaries, &mut sols, &field_consts, &mut dirty);
             let next = collect_field_consts(methods, &sols);
             if next == field_consts {
@@ -406,6 +442,8 @@ impl Summaries {
             field_consts = next;
         }
         if !stable {
+            field_rounds += 1;
+            let _round = obs.tracer.span("field_round");
             let mut all: BTreeSet<usize> = (0..n).collect();
             recompute(&mut summaries, &mut sols, &field_consts, &mut all);
         }
@@ -427,6 +465,22 @@ impl Summaries {
                 .filter(|v| matches!(v, CVal::Int(_) | CVal::Str(_) | CVal::Null))
                 .count(),
         };
+
+        if obs.metrics.is_enabled() {
+            obs.metrics.inc("summary.methods", stats.methods as u64);
+            obs.metrics.inc("summary.sccs", stats.sccs as u64);
+            obs.metrics
+                .gauge("summary.largest_scc", stats.largest_scc as i64);
+            obs.metrics
+                .inc("summary.const_returns", stats.const_returns as u64);
+            obs.metrics
+                .inc("summary.field_consts", stats.field_consts as u64);
+            obs.metrics
+                .inc("summary.fixpoint_iters", fixpoint_iters.get());
+            obs.metrics
+                .inc("summary.method_passes", method_passes.get());
+            obs.metrics.inc("summary.field_rounds", field_rounds);
+        }
 
         Summaries {
             summaries,

@@ -1,0 +1,128 @@
+//! Leveled diagnostics on stderr.
+//!
+//! Replaces ad hoc `eprintln!` scattered through the drivers: every
+//! human-facing diagnostic goes through an [`Events`] handle whose
+//! verbosity the CLI sets from `--quiet`/`-v`/`-vv`. Machine output
+//! (stdout, JSON) never goes through here, so raising or silencing
+//! verbosity cannot corrupt it.
+
+use std::io::Write;
+
+/// Diagnostic severity, most severe first.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Failures the user must see (still suppressed by `--quiet`).
+    Error,
+    /// Suspicious but non-fatal conditions (the default ceiling).
+    Warn,
+    /// Per-app progress (`-v`).
+    Info,
+    /// Per-phase detail (`-vv`).
+    Debug,
+}
+
+impl std::fmt::Display for Level {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        })
+    }
+}
+
+/// A verbosity-gated stderr stream.
+#[derive(Clone, Debug)]
+pub struct Events {
+    ceiling: Option<Level>,
+}
+
+impl Default for Events {
+    fn default() -> Events {
+        Events::at(Level::Warn)
+    }
+}
+
+impl Events {
+    /// Emits everything up to and including `ceiling`.
+    pub fn at(ceiling: Level) -> Events {
+        Events {
+            ceiling: Some(ceiling),
+        }
+    }
+
+    /// Emits nothing at all (`--quiet`).
+    pub fn silent() -> Events {
+        Events { ceiling: None }
+    }
+
+    /// Whether a message at `level` would be written.
+    pub fn would_log(&self, level: Level) -> bool {
+        self.ceiling.is_some_and(|c| level <= c)
+    }
+
+    /// Writes `msg` to stderr when `level` clears the ceiling. Errors
+    /// print bare (they are the primary channel content); lower levels
+    /// carry a `level:` prefix.
+    pub fn emit(&self, level: Level, msg: &str) {
+        if !self.would_log(level) {
+            return;
+        }
+        let mut err = std::io::stderr().lock();
+        let _ = match level {
+            Level::Error => writeln!(err, "{msg}"),
+            _ => writeln!(err, "{level}: {msg}"),
+        };
+    }
+
+    /// [`Events::emit`] at [`Level::Error`].
+    pub fn error(&self, msg: &str) {
+        self.emit(Level::Error, msg);
+    }
+
+    /// [`Events::emit`] at [`Level::Warn`].
+    pub fn warn(&self, msg: &str) {
+        self.emit(Level::Warn, msg);
+    }
+
+    /// [`Events::emit`] at [`Level::Info`].
+    pub fn info(&self, msg: &str) {
+        self.emit(Level::Info, msg);
+    }
+
+    /// [`Events::emit`] at [`Level::Debug`].
+    pub fn debug(&self, msg: &str) {
+        self.emit(Level::Debug, msg);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_ceiling_admits_errors_and_warnings_only() {
+        let e = Events::default();
+        assert!(e.would_log(Level::Error));
+        assert!(e.would_log(Level::Warn));
+        assert!(!e.would_log(Level::Info));
+        assert!(!e.would_log(Level::Debug));
+    }
+
+    #[test]
+    fn verbose_ceilings_widen_monotonically() {
+        let v = Events::at(Level::Info);
+        assert!(v.would_log(Level::Info));
+        assert!(!v.would_log(Level::Debug));
+        let vv = Events::at(Level::Debug);
+        assert!(vv.would_log(Level::Debug));
+    }
+
+    #[test]
+    fn silent_suppresses_everything_including_errors() {
+        let q = Events::silent();
+        assert!(!q.would_log(Level::Error));
+        q.error("never shown"); // must not panic
+    }
+}

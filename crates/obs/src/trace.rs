@@ -1,0 +1,471 @@
+//! Hierarchical wall-time spans.
+//!
+//! A [`Tracer`] records a tree of named spans for one pipeline run
+//! (normally: one analyzed app). Spans nest by construction order — the
+//! most recently opened, not-yet-dropped span is the parent of the next
+//! one — so RAII scoping yields the phase hierarchy with no explicit
+//! parent bookkeeping. [`Tracer::record`] additionally admits
+//! pre-measured durations, which the checker loop uses to report
+//! per-check costs accumulated across many request sites as one span.
+//!
+//! A tracer is meant to be driven from one thread at a time (the
+//! pipeline is sequential per app); corpus runners give each worker its
+//! own tracer and aggregate the resulting [`PipelineTrace`]s into
+//! [`PhaseTotals`].
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+#[derive(Debug)]
+struct SpanRec {
+    name: String,
+    parent: Option<usize>,
+    start: Instant,
+    dur: Option<Duration>,
+    items: u64,
+}
+
+#[derive(Debug, Default)]
+struct TraceState {
+    spans: Vec<SpanRec>,
+    /// Indices of currently open spans, innermost last.
+    stack: Vec<usize>,
+}
+
+/// Records spans into a shared, per-run buffer. Cloning shares the
+/// buffer; a disabled tracer records nothing.
+#[derive(Clone, Debug, Default)]
+pub struct Tracer {
+    inner: Option<Arc<Mutex<TraceState>>>,
+}
+
+impl Tracer {
+    /// A live tracer with an empty span buffer.
+    pub fn enabled() -> Tracer {
+        Tracer {
+            inner: Some(Arc::new(Mutex::new(TraceState::default()))),
+        }
+    }
+
+    /// A tracer that records nothing.
+    pub fn disabled() -> Tracer {
+        Tracer::default()
+    }
+
+    /// Whether spans are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Opens a span named `name` under the innermost open span. The span
+    /// closes (and its duration is fixed) when the guard drops.
+    pub fn span(&self, name: &str) -> Span {
+        let Some(inner) = &self.inner else {
+            return Span {
+                state: None,
+                idx: 0,
+            };
+        };
+        let mut st = inner.lock().expect("tracer lock");
+        let parent = st.stack.last().copied();
+        let idx = st.spans.len();
+        st.spans.push(SpanRec {
+            name: name.to_owned(),
+            parent,
+            start: Instant::now(),
+            dur: None,
+            items: 0,
+        });
+        st.stack.push(idx);
+        Span {
+            state: Some(Arc::clone(inner)),
+            idx,
+        }
+    }
+
+    /// Records an already-measured span of `dur` with `items` under the
+    /// innermost open span — for costs accumulated outside RAII scoping.
+    pub fn record(&self, name: &str, dur: Duration, items: u64) {
+        let Some(inner) = &self.inner else { return };
+        let mut st = inner.lock().expect("tracer lock");
+        let parent = st.stack.last().copied();
+        st.spans.push(SpanRec {
+            name: name.to_owned(),
+            parent,
+            start: Instant::now(),
+            dur: Some(dur),
+            items,
+        });
+    }
+
+    /// Snapshots the recorded spans as a tree. Spans still open are
+    /// reported with their elapsed-so-far duration.
+    pub fn finish(&self) -> PipelineTrace {
+        let Some(inner) = &self.inner else {
+            return PipelineTrace::default();
+        };
+        let st = inner.lock().expect("tracer lock");
+        let mut nodes: Vec<SpanNode> = st
+            .spans
+            .iter()
+            .map(|s| SpanNode {
+                name: s.name.clone(),
+                nanos: s.dur.unwrap_or_else(|| s.start.elapsed()).as_nanos() as u64,
+                items: s.items,
+                children: Vec::new(),
+            })
+            .collect();
+        // Children were pushed after their parents, so draining from the
+        // back reattaches each node before its own parent is moved.
+        let mut roots = Vec::new();
+        for i in (0..nodes.len()).rev() {
+            let node = std::mem::replace(
+                &mut nodes[i],
+                SpanNode {
+                    name: String::new(),
+                    nanos: 0,
+                    items: 0,
+                    children: Vec::new(),
+                },
+            );
+            match st.spans[i].parent {
+                Some(p) => nodes[p].children.insert(0, node),
+                None => roots.insert(0, node),
+            }
+        }
+        PipelineTrace { roots }
+    }
+}
+
+/// RAII guard for an open span.
+#[derive(Debug)]
+pub struct Span {
+    state: Option<Arc<Mutex<TraceState>>>,
+    idx: usize,
+}
+
+impl Span {
+    /// Adds `n` to the span's item count (methods lifted, sites checked,
+    /// ...).
+    pub fn add_items(&self, n: u64) {
+        if let Some(state) = &self.state {
+            let mut st = state.lock().expect("tracer lock");
+            st.spans[self.idx].items += n;
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(state) = &self.state else { return };
+        let mut st = state.lock().expect("tracer lock");
+        let rec = &mut st.spans[self.idx];
+        if rec.dur.is_none() {
+            rec.dur = Some(rec.start.elapsed());
+        }
+        // Close this span and anything opened under it that outlived its
+        // guard (robust against out-of-order drops).
+        while let Some(&top) = st.stack.last() {
+            st.stack.pop();
+            if top == self.idx {
+                break;
+            }
+        }
+    }
+}
+
+/// One finished span in the tree.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanNode {
+    /// Span name (phase name).
+    pub name: String,
+    /// Wall time in nanoseconds.
+    pub nanos: u64,
+    /// Item count attributed to the span.
+    pub items: u64,
+    /// Nested spans, in open order.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    /// Wall time in milliseconds.
+    pub fn millis(&self) -> f64 {
+        self.nanos as f64 / 1e6
+    }
+}
+
+/// The span tree of one pipeline run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PipelineTrace {
+    /// Top-level spans, in open order.
+    pub roots: Vec<SpanNode>,
+}
+
+impl PipelineTrace {
+    /// Depth-first search for the first span named `name`.
+    pub fn find(&self, name: &str) -> Option<&SpanNode> {
+        fn dfs<'a>(nodes: &'a [SpanNode], name: &str) -> Option<&'a SpanNode> {
+            for n in nodes {
+                if n.name == name {
+                    return Some(n);
+                }
+                if let Some(hit) = dfs(&n.children, name) {
+                    return Some(hit);
+                }
+            }
+            None
+        }
+        dfs(&self.roots, name)
+    }
+
+    /// Every `(path, span)` pair, where `path` joins span names with
+    /// `/` from the root (`app/context/summaries`).
+    pub fn flatten(&self) -> Vec<(String, &SpanNode)> {
+        fn walk<'a>(nodes: &'a [SpanNode], prefix: &str, out: &mut Vec<(String, &'a SpanNode)>) {
+            for n in nodes {
+                let path = if prefix.is_empty() {
+                    n.name.clone()
+                } else {
+                    format!("{prefix}/{}", n.name)
+                };
+                walk(&n.children, &path, out);
+                out.push((path, n));
+            }
+        }
+        let mut out = Vec::new();
+        walk(&self.roots, "", &mut out);
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Renders the tree with durations and item counts, one span per
+    /// line, indented by depth.
+    pub fn render(&self) -> String {
+        fn walk(nodes: &[SpanNode], depth: usize, out: &mut String) {
+            for n in nodes {
+                out.push_str(&"  ".repeat(depth));
+                out.push_str(&format!("{} {:.3} ms", n.name, n.millis()));
+                if n.items > 0 {
+                    out.push_str(&format!(" ({} items)", n.items));
+                }
+                out.push('\n');
+                walk(&n.children, depth + 1, out);
+            }
+        }
+        let mut out = String::new();
+        walk(&self.roots, 0, &mut out);
+        out
+    }
+}
+
+/// Aggregate of one span path across many runs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseTotal {
+    /// Total wall time in nanoseconds.
+    pub nanos: u64,
+    /// Total item count.
+    pub items: u64,
+    /// Number of spans folded in.
+    pub count: u64,
+}
+
+impl PhaseTotal {
+    /// Total wall time in milliseconds.
+    pub fn millis(&self) -> f64 {
+        self.nanos as f64 / 1e6
+    }
+}
+
+/// Per-phase totals accumulated over a corpus, keyed by span path.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PhaseTotals {
+    totals: BTreeMap<String, PhaseTotal>,
+}
+
+impl PhaseTotals {
+    /// An empty accumulator.
+    pub fn new() -> PhaseTotals {
+        PhaseTotals::default()
+    }
+
+    /// Folds every span of `trace` in, keyed by its path.
+    pub fn absorb(&mut self, trace: &PipelineTrace) {
+        for (path, node) in trace.flatten() {
+            let t = self.totals.entry(path).or_default();
+            t.nanos += node.nanos;
+            t.items += node.items;
+            t.count += 1;
+        }
+    }
+
+    /// Merges another accumulator in (for per-worker accumulators).
+    pub fn merge(&mut self, other: &PhaseTotals) {
+        for (path, o) in &other.totals {
+            let t = self.totals.entry(path.clone()).or_default();
+            t.nanos += o.nanos;
+            t.items += o.items;
+            t.count += o.count;
+        }
+    }
+
+    /// Iterates `(path, total)` in path order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &PhaseTotal)> {
+        self.totals.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Whether nothing was absorbed yet.
+    pub fn is_empty(&self) -> bool {
+        self.totals.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_by_scope() {
+        let t = Tracer::enabled();
+        {
+            let _a = t.span("a");
+            {
+                let _b = t.span("b");
+                let _c = t.span("c");
+            }
+            let _d = t.span("d");
+        }
+        let _e = t.span("e");
+        drop(_e);
+        let trace = t.finish();
+        assert_eq!(trace.roots.len(), 2);
+        assert_eq!(trace.roots[0].name, "a");
+        assert_eq!(trace.roots[1].name, "e");
+        let a = &trace.roots[0];
+        assert_eq!(
+            a.children
+                .iter()
+                .map(|c| c.name.as_str())
+                .collect::<Vec<_>>(),
+            ["b", "d"]
+        );
+        assert_eq!(a.children[0].children[0].name, "c");
+    }
+
+    #[test]
+    fn parent_duration_dominates_children() {
+        let t = Tracer::enabled();
+        {
+            let _p = t.span("parent");
+            {
+                let _c = t.span("child");
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+        let trace = t.finish();
+        let p = &trace.roots[0];
+        let c = &p.children[0];
+        assert!(c.nanos > 0, "child measured nothing");
+        assert!(
+            p.nanos >= c.nanos,
+            "parent {} ns < child {} ns",
+            p.nanos,
+            c.nanos
+        );
+    }
+
+    #[test]
+    fn sequential_spans_have_monotone_nonnegative_durations() {
+        let t = Tracer::enabled();
+        for i in 0..5 {
+            let s = t.span("step");
+            s.add_items(i);
+            drop(s);
+        }
+        let trace = t.finish();
+        assert_eq!(trace.roots.len(), 5);
+        // All durations are finite and recorded (no still-open spans).
+        for r in &trace.roots {
+            assert!(r.nanos < u64::MAX);
+        }
+        let total_items: u64 = trace.roots.iter().map(|r| r.items).sum();
+        assert_eq!(total_items, 1 + 2 + 3 + 4);
+    }
+
+    #[test]
+    fn record_attaches_premeasured_spans_under_the_open_span() {
+        let t = Tracer::enabled();
+        {
+            let _p = t.span("checks");
+            t.record("connectivity", Duration::from_micros(120), 4);
+            t.record("response", Duration::from_micros(30), 2);
+        }
+        let trace = t.finish();
+        let p = &trace.roots[0];
+        assert_eq!(p.children.len(), 2);
+        assert_eq!(p.children[0].name, "connectivity");
+        assert_eq!(p.children[0].nanos, 120_000);
+        assert_eq!(p.children[0].items, 4);
+    }
+
+    #[test]
+    fn find_and_flatten_address_spans_by_path() {
+        let t = Tracer::enabled();
+        {
+            let _a = t.span("app");
+            {
+                let _b = t.span("context");
+                let s = t.span("summaries");
+                s.add_items(9);
+            }
+        }
+        let trace = t.finish();
+        assert_eq!(trace.find("summaries").unwrap().items, 9);
+        let flat = trace.flatten();
+        assert!(flat.iter().any(|(p, _)| p == "app/context/summaries"));
+    }
+
+    #[test]
+    fn phase_totals_aggregate_across_traces() {
+        let mut totals = PhaseTotals::new();
+        for _ in 0..3 {
+            let t = Tracer::enabled();
+            {
+                let _a = t.span("app");
+                t.record("parse", Duration::from_millis(1), 10);
+            }
+            totals.absorb(&t.finish());
+        }
+        let parse = totals
+            .iter()
+            .find(|(p, _)| *p == "app/parse")
+            .map(|(_, t)| *t)
+            .unwrap();
+        assert_eq!(parse.count, 3);
+        assert_eq!(parse.items, 30);
+        assert_eq!(parse.nanos, 3_000_000);
+
+        let mut other = PhaseTotals::new();
+        other.merge(&totals);
+        other.merge(&totals);
+        let doubled = other
+            .iter()
+            .find(|(p, _)| *p == "app/parse")
+            .map(|(_, t)| *t)
+            .unwrap();
+        assert_eq!(doubled.count, 6);
+    }
+
+    #[test]
+    fn render_shows_durations_and_items() {
+        let t = Tracer::enabled();
+        {
+            let s = t.span("lift");
+            s.add_items(12);
+        }
+        let text = t.finish().render();
+        assert!(text.contains("lift"));
+        assert!(text.contains("ms"));
+        assert!(text.contains("(12 items)"));
+    }
+}

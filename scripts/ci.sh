@@ -4,7 +4,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "==> cargo build --release"
-cargo build --release
+cargo build --workspace --release
 
 echo "==> cargo test --workspace"
 cargo test --workspace --quiet
@@ -14,5 +14,27 @@ cargo clippy --workspace --all-targets --quiet -- -D warnings
 
 echo "==> cargo fmt --check"
 cargo fmt --all --check
+
+echo "==> observability smoke test"
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+./target/release/genapp gpslogger "$smoke_dir/app.apk"
+./target/release/nchecker --json --metrics "$smoke_dir/app.apk" > "$smoke_dir/report.json"
+python3 - "$smoke_dir/report.json" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+metrics = doc["metrics"]
+assert metrics["schema"] == 1, "metrics schema version changed"
+assert "summary_cache" in metrics, "metrics lacks summary_cache"
+assert metrics["counters"], "metrics lacks recorded counters"
+assert doc["defects"], "smoke app produced no defects"
+for defect in doc["defects"]:
+    assert defect["provenance"], f"defect {defect['kind']} lacks provenance"
+    assert defect["provenance"][0]["kind"] == "request"
+print(f"smoke ok: {len(doc['defects'])} defects, "
+      f"{len(metrics['counters'])} counters, provenance present")
+EOF
 
 echo "CI green."
