@@ -12,10 +12,12 @@
 
 pub mod gen;
 pub mod interproc_suite;
+pub mod mutate;
 pub mod opensource;
 pub mod profile;
 pub mod spec;
 pub mod studyapps;
 
 pub use gen::generate;
+pub use mutate::{mutate, Expectation, Mutation, MutationKind, Outcome};
 pub use spec::{AppSpec, ConnCheck, Notification, Origin, RequestSpec, RespCheck, RetryShape};

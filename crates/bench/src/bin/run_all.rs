@@ -5,7 +5,7 @@
 //! `BENCH_pipeline.json`.
 
 use nchecker::{CheckerConfig, CorpusStats};
-use nck_bench::{aggregate, collect_obs, downsample, run_specs_with, SEED};
+use nck_bench::{aggregate, collect_obs, downsample, try_run_specs_with, SEED};
 use nck_obs::{MetricsSnapshot, Obs, PhaseTotals};
 use serde_json::{json, Value};
 use std::collections::BTreeMap;
@@ -74,18 +74,25 @@ fn pipeline_json(
 fn main() {
     let specs = nck_appgen::profile::corpus(SEED);
     let start = std::time::Instant::now();
-    let reports = run_specs_with(&specs, CheckerConfig::default(), &Obs::enabled());
+    let outcome = try_run_specs_with(&specs, CheckerConfig::default(), &Obs::enabled());
     let elapsed = start.elapsed();
+    for f in &outcome.failures {
+        eprintln!("FAILED {f}");
+    }
+    let failed = outcome.failures.len();
+    let degraded = outcome.degraded_count();
+    let reports = outcome.into_succeeded();
     let stats = aggregate(&reports);
     let (phases, metrics) = collect_obs(&reports);
 
     println!("=== NChecker full evaluation (seed {SEED}) ===");
     println!(
-        "analyzed {} apps in {:.2?} ({:.0} ms/app)\n",
+        "analyzed {} apps in {:.2?} ({:.0} ms/app)",
         stats.len(),
         elapsed,
         elapsed.as_millis() as f64 / stats.len() as f64
     );
+    println!("faults: {failed} apps failed, {degraded} analyzed degraded\n");
 
     println!(
         "Headline (Section 5.2): {} NPDs in {} of {} apps",
@@ -177,4 +184,7 @@ fn main() {
     let out = serde_json::to_string_pretty(&doc).expect("pipeline doc serializes");
     std::fs::write("BENCH_pipeline.json", out).expect("write BENCH_pipeline.json");
     println!("\nwrote BENCH_pipeline.json");
+    if failed > 0 {
+        std::process::exit(1);
+    }
 }

@@ -1,13 +1,64 @@
 //! Shared harness for the experiment binaries: corpus runner and text
 //! rendering helpers.
 
-use nchecker::{AppReport, CheckerConfig, CorpusStats, NChecker};
+use nchecker::{AnalyzeError, AppReport, CheckerConfig, CorpusStats, NChecker};
 use nck_appgen::profile::corpus;
 use nck_appgen::spec::AppSpec;
 use nck_obs::{MetricsSnapshot, Obs, PhaseTotals};
 
 /// The seed all experiment binaries use, so every table is reproducible.
 pub const SEED: u64 = 2016;
+
+/// One app of a corpus run that could not be analyzed.
+#[derive(Debug)]
+pub struct AppFailure {
+    /// Index of the app in the spec list.
+    pub index: usize,
+    /// Package name from the spec (available even when generation or
+    /// parsing failed).
+    pub package: String,
+    /// What went wrong.
+    pub error: AnalyzeError,
+}
+
+impl std::fmt::Display for AppFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "app #{} ({}): {}", self.index, self.package, self.error)
+    }
+}
+
+/// The result of a fault-tolerant corpus run: per-slot reports (`None`
+/// where the app failed) plus the failure records.
+#[derive(Debug, Default)]
+pub struct CorpusOutcome {
+    /// One slot per input spec, in order.
+    pub reports: Vec<Option<AppReport>>,
+    /// Apps that failed to generate or analyze, in index order.
+    pub failures: Vec<AppFailure>,
+}
+
+impl CorpusOutcome {
+    /// The successfully analyzed reports, in spec order.
+    pub fn succeeded(&self) -> Vec<&AppReport> {
+        self.reports.iter().flatten().collect()
+    }
+
+    /// Consumes the outcome, keeping only the successful reports (in
+    /// spec order).
+    pub fn into_succeeded(self) -> Vec<AppReport> {
+        self.reports.into_iter().flatten().collect()
+    }
+
+    /// Number of successful apps whose analysis was degraded (some
+    /// methods skipped as unanalyzable).
+    pub fn degraded_count(&self) -> usize {
+        self.reports
+            .iter()
+            .flatten()
+            .filter(|r| r.degraded())
+            .count()
+    }
+}
 
 /// Generates, serializes, re-parses, and analyzes every corpus app,
 /// returning per-app reports. The serialize/parse round trip is
@@ -26,16 +77,80 @@ pub fn run_specs(specs: &[AppSpec]) -> Vec<AppReport> {
 /// and an observability template. Each worker derives fresh sinks from
 /// `obs` (see [`Obs::fresh`]), so traces and metrics land per-app on the
 /// returned [`AppReport`]s; aggregate them with [`collect_obs`].
+///
+/// The corpus is trusted here: any per-app failure is a harness bug, so
+/// this panics (after the whole run completes) with the failure list.
+/// Use [`try_run_specs_with`] for inputs that are allowed to fail.
 pub fn run_specs_with(specs: &[AppSpec], config: CheckerConfig, obs: &Obs) -> Vec<AppReport> {
+    let outcome = try_run_specs_with(specs, config, obs);
+    if !outcome.failures.is_empty() {
+        let lines: Vec<String> = outcome.failures.iter().map(|f| f.to_string()).collect();
+        panic!(
+            "{} of {} corpus apps failed to analyze:\n  {}",
+            outcome.failures.len(),
+            specs.len(),
+            lines.join("\n  ")
+        );
+    }
+    outcome
+        .reports
+        .into_iter()
+        .map(|r| r.expect("no failures recorded"))
+        .collect()
+}
+
+/// Fault-tolerant corpus run: analyzes every spec in parallel and always
+/// returns, even when individual apps fail or panic.
+///
+/// Each app is generated and analyzed under panic containment
+/// ([`NChecker::analyze_bytes_checked`] plus a `catch_unwind` around
+/// generation), so one adversarial or bug-triggering app cannot abort
+/// the run, poison the result slots, or take other workers down with it.
+/// Failed apps leave a `None` in their slot and an [`AppFailure`] record.
+pub fn try_run_specs_with(specs: &[AppSpec], config: CheckerConfig, obs: &Obs) -> CorpusOutcome {
+    run_fault_tolerant(
+        specs.len(),
+        config,
+        obs,
+        |checker, i| analyze_one(checker, &specs[i]),
+        |i| specs[i].package.clone(),
+    )
+}
+
+/// Fault-tolerant run over pre-serialized bundles (binaries on disk or
+/// mutated in memory) instead of trusted specs. Same containment
+/// guarantees as [`try_run_specs_with`].
+pub fn try_run_bundles_with(
+    bundles: &[Vec<u8>],
+    config: CheckerConfig,
+    obs: &Obs,
+) -> CorpusOutcome {
+    run_fault_tolerant(
+        bundles.len(),
+        config,
+        obs,
+        |checker, i| checker.analyze_bytes_checked(&bundles[i]),
+        |_| "<unparsed>".to_owned(),
+    )
+}
+
+/// The shared worker pool behind the fault-tolerant runners: `task`
+/// produces app `i`'s result (with panics already contained), `name`
+/// labels a failed app.
+fn run_fault_tolerant(
+    n: usize,
+    config: CheckerConfig,
+    obs: &Obs,
+    task: impl Fn(&NChecker, usize) -> Result<AppReport, AnalyzeError> + Sync,
+    name: impl Fn(usize) -> String,
+) -> CorpusOutcome {
     let n_workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4)
         .min(16);
-    let mut out: Vec<Option<AppReport>> = vec![None; specs.len()];
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let slots: Vec<std::sync::Mutex<Option<AppReport>>> = (0..specs.len())
-        .map(|_| std::sync::Mutex::new(None))
-        .collect();
+    type Slot = std::sync::Mutex<Option<Result<AppReport, AnalyzeError>>>;
+    let slots: Vec<Slot> = (0..n).map(|_| std::sync::Mutex::new(None)).collect();
 
     crossbeam::scope(|scope| {
         for _ in 0..n_workers {
@@ -44,27 +159,65 @@ pub fn run_specs_with(specs: &[AppSpec], config: CheckerConfig, obs: &Obs) -> Ve
                 checker.obs = obs.fresh();
                 loop {
                     let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= specs.len() {
+                    if i >= n {
                         break;
                     }
-                    let apk = nck_appgen::generate(&specs[i]);
-                    let bytes = apk.to_bytes();
-                    let report = checker
-                        .analyze_bytes(&bytes)
-                        .expect("generated app analyzes");
-                    *slots[i].lock().expect("slot lock") = Some(report);
+                    let result = task(&checker, i);
+                    // The panic paths are contained inside `task`, so
+                    // this lock cannot be poisoned by an analysis
+                    // failure; guard anyway so one poisoned slot cannot
+                    // cascade into losing the whole run.
+                    let mut slot = slots[i].lock().unwrap_or_else(|e| e.into_inner());
+                    *slot = Some(result);
                 }
             });
         }
     })
     .expect("corpus workers");
 
+    let mut outcome = CorpusOutcome::default();
     for (i, slot) in slots.into_iter().enumerate() {
-        out[i] = slot.into_inner().expect("slot lock");
+        let result = slot
+            .into_inner()
+            .unwrap_or_else(|e| e.into_inner())
+            .unwrap_or_else(|| {
+                Err(AnalyzeError::Panic(
+                    "worker died before writing a result".to_owned(),
+                ))
+            });
+        match result {
+            Ok(report) => outcome.reports.push(Some(report)),
+            Err(error) => {
+                outcome.reports.push(None);
+                outcome.failures.push(AppFailure {
+                    index: i,
+                    package: name(i),
+                    error,
+                });
+            }
+        }
     }
-    out.into_iter()
-        .map(|r| r.expect("every app analyzed"))
-        .collect()
+    outcome
+}
+
+/// Generates and analyzes one spec with panics contained: generation
+/// runs under `catch_unwind`, and analysis goes through the checked
+/// entry point.
+fn analyze_one(checker: &NChecker, spec: &AppSpec) -> Result<AppReport, AnalyzeError> {
+    let bytes = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        nck_appgen::generate(spec).to_bytes()
+    }))
+    .map_err(|payload| {
+        let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_owned()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_owned()
+        };
+        AnalyzeError::Panic(format!("app generation panicked: {msg}"))
+    })?;
+    checker.analyze_bytes_checked(&bytes)
 }
 
 /// Folds the per-app traces and metrics of `reports` into corpus-level

@@ -2,9 +2,13 @@
 //! warning reports (§4.6, Figure 7).
 //!
 //! ```text
-//! nchecker [--summary|--json] [--strict] [--no-interproc]
+//! nchecker [--summary|--json] [--strict] [--no-interproc] [--keep-going]
 //!          [--trace] [--metrics] [--quiet|-v|-vv] <app.apk>...
 //! ```
+//!
+//! Exit codes: `0` all apps analyzed cleanly, `1` at least one app failed
+//! to analyze, `2` usage error, `3` every app analyzed but at least one
+//! was degraded (some methods skipped as unanalyzable).
 
 use nchecker::{CheckerConfig, NChecker};
 use nck_obs::{Events, Level, Metrics, Obs, Tracer};
@@ -12,8 +16,8 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: nchecker [--summary|--json] [--strict] [--no-interproc] [--trace] [--metrics] \
-         [--quiet|-v|-vv] <app.apk>..."
+        "usage: nchecker [--summary|--json] [--strict] [--no-interproc] [--keep-going] \
+         [--trace] [--metrics] [--quiet|-v|-vv] <app.apk>..."
     );
     eprintln!();
     eprintln!("Statically analyzes ADX app bundles for network programming defects.");
@@ -22,10 +26,13 @@ fn usage() -> ExitCode {
     eprintln!("  --strict        require connectivity checks to be control conditions");
     eprintln!("  --interproc     enable the summary engine (the default)");
     eprintln!("  --no-interproc  ablate the interprocedural summary engine");
+    eprintln!("  --keep-going, -k  continue analyzing remaining apps after a failure");
     eprintln!("  --trace         record per-phase spans; tree printed to stderr");
     eprintln!("  --metrics       record pipeline metrics (embedded in --json output)");
     eprintln!("  --quiet, -q     suppress all diagnostics on stderr");
     eprintln!("  -v, -vv         raise diagnostic verbosity to info / debug");
+    eprintln!();
+    eprintln!("exit codes: 0 clean, 1 analysis failure, 2 usage, 3 degraded");
     ExitCode::from(2)
 }
 
@@ -35,6 +42,8 @@ const FLAGS: &[&str] = &[
     "--strict",
     "--interproc",
     "--no-interproc",
+    "--keep-going",
+    "-k",
     "--trace",
     "--metrics",
     "--quiet",
@@ -43,11 +52,15 @@ const FLAGS: &[&str] = &[
     "-vv",
 ];
 
+const EXIT_FAILED: u8 = 1;
+const EXIT_DEGRADED: u8 = 3;
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let summary = args.iter().any(|a| a == "--summary");
     let json = args.iter().any(|a| a == "--json");
     let strict = args.iter().any(|a| a == "--strict");
+    let keep_going = args.iter().any(|a| a == "--keep-going" || a == "-k");
     let trace = args.iter().any(|a| a == "--trace");
     let metrics = args.iter().any(|a| a == "--metrics");
     let quiet = args.iter().any(|a| a == "--quiet" || a == "-q");
@@ -102,23 +115,42 @@ fn main() -> ExitCode {
     };
 
     let mut failures = 0usize;
+    let mut degraded = 0usize;
     for path in paths {
         let bytes = match std::fs::read(path) {
             Ok(b) => b,
             Err(e) => {
                 events.error(&format!("{path}: {e}"));
                 failures += 1;
-                continue;
+                if keep_going {
+                    continue;
+                }
+                return ExitCode::from(EXIT_FAILED);
             }
         };
         events.debug(&format!("{path}: read {} bytes", bytes.len()));
-        match checker.analyze_bytes(&bytes) {
+        // analyze_bytes_checked contains panics from adversarial inputs
+        // so one bad bundle cannot take down a multi-app invocation.
+        match checker.analyze_bytes_checked(&bytes) {
             Ok(report) => {
                 events.info(&format!(
                     "{path}: {} requests, {} defects",
                     report.stats.requests,
                     report.defects.len()
                 ));
+                if report.degraded() {
+                    degraded += 1;
+                    events.warn(&format!(
+                        "{path}: degraded analysis, {} method(s) skipped",
+                        report.skipped_methods.len()
+                    ));
+                    for s in &report.skipped_methods {
+                        events.debug(&format!(
+                            "{path}: skipped {} [{}]: {}",
+                            s.method, s.cause, s.detail
+                        ));
+                    }
+                }
                 if json {
                     println!(
                         "{}",
@@ -127,10 +159,11 @@ fn main() -> ExitCode {
                     );
                 } else if summary {
                     println!(
-                        "{path}: {} ({} requests, {} defects)",
+                        "{path}: {} ({} requests, {} defects{})",
                         report.stats.package,
                         report.stats.requests,
-                        report.defects.len()
+                        report.defects.len(),
+                        if report.degraded() { ", degraded" } else { "" }
                     );
                 } else {
                     println!(
@@ -158,11 +191,16 @@ fn main() -> ExitCode {
             Err(e) => {
                 events.error(&format!("{path}: {e}"));
                 failures += 1;
+                if !keep_going {
+                    return ExitCode::from(EXIT_FAILED);
+                }
             }
         }
     }
     if failures > 0 {
-        ExitCode::FAILURE
+        ExitCode::from(EXIT_FAILED)
+    } else if degraded > 0 {
+        ExitCode::from(EXIT_DEGRADED)
     } else {
         ExitCode::SUCCESS
     }

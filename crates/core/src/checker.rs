@@ -12,11 +12,12 @@ use crate::reach::{find_request_sites, RequestSite};
 use crate::report::{fix_suggestion, DefectKind, Evidence, Location, OverRetryContext, Report};
 use crate::retry::{covered_by_retry, find_retry_loops};
 use nck_android::apk::{Apk, ApkError};
+use nck_dex::verify::{VerifyError, VerifyScope};
 use nck_ir::lift::LiftError;
 use nck_netlibs::api::Registry;
 use nck_netlibs::library::Library;
 use nck_obs::{MetricsSnapshot, Obs, PipelineTrace};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::time::{Duration, Instant};
 
 /// Which analyses to run.
@@ -139,6 +140,39 @@ pub struct AppStats {
     pub summary_hits: usize,
 }
 
+/// Which pipeline stage dropped a method from the analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SkipCause {
+    /// Structural verification rejected the method body.
+    Verify,
+    /// The lifter could not translate the method body.
+    Lift,
+}
+
+impl std::fmt::Display for SkipCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SkipCause::Verify => "verify",
+            SkipCause::Lift => "lift",
+        })
+    }
+}
+
+/// One method the pipeline skipped while degrading per-method: the rest
+/// of the app was analyzed normally, but nothing is known about this
+/// method's behaviour (so no defect is reported *inside* it, and checks
+/// that would have needed its body err on the side of the surrounding
+/// evidence).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnalysisSkip {
+    /// Rendered `class.name(sig)` identity.
+    pub method: String,
+    /// Which stage gave up on the method.
+    pub cause: SkipCause,
+    /// Human-readable failure detail.
+    pub detail: String,
+}
+
 /// The complete analysis result for one app.
 #[derive(Debug, Clone, Default)]
 pub struct AppReport {
@@ -146,6 +180,11 @@ pub struct AppReport {
     pub stats: AppStats,
     /// Individual warning reports.
     pub defects: Vec<Report>,
+    /// Methods dropped by per-method degradation (empty on well-formed
+    /// inputs). A non-empty list means the report is *incomplete*, not
+    /// wrong: defects listed are real, but the skipped methods were not
+    /// examined.
+    pub skipped_methods: Vec<AnalysisSkip>,
     /// Phase-level span tree of the run, when tracing was enabled.
     pub trace: Option<PipelineTrace>,
     /// Metrics recorded during the run, when metrics were enabled.
@@ -163,6 +202,11 @@ impl AppReport {
     pub fn has(&self, kind: DefectKind) -> bool {
         self.count(kind) > 0
     }
+
+    /// Returns `true` when the analysis degraded (some methods skipped).
+    pub fn degraded(&self) -> bool {
+        !self.skipped_methods.is_empty()
+    }
 }
 
 /// Errors from analyzing an app container.
@@ -172,6 +216,13 @@ pub enum AnalyzeError {
     Apk(ApkError),
     /// The bytecode failed to lift.
     Lift(LiftError),
+    /// Structural verification found damage wider than a single method
+    /// (class- or file-scoped), leaving no sound way to analyze the app.
+    Verify(Vec<VerifyError>),
+    /// A panic escaped the pipeline and was contained by
+    /// [`NChecker::analyze_bytes_checked`]. Always a bug: the pipeline
+    /// is meant to return typed errors on any input.
+    Panic(String),
 }
 
 impl std::fmt::Display for AnalyzeError {
@@ -179,6 +230,14 @@ impl std::fmt::Display for AnalyzeError {
         match self {
             AnalyzeError::Apk(e) => write!(f, "apk: {e}"),
             AnalyzeError::Lift(e) => write!(f, "lift: {e}"),
+            AnalyzeError::Verify(errs) => match errs.first() {
+                Some(first) if errs.len() > 1 => {
+                    write!(f, "verify: {first} (+{} more)", errs.len() - 1)
+                }
+                Some(first) => write!(f, "verify: {first}"),
+                None => write!(f, "verify: structural verification failed"),
+            },
+            AnalyzeError::Panic(msg) => write!(f, "panic contained in analysis: {msg}"),
         }
     }
 }
@@ -225,6 +284,14 @@ impl NChecker {
     }
 
     /// Analyzes a serialized APK container.
+    ///
+    /// Binaries from the wild are routinely truncated, corrupted, or
+    /// adversarial, so the full pipeline behind this entry point is
+    /// fault-tolerant: parse failures and class-level structural damage
+    /// return typed errors, while per-method damage *degrades* — the
+    /// offending methods are skipped and recorded on
+    /// [`AppReport::skipped_methods`], and the rest of the app is
+    /// analyzed normally.
     pub fn analyze_bytes(&self, bytes: &[u8]) -> Result<AppReport, AnalyzeError> {
         let obs = self.obs.fresh();
         let report = {
@@ -238,6 +305,29 @@ impl NChecker {
         Ok(seal(report, &obs))
     }
 
+    /// [`NChecker::analyze_bytes`] with a panic-containment backstop.
+    ///
+    /// The pipeline is designed to return typed errors on any input, and
+    /// the fuzz harness holds it to that; this wrapper is the defence in
+    /// depth for a corpus run that must survive its worst input even if a
+    /// panic slips through, converting it into [`AnalyzeError::Panic`]
+    /// instead of unwinding through the caller.
+    pub fn analyze_bytes_checked(&self, bytes: &[u8]) -> Result<AppReport, AnalyzeError> {
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.analyze_bytes(bytes)));
+        match result {
+            Ok(r) => r,
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_owned())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_owned());
+                Err(AnalyzeError::Panic(msg))
+            }
+        }
+    }
+
     /// Analyzes a parsed APK bundle.
     pub fn analyze_apk(&self, apk: &Apk) -> Result<AppReport, AnalyzeError> {
         let obs = self.obs.fresh();
@@ -249,12 +339,98 @@ impl NChecker {
     }
 
     fn analyze_apk_with(&self, apk: &Apk, obs: &Obs) -> Result<AppReport, AnalyzeError> {
-        let program = {
-            let _s = obs.tracer.span("lift");
-            nck_ir::lift_file_obs(&apk.adx, &obs.metrics).map_err(AnalyzeError::Lift)?
+        // Structural verification between parse and lift: the lifter and
+        // every downstream analysis assume in-range registers, branch
+        // targets, and pool references; nothing downstream re-checks.
+        let verify_errors = {
+            let s = obs.tracer.span("verify");
+            let errs = nck_dex::verify::verify(&apk.adx);
+            s.add_items(errs.len() as u64);
+            errs
         };
+        if obs.metrics.is_enabled() {
+            obs.metrics.inc("verify.errors", verify_errors.len() as u64);
+        }
+        // Degradation policy: method-scoped damage skips just that
+        // method; anything wider (class/file scope) is unanalyzable.
+        let wide: Vec<VerifyError> = verify_errors
+            .iter()
+            .filter(|e| e.scope != VerifyScope::Method)
+            .cloned()
+            .collect();
+        if !wide.is_empty() {
+            return Err(AnalyzeError::Verify(wide));
+        }
+        let mut bad_methods: BTreeMap<String, String> = BTreeMap::new();
+        for e in &verify_errors {
+            bad_methods
+                .entry(e.method.clone())
+                .or_insert_with(|| e.to_string());
+        }
+
+        let (program, lift_skips) = {
+            let _s = obs.tracer.span("lift");
+            let (program, skips) =
+                nck_ir::lift_file_lenient(&apk.adx, &|name| bad_methods.get(name).cloned());
+            if obs.metrics.is_enabled() {
+                obs.metrics
+                    .inc("lift.classes", program.classes.len() as u64);
+                obs.metrics.inc(
+                    "lift.methods",
+                    program.methods.iter().filter(|m| m.body.is_some()).count() as u64,
+                );
+                obs.metrics.inc(
+                    "lift.bodiless",
+                    program.methods.iter().filter(|m| m.body.is_none()).count() as u64,
+                );
+                obs.metrics.inc(
+                    "lift.stmts",
+                    program
+                        .methods
+                        .iter()
+                        .filter_map(|m| m.body.as_ref())
+                        .map(|b| b.stmts.len() as u64)
+                        .sum(),
+                );
+            }
+            (program, skips)
+        };
+        let skipped_methods: Vec<AnalysisSkip> = lift_skips
+            .into_iter()
+            .map(|s| {
+                let cause = if bad_methods.contains_key(&s.method) {
+                    SkipCause::Verify
+                } else {
+                    SkipCause::Lift
+                };
+                AnalysisSkip {
+                    method: s.method,
+                    cause,
+                    detail: s.reason,
+                }
+            })
+            .collect();
+        if !skipped_methods.is_empty() {
+            if obs.metrics.is_enabled() {
+                obs.metrics
+                    .inc("analyze.skipped_methods", skipped_methods.len() as u64);
+            }
+            obs.events.warn(&format!(
+                "{}: degraded analysis, {} method(s) skipped (first: {})",
+                apk.manifest.package,
+                skipped_methods.len(),
+                skipped_methods[0].method
+            ));
+            for s in &skipped_methods {
+                obs.events
+                    .debug(&format!("skipped {} [{}]: {}", s.method, s.cause, s.detail));
+            }
+        }
+
         let app = AnalyzedApp::new_with_obs(apk.manifest.clone(), program, &self.registry, obs);
-        Ok(self.analyze_with(&app, obs))
+        let mut report = self.analyze_with(&app, obs);
+        report.skipped_methods = skipped_methods;
+        Ok(report)
     }
 
     /// Runs all configured analyses over an already-built context.
@@ -837,5 +1013,76 @@ mod tests {
         let report = checker.analyze_apk(&naive_apk()).unwrap();
         let d = &report.defects[0];
         assert!(d.call_stack[0].contains("onCreate"));
+    }
+
+    /// Grafts a method whose body references a register outside its own
+    /// frame onto an otherwise healthy app.
+    fn apk_with_one_broken_method() -> Apk {
+        let mut apk = naive_apk();
+        let adx = &mut apk.adx;
+        let class_ty = adx.pools.type_("Lapp/Main;");
+        let void = adx.pools.type_("V");
+        let proto = adx.pools.proto(void, vec![]);
+        let name = adx.pools.string("broken");
+        let method = adx.pools.method(class_ty, proto, name);
+        let class = adx
+            .classes
+            .iter_mut()
+            .find(|c| c.ty == class_ty)
+            .expect("Lapp/Main; exists");
+        class.methods.push(nck_dex::MethodDef {
+            method,
+            flags: AccessFlags::PUBLIC,
+            code: Some(nck_dex::CodeItem {
+                registers: 1,
+                ins: 0,
+                insns: vec![
+                    nck_dex::Insn::Move {
+                        dst: nck_dex::Reg(9),
+                        src: nck_dex::Reg(0),
+                    },
+                    nck_dex::Insn::Return { src: None },
+                ],
+                tries: vec![],
+            }),
+        });
+        apk
+    }
+
+    #[test]
+    fn method_scoped_damage_degrades_instead_of_failing() {
+        let checker = NChecker::new();
+        let report = checker.analyze_apk(&apk_with_one_broken_method()).unwrap();
+        // The damaged method is skipped and recorded...
+        assert!(report.degraded());
+        assert_eq!(report.skipped_methods.len(), 1);
+        let skip = &report.skipped_methods[0];
+        assert!(skip.method.contains("broken"), "skip: {skip:?}");
+        assert_eq!(skip.cause, SkipCause::Verify);
+        // ...while the healthy entry point still yields its defects.
+        assert_eq!(report.stats.requests, 1);
+        assert!(report.has(DefectKind::MissedConnectivityCheck));
+    }
+
+    #[test]
+    fn class_scoped_damage_is_a_typed_error() {
+        let mut apk = naive_apk();
+        // A dangling superclass reference poisons resolution for the
+        // whole class, not just one method.
+        apk.adx.classes[0].superclass = Some(nck_dex::TypeIdx(999));
+        let err = NChecker::new().analyze_apk(&apk).unwrap_err();
+        match err {
+            AnalyzeError::Verify(errs) => {
+                assert!(errs.iter().all(|e| e.scope != VerifyScope::Method));
+            }
+            other => panic!("expected AnalyzeError::Verify, got {other}"),
+        }
+    }
+
+    #[test]
+    fn healthy_apps_report_no_skips() {
+        let report = NChecker::new().analyze_apk(&naive_apk()).unwrap();
+        assert!(!report.degraded());
+        assert!(report.skipped_methods.is_empty());
     }
 }

@@ -174,6 +174,18 @@ pub fn app_report_to_json(r: &AppReport) -> Value {
     json!({
         "stats": stats_to_json(&r.stats),
         "defects": r.defects.iter().map(report_to_json).collect::<Vec<_>>(),
+        "degraded": r.degraded(),
+        "skipped_methods": r
+            .skipped_methods
+            .iter()
+            .map(|s| {
+                json!({
+                    "method": s.method,
+                    "cause": s.cause.to_string(),
+                    "detail": s.detail,
+                })
+            })
+            .collect::<Vec<_>>(),
         "metrics": metrics_to_json(r),
     })
 }
@@ -255,6 +267,25 @@ mod tests {
         assert_eq!(v["metrics"]["counters"]["parse.classes"], 4);
         assert_eq!(v["metrics"]["gauges"]["summary.largest_scc"], 2);
         assert_eq!(v["metrics"]["histograms"]["summary.scc_size"]["count"], 1);
+    }
+
+    #[test]
+    fn app_report_json_carries_degradation() {
+        use crate::checker::{AnalysisSkip, SkipCause};
+        let mut report = AppReport::default();
+        let v = app_report_to_json(&report);
+        assert_eq!(v["degraded"], false);
+        assert_eq!(v["skipped_methods"].as_array().unwrap().len(), 0);
+        report.skipped_methods.push(AnalysisSkip {
+            method: "Lapp/Main;.broken".into(),
+            cause: SkipCause::Verify,
+            detail: "register out of frame".into(),
+        });
+        let v = app_report_to_json(&report);
+        assert_eq!(v["degraded"], true);
+        assert_eq!(v["skipped_methods"][0]["method"], "Lapp/Main;.broken");
+        assert_eq!(v["skipped_methods"][0]["cause"], "verify");
+        assert_eq!(v["skipped_methods"][0]["detail"], "register out of frame");
     }
 
     #[test]

@@ -65,7 +65,9 @@ pub mod retry;
 pub mod stats;
 
 pub use callgraph::{CallEdge, CallGraph};
-pub use checker::{AnalyzeError, AppReport, AppStats, CheckerConfig, NChecker};
+pub use checker::{
+    AnalysisSkip, AnalyzeError, AppReport, AppStats, CheckerConfig, NChecker, SkipCause,
+};
 pub use context::{AnalyzedApp, MethodAnalysis};
 pub use icc::{find_icc_sends, IccKind, IccSend};
 pub use json::{

@@ -117,6 +117,19 @@ impl BinOp {
     }
 
     /// Evaluates the operation on concrete integers, if defined.
+    ///
+    /// This is the *single* evaluation function shared by the
+    /// interpreter, constant propagation, and the interprocedural
+    /// summary engine, so all three agree by construction.
+    ///
+    /// Shift semantics: ADX has one integer width, `i64`, so `Shl`/`Shr`
+    /// mask the shift amount with 63 — Dalvik's rule for its *long*-width
+    /// ops (`shl-long` masks with 0x3f). Dalvik's int-width ops mask with
+    /// 0x1f instead, but ADX deliberately has no 32-bit lane; a Dalvik
+    /// int shift lowered to ADX is widened to 64 bits first, and the
+    /// 63-mask is the correct mask for that width. Negative shift
+    /// amounts therefore behave as their low six bits (e.g. `-1` shifts
+    /// by 63), exactly as on Dalvik.
     pub fn eval(self, a: i64, b: i64) -> Option<i64> {
         match self {
             BinOp::Add => Some(a.wrapping_add(b)),
@@ -563,6 +576,25 @@ mod tests {
         assert_eq!(BinOp::Div.eval(10, 2), Some(5));
         assert_eq!(BinOp::Div.eval(10, 0), None);
         assert_eq!(BinOp::Add.eval(i64::MAX, 1), Some(i64::MIN));
+    }
+
+    #[test]
+    fn shifts_mask_to_long_width() {
+        // ADX integers are 64-bit, so shift amounts take Dalvik's
+        // long-op 0x3f mask: 64 wraps to 0, 65 to 1, and a negative
+        // amount acts as its low six bits.
+        assert_eq!(BinOp::Shl.eval(1, 63), Some(i64::MIN));
+        assert_eq!(BinOp::Shl.eval(5, 64), Some(5));
+        assert_eq!(BinOp::Shl.eval(5, 65), Some(10));
+        assert_eq!(BinOp::Shl.eval(1, -1), Some(i64::MIN)); // -1 & 63 == 63
+        assert_eq!(BinOp::Shr.eval(i64::MIN, 63), Some(-1));
+        assert_eq!(BinOp::Shr.eval(-8, 64), Some(-8));
+        assert_eq!(BinOp::Shr.eval(-8, 1), Some(-4)); // arithmetic, not logical
+                                                      // Shifts never fail: the mask makes every amount defined.
+        for amt in [-65i64, -64, -1, 0, 31, 32, 63, 64, 127, i64::MAX] {
+            assert!(BinOp::Shl.eval(0x1234, amt).is_some());
+            assert!(BinOp::Shr.eval(0x1234, amt).is_some());
+        }
     }
 
     #[test]

@@ -54,6 +54,7 @@ pub use pool::{
     FieldIdx, FieldRef, MethodIdx, MethodRef, Pools, Proto, ProtoIdx, StringIdx, TypeIdx,
 };
 pub use read::{read_adx, read_adx_obs};
+pub use verify::{VerifyError, VerifyScope};
 pub use write::write_adx;
 
 /// Errors produced while reading or constructing ADX containers.

@@ -94,12 +94,16 @@ impl CodeItem {
     /// Returns the register holding parameter `i` (0-based; for instance
     /// methods parameter 0 is the receiver).
     ///
-    /// Returns `None` when `i` is out of range for the declared `ins`.
+    /// Returns `None` when `i` is out of range for the declared `ins`,
+    /// or when the frame lies (`ins > registers`) and no parameter
+    /// register exists at all — adversarial inputs can declare such
+    /// frames, and this accessor must stay total on them.
     pub fn param_reg(&self, i: u16) -> Option<crate::insn::Reg> {
         if i >= self.ins {
             return None;
         }
-        Some(crate::insn::Reg(self.registers - self.ins + i))
+        let base = self.registers.checked_sub(self.ins)?;
+        Some(crate::insn::Reg(base + i))
     }
 
     /// Returns the try blocks covering instruction index `pc` in

@@ -386,7 +386,16 @@ pub fn read_adx(bytes: &[u8]) -> Result<AdxFile> {
     if version != VERSION {
         return Err(AdxError::BadVersion { found: version });
     }
-    let _reserved = r.u16()?;
+    let reserved_at = r.position();
+    let reserved = r.u16()?;
+    // The reserved field must be zero (it is outside the checksummed
+    // payload, so damage here would otherwise go unnoticed).
+    if reserved != 0 {
+        return Err(AdxError::Malformed {
+            at: reserved_at,
+            what: "nonzero reserved header field",
+        });
+    }
     let length = r.u64()? as usize;
     let checksum = r.u64()?;
     if r.remaining() != length {
@@ -562,5 +571,20 @@ mod tests {
         f.pools.string("hello");
         let bytes = write_adx(&f);
         assert!(read_adx(&bytes[..bytes.len() - 2]).is_err());
+    }
+
+    #[test]
+    fn nonzero_reserved_field_rejected() {
+        // The reserved u16 sits outside the checksummed payload; damage
+        // there must still be detected.
+        let f = AdxFile::new();
+        for byte in [6usize, 7] {
+            let mut bytes = write_adx(&f);
+            bytes[byte] = 1;
+            assert!(
+                matches!(read_adx(&bytes), Err(AdxError::Malformed { .. })),
+                "flip in reserved byte {byte} accepted"
+            );
+        }
     }
 }

@@ -9,11 +9,30 @@
 use crate::insn::Insn;
 use crate::model::{AccessFlags, AdxFile, CodeItem};
 
+/// How much of the file a verification failure poisons.
+///
+/// Consumers use this to degrade gracefully: a [`VerifyScope::Method`]
+/// failure invalidates only that method's body (the rest of the app can
+/// still be analyzed), while class- and file-scoped failures leave no
+/// sound way to interpret the surrounding structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerifyScope {
+    /// The whole file is suspect (reserved for cross-class problems).
+    File,
+    /// One class definition is malformed (duplicate definition, bad
+    /// superclass reference).
+    Class,
+    /// One method body is malformed; sibling methods are unaffected.
+    Method,
+}
+
 /// A single verification failure, locatable to a method and instruction.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct VerifyError {
-    /// Rendered `class.name(sig)` of the offending method, or `<file>` for
-    /// file-level problems.
+    /// Blast radius of the failure (see [`VerifyScope`]).
+    pub scope: VerifyScope,
+    /// Rendered `class.name(sig)` of the offending method, or the class
+    /// name for class-level problems.
     pub method: String,
     /// Instruction index within the method, when applicable.
     pub pc: Option<u32>,
@@ -38,6 +57,7 @@ fn check_code(file: &AdxFile, method: &str, code: &CodeItem, errors: &mut Vec<Ve
     let n_methods = file.pools.methods().len() as u32;
     let mut err = |pc: Option<u32>, message: String| {
         errors.push(VerifyError {
+            scope: VerifyScope::Method,
             method: method.to_owned(),
             pc,
             message,
@@ -154,6 +174,7 @@ pub fn verify(file: &AdxFile) -> Vec<VerifyError> {
             .to_owned();
         if !seen.insert(class.ty) {
             errors.push(VerifyError {
+                scope: VerifyScope::Class,
                 method: class_name.clone(),
                 pc: None,
                 message: "duplicate class definition".to_owned(),
@@ -162,6 +183,7 @@ pub fn verify(file: &AdxFile) -> Vec<VerifyError> {
         if let Some(s) = class.superclass {
             if s.0 >= n_types {
                 errors.push(VerifyError {
+                    scope: VerifyScope::Class,
                     method: class_name.clone(),
                     pc: None,
                     message: format!("superclass index {s} out of range"),
@@ -173,11 +195,13 @@ pub fn verify(file: &AdxFile) -> Vec<VerifyError> {
             let is_abstract = m.flags.contains(AccessFlags::ABSTRACT);
             match (&m.code, is_abstract) {
                 (Some(_), true) => errors.push(VerifyError {
+                    scope: VerifyScope::Method,
                     method: name.clone(),
                     pc: None,
                     message: "abstract method has code".to_owned(),
                 }),
                 (None, false) => errors.push(VerifyError {
+                    scope: VerifyScope::Method,
                     method: name.clone(),
                     pc: None,
                     message: "concrete method missing code".to_owned(),
@@ -187,6 +211,7 @@ pub fn verify(file: &AdxFile) -> Vec<VerifyError> {
             if let Some(code) = &m.code {
                 if code.ins > code.registers {
                     errors.push(VerifyError {
+                        scope: VerifyScope::Method,
                         method: name.clone(),
                         pc: None,
                         message: "ins exceeds registers".to_owned(),
@@ -292,5 +317,48 @@ mod tests {
         f.classes.push(dup);
         let errs = verify(&f);
         assert!(errs.iter().any(|e| e.message.contains("duplicate class")));
+    }
+
+    #[test]
+    fn method_failures_are_method_scoped() {
+        let mut f = valid_file();
+        let code = f.classes[0].methods[0].code.as_mut().unwrap();
+        code.insns[0] = Insn::Goto { target: 1000 };
+        let errs = verify(&f);
+        assert!(!errs.is_empty());
+        assert!(errs.iter().all(|e| e.scope == VerifyScope::Method));
+        // The sibling method is untouched: no error names it.
+        assert!(errs.iter().all(|e| !e.method.contains(".g(")));
+    }
+
+    #[test]
+    fn class_failures_are_class_scoped() {
+        let mut f = valid_file();
+        let dup = f.classes[0].clone();
+        f.classes.push(dup);
+        let errs = verify(&f);
+        assert!(errs
+            .iter()
+            .any(|e| e.scope == VerifyScope::Class && e.message.contains("duplicate class")));
+    }
+
+    #[test]
+    fn bad_pool_reference_inside_code_is_flagged() {
+        // The parser only checks pool refs it decodes structurally;
+        // instruction operands like a string index are verify's job.
+        let mut f = valid_file();
+        let n = f.pools.strings().len() as u32;
+        let code = f.classes[0].methods[0].code.as_mut().unwrap();
+        code.insns.insert(
+            0,
+            Insn::ConstString {
+                dst: Reg(0),
+                idx: crate::pool::StringIdx(n + 7),
+            },
+        );
+        let errs = verify(&f);
+        assert!(errs
+            .iter()
+            .any(|e| e.message.contains("string index") && e.scope == VerifyScope::Method));
     }
 }

@@ -36,6 +36,22 @@ pub enum LiftError {
         /// Rendered method identity.
         method: String,
     },
+    /// An instruction referenced a register outside the declared frame.
+    ///
+    /// Verified binaries never trip this, but the lifter must stay
+    /// memory-safe on *unverified* ones: downstream consumers index
+    /// `Body::locals` by register number, so an out-of-frame register
+    /// must be rejected here rather than panicking later.
+    BadRegister {
+        /// Rendered method identity.
+        method: String,
+        /// Instruction index.
+        pc: u32,
+        /// The out-of-frame register.
+        reg: u16,
+        /// The declared frame size.
+        frame: u16,
+    },
 }
 
 impl std::fmt::Display for LiftError {
@@ -48,6 +64,15 @@ impl std::fmt::Display for LiftError {
                 write!(f, "{method} @{pc}: branch target {target} out of range")
             }
             LiftError::BadFrame { method } => write!(f, "{method}: bad parameter frame"),
+            LiftError::BadRegister {
+                method,
+                pc,
+                reg,
+                frame,
+            } => write!(
+                f,
+                "{method} @{pc}: register v{reg} outside the {frame}-register frame"
+            ),
         }
     }
 }
@@ -112,6 +137,25 @@ impl<'a> Lifter<'a> {
             pc,
             what,
         };
+
+        // Reject out-of-frame registers up front: every statement emitted
+        // below carries `LocalId(reg)` and downstream consumers (pretty
+        // printer, interpreter, dataflow) index `locals` by it.
+        for (i, insn) in code.insns.iter().enumerate() {
+            let oob = insn
+                .def()
+                .into_iter()
+                .chain(insn.uses())
+                .find(|r| r.0 >= code.registers);
+            if let Some(r) = oob {
+                return Err(LiftError::BadRegister {
+                    method: method_name.to_owned(),
+                    pc: i as u32,
+                    reg: r.0,
+                    frame: code.registers,
+                });
+            }
+        }
 
         let mut locals: Vec<LocalDecl> = (0..code.registers)
             .map(|r| LocalDecl {
@@ -430,12 +474,33 @@ impl<'a> Lifter<'a> {
     }
 }
 
-/// Lifts a whole ADX file into an IR [`Program`].
-pub fn lift_file(file: &AdxFile) -> Result<Program> {
+/// Record of one method whose body was dropped during lenient lifting.
+///
+/// The method still exists in the lifted [`Program`] (bodiless, so call
+/// graph edges into it resolve) unless even its identity was
+/// unrecoverable; only its behaviour is unknown to the analyses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MethodSkip {
+    /// Rendered `class.name(sig)` identity.
+    pub method: String,
+    /// Why the body was dropped.
+    pub reason: String,
+}
+
+/// Skip policy for [`lift_file_lenient`]: maps a rendered method identity
+/// to `Some(reason)` when its body must not be lifted (e.g. it failed
+/// structural verification).
+pub type SkipPolicy<'p> = &'p dyn Fn(&str) -> Option<String>;
+
+fn lift_file_impl(
+    file: &AdxFile,
+    lenient: Option<SkipPolicy<'_>>,
+) -> Result<(Program, Vec<MethodSkip>)> {
     let mut lifter = Lifter {
         file,
         program: Program::new(),
     };
+    let mut skips = Vec::new();
 
     for class in &file.classes {
         let name_str = file.pools.get_type(class.ty).unwrap_or("<bad>").to_owned();
@@ -463,22 +528,59 @@ pub fn lift_file(file: &AdxFile) -> Result<Program> {
         let mut method_ids = Vec::new();
         for m in &class.methods {
             let display = file.pools.display_method(m.method);
-            let key = lifter.method_key(m.method).ok_or(LiftError::BadPoolRef {
-                method: display.clone(),
-                pc: 0,
-                what: "method definition",
-            })?;
-            let body = match &m.code {
-                Some(code) => {
-                    let sig_str = lifter.program.symbols.resolve(key.sig).to_owned();
-                    let (params, _) =
-                        nck_dex::parse_signature(&sig_str).map_err(|_| LiftError::BadFrame {
-                            method: display.clone(),
-                        })?;
-                    let is_static = m.flags.contains(AccessFlags::STATIC);
-                    Some(lifter.lift_code(&display, code, is_static, &params)?)
+            let key = match lifter.method_key(m.method) {
+                Some(key) => key,
+                None => {
+                    let err = LiftError::BadPoolRef {
+                        method: display.clone(),
+                        pc: 0,
+                        what: "method definition",
+                    };
+                    if lenient.is_some() {
+                        // Without a resolvable identity the method cannot
+                        // even be declared; drop it entirely.
+                        skips.push(MethodSkip {
+                            method: display,
+                            reason: err.to_string(),
+                        });
+                        continue;
+                    }
+                    return Err(err);
                 }
-                None => None,
+            };
+            let policy_skip = lenient.and_then(|skip| skip(&display));
+            let body = if let Some(reason) = policy_skip {
+                skips.push(MethodSkip {
+                    method: display.clone(),
+                    reason,
+                });
+                None
+            } else {
+                match &m.code {
+                    Some(code) => {
+                        let is_static = m.flags.contains(AccessFlags::STATIC);
+                        let sig_str = lifter.program.symbols.resolve(key.sig).to_owned();
+                        let lifted = nck_dex::parse_signature(&sig_str)
+                            .map_err(|_| LiftError::BadFrame {
+                                method: display.clone(),
+                            })
+                            .and_then(|(params, _)| {
+                                lifter.lift_code(&display, code, is_static, &params)
+                            });
+                        match lifted {
+                            Ok(body) => Some(body),
+                            Err(err) if lenient.is_some() => {
+                                skips.push(MethodSkip {
+                                    method: display.clone(),
+                                    reason: err.to_string(),
+                                });
+                                None
+                            }
+                            Err(err) => return Err(err),
+                        }
+                    }
+                    None => None,
+                }
             };
             let id = lifter.program.add_method(Method {
                 key,
@@ -498,7 +600,24 @@ pub fn lift_file(file: &AdxFile) -> Result<Program> {
         });
     }
 
-    Ok(lifter.program)
+    Ok((lifter.program, skips))
+}
+
+/// Lifts a whole ADX file into an IR [`Program`], failing on the first
+/// unliftable method.
+pub fn lift_file(file: &AdxFile) -> Result<Program> {
+    lift_file_impl(file, None).map(|(p, _)| p)
+}
+
+/// Lifts a whole ADX file, degrading per-method instead of failing.
+///
+/// Methods for which `skip` returns a reason (the caller's structural
+/// verification verdicts) and methods whose bodies fail to lift are kept
+/// *bodiless* and recorded in the returned skip list; every other method
+/// lifts normally. This function never fails: the worst adversarial
+/// input yields an empty program plus a skip per method.
+pub fn lift_file_lenient(file: &AdxFile, skip: SkipPolicy<'_>) -> (Program, Vec<MethodSkip>) {
+    lift_file_impl(file, Some(skip)).expect("lenient lifting is total")
 }
 
 /// [`lift_file`] with lift metrics recorded into `metrics`:
@@ -688,6 +807,78 @@ mod tests {
             }
             other => panic!("expected string const, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn out_of_frame_register_is_a_typed_error() {
+        let mut b = AdxBuilder::new();
+        b.class("Lapp/T;", |c| {
+            c.method("f", "()V", AccessFlags::PUBLIC, 2, |m| m.ret(None));
+        });
+        let mut file = b.finish().unwrap();
+        // Shrink the frame below the registers the preamble binds.
+        let code = file.classes[0].methods[0].code.as_mut().unwrap();
+        code.insns.insert(
+            0,
+            nck_dex::Insn::ConstInt {
+                dst: Reg(40),
+                value: 1,
+            },
+        );
+        match lift_file(&file) {
+            Err(LiftError::BadRegister {
+                reg: 40, frame: 2, ..
+            }) => {}
+            other => panic!("expected BadRegister, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lenient_lift_skips_bad_methods_and_keeps_good_ones() {
+        let mut b = AdxBuilder::new();
+        b.class("Lapp/T;", |c| {
+            c.method("bad", "()V", AccessFlags::PUBLIC, 2, |m| m.ret(None));
+            c.method("good", "()I", AccessFlags::PUBLIC, 2, |m| {
+                m.const_int(m.reg(0), 7);
+                m.ret(Some(m.reg(0)));
+            });
+        });
+        let mut file = b.finish().unwrap();
+        let code = file.classes[0].methods[0].code.as_mut().unwrap();
+        code.insns.insert(
+            0,
+            nck_dex::Insn::ConstInt {
+                dst: Reg(99),
+                value: 0,
+            },
+        );
+        assert!(lift_file(&file).is_err());
+        let (p, skips) = lift_file_lenient(&file, &|_| None);
+        assert_eq!(skips.len(), 1);
+        assert!(skips[0].method.contains("bad"));
+        assert!(skips[0].reason.contains("v99"));
+        // Both methods exist; only the bad one is bodiless.
+        assert_eq!(p.methods.len(), 2);
+        assert!(p.methods[0].body.is_none());
+        assert!(p.methods[1].body.is_some());
+    }
+
+    #[test]
+    fn lenient_lift_honours_the_skip_policy() {
+        let mut b = AdxBuilder::new();
+        b.class("Lapp/T;", |c| {
+            c.method("f", "()V", AccessFlags::PUBLIC, 2, |m| m.ret(None));
+            c.method("g", "()V", AccessFlags::PUBLIC, 2, |m| m.ret(None));
+        });
+        let file = b.finish().unwrap();
+        let (p, skips) = lift_file_lenient(&file, &|name| {
+            name.contains(".f(")
+                .then(|| "failed verification".to_owned())
+        });
+        assert_eq!(skips.len(), 1);
+        assert_eq!(skips[0].reason, "failed verification");
+        assert!(p.methods[0].body.is_none());
+        assert!(p.methods[1].body.is_some());
     }
 
     #[test]

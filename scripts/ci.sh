@@ -15,6 +15,11 @@ cargo clippy --workspace --all-targets --quiet -- -D warnings
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 
+echo "==> corruption fuzz smoke test"
+# 2000 seeds x 3 base apps = 6000 mutated bundles through the whole
+# pipeline; exits non-zero on any panic or silently accepted corruption.
+./target/release/fuzz_smoke 2000
+
 echo "==> observability smoke test"
 smoke_dir="$(mktemp -d)"
 trap 'rm -rf "$smoke_dir"' EXIT

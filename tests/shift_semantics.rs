@@ -1,0 +1,98 @@
+//! Pins the shift-width contract across every evaluator.
+//!
+//! ADX models Dalvik's single 64-bit integer lane (there is no separate
+//! 32-bit `int` width), so `Shl`/`Shr` mask the shift amount with 63 —
+//! Dalvik's *long* rule (`shl-long` uses the low six bits of the
+//! distance). The interpreter, constant propagation, and the summary
+//! engine all funnel through the one `BinOp::eval`, so these tests pin
+//! the documented edge cases and prove the evaluators agree on them:
+//! the mask can never drift in one layer only.
+
+use nck_dataflow::constprop::{CVal, ConstProp};
+use nck_dex::builder::AdxBuilder;
+use nck_dex::{AccessFlags, BinOp};
+use nck_interp::{Machine, NopEnv, Outcome, Value};
+use nck_ir::cfg::Cfg;
+use nck_ir::{LocalId, StmtId};
+
+/// The documented edge cases: (value, amount, shifted-left, shifted-right).
+/// Amounts at and past the width, and negative amounts, act as their low
+/// six bits.
+const CASES: &[(i64, i64, i64, i64)] = &[
+    (1, 0, 1, 1),
+    (5, 1, 10, 2),
+    (1, 63, i64::MIN, 0),
+    (1, 64, 1, 1),                  // 64 & 63 == 0
+    (1, 65, 2, 0),                  // 65 & 63 == 1
+    (1, -1, i64::MIN, 0),           // -1 & 63 == 63
+    (-8, 1, -16, -4),               // Shr is arithmetic: sign-extends
+    (i64::MIN, 1, 0, i64::MIN / 2), // overflow wraps, sign survives Shr
+    (1, 31, 1 << 31, 0),            // no 32-bit lane: 31 is just 31
+    (1, 32, 1 << 32, 0),            // ... and 32 does NOT wrap to 0
+];
+
+#[test]
+fn eval_follows_the_long_width_rule() {
+    for &(v, amt, left, right) in CASES {
+        assert_eq!(BinOp::Shl.eval(v, amt), Some(left), "{v} << {amt}");
+        assert_eq!(BinOp::Shr.eval(v, amt), Some(right), "{v} >> {amt}");
+    }
+}
+
+/// Builds `return (v <op> amt)` and lifts it.
+fn shift_program(op: BinOp, v: i64, amt: i64) -> nck_ir::Program {
+    let mut b = AdxBuilder::new();
+    b.class("Lgen/S;", |c| {
+        c.method(
+            "f",
+            "()I",
+            AccessFlags::PUBLIC | AccessFlags::STATIC,
+            3,
+            |m| {
+                m.const_int(m.reg(0), v);
+                m.const_int(m.reg(1), amt);
+                m.binop(op, m.reg(2), m.reg(0), m.reg(1));
+                m.ret(Some(m.reg(2)));
+            },
+        );
+    });
+    nck_ir::lift_file(&b.finish().unwrap()).unwrap()
+}
+
+/// Runs `f` through the interpreter and returns its value.
+fn interpret(program: &nck_ir::Program) -> i64 {
+    let f = program
+        .iter_methods()
+        .find(|(_, m)| program.symbols.resolve(m.key.name) == "f")
+        .map(|(id, _)| id)
+        .unwrap();
+    let mut machine = Machine::new(program, NopEnv);
+    match machine.call(f, vec![]) {
+        Ok(Outcome::Returned(Some(Value::Int(got)))) => got,
+        other => panic!("shift program did not return an int: {other:?}"),
+    }
+}
+
+/// Extracts the constant the dataflow layer proves for the returned
+/// local.
+fn propagate(program: &nck_ir::Program) -> i64 {
+    let body = program.methods[0].body.as_ref().unwrap();
+    let cfg = Cfg::build(body);
+    let cp = ConstProp::compute(body, &cfg);
+    let ret_stmt = StmtId(body.stmts.len() as u32 - 1);
+    match cp.value_before(ret_stmt, LocalId(2)) {
+        CVal::Int(v) => v,
+        other => panic!("constprop lost a straight-line shift: {other:?}"),
+    }
+}
+
+#[test]
+fn interpreter_and_constprop_agree_on_every_edge_case() {
+    for &(v, amt, left, right) in CASES {
+        for (op, want) in [(BinOp::Shl, left), (BinOp::Shr, right)] {
+            let program = shift_program(op, v, amt);
+            assert_eq!(interpret(&program), want, "interp: {v} {op:?} {amt}");
+            assert_eq!(propagate(&program), want, "constprop: {v} {op:?} {amt}");
+        }
+    }
+}
