@@ -9,7 +9,7 @@ use crate::spec::{AppSpec, ConnCheck, Notification, Origin, RequestSpec, RespChe
 use nck_android::apk::Apk;
 use nck_android::manifest::{ComponentKind, Manifest};
 use nck_dex::builder::{AdxBuilder, CodeBuilder};
-use nck_dex::{AccessFlags, CondOp};
+use nck_dex::{AccessFlags, BinOp, CondOp};
 use nck_netlibs::api::HttpMethod;
 use nck_netlibs::library::Library;
 
@@ -1034,6 +1034,21 @@ fn emit_request(
 
 /// Compiles `spec` into an APK bundle.
 pub fn generate(spec: &AppSpec) -> Apk {
+    generate_with_bulk(spec, 0)
+}
+
+/// Like [`generate`], but prepends `bulk` deterministic, self-contained
+/// "ballast" classes before the request classes.
+///
+/// Real apps bundle far more code than their networking paths; ballast
+/// classes stand in for that bulk. Each is loop-heavy (the fixpoint
+/// dataflow engine has real work to do per method), touches no network
+/// API (the checkers stay silent on them), and calls only within itself
+/// (no edges into the request classes). They are emitted *first* so a
+/// versioned update that changes request specs perturbs only the file
+/// tail, leaving a long unchanged class prefix for the incremental
+/// analyzer to replay.
+pub fn generate_with_bulk(spec: &AppSpec, bulk: usize) -> Apk {
     let mut b = AdxBuilder::new();
     let base = base_of(&spec.package);
     let mut manifest = Manifest::new(&spec.package);
@@ -1045,6 +1060,9 @@ pub fn generate(spec: &AppSpec) -> Apk {
     {
         manifest.permission("android.permission.ACCESS_NETWORK_STATE");
     }
+    for i in 0..bulk {
+        emit_ballast_class(&mut b, &base, i);
+    }
     for (i, req) in spec.requests.iter().enumerate() {
         emit_request(&mut b, &mut manifest, &base, i, req);
     }
@@ -1054,6 +1072,74 @@ pub fn generate(spec: &AppSpec) -> Apk {
         "generated binary must verify"
     );
     Apk::new(manifest, adx)
+}
+
+/// One ballast class: arithmetic loop kernels plus an intra-class
+/// caller, salted by `i` so every class has distinct code (and so a
+/// distinct content fingerprint).
+fn emit_ballast_class(b: &mut AdxBuilder, base: &str, i: usize) {
+    let name = format!("{base}Ballast{i};");
+    let salt = (i as i64) % 97 + 3;
+    let churn_host = name.clone();
+    b.class(&name, |c| {
+        c.super_class("Ljava/lang/Object;");
+        // churn(n): a counted loop of mixed arithmetic.
+        c.method(
+            "churn",
+            "(I)I",
+            AccessFlags::PUBLIC | AccessFlags::STATIC,
+            8,
+            move |m| {
+                let n = m.param(0).expect("churn arg");
+                let acc = m.reg(0);
+                let j = m.reg(1);
+                let t = m.reg(2);
+                let head = m.new_label();
+                let out = m.new_label();
+                m.const_int(acc, salt);
+                m.const_int(j, 0);
+                m.bind(head);
+                m.if_(CondOp::Ge, j, n, out);
+                m.binop(BinOp::Mul, t, acc, j);
+                m.binop_lit(BinOp::Add, acc, t, (salt as i32) + 1);
+                m.binop(BinOp::Xor, acc, acc, j);
+                m.binop_lit(BinOp::Add, j, j, 1);
+                m.goto(head);
+                m.bind(out);
+                m.ret(Some(acc));
+            },
+        );
+        // weave(): a nested loop driving churn through an intra-class
+        // call, with a data-dependent early exit.
+        c.method(
+            "weave",
+            "()I",
+            AccessFlags::PUBLIC | AccessFlags::STATIC,
+            8,
+            move |m| {
+                let acc = m.reg(0);
+                let k = m.reg(1);
+                let lim = m.reg(2);
+                let t = m.reg(3);
+                let head = m.new_label();
+                let out = m.new_label();
+                m.const_int(acc, 0);
+                m.const_int(k, 0);
+                m.const_int(lim, salt + 5);
+                m.bind(head);
+                m.if_(CondOp::Ge, k, lim, out);
+                m.invoke_static(&churn_host, "churn", "(I)I", &[k]);
+                m.move_result(t);
+                m.binop(BinOp::Add, acc, acc, t);
+                m.binop_lit(BinOp::Rem, t, acc, 251);
+                m.ifz(CondOp::Lt, t, out);
+                m.binop_lit(BinOp::Add, k, k, 1);
+                m.goto(head);
+                m.bind(out);
+                m.ret(Some(acc));
+            },
+        );
+    });
 }
 
 #[cfg(test)]

@@ -17,7 +17,9 @@ pub mod opensource;
 pub mod profile;
 pub mod spec;
 pub mod studyapps;
+pub mod update;
 
-pub use gen::generate;
+pub use gen::{generate, generate_with_bulk};
 pub use mutate::{mutate, Expectation, Mutation, MutationKind, Outcome};
 pub use spec::{AppSpec, ConnCheck, Notification, Origin, RequestSpec, RespCheck, RetryShape};
+pub use update::{evolve, Evolution};

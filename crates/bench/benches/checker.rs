@@ -71,7 +71,7 @@ fn bench_phases(c: &mut Criterion) {
     let cfgs_owned: Vec<Option<nck_ir::cfg::Cfg>> = program2
         .methods
         .iter()
-        .map(|m| m.body.as_ref().map(nck_ir::cfg::Cfg::build))
+        .map(|m| m.body.as_deref().map(nck_ir::cfg::Cfg::build))
         .collect();
     c.bench_function("phase_summaries", |b| {
         b.iter(|| {
@@ -80,7 +80,7 @@ fn bench_phases(c: &mut Criterion) {
                 .methods
                 .iter()
                 .map(|m| nck_dataflow::MethodInput {
-                    body: m.body.as_ref(),
+                    body: m.body.as_deref(),
                     is_static: m.flags.contains(nck_dex::AccessFlags::STATIC),
                 })
                 .collect();

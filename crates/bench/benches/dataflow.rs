@@ -34,7 +34,7 @@ fn synthetic_body(blocks: usize) -> Body {
         });
     });
     let program = nck_ir::lift_file(&b.finish().unwrap()).unwrap();
-    program.methods[0].body.clone().unwrap()
+    program.methods[0].body.as_deref().unwrap().clone()
 }
 
 fn bench_analyses(c: &mut Criterion) {

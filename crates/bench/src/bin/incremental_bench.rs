@@ -1,0 +1,221 @@
+//! Incremental re-analysis benchmark: cold vs. warm wall time on a
+//! corpus of *updated* app bundles.
+//!
+//! For each app we generate version 1 (request classes padded with
+//! ballast classes, as in real apps where networking code is a sliver of
+//! the bundle), evolve ~one request into version 2 (so only a small
+//! fraction of classes change, at the file tail), and compare:
+//!
+//! - **cold**: a fresh service analyzes every v2 bundle from scratch;
+//! - **warm**: a service that has already analyzed v1 re-analyzes v2,
+//!   replaying unchanged class prefixes from its cache;
+//! - **hot**: the warm service sees the identical v2 bytes again —
+//!   whole-report hits.
+//!
+//! Warm and cold reports are checked byte-identical before any number is
+//! reported. Results merge into `BENCH_pipeline.json` under
+//! `"incremental"`.
+//!
+//! Usage: `incremental_bench [--apps N] [--bulk K] [--reps R] [--no-write]`
+
+use nchecker::app_report_to_json;
+use nck_bench::SEED;
+use nck_obs::Obs;
+use nck_svc::{AnalysisService, AppOutcome, ServiceOptions};
+use serde_json::{json, Value};
+use std::time::Instant;
+
+fn render(outcome: &AppOutcome) -> String {
+    let report = outcome
+        .report
+        .as_ref()
+        .expect("benchmark corpus apps analyze cleanly");
+    serde_json::to_string(&app_report_to_json(report)).expect("report renders")
+}
+
+fn service() -> AnalysisService {
+    AnalysisService::new(ServiceOptions::default(), Obs::disabled())
+}
+
+fn arg_after(args: &[String], flag: &str, default: usize) -> usize {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let apps = arg_after(&args, "--apps", 120);
+    let bulk = arg_after(&args, "--bulk", 20);
+    let write = !args.iter().any(|a| a == "--no-write");
+
+    let specs: Vec<_> = nck_appgen::profile::corpus(SEED)
+        .into_iter()
+        .take(apps)
+        .collect();
+
+    println!("=== incremental re-analysis (seed {SEED}, {apps} apps, bulk {bulk}) ===");
+    let v1: Vec<(String, Vec<u8>)> = specs
+        .iter()
+        .map(|s| {
+            (
+                s.package.clone(),
+                nck_appgen::generate_with_bulk(s, bulk).to_bytes(),
+            )
+        })
+        .collect();
+    // ~One request changes per app; every ballast class and every class
+    // before the edited request survives into v2 unchanged.
+    let mut changed_classes = 0usize;
+    let mut total_classes = 0usize;
+    let v2: Vec<(String, Vec<u8>)> = specs
+        .iter()
+        .map(|s| {
+            let e = nck_appgen::evolve(s, 0.05, SEED ^ 0x5eed);
+            let bytes = nck_appgen::generate_with_bulk(&e.spec, bulk).to_bytes();
+            (s.package.clone(), bytes)
+        })
+        .collect();
+    for ((_, a), (_, b)) in v1.iter().zip(&v2) {
+        // True churn: v2 classes whose content exists nowhere in v1.
+        let mut have = std::collections::HashMap::new();
+        for fp in fingerprints(a) {
+            *have.entry(fp).or_insert(0usize) += 1;
+        }
+        for fp in fingerprints(b) {
+            total_classes += 1;
+            match have.get_mut(&fp) {
+                Some(n) if *n > 0 => *n -= 1,
+                _ => changed_classes += 1,
+            }
+        }
+    }
+    println!(
+        "update churn: {changed_classes}/{total_classes} classes changed ({:.1}%)",
+        changed_classes as f64 / total_classes.max(1) as f64 * 100.0
+    );
+
+    // Each configuration repeats `reps` times and reports the minimum:
+    // on a shared machine the minimum is the least-noise estimate of the
+    // true cost, and the analysis is deterministic so every repetition
+    // does identical work.
+    let reps = arg_after(&args, "--reps", 3).max(1);
+
+    // Cold: fresh service, v2 from scratch.
+    let mut cold_ms = f64::INFINITY;
+    let mut cold_renders: Vec<String> = Vec::new();
+    for _ in 0..reps {
+        let svc = service();
+        let t = Instant::now();
+        let out = svc.analyze_batch(&v2);
+        cold_ms = cold_ms.min(t.elapsed().as_secs_f64() * 1e3);
+        if cold_renders.is_empty() {
+            cold_renders = out.iter().map(render).collect();
+        }
+    }
+
+    // Warm: populate with v1 (untimed), then re-analyze the updates.
+    let mut warm_ms = f64::INFINITY;
+    let mut warm_renders: Vec<String> = Vec::new();
+    let mut warm_stats = Default::default();
+    let mut warm_svc = None;
+    for _ in 0..reps {
+        // Drop the previous repetition's populated store before building
+        // the next one, so each repetition runs at the same footprint.
+        drop(warm_svc.take());
+        let svc = service();
+        let _ = svc.analyze_batch(&v1);
+        let t = Instant::now();
+        let out = svc.analyze_batch(&v2);
+        warm_ms = warm_ms.min(t.elapsed().as_secs_f64() * 1e3);
+        if warm_renders.is_empty() {
+            warm_renders = out.iter().map(render).collect();
+            warm_stats = AnalysisService::batch_stats(&out);
+        }
+        warm_svc = Some(svc);
+    }
+    let warm_svc = warm_svc.expect("at least one warm repetition");
+
+    // Hot: identical bytes again — whole-report hits.
+    let mut hot_ms = f64::INFINITY;
+    let mut hot_renders: Vec<String> = Vec::new();
+    let mut hot_stats = Default::default();
+    for _ in 0..reps {
+        let t = Instant::now();
+        let out = warm_svc.analyze_batch(&v2);
+        hot_ms = hot_ms.min(t.elapsed().as_secs_f64() * 1e3);
+        if hot_renders.is_empty() {
+            hot_renders = out.iter().map(render).collect();
+            hot_stats = AnalysisService::batch_stats(&out);
+        }
+    }
+
+    // Correctness gate before any number is believed.
+    let mut mismatches = 0usize;
+    for ((c, w), h) in cold_renders.iter().zip(&warm_renders).zip(&hot_renders) {
+        if c != w || c != h {
+            mismatches += 1;
+        }
+    }
+    if mismatches > 0 {
+        eprintln!("FAILED: {mismatches} warm/hot reports differ from cold");
+        std::process::exit(1);
+    }
+    println!(
+        "reports: warm and hot byte-identical to cold ({} apps)",
+        apps
+    );
+
+    let speedup = cold_ms / warm_ms.max(1e-9);
+    println!(
+        "cold:  {cold_ms:>9.1} ms  ({:.1} ms/app)",
+        cold_ms / apps as f64
+    );
+    println!(
+        "warm:  {warm_ms:>9.1} ms  ({:.1} ms/app)  {speedup:.2}x vs cold, {:.0}% classes replayed",
+        warm_ms / apps as f64,
+        warm_stats.class_reuse_rate() * 100.0
+    );
+    println!(
+        "hot:   {hot_ms:>9.1} ms  ({:.1} ms/app)  {:.2}x vs cold, {:.0}% whole-report hits",
+        hot_ms / apps as f64,
+        cold_ms / hot_ms.max(1e-9),
+        hot_stats.hit_rate() * 100.0
+    );
+
+    if write {
+        let section = json!({
+            "apps": apps,
+            "bulk_classes": bulk,
+            "changed_classes": changed_classes,
+            "total_classes": total_classes,
+            "cold_ms": cold_ms,
+            "warm_ms": warm_ms,
+            "hot_ms": hot_ms,
+            "warm_speedup": speedup,
+            "hot_speedup": cold_ms / hot_ms.max(1e-9),
+            "warm_class_reuse": warm_stats.class_reuse_rate(),
+            "hot_hit_rate": hot_stats.hit_rate(),
+            "reports_identical": true,
+        });
+        let mut doc = std::fs::read_to_string("BENCH_pipeline.json")
+            .ok()
+            .and_then(|t| serde_json::from_str(&t).ok())
+            .unwrap_or_else(|| json!({ "schema": 1, "seed": SEED }));
+        if let Value::Object(map) = &mut doc {
+            map.insert("incremental".to_owned(), section);
+        }
+        let out = serde_json::to_string_pretty(&doc).expect("pipeline doc serializes");
+        std::fs::write("BENCH_pipeline.json", out).expect("write BENCH_pipeline.json");
+        println!("merged \"incremental\" into BENCH_pipeline.json");
+    }
+}
+
+/// Canonical per-class content fingerprints of a serialized bundle (for
+/// the churn report only; the analyzer recomputes its own).
+fn fingerprints(bytes: &[u8]) -> Vec<u64> {
+    let apk = nck_android::apk::Apk::from_bytes(bytes).expect("benchmark bundle parses");
+    nck_dex::class_fingerprints(&apk.adx)
+}

@@ -136,7 +136,8 @@ pub fn try_run_bundles_with(
 
 /// The shared worker pool behind the fault-tolerant runners: `task`
 /// produces app `i`'s result (with panics already contained), `name`
-/// labels a failed app.
+/// labels a failed app. The pool itself lives in [`nck_svc::pool`]; this
+/// wrapper only folds its slots into a [`CorpusOutcome`].
 fn run_fault_tolerant(
     n: usize,
     config: CheckerConfig,
@@ -144,47 +145,24 @@ fn run_fault_tolerant(
     task: impl Fn(&NChecker, usize) -> Result<AppReport, AnalyzeError> + Sync,
     name: impl Fn(usize) -> String,
 ) -> CorpusOutcome {
-    let n_workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(16);
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    type Slot = std::sync::Mutex<Option<Result<AppReport, AnalyzeError>>>;
-    let slots: Vec<Slot> = (0..n).map(|_| std::sync::Mutex::new(None)).collect();
-
-    crossbeam::scope(|scope| {
-        for _ in 0..n_workers {
-            scope.spawn(|_| {
-                let mut checker = NChecker::with_config(config);
-                checker.obs = obs.fresh();
-                loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let result = task(&checker, i);
-                    // The panic paths are contained inside `task`, so
-                    // this lock cannot be poisoned by an analysis
-                    // failure; guard anyway so one poisoned slot cannot
-                    // cascade into losing the whole run.
-                    let mut slot = slots[i].lock().unwrap_or_else(|e| e.into_inner());
-                    *slot = Some(result);
-                }
-            });
-        }
-    })
-    .expect("corpus workers");
+    let slots = nck_svc::run_pool(
+        n,
+        None,
+        || {
+            let mut checker = NChecker::with_config(config);
+            checker.obs = obs.fresh();
+            checker
+        },
+        |checker, i| task(checker, i),
+    );
 
     let mut outcome = CorpusOutcome::default();
     for (i, slot) in slots.into_iter().enumerate() {
-        let result = slot
-            .into_inner()
-            .unwrap_or_else(|e| e.into_inner())
-            .unwrap_or_else(|| {
-                Err(AnalyzeError::Panic(
-                    "worker died before writing a result".to_owned(),
-                ))
-            });
+        let result = slot.unwrap_or_else(|| {
+            Err(AnalyzeError::Panic(
+                "worker died before writing a result".to_owned(),
+            ))
+        });
         match result {
             Ok(report) => outcome.reports.push(Some(report)),
             Err(error) => {

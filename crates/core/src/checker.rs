@@ -328,6 +328,143 @@ impl NChecker {
         }
     }
 
+    /// Analyzes a serialized bundle, reusing everything `prev` can
+    /// soundly offer and returning the replay material for the *next*
+    /// version alongside the report.
+    ///
+    /// Reuse has three rungs, each gated by content fingerprints:
+    ///
+    /// 1. **Whole report** — identical bundle bytes and configuration:
+    ///    the cached report is returned verbatim.
+    /// 2. **Class prefix** — the longest leading run of classes whose
+    ///    content fingerprints match skips per-class verification,
+    ///    replays the lift, reuses per-method dataflow artifacts, and
+    ///    seeds the interprocedural summaries (changed methods, plus any
+    ///    replayed method whose call resolution drifted, are recomputed
+    ///    transitively through the call-graph dirty set).
+    /// 3. **Nothing** — no entry, config mismatch, or a degraded app.
+    ///
+    /// Checkers always run in full: their evidence inspects global state
+    /// (entry reachability, scanned-loop counts, call-graph paths) that
+    /// per-method caching cannot soundly slice. The returned entry is
+    /// `None` exactly when there is nothing safe to cache: the analysis
+    /// degraded (skipped methods mean unknown behaviour — such apps also
+    /// never *read* the cache beyond rung 1, which requires bytes
+    /// identical to a previously *clean* run), or rung 1 hit (the old
+    /// entry is still current).
+    pub fn analyze_bytes_reusing(
+        &self,
+        bytes: &[u8],
+        prev: Option<&crate::cache::AppCacheEntry>,
+    ) -> Result<
+        (
+            AppReport,
+            Option<crate::cache::AppCacheEntry>,
+            crate::cache::ReuseStats,
+        ),
+        AnalyzeError,
+    > {
+        use crate::cache::{config_fingerprint, AppCacheEntry, ReuseStats};
+        use crate::context::AppReuse;
+
+        let obs = self.obs.fresh();
+        let config_fp = config_fingerprint(&self.config);
+        let bundle_fp = nck_dex::wire::fnv1a(bytes);
+        if let Some(p) = prev {
+            if p.bundle_fp == bundle_fp && p.config_fp == config_fp {
+                let stats = ReuseStats {
+                    whole_report: true,
+                    classes_total: p.class_fps.len(),
+                    classes_reused: p.class_fps.len(),
+                    ..ReuseStats::default()
+                };
+                return Ok((seal(p.report.clone(), &obs), None, stats));
+            }
+        }
+        // A seed computed under different analysis semantics is useless.
+        let prev = prev.filter(|p| p.config_fp == config_fp);
+
+        let mut stats = ReuseStats::default();
+        let (report, entry) = {
+            let _app = obs.tracer.span("app");
+            let apk = {
+                let _s = obs.tracer.span("parse");
+                Apk::from_bytes_obs(bytes, &obs.metrics).map_err(AnalyzeError::Apk)?
+            };
+            let class_fps = {
+                let _s = obs.tracer.span("class_fps");
+                nck_dex::class_fingerprints(&apk.adx)
+            };
+            let prefix = prev.map_or(0, |p| p.lift_seed.common_prefix(&class_fps));
+            stats.classes_total = class_fps.len();
+
+            // Skip per-class verification only for prefix classes: they
+            // were verified clean by the run that recorded the seed
+            // (degraded runs never write entries).
+            let skip: Vec<bool> = (0..class_fps.len()).map(|i| i < prefix).collect();
+            let verify_errors = {
+                let s = obs.tracer.span("verify");
+                let errs = nck_dex::verify::verify_with_skip(&apk.adx, &skip);
+                s.add_items(errs.len() as u64);
+                errs
+            };
+            if !verify_errors.is_empty() {
+                // Degraded (or unanalyzable) input: take the cold path in
+                // full — its per-method degradation policy applies — and
+                // write nothing back.
+                stats.degraded = true;
+                let report = self.analyze_apk_with(&apk, &obs)?;
+                return Ok((seal(report, &obs), None, stats));
+            }
+
+            let lifted = {
+                let _s = obs.tracer.span("lift");
+                nck_ir::lift::lift_file_seeded(&apk.adx, &class_fps, prev.map(|p| &p.lift_seed))
+                    .map_err(AnalyzeError::Lift)?
+            };
+            let nck_ir::lift::SeededLift {
+                program,
+                seed: lift_seed,
+                reused_classes,
+                reused_methods,
+            } = lifted;
+            stats.classes_reused = reused_classes;
+            stats.methods_total = program.methods.iter().filter(|m| m.body.is_some()).count();
+
+            let reuse = prev.map(|p| AppReuse {
+                analyses: &p.analyses,
+                reused_methods: &reused_methods,
+                callee_fps: &p.callee_fps,
+                summary_seed: &p.summary_seed,
+            });
+            let app = AnalyzedApp::new_reusing(
+                apk.manifest.clone(),
+                program,
+                &self.registry,
+                reuse,
+                &obs,
+            );
+            let ctx = app.reuse_stats();
+            stats.analyses_reused = ctx.analyses_reused;
+            stats.summaries_clean = ctx.summaries_clean;
+            stats.summaries_dirty = ctx.summaries_dirty;
+
+            let report = self.analyze_with(&app, &obs);
+            let entry = AppCacheEntry {
+                bundle_fp,
+                config_fp,
+                class_fps,
+                lift_seed,
+                callee_fps: app.callee_fps().to_vec(),
+                analyses: app.analyses_arc().clone(),
+                summary_seed: app.summary_seed().clone(),
+                report: report.clone(),
+            };
+            (report, entry)
+        };
+        Ok((seal(report, &obs), Some(entry), stats))
+    }
+
     /// Analyzes a parsed APK bundle.
     pub fn analyze_apk(&self, apk: &Apk) -> Result<AppReport, AnalyzeError> {
         let obs = self.obs.fresh();

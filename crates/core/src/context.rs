@@ -4,8 +4,9 @@
 use crate::callgraph::CallGraph;
 use nck_android::entrypoints::{entry_points, EntryPoint};
 use nck_android::manifest::Manifest;
-use nck_dataflow::interproc::{CallKind, MethodInput, Summaries};
+use nck_dataflow::interproc::{CallKind, MethodInput, Summaries, SummarySeed};
 use nck_dataflow::{ConstProp, ControlDeps, ReachingDefs};
+use nck_dex::fingerprint::Fnv;
 use nck_ir::body::{Body, MethodId, Program};
 use nck_ir::cfg::Cfg;
 use nck_ir::dom::{dominators, post_dominators, DomTree};
@@ -13,6 +14,7 @@ use nck_ir::loops::{natural_loops, NaturalLoop};
 use nck_netlibs::api::Registry;
 use nck_obs::Obs;
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 /// All dataflow artifacts of one method body, computed once.
 #[derive(Debug)]
@@ -63,6 +65,37 @@ impl MethodAnalysis {
     }
 }
 
+/// Prior-run artifacts the context constructor may reuse for methods the
+/// lift replayed unchanged. All reuse is gated per method: a method id is
+/// only consulted when it appears in `reused_methods`, whose bodies are
+/// literal clones of the recording run's.
+pub struct AppReuse<'a> {
+    /// Previous run's per-method dataflow artifacts.
+    pub analyses: &'a BTreeMap<MethodId, Arc<MethodAnalysis>>,
+    /// Method ids whose bodies were replayed byte-identically.
+    pub reused_methods: &'a [MethodId],
+    /// Previous run's per-method call-resolution fingerprints
+    /// ([`callee_fingerprints`]); a mismatch dirties the method's summary
+    /// even though its own body is unchanged (a call it makes may resolve
+    /// differently in the new version).
+    pub callee_fps: &'a [u64],
+    /// Previous run's round-0 summary snapshot.
+    pub summary_seed: &'a SummarySeed,
+}
+
+/// How much prior work the context constructor actually reused.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ContextReuse {
+    /// Method analyses cloned from the previous run.
+    pub analyses_reused: usize,
+    /// Method analyses recomputed.
+    pub analyses_computed: usize,
+    /// Summary indices seeded clean from the previous run.
+    pub summaries_clean: usize,
+    /// Summary indices recomputed (body changed, new, or callee drift).
+    pub summaries_dirty: usize,
+}
+
 /// The fully analyzed app every checker consumes.
 #[derive(Debug)]
 pub struct AnalyzedApp<'r> {
@@ -78,8 +111,11 @@ pub struct AnalyzedApp<'r> {
     pub callgraph: CallGraph,
     /// Per-entry reachable method sets (parallel to `entries`).
     pub entry_reach: Vec<BTreeSet<MethodId>>,
-    analyses: BTreeMap<MethodId, MethodAnalysis>,
+    analyses: BTreeMap<MethodId, Arc<MethodAnalysis>>,
     summaries: Summaries,
+    summary_seed: SummarySeed,
+    callee_fps: Vec<u64>,
+    reuse: ContextReuse,
 }
 
 impl<'r> AnalyzedApp<'r> {
@@ -97,6 +133,23 @@ impl<'r> AnalyzedApp<'r> {
         registry: &'r Registry,
         obs: &Obs,
     ) -> AnalyzedApp<'r> {
+        AnalyzedApp::new_reusing(manifest, program, registry, None, obs)
+    }
+
+    /// Like [`AnalyzedApp::new_with_obs`], but reusing prior-run
+    /// artifacts for methods the incremental lift replayed unchanged.
+    ///
+    /// Entry points, the call graph, and entry reachability are always
+    /// rebuilt: they are whole-program properties whose inputs (method
+    /// ids, resolution targets) can shift under any class change, and
+    /// they are cheap relative to the per-method dataflow they guard.
+    pub fn new_reusing(
+        manifest: Manifest,
+        program: Program,
+        registry: &'r Registry,
+        reuse: Option<AppReuse<'_>>,
+        obs: &Obs,
+    ) -> AnalyzedApp<'r> {
         let _ctx = obs.tracer.span("context");
         let entries = {
             let s = obs.tracer.span("entry_points");
@@ -108,34 +161,75 @@ impl<'r> AnalyzedApp<'r> {
             let _s = obs.tracer.span("callgraph");
             CallGraph::build(&program)
         };
-        let entry_reach = {
+        let entry_reach: Vec<BTreeSet<MethodId>> = {
             let _s = obs.tracer.span("entry_reach");
             entries
                 .iter()
                 .map(|e| callgraph.reachable_from(e.method))
                 .collect()
         };
-        let analyses: BTreeMap<MethodId, MethodAnalysis> = {
+        let callee_fps = callee_fingerprints(&program, &callgraph);
+        let mut stats = ContextReuse::default();
+        let reused: BTreeSet<MethodId> = reuse
+            .as_ref()
+            .map(|r| r.reused_methods.iter().copied().collect())
+            .unwrap_or_default();
+        let analyses: BTreeMap<MethodId, Arc<MethodAnalysis>> = {
             let s = obs.tracer.span("method_analyses");
-            let analyses: BTreeMap<MethodId, MethodAnalysis> = program
+            let analyses: BTreeMap<MethodId, Arc<MethodAnalysis>> = program
                 .iter_methods()
                 .filter_map(|(id, m)| {
-                    m.body
-                        .as_ref()
-                        .map(|body| (id, MethodAnalysis::compute(body)))
+                    let body = m.body.as_ref()?;
+                    if reused.contains(&id) {
+                        if let Some(prev) = reuse.as_ref().and_then(|r| r.analyses.get(&id)) {
+                            stats.analyses_reused += 1;
+                            return Some((id, Arc::clone(prev)));
+                        }
+                    }
+                    stats.analyses_computed += 1;
+                    Some((id, Arc::new(MethodAnalysis::compute(body))))
                 })
                 .collect();
             s.add_items(analyses.len() as u64);
             analyses
         };
-        let summaries = {
+        let (summaries, summary_seed) = {
             let _s = obs.tracer.span("summaries");
-            compute_summaries(&program, &callgraph, registry, &analyses, obs)
+            let seed_input = reuse.as_ref().map(|r| {
+                let n = program.methods.len();
+                let mut dirty: BTreeSet<usize> = (0..n)
+                    .filter(|&i| !reused.contains(&MethodId(i as u32)))
+                    .collect();
+                // A replayed body whose calls now resolve differently is
+                // just as dirty as a changed one.
+                for (i, &fp) in callee_fps.iter().enumerate() {
+                    if reused.contains(&MethodId(i as u32))
+                        && r.callee_fps.get(i).copied() != Some(fp)
+                    {
+                        dirty.insert(i);
+                    }
+                }
+                (r.summary_seed, dirty)
+            });
+            stats.summaries_dirty = seed_input
+                .as_ref()
+                .map_or(program.methods.len(), |(_, d)| d.len());
+            stats.summaries_clean = program.methods.len() - stats.summaries_dirty;
+            compute_summaries(
+                &program,
+                &callgraph,
+                registry,
+                &analyses,
+                seed_input.as_ref().map(|(s, d)| (*s, d)),
+                obs,
+            )
         };
         if obs.metrics.is_enabled() {
             obs.metrics.inc("context.entries", entries.len() as u64);
             obs.metrics
                 .inc("context.methods_analyzed", analyses.len() as u64);
+            obs.metrics
+                .inc("context.analyses_reused", stats.analyses_reused as u64);
         }
         AnalyzedApp {
             manifest,
@@ -146,6 +240,9 @@ impl<'r> AnalyzedApp<'r> {
             entry_reach,
             analyses,
             summaries,
+            summary_seed,
+            callee_fps,
+            reuse: stats,
         }
     }
 
@@ -153,6 +250,28 @@ impl<'r> AnalyzedApp<'r> {
     /// Method indices are dense: `MethodId(i)` ↔ summary index `i`.
     pub fn summaries(&self) -> &Summaries {
         &self.summaries
+    }
+
+    /// The round-0 summary snapshot, the seed for the next version's
+    /// incremental summary computation.
+    pub fn summary_seed(&self) -> &SummarySeed {
+        &self.summary_seed
+    }
+
+    /// Per-method call-resolution fingerprints for this run (dense,
+    /// parallel to `program.methods`).
+    pub fn callee_fps(&self) -> &[u64] {
+        &self.callee_fps
+    }
+
+    /// The full per-method analysis map, shareable with a cache.
+    pub fn analyses_arc(&self) -> &BTreeMap<MethodId, Arc<MethodAnalysis>> {
+        &self.analyses
+    }
+
+    /// How much prior work this context reused.
+    pub fn reuse_stats(&self) -> ContextReuse {
+        self.reuse
     }
 
     /// The dataflow artifacts of `method`.
@@ -206,14 +325,15 @@ fn compute_summaries(
     program: &Program,
     callgraph: &CallGraph,
     registry: &Registry,
-    analyses: &BTreeMap<MethodId, MethodAnalysis>,
+    analyses: &BTreeMap<MethodId, Arc<MethodAnalysis>>,
+    seed: Option<(&SummarySeed, &BTreeSet<usize>)>,
     obs: &Obs,
-) -> Summaries {
+) -> (Summaries, SummarySeed) {
     let inputs: Vec<MethodInput<'_>> = program
         .methods
         .iter()
         .map(|m| MethodInput {
-            body: m.body.as_ref(),
+            body: m.body.as_deref(),
             is_static: m.flags.contains(nck_dex::AccessFlags::STATIC),
         })
         .collect();
@@ -221,7 +341,7 @@ fn compute_summaries(
     let cfgs: Vec<Option<&Cfg>> = (0..inputs.len())
         .map(|i| analyses.get(&MethodId(i as u32)).map(|a| &a.cfg))
         .collect();
-    Summaries::compute_with_cfgs_obs(
+    Summaries::compute_incremental(
         &inputs,
         &cfgs,
         |m, stmt, inv| {
@@ -245,8 +365,40 @@ fn compute_summaries(
                 CallKind::Callees(callees)
             }
         },
+        seed,
         obs,
     )
+}
+
+/// Per-method fingerprints of *how this run resolved each method's
+/// calls*: explicit and implicit call-graph edges in edge order, with
+/// callee identity taken from its resolved key strings (stable across
+/// versions) rather than its `MethodId` (not stable past the first
+/// changed class).
+///
+/// A replayed method body is only as reusable as its call resolution: if
+/// an update makes a previously opaque call resolve to a real callee (or
+/// retargets one), the caller's summary context changed even though its
+/// bytecode did not. Comparing these fingerprints across versions is how
+/// the incremental path notices.
+pub fn callee_fingerprints(program: &Program, callgraph: &CallGraph) -> Vec<u64> {
+    program
+        .methods
+        .iter()
+        .enumerate()
+        .map(|(i, _)| {
+            let mut h = Fnv::new();
+            for edge in callgraph.callees(MethodId(i as u32)) {
+                let key = program.method(edge.callee).key;
+                h.u32(edge.stmt.0)
+                    .u32(u32::from(edge.implicit))
+                    .str(program.symbols.resolve(key.class))
+                    .str(program.symbols.resolve(key.name))
+                    .str(program.symbols.resolve(key.sig));
+            }
+            h.finish()
+        })
+        .collect()
 }
 
 #[cfg(test)]

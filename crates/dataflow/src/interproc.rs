@@ -156,6 +156,39 @@ pub struct Summaries {
     hits: AtomicUsize,
 }
 
+/// A reusable snapshot of the engine's state after the *first* fixpoint
+/// round (before field-constant refinement), indexed by dense method
+/// index.
+///
+/// Seeding a later run with this snapshot lets the engine skip every
+/// method whose body, callee resolution, and transitive callee cone are
+/// unchanged: their round-0 summaries and field-store contributions are
+/// taken verbatim, and only the dirty set (plus its transitive callers,
+/// via the existing dirty-set recompute) is re-solved. The snapshot is
+/// taken at round 0 — not after field refinement — so the seeded run
+/// replays the exact same refinement trajectory as a cold run and
+/// converges to byte-identical summaries.
+#[derive(Debug, Clone, Default)]
+pub struct SummarySeed {
+    /// Post-round-0 summary per method.
+    pub round0_summaries: Vec<MethodSummary>,
+    /// Post-round-0 field-store contribution per method: the join of the
+    /// values this method stores to each field.
+    pub round0_contribs: Vec<BTreeMap<FieldKey, CVal>>,
+}
+
+impl SummarySeed {
+    /// Number of methods covered by the snapshot.
+    pub fn len(&self) -> usize {
+        self.round0_summaries.len()
+    }
+
+    /// Whether the snapshot covers no methods.
+    pub fn is_empty(&self) -> bool {
+        self.round0_summaries.is_empty()
+    }
+}
+
 /// The abstract value of one local: a constant-lattice value plus
 /// provenance (which argument positions and whether a connectivity
 /// source flow into it).
@@ -269,9 +302,37 @@ impl Summaries {
     pub fn compute_with_cfgs_obs<F>(
         methods: &[MethodInput<'_>],
         cfgs: &[Option<&Cfg>],
-        mut classify: F,
+        classify: F,
         obs: &nck_obs::Obs,
     ) -> Summaries
+    where
+        F: FnMut(usize, StmtId, &InvokeExpr) -> CallKind,
+    {
+        Summaries::compute_incremental(methods, cfgs, classify, None, obs).0
+    }
+
+    /// The seeded engine behind both cold and warm computation.
+    ///
+    /// With `seed = None` every method is solved from the bottom — this
+    /// *is* the cold path, so the two can never diverge. With
+    /// `seed = Some((snapshot, dirty))`, methods outside `dirty` start
+    /// from their cached round-0 summaries and contributions; dirty
+    /// methods (changed bodies, changed callee resolution, or indices
+    /// beyond the snapshot) are re-solved, and any summary movement
+    /// dirties their callers through the component walk exactly as in a
+    /// cold run. Recursive components touching the dirty set are reset
+    /// wholesale to the bottom so their fixpoint iterates from the same
+    /// starting point a cold run uses.
+    ///
+    /// Returns the summaries plus a fresh [`SummarySeed`] for the *next*
+    /// run.
+    pub fn compute_incremental<F>(
+        methods: &[MethodInput<'_>],
+        cfgs: &[Option<&Cfg>],
+        mut classify: F,
+        seed: Option<(&SummarySeed, &BTreeSet<usize>)>,
+        obs: &nck_obs::Obs,
+    ) -> (Summaries, SummarySeed)
     where
         F: FnMut(usize, StmtId, &InvokeExpr) -> CallKind,
     {
@@ -347,26 +408,80 @@ impl Summaries {
             })
             .collect();
 
-        let mut summaries: Vec<MethodSummary> = methods
-            .iter()
-            .map(|input| {
-                if input.body.is_some() {
-                    MethodSummary::bottom()
-                } else {
-                    MethodSummary::opaque()
+        // Seed the lattice: clean methods start from the cached round-0
+        // snapshot, everything else (and every method in an unseeded
+        // run) from the bottom. `force` carries the initially dirty
+        // methods: their callers must be revisited even when a re-solved
+        // summary happens to equal the bottom it was seeded with,
+        // because the *cached* caller value may have been computed
+        // against a different callee summary in the previous run.
+        let bottom_of = |m: usize| {
+            if methods[m].body.is_some() {
+                MethodSummary::bottom()
+            } else {
+                MethodSummary::opaque()
+            }
+        };
+        let mut summaries: Vec<MethodSummary>;
+        let mut contribs: Vec<BTreeMap<FieldKey, CVal>>;
+        let mut dirty: BTreeSet<usize>;
+        let mut force: BTreeSet<usize> = BTreeSet::new();
+        match seed {
+            Some((snapshot, changed)) => {
+                let covered = |m: usize| m < snapshot.len() && m < snapshot.round0_contribs.len();
+                dirty = changed.iter().copied().filter(|&m| m < n).collect();
+                dirty.extend((0..n).filter(|&m| !covered(m)));
+                // A recursive component touching the dirty set must
+                // iterate from the bottom, as a cold run would; seeding
+                // part of it mid-lattice could converge elsewhere.
+                for comp in &components {
+                    if (comp.len() > 1 || self_loop[comp[0]])
+                        && comp.iter().any(|m| dirty.contains(m))
+                    {
+                        dirty.extend(comp.iter().copied());
+                    }
                 }
-            })
-            .collect();
-        let mut sols: Vec<Option<Solution<Vec<AVal>>>> = (0..n).map(|_| None).collect();
+                summaries = (0..n)
+                    .map(|m| {
+                        if dirty.contains(&m) {
+                            bottom_of(m)
+                        } else {
+                            snapshot.round0_summaries[m]
+                        }
+                    })
+                    .collect();
+                contribs = (0..n)
+                    .map(|m| {
+                        if dirty.contains(&m) {
+                            BTreeMap::new()
+                        } else {
+                            snapshot.round0_contribs[m].clone()
+                        }
+                    })
+                    .collect();
+                force = dirty.clone();
+                if obs.metrics.is_enabled() {
+                    obs.metrics.inc("summary.seed_dirty", dirty.len() as u64);
+                    obs.metrics
+                        .inc("summary.seed_reused", (n - dirty.len()) as u64);
+                }
+            }
+            None => {
+                summaries = (0..n).map(bottom_of).collect();
+                contribs = vec![BTreeMap::new(); n];
+                dirty = (0..n).collect();
+            }
+        }
         let mut field_consts: BTreeMap<FieldKey, CVal> = BTreeMap::new();
 
         // Recomputes the methods in `dirty` (bottom-up, per component);
         // a summary change dirties the method's callers, which always
         // live in the same or a later component.
         let recompute = |summaries: &mut Vec<MethodSummary>,
-                         sols: &mut Vec<Option<Solution<Vec<AVal>>>>,
+                         contribs: &mut Vec<BTreeMap<FieldKey, CVal>>,
                          field_consts: &BTreeMap<FieldKey, CVal>,
-                         dirty: &mut BTreeSet<usize>| {
+                         dirty: &mut BTreeSet<usize>,
+                         force: &BTreeSet<usize>| {
             for comp in &components {
                 if !comp.iter().any(|m| dirty.contains(m)) {
                     continue;
@@ -400,12 +515,14 @@ impl Summaries {
                         };
                         let sol = solve(body, cfg, &analysis);
                         let s = summarize(body, &sol, &kinds[m], summaries);
-                        if s != summaries[m] {
+                        if s != summaries[m] || force.contains(&m) {
+                            if s != summaries[m] {
+                                changed = true;
+                            }
                             summaries[m] = s;
-                            changed = true;
                             dirty.extend(preds[m].iter().copied());
                         }
-                        sols[m] = Some(sol);
+                        contribs[m] = field_contrib(body, &sol);
                     }
                     if !changed {
                         break;
@@ -420,13 +537,28 @@ impl Summaries {
         // rounds only revisit methods that load a changed field, plus
         // the transitive callers of anything that shifted.
         let mut stable = false;
-        let mut dirty: BTreeSet<usize> = (0..n).collect();
         let mut field_rounds = 0u64;
+        // Post-round-0 snapshot: per-method summaries plus per-method
+        // field-constant contributions, the seed for an incremental run.
+        type Round0 = (Vec<MethodSummary>, Vec<BTreeMap<FieldKey, CVal>>);
+        let mut round0: Option<Round0> = None;
         for _ in 0..MAX_FIELD_ROUNDS {
             field_rounds += 1;
             let _round = obs.tracer.span("field_round");
-            recompute(&mut summaries, &mut sols, &field_consts, &mut dirty);
-            let next = collect_field_consts(methods, &sols);
+            recompute(
+                &mut summaries,
+                &mut contribs,
+                &field_consts,
+                &mut dirty,
+                &force,
+            );
+            if round0.is_none() {
+                // Snapshot the post-round-0 state (the seed for a later
+                // incremental run) before refinement perturbs it.
+                round0 = Some((summaries.clone(), contribs.clone()));
+                force = BTreeSet::new();
+            }
+            let next = merge_contribs(&contribs);
             if next == field_consts {
                 stable = true;
                 break;
@@ -445,7 +577,13 @@ impl Summaries {
             field_rounds += 1;
             let _round = obs.tracer.span("field_round");
             let mut all: BTreeSet<usize> = (0..n).collect();
-            recompute(&mut summaries, &mut sols, &field_consts, &mut all);
+            recompute(
+                &mut summaries,
+                &mut contribs,
+                &field_consts,
+                &mut all,
+                &force,
+            );
         }
 
         let stats = SummaryStats {
@@ -482,12 +620,19 @@ impl Summaries {
             obs.metrics.inc("summary.field_rounds", field_rounds);
         }
 
-        Summaries {
-            summaries,
-            field_consts,
-            stats,
-            hits: AtomicUsize::new(0),
-        }
+        let (round0_summaries, round0_contribs) = round0.unwrap_or_default();
+        (
+            Summaries {
+                summaries,
+                field_consts,
+                stats,
+                hits: AtomicUsize::new(0),
+            },
+            SummarySeed {
+                round0_summaries,
+                round0_contribs,
+            },
+        )
     }
 
     /// Number of methods covered (dense-index space).
@@ -781,27 +926,33 @@ fn summarize(
     }
 }
 
-/// Joins every store to every field across the app into one constant map.
-fn collect_field_consts(
-    methods: &[MethodInput<'_>],
-    sols: &[Option<Solution<Vec<AVal>>>],
-) -> BTreeMap<FieldKey, CVal> {
+/// Joins every store this one method makes to each field: its reusable
+/// contribution to the app-wide field-constant map. The field lattice
+/// join is associative and commutative, so merging per-method
+/// contributions reproduces the global fold exactly — and a method whose
+/// body did not change keeps its cached contribution verbatim.
+fn field_contrib(body: &Body, sol: &Solution<Vec<AVal>>) -> BTreeMap<FieldKey, CVal> {
     let mut map: BTreeMap<FieldKey, CVal> = BTreeMap::new();
-    for (m, input) in methods.iter().enumerate() {
-        let Some(body) = input.body else { continue };
-        let Some(sol) = sols[m].as_ref() else {
-            continue;
+    for (id, stmt) in body.iter() {
+        let (field, value) = match stmt {
+            Stmt::StoreInstanceField { field, value, .. } => (field, value),
+            Stmt::StoreStaticField { field, value } => (field, value),
+            _ => continue,
         };
-        for (id, stmt) in body.iter() {
-            let (field, value) = match stmt {
-                Stmt::StoreInstanceField { field, value, .. } => (field, value),
-                Stmt::StoreStaticField { field, value } => (field, value),
-                _ => continue,
-            };
-            let v = eval(sol.before(id), *value).cval;
-            map.entry(*field)
-                .and_modify(|e| *e = e.join(v))
-                .or_insert(v);
+        let v = eval(sol.before(id), *value).cval;
+        map.entry(*field)
+            .and_modify(|e| *e = e.join(v))
+            .or_insert(v);
+    }
+    map
+}
+
+/// Merges per-method field contributions into the app-wide constant map.
+fn merge_contribs(contribs: &[BTreeMap<FieldKey, CVal>]) -> BTreeMap<FieldKey, CVal> {
+    let mut map: BTreeMap<FieldKey, CVal> = BTreeMap::new();
+    for contrib in contribs {
+        for (&field, &v) in contrib {
+            map.entry(field).and_modify(|e| *e = e.join(v)).or_insert(v);
         }
     }
     map
@@ -891,7 +1042,7 @@ mod tests {
             .methods
             .iter()
             .map(|m| MethodInput {
-                body: m.body.as_ref(),
+                body: m.body.as_deref(),
                 is_static: m.flags.contains(AccessFlags::STATIC),
             })
             .collect();
@@ -1345,6 +1496,148 @@ mod tests {
         let sum = s.summary(idx(&p, "Lapp/U;", "f"));
         assert_eq!(sum.const_return, CVal::NonConst);
         assert!(!sum.return_from_source);
+    }
+
+    fn compute_seeded(
+        p: &Program,
+        seed: Option<(&SummarySeed, &BTreeSet<usize>)>,
+        obs: &nck_obs::Obs,
+    ) -> (Summaries, SummarySeed) {
+        let inputs: Vec<MethodInput<'_>> = p
+            .methods
+            .iter()
+            .map(|m| MethodInput {
+                body: m.body.as_deref(),
+                is_static: m.flags.contains(AccessFlags::STATIC),
+            })
+            .collect();
+        let owned: Vec<Option<Cfg>> = inputs.iter().map(|i| i.body.map(Cfg::build)).collect();
+        let cfgs: Vec<Option<&Cfg>> = owned.iter().map(Option::as_ref).collect();
+        Summaries::compute_incremental(
+            &inputs,
+            &cfgs,
+            |_, _, inv| {
+                let class = p.symbols.resolve(inv.callee.class);
+                if class == CONN {
+                    CallKind::Source
+                } else if class == SINK {
+                    CallKind::CheckSink
+                } else if let Some(id) = p.lookup_method(inv.callee) {
+                    CallKind::Callees(vec![id.0 as usize])
+                } else {
+                    CallKind::Opaque
+                }
+            },
+            seed,
+            obs,
+        )
+    }
+
+    /// The `base → mid → top` chain of
+    /// [`constant_returns_fold_through_call_chains`], with `base`'s
+    /// constant as a parameter, plus one method with no call edges at
+    /// all.
+    fn chain_program(base_const: i64) -> Program {
+        let mut b = AdxBuilder::new();
+        b.class("Lapp/A;", |c| {
+            c.method(
+                "base",
+                "()I",
+                AccessFlags::PUBLIC | AccessFlags::STATIC,
+                1,
+                move |m| {
+                    m.const_int(m.reg(0), base_const);
+                    m.ret(Some(m.reg(0)));
+                },
+            );
+            c.method(
+                "mid",
+                "()I",
+                AccessFlags::PUBLIC | AccessFlags::STATIC,
+                2,
+                |m| {
+                    m.invoke_static("Lapp/A;", "base", "()I", &[]);
+                    m.move_result(m.reg(0));
+                    m.binop_lit(BinOp::Add, m.reg(0), m.reg(0), 1);
+                    m.ret(Some(m.reg(0)));
+                },
+            );
+            c.method(
+                "top",
+                "()I",
+                AccessFlags::PUBLIC | AccessFlags::STATIC,
+                1,
+                |m| {
+                    m.invoke_static("Lapp/A;", "mid", "()I", &[]);
+                    m.move_result(m.reg(0));
+                    m.ret(Some(m.reg(0)));
+                },
+            );
+        });
+        b.class("Lapp/B;", |c| {
+            c.method(
+                "loner",
+                "()I",
+                AccessFlags::PUBLIC | AccessFlags::STATIC,
+                1,
+                |m| {
+                    m.const_int(m.reg(0), 42);
+                    m.ret(Some(m.reg(0)));
+                },
+            );
+        });
+        lift(b)
+    }
+
+    #[test]
+    fn dirty_callee_invalidates_cached_callers_transitively() {
+        // Version 1: base() = 7, so mid() = 8 and top() = 8 through the
+        // chain. Snapshot the seed.
+        let v1 = chain_program(7);
+        let (s1, seed1) = compute_seeded(&v1, None, &nck_obs::Obs::disabled());
+        assert_eq!(
+            s1.summary(idx(&v1, "Lapp/A;", "top")).const_return,
+            CVal::Int(8)
+        );
+
+        // Version 2 changes only base(); the incremental dirty set is
+        // exactly {base} — mid and top are "cached" but must still move
+        // because dirtiness propagates along reverse call edges.
+        let v2 = chain_program(20);
+        let dirty: BTreeSet<usize> = [idx(&v2, "Lapp/A;", "base")].into_iter().collect();
+        let obs = nck_obs::Obs::enabled();
+        let (warm, _) = compute_seeded(&v2, Some((&seed1, &dirty)), &obs);
+        let (cold, _) = compute_seeded(&v2, None, &nck_obs::Obs::disabled());
+
+        for name in ["base", "mid", "top"] {
+            let i = idx(&v2, "Lapp/A;", name);
+            assert_eq!(
+                warm.summary(i).const_return,
+                cold.summary(i).const_return,
+                "warm {name} must match cold"
+            );
+        }
+        assert_eq!(
+            warm.summary(idx(&v2, "Lapp/A;", "top")).const_return,
+            CVal::Int(21)
+        );
+
+        // The method with no path to the dirty set kept its seeded
+        // summary: the engine reports at least one seed reuse.
+        assert_eq!(
+            warm.summary(idx(&v2, "Lapp/B;", "loner")).const_return,
+            CVal::Int(42)
+        );
+        let snap = obs.metrics.snapshot();
+        assert!(
+            snap.counters
+                .get("summary.seed_reused")
+                .copied()
+                .unwrap_or(0)
+                >= 1,
+            "loner should be served from the seed: {:?}",
+            snap.counters
+        );
     }
 
     // Unused in some configurations; referenced to keep the import list tidy.

@@ -119,7 +119,7 @@ fn random_body(n_blocks: usize, seed_consts: &[i32]) -> Body {
         );
     });
     let program = nck_ir::lift_file(&b.finish().unwrap()).unwrap();
-    program.methods[0].body.clone().unwrap()
+    program.methods[0].body.as_deref().unwrap().clone()
 }
 
 proptest! {

@@ -1,0 +1,427 @@
+//! Content-addressed fingerprints of ADX classes.
+//!
+//! The analysis cache keys per-class work on *what a class means*, not
+//! where its constants happen to sit: every pool reference inside a
+//! class definition is resolved to its string form before hashing, so a
+//! class keeps its fingerprint as long as its structure and resolved
+//! constants are unchanged, regardless of pool index assignment.
+//! Dangling references (adversarial inputs) hash as a sentinel plus the
+//! raw index, so a file with a bad reference can never collide with a
+//! valid one.
+
+use crate::insn::Insn;
+use crate::model::{AdxFile, ClassDef, CodeItem};
+use crate::pool::Pools;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// An incremental FNV-1a (64-bit) stream hasher, byte-compatible with
+/// [`crate::wire::fnv1a`] over the concatenated input.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv(u64);
+
+impl Default for Fnv {
+    fn default() -> Self {
+        Fnv(FNV_OFFSET)
+    }
+}
+
+impl Fnv {
+    /// A fresh stream.
+    pub fn new() -> Fnv {
+        Fnv::default()
+    }
+
+    /// Folds raw bytes into the stream.
+    pub fn bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        }
+        self
+    }
+
+    /// Folds a length-tagged string (self-delimiting, so `"ab" + "c"`
+    /// and `"a" + "bc"` cannot collide).
+    pub fn str(&mut self, s: &str) -> &mut Self {
+        self.u64(s.len() as u64).bytes(s.as_bytes())
+    }
+
+    /// Folds a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.bytes(&v.to_le_bytes())
+    }
+
+    /// Folds a `u32`.
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.bytes(&v.to_le_bytes())
+    }
+
+    /// The digest so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+fn hash_opt_str(h: &mut Fnv, tag: u32, s: Option<&str>, raw: u32) {
+    h.u32(tag);
+    match s {
+        Some(s) => {
+            h.u32(1).str(s);
+        }
+        None => {
+            // Dangling reference: sentinel plus the raw index.
+            h.u32(0).u32(raw);
+        }
+    }
+}
+
+fn hash_field_ref(h: &mut Fnv, pools: &Pools, field: crate::pool::FieldIdx) {
+    match pools.get_field(field) {
+        Some(f) => {
+            hash_opt_str(h, 3, pools.get_type(f.class), f.class.0);
+            hash_opt_str(h, 4, pools.get_string(f.name), f.name.0);
+            hash_opt_str(h, 5, pools.get_type(f.ty), f.ty.0);
+        }
+        None => {
+            h.u32(0).u32(field.0);
+        }
+    }
+}
+
+fn hash_proto(h: &mut Fnv, pools: &Pools, proto: crate::pool::ProtoIdx) {
+    match pools.get_proto(proto) {
+        Some(p) => {
+            hash_opt_str(h, 19, pools.get_type(p.return_type), p.return_type.0);
+            h.u64(p.params.len() as u64);
+            for &t in &p.params {
+                hash_opt_str(h, 20, pools.get_type(t), t.0);
+            }
+        }
+        None => {
+            h.u32(0).u32(proto.0);
+        }
+    }
+}
+
+fn hash_insn(h: &mut Fnv, pools: &Pools, insn: &Insn) {
+    // Every variant hashes a distinct opcode tag plus its structural
+    // fields (registers, literals, branch targets, operators). Pool
+    // references are resolved to their string form first, so the raw
+    // index never reaches the digest. No allocation: this runs once per
+    // instruction on every cache probe.
+    match insn {
+        Insn::Nop => {
+            h.u32(0x20);
+        }
+        Insn::Move { dst, src } => {
+            h.u32(0x21).u32(u32::from(dst.0)).u32(u32::from(src.0));
+        }
+        Insn::ConstInt { dst, value } => {
+            h.u32(0x22).u32(u32::from(dst.0)).u64(*value as u64);
+        }
+        Insn::ConstString { dst, idx } => {
+            h.u32(0x23).u32(u32::from(dst.0));
+            hash_opt_str(h, 1, pools.get_string(*idx), idx.0);
+        }
+        Insn::ConstNull { dst } => {
+            h.u32(0x24).u32(u32::from(dst.0));
+        }
+        Insn::ConstClass { dst, ty } => {
+            h.u32(0x25).u32(u32::from(dst.0));
+            hash_opt_str(h, 2, pools.get_type(*ty), ty.0);
+        }
+        Insn::NewInstance { dst, ty } => {
+            h.u32(0x26).u32(u32::from(dst.0));
+            hash_opt_str(h, 2, pools.get_type(*ty), ty.0);
+        }
+        Insn::NewArray { dst, len, ty } => {
+            h.u32(0x27).u32(u32::from(dst.0)).u32(u32::from(len.0));
+            hash_opt_str(h, 2, pools.get_type(*ty), ty.0);
+        }
+        Insn::CheckCast { reg, ty } => {
+            h.u32(0x28).u32(u32::from(reg.0));
+            hash_opt_str(h, 2, pools.get_type(*ty), ty.0);
+        }
+        Insn::InstanceOf { dst, src, ty } => {
+            h.u32(0x29).u32(u32::from(dst.0)).u32(u32::from(src.0));
+            hash_opt_str(h, 2, pools.get_type(*ty), ty.0);
+        }
+        Insn::ArrayLength { dst, arr } => {
+            h.u32(0x2a).u32(u32::from(dst.0)).u32(u32::from(arr.0));
+        }
+        Insn::Aget { dst, arr, idx } => {
+            h.u32(0x2b)
+                .u32(u32::from(dst.0))
+                .u32(u32::from(arr.0))
+                .u32(u32::from(idx.0));
+        }
+        Insn::Aput { src, arr, idx } => {
+            h.u32(0x2c)
+                .u32(u32::from(src.0))
+                .u32(u32::from(arr.0))
+                .u32(u32::from(idx.0));
+        }
+        Insn::Iget { dst, obj, field } => {
+            h.u32(0x2d).u32(u32::from(dst.0)).u32(u32::from(obj.0));
+            hash_field_ref(h, pools, *field);
+        }
+        Insn::Iput { src, obj, field } => {
+            h.u32(0x2e).u32(u32::from(src.0)).u32(u32::from(obj.0));
+            hash_field_ref(h, pools, *field);
+        }
+        Insn::Sget { dst, field } => {
+            h.u32(0x2f).u32(u32::from(dst.0));
+            hash_field_ref(h, pools, *field);
+        }
+        Insn::Sput { src, field } => {
+            h.u32(0x30).u32(u32::from(src.0));
+            hash_field_ref(h, pools, *field);
+        }
+        Insn::Invoke { kind, method, args } => {
+            h.u32(0x31).u32(*kind as u32);
+            match pools.get_method(*method) {
+                Some(m) => {
+                    hash_opt_str(h, 6, pools.get_type(m.class), m.class.0);
+                    hash_opt_str(h, 7, pools.get_string(m.name), m.name.0);
+                    hash_proto(h, pools, m.proto);
+                }
+                None => {
+                    h.u32(0).u32(method.0);
+                }
+            }
+            h.u64(args.len() as u64);
+            for a in args {
+                h.u32(u32::from(a.0));
+            }
+        }
+        Insn::MoveResult { dst } => {
+            h.u32(0x32).u32(u32::from(dst.0));
+        }
+        Insn::MoveException { dst } => {
+            h.u32(0x33).u32(u32::from(dst.0));
+        }
+        Insn::Return { src } => {
+            h.u32(0x34);
+            match src {
+                Some(r) => h.u32(1).u32(u32::from(r.0)),
+                None => h.u32(0),
+            };
+        }
+        Insn::Throw { src } => {
+            h.u32(0x35).u32(u32::from(src.0));
+        }
+        Insn::Goto { target } => {
+            h.u32(0x36).u32(*target);
+        }
+        Insn::If { cond, a, b, target } => {
+            h.u32(0x37)
+                .u32(*cond as u32)
+                .u32(u32::from(a.0))
+                .u32(u32::from(b.0))
+                .u32(*target);
+        }
+        Insn::IfZ { cond, a, target } => {
+            h.u32(0x38)
+                .u32(*cond as u32)
+                .u32(u32::from(a.0))
+                .u32(*target);
+        }
+        Insn::BinOp { op, dst, a, b } => {
+            h.u32(0x39)
+                .u32(*op as u32)
+                .u32(u32::from(dst.0))
+                .u32(u32::from(a.0))
+                .u32(u32::from(b.0));
+        }
+        Insn::BinOpLit { op, dst, a, lit } => {
+            h.u32(0x3a)
+                .u32(*op as u32)
+                .u32(u32::from(dst.0))
+                .u32(u32::from(a.0))
+                .u32(*lit as u32);
+        }
+        Insn::UnOp { op, dst, src } => {
+            h.u32(0x3b)
+                .u32(*op as u32)
+                .u32(u32::from(dst.0))
+                .u32(u32::from(src.0));
+        }
+        Insn::Switch { src, targets } => {
+            h.u32(0x3c).u32(u32::from(src.0));
+            h.u64(targets.len() as u64);
+            for (k, t) in targets {
+                h.u32(*k as u32).u32(*t);
+            }
+        }
+    }
+}
+
+fn hash_code(h: &mut Fnv, pools: &Pools, code: &CodeItem) {
+    h.u32(u32::from(code.registers))
+        .u32(u32::from(code.ins))
+        .u64(code.insns.len() as u64);
+    for insn in &code.insns {
+        hash_insn(h, pools, insn);
+    }
+    h.u64(code.tries.len() as u64);
+    for t in &code.tries {
+        h.u32(t.start).u32(t.end).u64(t.handlers.len() as u64);
+        for handler in &t.handlers {
+            match handler.exception {
+                Some(ty) => hash_opt_str(h, 8, pools.get_type(ty), ty.0),
+                None => {
+                    h.u32(9);
+                }
+            }
+            h.u32(handler.target);
+        }
+    }
+}
+
+fn hash_class(pools: &Pools, class: &ClassDef) -> u64 {
+    let mut h = Fnv::new();
+    hash_opt_str(&mut h, 10, pools.get_type(class.ty), class.ty.0);
+    match class.superclass {
+        Some(s) => hash_opt_str(&mut h, 11, pools.get_type(s), s.0),
+        None => {
+            h.u32(12);
+        }
+    }
+    h.u64(class.interfaces.len() as u64);
+    for &i in &class.interfaces {
+        hash_opt_str(&mut h, 13, pools.get_type(i), i.0);
+    }
+    h.u32(class.flags.0);
+    h.u64(class.fields.len() as u64);
+    for f in &class.fields {
+        h.u32(f.flags.0);
+        match pools.get_field(f.field) {
+            Some(fr) => {
+                hash_opt_str(&mut h, 14, pools.get_type(fr.class), fr.class.0);
+                hash_opt_str(&mut h, 15, pools.get_string(fr.name), fr.name.0);
+                hash_opt_str(&mut h, 16, pools.get_type(fr.ty), fr.ty.0);
+            }
+            None => {
+                h.u32(0).u32(f.field.0);
+            }
+        }
+    }
+    h.u64(class.methods.len() as u64);
+    for m in &class.methods {
+        h.u32(m.flags.0);
+        match pools.get_method(m.method) {
+            Some(mr) => {
+                hash_opt_str(&mut h, 17, pools.get_type(mr.class), mr.class.0);
+                hash_opt_str(&mut h, 18, pools.get_string(mr.name), mr.name.0);
+                hash_proto(&mut h, pools, mr.proto);
+            }
+            None => {
+                h.u32(0).u32(m.method.0);
+            }
+        }
+        match &m.code {
+            Some(code) => {
+                h.u32(1);
+                hash_code(&mut h, pools, code);
+            }
+            None => {
+                h.u32(0);
+            }
+        }
+    }
+    h.finish()
+}
+
+/// Canonical fingerprint of each class in `file`, in file order.
+pub fn class_fingerprints(file: &AdxFile) -> Vec<u64> {
+    file.classes
+        .iter()
+        .map(|c| hash_class(&file.pools, c))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::AdxBuilder;
+    use crate::model::AccessFlags;
+
+    fn two_class_file(retval: i64) -> AdxFile {
+        let mut b = AdxBuilder::new();
+        b.class("Lapp/A;", |c| {
+            c.method("f", "()I", AccessFlags::PUBLIC, 4, |m| {
+                m.const_int(m.reg(0), 7);
+                m.ret(Some(m.reg(0)));
+            });
+        });
+        b.class("Lapp/B;", |c| {
+            c.method("g", "()I", AccessFlags::PUBLIC, 4, |m| {
+                m.const_str(m.reg(1), "pad");
+                m.const_int(m.reg(0), retval);
+                m.ret(Some(m.reg(0)));
+            });
+        });
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn fingerprints_are_deterministic() {
+        assert_eq!(
+            class_fingerprints(&two_class_file(1)),
+            class_fingerprints(&two_class_file(1))
+        );
+    }
+
+    #[test]
+    fn changing_one_class_changes_only_its_fingerprint() {
+        let a = class_fingerprints(&two_class_file(1));
+        let b = class_fingerprints(&two_class_file(2));
+        assert_eq!(a[0], b[0], "untouched class keeps its fingerprint");
+        assert_ne!(a[1], b[1], "edited class moves");
+    }
+
+    #[test]
+    fn fingerprint_sees_through_pool_layout() {
+        // Same class content, different pool index assignment: build the
+        // second file with an extra class first so every shared pool
+        // entry lands at a shifted index.
+        let plain = {
+            let mut b = AdxBuilder::new();
+            b.class("Lapp/A;", |c| {
+                c.method("f", "()V", AccessFlags::PUBLIC, 2, |m| {
+                    m.const_str(m.reg(0), "hello");
+                    m.ret(None);
+                });
+            });
+            b.finish().unwrap()
+        };
+        let shifted = {
+            let mut b = AdxBuilder::new();
+            b.class("Lzz/Pad;", |c| {
+                c.method("pad", "()V", AccessFlags::PUBLIC, 2, |m| {
+                    m.const_str(m.reg(0), "other");
+                    m.ret(None);
+                });
+            });
+            b.class("Lapp/A;", |c| {
+                c.method("f", "()V", AccessFlags::PUBLIC, 2, |m| {
+                    m.const_str(m.reg(0), "hello");
+                    m.ret(None);
+                });
+            });
+            b.finish().unwrap()
+        };
+        let a = class_fingerprints(&plain);
+        let s = class_fingerprints(&shifted);
+        assert_eq!(a[0], s[1], "identical class, relocated pool entries");
+        assert_ne!(s[0], s[1]);
+    }
+
+    #[test]
+    fn incremental_fnv_matches_oneshot() {
+        let mut h = Fnv::new();
+        h.bytes(b"hello ").bytes(b"world");
+        assert_eq!(h.finish(), crate::wire::fnv1a(b"hello world"));
+    }
+}

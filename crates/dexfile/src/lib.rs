@@ -38,6 +38,7 @@
 
 pub mod builder;
 pub mod disasm;
+pub mod fingerprint;
 pub mod insn;
 pub mod model;
 pub mod pool;
@@ -46,6 +47,7 @@ pub mod verify;
 pub mod wire;
 pub mod write;
 
+pub use fingerprint::class_fingerprints;
 pub use insn::{BinOp, CondOp, Insn, InvokeKind, Reg, UnOp};
 pub use model::{
     AccessFlags, AdxFile, CatchHandler, ClassDef, CodeItem, FieldDef, MethodDef, TryBlock,

@@ -162,11 +162,21 @@ fn check_code(file: &AdxFile, method: &str, code: &CodeItem, errors: &mut Vec<Ve
 
 /// Verifies `file`, returning every failure found (empty means valid).
 pub fn verify(file: &AdxFile) -> Vec<VerifyError> {
+    verify_with_skip(file, &[])
+}
+
+/// Like [`verify`], but skips the per-class checks for every class index
+/// where `skip` is `true` — the incremental path's lever for classes a
+/// previous run already verified clean (by content fingerprint). The
+/// cross-class duplicate-definition check still covers *all* classes:
+/// it is the one file-scoped property a per-class cache cannot carry.
+/// Indices beyond `skip.len()` are verified normally.
+pub fn verify_with_skip(file: &AdxFile, skip: &[bool]) -> Vec<VerifyError> {
     let mut errors = Vec::new();
     let n_types = file.pools.types().len() as u32;
 
     let mut seen = std::collections::HashSet::new();
-    for class in &file.classes {
+    for (ci, class) in file.classes.iter().enumerate() {
         let class_name = file
             .pools
             .get_type(class.ty)
@@ -179,6 +189,9 @@ pub fn verify(file: &AdxFile) -> Vec<VerifyError> {
                 pc: None,
                 message: "duplicate class definition".to_owned(),
             });
+        }
+        if skip.get(ci).copied().unwrap_or(false) {
+            continue;
         }
         if let Some(s) = class.superclass {
             if s.0 >= n_types {

@@ -447,6 +447,11 @@ impl Body {
 }
 
 /// A lifted method.
+///
+/// The body is `Arc`-shared: bodies are immutable once lifted, and the
+/// incremental-analysis cache clones whole `Method` records when
+/// replaying unchanged classes — sharing the body makes that clone O(1)
+/// instead of a deep copy of every statement.
 #[derive(Debug, Clone)]
 pub struct Method {
     /// Identity.
@@ -454,7 +459,7 @@ pub struct Method {
     /// Access flags carried over from the container.
     pub flags: AccessFlags,
     /// Body; `None` for abstract methods.
-    pub body: Option<Body>,
+    pub body: Option<std::sync::Arc<Body>>,
 }
 
 /// A lifted class.

@@ -1,23 +1,28 @@
-//! The `nchecker` command-line tool: analyze an APK bundle and print the
-//! warning reports (§4.6, Figure 7).
+//! The `nchecker` command-line tool: analyze APK bundles and print the
+//! warning reports (§4.6, Figure 7), batched through the analysis
+//! service — worker pool plus content-addressed cache.
 //!
 //! ```text
 //! nchecker [--summary|--json] [--strict] [--no-interproc] [--keep-going]
-//!          [--trace] [--metrics] [--quiet|-v|-vv] <app.apk>...
+//!          [--trace] [--metrics] [--quiet|-v|-vv]
+//!          [--jobs N] [--cache-dir DIR] [--no-cache] <app.apk>...
 //! ```
 //!
 //! Exit codes: `0` all apps analyzed cleanly, `1` at least one app failed
 //! to analyze, `2` usage error, `3` every app analyzed but at least one
 //! was degraded (some methods skipped as unanalyzable).
 
-use nchecker::{CheckerConfig, NChecker};
+use nchecker::CheckerConfig;
 use nck_obs::{Events, Level, Metrics, Obs, Tracer};
+use nck_svc::{AnalysisService, ServiceOptions};
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: nchecker [--summary|--json] [--strict] [--no-interproc] [--keep-going] \
-         [--trace] [--metrics] [--quiet|-v|-vv] <app.apk>..."
+         [--trace] [--metrics] [--quiet|-v|-vv] [--jobs N] [--cache-dir DIR] [--no-cache] \
+         <app.apk>..."
     );
     eprintln!();
     eprintln!("Statically analyzes ADX app bundles for network programming defects.");
@@ -29,6 +34,9 @@ fn usage() -> ExitCode {
     eprintln!("  --keep-going, -k  continue analyzing remaining apps after a failure");
     eprintln!("  --trace         record per-phase spans; tree printed to stderr");
     eprintln!("  --metrics       record pipeline metrics (embedded in --json output)");
+    eprintln!("  --jobs N        analyze up to N apps in parallel (default: CPU count)");
+    eprintln!("  --cache-dir DIR persist the analysis cache under DIR across runs");
+    eprintln!("  --no-cache      disable the analysis cache entirely");
     eprintln!("  --quiet, -q     suppress all diagnostics on stderr");
     eprintln!("  -v, -vv         raise diagnostic verbosity to info / debug");
     eprintln!();
@@ -46,6 +54,7 @@ const FLAGS: &[&str] = &[
     "-k",
     "--trace",
     "--metrics",
+    "--no-cache",
     "--quiet",
     "-q",
     "-v",
@@ -63,6 +72,7 @@ fn main() -> ExitCode {
     let keep_going = args.iter().any(|a| a == "--keep-going" || a == "-k");
     let trace = args.iter().any(|a| a == "--trace");
     let metrics = args.iter().any(|a| a == "--metrics");
+    let no_cache = args.iter().any(|a| a == "--no-cache");
     let quiet = args.iter().any(|a| a == "--quiet" || a == "-q");
     let verbose = args.iter().any(|a| a == "-v");
     let very_verbose = args.iter().any(|a| a == "-vv");
@@ -73,14 +83,38 @@ fn main() -> ExitCode {
             .find(|a| *a == "--interproc" || *a == "--no-interproc"),
         Some(a) if a == "--no-interproc"
     );
-    let paths: Vec<&String> = args.iter().filter(|a| !a.starts_with('-')).collect();
+
+    // Value-taking flags and positionals.
+    let mut jobs: Option<usize> = None;
+    let mut cache_dir: Option<PathBuf> = None;
+    let mut paths: Vec<&String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--jobs" => {
+                let Some(n) = it.next().and_then(|v| v.parse().ok()) else {
+                    return usage();
+                };
+                jobs = Some(n);
+            }
+            "--cache-dir" => {
+                let Some(dir) = it.next() else {
+                    return usage();
+                };
+                cache_dir = Some(PathBuf::from(dir));
+            }
+            s if s.starts_with('-') => {
+                if !FLAGS.contains(&s) {
+                    return usage();
+                }
+            }
+            _ => paths.push(a),
+        }
+    }
     if paths.is_empty() {
         return usage();
     }
-    if args
-        .iter()
-        .any(|a| a.starts_with('-') && !FLAGS.contains(&a.as_str()))
-    {
+    if let Some(0) = jobs {
         return usage();
     }
 
@@ -93,12 +127,12 @@ fn main() -> ExitCode {
     } else {
         Events::default()
     };
-    let mut checker = NChecker::with_config(CheckerConfig {
+    let config = CheckerConfig {
         strict_connectivity: strict,
         interproc,
         ..CheckerConfig::default()
-    });
-    checker.obs = Obs {
+    };
+    let obs = Obs {
         tracer: if trace {
             Tracer::enabled()
         } else {
@@ -114,24 +148,40 @@ fn main() -> ExitCode {
         events: events.clone(),
     };
 
+    // Read everything up front; the batch then runs on the pool.
+    let mut items: Vec<(String, Vec<u8>)> = Vec::new();
     let mut failures = 0usize;
-    let mut degraded = 0usize;
-    for path in paths {
-        let bytes = match std::fs::read(path) {
-            Ok(b) => b,
+    for path in &paths {
+        match std::fs::read(path) {
+            Ok(bytes) => {
+                events.debug(&format!("{path}: read {} bytes", bytes.len()));
+                items.push(((*path).clone(), bytes));
+            }
             Err(e) => {
                 events.error(&format!("{path}: {e}"));
                 failures += 1;
-                if keep_going {
-                    continue;
+                if !keep_going {
+                    return ExitCode::from(EXIT_FAILED);
                 }
-                return ExitCode::from(EXIT_FAILED);
             }
-        };
-        events.debug(&format!("{path}: read {} bytes", bytes.len()));
-        // analyze_bytes_checked contains panics from adversarial inputs
-        // so one bad bundle cannot take down a multi-app invocation.
-        match checker.analyze_bytes_checked(&bytes) {
+        }
+    }
+
+    let service = AnalysisService::new(
+        ServiceOptions {
+            config,
+            jobs,
+            cache_dir,
+            no_cache,
+        },
+        obs,
+    );
+    let outcomes = service.analyze_batch(&items);
+    let cache_stats = AnalysisService::batch_stats(&outcomes);
+
+    let mut degraded = 0usize;
+    for ((path, _), outcome) in items.iter().zip(&outcomes) {
+        match &outcome.report {
             Ok(report) => {
                 events.info(&format!(
                     "{path}: {} requests, {} defects",
@@ -154,7 +204,7 @@ fn main() -> ExitCode {
                 if json {
                     println!(
                         "{}",
-                        serde_json::to_string_pretty(&nchecker::app_report_to_json(&report))
+                        serde_json::to_string_pretty(&nchecker::app_report_to_json(report))
                             .expect("report serializes")
                     );
                 } else if summary {
@@ -197,6 +247,25 @@ fn main() -> ExitCode {
             }
         }
     }
+
+    // Cache accounting, part of the end-of-run report. Stderr under
+    // --json so stdout stays one JSON document per app.
+    if !no_cache {
+        let line = format!(
+            "cache: {} hit(s), {} miss(es) ({:.0}% whole-report), classes reused {}/{}",
+            cache_stats.hits,
+            cache_stats.misses,
+            cache_stats.hit_rate() * 100.0,
+            cache_stats.classes_reused,
+            cache_stats.classes_total,
+        );
+        if json {
+            eprintln!("{line}");
+        } else {
+            println!("{line}");
+        }
+    }
+
     if failures > 0 {
         ExitCode::from(EXIT_FAILED)
     } else if degraded > 0 {

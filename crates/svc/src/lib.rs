@@ -1,0 +1,30 @@
+//! `nck-svc`: the sharded batch-analysis service.
+//!
+//! NChecker's corpus experiments re-analyze thousands of app bundles,
+//! and real deployments re-analyze *updated versions* of the same apps.
+//! This crate packages the batch machinery those workloads share:
+//!
+//! - [`pool`] — a fault-tolerant work-stealing worker pool (panics are
+//!   contained per job; one adversarial bundle cannot take a run down),
+//! - [`store`] — a sharded, content-addressed analysis cache with an
+//!   in-memory tier (full replay seeds) and an optional on-disk tier
+//!   (durable whole-report entries in the [`wire`] format),
+//! - [`service`] — the [`service::AnalysisService`] façade gluing pool,
+//!   store, and checker together behind a keyed batch API.
+//!
+//! The incremental contract, end to end: analyzing version *N+1* of a
+//! bundle whose key was analyzed before replays every leading class
+//! whose content fingerprint is unchanged (verification skipped, lift
+//! replayed, per-method dataflow shared by `Arc`, interprocedural
+//! summaries seeded and recomputed only for the transitive dirty set),
+//! then re-runs the checkers in full — producing a report byte-identical
+//! to a cold analysis of the same bytes.
+
+pub mod pool;
+pub mod service;
+pub mod store;
+pub mod wire;
+
+pub use pool::{default_workers, run_pool};
+pub use service::{AnalysisService, AppOutcome, BatchCacheStats, ServiceOptions};
+pub use store::AnalysisStore;

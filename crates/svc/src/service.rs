@@ -1,0 +1,251 @@
+//! The batch analysis service: worker pool + analysis cache + checker.
+//!
+//! One [`AnalysisService`] owns a configured checker template, a
+//! two-tier [`AnalysisStore`], and a pool size; callers feed it keyed
+//! bundles (the key is the app's stable identity across versions —
+//! package name, file path, corpus index) and get reports plus reuse
+//! statistics back. Feeding it a *new version* of a previously analyzed
+//! key is the incremental path: unchanged class prefixes replay, dirty
+//! methods recompute, and the report is byte-identical to a cold run.
+//!
+//! Degraded apps (any skipped method) bypass the cache write path
+//! entirely: their entries would record unknown behaviour as replayable
+//! truth.
+
+use crate::pool::run_pool;
+use crate::store::AnalysisStore;
+use nchecker::cache::{config_fingerprint, ReuseStats};
+use nchecker::{AnalyzeError, AppReport, CheckerConfig, NChecker};
+use nck_obs::Obs;
+use std::path::PathBuf;
+
+/// One analyzed app: the report (or failure) plus what the cache did.
+#[derive(Debug)]
+pub struct AppOutcome {
+    /// The analysis result.
+    pub report: Result<AppReport, AnalyzeError>,
+    /// Cache/reuse accounting for this app.
+    pub reuse: ReuseStats,
+}
+
+/// Aggregate cache accounting for a batch.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BatchCacheStats {
+    /// Apps served whole from the cache (memory or disk tier).
+    pub hits: usize,
+    /// Apps analyzed (fully or partially) this run.
+    pub misses: usize,
+    /// Classes replayed from cached prefixes, across all apps.
+    pub classes_reused: usize,
+    /// Classes analyzed, across all apps.
+    pub classes_total: usize,
+    /// Apps that degraded and bypassed the cache.
+    pub degraded: usize,
+}
+
+impl BatchCacheStats {
+    fn absorb(&mut self, r: &ReuseStats) {
+        if r.whole_report {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+        self.classes_reused += r.classes_reused;
+        self.classes_total += r.classes_total;
+        self.degraded += usize::from(r.degraded);
+    }
+
+    /// Whole-report hit rate in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        let n = self.hits + self.misses;
+        if n == 0 {
+            0.0
+        } else {
+            self.hits as f64 / n as f64
+        }
+    }
+
+    /// Class-level reuse rate in `[0, 1]` (hits count their classes as
+    /// reused via the per-app stats).
+    pub fn class_reuse_rate(&self) -> f64 {
+        if self.classes_total == 0 {
+            0.0
+        } else {
+            self.classes_reused as f64 / self.classes_total as f64
+        }
+    }
+}
+
+/// Construction options for [`AnalysisService`].
+#[derive(Debug, Clone, Default)]
+pub struct ServiceOptions {
+    /// Checker toggles.
+    pub config: CheckerConfig,
+    /// Worker count override (`None` = [`crate::pool::default_workers`]).
+    pub jobs: Option<usize>,
+    /// Disk cache directory (`None` = memory tier only).
+    pub cache_dir: Option<PathBuf>,
+    /// Disable the cache entirely (lookups and writes).
+    pub no_cache: bool,
+}
+
+/// The sharded batch-analysis service.
+pub struct AnalysisService {
+    config: CheckerConfig,
+    obs: Obs,
+    store: AnalysisStore,
+    jobs: Option<usize>,
+    no_cache: bool,
+}
+
+impl AnalysisService {
+    /// Builds a service; `obs` is the observability template every app
+    /// derives fresh sinks from.
+    pub fn new(options: ServiceOptions, obs: Obs) -> AnalysisService {
+        AnalysisService {
+            config: options.config,
+            store: AnalysisStore::with_options(crate::store::DEFAULT_CAPACITY, options.cache_dir),
+            jobs: options.jobs,
+            no_cache: options.no_cache,
+            obs,
+        }
+    }
+
+    /// The underlying store (for tests and introspection).
+    pub fn store(&self) -> &AnalysisStore {
+        &self.store
+    }
+
+    /// Analyzes one keyed bundle through the cache.
+    pub fn analyze_one(&self, key: &str, bytes: &[u8]) -> AppOutcome {
+        let checker = self.make_checker();
+        self.analyze_with_checker(&checker, key, bytes)
+    }
+
+    /// Analyzes a batch of keyed bundles on the worker pool, preserving
+    /// input order. Panicking apps (contained) report
+    /// [`AnalyzeError::Panic`].
+    pub fn analyze_batch(&self, items: &[(String, Vec<u8>)]) -> Vec<AppOutcome> {
+        let outcomes = run_pool(
+            items.len(),
+            self.jobs,
+            || self.make_checker(),
+            |checker, i| {
+                let (key, bytes) = &items[i];
+                self.analyze_with_checker(checker, key, bytes)
+            },
+        );
+        outcomes
+            .into_iter()
+            .map(|slot| {
+                slot.unwrap_or_else(|| AppOutcome {
+                    report: Err(AnalyzeError::Panic(
+                        "worker died before writing a result".to_owned(),
+                    )),
+                    reuse: ReuseStats::default(),
+                })
+            })
+            .collect()
+    }
+
+    /// Folds a batch's outcomes into aggregate cache stats.
+    pub fn batch_stats(outcomes: &[AppOutcome]) -> BatchCacheStats {
+        let mut stats = BatchCacheStats::default();
+        for o in outcomes {
+            if o.report.is_ok() {
+                stats.absorb(&o.reuse);
+            }
+        }
+        stats
+    }
+
+    fn make_checker(&self) -> NChecker {
+        let mut checker = NChecker::with_config(self.config);
+        checker.obs = self.obs.fresh();
+        checker
+    }
+
+    fn analyze_with_checker(&self, checker: &NChecker, key: &str, bytes: &[u8]) -> AppOutcome {
+        let svc_obs = self.obs.fresh();
+
+        if self.no_cache {
+            let report = checker.analyze_bytes_checked(bytes);
+            return AppOutcome {
+                report,
+                reuse: ReuseStats::default(),
+            };
+        }
+
+        let prev = self.store.lookup(key, &svc_obs);
+
+        // Disk tier: only consulted when the memory tier has nothing for
+        // this key (a memory entry subsumes its own disk twin).
+        if prev.is_none() && self.store.has_disk() {
+            let bundle_fp = nck_dex::wire::fnv1a(bytes);
+            let config_fp = config_fingerprint(&self.config);
+            if let Some(report) = self.store.lookup_disk(key, bundle_fp, config_fp, &svc_obs) {
+                self.store.count_outcome(true, &svc_obs);
+                let reuse = ReuseStats {
+                    whole_report: true,
+                    ..ReuseStats::default()
+                };
+                return AppOutcome {
+                    report: Ok(self.stamp(report, &svc_obs)),
+                    reuse,
+                };
+            }
+        }
+
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            checker.analyze_bytes_reusing(bytes, prev.as_deref())
+        }))
+        .unwrap_or_else(|payload| {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_owned());
+            Err(AnalyzeError::Panic(msg))
+        });
+
+        match result {
+            Ok((report, entry, reuse)) => {
+                self.store.count_outcome(reuse.whole_report, &svc_obs);
+                if let Some(entry) = entry {
+                    debug_assert!(
+                        !entry.report.degraded(),
+                        "degraded apps must bypass the cache write path"
+                    );
+                    self.store.insert(key, entry, &svc_obs);
+                }
+                AppOutcome {
+                    report: Ok(self.stamp(report, &svc_obs)),
+                    reuse,
+                }
+            }
+            Err(e) => {
+                self.store.count_outcome(false, &svc_obs);
+                AppOutcome {
+                    report: Err(e),
+                    reuse: ReuseStats::default(),
+                }
+            }
+        }
+    }
+
+    /// Merges the service-level metrics (cache counters, lookup spans)
+    /// into the report's snapshot so `--json` exports carry
+    /// `svc.cache.*` under the schema-v1 `"metrics"` key. No-op when
+    /// metrics are disabled (keeping cold/warm reports byte-identical in
+    /// benchmark mode).
+    fn stamp(&self, mut report: AppReport, svc_obs: &Obs) -> AppReport {
+        if svc_obs.metrics.is_enabled() {
+            let snap = svc_obs.metrics.snapshot();
+            match report.metrics.as_mut() {
+                Some(m) => m.merge(&snap),
+                None => report.metrics = Some(snap),
+            }
+        }
+        report
+    }
+}

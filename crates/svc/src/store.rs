@@ -1,0 +1,312 @@
+//! The sharded, content-addressed analysis store.
+//!
+//! Two tiers:
+//!
+//! - **Memory** — full [`AppCacheEntry`]s (replay seeds, `Arc`'d
+//!   dataflow artifacts, report) sharded by app key, LRU-evicted under a
+//!   capacity cap. Seeds embed interned symbol ids and shared pointers,
+//!   so this tier is process-local by construction.
+//! - **Disk** (optional, under `--cache-dir`) — the durable subset: the
+//!   bundle and config fingerprints plus the report in the faithful
+//!   [`crate::wire`] format. A disk hit serves an *identical* bundle
+//!   across process restarts; a changed bundle misses and re-records.
+//!
+//! Every lookup runs under a `cache_lookup` span and bumps the
+//! `svc.cache.{hit,miss}` counters on the obs handle it is given;
+//! evictions bump `svc.cache.evict`. Corrupt or alien disk files decode
+//! as misses, never errors.
+
+use nchecker::cache::AppCacheEntry;
+use nck_obs::Obs;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+const SHARDS: usize = 16;
+
+/// Default memory-tier capacity (entries across all shards).
+pub const DEFAULT_CAPACITY: usize = 256;
+
+fn key_hash(key: &str) -> u64 {
+    nck_dex::wire::fnv1a(key.as_bytes())
+}
+
+struct Shard {
+    // key -> (last-used tick, entry)
+    entries: HashMap<String, (u64, Arc<AppCacheEntry>)>,
+}
+
+/// A sharded two-tier analysis cache, safe to hammer from the pool.
+pub struct AnalysisStore {
+    shards: Vec<Mutex<Shard>>,
+    clock: AtomicU64,
+    capacity: usize,
+    disk: Option<PathBuf>,
+}
+
+impl AnalysisStore {
+    /// An in-memory store with the default capacity and no disk tier.
+    pub fn new() -> AnalysisStore {
+        AnalysisStore::with_options(DEFAULT_CAPACITY, None)
+    }
+
+    /// A store with an explicit capacity and optional disk directory
+    /// (created on first write).
+    pub fn with_options(capacity: usize, disk: Option<PathBuf>) -> AnalysisStore {
+        AnalysisStore {
+            shards: (0..SHARDS)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        entries: HashMap::new(),
+                    })
+                })
+                .collect(),
+            clock: AtomicU64::new(0),
+            capacity: capacity.max(1),
+            disk,
+        }
+    }
+
+    /// Whether a disk tier is configured.
+    pub fn has_disk(&self) -> bool {
+        self.disk.is_some()
+    }
+
+    fn shard(&self, key: &str) -> &Mutex<Shard> {
+        &self.shards[(key_hash(key) as usize) % SHARDS]
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Memory-tier lookup. Counts neither hit nor miss — the *outcome*
+    /// of the analysis (whole-report reuse vs. recompute) decides that;
+    /// see [`AnalysisStore::count_outcome`].
+    pub fn lookup(&self, key: &str, obs: &Obs) -> Option<Arc<AppCacheEntry>> {
+        let _s = obs.tracer.span("cache_lookup");
+        let mut shard = lock(self.shard(key));
+        let tick = self.tick();
+        shard.entries.get_mut(key).map(|slot| {
+            slot.0 = tick;
+            Arc::clone(&slot.1)
+        })
+    }
+
+    /// Disk-tier lookup: returns the cached report only when both
+    /// fingerprints match exactly.
+    pub fn lookup_disk(
+        &self,
+        key: &str,
+        bundle_fp: u64,
+        config_fp: u64,
+        obs: &Obs,
+    ) -> Option<nchecker::AppReport> {
+        let dir = self.disk.as_deref()?;
+        let _s = obs.tracer.span("cache_lookup_disk");
+        let text = std::fs::read_to_string(disk_path(dir, key, config_fp)).ok()?;
+        let v = serde_json::from_str(&text).ok()?;
+        let stored_bundle = v.get("bundle_fp")?.as_str()?.parse::<u64>().ok()?;
+        let stored_config = v.get("config_fp")?.as_str()?.parse::<u64>().ok()?;
+        if stored_bundle != bundle_fp || stored_config != config_fp {
+            return None;
+        }
+        crate::wire::report_from_wire(v.get("report")?)
+    }
+
+    /// Records a finished clean analysis in both tiers. Degraded apps
+    /// must never reach this (the service enforces it; the checker
+    /// already returns no entry for them).
+    pub fn insert(&self, key: &str, entry: AppCacheEntry, obs: &Obs) {
+        if let Some(dir) = self.disk.as_deref() {
+            write_disk(dir, key, &entry, obs);
+        }
+        let entry = Arc::new(entry);
+        let tick = self.tick();
+        let mut shard = lock(self.shard(key));
+        shard.entries.insert(key.to_owned(), (tick, entry));
+        // Per-shard share of the global capacity, at least 1.
+        let cap = self.capacity.div_ceil(SHARDS);
+        while shard.entries.len() > cap {
+            let oldest = shard
+                .entries
+                .iter()
+                .min_by_key(|(k, (t, _))| (*t, (*k).clone()))
+                .map(|(k, _)| k.clone())
+                .expect("non-empty shard");
+            shard.entries.remove(&oldest);
+            obs.metrics.inc("svc.cache.evict", 1);
+        }
+    }
+
+    /// Bumps `svc.cache.hit` or `svc.cache.miss` for one analyzed app.
+    /// Whole-report reuse (from either tier) is the only thing counted
+    /// as a hit: partial prefix reuse still recomputes the report, and
+    /// its savings show up in the reuse stats instead.
+    pub fn count_outcome(&self, hit: bool, obs: &Obs) {
+        obs.metrics.inc(
+            if hit {
+                "svc.cache.hit"
+            } else {
+                "svc.cache.miss"
+            },
+            1,
+        );
+    }
+
+    /// Number of memory-tier entries, across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| lock(s).entries.len()).sum()
+    }
+
+    /// Whether the memory tier is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for AnalysisStore {
+    fn default() -> Self {
+        AnalysisStore::new()
+    }
+}
+
+fn lock(m: &Mutex<Shard>) -> std::sync::MutexGuard<'_, Shard> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Disk file name: key hash + config fingerprint, both hex. The key is
+/// hashed (not embedded) so arbitrary package strings cannot escape the
+/// cache directory.
+fn disk_path(dir: &Path, key: &str, config_fp: u64) -> PathBuf {
+    dir.join(format!("{:016x}-{config_fp:016x}.json", key_hash(key)))
+}
+
+fn write_disk(dir: &Path, key: &str, entry: &AppCacheEntry, obs: &Obs) {
+    // u64 fingerprints ride as strings: the wire format's numbers are
+    // i64, and fingerprints use the full unsigned range.
+    let v = serde_json::json!({
+        "schema": crate::wire::WIRE_SCHEMA,
+        "bundle_fp": entry.bundle_fp.to_string(),
+        "config_fp": entry.config_fp.to_string(),
+        "report": crate::wire::report_to_wire(&entry.report),
+    });
+    let Ok(text) = serde_json::to_string(&v) else {
+        return;
+    };
+    // Cache writes are best-effort: a read-only or vanished directory
+    // degrades to memory-only, it does not fail the analysis.
+    if std::fs::create_dir_all(dir).is_err() {
+        obs.events.warn("cache dir could not be created");
+        return;
+    }
+    let path = disk_path(dir, key, entry.config_fp);
+    let tmp = path.with_extension("tmp");
+    if std::fs::write(&tmp, &text).is_ok() && std::fs::rename(&tmp, &path).is_err() {
+        obs.events.warn("cache file rename failed");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nchecker::cache::AppCacheEntry;
+    use nchecker::AppReport;
+
+    fn entry(bundle_fp: u64, package: &str) -> AppCacheEntry {
+        let mut report = AppReport::default();
+        report.stats.package = package.to_owned();
+        AppCacheEntry {
+            bundle_fp,
+            config_fp: 42,
+            class_fps: Vec::new(),
+            lift_seed: Default::default(),
+            callee_fps: Vec::new(),
+            analyses: Default::default(),
+            summary_seed: Default::default(),
+            report,
+        }
+    }
+
+    #[test]
+    fn lookup_returns_what_insert_stored() {
+        let store = AnalysisStore::new();
+        let obs = Obs::disabled();
+        assert!(store.lookup("app.a", &obs).is_none());
+        store.insert("app.a", entry(1, "app.a"), &obs);
+        let got = store.lookup("app.a", &obs).unwrap();
+        assert_eq!(got.bundle_fp, 1);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn capacity_evicts_least_recently_used() {
+        // Capacity 1 → every shard caps at 1 entry; two keys in the
+        // same shard must evict the older.
+        let store = AnalysisStore::with_options(1, None);
+        let obs = Obs::enabled();
+        // Find two keys landing in the same shard.
+        let k1 = "app.x".to_owned();
+        let mut k2 = None;
+        for i in 0..200 {
+            let cand = format!("app.y{i}");
+            if (key_hash(&cand) as usize) % SHARDS == (key_hash(&k1) as usize) % SHARDS {
+                k2 = Some(cand);
+                break;
+            }
+        }
+        let k2 = k2.expect("a colliding shard key exists");
+        store.insert(&k1, entry(1, &k1), &obs);
+        store.insert(&k2, entry(2, &k2), &obs);
+        assert!(store.lookup(&k1, &obs).is_none(), "older key evicted");
+        assert!(store.lookup(&k2, &obs).is_some());
+        assert_eq!(
+            *obs.metrics
+                .snapshot()
+                .counters
+                .get("svc.cache.evict")
+                .unwrap(),
+            1
+        );
+    }
+
+    #[test]
+    fn disk_tier_roundtrips_and_rejects_stale_fingerprints() {
+        let dir = std::env::temp_dir().join(format!(
+            "nck-svc-store-test-{}-{}",
+            std::process::id(),
+            key_hash("disk_tier_roundtrips")
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = AnalysisStore::with_options(8, Some(dir.clone()));
+        let obs = Obs::disabled();
+        store.insert("app.d", entry(7, "app.d"), &obs);
+        let hit = store.lookup_disk("app.d", 7, 42, &obs).unwrap();
+        assert_eq!(hit.stats.package, "app.d");
+        assert!(
+            store.lookup_disk("app.d", 8, 42, &obs).is_none(),
+            "bundle moved"
+        );
+        assert!(
+            store.lookup_disk("app.d", 7, 43, &obs).is_none(),
+            "config moved"
+        );
+        // Corrupt file: miss, not error.
+        std::fs::write(disk_path(&dir, "app.d", 42), "{not json").unwrap();
+        assert!(store.lookup_disk("app.d", 7, 42, &obs).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn outcome_counters_land_on_the_obs_handle() {
+        let store = AnalysisStore::new();
+        let obs = Obs::enabled();
+        store.count_outcome(true, &obs);
+        store.count_outcome(false, &obs);
+        store.count_outcome(false, &obs);
+        let snap = obs.metrics.snapshot();
+        assert_eq!(snap.counters["svc.cache.hit"], 1);
+        assert_eq!(snap.counters["svc.cache.miss"], 2);
+    }
+}

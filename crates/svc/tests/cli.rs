@@ -98,3 +98,92 @@ fn json_mode_emits_valid_json() {
         "{stdout}"
     );
 }
+
+#[test]
+fn cache_dir_persists_entries_and_reports_hits() {
+    let spec = AppSpec::new(
+        "com.test.cached",
+        vec![RequestSpec::new(Library::OkHttp, Origin::UserClick)],
+    );
+    let path = temp_path("cached.apk");
+    let cache = temp_path("cache-dir");
+    let _ = std::fs::remove_dir_all(&cache);
+    nck_appgen::generate(&spec).save(&path).unwrap();
+
+    let run = || {
+        std::process::Command::new(env!("CARGO_BIN_EXE_nchecker"))
+            .arg("--summary")
+            .arg("--cache-dir")
+            .arg(&cache)
+            .arg(&path)
+            .output()
+            .expect("cli runs")
+    };
+    let first = run();
+    assert!(first.status.success());
+    let entries = std::fs::read_dir(&cache).map(|d| d.count()).unwrap_or(0);
+    assert!(entries > 0, "cache dir must gain an entry");
+    assert!(
+        String::from_utf8_lossy(&first.stdout).contains("cache: 0 hit(s), 1 miss(es)"),
+        "{}",
+        String::from_utf8_lossy(&first.stdout)
+    );
+
+    // A second process restores the report from disk.
+    let second = run();
+    assert!(second.status.success());
+    let stdout = String::from_utf8_lossy(&second.stdout);
+    assert!(stdout.contains("cache: 1 hit(s), 0 miss(es)"), "{stdout}");
+
+    std::fs::remove_file(&path).ok();
+    let _ = std::fs::remove_dir_all(&cache);
+}
+
+#[test]
+fn no_cache_silences_the_cache_summary() {
+    let spec = AppSpec::new(
+        "com.test.nocache",
+        vec![RequestSpec::new(Library::OkHttp, Origin::UserClick)],
+    );
+    let path = temp_path("nocache.apk");
+    nck_appgen::generate(&spec).save(&path).unwrap();
+
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_nchecker"))
+        .arg("--summary")
+        .arg("--no-cache")
+        .arg(&path)
+        .output()
+        .expect("cli runs");
+    std::fs::remove_file(&path).ok();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(!stdout.contains("cache:"), "{stdout}");
+}
+
+#[test]
+fn jobs_flag_accepts_a_worker_count_and_rejects_zero() {
+    let spec = AppSpec::new(
+        "com.test.jobs",
+        vec![RequestSpec::new(Library::Volley, Origin::UserClick)],
+    );
+    let path = temp_path("jobs.apk");
+    nck_appgen::generate(&spec).save(&path).unwrap();
+
+    let ok = std::process::Command::new(env!("CARGO_BIN_EXE_nchecker"))
+        .arg("--summary")
+        .arg("--jobs")
+        .arg("2")
+        .arg(&path)
+        .output()
+        .expect("cli runs");
+    assert!(ok.status.success());
+
+    let zero = std::process::Command::new(env!("CARGO_BIN_EXE_nchecker"))
+        .arg("--jobs")
+        .arg("0")
+        .arg(&path)
+        .output()
+        .expect("cli runs");
+    std::fs::remove_file(&path).ok();
+    assert_eq!(zero.status.code(), Some(2), "--jobs 0 is a usage error");
+}

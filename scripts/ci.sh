@@ -42,4 +42,23 @@ print(f"smoke ok: {len(doc['defects'])} defects, "
       f"{len(metrics['counters'])} counters, provenance present")
 EOF
 
+echo "==> cache determinism tests"
+# Cold/warm differential suite: whole-report hits, prefix replay after
+# app updates, disk-tier restarts, no-cache mode, degraded bypass — all
+# byte-identical to cold.
+cargo test --package nck-svc --test determinism --quiet
+
+echo "==> incremental re-analysis smoke test"
+# Small corpus of updated bundles through the analysis service. The
+# binary itself exits non-zero if any warm or hot report differs from
+# cold; on top of that, require real cache traffic (hits and replay).
+incr_out="$(./target/release/incremental_bench --apps 16 --bulk 8 --reps 1 --no-write)"
+echo "$incr_out"
+echo "$incr_out" | grep -q "byte-identical to cold" \
+    || { echo "incremental smoke: missing report-identity line"; exit 1; }
+echo "$incr_out" | grep -q "100% whole-report hits" \
+    || { echo "incremental smoke: hot pass was not all cache hits"; exit 1; }
+echo "$incr_out" | grep -Eq "warm:.* [1-9][0-9]*% classes replayed" \
+    || { echo "incremental smoke: warm pass reported no class reuse"; exit 1; }
+
 echo "CI green."

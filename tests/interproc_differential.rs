@@ -105,7 +105,7 @@ fn summaries_of(p: &Program) -> Summaries {
         .methods
         .iter()
         .map(|m| MethodInput {
-            body: m.body.as_ref(),
+            body: m.body.as_deref(),
             is_static: m.flags.contains(AccessFlags::STATIC),
         })
         .collect();
