@@ -1,0 +1,160 @@
+//! Solver hot-path benches: the RPO-priority worklist against loopy and
+//! loop-free bodies, the union-find object-flow closure, and tiny-body
+//! overhead (the corpus median method is under ten statements, so
+//! per-solve constant costs dominate real workloads).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nck_dataflow::{object_flow, ConstProp, FlowOptions, Liveness, ReachingDefs};
+use nck_dex::builder::AdxBuilder;
+use nck_dex::{AccessFlags, BinOp, CondOp};
+use nck_ir::cfg::Cfg;
+use nck_ir::{Body, LocalId};
+
+/// A straight-line + diamond body of `blocks` blocks (loop-free: the
+/// solver's single-sweep fast case).
+fn diamond_body(blocks: usize) -> Body {
+    let mut b = AdxBuilder::new();
+    b.class("Lbench/D;", |c| {
+        c.method("f", "(I)I", AccessFlags::PUBLIC, 8, |m| {
+            let x = m.reg(0);
+            let y = m.reg(1);
+            let p = m.param(1).unwrap();
+            m.const_int(x, 0);
+            m.const_int(y, 1);
+            for _ in 0..blocks {
+                let else_ = m.new_label();
+                let join = m.new_label();
+                m.ifz(CondOp::Eq, p, else_);
+                m.binop(BinOp::Add, x, x, y);
+                m.goto(join);
+                m.bind(else_);
+                m.binop(BinOp::Mul, y, y, p);
+                m.bind(join);
+            }
+            m.ret(Some(x));
+        });
+    });
+    let program = nck_ir::lift_file(&b.finish().unwrap()).unwrap();
+    program.methods[0].body.as_deref().unwrap().clone()
+}
+
+/// A body of `loops` sequential counted loops (each forces iteration to
+/// a fixpoint: the solver's re-queue path).
+fn loopy_body(loops: usize) -> Body {
+    let mut b = AdxBuilder::new();
+    b.class("Lbench/L;", |c| {
+        c.method("f", "(I)I", AccessFlags::PUBLIC, 8, |m| {
+            let i = m.reg(0);
+            let acc = m.reg(1);
+            let n = m.param(1).unwrap();
+            m.const_int(acc, 0);
+            for _ in 0..loops {
+                m.const_int(i, 0);
+                let head = m.new_label();
+                let done = m.new_label();
+                m.bind(head);
+                m.if_(CondOp::Ge, i, n, done);
+                m.binop(BinOp::Add, acc, acc, i);
+                m.binop_lit(BinOp::Add, i, i, 1);
+                m.goto(head);
+                m.bind(done);
+            }
+            m.ret(Some(acc));
+        });
+    });
+    let program = nck_ir::lift_file(&b.finish().unwrap()).unwrap();
+    program.methods[0].body.as_deref().unwrap().clone()
+}
+
+/// A fluent-builder chain of `n` config calls through aliases and a
+/// field round-trip: the object-flow closure workload.
+fn builder_body(n: usize) -> Body {
+    let mut b = AdxBuilder::new();
+    b.class("Lbench/F;", |c| {
+        c.method("f", "()V", AccessFlags::PUBLIC, 8, |m| {
+            let cur = m.reg(0);
+            let next = m.reg(1);
+            m.new_instance(cur, "Lnet/Builder;");
+            m.invoke_direct("Lnet/Builder;", "<init>", "()V", &[cur]);
+            for _ in 0..n {
+                m.invoke_virtual(
+                    "Lnet/Builder;",
+                    "timeout",
+                    "(I)Lnet/Builder;",
+                    &[cur, m.reg(2)],
+                );
+                m.move_result(next);
+                m.mov(cur, next);
+            }
+            m.iput(cur, m.param(0).unwrap(), "Lbench/F;", "b", "Lnet/Builder;");
+            m.ret(None);
+        });
+    });
+    let program = nck_ir::lift_file(&b.finish().unwrap()).unwrap();
+    program.methods[0].body.as_deref().unwrap().clone()
+}
+
+fn bench_solver(c: &mut Criterion) {
+    // Tiny bodies: constant overhead per solve is what the corpus pays.
+    {
+        let body = diamond_body(1);
+        let cfg = Cfg::build(&body);
+        let mut group = c.benchmark_group("solver_tiny");
+        group.bench_function(BenchmarkId::new("reaching_defs", 1), |b| {
+            b.iter(|| ReachingDefs::compute(std::hint::black_box(&body), &cfg));
+        });
+        group.bench_function(BenchmarkId::new("constprop", 1), |b| {
+            b.iter(|| ConstProp::compute(std::hint::black_box(&body), &cfg));
+        });
+        group.bench_function(BenchmarkId::new("liveness", 1), |b| {
+            b.iter(|| Liveness::compute(std::hint::black_box(&body), &cfg));
+        });
+        group.finish();
+    }
+
+    for size in [16usize, 128] {
+        let diamond = diamond_body(size);
+        let dcfg = Cfg::build(&diamond);
+        let loopy = loopy_body(size / 4);
+        let lcfg = Cfg::build(&loopy);
+
+        let mut group = c.benchmark_group(format!("solver_{size}"));
+        group.bench_function(BenchmarkId::new("acyclic_forward", size), |b| {
+            b.iter(|| ReachingDefs::compute(std::hint::black_box(&diamond), &dcfg));
+        });
+        group.bench_function(BenchmarkId::new("acyclic_backward", size), |b| {
+            b.iter(|| Liveness::compute(std::hint::black_box(&diamond), &dcfg));
+        });
+        group.bench_function(BenchmarkId::new("loopy_forward", size), |b| {
+            b.iter(|| ReachingDefs::compute(std::hint::black_box(&loopy), &lcfg));
+        });
+        group.bench_function(BenchmarkId::new("loopy_backward", size), |b| {
+            b.iter(|| Liveness::compute(std::hint::black_box(&loopy), &lcfg));
+        });
+        group.finish();
+    }
+
+    {
+        let mut group = c.benchmark_group("object_flow");
+        for n in [8usize, 64] {
+            let body = builder_body(n);
+            group.bench_function(BenchmarkId::new("fluent_chain", n), |b| {
+                b.iter(|| {
+                    object_flow(
+                        std::hint::black_box(&body),
+                        LocalId(0),
+                        FlowOptions::default(),
+                    )
+                });
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_solver
+}
+criterion_main!(benches);

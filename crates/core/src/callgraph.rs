@@ -6,9 +6,11 @@
 //! running example's dashed "callback" arrow in Figure 5).
 
 use nck_android::callbacks::implicit_edges_for;
+use nck_dataflow::{tarjan_sccs, BitSet};
 use nck_ir::body::{MethodId, MethodKey, Operand, Program, StmtId};
 use nck_ir::symbols::Symbol;
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::sync::Arc;
 
 /// One call edge: a statement in a caller resolving to a callee.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,6 +32,39 @@ pub struct CallGraph {
     out_edges: BTreeMap<MethodId, Vec<CallEdge>>,
     /// Incoming edges per callee.
     in_edges: BTreeMap<MethodId, Vec<CallEdge>>,
+}
+
+/// A read-only set of methods backed by a shared bitset.
+///
+/// Entry-reach sets used to be one `BTreeSet<MethodId>` per entry point,
+/// recomputed by an independent BFS each. Entries whose methods sit in the
+/// same call-graph component now share a single allocation via `Arc`, and
+/// membership tests are O(1) bit probes.
+#[derive(Debug, Clone)]
+pub struct MethodSet {
+    bits: Arc<BitSet>,
+}
+
+impl MethodSet {
+    /// `true` when `m` is in the set.
+    pub fn contains(&self, m: MethodId) -> bool {
+        self.bits.contains(m.0 as usize)
+    }
+
+    /// Number of methods in the set.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// `true` when the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// Members in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = MethodId> + '_ {
+        self.bits.iter().map(|i| MethodId(i as u32))
+    }
 }
 
 /// Resolves a virtual/interface call key to program methods via CHA:
@@ -80,6 +115,10 @@ impl CallGraph {
     /// Builds the call graph of `program`.
     pub fn build(program: &Program) -> CallGraph {
         let mut cg = CallGraph::default();
+        // CHA resolution walks every program class per query; apps invoke
+        // the same (class, name, sig) key from many sites, so memoize the
+        // resolution per key for the duration of the build.
+        let mut virt_cache: HashMap<MethodKey, Vec<MethodId>> = HashMap::new();
 
         for (caller, method) in program.iter_methods() {
             let Some(body) = &method.body else { continue };
@@ -106,9 +145,10 @@ impl CallGraph {
                         }
                         found.into_iter().collect()
                     }
-                    nck_dex::InvokeKind::Virtual | nck_dex::InvokeKind::Interface => {
-                        resolve_virtual(program, key)
-                    }
+                    nck_dex::InvokeKind::Virtual | nck_dex::InvokeKind::Interface => virt_cache
+                        .entry(key)
+                        .or_insert_with(|| resolve_virtual(program, key))
+                        .clone(),
                 };
                 for callee in callees {
                     cg.add_edge(CallEdge {
@@ -234,6 +274,58 @@ impl CallGraph {
             }
         }
         seen
+    }
+
+    /// Reachable-method sets for every entry at once (each inclusive of
+    /// its entry), replacing one independent BFS per entry.
+    ///
+    /// The graph is condensed with Tarjan (components emitted
+    /// callees-first), then per-component reach bitsets are built
+    /// bottom-up: reach(c) = members(c) ∪ ⋃ reach(callee components).
+    /// All methods of one SCC are mutually reachable, so every entry in a
+    /// component — and every entry in distinct components with identical
+    /// closures — shares the same `Arc`'d bitset.
+    pub fn entry_reach_sets(&self, entries: &[MethodId], n_methods: usize) -> Vec<MethodSet> {
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n_methods];
+        for (caller, edges) in &self.out_edges {
+            let slot = &mut succs[caller.0 as usize];
+            slot.extend(edges.iter().map(|e| e.callee.0 as usize));
+            slot.sort_unstable();
+            slot.dedup();
+        }
+        let components = tarjan_sccs(n_methods, &succs);
+        let mut comp_of = vec![0usize; n_methods];
+        for (ci, comp) in components.iter().enumerate() {
+            for &m in comp {
+                comp_of[m] = ci;
+            }
+        }
+        // Callees-first emission order means every callee component's
+        // reach set exists by the time its callers are processed.
+        let mut reach: Vec<Arc<BitSet>> = Vec::with_capacity(components.len());
+        for (ci, comp) in components.iter().enumerate() {
+            let mut callee_comps: Vec<usize> = comp
+                .iter()
+                .flat_map(|&m| succs[m].iter().map(|&t| comp_of[t]))
+                .filter(|&cj| cj != ci)
+                .collect();
+            callee_comps.sort_unstable();
+            callee_comps.dedup();
+            let mut bits = BitSet::new(n_methods);
+            for &m in comp {
+                bits.insert(m);
+            }
+            for cj in callee_comps {
+                bits.union_with(&reach[cj]);
+            }
+            reach.push(Arc::new(bits));
+        }
+        entries
+            .iter()
+            .map(|e| MethodSet {
+                bits: Arc::clone(&reach[comp_of[e.0 as usize]]),
+            })
+            .collect()
     }
 
     /// Finds one call path `entry → ... → target` as a list of edges, BFS

@@ -58,7 +58,7 @@ fn operand_int_via_summaries(
     let local = op.as_local()?;
     let ma = app.analysis(method);
     let summaries = app.summaries();
-    let defs = ma.rd.reaching(at, local);
+    let defs = ma.rd().reaching(at, local);
     if defs.is_empty() {
         return None;
     }
@@ -136,7 +136,7 @@ fn match_config_calls(
         let offset = usize::from(inv.kind.has_receiver());
         let retry_count = cfg.kind.retry_count_arg().and_then(|arg| {
             inv.args.get(offset + arg).and_then(|&op| {
-                ma.cp.operand_value(call, op).as_int().or_else(|| {
+                ma.cp().operand_value(call, op).as_int().or_else(|| {
                     interproc
                         .then(|| operand_int_via_summaries(app, method, body, call, op))
                         .flatten()
@@ -220,7 +220,7 @@ fn volley_policy_calls(
         }
         let retry_count = inv.args.get(2).and_then(|&op| {
             // Receiver, timeoutMs, maxRetries.
-            ma.cp.operand_value(sid, op).as_int().or_else(|| {
+            ma.cp().operand_value(sid, op).as_int().or_else(|| {
                 interproc
                     .then(|| operand_int_via_summaries(app, method, body, sid, op))
                     .flatten()

@@ -234,7 +234,7 @@ fn guarded_by_conn_branch(
         .iter()
         .filter(|(id, s)| {
             matches!(s, nck_ir::Stmt::If { .. } | nck_ir::Stmt::Switch { .. }) && {
-                let slice = backward_slice(body, &ma.rd, &ma.cdeps, *id, SliceKind::Data);
+                let slice = backward_slice(body, ma.rd(), ma.cdeps(), *id, SliceKind::Data);
                 slice.iter().any(|d| conn_defs.contains(d))
             }
         })
@@ -253,7 +253,7 @@ fn guarded_by_conn_branch(
         if !seen.insert(s) {
             continue;
         }
-        for &dep in ma.cdeps_normal.deps_of(s) {
+        for &dep in ma.cdeps_normal().deps_of(s) {
             if guard_branches.contains(&dep) {
                 return true;
             }
@@ -295,7 +295,7 @@ pub fn is_guarded_with(
     for &e in &site.entries {
         let from_entry = &app.entry_reach[e];
         for &m in conn_methods {
-            if m != site.method && from_entry.contains(&m) && to_site.contains(&m) {
+            if m != site.method && from_entry.contains(m) && to_site.contains(&m) {
                 return true;
             }
         }

@@ -110,7 +110,7 @@ pub fn check_response_with(
     let unchecked_uses = uses
         .iter()
         .copied()
-        .filter(|&u| !checks.iter().any(|&c| ma.doms.dominates(c, u)))
+        .filter(|&u| !checks.iter().any(|&c| ma.doms().dominates(c, u)))
         .collect();
 
     Some(ResponseFinding {

@@ -1,7 +1,7 @@
 //! The per-app analysis context shared by all checkers: lifted program,
 //! entry points, call graph, and per-method dataflow results.
 
-use crate::callgraph::CallGraph;
+use crate::callgraph::{CallGraph, MethodSet};
 use nck_android::entrypoints::{entry_points, EntryPoint};
 use nck_android::manifest::Manifest;
 use nck_dataflow::interproc::{CallKind, MethodInput, Summaries, SummarySeed};
@@ -14,54 +14,110 @@ use nck_ir::loops::{natural_loops, NaturalLoop};
 use nck_netlibs::api::Registry;
 use nck_obs::Obs;
 use std::collections::{BTreeMap, BTreeSet};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
-/// All dataflow artifacts of one method body, computed once.
+/// Minimum number of method bodies to analyze before fanning out to
+/// threads; below this, spawn overhead beats the parallelism.
+const PAR_MIN_METHODS: usize = 64;
+
+/// Worker count for intra-app parallel phases, capped so one large app
+/// cannot monopolize a shared service host.
+fn par_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
+}
+
+/// All dataflow artifacts of one method body.
+///
+/// Only the CFG is computed eagerly: every consumer (including the
+/// summary engine) needs it. The remaining artifacts initialize lazily
+/// on first access — most methods are never touched by a checker beyond
+/// their summary, so the old eager-everything constructor spent the bulk
+/// of the `method_analyses` phase on results nobody read. `OnceLock`
+/// keeps the struct `Sync`, so lazily-initialized analyses still share
+/// across threads and across incremental runs via `Arc`.
 #[derive(Debug)]
 pub struct MethodAnalysis {
+    body: Arc<Body>,
     /// Statement-level CFG.
     pub cfg: Cfg,
-    /// Reaching definitions.
-    pub rd: ReachingDefs,
-    /// Constant propagation.
-    pub cp: ConstProp,
-    /// Dominator tree.
-    pub doms: DomTree,
-    /// Post-dominator tree.
-    pub pdoms: DomTree,
-    /// Control dependences.
-    pub cdeps: ControlDeps,
-    /// Control dependences over the exception-free CFG (used by the
-    /// strict connectivity check: "is the request control-dependent on a
-    /// branch?" is only meaningful without exceptional edges).
-    pub cdeps_normal: ControlDeps,
-    /// Natural loops.
-    pub loops: Vec<NaturalLoop>,
+    rd: OnceLock<ReachingDefs>,
+    cp: OnceLock<ConstProp>,
+    doms: OnceLock<DomTree>,
+    pdoms: OnceLock<DomTree>,
+    cdeps: OnceLock<ControlDeps>,
+    cdeps_normal: OnceLock<ControlDeps>,
+    loops: OnceLock<Vec<NaturalLoop>>,
 }
 
 impl MethodAnalysis {
-    /// Computes everything for `body`.
-    pub fn compute(body: &Body) -> MethodAnalysis {
+    /// Builds the CFG for `body` and sets up lazy slots for the rest.
+    pub fn compute(body: &Arc<Body>) -> MethodAnalysis {
         let cfg = Cfg::build(body);
-        let rd = ReachingDefs::compute(body, &cfg);
-        let cp = ConstProp::compute(body, &cfg);
-        let doms = dominators(&cfg);
-        let pdoms = post_dominators(&cfg);
-        let cdeps = ControlDeps::compute(&cfg, &pdoms);
-        let normal = cfg.normal_only();
-        let pdoms_normal = post_dominators(&normal);
-        let cdeps_normal = ControlDeps::compute(&normal, &pdoms_normal);
-        let loops = natural_loops(&cfg, &doms);
         MethodAnalysis {
+            body: Arc::clone(body),
             cfg,
-            rd,
-            cp,
-            doms,
-            pdoms,
-            cdeps,
-            cdeps_normal,
-            loops,
+            rd: OnceLock::new(),
+            cp: OnceLock::new(),
+            doms: OnceLock::new(),
+            pdoms: OnceLock::new(),
+            cdeps: OnceLock::new(),
+            cdeps_normal: OnceLock::new(),
+            loops: OnceLock::new(),
         }
+    }
+
+    /// Reaching definitions.
+    pub fn rd(&self) -> &ReachingDefs {
+        self.rd
+            .get_or_init(|| ReachingDefs::compute(&self.body, &self.cfg))
+    }
+
+    /// Constant propagation.
+    pub fn cp(&self) -> &ConstProp {
+        self.cp
+            .get_or_init(|| ConstProp::compute(&self.body, &self.cfg))
+    }
+
+    /// Dominator tree.
+    pub fn doms(&self) -> &DomTree {
+        self.doms.get_or_init(|| dominators(&self.cfg))
+    }
+
+    /// Post-dominator tree.
+    pub fn pdoms(&self) -> &DomTree {
+        self.pdoms.get_or_init(|| post_dominators(&self.cfg))
+    }
+
+    /// Control dependences.
+    pub fn cdeps(&self) -> &ControlDeps {
+        self.cdeps
+            .get_or_init(|| ControlDeps::compute(&self.cfg, self.pdoms()))
+    }
+
+    /// Control dependences over the exception-free CFG (used by the
+    /// strict connectivity check: "is the request control-dependent on a
+    /// branch?" is only meaningful without exceptional edges).
+    pub fn cdeps_normal(&self) -> &ControlDeps {
+        self.cdeps_normal.get_or_init(|| {
+            let normal = self.cfg.normal_only();
+            let pdoms_normal = post_dominators(&normal);
+            ControlDeps::compute(&normal, &pdoms_normal)
+        })
+    }
+
+    /// Natural loops.
+    pub fn loops(&self) -> &[NaturalLoop] {
+        self.loops.get_or_init(|| {
+            // A CFG with only forward edges is a DAG: no loops, and no
+            // need to build the dominator tree to prove it.
+            if !self.cfg.has_backward_edge() {
+                return Vec::new();
+            }
+            natural_loops(&self.cfg, self.doms())
+        })
     }
 }
 
@@ -109,8 +165,9 @@ pub struct AnalyzedApp<'r> {
     pub entries: Vec<EntryPoint>,
     /// The call graph.
     pub callgraph: CallGraph,
-    /// Per-entry reachable method sets (parallel to `entries`).
-    pub entry_reach: Vec<BTreeSet<MethodId>>,
+    /// Per-entry reachable method sets (parallel to `entries`). Entries
+    /// in the same call-graph component share one underlying bitset.
+    pub entry_reach: Vec<MethodSet>,
     analyses: BTreeMap<MethodId, Arc<MethodAnalysis>>,
     summaries: Summaries,
     summary_seed: SummarySeed,
@@ -161,12 +218,10 @@ impl<'r> AnalyzedApp<'r> {
             let _s = obs.tracer.span("callgraph");
             CallGraph::build(&program)
         };
-        let entry_reach: Vec<BTreeSet<MethodId>> = {
+        let entry_reach: Vec<MethodSet> = {
             let _s = obs.tracer.span("entry_reach");
-            entries
-                .iter()
-                .map(|e| callgraph.reachable_from(e.method))
-                .collect()
+            let entry_methods: Vec<MethodId> = entries.iter().map(|e| e.method).collect();
+            callgraph.entry_reach_sets(&entry_methods, program.methods.len())
         };
         let callee_fps = callee_fingerprints(&program, &callgraph);
         let mut stats = ContextReuse::default();
@@ -176,20 +231,57 @@ impl<'r> AnalyzedApp<'r> {
             .unwrap_or_default();
         let analyses: BTreeMap<MethodId, Arc<MethodAnalysis>> = {
             let s = obs.tracer.span("method_analyses");
-            let analyses: BTreeMap<MethodId, Arc<MethodAnalysis>> = program
-                .iter_methods()
-                .filter_map(|(id, m)| {
-                    let body = m.body.as_ref()?;
-                    if reused.contains(&id) {
-                        if let Some(prev) = reuse.as_ref().and_then(|r| r.analyses.get(&id)) {
-                            stats.analyses_reused += 1;
-                            return Some((id, Arc::clone(prev)));
-                        }
+            let mut analyses: BTreeMap<MethodId, Arc<MethodAnalysis>> = BTreeMap::new();
+            let mut to_compute: Vec<(MethodId, &Arc<Body>)> = Vec::new();
+            for (id, m) in program.iter_methods() {
+                let Some(body) = m.body.as_ref() else {
+                    continue;
+                };
+                if reused.contains(&id) {
+                    if let Some(prev) = reuse.as_ref().and_then(|r| r.analyses.get(&id)) {
+                        stats.analyses_reused += 1;
+                        analyses.insert(id, Arc::clone(prev));
+                        continue;
                     }
-                    stats.analyses_computed += 1;
-                    Some((id, Arc::new(MethodAnalysis::compute(body))))
+                }
+                stats.analyses_computed += 1;
+                to_compute.push((id, body));
+            }
+            // Per-method analyses are independent, so fan the batch out
+            // over striped worker threads when there is enough of it to
+            // amortize spawning. Results land in a `BTreeMap`, so the
+            // map's contents — and everything downstream — are identical
+            // to the sequential order.
+            let workers = par_workers();
+            if workers > 1 && to_compute.len() >= PAR_MIN_METHODS {
+                let items = &to_compute;
+                let computed: Vec<(MethodId, Arc<MethodAnalysis>)> = crossbeam::scope(|sc| {
+                    let handles: Vec<_> = (0..workers)
+                        .map(|w| {
+                            sc.spawn(move |_| {
+                                items
+                                    .iter()
+                                    .skip(w)
+                                    .step_by(workers)
+                                    .map(|&(id, body)| {
+                                        (id, Arc::new(MethodAnalysis::compute(body)))
+                                    })
+                                    .collect::<Vec<_>>()
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .flat_map(|h| h.join().expect("method-analysis worker panicked"))
+                        .collect()
                 })
-                .collect();
+                .expect("method-analysis scope");
+                analyses.extend(computed);
+            } else {
+                for (id, body) in to_compute {
+                    analyses.insert(id, Arc::new(MethodAnalysis::compute(body)));
+                }
+            }
             s.add_items(analyses.len() as u64);
             analyses
         };
@@ -304,7 +396,7 @@ impl<'r> AnalyzedApp<'r> {
         self.entry_reach
             .iter()
             .enumerate()
-            .filter(|(_, set)| set.contains(&method))
+            .filter(|(_, set)| set.contains(method))
             .map(|(i, _)| i)
             .collect()
     }

@@ -83,7 +83,7 @@ fn resolve_target(app: &AnalyzedApp<'_>, method: MethodId, stmt: StmtId) -> Opti
             match op {
                 Operand::ClassConst(ty) => return Some(*ty),
                 Operand::Local(l) => {
-                    for def in ma.rd.reaching(call, *l) {
+                    for def in ma.rd().reaching(call, *l) {
                         if let nck_ir::Stmt::Assign {
                             rvalue: nck_ir::Rvalue::Use(Operand::ClassConst(ty)),
                             ..

@@ -93,7 +93,7 @@ fn http_method_of(
                     continue;
                 }
                 if let Some(op) = cinv.args.get(1 + arg) {
-                    if let Some(v) = ma.cp.operand_value(call, *op).as_int() {
+                    if let Some(v) = ma.cp().operand_value(call, *op).as_int() {
                         return volley_method_constant(v);
                     }
                 }
@@ -126,7 +126,7 @@ fn http_method_of(
                     continue;
                 }
                 let arg = cinv.args.get(1)?;
-                if let Some(s) = ma.cp.operand_value(call, *arg).as_str() {
+                if let Some(s) = ma.cp().operand_value(call, *arg).as_str() {
                     return match str_of(app, s) {
                         "POST" => Some(HttpMethod::Post),
                         "GET" => Some(HttpMethod::Get),

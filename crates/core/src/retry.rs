@@ -95,7 +95,7 @@ fn return_depends_on_catch(app: &AnalyzedApp<'_>, method: MethodId) -> bool {
     body.iter()
         .filter(|(_, s)| matches!(s, Stmt::Return { value: Some(_) }))
         .any(|(id, _)| {
-            let slice = backward_slice(body, &ma.rd, &ma.cdeps, id, SliceKind::Data);
+            let slice = backward_slice(body, ma.rd(), ma.cdeps(), id, SliceKind::Data);
             slice.iter().any(|s| region.contains(s))
         })
 }
@@ -138,7 +138,7 @@ pub fn find_retry_loops(app: &AnalyzedApp<'_>) -> Vec<RetryLoop> {
     for (mid, m) in app.program.iter_methods() {
         let Some(body) = &m.body else { continue };
         let ma = app.analysis(mid);
-        for l in &ma.loops {
+        for l in ma.loops() {
             // Step 1: the loop must (transitively) issue a request.
             let issues_request = l.body.iter().any(|&s| {
                 let Some(inv) = body.stmt(s).invoke_expr() else {
@@ -172,7 +172,7 @@ pub fn find_retry_loops(app: &AnalyzedApp<'_>) -> Vec<RetryLoop> {
             let mut catch_condition = false;
             let mut interproc = false;
             for e in exits.iter().filter(|e| e.conditional) {
-                let slice = backward_slice(body, &ma.rd, &ma.cdeps, e.from, SliceKind::Data);
+                let slice = backward_slice(body, ma.rd(), ma.cdeps(), e.from, SliceKind::Data);
                 if !region.is_empty() && slice.iter().any(|s| s != &e.from && region.contains(s)) {
                     catch_condition = true;
                     break;

@@ -29,7 +29,10 @@ impl ControlDeps {
                 continue;
             }
             let ipdom_a = pdom.idom(a);
-            for b in cfg.succs(a, true) {
+            // succ_iter may yield a target twice (on both the normal and
+            // exceptional lists); the walk just repeats and the final
+            // sort+dedup absorbs it.
+            for b in cfg.succ_iter(a) {
                 if Some(b) == ipdom_a {
                     continue;
                 }

@@ -53,7 +53,7 @@ pub mod taint;
 pub use bitset::BitSet;
 pub use constprop::{CVal, ConstProp};
 pub use ctrldep::ControlDeps;
-pub use interproc::{CallKind, MethodInput, MethodSummary, Summaries, SummaryStats};
+pub use interproc::{tarjan_sccs, CallKind, MethodInput, MethodSummary, Summaries, SummaryStats};
 pub use liveness::Liveness;
 pub use reachdefs::ReachingDefs;
 pub use slice::{backward_slice, handler_entries, slice_reaches, SliceKind};

@@ -28,9 +28,9 @@ impl Analysis for LiveAnalysis {
         if let Some(d) = stmt.def() {
             fact.remove(d.0 as usize);
         }
-        for u in stmt.uses() {
+        stmt.for_each_use(|u| {
             fact.insert(u.0 as usize);
-        }
+        });
     }
 }
 

@@ -4,12 +4,17 @@ use crate::bitset::BitSet;
 use crate::solver::{solve, Analysis, Direction, Solution};
 use nck_ir::body::{Body, LocalId, Stmt, StmtId};
 use nck_ir::cfg::Cfg;
-use std::collections::HashMap;
+
+/// Sentinel for "this statement defines nothing".
+const NO_DEF: u32 = u32::MAX;
 
 struct RdAnalysis<'a> {
     n_defs: usize,
-    def_at: &'a HashMap<StmtId, usize>,
-    defs_by_local: &'a HashMap<LocalId, Vec<usize>>,
+    /// Dense def index per statement (`NO_DEF` for non-defining stmts).
+    def_at: &'a [u32],
+    /// Per-local kill mask: every def index of that local (including the
+    /// defining statement's own, which is re-inserted after the subtract).
+    kills: &'a [BitSet],
 }
 
 impl Analysis for RdAnalysis<'_> {
@@ -29,13 +34,10 @@ impl Analysis for RdAnalysis<'_> {
 
     fn transfer(&self, id: StmtId, stmt: &Stmt, fact: &mut BitSet) {
         if let Some(local) = stmt.def() {
-            if let Some(kills) = self.defs_by_local.get(&local) {
-                for &d in kills {
-                    fact.remove(d);
-                }
-            }
-            if let Some(&d) = self.def_at.get(&id) {
-                fact.insert(d);
+            fact.subtract(&self.kills[local.0 as usize]);
+            let d = self.def_at[id.index()];
+            if d != NO_DEF {
+                fact.insert(d as usize);
             }
         }
     }
@@ -47,27 +49,28 @@ pub struct ReachingDefs {
     solution: Solution<BitSet>,
     /// Definition sites in discovery order: `(stmt, defined local)`.
     pub def_sites: Vec<(StmtId, LocalId)>,
-    def_at: HashMap<StmtId, usize>,
+    def_at: Vec<u32>,
 }
 
 impl ReachingDefs {
     /// Computes reaching definitions for `body`.
     pub fn compute(body: &Body, cfg: &Cfg) -> ReachingDefs {
         let mut def_sites = Vec::new();
-        let mut def_at = HashMap::new();
-        let mut defs_by_local: HashMap<LocalId, Vec<usize>> = HashMap::new();
+        let mut def_at = vec![NO_DEF; body.len()];
         for (id, stmt) in body.iter() {
             if let Some(local) = stmt.def() {
-                let d = def_sites.len();
+                def_at[id.index()] = def_sites.len() as u32;
                 def_sites.push((id, local));
-                def_at.insert(id, d);
-                defs_by_local.entry(local).or_default().push(d);
             }
+        }
+        let mut kills: Vec<BitSet> = vec![BitSet::new(def_sites.len()); body.locals.len()];
+        for (d, &(_, local)) in def_sites.iter().enumerate() {
+            kills[local.0 as usize].insert(d);
         }
         let analysis = RdAnalysis {
             n_defs: def_sites.len(),
             def_at: &def_at,
-            defs_by_local: &defs_by_local,
+            kills: &kills,
         };
         let solution = solve(body, cfg, &analysis);
         ReachingDefs {
@@ -92,13 +95,16 @@ impl ReachingDefs {
 
     /// Returns every use statement reached by the definition at `def`.
     pub fn uses_of(&self, body: &Body, def: StmtId) -> Vec<StmtId> {
-        let Some(&d) = self.def_at.get(&def) else {
-            return vec![];
+        let d = match self.def_at.get(def.index()) {
+            Some(&d) if d != NO_DEF => d as usize,
+            _ => return vec![],
         };
         let (_, local) = self.def_sites[d];
         body.iter()
             .filter(|(id, stmt)| {
-                stmt.uses().contains(&local) && self.solution.before(*id).contains(d)
+                let mut uses_local = false;
+                stmt.for_each_use(|u| uses_local |= u == local);
+                uses_local && self.solution.before(*id).contains(d)
             })
             .map(|(id, _)| id)
             .collect()

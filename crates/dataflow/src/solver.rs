@@ -67,6 +67,15 @@ impl<F> Solution<F> {
 /// Exceptional edges participate in the propagation exactly like normal
 /// edges, which matches how Soot's `ExceptionalUnitGraph` drives
 /// FlowDroid-style analyses.
+///
+/// The worklist is a reverse-postorder priority queue: forward analyses
+/// visit statements in ascending RPO rank, backward analyses in ascending
+/// post-order rank (reverse RPO), so each pass sweeps the CFG in
+/// propagation direction and loop bodies stabilize in near-minimal
+/// visits. Because every lattice used here has a commutative, associative,
+/// idempotent join and monotone transfer, the visit order affects only
+/// convergence speed — the unique least fixpoint (and hence every report
+/// derived from it) is identical to the old LIFO solver's.
 pub fn solve<A: Analysis>(body: &Body, cfg: &Cfg, analysis: &A) -> Solution<A::Fact> {
     let n = body.len();
     let mut before: Vec<A::Fact> = vec![analysis.bottom(); n];
@@ -76,81 +85,133 @@ pub fn solve<A: Analysis>(body: &Body, cfg: &Cfg, analysis: &A) -> Solution<A::F
     }
 
     let dir = analysis.direction();
+    let bottom = analysis.bottom();
+    let boundary = analysis.boundary();
+
     // Seed boundary.
     match dir {
-        Direction::Forward => before[0] = analysis.boundary(),
+        Direction::Forward => before[0] = boundary.clone(),
         Direction::Backward => {
             // Backward boundary applies at every statement that exits the
-            // method; join happens naturally since exit successors are
-            // empty and `after` starts at bottom joined with boundary.
-            let b = analysis.boundary();
-            for (i, slot) in after.iter_mut().enumerate().take(n) {
-                if cfg.succs(StmtId(i as u32), false).is_empty() {
-                    *slot = b.clone();
+            // method. When boundary == bottom the slots already hold it, so
+            // the per-statement successor scan and clone are skipped.
+            if boundary != bottom {
+                for (i, slot) in after.iter_mut().enumerate().take(n) {
+                    if !cfg.has_real_succs(StmtId(i as u32)) {
+                        *slot = boundary.clone();
+                    }
                 }
             }
         }
     }
 
-    let mut work: Vec<u32> = (0..n as u32).collect();
+    // Priority order: RPO of the reachable statements (reversed for
+    // backward analyses, giving post-order), with statements unreachable
+    // from the entry appended in index order so every statement is still
+    // visited at least once, as the old exhaustive seeding guaranteed.
+    // Both arrays are cached on the CFG, so repeated solves pay nothing.
+    let (order, rank) = cfg.solve_priority(dir == Direction::Forward);
+
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    // The heap only ever holds re-queues against the sweep direction
+    // (nodes whose rank precedes the current position): phase one below
+    // visits every statement once in priority order directly from
+    // `order`, so acyclic regions never touch the heap at all.
+    let mut heap: BinaryHeap<Reverse<u32>> = BinaryHeap::new();
+    // `on_work` keeps at most one pending visit per statement live.
     let mut on_work = vec![true; n];
-    // Process in an order matching the direction for fast convergence.
-    if dir == Direction::Forward {
-        work.reverse(); // Pop from the back -> ascending order first pass.
-    }
+    // All joins land in one scratch buffer that is swapped into the
+    // solution on change, so the steady state allocates nothing.
+    let mut scratch = analysis.bottom();
 
-    while let Some(i) = work.pop() {
-        let idx = i as usize;
+    let visit = |idx: usize,
+                 on_work: &mut [bool],
+                 heap: &mut BinaryHeap<Reverse<u32>>,
+                 before: &mut [A::Fact],
+                 after: &mut [A::Fact],
+                 scratch: &mut A::Fact| {
         on_work[idx] = false;
-        let id = StmtId(i);
-
+        let id = StmtId(idx as u32);
         match dir {
             Direction::Forward => {
                 // in = join of preds' out.
-                let mut fact = if idx == 0 {
-                    analysis.boundary()
+                if idx == 0 {
+                    scratch.clone_from(&boundary);
                 } else {
-                    analysis.bottom()
-                };
-                for &p in &cfg.preds[idx] {
-                    analysis.join(&mut fact, &after[p.index()]);
+                    scratch.clone_from(&bottom);
                 }
-                before[idx] = fact.clone();
-                analysis.transfer(id, body.stmt(id), &mut fact);
-                if fact != after[idx] {
-                    after[idx] = fact;
-                    for s in cfg.succs(id, false) {
-                        if !on_work[s.index()] {
-                            on_work[s.index()] = true;
-                            work.push(s.0);
+                for &p in &cfg.preds[idx] {
+                    analysis.join(scratch, &after[p.index()]);
+                }
+                before[idx].clone_from(scratch);
+                analysis.transfer(id, body.stmt(id), scratch);
+                if *scratch != after[idx] {
+                    std::mem::swap(&mut after[idx], scratch);
+                    for s in cfg.succ_iter(id) {
+                        let si = s.index();
+                        if si < n && !on_work[si] {
+                            on_work[si] = true;
+                            heap.push(Reverse(rank[si]));
                         }
                     }
                 }
             }
             Direction::Backward => {
                 // out = join of succs' in.
-                let succs = cfg.succs(id, false);
-                let mut fact = if succs.is_empty() {
-                    analysis.boundary()
-                } else {
-                    analysis.bottom()
-                };
-                for s in &succs {
-                    analysis.join(&mut fact, &before[s.index()]);
+                scratch.clone_from(&bottom);
+                let mut any = false;
+                for s in cfg.succ_iter(id) {
+                    if s.index() < n {
+                        any = true;
+                        analysis.join(scratch, &before[s.index()]);
+                    }
                 }
-                after[idx] = fact.clone();
-                analysis.transfer(id, body.stmt(id), &mut fact);
-                if fact != before[idx] {
-                    before[idx] = fact;
+                if !any {
+                    scratch.clone_from(&boundary);
+                }
+                after[idx].clone_from(scratch);
+                analysis.transfer(id, body.stmt(id), scratch);
+                if *scratch != before[idx] {
+                    std::mem::swap(&mut before[idx], scratch);
+                    // Pred lists only ever contain real statements (the
+                    // virtual exit has no successors), so no range check
+                    // is needed.
                     for &p in &cfg.preds[idx] {
-                        if p.index() < n && !on_work[p.index()] {
+                        if !on_work[p.index()] {
                             on_work[p.index()] = true;
-                            work.push(p.0);
+                            heap.push(Reverse(rank[p.index()]));
                         }
                     }
                 }
             }
         }
+    };
+
+    // Phase one: a single sweep in priority order covers every statement.
+    // A re-queue pushed during the sweep always targets a node *behind*
+    // the cursor (nodes ahead still have `on_work` set from seeding), so
+    // the heap accumulates exactly the back-edge work.
+    for &idx in order {
+        visit(
+            idx as usize,
+            &mut on_work,
+            &mut heap,
+            &mut before,
+            &mut after,
+            &mut scratch,
+        );
+    }
+    // Phase two: drain back-edge re-queues to the fixpoint.
+    while let Some(Reverse(r)) = heap.pop() {
+        visit(
+            order[r as usize] as usize,
+            &mut on_work,
+            &mut heap,
+            &mut before,
+            &mut after,
+            &mut scratch,
+        );
     }
 
     Solution { before, after }

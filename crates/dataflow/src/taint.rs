@@ -9,6 +9,7 @@
 //! the facts off the closure.
 
 use nck_ir::body::{Body, FieldKey, LocalId, Operand, Rvalue, Stmt, StmtId};
+use nck_ir::symbols::DenseInterner;
 use std::collections::BTreeSet;
 
 /// Options controlling object-flow propagation.
@@ -45,77 +46,118 @@ pub struct ObjectFlow {
     pub invoked_on: Vec<StmtId>,
 }
 
-/// Computes the object-flow closure of `seed` within `body`.
-pub fn object_flow(body: &Body, seed: LocalId, opts: FlowOptions) -> ObjectFlow {
-    let mut flow = ObjectFlow::default();
-    flow.locals.insert(seed);
+/// A growable union-find with path halving and union by size.
+struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+}
 
-    // Fixpoint over the flow-insensitive alias closure.
-    let mut changed = true;
-    while changed {
-        changed = false;
-        for (_, stmt) in body.iter() {
-            match stmt {
-                Stmt::Assign { local, rvalue } => match rvalue {
-                    Rvalue::Use(Operand::Local(src))
-                    | Rvalue::Cast {
-                        op: Operand::Local(src),
-                        ..
-                    } => {
-                        let d = flow.locals.contains(local);
-                        let s = flow.locals.contains(src);
-                        if d && !s {
-                            changed |= flow.locals.insert(*src);
-                        }
-                        if s && !d {
-                            changed |= flow.locals.insert(*local);
-                        }
-                    }
-                    Rvalue::InstanceField { field, .. } | Rvalue::StaticField { field }
-                        if opts.through_fields =>
-                    {
-                        let d = flow.locals.contains(local);
-                        let f = flow.fields.contains(field);
-                        if d && !f {
-                            changed |= flow.fields.insert(*field);
-                        }
-                        if f && !d {
-                            changed |= flow.locals.insert(*local);
-                        }
-                    }
-                    Rvalue::Invoke(inv) => {
-                        if opts.fluent_returns && flow.locals.contains(local) {
-                            if let Some(Operand::Local(recv)) = inv.receiver() {
-                                changed |= flow.locals.insert(recv);
-                            }
-                        }
-                        if opts.fluent_returns {
-                            if let Some(Operand::Local(recv)) = inv.receiver() {
-                                if flow.locals.contains(&recv) {
-                                    changed |= flow.locals.insert(*local);
-                                }
-                            }
-                        }
-                    }
-                    _ => {}
-                },
-                Stmt::StoreInstanceField { field, value, .. }
-                | Stmt::StoreStaticField { field, value }
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+        }
+    }
+
+    fn push(&mut self) -> u32 {
+        let id = self.parent.len() as u32;
+        self.parent.push(id);
+        self.size.push(1);
+        id
+    }
+
+    fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            let grand = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = grand;
+            x = grand;
+        }
+        x
+    }
+
+    fn union(&mut self, a: u32, b: u32) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        let (big, small) = if self.size[ra as usize] >= self.size[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small as usize] = big;
+        self.size[big as usize] += self.size[small as usize];
+    }
+}
+
+/// Computes the object-flow closure of `seed` within `body`.
+///
+/// Every propagation rule of the closure is bidirectional (copies, casts,
+/// field loads *and* stores, fluent dst↔receiver), so the may-alias
+/// closure is exactly the connected component of `seed` in the graph of
+/// those edges. One union-find pass over the body replaces the old
+/// whole-body rescan fixpoint: the component is order-independent, so the
+/// resulting sets are identical.
+pub fn object_flow(body: &Body, seed: LocalId, opts: FlowOptions) -> ObjectFlow {
+    let n_locals = body.locals.len().max(seed.0 as usize + 1);
+    // Dense node space: locals first, fields appended on first sight.
+    let mut uf = UnionFind::new(n_locals);
+    let mut fields: DenseInterner<FieldKey> = DenseInterner::new();
+    let field_node = |uf: &mut UnionFind, fields: &mut DenseInterner<FieldKey>, f: &FieldKey| {
+        match fields.get(f) {
+            Some(id) => n_locals as u32 + id,
+            None => {
+                fields.intern(f);
+                uf.push()
+            }
+        }
+    };
+
+    for (_, stmt) in body.iter() {
+        match stmt {
+            Stmt::Assign { local, rvalue } => match rvalue {
+                Rvalue::Use(Operand::Local(src))
+                | Rvalue::Cast {
+                    op: Operand::Local(src),
+                    ..
+                } => uf.union(local.0, src.0),
+                Rvalue::InstanceField { field, .. } | Rvalue::StaticField { field }
                     if opts.through_fields =>
                 {
-                    if let Operand::Local(v) = value {
-                        let s = flow.locals.contains(v);
-                        let f = flow.fields.contains(field);
-                        if s && !f {
-                            changed |= flow.fields.insert(*field);
-                        }
-                        if f && !s {
-                            changed |= flow.locals.insert(*v);
-                        }
+                    let fnode = field_node(&mut uf, &mut fields, field);
+                    uf.union(local.0, fnode);
+                }
+                Rvalue::Invoke(inv) if opts.fluent_returns => {
+                    if let Some(Operand::Local(recv)) = inv.receiver() {
+                        uf.union(local.0, recv.0);
                     }
                 }
                 _ => {}
+            },
+            Stmt::StoreInstanceField { field, value, .. }
+            | Stmt::StoreStaticField { field, value }
+                if opts.through_fields =>
+            {
+                if let Operand::Local(v) = value {
+                    let fnode = field_node(&mut uf, &mut fields, field);
+                    uf.union(v.0, fnode);
+                }
             }
+            _ => {}
+        }
+    }
+
+    let root = uf.find(seed.0);
+    let mut flow = ObjectFlow::default();
+    for l in 0..body.locals.len().max(seed.0 as usize + 1) as u32 {
+        if uf.find(l) == root {
+            flow.locals.insert(LocalId(l));
+        }
+    }
+    for (i, f) in fields.items().iter().enumerate() {
+        if uf.find((n_locals + i) as u32) == root {
+            flow.fields.insert(*f);
         }
     }
 

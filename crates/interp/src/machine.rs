@@ -210,7 +210,7 @@ impl<'p, E: Env> Machine<'p, E> {
                 Ok(Control::Return(v)) => return Ok(Outcome::Returned(v)),
                 Ok(Control::Throw(t)) => {
                     // Find a matching handler covering this pc.
-                    let handler = body.traps_at(pc).into_iter().find(|trap| {
+                    let handler = body.traps_at(pc).find(|trap| {
                         trap.exception
                             .map(|e| exception_matches(&t.class, self.resolve_str(e)))
                             .unwrap_or(true)

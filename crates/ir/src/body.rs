@@ -202,6 +202,31 @@ impl Rvalue {
             Rvalue::Invoke(i) => i.args.clone(),
         }
     }
+
+    /// Visits the operands read by this rvalue without allocating.
+    pub fn for_each_operand(&self, mut f: impl FnMut(Operand)) {
+        match self {
+            Rvalue::Use(o) | Rvalue::UnOp { a: o, .. } => f(*o),
+            Rvalue::BinOp { a, b, .. } => {
+                f(*a);
+                f(*b);
+            }
+            Rvalue::Cast { op, .. } | Rvalue::InstanceOf { op, .. } => f(*op),
+            Rvalue::New { .. } | Rvalue::StaticField { .. } => {}
+            Rvalue::NewArray { len, .. } => f(*len),
+            Rvalue::InstanceField { base, .. } => f(*base),
+            Rvalue::ArrayElem { array, index } => {
+                f(*array);
+                f(*index);
+            }
+            Rvalue::ArrayLength { array } => f(*array),
+            Rvalue::Invoke(i) => {
+                for &a in &i.args {
+                    f(a);
+                }
+            }
+        }
+    }
 }
 
 /// An IR statement.
@@ -313,6 +338,50 @@ impl Stmt {
             Stmt::Throw { value } => vec![*value],
         };
         ops.into_iter().filter_map(Operand::as_local).collect()
+    }
+
+    /// Visits the locals read by this statement without allocating; the
+    /// hot-path twin of [`Stmt::uses`], visiting in the same order.
+    pub fn for_each_use(&self, mut f: impl FnMut(LocalId)) {
+        let mut op = |o: Operand| {
+            if let Some(l) = o.as_local() {
+                f(l);
+            }
+        };
+        match self {
+            Stmt::Identity { .. } | Stmt::Nop | Stmt::Goto { .. } => {}
+            Stmt::Assign { rvalue, .. } => rvalue.for_each_operand(op),
+            Stmt::Invoke(i) => {
+                for &a in &i.args {
+                    op(a);
+                }
+            }
+            Stmt::StoreInstanceField { base, value, .. } => {
+                op(*base);
+                op(*value);
+            }
+            Stmt::StoreStaticField { value, .. } => op(*value),
+            Stmt::StoreArrayElem {
+                array,
+                index,
+                value,
+            } => {
+                op(*array);
+                op(*index);
+                op(*value);
+            }
+            Stmt::If { a, b, .. } => {
+                op(*a);
+                op(*b);
+            }
+            Stmt::Switch { key, .. } => op(*key),
+            Stmt::Return { value } => {
+                if let Some(v) = value {
+                    op(*v);
+                }
+            }
+            Stmt::Throw { value } => op(*value),
+        }
     }
 
     /// Returns the call expression if this is a call (with or without a
@@ -438,11 +507,12 @@ impl Body {
             .map(|(i, s)| (StmtId(i as u32), s))
     }
 
-    /// Returns the traps covering `s` in declaration order — the runtime's
-    /// handler search order (compilers emit inner try ranges first, as the
-    /// builder does).
-    pub fn traps_at(&self, s: StmtId) -> Vec<&Trap> {
-        self.traps.iter().filter(|t| t.covers(s)).collect()
+    /// Iterates the traps covering `s` in declaration order — the
+    /// runtime's handler search order (compilers emit inner try ranges
+    /// first, as the builder does). Allocation-free: CFG construction
+    /// calls this for every throwing statement.
+    pub fn traps_at(&self, s: StmtId) -> impl Iterator<Item = &Trap> {
+        self.traps.iter().filter(move |t| t.covers(s))
     }
 }
 
@@ -682,10 +752,10 @@ mod tests {
                 },
             ],
         };
-        let at1 = body.traps_at(StmtId(1));
+        let at1: Vec<&Trap> = body.traps_at(StmtId(1)).collect();
         assert_eq!(at1.len(), 2);
         assert_eq!(at1[0].start, StmtId(1), "inner (declared first) leads");
-        assert_eq!(body.traps_at(StmtId(0)).len(), 1);
+        assert_eq!(body.traps_at(StmtId(0)).count(), 1);
     }
 
     #[test]

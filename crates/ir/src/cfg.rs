@@ -5,6 +5,7 @@
 //! post-dominance is well defined.
 
 use crate::body::{Body, Stmt, StmtId};
+use std::sync::OnceLock;
 
 /// The kind of a CFG edge.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -27,6 +28,14 @@ pub struct Cfg {
     pub preds: Vec<Vec<StmtId>>,
     /// Number of real statements (the virtual exit is node `len`).
     pub len: usize,
+    /// Cached reverse-postorder enumeration of reachable statements,
+    /// computed once at construction (the solver consults it on every
+    /// `solve`, several times per method).
+    rpo: Vec<StmtId>,
+    /// Lazily cached forward solver priority (see [`Cfg::solve_priority`]).
+    fwd_priority: OnceLock<(Vec<u32>, Vec<u32>)>,
+    /// Lazily cached backward solver priority.
+    bwd_priority: OnceLock<(Vec<u32>, Vec<u32>)>,
 }
 
 impl Cfg {
@@ -73,21 +82,19 @@ impl Cfg {
             }
 
             if stmt.can_throw() {
-                let traps = body.traps_at(id);
-                if traps.is_empty() {
+                // All matching handlers are possible targets: exception
+                // types are not statically known, so every covering
+                // clause gets an edge (sound over-approximation).
+                let mut catch_all = false;
+                for t in body.traps_at(id) {
+                    exc_succs[i].push(t.handler);
+                    catch_all |= t.exception.is_none();
+                }
+                // The exception may also be of a type no clause catches
+                // (or there is no covering trap at all), unless some
+                // clause is a catch-all.
+                if !catch_all {
                     exc_succs[i].push(StmtId(n as u32));
-                } else {
-                    // All matching handlers are possible targets: exception
-                    // types are not statically known, so every covering
-                    // clause gets an edge (sound over-approximation).
-                    for t in traps {
-                        exc_succs[i].push(t.handler);
-                    }
-                    // The exception may also be of a type no clause
-                    // catches, unless some clause is a catch-all.
-                    if !body.traps_at(id).iter().any(|t| t.exception.is_none()) {
-                        exc_succs[i].push(StmtId(n as u32));
-                    }
                 }
             }
 
@@ -109,11 +116,15 @@ impl Cfg {
             p.dedup();
         }
 
+        let rpo = compute_rpo(&normal_succs, &exc_succs, n);
         Cfg {
             normal_succs,
             exc_succs,
             preds,
             len: n,
+            rpo,
+            fwd_priority: OnceLock::new(),
+            bwd_priority: OnceLock::new(),
         }
     }
 
@@ -132,11 +143,16 @@ impl Cfg {
             p.sort_unstable();
             p.dedup();
         }
+        let exc_succs = vec![Vec::new(); self.len];
+        let rpo = compute_rpo(&self.normal_succs, &exc_succs, self.len);
         Cfg {
             normal_succs: self.normal_succs.clone(),
-            exc_succs: vec![Vec::new(); self.len],
+            exc_succs,
             preds,
             len: self.len,
+            rpo,
+            fwd_priority: OnceLock::new(),
+            bwd_priority: OnceLock::new(),
         }
     }
 
@@ -156,6 +172,23 @@ impl Cfg {
         out
     }
 
+    /// Iterates all successors of `s` (normal then exceptional, virtual
+    /// exit included) without allocating. Unlike [`Cfg::succs`] the two
+    /// per-kind lists are chained rather than merged, so a target on both
+    /// lists appears twice; callers that care must tolerate duplicates.
+    pub fn succ_iter(&self, s: StmtId) -> impl Iterator<Item = StmtId> + '_ {
+        self.normal_succs[s.index()]
+            .iter()
+            .chain(self.exc_succs[s.index()].iter())
+            .copied()
+    }
+
+    /// Returns `true` when `s` has at least one successor other than the
+    /// virtual exit.
+    pub fn has_real_succs(&self, s: StmtId) -> bool {
+        self.succ_iter(s).any(|t| t.index() < self.len)
+    }
+
     /// Returns the statements reachable from the entry over all edges.
     pub fn reachable(&self) -> Vec<bool> {
         let mut seen = vec![false; self.len];
@@ -165,8 +198,8 @@ impl Cfg {
         let mut stack = vec![StmtId(0)];
         seen[0] = true;
         while let Some(s) = stack.pop() {
-            for t in self.succs(s, false) {
-                if !seen[t.index()] {
+            for t in self.succ_iter(s) {
+                if t.index() < self.len && !seen[t.index()] {
                     seen[t.index()] = true;
                     stack.push(t);
                 }
@@ -175,37 +208,97 @@ impl Cfg {
         seen
     }
 
-    /// Returns a reverse-postorder enumeration of reachable statements
-    /// (over all edges, ignoring the virtual exit).
-    pub fn reverse_postorder(&self) -> Vec<StmtId> {
-        let mut visited = vec![false; self.len];
-        let mut order = Vec::with_capacity(self.len);
-        if self.len == 0 {
-            return order;
-        }
-        // Iterative DFS with an explicit post stack.
-        let mut stack: Vec<(StmtId, usize)> = vec![(StmtId(0), 0)];
-        visited[0] = true;
-        let mut succ_cache: Vec<Option<Vec<StmtId>>> = vec![None; self.len];
-        while let Some(&mut (node, ref mut idx)) = stack.last_mut() {
-            let succs = succ_cache[node.index()]
-                .get_or_insert_with(|| self.succs(node, false))
-                .clone();
-            if *idx < succs.len() {
-                let next = succs[*idx];
+    /// Returns the reverse-postorder enumeration of reachable statements
+    /// (over all edges, ignoring the virtual exit), cached at build time.
+    pub fn reverse_postorder(&self) -> &[StmtId] {
+        &self.rpo
+    }
+
+    /// Solver visit priority: `order` lists statement indices in visit
+    /// order (reverse-postorder when `forward`, postorder otherwise, with
+    /// unreachable statements appended in index order), and `rank` is the
+    /// inverse permutation (statement index → position in `order`).
+    /// Computed on first use and cached for the lifetime of the CFG, so
+    /// repeated solves over the same method pay nothing.
+    pub fn solve_priority(&self, forward: bool) -> (&[u32], &[u32]) {
+        let slot = if forward {
+            &self.fwd_priority
+        } else {
+            &self.bwd_priority
+        };
+        let (order, rank) = slot.get_or_init(|| {
+            let n = self.len;
+            let mut order: Vec<u32> = Vec::with_capacity(n);
+            if forward {
+                order.extend(self.rpo.iter().map(|s| s.0));
+            } else {
+                order.extend(self.rpo.iter().rev().map(|s| s.0));
+            }
+            let mut rank = vec![u32::MAX; n];
+            for (r, &s) in order.iter().enumerate() {
+                rank[s as usize] = r as u32;
+            }
+            // Unreachable statements go last, in index order, so every
+            // statement still gets visited (their facts stay bottom but
+            // downstream code may index them).
+            for i in 0..n as u32 {
+                if rank[i as usize] == u32::MAX {
+                    rank[i as usize] = order.len() as u32;
+                    order.push(i);
+                }
+            }
+            (order, rank)
+        });
+        (order, rank)
+    }
+
+    /// Returns `true` when some edge points backwards (or self-loops) in
+    /// statement-index order. A CFG without such an edge is a DAG, so it
+    /// cannot contain loops of any kind — the cheap pre-filter natural
+    /// loop detection uses to skip dominator computation entirely.
+    pub fn has_backward_edge(&self) -> bool {
+        (0..self.len).any(|i| {
+            self.succ_iter(StmtId(i as u32))
+                .any(|t| t.index() <= i && t.index() < self.len)
+        })
+    }
+}
+
+/// Reverse-postorder DFS over the given edge lists. Each frame walks the
+/// statement's normal list then its exceptional list by index, so no
+/// successor vector is ever materialized.
+fn compute_rpo(normal_succs: &[Vec<StmtId>], exc_succs: &[Vec<StmtId>], len: usize) -> Vec<StmtId> {
+    let mut visited = vec![false; len];
+    let mut order = Vec::with_capacity(len);
+    if len == 0 {
+        return order;
+    }
+    let mut stack: Vec<(StmtId, usize)> = vec![(StmtId(0), 0)];
+    visited[0] = true;
+    while let Some(&mut (node, ref mut idx)) = stack.last_mut() {
+        let normal = &normal_succs[node.index()];
+        let exc = &exc_succs[node.index()];
+        let next = if *idx < normal.len() {
+            Some(normal[*idx])
+        } else {
+            exc.get(*idx - normal.len()).copied()
+        };
+        match next {
+            Some(next) => {
                 *idx += 1;
-                if !visited[next.index()] {
+                if next.index() < len && !visited[next.index()] {
                     visited[next.index()] = true;
                     stack.push((next, 0));
                 }
-            } else {
+            }
+            None => {
                 order.push(node);
                 stack.pop();
             }
         }
-        order.reverse();
-        order
     }
+    order.reverse();
+    order
 }
 
 #[cfg(test)]

@@ -145,9 +145,9 @@ pub fn dominators(cfg: &Cfg) -> DomTree {
     let n = cfg.len + 1; // Include the virtual exit.
     let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
     for (i, slot) in succs.iter_mut().enumerate().take(cfg.len) {
-        for t in cfg.succs(StmtId(i as u32), true) {
-            slot.push(t.index());
-        }
+        slot.extend(cfg.succ_iter(StmtId(i as u32)).map(|t| t.index()));
+        // A target on both the normal and exceptional lists appears twice;
+        // the CHK fixpoint tolerates duplicate edges, so no dedup needed.
     }
     let idom = if cfg.len == 0 {
         vec![None; n]

@@ -119,7 +119,7 @@ fn nested_traps_preserve_order_and_coverage() {
         .find(|(_, s)| s.invoke_expr().is_some())
         .map(|(id, _)| id)
         .unwrap();
-    let traps = body.traps_at(call_site);
+    let traps: Vec<_> = body.traps_at(call_site).collect();
     assert_eq!(traps.len(), 2);
     assert!(traps[0].exception.is_some(), "inner (typed) trap first");
     assert!(traps[1].exception.is_none());

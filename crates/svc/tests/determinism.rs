@@ -140,6 +140,37 @@ fn no_cache_mode_stores_nothing_and_matches_cached_output() {
     assert_eq!(cached.store().len(), 4);
 }
 
+/// Worker-count independence: the batch pool, the intra-app parallel
+/// method-analysis phase, and the parallel SCC summary levels must all
+/// be invisible in the output. Four runs at different `--jobs` settings
+/// (fresh service each time, cache off, so nothing is reused between
+/// runs) must render byte-identical reports for every app.
+#[test]
+fn reports_are_byte_identical_across_jobs() {
+    let (_, items) = suite(16, 2, 2016);
+    let run = |jobs: usize| -> Vec<String> {
+        let svc = AnalysisService::new(
+            ServiceOptions {
+                jobs: Some(jobs),
+                no_cache: true,
+                ..ServiceOptions::default()
+            },
+            Obs::disabled(),
+        );
+        svc.analyze_batch(&items)
+            .iter()
+            .map(|o| render(o.report.as_ref().expect("app analyzes")))
+            .collect()
+    };
+    let baseline = run(1);
+    for jobs in [2usize, 4, 8] {
+        let got = run(jobs);
+        for ((b, g), (key, _)) in baseline.iter().zip(&got).zip(&items) {
+            assert_eq!(b, g, "{key}: --jobs {jobs} diverged from --jobs 1");
+        }
+    }
+}
+
 /// Degraded apps (any skipped method) must analyze deterministically
 /// but never populate the cache: a skipped method is unknown behaviour,
 /// not replayable truth.

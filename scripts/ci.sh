@@ -20,6 +20,15 @@ echo "==> corruption fuzz smoke test"
 # pipeline; exits non-zero on any panic or silently accepted corruption.
 ./target/release/fuzz_smoke 2000
 
+echo "==> hot-path throughput smoke test"
+# One measuring pass over the 285-app corpus. Exits non-zero on any
+# panic, or when throughput drops more than 30% below the recorded
+# hotpath baseline in BENCH_pipeline.json (the tolerance is deliberately
+# loose — CI machines are noisy, only a structural regression trips it).
+# On a fresh checkout with no recorded baseline the comparison is
+# skipped and the step only guards against crashes.
+./target/release/hotpath_bench --smoke
+
 echo "==> observability smoke test"
 smoke_dir="$(mktemp -d)"
 trap 'rm -rf "$smoke_dir"' EXIT

@@ -88,6 +88,14 @@ impl Value {
         }
     }
 
+    /// Returns the numeric value widened to `f64`, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
     /// Returns the boolean, if this is a boolean.
     pub fn as_bool(&self) -> Option<bool> {
         match self {
