@@ -3,21 +3,33 @@
 //! without linking against the generator.
 //!
 //! ```text
-//! genapp <gpslogger|suite:N|corpus:SEED:INDEX> <out.apk>
+//! genapp [--clean-frac F] <gpslogger|suite:N|corpus:SEED:INDEX|cleancorpus:SEED:INDEX> <out.apk>
 //! ```
 
 use std::process::ExitCode;
 
+/// Apps in a `cleancorpus:` mix (the full 285-app defect corpus is
+/// still reachable through `corpus:`; the mixed corpus exists to
+/// exercise the targeted prescan, where size matters less than mix).
+const CLEAN_CORPUS_SIZE: usize = 100;
+
 fn usage() -> ExitCode {
-    eprintln!("usage: genapp <gpslogger|suite:N|corpus:SEED:INDEX> <out.apk>");
+    eprintln!(
+        "usage: genapp [--clean-frac F] \
+         <gpslogger|suite:N|corpus:SEED:INDEX|cleancorpus:SEED:INDEX> <out.apk>"
+    );
     eprintln!();
-    eprintln!("  gpslogger        the GPSLogger study app");
-    eprintln!("  suite:N          app N of the interprocedural suite");
-    eprintln!("  corpus:SEED:IDX  app IDX of the seeded evaluation corpus");
+    eprintln!("  gpslogger             the GPSLogger study app");
+    eprintln!("  suite:N               app N of the interprocedural suite");
+    eprintln!("  corpus:SEED:IDX       app IDX of the seeded evaluation corpus");
+    eprintln!("  cleancorpus:SEED:IDX  app IDX of a 100-app mix of no-network and");
+    eprintln!("                        defect-corpus apps (see --clean-frac)");
+    eprintln!("  --clean-frac F        no-network fraction of the cleancorpus mix,");
+    eprintln!("                        in [0, 1] (default 0.7)");
     ExitCode::from(2)
 }
 
-fn spec_for(what: &str) -> Option<nck_appgen::AppSpec> {
+fn spec_for(what: &str, clean_frac: f64) -> Option<nck_appgen::AppSpec> {
     if what == "gpslogger" {
         return Some(nck_appgen::studyapps::gpslogger());
     }
@@ -33,15 +45,39 @@ fn spec_for(what: &str) -> Option<nck_appgen::AppSpec> {
         let idx: usize = idx.parse().ok()?;
         return nck_appgen::profile::corpus(seed).into_iter().nth(idx);
     }
+    if let Some(rest) = what.strip_prefix("cleancorpus:") {
+        let (seed, idx) = rest.split_once(':')?;
+        let seed: u64 = seed.parse().ok()?;
+        let idx: usize = idx.parse().ok()?;
+        return nck_appgen::profile::clean_corpus(seed, CLEAN_CORPUS_SIZE, clean_frac)
+            .into_iter()
+            .nth(idx);
+    }
     None
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let [what, out] = args.as_slice() else {
+    let mut clean_frac = 0.7f64;
+    let mut positional: Vec<&String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--clean-frac" {
+            let Some(f) = it.next().and_then(|v| v.parse().ok()) else {
+                return usage();
+            };
+            if !(0.0..=1.0).contains(&f) {
+                return usage();
+            }
+            clean_frac = f;
+        } else {
+            positional.push(a);
+        }
+    }
+    let [what, out] = positional.as_slice() else {
         return usage();
     };
-    let Some(spec) = spec_for(what) else {
+    let Some(spec) = spec_for(what, clean_frac) else {
         return usage();
     };
     let apk = nck_appgen::generate(&spec);

@@ -1032,9 +1032,10 @@ fn emit_request(
     }
 }
 
-/// Compiles `spec` into an APK bundle.
+/// Compiles `spec` into an APK bundle, honouring the spec's own
+/// [`AppSpec::bulk`] ballast-class count.
 pub fn generate(spec: &AppSpec) -> Apk {
-    generate_with_bulk(spec, 0)
+    generate_with_bulk(spec, spec.bulk)
 }
 
 /// Like [`generate`], but prepends `bulk` deterministic, self-contained

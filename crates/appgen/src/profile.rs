@@ -453,6 +453,62 @@ pub fn corpus(seed: u64) -> Vec<AppSpec> {
         .collect()
 }
 
+/// Ballast classes per no-network app: enough real code that skipping
+/// it is worth something, small enough to generate by the hundred. Real
+/// apps bundle far more non-network code than a defect-corpus app's
+/// handful of request classes, so the clean profile carries a
+/// comparable class count rather than an empty shell.
+const CLEAN_APP_BULK: usize = 40;
+
+/// A *no-network* app: `bulk` self-contained ballast classes (loops,
+/// fields, intra-class calls) and not a single network-library
+/// reference anywhere in its constant pool. This is the shape the
+/// targeted prescan classifies as skippable without lifting a method.
+///
+/// Distinct from the corpus's "clean" apps, which *use* the network but
+/// commit no defect.
+pub fn no_network_app(tag: usize, bulk: usize) -> AppSpec {
+    let mut spec = AppSpec::new(&format!("com.clean.app{tag:03}"), Vec::new());
+    spec.bulk = bulk.max(1);
+    spec
+}
+
+/// A mixed corpus of `size` apps, roughly `clean_frac` of which are
+/// [`no_network_app`]s; the rest are drawn from the calibrated defect
+/// [`corpus`] (cycling with re-tagged packages if `size` exceeds it).
+///
+/// App-store reality is closer to this mix than to the evaluation
+/// corpus: most submissions never touch a network library, which is
+/// exactly the headroom the targeted mode's prescan converts into
+/// throughput. Deterministic in `(seed, size, clean_frac)`.
+pub fn clean_corpus(seed: u64, size: usize, clean_frac: f64) -> Vec<AppSpec> {
+    let n_clean = ((size as f64) * clean_frac.clamp(0.0, 1.0)).round() as usize;
+    let mut is_clean = vec![false; size];
+    for slot in is_clean.iter_mut().take(n_clean) {
+        *slot = true;
+    }
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(0xc1ea_0c0d));
+    is_clean.shuffle(&mut rng);
+
+    let network = corpus(seed);
+    let mut out = Vec::with_capacity(size);
+    let (mut clean_tag, mut net_idx) = (0usize, 0usize);
+    for clean in is_clean {
+        if clean {
+            out.push(no_network_app(clean_tag, CLEAN_APP_BULK));
+            clean_tag += 1;
+        } else {
+            let mut spec = network[net_idx % network.len()].clone();
+            if net_idx >= network.len() {
+                spec.package = format!("{}.v{}", spec.package, net_idx / network.len());
+            }
+            out.push(spec);
+            net_idx += 1;
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -526,6 +582,37 @@ mod tests {
             .filter(|a| !a.requests.iter().any(|r| r.origin.is_user()))
             .count();
         assert_eq!(service_only, 21);
+    }
+
+    #[test]
+    fn no_network_app_has_an_empty_network_pool() {
+        let apk = crate::gen::generate(&no_network_app(0, 12));
+        assert!(nck_dex::verify::verify(&apk.adx).is_empty());
+        assert!(!apk.adx.classes.is_empty(), "ballast classes present");
+        let registry = nck_netlibs::api::Registry::standard();
+        let scan = nck_dex::prescan(&apk.adx, &|class, name| {
+            registry.is_relevant_api(class, name)
+        });
+        assert!(!scan.touches_network(), "clean app must prescan clean");
+    }
+
+    #[test]
+    fn clean_corpus_hits_the_requested_mix() {
+        let apps = clean_corpus(7, 100, 0.7);
+        assert_eq!(apps.len(), 100);
+        let clean = apps
+            .iter()
+            .filter(|a| a.requests.is_empty() && a.bulk > 0)
+            .count();
+        assert_eq!(clean, 70);
+        // Deterministic, and the seed matters.
+        assert_eq!(apps, clean_corpus(7, 100, 0.7));
+        assert_ne!(apps, clean_corpus(8, 100, 0.7));
+        // Package names stay unique even when the defect corpus cycles.
+        let big = clean_corpus(7, 600, 0.1);
+        let distinct: std::collections::BTreeSet<&str> =
+            big.iter().map(|a| a.package.as_str()).collect();
+        assert_eq!(distinct.len(), big.len());
     }
 
     #[test]

@@ -230,6 +230,12 @@ pub struct AppSpec {
     pub package: String,
     /// The requests the app makes.
     pub requests: Vec<RequestSpec>,
+    /// Self-contained ballast classes emitted ahead of the request
+    /// classes: realistic non-network app code (loops, fields, helper
+    /// calls) with no network-library references. With `requests`
+    /// empty and `bulk > 0` this yields a *clean* app — real code, no
+    /// network surface — the shape the targeted prescan skips.
+    pub bulk: usize,
 }
 
 impl AppSpec {
@@ -238,6 +244,7 @@ impl AppSpec {
         AppSpec {
             package: package.to_owned(),
             requests,
+            bulk: 0,
         }
     }
 

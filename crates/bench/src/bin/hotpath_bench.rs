@@ -172,6 +172,29 @@ fn main() {
             }
             None => println!("smoke: no recorded baseline in {path}; nothing to compare"),
         }
+        // Baseline-shape guard for the targeted section when recorded:
+        // a merged "targeted" entry must describe a mode that actually
+        // pays off (throughput re-measurement lives in `targeted_bench
+        // --smoke`; this catches a bad baseline write).
+        if let Some(t) = recorded.as_ref().and_then(|d| d.get("targeted")) {
+            let num = |k: &str| t.get(k).and_then(Value::as_f64);
+            let (speedup, lifted) = (num("speedup"), num("lifted_frac"));
+            match (speedup, lifted) {
+                (Some(s), Some(l)) if s >= 3.0 && l < 0.30 => {
+                    println!(
+                        "smoke: targeted baseline OK ({s:.1}x, {:.1}% lifted)",
+                        l * 100.0
+                    );
+                }
+                _ => {
+                    eprintln!(
+                        "smoke FAILED: recorded targeted baseline out of spec \
+                         (speedup {speedup:?}, lifted_frac {lifted:?}; need >=3x and <30%)"
+                    );
+                    std::process::exit(1);
+                }
+            }
+        }
         return;
     }
 

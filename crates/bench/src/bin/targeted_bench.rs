@@ -1,0 +1,207 @@
+//! Targeted-mode benchmark: full vs demand-driven analysis over a
+//! clean-heavy corpus (the app-store mix: most apps never touch a
+//! network library), recorded under the `"targeted"` key of
+//! `BENCH_pipeline.json`.
+//!
+//! Three passes:
+//!
+//! 1. **Differential gate** (always): every app is analyzed in both
+//!    modes with observability off; the rendered reports must be
+//!    byte-identical or the bench exits non-zero. A throughput number
+//!    for a mode that changes answers is worthless.
+//! 2. **Timing**: best-of-`--iters` wall-clock corpus passes per mode
+//!    (generation excluded), yielding `apps_per_sec` and the speedup.
+//! 3. **Metered**: one targeted pass with metrics on, summing the
+//!    `targeted.*` counters into the prescan skip rate and the fraction
+//!    of methods actually lifted.
+//!
+//! Modes: default measures and merges into `BENCH_pipeline.json`;
+//! `--smoke` runs a small corpus, never writes, and fails when
+//! throughput regresses more than 30% against the recorded
+//! `targeted.apps_per_sec` (matching `hotpath_bench --smoke`).
+
+use nchecker::{app_report_to_json, AppReport, CheckerConfig, NChecker};
+use nck_bench::SEED;
+use nck_obs::{Events, Metrics, Obs, Tracer};
+use serde_json::{json, Value};
+use std::time::Instant;
+
+/// Maximum tolerated throughput regression in `--smoke` mode.
+const SMOKE_TOLERANCE: f64 = 0.30;
+
+fn render(r: &AppReport) -> String {
+    serde_json::to_string(&app_report_to_json(r)).expect("report renders")
+}
+
+fn checker(targeted: bool) -> NChecker {
+    NChecker::with_config(CheckerConfig {
+        targeted,
+        ..CheckerConfig::default()
+    })
+}
+
+/// Analysis-only wall time over pre-generated bundles, in seconds.
+fn timed_pass(items: &[(String, Vec<u8>)], checker: &NChecker) -> f64 {
+    let t0 = Instant::now();
+    for (key, bytes) in items {
+        checker
+            .analyze_bytes_checked(bytes)
+            .unwrap_or_else(|e| panic!("{key}: {e}"));
+    }
+    t0.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let write = !smoke && !args.iter().any(|a| a == "--no-write");
+    let get = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+    };
+    let iters: usize = get("--iters")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if smoke { 1 } else { 3 });
+    let size: usize = get("--size")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if smoke { 24 } else { 100 });
+    let clean_frac: f64 = get("--clean-frac")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.7);
+
+    let specs = nck_appgen::profile::clean_corpus(SEED, size, clean_frac);
+    let items: Vec<(String, Vec<u8>)> = specs
+        .iter()
+        .map(|s| (s.package.clone(), nck_appgen::generate(s).to_bytes()))
+        .collect();
+    let clean_apps = specs.iter().filter(|s| s.requests.is_empty()).count();
+
+    let full = checker(false);
+    let targeted = checker(true);
+
+    // Differential gate: the two modes must agree byte-for-byte before
+    // any throughput number means anything.
+    let mut mismatches = 0usize;
+    for (key, bytes) in &items {
+        let f = full.analyze_bytes_checked(bytes).expect("full analyzes");
+        let t = targeted
+            .analyze_bytes_checked(bytes)
+            .expect("targeted analyzes");
+        if render(&f) != render(&t) {
+            eprintln!("DIFF {key}: targeted report diverges from full");
+            mismatches += 1;
+        }
+    }
+    if mismatches > 0 {
+        eprintln!(
+            "differential gate FAILED: {mismatches}/{} apps diverged",
+            items.len()
+        );
+        std::process::exit(1);
+    }
+
+    // Timing: best pass per mode.
+    let best = |c: &NChecker| {
+        (0..iters)
+            .map(|_| timed_pass(&items, c))
+            .fold(f64::INFINITY, f64::min)
+    };
+    let full_s = best(&full);
+    let targeted_s = best(&targeted);
+    let full_aps = items.len() as f64 / full_s.max(1e-9);
+    let targeted_aps = items.len() as f64 / targeted_s.max(1e-9);
+    let speedup = targeted_aps / full_aps.max(1e-9);
+
+    // Metered targeted pass: prescan skip rate and lifted-method
+    // fraction from the `targeted.*` counters.
+    let mut metered = checker(true);
+    metered.obs = Obs {
+        tracer: Tracer::disabled(),
+        metrics: Metrics::enabled(),
+        events: Events::silent(),
+    };
+    let (mut skipped, mut methods_total, mut methods_lifted) = (0u64, 0u64, 0u64);
+    for (key, bytes) in &items {
+        let r = metered
+            .analyze_bytes_checked(bytes)
+            .unwrap_or_else(|e| panic!("{key}: {e}"));
+        let snap = r.metrics.as_ref().expect("metered run snapshots");
+        let c = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+        skipped += c("targeted.prescan_skipped");
+        methods_total += c("targeted.methods_total");
+        methods_lifted += c("targeted.methods_lifted");
+    }
+    let skip_rate = skipped as f64 / items.len() as f64;
+    let lifted_frac = methods_lifted as f64 / methods_total.max(1) as f64;
+
+    println!(
+        "=== targeted bench (seed {SEED}, {} apps, {clean_apps} no-network) ===",
+        items.len()
+    );
+    println!("full:      {full_aps:.1} apps/s  (best of {iters} passes)");
+    println!("targeted:  {targeted_aps:.1} apps/s  ({speedup:.1}x)");
+    println!(
+        "prescan:   {skipped}/{} apps skipped ({:.0}%)",
+        items.len(),
+        skip_rate * 100.0
+    );
+    println!(
+        "lifted:    {methods_lifted}/{methods_total} methods ({:.1}%)",
+        lifted_frac * 100.0
+    );
+    println!(
+        "diff gate: {} apps byte-identical across modes",
+        items.len()
+    );
+
+    let path = "BENCH_pipeline.json";
+    let recorded: Option<Value> = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|s| serde_json::from_str(&s).ok());
+
+    if smoke {
+        let reference = recorded
+            .as_ref()
+            .and_then(|d| d.get("targeted"))
+            .and_then(|t| t.get("apps_per_sec"))
+            .and_then(Value::as_f64);
+        match reference {
+            Some(want) => {
+                let floor = want * (1.0 - SMOKE_TOLERANCE);
+                println!("smoke: recorded {want:.1} apps/s, floor {floor:.1} (tolerance 30%)");
+                if targeted_aps < floor {
+                    eprintln!(
+                        "smoke FAILED: {targeted_aps:.1} apps/s is below the {floor:.1} floor"
+                    );
+                    std::process::exit(1);
+                }
+                println!("smoke OK");
+            }
+            None => println!("smoke: no recorded \"targeted\" baseline in {path}"),
+        }
+        return;
+    }
+
+    if write {
+        let mut doc = recorded.unwrap_or_else(|| json!({ "schema": 1, "seed": SEED }));
+        let section = json!({
+            "corpus_size": items.len(),
+            "clean_frac": clean_frac,
+            "passes": iters,
+            "full_apps_per_sec": full_aps,
+            "apps_per_sec": targeted_aps,
+            "speedup": speedup,
+            "prescan_skip_rate": skip_rate,
+            "methods_total": methods_total,
+            "methods_lifted": methods_lifted,
+            "lifted_frac": lifted_frac,
+        });
+        if let Value::Object(map) = &mut doc {
+            map.insert("targeted".to_owned(), section);
+        }
+        let out = serde_json::to_string_pretty(&doc).expect("doc serializes");
+        std::fs::write(path, out).expect("write BENCH_pipeline.json");
+        println!("merged \"targeted\" into {path}");
+    }
+}

@@ -47,6 +47,7 @@ pub fn config_fingerprint(config: &CheckerConfig) -> u64 {
         ("icc", config.icc),
         ("strict_connectivity", config.strict_connectivity),
         ("interproc", config.interproc),
+        ("targeted", config.targeted),
     ] {
         h.str(name).u32(u32::from(on));
     }
@@ -59,7 +60,12 @@ pub fn config_fingerprint(config: &CheckerConfig) -> u64 {
 
 /// Everything one clean analysis run leaves behind for the next version
 /// of the same app.
-#[derive(Debug, Clone)]
+///
+/// Targeted-mode runs write *minimal* entries: only the fingerprints and
+/// the report are populated (whole-report reuse), since replaying a lift
+/// seed would materialize full bodies and silently forfeit the mode's
+/// savings. The `Default` impl exists for exactly that shape.
+#[derive(Debug, Clone, Default)]
 pub struct AppCacheEntry {
     /// FNV-1a of the raw bundle bytes: an exact match (plus config
     /// match) short-circuits to the cached report.
@@ -150,7 +156,8 @@ mod tests {
             custom_retry,
             icc,
             strict_connectivity,
-            interproc
+            interproc,
+            targeted
         );
         let mut c = base;
         c.strict_caller_depth = Some(3);

@@ -51,6 +51,13 @@ pub struct CheckerConfig {
     /// Disabling this is the ablation of the summary engine, reverting
     /// to the method-local analyses.
     pub interproc: bool,
+    /// Demand-driven targeted mode: prescan the constant pool against
+    /// the registry, skip bundles that reference no relevant API, and
+    /// lift only the relevance slice in full (everything else gets a
+    /// stub body). Report-equivalent to a whole-app run — see DESIGN.md
+    /// "Targeted analysis". Ignored when `icc` is on (the ICC model
+    /// reads bodies the slice does not cover).
+    pub targeted: bool,
     /// Bound the strict connectivity check's caller walk to this depth
     /// instead of the default unbounded visited-set traversal. Only
     /// meaningful with `strict_connectivity`; kept for ablation.
@@ -70,6 +77,7 @@ impl Default for CheckerConfig {
             icc: false,
             strict_connectivity: false,
             interproc: true,
+            targeted: false,
             strict_caller_depth: None,
         }
     }
@@ -384,6 +392,33 @@ impl NChecker {
         // A seed computed under different analysis semantics is useless.
         let prev = prev.filter(|p| p.config_fp == config_fp);
 
+        // Targeted mode only participates in rung 1 (whole-report
+        // reuse): class-prefix replay materializes *full* lifted bodies,
+        // which would silently re-run the whole-app pipeline and forfeit
+        // the prescan/slice savings. Targeted entries therefore carry
+        // only the report; their seed fields stay empty.
+        if self.config.targeted {
+            let report = {
+                let _app = obs.tracer.span("app");
+                let apk = {
+                    let _s = obs.tracer.span("parse");
+                    Apk::from_bytes_obs(bytes, &obs.metrics).map_err(AnalyzeError::Apk)?
+                };
+                self.analyze_apk_with(&apk, &obs)?
+            };
+            let stats = ReuseStats {
+                degraded: report.degraded(),
+                ..ReuseStats::default()
+            };
+            let entry = (!report.degraded()).then(|| AppCacheEntry {
+                bundle_fp,
+                config_fp,
+                report: report.clone(),
+                ..AppCacheEntry::default()
+            });
+            return Ok((seal(report, &obs), entry, stats));
+        }
+
         let mut stats = ReuseStats::default();
         let (report, entry) = {
             let _app = obs.tracer.span("app");
@@ -505,6 +540,10 @@ impl NChecker {
                 .or_insert_with(|| e.to_string());
         }
 
+        if self.config.targeted && !self.config.icc {
+            return self.analyze_apk_targeted(apk, &bad_methods, obs);
+        }
+
         let (program, lift_skips) = {
             let _s = obs.tracer.span("lift");
             let (program, skips) =
@@ -533,6 +572,132 @@ impl NChecker {
             (program, skips)
         };
         let skipped_methods: Vec<AnalysisSkip> = lift_skips
+            .into_iter()
+            .map(|s| {
+                let cause = if bad_methods.contains_key(&s.method) {
+                    SkipCause::Verify
+                } else {
+                    SkipCause::Lift
+                };
+                AnalysisSkip {
+                    method: s.method,
+                    cause,
+                    detail: s.reason,
+                }
+            })
+            .collect();
+        if !skipped_methods.is_empty() {
+            if obs.metrics.is_enabled() {
+                obs.metrics
+                    .inc("analyze.skipped_methods", skipped_methods.len() as u64);
+            }
+            obs.events.warn(&format!(
+                "{}: degraded analysis, {} method(s) skipped (first: {})",
+                apk.manifest.package,
+                skipped_methods.len(),
+                skipped_methods[0].method
+            ));
+            for s in &skipped_methods {
+                obs.events
+                    .debug(&format!("skipped {} [{}]: {}", s.method, s.cause, s.detail));
+            }
+        }
+
+        let app = AnalyzedApp::new_with_obs(apk.manifest.clone(), program, &self.registry, obs);
+        let mut report = self.analyze_with(&app, obs);
+        report.skipped_methods = skipped_methods;
+        Ok(report)
+    }
+
+    /// The demand-driven pipeline behind [`CheckerConfig::targeted`]:
+    /// constant-pool prescan, skeleton lift, relevance slice, on-demand
+    /// full lift of the slice, then the unchanged checkers.
+    ///
+    /// Equivalence to the whole-app pipeline is structural, not
+    /// best-effort: stub bodies preserve exactly the statement numbering
+    /// and the call/field/allocation surface the call graph and summary
+    /// engine read, and every method whose *other* statements any
+    /// checker can consult is in the slice and re-lifted in full (see
+    /// `targeted.rs` and DESIGN.md). The differential suite holds the
+    /// JSON reports byte-identical across both modes.
+    ///
+    /// `bad_methods` are the per-method structural-verification verdicts
+    /// the caller already computed; they drive the same degradation
+    /// policy as the whole-app lift.
+    fn analyze_apk_targeted(
+        &self,
+        apk: &Apk,
+        bad_methods: &BTreeMap<String, String>,
+        obs: &Obs,
+    ) -> Result<AppReport, AnalyzeError> {
+        let scan = {
+            let s = obs.tracer.span("prescan");
+            let scan = nck_dex::prescan(&apk.adx, &|class, name| {
+                self.registry.is_relevant_api(class, name)
+            });
+            s.add_items(scan.relevant_refs.len() as u64);
+            scan
+        };
+        if obs.metrics.is_enabled() {
+            obs.metrics
+                .inc("targeted.relevant_refs", scan.relevant_refs.len() as u64);
+            obs.metrics.inc(
+                "targeted.touching_classes",
+                scan.touching_classes.len() as u64,
+            );
+        }
+
+        // Fast path: nothing in the pool names a relevant API and no
+        // method failed verification, so a whole-app run provably finds
+        // zero request sites, zero defects, and zero skips — emit that
+        // report without lifting a single instruction.
+        if !scan.touches_network() && bad_methods.is_empty() {
+            if obs.metrics.is_enabled() {
+                obs.metrics.inc("targeted.prescan_skipped", 1);
+                obs.metrics.inc(
+                    "targeted.methods_total",
+                    apk.adx.concrete_methods().count() as u64,
+                );
+            }
+            let mut report = AppReport::default();
+            report.stats.package = apk.manifest.package.clone();
+            return Ok(report);
+        }
+
+        let (mut program, lift_skips, origins) = {
+            let _s = obs.tracer.span("lift");
+            nck_ir::lift_file_skeleton(&apk.adx, &|name| bad_methods.get(name).cloned())
+        };
+        let slice = {
+            let s = obs.tracer.span("slice");
+            let callgraph = crate::callgraph::CallGraph::build(&program);
+            let slice = crate::targeted::relevance_slice(&program, &self.registry, &callgraph);
+            s.add_items(slice.len() as u64);
+            slice
+        };
+        let mut all_skips = lift_skips;
+        {
+            let _s = obs.tracer.span("relift");
+            let ids: Vec<nck_ir::body::MethodId> = slice.iter().copied().collect();
+            nck_ir::relift_methods(&apk.adx, &mut program, &origins, &ids, &mut all_skips);
+        }
+        if obs.metrics.is_enabled() {
+            obs.metrics
+                .inc("targeted.slice_methods", slice.len() as u64);
+            obs.metrics.inc(
+                "targeted.methods_total",
+                program.methods.iter().filter(|m| m.body.is_some()).count() as u64,
+            );
+            obs.metrics.inc(
+                "targeted.methods_lifted",
+                slice
+                    .iter()
+                    .filter(|&&id| program.method(id).body.is_some())
+                    .count() as u64,
+            );
+        }
+
+        let skipped_methods: Vec<AnalysisSkip> = all_skips
             .into_iter()
             .map(|s| {
                 let cause = if bad_methods.contains_key(&s.method) {

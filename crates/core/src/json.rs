@@ -68,6 +68,13 @@ pub fn report_to_json(r: &Report) -> Value {
 }
 
 /// Serializes per-app statistics.
+///
+/// Only *semantic* per-app facts appear here. Engine-internal workload
+/// numbers (the `summary_*` cache counters) live under the optional
+/// `"metrics"` key instead: they describe how much work the engine did,
+/// which legitimately differs between full and targeted analysis even
+/// when the findings are identical, so keeping them out of `stats`
+/// keeps the default report byte-comparable across modes.
 pub fn stats_to_json(s: &AppStats) -> Value {
     json!({
         "package": s.package,
@@ -85,17 +92,12 @@ pub fn stats_to_json(s: &AppStats) -> Value {
         "no_retry_activity": s.no_retry_activity,
         "over_retry_service": s.over_retry_service,
         "over_retry_post": s.over_retry_post,
-        "summary_methods": s.summary_methods,
-        "summary_sccs": s.summary_sccs,
-        "summary_const_returns": s.summary_const_returns,
-        "summary_largest_scc": s.summary_largest_scc,
-        "summary_field_consts": s.summary_field_consts,
-        "summary_hits": s.summary_hits,
     })
 }
 
-/// Serializes the observability payload placed under the stable
-/// `"metrics"` key of an app report.
+/// Serializes the observability payload placed under the `"metrics"`
+/// key of an app report. The key itself is only emitted when the run
+/// recorded a metrics snapshot (see [`app_report_to_json`]).
 ///
 /// Schema (version 1):
 ///
@@ -104,7 +106,6 @@ pub fn stats_to_json(s: &AppStats) -> Value {
 ///   "schema": 1,
 ///   "summary_cache": { "methods", "sccs", "largest_scc",
 ///                      "const_returns", "field_consts", "hits" },
-///   // present only when the run recorded metrics:
 ///   "counters":   { "<name>": u64, ... },
 ///   "gauges":     { "<name>": i64, ... },
 ///   "histograms": { "<name>": { "bounds": [u64], "counts": [u64],
@@ -170,8 +171,13 @@ pub fn metrics_to_json(r: &AppReport) -> Value {
 }
 
 /// Serializes a full app report.
+///
+/// The `"metrics"` key appears only when the run recorded a snapshot
+/// (`r.metrics` is set): engine workload numbers are mode- and
+/// cache-dependent, so a default (metrics-off) report stays
+/// byte-identical between full and targeted analysis.
 pub fn app_report_to_json(r: &AppReport) -> Value {
-    json!({
+    let mut obj = match json!({
         "stats": stats_to_json(&r.stats),
         "defects": r.defects.iter().map(report_to_json).collect::<Vec<_>>(),
         "degraded": r.degraded(),
@@ -186,8 +192,14 @@ pub fn app_report_to_json(r: &AppReport) -> Value {
                 })
             })
             .collect::<Vec<_>>(),
-        "metrics": metrics_to_json(r),
-    })
+    }) {
+        Value::Object(m) => m,
+        _ => unreachable!(),
+    };
+    if r.metrics.is_some() {
+        obj.insert("metrics".to_owned(), metrics_to_json(r));
+    }
+    Value::Object(obj)
 }
 
 #[cfg(test)]
@@ -247,23 +259,29 @@ mod tests {
     }
 
     #[test]
-    fn app_report_json_has_stable_metrics_key() {
+    fn app_report_json_metrics_key_tracks_snapshot() {
         let mut report = AppReport::default();
         report.stats.summary_methods = 7;
         report.stats.summary_hits = 3;
-        // Without a snapshot: schema + summary_cache only.
+        // Without a snapshot: no metrics key, and no workload counters
+        // anywhere in the stats (they are engine-internal).
         let v = app_report_to_json(&report);
-        assert_eq!(v["metrics"]["schema"], 1);
-        assert_eq!(v["metrics"]["summary_cache"]["methods"], 7);
-        assert_eq!(v["metrics"]["summary_cache"]["hits"], 3);
-        assert_eq!(v["metrics"]["counters"], Value::Null);
-        // With a snapshot: counters, gauges, and histograms appear.
+        assert!(
+            v.get("metrics").is_none(),
+            "metrics absent without snapshot"
+        );
+        assert!(v["stats"].get("summary_methods").is_none());
+        // With a snapshot: schema, summary_cache, counters, gauges, and
+        // histograms all appear.
         let m = nck_obs::Metrics::enabled();
         m.inc("parse.classes", 4);
         m.gauge("summary.largest_scc", 2);
         m.observe("summary.scc_size", 2);
         report.metrics = Some(m.snapshot());
         let v = app_report_to_json(&report);
+        assert_eq!(v["metrics"]["schema"], 1);
+        assert_eq!(v["metrics"]["summary_cache"]["methods"], 7);
+        assert_eq!(v["metrics"]["summary_cache"]["hits"], 3);
         assert_eq!(v["metrics"]["counters"]["parse.classes"], 4);
         assert_eq!(v["metrics"]["gauges"]["summary.largest_scc"], 2);
         assert_eq!(v["metrics"]["histograms"]["summary.scc_size"]["count"], 1);

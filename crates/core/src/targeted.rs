@@ -1,0 +1,328 @@
+//! The relevance slice for targeted analysis (BackDroid-style
+//! demand-driven search, see DESIGN.md "Targeted analysis").
+//!
+//! Given a *skeleton* program — every body a stub preserving exactly the
+//! call, field, and allocation surface — the slice computes the set of
+//! methods whose full bodies the checkers can possibly consult:
+//!
+//! 1. **Seeds**: methods that invoke any registry-relevant API (request
+//!    targets, config setters, response checks, connectivity checks),
+//!    plus implementors of registry callback interfaces (their bodies
+//!    are read directly by the notification checker, without any
+//!    call-graph edge leading into them).
+//! 2. **Backward closure**: transitive callers of every seed — these are
+//!    the entry paths, guard helpers, and retry wrappers the checkers
+//!    walk from a request site toward its entry points.
+//! 3. **Forward closure**: transitive callees of everything so far — the
+//!    summary engine folds callee facts (constant returns, argument
+//!    checks, connectivity observation) into any sliced method.
+//! 4. **Field fixpoint**: for every field a sliced method *loads*, the
+//!    methods that *store* it (and their forward closures) join the
+//!    slice, so field-carried constants (`summaries.field_const`)
+//!    resolve exactly as in a whole-app run. Iterated until no new
+//!    fields appear.
+//!
+//! Everything outside the slice keeps its stub body: the call graph and
+//! the summary fixpoint still traverse it (stubs preserve invokes), but
+//! no checker ever reads one of its non-call statements.
+
+use crate::callgraph::CallGraph;
+use nck_ir::body::{FieldKey, MethodId, Program, Rvalue, Stmt};
+use nck_netlibs::api::Registry;
+use std::collections::BTreeSet;
+
+/// Adds `ids` and everything transitively reachable along `next` edges.
+fn closure(
+    slice: &mut BTreeSet<MethodId>,
+    roots: impl IntoIterator<Item = MethodId>,
+    next: impl Fn(MethodId) -> Vec<MethodId>,
+) {
+    let mut work: Vec<MethodId> = roots.into_iter().collect();
+    while let Some(m) = work.pop() {
+        if !slice.insert(m) {
+            continue;
+        }
+        work.extend(next(m));
+    }
+}
+
+/// Seed methods: direct relevant-API invokers plus callback implementors.
+fn seeds(program: &Program, registry: &Registry) -> BTreeSet<MethodId> {
+    let mut out = BTreeSet::new();
+
+    for (id, m) in program.iter_methods() {
+        let Some(body) = &m.body else { continue };
+        let invokes_relevant = body.stmts.iter().filter_map(Stmt::invoke_expr).any(|inv| {
+            let class = program.symbols.resolve(inv.callee.class);
+            let name = program.symbols.resolve(inv.callee.name);
+            registry.is_relevant_api(class, name)
+        });
+        if invokes_relevant {
+            out.insert(id);
+        }
+    }
+
+    // Callback implementors, matched the way the notification checker
+    // finds them: by method name within classes whose hierarchy or
+    // interface set includes the spec interface.
+    for class in &program.classes {
+        let implemented: BTreeSet<&str> = program
+            .hierarchy(class.name)
+            .into_iter()
+            .chain(program.all_interfaces(class.name))
+            .map(|s| program.symbols.resolve(s))
+            .collect();
+        let specs: Vec<&str> = registry
+            .callbacks()
+            .iter()
+            .filter(|c| implemented.contains(c.interface))
+            .map(|c| c.method)
+            .collect();
+        if specs.is_empty() {
+            continue;
+        }
+        for &id in &class.methods {
+            let m = program.method(id);
+            if m.body.is_some() && specs.contains(&program.symbols.resolve(m.key.name)) {
+                out.insert(id);
+            }
+        }
+    }
+
+    out
+}
+
+/// Fields loaded by any method in `slice`.
+fn loaded_fields(program: &Program, slice: &BTreeSet<MethodId>) -> BTreeSet<FieldKey> {
+    let mut out = BTreeSet::new();
+    for &id in slice {
+        let Some(body) = &program.method(id).body else {
+            continue;
+        };
+        for stmt in &body.stmts {
+            if let Stmt::Assign {
+                rvalue: Rvalue::InstanceField { field, .. } | Rvalue::StaticField { field },
+                ..
+            } = stmt
+            {
+                out.insert(*field);
+            }
+        }
+    }
+    out
+}
+
+/// Whether `id`'s body stores into any field in `fields`.
+fn stores_into(program: &Program, id: MethodId, fields: &BTreeSet<FieldKey>) -> bool {
+    let Some(body) = &program.method(id).body else {
+        return false;
+    };
+    body.stmts.iter().any(|s| match s {
+        Stmt::StoreInstanceField { field, .. } | Stmt::StoreStaticField { field, .. } => {
+            fields.contains(field)
+        }
+        _ => false,
+    })
+}
+
+/// Computes the defect-relevant method slice of a skeleton `program`.
+///
+/// `callgraph` must be built over the same program; since stubs preserve
+/// the whole invoke and type-hint surface, it is identical to the graph
+/// a whole-app lift would produce.
+pub fn relevance_slice(
+    program: &Program,
+    registry: &Registry,
+    callgraph: &CallGraph,
+) -> BTreeSet<MethodId> {
+    let mut slice = BTreeSet::new();
+    let roots = seeds(program, registry);
+
+    // Backward closure: transitive callers.
+    closure(&mut slice, roots.iter().copied(), |m| {
+        callgraph.callers(m).iter().map(|e| e.caller).collect()
+    });
+    // Forward closure: transitive callees of everything so far.
+    let members: Vec<MethodId> = slice.iter().copied().collect();
+    let mut forward = BTreeSet::new();
+    closure(&mut forward, members, |m| {
+        callgraph.callees(m).iter().map(|e| e.callee).collect()
+    });
+    slice.extend(forward);
+
+    // Field-constant fixpoint.
+    let mut known_fields = BTreeSet::new();
+    loop {
+        let fields = loaded_fields(program, &slice);
+        let fresh: BTreeSet<FieldKey> = fields.difference(&known_fields).copied().collect();
+        if fresh.is_empty() {
+            break;
+        }
+        known_fields.extend(fresh.iter().copied());
+        let storers: Vec<MethodId> = program
+            .iter_methods()
+            .filter(|(id, _)| !slice.contains(id) && stores_into(program, *id, &fresh))
+            .map(|(id, _)| id)
+            .collect();
+        let mut grown = BTreeSet::new();
+        closure(&mut grown, storers, |m| {
+            callgraph.callees(m).iter().map(|e| e.callee).collect()
+        });
+        slice.extend(grown);
+    }
+
+    slice
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nck_dex::builder::AdxBuilder;
+    use nck_dex::AccessFlags;
+
+    fn slice_of(file: &nck_dex::AdxFile) -> (Program, BTreeSet<String>) {
+        let (program, skips, _) = nck_ir::lift_file_skeleton(file, &|_| None);
+        assert!(skips.is_empty());
+        let cg = CallGraph::build(&program);
+        let slice = relevance_slice(&program, &Registry::standard(), &cg);
+        let names: BTreeSet<String> = slice
+            .iter()
+            .map(|&id| {
+                program
+                    .symbols
+                    .resolve(program.method(id).key.name)
+                    .to_owned()
+            })
+            .collect();
+        (program, names)
+    }
+
+    #[test]
+    fn slice_covers_callers_and_callees_but_not_bystanders() {
+        let mut b = AdxBuilder::new();
+        b.class("Lapp/Main;", |c| {
+            c.super_class("Ljava/lang/Object;");
+            // entry -> request -> helper; bystander untouched.
+            c.method(
+                "entry",
+                "()V",
+                AccessFlags::PUBLIC | AccessFlags::STATIC,
+                2,
+                |m| {
+                    m.invoke_static("Lapp/Main;", "request", "()V", &[]);
+                    m.ret(None);
+                },
+            );
+            c.method(
+                "request",
+                "()V",
+                AccessFlags::PUBLIC | AccessFlags::STATIC,
+                4,
+                |m| {
+                    m.new_instance(m.reg(0), "Ljava/net/HttpURLConnection;");
+                    m.invoke_virtual(
+                        "Ljava/net/HttpURLConnection;",
+                        "getInputStream",
+                        "()Ljava/io/InputStream;",
+                        &[m.reg(0)],
+                    );
+                    m.move_result(m.reg(1));
+                    m.invoke_static("Lapp/Main;", "helper", "()I", &[]);
+                    m.move_result(m.reg(2));
+                    m.ret(None);
+                },
+            );
+            c.method(
+                "helper",
+                "()I",
+                AccessFlags::PUBLIC | AccessFlags::STATIC,
+                2,
+                |m| {
+                    m.const_int(m.reg(0), 5);
+                    m.ret(Some(m.reg(0)));
+                },
+            );
+            c.method(
+                "bystander",
+                "()I",
+                AccessFlags::PUBLIC | AccessFlags::STATIC,
+                2,
+                |m| {
+                    m.const_int(m.reg(0), 1);
+                    m.ret(Some(m.reg(0)));
+                },
+            );
+        });
+        let file = b.finish().unwrap();
+        let (_, names) = slice_of(&file);
+        assert!(names.contains("request"), "seed");
+        assert!(names.contains("entry"), "backward closure");
+        assert!(names.contains("helper"), "forward closure");
+        assert!(!names.contains("bystander"), "untouched code stays out");
+    }
+
+    #[test]
+    fn field_fixpoint_pulls_in_storing_methods() {
+        let mut b = AdxBuilder::new();
+        b.class("Lapp/Cfg;", |c| {
+            c.super_class("Ljava/lang/Object;");
+            c.field("retries", "I", AccessFlags::PUBLIC | AccessFlags::STATIC);
+            // request loads the field; init (otherwise unreachable from
+            // the slice) stores it.
+            c.method(
+                "request",
+                "()V",
+                AccessFlags::PUBLIC | AccessFlags::STATIC,
+                4,
+                |m| {
+                    m.new_instance(m.reg(0), "Ljava/net/HttpURLConnection;");
+                    m.invoke_virtual(
+                        "Ljava/net/HttpURLConnection;",
+                        "getInputStream",
+                        "()Ljava/io/InputStream;",
+                        &[m.reg(0)],
+                    );
+                    m.move_result(m.reg(1));
+                    m.sget(m.reg(2), "Lapp/Cfg;", "retries", "I");
+                    m.ret(None);
+                },
+            );
+            c.method(
+                "init",
+                "()V",
+                AccessFlags::PUBLIC | AccessFlags::STATIC,
+                2,
+                |m| {
+                    m.const_int(m.reg(0), 3);
+                    m.sput(m.reg(0), "Lapp/Cfg;", "retries", "I");
+                    m.ret(None);
+                },
+            );
+        });
+        let file = b.finish().unwrap();
+        let (_, names) = slice_of(&file);
+        assert!(names.contains("request"));
+        assert!(names.contains("init"), "field stores join the slice");
+    }
+
+    #[test]
+    fn no_network_program_has_an_empty_slice() {
+        let mut b = AdxBuilder::new();
+        b.class("Lapp/Quiet;", |c| {
+            c.super_class("Ljava/lang/Object;");
+            c.method(
+                "work",
+                "()I",
+                AccessFlags::PUBLIC | AccessFlags::STATIC,
+                2,
+                |m| {
+                    m.const_int(m.reg(0), 7);
+                    m.ret(Some(m.reg(0)));
+                },
+            );
+        });
+        let file = b.finish().unwrap();
+        let (_, names) = slice_of(&file);
+        assert!(names.is_empty());
+    }
+}

@@ -1215,7 +1215,7 @@ pub fn tarjan_sccs(n: usize, succs: &[Vec<usize>]) -> Vec<Vec<usize>> {
 mod tests {
     use super::*;
     use nck_dex::builder::AdxBuilder;
-    use nck_dex::{AccessFlags, BinOp, CondOp as Op, InvokeKind};
+    use nck_dex::{AccessFlags, BinOp, CondOp as Op};
     use nck_ir::body::Program;
 
     const CONN: &str = "Lnet/Conn;";
@@ -1827,8 +1827,4 @@ mod tests {
             snap.counters
         );
     }
-
-    // Unused in some configurations; referenced to keep the import list tidy.
-    #[allow(dead_code)]
-    fn _use_kind(_: InvokeKind) {}
 }

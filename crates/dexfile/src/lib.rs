@@ -42,6 +42,7 @@ pub mod fingerprint;
 pub mod insn;
 pub mod model;
 pub mod pool;
+pub mod prescan;
 pub mod read;
 pub mod verify;
 pub mod wire;
@@ -55,6 +56,7 @@ pub use model::{
 pub use pool::{
     FieldIdx, FieldRef, MethodIdx, MethodRef, Pools, Proto, ProtoIdx, StringIdx, TypeIdx,
 };
+pub use prescan::{prescan, PoolScan};
 pub use read::{read_adx, read_adx_obs};
 pub use verify::{VerifyError, VerifyScope};
 pub use write::write_adx;

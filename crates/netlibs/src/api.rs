@@ -1109,6 +1109,22 @@ impl Registry {
             .iter()
             .find(|c| c.interface == interface && c.method == method)
     }
+
+    /// Whether `(class, name)` is a request-creating target API.
+    pub fn is_target_api(&self, class: &str, name: &str) -> bool {
+        self.target(class, name).is_some()
+    }
+
+    /// Whether `(class, name)` names *any* API the checkers care about:
+    /// a request target, a config setter, a response check, or a
+    /// connectivity check. This is the prescan predicate — an app whose
+    /// constant pool references none of these can be skipped outright.
+    pub fn is_relevant_api(&self, class: &str, name: &str) -> bool {
+        self.is_target_api(class, name)
+            || self.config(class, name).is_some()
+            || self.response_check(class, name).is_some()
+            || self.is_connectivity_check(class, name)
+    }
 }
 
 impl Default for Registry {

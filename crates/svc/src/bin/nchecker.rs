@@ -3,8 +3,8 @@
 //! service — worker pool plus content-addressed cache.
 //!
 //! ```text
-//! nchecker [--summary|--json] [--strict] [--no-interproc] [--keep-going]
-//!          [--trace] [--metrics] [--quiet|-v|-vv]
+//! nchecker [--summary|--json] [--strict] [--no-interproc] [--targeted]
+//!          [--keep-going] [--trace] [--metrics] [--quiet|-v|-vv]
 //!          [--jobs N] [--cache-dir DIR] [--no-cache] <app.apk>...
 //! ```
 //!
@@ -20,9 +20,9 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: nchecker [--summary|--json] [--strict] [--no-interproc] [--keep-going] \
-         [--trace] [--metrics] [--quiet|-v|-vv] [--jobs N] [--cache-dir DIR] [--no-cache] \
-         <app.apk>..."
+        "usage: nchecker [--summary|--json] [--strict] [--no-interproc] [--targeted] \
+         [--keep-going] [--trace] [--metrics] [--quiet|-v|-vv] [--jobs N] [--cache-dir DIR] \
+         [--no-cache] <app.apk>..."
     );
     eprintln!();
     eprintln!("Statically analyzes ADX app bundles for network programming defects.");
@@ -31,6 +31,8 @@ fn usage() -> ExitCode {
     eprintln!("  --strict        require connectivity checks to be control conditions");
     eprintln!("  --interproc     enable the summary engine (the default)");
     eprintln!("  --no-interproc  ablate the interprocedural summary engine");
+    eprintln!("  --targeted      demand-driven mode: prescan the constant pool and lift");
+    eprintln!("                  only the defect-relevant slice (same reports, faster)");
     eprintln!("  --keep-going, -k  continue analyzing remaining apps after a failure");
     eprintln!("  --trace         record per-phase spans; tree printed to stderr");
     eprintln!("  --metrics       record pipeline metrics (embedded in --json output)");
@@ -50,6 +52,7 @@ const FLAGS: &[&str] = &[
     "--strict",
     "--interproc",
     "--no-interproc",
+    "--targeted",
     "--keep-going",
     "-k",
     "--trace",
@@ -69,6 +72,7 @@ fn main() -> ExitCode {
     let summary = args.iter().any(|a| a == "--summary");
     let json = args.iter().any(|a| a == "--json");
     let strict = args.iter().any(|a| a == "--strict");
+    let targeted = args.iter().any(|a| a == "--targeted");
     let keep_going = args.iter().any(|a| a == "--keep-going" || a == "-k");
     let trace = args.iter().any(|a| a == "--trace");
     let metrics = args.iter().any(|a| a == "--metrics");
@@ -130,6 +134,7 @@ fn main() -> ExitCode {
     let config = CheckerConfig {
         strict_connectivity: strict,
         interproc,
+        targeted,
         ..CheckerConfig::default()
     };
     let obs = Obs {

@@ -225,6 +225,66 @@ fn degraded_apps_bypass_the_cache_write_path() {
     assert!(svc.store().is_empty());
 }
 
+/// Analysis-mode isolation: a report computed in full mode must never be
+/// served to a targeted-mode run (or vice versa), on either cache tier.
+/// The two modes are report-equivalent by construction, but a cache that
+/// conflated them would silently paper over any divergence — so the
+/// config fingerprint must keep their entries apart.
+#[test]
+fn targeted_and_full_mode_never_share_cache_entries() {
+    use nchecker::CheckerConfig;
+    let dir = std::env::temp_dir().join(format!("nck-svc-mode-isolation-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (_, items) = suite(4, 1, 41);
+    let opts = |targeted: bool| ServiceOptions {
+        config: CheckerConfig {
+            targeted,
+            ..CheckerConfig::default()
+        },
+        cache_dir: Some(dir.clone()),
+        ..ServiceOptions::default()
+    };
+
+    // Full mode populates both tiers.
+    let full = AnalysisService::new(opts(false), Obs::disabled());
+    let cold_full = full.analyze_batch(&items);
+    drop(full);
+
+    // A targeted service over the same disk tier must miss everything:
+    // the full-mode entries carry a different config fingerprint.
+    let targeted = AnalysisService::new(opts(true), Obs::disabled());
+    let cold_targeted = targeted.analyze_batch(&items);
+    let stats = AnalysisService::batch_stats(&cold_targeted);
+    assert_eq!(stats.hits, 0, "full-mode cache must not serve targeted");
+    assert_eq!(stats.misses, 4);
+    drop(targeted);
+
+    // Targeted entries were written under their own key: a fresh
+    // targeted service hits, and a fresh full service still misses.
+    let targeted2 = AnalysisService::new(opts(true), Obs::disabled());
+    let warm_targeted = targeted2.analyze_batch(&items);
+    let stats = AnalysisService::batch_stats(&warm_targeted);
+    assert_eq!(stats.hits, 4, "targeted entries serve targeted runs");
+    let full2 = AnalysisService::new(opts(false), Obs::disabled());
+    let warm_full = full2.analyze_batch(&items);
+    let stats = AnalysisService::batch_stats(&warm_full);
+    assert_eq!(stats.hits, 4, "full entries survive alongside targeted");
+
+    // And the whole point of the equivalence: all four runs rendered the
+    // same report for every app.
+    for (((f, t), w), (key, _)) in cold_full
+        .iter()
+        .zip(&cold_targeted)
+        .zip(&warm_targeted)
+        .zip(&items)
+    {
+        let f = render(f.report.as_ref().unwrap());
+        assert_eq!(f, render(t.report.as_ref().unwrap()), "{key}: modes agree");
+        assert_eq!(f, render(w.report.as_ref().unwrap()), "{key}: warm agrees");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 fn arb_library() -> impl Strategy<Value = Library> {
     (0usize..ALL_LIBRARIES.len()).prop_map(|i| ALL_LIBRARIES[i])
 }

@@ -29,9 +29,33 @@ echo "==> hot-path throughput smoke test"
 # skipped and the step only guards against crashes.
 ./target/release/hotpath_bench --smoke
 
+echo "==> targeted-mode differential smoke test"
+# The 16-app interprocedural accuracy suite through the CLI in both
+# modes: the demand-driven (--targeted) pipeline must print the exact
+# bytes the whole-app pipeline prints.
+targeted_dir="$(mktemp -d)"
+trap 'rm -rf "$targeted_dir"' EXIT
+for i in $(seq 0 15); do
+    ./target/release/genapp "suite:$i" "$targeted_dir/app$i.apk"
+done
+./target/release/nchecker --json --no-cache "$targeted_dir"/app*.apk \
+    > "$targeted_dir/full.json"
+./target/release/nchecker --json --no-cache --targeted "$targeted_dir"/app*.apk \
+    > "$targeted_dir/targeted.json"
+diff -u "$targeted_dir/full.json" "$targeted_dir/targeted.json" \
+    || { echo "targeted smoke: reports diverge between modes"; exit 1; }
+echo "targeted smoke ok: 16 apps byte-identical across modes"
+
+echo "==> targeted throughput smoke test"
+# Small clean-heavy corpus, both modes, in-bench byte-diff gate; exits
+# non-zero when targeted throughput drops more than 30% below the
+# recorded targeted baseline in BENCH_pipeline.json (skipped when no
+# baseline is recorded).
+./target/release/targeted_bench --smoke
+
 echo "==> observability smoke test"
 smoke_dir="$(mktemp -d)"
-trap 'rm -rf "$smoke_dir"' EXIT
+trap 'rm -rf "$smoke_dir" "$targeted_dir"' EXIT
 ./target/release/genapp gpslogger "$smoke_dir/app.apk"
 ./target/release/nchecker --json --metrics "$smoke_dir/app.apk" > "$smoke_dir/report.json"
 python3 - "$smoke_dir/report.json" <<'EOF'

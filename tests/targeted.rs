@@ -1,0 +1,219 @@
+//! Targeted-mode differential suite: demand-driven analysis
+//! (`CheckerConfig::targeted`) must be *report-equivalent* to the
+//! whole-app pipeline — byte-identical rendered reports over the full
+//! calibrated corpus, the interprocedural accuracy suite, and random
+//! specs — while provably doing less work on no-network apps.
+
+use nchecker::{app_report_to_json, AppReport, CheckerConfig, NChecker};
+use nck_appgen::spec::{
+    AppSpec, ConnCheck, Notification, Origin, RequestSpec, RespCheck, RetryShape,
+};
+use nck_netlibs::api::HttpMethod;
+use nck_netlibs::library::Library;
+use nck_obs::{Events, Metrics, Obs, Tracer};
+use proptest::prelude::*;
+
+/// The comparison surface: the exact JSON the CLI prints under
+/// `--json` (observability off, so no volatile fields).
+fn render(r: &AppReport) -> String {
+    serde_json::to_string(&app_report_to_json(r)).expect("report renders")
+}
+
+fn checker(targeted: bool) -> NChecker {
+    NChecker::with_config(CheckerConfig {
+        targeted,
+        ..CheckerConfig::default()
+    })
+}
+
+fn assert_modes_agree(spec: &AppSpec) {
+    let bytes = nck_appgen::generate(spec).to_bytes();
+    let full = checker(false)
+        .analyze_bytes_checked(&bytes)
+        .expect("full analyzes");
+    let fast = checker(true)
+        .analyze_bytes_checked(&bytes)
+        .expect("targeted analyzes");
+    assert_eq!(
+        render(&full),
+        render(&fast),
+        "{}: targeted diverges from full",
+        spec.package
+    );
+}
+
+#[test]
+fn targeted_matches_full_over_the_285_app_corpus() {
+    for spec in nck_appgen::profile::corpus(2016) {
+        assert_modes_agree(&spec);
+    }
+}
+
+#[test]
+fn targeted_matches_full_over_the_interproc_accuracy_suite() {
+    let apps = nck_appgen::interproc_suite::interproc_apps();
+    assert_eq!(apps.len(), 16, "accuracy suite size");
+    for spec in apps {
+        assert_modes_agree(&spec);
+    }
+}
+
+#[test]
+fn targeted_matches_full_on_clean_heavy_mixes() {
+    for spec in nck_appgen::profile::clean_corpus(7, 40, 0.7) {
+        assert_modes_agree(&spec);
+    }
+}
+
+/// A prescan-skipped app must not lift a single method: the whole point
+/// of the mode is that a clean constant pool ends the analysis before
+/// any per-method work starts.
+#[test]
+fn prescan_skipped_apps_lift_zero_methods() {
+    let spec = nck_appgen::profile::no_network_app(0, 16);
+    let bytes = nck_appgen::generate(&spec).to_bytes();
+    let mut c = checker(true);
+    c.obs = Obs {
+        tracer: Tracer::disabled(),
+        metrics: Metrics::enabled(),
+        events: Events::silent(),
+    };
+    let report = c.analyze_bytes_checked(&bytes).expect("analyzes");
+    assert!(report.defects.is_empty());
+    assert!(!report.degraded());
+
+    let snap = report.metrics.as_ref().expect("metered run snapshots");
+    let counter = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+    assert_eq!(counter("targeted.prescan_skipped"), 1, "app was skipped");
+    assert_eq!(counter("targeted.methods_lifted"), 0, "nothing lifted");
+    assert_eq!(counter("targeted.slice_methods"), 0, "nothing sliced");
+    assert!(
+        counter("targeted.methods_total") > 0,
+        "the skipped app did contain methods"
+    );
+    // And the skip is invisible in the report: a full-mode run of the
+    // same clean app renders identically.
+    assert_modes_agree(&spec);
+}
+
+fn arb_library() -> impl Strategy<Value = Library> {
+    prop_oneof![
+        Just(Library::HttpUrlConnection),
+        Just(Library::ApacheHttpClient),
+        Just(Library::Volley),
+        Just(Library::OkHttp),
+        Just(Library::AndroidAsyncHttp),
+        Just(Library::BasicHttpClient),
+    ]
+}
+
+fn arb_origin() -> impl Strategy<Value = Origin> {
+    prop_oneof![
+        Just(Origin::UserClick),
+        Just(Origin::ActivityLifecycle),
+        Just(Origin::Service),
+    ]
+}
+
+fn arb_conn() -> impl Strategy<Value = ConnCheck> {
+    prop_oneof![
+        Just(ConnCheck::Missing),
+        Just(ConnCheck::Guarding),
+        Just(ConnCheck::GuardingViaHelper),
+        Just(ConnCheck::UnusedResult),
+        Just(ConnCheck::InterComponent),
+    ]
+}
+
+fn arb_notification() -> impl Strategy<Value = Notification> {
+    prop_oneof![
+        Just(Notification::Missing),
+        Just(Notification::Alert),
+        Just(Notification::InterComponent),
+    ]
+}
+
+fn arb_retry_shape() -> impl Strategy<Value = Option<RetryShape>> {
+    prop_oneof![
+        Just(None),
+        Just(Some(RetryShape::SuccessExit)),
+        Just(Some(RetryShape::CatchCondition)),
+        Just(Some(RetryShape::InterprocCatchCondition)),
+    ]
+}
+
+prop_compose! {
+    /// A request spec respecting the generator's structural constraints
+    /// (same shape as the oracle differential suite).
+    fn arb_request()(
+        library in arb_library(),
+        origin in arb_origin(),
+        conn_check in arb_conn(),
+        set_timeout in any::<bool>(),
+        retries in prop_oneof![Just(None), (0u32..4).prop_map(Some)],
+        notification in arb_notification(),
+        check_error_types in any::<bool>(),
+        unchecked_resp in any::<bool>(),
+        resp_via_helper in any::<bool>(),
+        retry_via_helper in any::<bool>(),
+        post in any::<bool>(),
+        custom in arb_retry_shape(),
+    ) -> RequestSpec {
+        let mut r = RequestSpec::new(library, origin);
+        r.conn_check = conn_check;
+        r.notification = notification;
+        r.set_retries = if library.has_retry_api() { retries } else { None };
+        r.retries_via_helper = retry_via_helper && r.set_retries.is_some();
+        r.set_timeout = if library == Library::Volley {
+            r.set_retries.is_some()
+        } else {
+            set_timeout
+        };
+        r.check_error_types = check_error_types;
+        r.response = if library.has_response_check_api() {
+            if unchecked_resp {
+                RespCheck::Unchecked
+            } else if resp_via_helper {
+                RespCheck::CheckedViaHelper
+            } else {
+                RespCheck::Checked
+            }
+        } else {
+            RespCheck::NotUsed
+        };
+        r.http_method = if post && library != Library::OkHttp {
+            HttpMethod::Post
+        } else {
+            HttpMethod::Get
+        };
+        r.custom_retry = match library {
+            Library::BasicHttpClient
+            | Library::OkHttp
+            | Library::ApacheHttpClient
+            | Library::HttpUrlConnection => custom,
+            _ => None,
+        };
+        r
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Targeted must equal full on arbitrary constrained specs — with
+    /// and without ballast classes, which exercise the slice boundary
+    /// (ballast is exactly the code targeted mode must *not* lift yet
+    /// must render identically, i.e. not at all).
+    #[test]
+    fn targeted_matches_full_on_random_specs(
+        requests in proptest::collection::vec(arb_request(), 0..4),
+        bulk in 0usize..6,
+    ) {
+        let mut spec = AppSpec::new("com.prop.targeted", requests);
+        spec.bulk = bulk;
+        let bytes = nck_appgen::generate(&spec).to_bytes();
+        let full = checker(false).analyze_bytes_checked(&bytes).expect("full analyzes");
+        let fast = checker(true).analyze_bytes_checked(&bytes).expect("targeted analyzes");
+        prop_assert_eq!(render(&full), render(&fast));
+    }
+}
