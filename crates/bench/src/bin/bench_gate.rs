@@ -1,0 +1,72 @@
+//! The bench-regression gate binary: diffs the measured
+//! `BENCH_pipeline.json` against the committed `BENCH_baseline.json`
+//! and exits non-zero when any metric breaks its declared tolerance.
+//!
+//! ```text
+//! bench_gate [--baseline FILE] [--current FILE] [--smoke]
+//! ```
+//!
+//! `--smoke` tolerates metrics missing from the measured document, for
+//! CI runs that regenerate only some sections; out-of-tolerance values
+//! still fail. Comparison logic lives in [`nck_bench::gate`].
+
+use nck_bench::gate;
+use serde_json::Value;
+
+fn load(path: &str) -> Value {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("bench_gate: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    serde_json::from_str(&text).unwrap_or_else(|e| {
+        eprintln!("bench_gate: {path} is not valid JSON: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let get = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .map(String::as_str)
+    };
+    let baseline_path = get("--baseline").unwrap_or("BENCH_baseline.json");
+    let current_path = get("--current").unwrap_or("BENCH_pipeline.json");
+    let smoke = args.iter().any(|a| a == "--smoke");
+
+    let baseline = load(baseline_path);
+    let current = load(current_path);
+
+    let outcomes = gate::run(&baseline, &current, smoke).unwrap_or_else(|e| {
+        eprintln!("bench_gate: bad baseline {baseline_path}: {e}");
+        std::process::exit(2);
+    });
+
+    println!("=== bench gate: {current_path} vs {baseline_path} ===");
+    for o in &outcomes {
+        println!("{}", gate::render_line(o));
+    }
+    let failed = outcomes.iter().filter(|o| o.failed()).count();
+    let skipped = outcomes
+        .iter()
+        .filter(|o| o.status == gate::Status::SkippedMissing)
+        .count();
+    if failed > 0 {
+        eprintln!(
+            "bench gate FAILED: {failed}/{} metrics out of tolerance",
+            outcomes.len()
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "bench gate OK: {} metrics within tolerance{}",
+        outcomes.len() - skipped,
+        if skipped > 0 {
+            format!(", {skipped} skipped")
+        } else {
+            String::new()
+        }
+    );
+}

@@ -5,12 +5,12 @@
 //! Modes:
 //!
 //! - default: measure everything (best of `--iters` passes, default 3)
-//!   and merge the results into `BENCH_pipeline.json`;
-//! - `--smoke`: one measuring pass, no write; exits non-zero when the
-//!   measured corpus throughput regresses more than 30% against the
-//!   recorded `hotpath.apps_per_sec` (falling back to the run_all
-//!   top-level `apps_per_sec`). The tolerance is deliberately loose —
-//!   CI machines are noisy — so only a structural regression trips it.
+//!   and merge the results into the bench document (`--write-to FILE`
+//!   overrides the path, `--no-write` skips the merge);
+//! - `--smoke`: one measuring pass, no write — a quick signal run.
+//!   Regression verdicts live in `bench_gate`, which diffs the measured
+//!   document against the committed `BENCH_baseline.json` tolerances;
+//!   this bench only measures.
 
 use nchecker::{CheckerConfig, NChecker};
 use nck_android::apk::Apk;
@@ -18,24 +18,13 @@ use nck_bench::SEED;
 use nck_dataflow::liveness::Liveness;
 use nck_dataflow::{ConstProp, ReachingDefs};
 use nck_ir::cfg::Cfg;
+use nck_obs::Series;
 use serde_json::{json, Value};
 use std::time::Instant;
 
-/// Maximum tolerated throughput regression in `--smoke` mode.
-const SMOKE_TOLERANCE: f64 = 0.30;
-
-/// The `p`-th percentile of an unsorted sample, in microseconds.
-fn percentile_us(sorted: &[f64], p: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let rank = (p / 100.0 * (sorted.len() - 1) as f64).round() as usize;
-    sorted[rank.min(sorted.len() - 1)]
-}
-
 struct Pass {
     wall_s: f64,
-    latencies_us: Vec<f64>,
+    latencies_us: Series,
 }
 
 /// One full corpus pass: generation plus analysis, per-app analysis
@@ -43,14 +32,14 @@ struct Pass {
 /// pipeline latency).
 fn corpus_pass(specs: &[nck_appgen::spec::AppSpec], checker: &NChecker) -> Pass {
     let start = Instant::now();
-    let mut latencies_us = Vec::with_capacity(specs.len());
+    let mut latencies_us = Series::new();
     for spec in specs {
         let bytes = nck_appgen::generate(spec).to_bytes();
         let t0 = Instant::now();
         checker
             .analyze_bytes_checked(&bytes)
             .expect("corpus app analyzes");
-        latencies_us.push(t0.elapsed().as_secs_f64() * 1e6);
+        latencies_us.push(t0.elapsed().as_micros() as u64);
     }
     Pass {
         wall_s: start.elapsed().as_secs_f64(),
@@ -83,12 +72,17 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let write = !smoke && !args.iter().any(|a| a == "--no-write");
-    let iters: usize = args
-        .iter()
-        .position(|a| a == "--iters")
-        .and_then(|i| args.get(i + 1))
+    let get = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+    };
+    let iters: usize = get("--iters")
         .and_then(|v| v.parse().ok())
         .unwrap_or(if smoke { 1 } else { 3 });
+    let path = get("--write-to")
+        .map(String::as_str)
+        .unwrap_or("BENCH_pipeline.json");
 
     let specs = nck_appgen::profile::corpus(SEED);
     let checker = NChecker::with_config(CheckerConfig::default());
@@ -102,14 +96,13 @@ fn main() {
             best = Some(pass);
         }
     }
-    let best = best.expect("at least one pass");
+    let mut best = best.expect("at least one pass");
     let apps_per_sec = specs.len() as f64 / best.wall_s.max(1e-9);
-    let mut lat = best.latencies_us.clone();
-    lat.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let pct = |lat: &mut Series, p: f64| lat.percentile(p).unwrap_or(0);
     let (p50, p90, p99) = (
-        percentile_us(&lat, 50.0),
-        percentile_us(&lat, 90.0),
-        percentile_us(&lat, 99.0),
+        pct(&mut best.latencies_us, 50.0),
+        pct(&mut best.latencies_us, 90.0),
+        pct(&mut best.latencies_us, 99.0),
     );
 
     // Solver throughput: lift every corpus app once, then time the three
@@ -135,7 +128,7 @@ fn main() {
 
     println!("=== hotpath bench (seed {SEED}, {} apps) ===", specs.len());
     println!("apps_per_sec:       {apps_per_sec:.1}  (best of {iters} passes)");
-    println!("latency p50/p90/p99: {p50:.0} / {p90:.0} / {p99:.0} us");
+    println!("latency p50/p90/p99: {p50} / {p90} / {p99} us");
     println!(
         "solver ns/stmt:     reachdefs {:.0}  constprop {:.0}  liveness {:.0}  ({} stmts)",
         per(rd_ns),
@@ -143,62 +136,15 @@ fn main() {
         per(lv_ns),
         stmts
     );
-
-    let path = "BENCH_pipeline.json";
-    let recorded: Option<Value> = std::fs::read_to_string(path)
-        .ok()
-        .and_then(|s| serde_json::from_str(&s).ok());
-
     if smoke {
-        let reference = recorded
-            .as_ref()
-            .and_then(|d| {
-                d.get("hotpath")
-                    .and_then(|h| h.get("apps_per_sec"))
-                    .or_else(|| d.get("apps_per_sec"))
-            })
-            .and_then(Value::as_f64);
-        match reference {
-            Some(want) => {
-                let floor = want * (1.0 - SMOKE_TOLERANCE);
-                println!("smoke: recorded {want:.1} apps/s, floor {floor:.1} (tolerance 30%)");
-                if apps_per_sec < floor {
-                    eprintln!(
-                        "smoke FAILED: {apps_per_sec:.1} apps/s is below the {floor:.1} floor"
-                    );
-                    std::process::exit(1);
-                }
-                println!("smoke OK");
-            }
-            None => println!("smoke: no recorded baseline in {path}; nothing to compare"),
-        }
-        // Baseline-shape guard for the targeted section when recorded:
-        // a merged "targeted" entry must describe a mode that actually
-        // pays off (throughput re-measurement lives in `targeted_bench
-        // --smoke`; this catches a bad baseline write).
-        if let Some(t) = recorded.as_ref().and_then(|d| d.get("targeted")) {
-            let num = |k: &str| t.get(k).and_then(Value::as_f64);
-            let (speedup, lifted) = (num("speedup"), num("lifted_frac"));
-            match (speedup, lifted) {
-                (Some(s), Some(l)) if s >= 3.0 && l < 0.30 => {
-                    println!(
-                        "smoke: targeted baseline OK ({s:.1}x, {:.1}% lifted)",
-                        l * 100.0
-                    );
-                }
-                _ => {
-                    eprintln!(
-                        "smoke FAILED: recorded targeted baseline out of spec \
-                         (speedup {speedup:?}, lifted_frac {lifted:?}; need >=3x and <30%)"
-                    );
-                    std::process::exit(1);
-                }
-            }
-        }
+        println!("smoke: measured only; run bench_gate for the regression verdict");
         return;
     }
 
     if write {
+        let recorded: Option<Value> = std::fs::read_to_string(path)
+            .ok()
+            .and_then(|s| serde_json::from_str(&s).ok());
         let mut doc = recorded.unwrap_or_else(|| json!({ "schema": 1, "seed": SEED }));
         let section = json!({
             "apps_per_sec": apps_per_sec,
@@ -215,7 +161,7 @@ fn main() {
             map.insert("hotpath".to_owned(), section);
         }
         let out = serde_json::to_string_pretty(&doc).expect("doc serializes");
-        std::fs::write(path, out).expect("write BENCH_pipeline.json");
+        std::fs::write(path, out).unwrap_or_else(|e| panic!("write {path}: {e}"));
         println!("merged \"hotpath\" into {path}");
     }
 }

@@ -5,19 +5,28 @@
 //! `BENCH_pipeline.json`.
 
 use nchecker::{CheckerConfig, CorpusStats};
-use nck_bench::{aggregate, collect_obs, downsample, try_run_specs_with, SEED};
-use nck_obs::{MetricsSnapshot, Obs, PhaseTotals};
+use nck_bench::{aggregate, collect_obs, downsample, latency_series, try_run_specs_with, SEED};
+use nck_obs::{MetricsSnapshot, Obs, PhaseTotals, Series};
 use serde_json::{json, Value};
 use std::collections::BTreeMap;
 
-/// Serializes the corpus-level pipeline observations.
+/// Serializes the corpus-level pipeline observations: throughput,
+/// per-app latency percentiles, per-phase totals with their share of
+/// the root phase, and the merged metrics snapshot.
 fn pipeline_json(
     apps: usize,
     elapsed: std::time::Duration,
     phases: &PhaseTotals,
     metrics: &MetricsSnapshot,
+    latency: &mut Series,
 ) -> Value {
     let wall_ms = elapsed.as_secs_f64() * 1e3;
+    // Per-phase share of total per-app time, denominated in the "app"
+    // root phase (every other path nests under it).
+    let app_nanos = phases
+        .iter()
+        .find(|(path, _)| *path == "app")
+        .map_or(0, |(_, t)| t.nanos);
     let phase_obj: BTreeMap<String, Value> = phases
         .iter()
         .map(|(path, t)| {
@@ -27,6 +36,11 @@ fn pipeline_json(
                     "total_ms": t.millis(),
                     "items": t.items,
                     "count": t.count,
+                    "share": if app_nanos > 0 {
+                        t.nanos as f64 / app_nanos as f64
+                    } else {
+                        0.0
+                    },
                 }),
             )
         })
@@ -39,7 +53,7 @@ fn pipeline_json(
     let gauges: BTreeMap<String, Value> = metrics
         .gauges
         .iter()
-        .map(|(k, v)| (k.clone(), json!(v)))
+        .map(|(k, v)| (k.clone(), json!(v.value)))
         .collect();
     let histograms: BTreeMap<String, Value> = metrics
         .histograms
@@ -62,6 +76,14 @@ fn pipeline_json(
         "wall_ms": wall_ms,
         "ms_per_app": wall_ms / apps.max(1) as f64,
         "apps_per_sec": apps as f64 / elapsed.as_secs_f64().max(1e-9),
+        "latency_us": {
+            "count": latency.count(),
+            "mean": latency.mean(),
+            "p50": latency.percentile(50.0).unwrap_or(0),
+            "p90": latency.percentile(90.0).unwrap_or(0),
+            "p99": latency.percentile(99.0).unwrap_or(0),
+            "max": latency.max().unwrap_or(0),
+        },
         "phases": Value::Object(phase_obj),
         "metrics": {
             "counters": Value::Object(counters),
@@ -203,8 +225,28 @@ fn main() {
             t.items
         );
     }
+    let mut latency = latency_series(&reports);
+    if let (Some(p50), Some(p90), Some(p99)) = (
+        latency.percentile(50.0),
+        latency.percentile(90.0),
+        latency.percentile(99.0),
+    ) {
+        println!("\nper-app latency: p50 {p50} µs, p90 {p90} µs, p99 {p99} µs");
+    }
 
-    let doc = pipeline_json(reports.len(), elapsed, &phases, &metrics);
+    let mut doc = pipeline_json(reports.len(), elapsed, &phases, &metrics, &mut latency);
+    // Merge-preserve the sections other benches own (`hotpath`,
+    // `targeted`): the regression gate reads one combined document.
+    let recorded: Option<Value> = std::fs::read_to_string("BENCH_pipeline.json")
+        .ok()
+        .and_then(|s| serde_json::from_str(&s).ok());
+    if let (Some(Value::Object(old)), Value::Object(new)) = (recorded, &mut doc) {
+        for key in ["hotpath", "targeted"] {
+            if let Some(section) = old.get(key) {
+                new.insert(key.to_owned(), section.clone());
+            }
+        }
+    }
     let out = serde_json::to_string_pretty(&doc).expect("pipeline doc serializes");
     std::fs::write("BENCH_pipeline.json", out).expect("write BENCH_pipeline.json");
     println!("\nwrote BENCH_pipeline.json");

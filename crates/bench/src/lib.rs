@@ -1,10 +1,12 @@
-//! Shared harness for the experiment binaries: corpus runner and text
-//! rendering helpers.
+//! Shared harness for the experiment binaries: corpus runner, text
+//! rendering helpers, and the [`gate`] bench-regression checks.
+
+pub mod gate;
 
 use nchecker::{AnalyzeError, AppReport, CheckerConfig, CorpusStats, NChecker};
 use nck_appgen::profile::corpus;
 use nck_appgen::spec::AppSpec;
-use nck_obs::{MetricsSnapshot, Obs, PhaseTotals};
+use nck_obs::{MetricsSnapshot, Obs, PhaseTotals, Series};
 
 /// The seed all experiment binaries use, so every table is reproducible.
 pub const SEED: u64 = 2016;
@@ -214,6 +216,18 @@ pub fn collect_obs(reports: &[AppReport]) -> (PhaseTotals, MetricsSnapshot) {
     (phases, metrics)
 }
 
+/// Collects per-app wall times (µs, from each report's attached trace)
+/// into an exact-sample [`Series`] for corpus latency percentiles.
+pub fn latency_series(reports: &[AppReport]) -> Series {
+    let mut s = Series::new();
+    for r in reports {
+        if let Some(t) = &r.trace {
+            s.push(t.wall_nanos() / 1_000);
+        }
+    }
+    s
+}
+
 /// Folds per-app reports into corpus statistics.
 pub fn aggregate(reports: &[AppReport]) -> CorpusStats {
     let mut stats = CorpusStats::new();
@@ -303,5 +317,8 @@ mod tests {
             .1;
         assert_eq!(app.count, 2);
         assert!(metrics.counters.contains_key("parse.classes"));
+        let mut lat = latency_series(&reports);
+        assert_eq!(lat.count(), 2);
+        assert!(lat.percentile(50.0).unwrap() > 0, "wall time measured");
     }
 }

@@ -143,7 +143,7 @@ pub fn metrics_to_json(r: &AppReport) -> Value {
             Value::Object(
                 snap.gauges
                     .iter()
-                    .map(|(k, v)| (k.clone(), json!(v)))
+                    .map(|(k, v)| (k.clone(), json!(v.value)))
                     .collect::<BTreeMap<_, _>>(),
             ),
         );

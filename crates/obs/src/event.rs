@@ -1,12 +1,22 @@
-//! Leveled diagnostics on stderr.
+//! Leveled diagnostics on stderr, optionally mirrored to a JSONL sink.
 //!
 //! Replaces ad hoc `eprintln!` scattered through the drivers: every
 //! human-facing diagnostic goes through an [`Events`] handle whose
 //! verbosity the CLI sets from `--quiet`/`-v`/`-vv`. Machine output
 //! (stdout, JSON) never goes through here, so raising or silencing
 //! verbosity cannot corrupt it.
+//!
+//! Stderr lines carry an elapsed-time prefix (`[+1.042s]`) measured
+//! from the handle's construction, so interleaved `-v` output from
+//! parallel workers can be ordered after the fact. When a
+//! [`JsonlSink`] is attached, every event is also written there as a
+//! `{"t":"event","ms":...,"level":...,"msg":...}` record — at *all*
+//! levels, regardless of the stderr ceiling, so `--log-json` captures
+//! the full stream even under `--quiet`.
 
+use crate::export::{JsonObj, JsonlSink};
 use std::io::Write;
+use std::time::Instant;
 
 /// Diagnostic severity, most severe first.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -32,10 +42,12 @@ impl std::fmt::Display for Level {
     }
 }
 
-/// A verbosity-gated stderr stream.
+/// A verbosity-gated stderr stream with an optional JSONL mirror.
 #[derive(Clone, Debug)]
 pub struct Events {
     ceiling: Option<Level>,
+    epoch: Instant,
+    sink: Option<JsonlSink>,
 }
 
 impl Default for Events {
@@ -49,30 +61,68 @@ impl Events {
     pub fn at(ceiling: Level) -> Events {
         Events {
             ceiling: Some(ceiling),
+            epoch: Instant::now(),
+            sink: None,
         }
     }
 
-    /// Emits nothing at all (`--quiet`).
+    /// Emits nothing at all on stderr (`--quiet`). An attached sink
+    /// still receives every event.
     pub fn silent() -> Events {
-        Events { ceiling: None }
+        Events {
+            ceiling: None,
+            epoch: Instant::now(),
+            sink: None,
+        }
     }
 
-    /// Whether a message at `level` would be written.
+    /// Attaches a JSONL sink that receives every event regardless of
+    /// the stderr ceiling.
+    pub fn with_sink(mut self, sink: JsonlSink) -> Events {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// The attached JSONL sink, if any.
+    pub fn sink(&self) -> Option<&JsonlSink> {
+        self.sink.as_ref()
+    }
+
+    /// Whether a message at `level` would be written to stderr.
     pub fn would_log(&self, level: Level) -> bool {
         self.ceiling.is_some_and(|c| level <= c)
     }
 
-    /// Writes `msg` to stderr when `level` clears the ceiling. Errors
-    /// print bare (they are the primary channel content); lower levels
-    /// carry a `level:` prefix.
+    /// Seconds elapsed since this handle was constructed.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64()
+    }
+
+    /// Writes `msg` to stderr when `level` clears the ceiling, prefixed
+    /// with the elapsed time since construction. Errors print without a
+    /// level tag (they are the primary channel content); lower levels
+    /// carry a `level:` tag. An attached sink receives the event
+    /// unconditionally.
     pub fn emit(&self, level: Level, msg: &str) {
+        let elapsed = self.epoch.elapsed();
+        if let Some(sink) = &self.sink {
+            sink.emit(
+                &JsonObj::new()
+                    .str("t", "event")
+                    .u64("ms", elapsed.as_millis() as u64)
+                    .str("level", &level.to_string())
+                    .str("msg", msg)
+                    .finish(),
+            );
+        }
         if !self.would_log(level) {
             return;
         }
+        let stamp = format!("[+{:.3}s]", elapsed.as_secs_f64());
         let mut err = std::io::stderr().lock();
         let _ = match level {
-            Level::Error => writeln!(err, "{msg}"),
-            _ => writeln!(err, "{level}: {msg}"),
+            Level::Error => writeln!(err, "{stamp} {msg}"),
+            _ => writeln!(err, "{stamp} {level}: {msg}"),
         };
     }
 
@@ -124,5 +174,20 @@ mod tests {
         let q = Events::silent();
         assert!(!q.would_log(Level::Error));
         q.error("never shown"); // must not panic
+    }
+
+    #[test]
+    fn sink_receives_events_below_the_stderr_ceiling() {
+        let (sink, buf) = JsonlSink::capture();
+        let e = Events::silent().with_sink(sink);
+        e.debug("invisible on stderr");
+        e.error("also captured");
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"t\":\"event\""));
+        assert!(lines[0].contains("\"level\":\"debug\""));
+        assert!(lines[0].contains("\"msg\":\"invisible on stderr\""));
+        assert!(lines[1].contains("\"level\":\"error\""));
     }
 }

@@ -1,0 +1,374 @@
+//! Machine-readable telemetry export: JSONL sinks and Chrome Trace
+//! Event output.
+//!
+//! `nck-obs` is dependency-free, so this module carries its own minimal
+//! JSON writer: [`json_escape`] plus the [`JsonObj`] builder, enough to
+//! emit flat records with stable field names. Nested structure only
+//! appears via [`JsonObj::raw`], whose value the caller has already
+//! serialized.
+//!
+//! [`chrome_trace`] turns per-app [`PipelineTrace`]s into the Chrome
+//! Trace Event Format (the `{"traceEvents": [...]}` JSON loaded by
+//! Perfetto and chrome://tracing). Worker identity is not plumbed
+//! through the pipeline; instead lanes are reconstructed by greedy
+//! interval partitioning over app start/end times, which yields exactly
+//! the worker count lanes for a saturated pool and never overlaps two
+//! apps on one lane.
+
+use crate::trace::{PipelineTrace, SpanNode};
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+/// Escapes `s` for inclusion in a JSON string literal (without the
+/// surrounding quotes).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Builds one flat JSON object, preserving insertion order. Keys are
+/// written in the order fields are added, so records keep their stable,
+/// documented field order.
+#[derive(Debug)]
+pub struct JsonObj {
+    buf: String,
+}
+
+impl JsonObj {
+    /// Starts an empty object.
+    pub fn new() -> JsonObj {
+        JsonObj { buf: String::new() }
+    }
+
+    fn key(&mut self, k: &str) {
+        if !self.buf.is_empty() {
+            self.buf.push(',');
+        }
+        self.buf.push('"');
+        self.buf.push_str(&json_escape(k));
+        self.buf.push_str("\":");
+    }
+
+    /// Adds a string field.
+    pub fn str(mut self, k: &str, v: &str) -> JsonObj {
+        self.key(k);
+        self.buf.push('"');
+        self.buf.push_str(&json_escape(v));
+        self.buf.push('"');
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn u64(mut self, k: &str, v: u64) -> JsonObj {
+        self.key(k);
+        self.buf.push_str(&v.to_string());
+        self
+    }
+
+    /// Adds a signed integer field.
+    pub fn i64(mut self, k: &str, v: i64) -> JsonObj {
+        self.key(k);
+        self.buf.push_str(&v.to_string());
+        self
+    }
+
+    /// Adds a float field, rendered with three decimal places (enough
+    /// for microsecond values carrying nanosecond fractions).
+    pub fn f64(mut self, k: &str, v: f64) -> JsonObj {
+        self.key(k);
+        self.buf.push_str(&format!("{v:.3}"));
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(mut self, k: &str, v: bool) -> JsonObj {
+        self.key(k);
+        self.buf.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Adds a field whose value is already-serialized JSON.
+    pub fn raw(mut self, k: &str, v: &str) -> JsonObj {
+        self.key(k);
+        self.buf.push_str(v);
+        self
+    }
+
+    /// Finishes the object.
+    pub fn finish(self) -> String {
+        format!("{{{}}}", self.buf)
+    }
+}
+
+impl Default for JsonObj {
+    fn default() -> JsonObj {
+        JsonObj::new()
+    }
+}
+
+enum SinkTarget {
+    Writer(Box<dyn Write + Send>),
+    Capture(Arc<Mutex<Vec<u8>>>),
+}
+
+/// A shared, line-oriented JSON sink: each [`JsonlSink::emit`] call
+/// appends one JSON object and a newline. Cloning shares the
+/// destination; writes are serialized by an internal lock, so parallel
+/// workers never interleave within a line.
+#[derive(Clone)]
+pub struct JsonlSink {
+    inner: Arc<Mutex<SinkTarget>>,
+}
+
+impl fmt::Debug for JsonlSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("JsonlSink")
+    }
+}
+
+impl JsonlSink {
+    /// A sink writing to `path` (created or truncated).
+    pub fn create(path: &Path) -> io::Result<JsonlSink> {
+        let file = File::create(path)?;
+        Ok(JsonlSink {
+            inner: Arc::new(Mutex::new(SinkTarget::Writer(Box::new(BufWriter::new(
+                file,
+            ))))),
+        })
+    }
+
+    /// An in-memory sink plus the buffer it writes to, for tests.
+    pub fn capture() -> (JsonlSink, Arc<Mutex<Vec<u8>>>) {
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        let sink = JsonlSink {
+            inner: Arc::new(Mutex::new(SinkTarget::Capture(Arc::clone(&buf)))),
+        };
+        (sink, buf)
+    }
+
+    /// Appends one record (serialized JSON object, no trailing newline)
+    /// as a line. I/O errors are swallowed: telemetry must never fail
+    /// the pipeline.
+    pub fn emit(&self, record: &str) {
+        let mut target = self.inner.lock().expect("jsonl sink lock");
+        match &mut *target {
+            SinkTarget::Writer(w) => {
+                let _ = writeln!(w, "{record}");
+            }
+            SinkTarget::Capture(buf) => {
+                let mut buf = buf.lock().expect("jsonl capture lock");
+                buf.extend_from_slice(record.as_bytes());
+                buf.push(b'\n');
+            }
+        }
+    }
+
+    /// Flushes buffered lines to the destination.
+    pub fn flush(&self) {
+        if let SinkTarget::Writer(w) = &mut *self.inner.lock().expect("jsonl sink lock") {
+            let _ = w.flush();
+        }
+    }
+}
+
+/// Assigns each trace to the first lane free at its start time (greedy
+/// interval partitioning over `[start_ns, end_ns)`). Returns one lane
+/// index per input trace; empty traces get lane 0.
+fn assign_lanes(traces: &[(String, PipelineTrace)]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..traces.len()).collect();
+    order.sort_by_key(|&i| (traces[i].1.start_ns(), traces[i].1.end_ns()));
+    let mut lanes: Vec<usize> = vec![0; traces.len()];
+    let mut lane_end: Vec<u64> = Vec::new();
+    for i in order {
+        let (start, end) = (traces[i].1.start_ns(), traces[i].1.end_ns());
+        match lane_end.iter().position(|&e| e <= start) {
+            Some(l) => {
+                lanes[i] = l;
+                lane_end[l] = end;
+            }
+            None => {
+                lanes[i] = lane_end.len();
+                lane_end.push(end);
+            }
+        }
+    }
+    lanes
+}
+
+fn push_span_events(
+    node: &SpanNode,
+    app: Option<&str>,
+    tid: usize,
+    out: &mut Vec<(u64, u64, String)>,
+) {
+    let mut args = JsonObj::new().u64("items", node.items);
+    if let Some(app) = app {
+        args = args.str("app", app);
+    }
+    let ev = JsonObj::new()
+        .str("name", &node.name)
+        .str("cat", "nchecker")
+        .str("ph", "X")
+        .f64("ts", node.start_ns as f64 / 1e3)
+        .f64("dur", node.nanos as f64 / 1e3)
+        .u64("pid", 1)
+        .u64("tid", tid as u64)
+        .raw("args", &args.finish())
+        .finish();
+    out.push((node.start_ns, u64::MAX - node.nanos, ev));
+    for c in &node.children {
+        push_span_events(c, None, tid, out);
+    }
+}
+
+/// Renders `(app label, trace)` pairs as a Chrome Trace Event Format
+/// document. Each reconstructed worker lane becomes one `tid`; within a
+/// lane events are sorted by start time (longer spans first on ties, so
+/// parents precede children). Root spans carry the app label in their
+/// `args`.
+pub fn chrome_trace(traces: &[(String, PipelineTrace)]) -> String {
+    let lanes = assign_lanes(traces);
+    let lane_count = lanes.iter().copied().max().map_or(0, |m| m + 1);
+    let mut events: Vec<String> = Vec::new();
+    events.push(
+        JsonObj::new()
+            .str("name", "process_name")
+            .str("ph", "M")
+            .u64("pid", 1)
+            .u64("tid", 0)
+            .raw("args", &JsonObj::new().str("name", "nchecker").finish())
+            .finish(),
+    );
+    for lane in 0..lane_count {
+        events.push(
+            JsonObj::new()
+                .str("name", "thread_name")
+                .str("ph", "M")
+                .u64("pid", 1)
+                .u64("tid", lane as u64)
+                .raw(
+                    "args",
+                    &JsonObj::new()
+                        .str("name", &format!("worker {lane}"))
+                        .finish(),
+                )
+                .finish(),
+        );
+    }
+    // Collect per lane so each lane's events come out ts-sorted.
+    for lane in 0..lane_count {
+        let mut lane_events: Vec<(u64, u64, String)> = Vec::new();
+        for (i, (app, trace)) in traces.iter().enumerate() {
+            if lanes[i] != lane {
+                continue;
+            }
+            for root in &trace.roots {
+                push_span_events(root, Some(app), lane, &mut lane_events);
+            }
+        }
+        lane_events.sort_by_key(|a| (a.0, a.1));
+        events.extend(lane_events.into_iter().map(|(_, _, ev)| ev));
+    }
+    format!("{{\"traceEvents\":[{}]}}\n", events.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Tracer;
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn escape_handles_quotes_and_control_chars() {
+        assert_eq!(json_escape("a\"b"), "a\\\"b");
+        assert_eq!(json_escape("a\\b"), "a\\\\b");
+        assert_eq!(json_escape("a\nb\tc"), "a\\nb\\tc");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+        assert_eq!(json_escape("plain"), "plain");
+    }
+
+    #[test]
+    fn json_obj_preserves_field_order() {
+        let s = JsonObj::new()
+            .str("t", "event")
+            .u64("n", 3)
+            .i64("d", -1)
+            .bool("ok", true)
+            .raw("inner", "{\"x\":1}")
+            .finish();
+        assert_eq!(
+            s,
+            "{\"t\":\"event\",\"n\":3,\"d\":-1,\"ok\":true,\"inner\":{\"x\":1}}"
+        );
+    }
+
+    #[test]
+    fn jsonl_sink_capture_collects_lines() {
+        let (sink, buf) = JsonlSink::capture();
+        sink.emit("{\"a\":1}");
+        sink.clone().emit("{\"b\":2}");
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        assert_eq!(text, "{\"a\":1}\n{\"b\":2}\n");
+    }
+
+    fn trace_with_window(epoch: Instant, start_ms: u64, dur_ms: u64, name: &str) -> PipelineTrace {
+        // Synthesize a trace occupying [start_ms, start_ms+dur_ms) on
+        // the epoch timeline via record()'s backdating.
+        let t = Tracer::enabled_with_epoch(
+            epoch
+                .checked_sub(Duration::from_millis(start_ms + dur_ms))
+                .unwrap_or(epoch),
+        );
+        t.record(name, Duration::from_millis(dur_ms), 1);
+        t.finish()
+    }
+
+    #[test]
+    fn lanes_partition_overlapping_intervals() {
+        let epoch = Instant::now();
+        // a: [0, 10), b: [2, 6) overlaps a, c: [12, 14) reuses a's lane.
+        let traces = vec![
+            ("a".to_owned(), trace_with_window(epoch, 0, 10, "app")),
+            ("b".to_owned(), trace_with_window(epoch, 2, 4, "app")),
+            ("c".to_owned(), trace_with_window(epoch, 12, 2, "app")),
+        ];
+        let lanes = assign_lanes(&traces);
+        assert_eq!(lanes[0], 0);
+        assert_eq!(lanes[1], 1, "overlap forces a second lane");
+        assert_eq!(lanes[2], 0, "free lane is reused");
+    }
+
+    #[test]
+    fn chrome_trace_emits_sorted_events_with_metadata() {
+        let epoch = Instant::now();
+        let traces = vec![
+            ("late.app".to_owned(), trace_with_window(epoch, 5, 2, "app")),
+            (
+                "early.app".to_owned(),
+                trace_with_window(epoch, 0, 2, "app"),
+            ),
+        ];
+        let out = chrome_trace(&traces);
+        assert!(out.starts_with("{\"traceEvents\":["));
+        assert!(out.contains("\"process_name\""));
+        assert!(out.contains("\"worker 0\""));
+        assert!(out.contains("\"app\":\"early.app\""));
+        let early = out.find("early.app").unwrap();
+        let late = out.find("late.app").unwrap();
+        assert!(early < late, "lane events ordered by start time");
+    }
+}

@@ -12,7 +12,11 @@
 //!   and fixed-bucket histograms, snapshottable and mergeable across a
 //!   corpus;
 //! - **events** ([`event`]): leveled diagnostics on stderr behind the
-//!   CLI's `--quiet`/`-v` verbosity, keeping machine output untouched.
+//!   CLI's `--quiet`/`-v` verbosity, keeping machine output untouched;
+//! - **series** ([`series`]): exact-sample distributions for
+//!   corpus-level latency percentiles;
+//! - **export** ([`export`]): machine-readable output — a shared JSONL
+//!   sink and a Chrome Trace Event Format renderer for span trees.
 //!
 //! Every handle has a *disabled* state that records nothing and costs a
 //! branch per call, so instrumentation left in place adds no measurable
@@ -35,11 +39,17 @@
 //! ```
 
 pub mod event;
+pub mod export;
 pub mod metrics;
+pub mod series;
 pub mod trace;
 
 pub use event::{Events, Level};
-pub use metrics::{HistogramSnapshot, Metrics, MetricsSnapshot, EXP2_BUCKETS};
+pub use export::{chrome_trace, json_escape, JsonObj, JsonlSink};
+pub use metrics::{
+    GaugeKind, GaugeValue, HistogramSnapshot, Metrics, MetricsSnapshot, EXP2_BUCKETS,
+};
+pub use series::Series;
 pub use trace::{PhaseTotals, PipelineTrace, Span, SpanNode, Tracer};
 
 /// The bundle of observability handles one pipeline run carries.
@@ -74,12 +84,14 @@ impl Obs {
     }
 
     /// A new `Obs` with *empty* sinks, enabled exactly where `self` is.
+    /// The fresh tracer inherits the template's epoch, so per-app
+    /// traces minted from one template lay out on one corpus timeline
+    /// (the Chrome-trace exporter depends on this).
     pub fn fresh(&self) -> Obs {
         Obs {
-            tracer: if self.tracer.is_enabled() {
-                Tracer::enabled()
-            } else {
-                Tracer::disabled()
+            tracer: match self.tracer.epoch() {
+                Some(epoch) => Tracer::enabled_with_epoch(epoch),
+                None => Tracer::disabled(),
             },
             metrics: if self.metrics.is_enabled() {
                 Metrics::enabled()
@@ -120,5 +132,13 @@ mod tests {
         assert!(f.is_enabled());
         assert!(f.metrics.snapshot().counters.is_empty());
         assert_eq!(obs.metrics.snapshot().counters["c"], 7);
+    }
+
+    #[test]
+    fn fresh_tracers_inherit_the_template_epoch() {
+        let obs = Obs::enabled();
+        let epoch = obs.tracer.epoch().unwrap();
+        let f = obs.fresh();
+        assert_eq!(f.tracer.epoch(), Some(epoch));
     }
 }

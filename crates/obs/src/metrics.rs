@@ -21,10 +21,38 @@ pub const EXP2_BUCKETS: [u64; 16] = [
     1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768,
 ];
 
+/// How a gauge folds when snapshots merge.
+///
+/// The merge rule is the point of the split: counters always sum, but a
+/// gauge is either a *point-in-time* reading (cache entries, largest
+/// SCC) — for which summing per-app values into a corpus total silently
+/// fabricates a number no process ever observed — or an *additive*
+/// contribution (bytes written by this app) that genuinely accumulates.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum GaugeKind {
+    /// Point-in-time reading: last write wins in the live registry, and
+    /// merging keeps the **maximum** (the high-water mark is the only
+    /// order-independent, meaningful fold of point-in-time values).
+    #[default]
+    Point,
+    /// Additive contribution: writes add in the live registry, and
+    /// merging **sums**.
+    Additive,
+}
+
+/// A gauge value paired with its merge semantics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GaugeValue {
+    /// Current value.
+    pub value: i64,
+    /// How the value folds on [`MetricsSnapshot::merge`].
+    pub kind: GaugeKind,
+}
+
 #[derive(Clone, Debug, PartialEq, Eq)]
 enum Metric {
     Counter(u64),
-    Gauge(i64),
+    Gauge(GaugeValue),
     Histogram(HistogramSnapshot),
 }
 
@@ -71,6 +99,30 @@ impl HistogramSnapshot {
         } else {
             self.sum as f64 / self.count as f64
         }
+    }
+
+    /// The inclusive upper bound of the bucket containing the `p`-th
+    /// percentile observation, or `None` when the histogram is empty or
+    /// the rank lands in the overflow bucket (beyond every bound).
+    ///
+    /// Exact within bucket resolution: the returned bound is the
+    /// tightest upper bound the bucketing can prove for that rank. For
+    /// exact percentiles over raw samples use [`crate::series::Series`].
+    pub fn percentile_bound(&self, p: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        // 1-based rank of the percentile observation, same convention
+        // as Series: round(p/100 * (n-1)) zero-based.
+        let rank = (p / 100.0 * (self.count - 1) as f64).round() as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen > rank {
+                return self.bounds.get(i).copied();
+            }
+        }
+        None
     }
 
     fn merge(&mut self, other: &HistogramSnapshot) {
@@ -123,12 +175,40 @@ impl Metrics {
         }
     }
 
-    /// Sets the gauge `name` to `value`.
+    /// Sets the point-in-time gauge `name` to `value` (last write wins;
+    /// merges keep the maximum — see [`GaugeKind::Point`]).
     pub fn gauge(&self, name: &str, value: i64) {
         let Some(inner) = &self.inner else { return };
         let mut map = inner.lock().expect("metrics lock");
-        if let Metric::Gauge(g) = map.entry(name.to_owned()).or_insert(Metric::Gauge(0)) {
-            *g = value;
+        if let Metric::Gauge(g) = map
+            .entry(name.to_owned())
+            .or_insert(Metric::Gauge(GaugeValue {
+                value: 0,
+                kind: GaugeKind::Point,
+            }))
+        {
+            if g.kind == GaugeKind::Point {
+                g.value = value;
+            }
+        }
+    }
+
+    /// Adds `by` to the additive gauge `name` (merges sum — see
+    /// [`GaugeKind::Additive`]). Unlike a counter, an additive gauge may
+    /// go negative.
+    pub fn gauge_add(&self, name: &str, by: i64) {
+        let Some(inner) = &self.inner else { return };
+        let mut map = inner.lock().expect("metrics lock");
+        if let Metric::Gauge(g) = map
+            .entry(name.to_owned())
+            .or_insert(Metric::Gauge(GaugeValue {
+                value: 0,
+                kind: GaugeKind::Additive,
+            }))
+        {
+            if g.kind == GaugeKind::Additive {
+                g.value += by;
+            }
         }
     }
 
@@ -181,21 +261,36 @@ impl Metrics {
 pub struct MetricsSnapshot {
     /// Monotonic counters.
     pub counters: BTreeMap<String, u64>,
-    /// Last-set gauges.
-    pub gauges: BTreeMap<String, i64>,
+    /// Gauges with their merge semantics.
+    pub gauges: BTreeMap<String, GaugeValue>,
     /// Fixed-bucket histograms.
     pub histograms: BTreeMap<String, HistogramSnapshot>,
 }
 
 impl MetricsSnapshot {
-    /// Folds `other` in: counters and histogram buckets add; gauges add
-    /// too, so per-app gauges aggregate to corpus totals.
+    /// Folds `other` in. Counters and histogram buckets add. Gauges
+    /// fold by their [`GaugeKind`]: additive gauges sum, point-in-time
+    /// gauges keep the maximum — summing a point-in-time value (cache
+    /// entries, largest SCC) across per-app snapshots would fabricate a
+    /// total no process ever observed. On a kind conflict the
+    /// first-recorded kind wins, mirroring the registry's
+    /// first-use-binds rule.
     pub fn merge(&mut self, other: &MetricsSnapshot) {
         for (name, v) in &other.counters {
             *self.counters.entry(name.clone()).or_insert(0) += v;
         }
-        for (name, v) in &other.gauges {
-            *self.gauges.entry(name.clone()).or_insert(0) += v;
+        for (name, g) in &other.gauges {
+            let mine = self.gauges.entry(name.clone()).or_insert(GaugeValue {
+                value: match g.kind {
+                    GaugeKind::Point => i64::MIN,
+                    GaugeKind::Additive => 0,
+                },
+                kind: g.kind,
+            });
+            match mine.kind {
+                GaugeKind::Point => mine.value = mine.value.max(g.value),
+                GaugeKind::Additive => mine.value += g.value,
+            }
         }
         for (name, h) in &other.histograms {
             self.histograms
@@ -210,23 +305,43 @@ impl MetricsSnapshot {
         self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
     }
 
-    /// Renders one `name value` line per metric, histograms as
-    /// `name count=N sum=S mean=M`.
+    /// Renders one `name value` line per metric. Histograms render
+    /// their moments, the percentile bucket bounds, and every non-empty
+    /// bucket (`le<bound>:count`, `inf` for overflow) so `--metrics`
+    /// output shows the distribution, not just the mean.
     pub fn render(&self) -> String {
         let mut out = String::new();
         for (name, v) in &self.counters {
             out.push_str(&format!("{name} {v}\n"));
         }
-        for (name, v) in &self.gauges {
-            out.push_str(&format!("{name} {v}\n"));
+        for (name, g) in &self.gauges {
+            out.push_str(&format!("{name} {}\n", g.value));
         }
         for (name, h) in &self.histograms {
+            let pct = |p: f64| match h.percentile_bound(p) {
+                Some(b) => format!("<={b}"),
+                None if h.count == 0 => "-".to_owned(),
+                None => format!(">{}", h.bounds.last().copied().unwrap_or(0)),
+            };
             out.push_str(&format!(
-                "{name} count={} sum={} mean={:.2}\n",
+                "{name} count={} sum={} mean={:.2} p50{} p90{} p99{}",
                 h.count,
                 h.sum,
-                h.mean()
+                h.mean(),
+                pct(50.0),
+                pct(90.0),
+                pct(99.0),
             ));
+            for (i, &c) in h.counts.iter().enumerate() {
+                if c == 0 {
+                    continue;
+                }
+                match h.bounds.get(i) {
+                    Some(b) => out.push_str(&format!(" le{b}:{c}")),
+                    None => out.push_str(&format!(" inf:{c}")),
+                }
+            }
+            out.push('\n');
         }
         out
     }
@@ -252,7 +367,30 @@ mod tests {
         let m = Metrics::enabled();
         m.gauge("g", 10);
         m.gauge("g", -3);
-        assert_eq!(m.snapshot().gauges["g"], -3);
+        let g = m.snapshot().gauges["g"];
+        assert_eq!(g.value, -3);
+        assert_eq!(g.kind, GaugeKind::Point);
+    }
+
+    #[test]
+    fn additive_gauges_accumulate() {
+        let m = Metrics::enabled();
+        m.gauge_add("bytes", 10);
+        m.gauge_add("bytes", -3);
+        let g = m.snapshot().gauges["bytes"];
+        assert_eq!(g.value, 7);
+        assert_eq!(g.kind, GaugeKind::Additive);
+    }
+
+    #[test]
+    fn gauge_kind_conflicts_are_ignored() {
+        let m = Metrics::enabled();
+        m.gauge("g", 5); // binds Point
+        m.gauge_add("g", 100); // wrong kind: ignored
+        assert_eq!(m.snapshot().gauges["g"].value, 5);
+        m.gauge_add("a", 5); // binds Additive
+        m.gauge("a", 100); // wrong kind: ignored
+        assert_eq!(m.snapshot().gauges["a"].value, 5);
     }
 
     #[test]
@@ -306,11 +444,78 @@ mod tests {
         let mut s = a.snapshot();
         s.merge(&b.snapshot());
         assert_eq!(s.counters["c"], 11);
-        assert_eq!(s.gauges["g"], 7);
+        // Point gauges keep the high-water mark, not the sum.
+        assert_eq!(s.gauges["g"].value, 5);
         let h = &s.histograms["h"];
         assert_eq!(h.counts, vec![1, 1]);
         assert_eq!(h.sum, 55);
         assert_eq!(h.count, 2);
+    }
+
+    #[test]
+    fn merge_folds_gauges_by_kind() {
+        let a = Metrics::enabled();
+        a.gauge("peak", 7);
+        a.gauge_add("bytes", 100);
+        let b = Metrics::enabled();
+        b.gauge("peak", 3);
+        b.gauge_add("bytes", 50);
+        let mut s = a.snapshot();
+        s.merge(&b.snapshot());
+        assert_eq!(s.gauges["peak"].value, 7); // max of point readings
+        assert_eq!(s.gauges["bytes"].value, 150); // sum of contributions
+                                                  // Merging into an empty snapshot is the identity.
+        let mut empty = MetricsSnapshot::default();
+        empty.merge(&s);
+        assert_eq!(empty, s);
+    }
+
+    #[test]
+    fn merge_kind_conflict_keeps_self_kind() {
+        let a = Metrics::enabled();
+        a.gauge("g", 2);
+        let b = Metrics::enabled();
+        b.gauge_add("g", 100);
+        let mut s = a.snapshot();
+        s.merge(&b.snapshot());
+        // Self's binding (Point) wins: fold by max, keep Point.
+        assert_eq!(s.gauges["g"].value, 100);
+        assert_eq!(s.gauges["g"].kind, GaugeKind::Point);
+    }
+
+    #[test]
+    fn percentile_bound_walks_cumulative_counts() {
+        let m = Metrics::enabled();
+        for v in [1, 1, 2, 3, 5, 8, 13, 21, 34, 55] {
+            m.observe_with("h", &[2, 8, 32], v);
+        }
+        let h = &m.snapshot().histograms["h"];
+        // counts: <=2: 3, <=8: 3, <=32: 2, overflow: 2 (34, 55).
+        assert_eq!(h.percentile_bound(0.0), Some(2));
+        assert_eq!(h.percentile_bound(50.0), Some(8)); // rank 5 (0-based 4.5→5)
+        assert_eq!(h.percentile_bound(90.0), None); // rank 8 lands in overflow
+        let empty = HistogramSnapshot::new(&[2]);
+        assert_eq!(empty.percentile_bound(50.0), None);
+    }
+
+    #[test]
+    fn render_shows_buckets_and_percentiles() {
+        let m = Metrics::enabled();
+        m.inc("c", 3);
+        m.gauge("g", -1);
+        for v in [1, 3, 1000] {
+            m.observe_with("h", &[2, 4], v);
+        }
+        let out = m.snapshot().render();
+        assert!(out.contains("c 3\n"));
+        assert!(out.contains("g -1\n"));
+        // Percentiles per bucket bound, overflow rendered as >last.
+        assert!(out.contains("p50<=4"), "missing p50 in: {out}");
+        assert!(out.contains("p99>4"), "missing overflow p99 in: {out}");
+        // Non-empty buckets listed; the empty le? buckets are elided.
+        assert!(out.contains("le2:1"), "missing le2 bucket in: {out}");
+        assert!(out.contains("le4:1"), "missing le4 bucket in: {out}");
+        assert!(out.contains("inf:1"), "missing overflow bucket in: {out}");
     }
 
     #[test]

@@ -1,0 +1,146 @@
+//! Exact-sample series for corpus-level latency aggregation.
+//!
+//! A [`Series`] keeps every observation, so percentiles are exact
+//! rather than bucket-bounded like
+//! [`HistogramSnapshot::percentile_bound`](crate::metrics::HistogramSnapshot::percentile_bound).
+//! That costs one `u64` per sample — fine for per-app wall times (one
+//! sample per app), wrong for per-method timings (use a histogram).
+//!
+//! The percentile convention is the nearest-rank form the benches have
+//! always used: the sample at zero-based index `round(p/100 * (n-1))`
+//! of the sorted data.
+
+/// An exact-sample distribution: every pushed value is retained.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Series {
+    samples: Vec<u64>,
+    sorted: bool,
+}
+
+impl Series {
+    /// An empty series.
+    pub fn new() -> Series {
+        Series::default()
+    }
+
+    /// Records one observation.
+    pub fn push(&mut self, value: u64) {
+        self.samples.push(value);
+        self.sorted = false;
+    }
+
+    /// Folds another series' samples in.
+    pub fn merge(&mut self, other: &Series) {
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted = false;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no observation was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.samples.iter().sum()
+    }
+
+    /// Arithmetic mean, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.sum() as f64 / self.samples.len() as f64
+        }
+    }
+
+    /// Smallest observation, or `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        self.samples.iter().copied().min()
+    }
+
+    /// Largest observation, or `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        self.samples.iter().copied().max()
+    }
+
+    /// The exact `p`-th percentile (nearest rank: the sorted sample at
+    /// zero-based index `round(p/100 * (n-1))`), or `None` when empty.
+    /// `p` is clamped to `0..=100`.
+    pub fn percentile(&mut self, p: f64) -> Option<u64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+        let p = p.clamp(0.0, 100.0);
+        let rank = (p / 100.0 * (self.samples.len() - 1) as f64).round() as usize;
+        Some(self.samples[rank])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_use_nearest_rank_on_sorted_samples() {
+        let mut s = Series::new();
+        for v in [50, 10, 40, 20, 30] {
+            s.push(v);
+        }
+        assert_eq!(s.percentile(0.0), Some(10));
+        assert_eq!(s.percentile(50.0), Some(30));
+        assert_eq!(s.percentile(100.0), Some(50));
+        // round(0.9 * 4) = 4 → max sample.
+        assert_eq!(s.percentile(90.0), Some(50));
+        // round(0.75 * 4) = 3.
+        assert_eq!(s.percentile(75.0), Some(40));
+    }
+
+    #[test]
+    fn empty_series_has_no_percentile() {
+        let mut s = Series::new();
+        assert_eq!(s.percentile(50.0), None);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn merge_combines_samples() {
+        let mut a = Series::new();
+        a.push(1);
+        a.push(100);
+        let mut b = Series::new();
+        b.push(2);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum(), 103);
+        assert_eq!(a.percentile(50.0), Some(2));
+    }
+
+    #[test]
+    fn push_after_percentile_resorts() {
+        let mut s = Series::new();
+        s.push(10);
+        assert_eq!(s.percentile(50.0), Some(10));
+        s.push(1);
+        assert_eq!(s.percentile(0.0), Some(1));
+    }
+
+    #[test]
+    fn out_of_range_p_is_clamped() {
+        let mut s = Series::new();
+        s.push(3);
+        s.push(7);
+        assert_eq!(s.percentile(-5.0), Some(3));
+        assert_eq!(s.percentile(250.0), Some(7));
+    }
+}

@@ -26,11 +26,16 @@ struct SpanRec {
     items: u64,
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct TraceState {
     spans: Vec<SpanRec>,
     /// Indices of currently open spans, innermost last.
     stack: Vec<usize>,
+    /// Time origin every span start is reported relative to. Tracers
+    /// minted from the same template share one epoch (see
+    /// [`Tracer::enabled_with_epoch`]), so per-app traces from a corpus
+    /// run lay out on one timeline.
+    epoch: Instant,
 }
 
 /// Records spans into a shared, per-run buffer. Cloning shares the
@@ -41,11 +46,31 @@ pub struct Tracer {
 }
 
 impl Tracer {
-    /// A live tracer with an empty span buffer.
+    /// A live tracer with an empty span buffer whose epoch is *now*.
     pub fn enabled() -> Tracer {
+        Tracer::enabled_with_epoch(Instant::now())
+    }
+
+    /// A live tracer with an empty span buffer and an explicit time
+    /// origin. Span start offsets ([`SpanNode::start_ns`]) are measured
+    /// from `epoch`; derive every per-app tracer of one run from the
+    /// same epoch to get one corpus-wide timeline (the trace exporter
+    /// relies on this to place apps on worker lanes).
+    pub fn enabled_with_epoch(epoch: Instant) -> Tracer {
         Tracer {
-            inner: Some(Arc::new(Mutex::new(TraceState::default()))),
+            inner: Some(Arc::new(Mutex::new(TraceState {
+                spans: Vec::new(),
+                stack: Vec::new(),
+                epoch,
+            }))),
         }
+    }
+
+    /// The tracer's time origin, when enabled.
+    pub fn epoch(&self) -> Option<Instant> {
+        self.inner
+            .as_ref()
+            .map(|i| i.lock().expect("tracer lock").epoch)
     }
 
     /// A tracer that records nothing.
@@ -86,14 +111,19 @@ impl Tracer {
 
     /// Records an already-measured span of `dur` with `items` under the
     /// innermost open span — for costs accumulated outside RAII scoping.
+    /// The span is backdated so its start offset plus duration lands at
+    /// the record call (the best placement knowable for accumulated
+    /// costs).
     pub fn record(&self, name: &str, dur: Duration, items: u64) {
         let Some(inner) = &self.inner else { return };
         let mut st = inner.lock().expect("tracer lock");
         let parent = st.stack.last().copied();
+        let now = Instant::now();
+        let start = now.checked_sub(dur).unwrap_or(now);
         st.spans.push(SpanRec {
             name: name.to_owned(),
             parent,
-            start: Instant::now(),
+            start,
             dur: Some(dur),
             items,
         });
@@ -111,6 +141,10 @@ impl Tracer {
             .iter()
             .map(|s| SpanNode {
                 name: s.name.clone(),
+                start_ns: s
+                    .start
+                    .checked_duration_since(st.epoch)
+                    .map_or(0, |d| d.as_nanos() as u64),
                 nanos: s.dur.unwrap_or_else(|| s.start.elapsed()).as_nanos() as u64,
                 items: s.items,
                 children: Vec::new(),
@@ -124,6 +158,7 @@ impl Tracer {
                 &mut nodes[i],
                 SpanNode {
                     name: String::new(),
+                    start_ns: 0,
                     nanos: 0,
                     items: 0,
                     children: Vec::new(),
@@ -180,6 +215,8 @@ impl Drop for Span {
 pub struct SpanNode {
     /// Span name (phase name).
     pub name: String,
+    /// Start offset from the tracer's epoch, in nanoseconds.
+    pub start_ns: u64,
     /// Wall time in nanoseconds.
     pub nanos: u64,
     /// Item count attributed to the span.
@@ -193,6 +230,11 @@ impl SpanNode {
     pub fn millis(&self) -> f64 {
         self.nanos as f64 / 1e6
     }
+
+    /// End offset from the tracer's epoch, in nanoseconds.
+    pub fn end_ns(&self) -> u64 {
+        self.start_ns.saturating_add(self.nanos)
+    }
 }
 
 /// The span tree of one pipeline run.
@@ -203,6 +245,23 @@ pub struct PipelineTrace {
 }
 
 impl PipelineTrace {
+    /// Start offset of the earliest root span, in nanoseconds from the
+    /// tracer's epoch (0 for an empty trace).
+    pub fn start_ns(&self) -> u64 {
+        self.roots.iter().map(|r| r.start_ns).min().unwrap_or(0)
+    }
+
+    /// End offset of the latest-ending root span, in nanoseconds from
+    /// the tracer's epoch (0 for an empty trace).
+    pub fn end_ns(&self) -> u64 {
+        self.roots.iter().map(|r| r.end_ns()).max().unwrap_or(0)
+    }
+
+    /// Total wall time covered by the root spans, in nanoseconds.
+    pub fn wall_nanos(&self) -> u64 {
+        self.end_ns().saturating_sub(self.start_ns())
+    }
+
     /// Depth-first search for the first span named `name`.
     pub fn find(&self, name: &str) -> Option<&SpanNode> {
         fn dfs<'a>(nodes: &'a [SpanNode], name: &str) -> Option<&'a SpanNode> {
@@ -426,6 +485,38 @@ mod tests {
     }
 
     #[test]
+    fn flatten_sorts_by_path_not_by_recording_order() {
+        let t = Tracer::enabled();
+        {
+            let _a = t.span("app");
+            t.record("verify", Duration::from_micros(10), 0);
+            {
+                let _c = t.span("context");
+                t.record("summaries", Duration::from_micros(5), 0);
+            }
+            t.record("lift", Duration::from_micros(7), 0);
+        }
+        let trace = t.finish();
+        let paths: Vec<String> = trace.flatten().into_iter().map(|(p, _)| p).collect();
+        // Recorded verify → context/summaries → lift; flattened output
+        // is path-sorted so downstream consumers (JSONL phase records,
+        // phase totals) see one stable order.
+        assert_eq!(
+            paths,
+            vec![
+                "app".to_owned(),
+                "app/context".to_owned(),
+                "app/context/summaries".to_owned(),
+                "app/lift".to_owned(),
+                "app/verify".to_owned(),
+            ]
+        );
+        let mut sorted = paths.clone();
+        sorted.sort();
+        assert_eq!(paths, sorted);
+    }
+
+    #[test]
     fn phase_totals_aggregate_across_traces() {
         let mut totals = PhaseTotals::new();
         for _ in 0..3 {
@@ -454,6 +545,54 @@ mod tests {
             .map(|(_, t)| *t)
             .unwrap();
         assert_eq!(doubled.count, 6);
+    }
+
+    #[test]
+    fn start_offsets_are_measured_from_the_epoch() {
+        let epoch = Instant::now();
+        let t = Tracer::enabled_with_epoch(epoch);
+        std::thread::sleep(Duration::from_millis(2));
+        {
+            let _a = t.span("a");
+            std::thread::sleep(Duration::from_millis(1));
+            let _b = t.span("b");
+        }
+        let trace = t.finish();
+        let a = &trace.roots[0];
+        let b = &a.children[0];
+        assert!(a.start_ns >= 2_000_000, "a starts after the sleep");
+        assert!(b.start_ns >= a.start_ns, "child starts after parent");
+        assert!(b.end_ns() <= a.end_ns() + 1_000, "child ends within parent");
+        assert_eq!(trace.start_ns(), a.start_ns);
+        assert_eq!(trace.end_ns(), a.end_ns());
+        assert_eq!(trace.wall_nanos(), a.nanos);
+    }
+
+    #[test]
+    fn fresh_tracers_share_a_template_epoch() {
+        let template = Tracer::enabled();
+        let epoch = template.epoch().expect("enabled tracer has an epoch");
+        let worker = Tracer::enabled_with_epoch(epoch);
+        std::thread::sleep(Duration::from_millis(1));
+        drop(worker.span("app"));
+        let trace = worker.finish();
+        // The span starts well after the shared epoch, not at 0 as a
+        // private epoch would report.
+        assert!(trace.roots[0].start_ns >= 1_000_000);
+        assert!(Tracer::disabled().epoch().is_none());
+    }
+
+    #[test]
+    fn record_backdates_premeasured_spans() {
+        let t = Tracer::enabled();
+        std::thread::sleep(Duration::from_millis(2));
+        t.record("accumulated", Duration::from_millis(1), 1);
+        let trace = t.finish();
+        let n = &trace.roots[0];
+        // start + dur lands at the record call, so the span sits just
+        // before it rather than extending past the end of the trace.
+        assert!(n.start_ns >= 1_000_000, "backdated by its duration");
+        assert_eq!(n.nanos, 1_000_000);
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! ```text
 //! nchecker [--summary|--json] [--strict] [--no-interproc] [--targeted]
 //!          [--keep-going] [--trace] [--metrics] [--quiet|-v|-vv]
+//!          [--trace-out FILE] [--log-json FILE] [--doctor]
 //!          [--jobs N] [--cache-dir DIR] [--no-cache] <app.apk>...
 //! ```
 //!
@@ -13,15 +14,16 @@
 //! was degraded (some methods skipped as unanalyzable).
 
 use nchecker::CheckerConfig;
-use nck_obs::{Events, Level, Metrics, Obs, Tracer};
-use nck_svc::{AnalysisService, ServiceOptions};
+use nck_obs::{Events, JsonObj, JsonlSink, Level, Metrics, Obs, PhaseTotals, Series, Tracer};
+use nck_svc::{doctor, AnalysisService, ServiceOptions};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: nchecker [--summary|--json] [--strict] [--no-interproc] [--targeted] \
-         [--keep-going] [--trace] [--metrics] [--quiet|-v|-vv] [--jobs N] [--cache-dir DIR] \
+         [--keep-going] [--trace] [--metrics] [--quiet|-v|-vv] [--trace-out FILE] \
+         [--log-json FILE] [--doctor] [--jobs N] [--cache-dir DIR] \
          [--no-cache] <app.apk>..."
     );
     eprintln!();
@@ -36,6 +38,12 @@ fn usage() -> ExitCode {
     eprintln!("  --keep-going, -k  continue analyzing remaining apps after a failure");
     eprintln!("  --trace         record per-phase spans; tree printed to stderr");
     eprintln!("  --metrics       record pipeline metrics (embedded in --json output)");
+    eprintln!("  --trace-out FILE  write a Chrome Trace Event JSON of the whole run");
+    eprintln!("                  (load in Perfetto or chrome://tracing)");
+    eprintln!("  --log-json FILE write structured JSONL telemetry: events, per-app");
+    eprintln!("                  phase totals, cache and targeted-funnel records");
+    eprintln!("  --doctor        print one canonical JSON health snapshot instead of");
+    eprintln!("                  reports (byte-deterministic; apps optional)");
     eprintln!("  --jobs N        analyze up to N apps in parallel (default: CPU count)");
     eprintln!("  --cache-dir DIR persist the analysis cache under DIR across runs");
     eprintln!("  --no-cache      disable the analysis cache entirely");
@@ -57,6 +65,7 @@ const FLAGS: &[&str] = &[
     "-k",
     "--trace",
     "--metrics",
+    "--doctor",
     "--no-cache",
     "--quiet",
     "-q",
@@ -76,6 +85,7 @@ fn main() -> ExitCode {
     let keep_going = args.iter().any(|a| a == "--keep-going" || a == "-k");
     let trace = args.iter().any(|a| a == "--trace");
     let metrics = args.iter().any(|a| a == "--metrics");
+    let doctor_mode = args.iter().any(|a| a == "--doctor");
     let no_cache = args.iter().any(|a| a == "--no-cache");
     let quiet = args.iter().any(|a| a == "--quiet" || a == "-q");
     let verbose = args.iter().any(|a| a == "-v");
@@ -91,6 +101,8 @@ fn main() -> ExitCode {
     // Value-taking flags and positionals.
     let mut jobs: Option<usize> = None;
     let mut cache_dir: Option<PathBuf> = None;
+    let mut trace_out: Option<PathBuf> = None;
+    let mut log_json: Option<PathBuf> = None;
     let mut paths: Vec<&String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -107,6 +119,18 @@ fn main() -> ExitCode {
                 };
                 cache_dir = Some(PathBuf::from(dir));
             }
+            "--trace-out" => {
+                let Some(file) = it.next() else {
+                    return usage();
+                };
+                trace_out = Some(PathBuf::from(file));
+            }
+            "--log-json" => {
+                let Some(file) = it.next() else {
+                    return usage();
+                };
+                log_json = Some(PathBuf::from(file));
+            }
             s if s.starts_with('-') => {
                 if !FLAGS.contains(&s) {
                     return usage();
@@ -115,14 +139,26 @@ fn main() -> ExitCode {
             _ => paths.push(a),
         }
     }
-    if paths.is_empty() {
+    // `--doctor` reports on the cache dir and config alone; everything
+    // else needs at least one bundle.
+    if paths.is_empty() && !doctor_mode {
         return usage();
     }
     if let Some(0) = jobs {
         return usage();
     }
 
-    let events = if quiet {
+    let sink = match &log_json {
+        Some(path) => match JsonlSink::create(path) {
+            Ok(sink) => Some(sink),
+            Err(e) => {
+                eprintln!("{}: {e}", path.display());
+                return ExitCode::from(EXIT_FAILED);
+            }
+        },
+        None => None,
+    };
+    let mut events = if quiet {
         Events::silent()
     } else if very_verbose {
         Events::at(Level::Debug)
@@ -131,21 +167,27 @@ fn main() -> ExitCode {
     } else {
         Events::default()
     };
+    if let Some(sink) = &sink {
+        events = events.with_sink(sink.clone());
+    }
     let config = CheckerConfig {
         strict_connectivity: strict,
         interproc,
         targeted,
         ..CheckerConfig::default()
     };
+    // The exporters need spans and counters even when the stderr views
+    // (--trace/--metrics) are off: recording is silent unless a flag
+    // asks for the stderr rendering.
+    let want_tracer = trace || trace_out.is_some() || log_json.is_some() || doctor_mode;
+    let want_metrics = metrics || trace || want_tracer;
     let obs = Obs {
-        tracer: if trace {
+        tracer: if want_tracer {
             Tracer::enabled()
         } else {
             Tracer::disabled()
         },
-        // --trace implies metrics: the span tree and counters describe
-        // the same run and are cheap to record together.
-        metrics: if metrics || trace {
+        metrics: if want_metrics {
             Metrics::enabled()
         } else {
             Metrics::disabled()
@@ -206,7 +248,9 @@ fn main() -> ExitCode {
                         ));
                     }
                 }
-                if json {
+                if doctor_mode {
+                    // The snapshot is the only stdout content.
+                } else if json {
                     println!(
                         "{}",
                         serde_json::to_string_pretty(&nchecker::app_report_to_json(report))
@@ -231,12 +275,15 @@ fn main() -> ExitCode {
                     }
                 }
                 // Observability output goes to stderr so stdout stays
-                // machine-parseable under --json.
-                if let Some(t) = &report.trace {
-                    eprintln!("--- trace: {} ---", report.stats.package);
-                    eprint!("{}", t.render());
+                // machine-parseable under --json. The stderr renderings
+                // stay opt-in even when an exporter enabled recording.
+                if trace {
+                    if let Some(t) = &report.trace {
+                        eprintln!("--- trace: {} ---", report.stats.package);
+                        eprint!("{}", t.render());
+                    }
                 }
-                if !json {
+                if metrics && !json {
                     if let Some(m) = &report.metrics {
                         eprintln!("--- metrics: {} ---", report.stats.package);
                         eprint!("{}", m.render());
@@ -253,10 +300,76 @@ fn main() -> ExitCode {
         }
     }
 
-    // Cache accounting, part of the end-of-run report. Stderr under
-    // --json so stdout stays one JSON document per app.
-    if !no_cache {
-        let line = format!(
+    // Corpus-level aggregation over the attached per-app telemetry.
+    let mut merged = nck_obs::MetricsSnapshot::default();
+    let mut phases = PhaseTotals::new();
+    let mut latency = Series::new();
+    for outcome in &outcomes {
+        if let Ok(report) = &outcome.report {
+            if let Some(m) = &report.metrics {
+                merged.merge(m);
+            }
+            if let Some(t) = &report.trace {
+                phases.absorb(t);
+                latency.push(t.wall_nanos() / 1_000);
+            }
+        }
+    }
+    // The per-app snapshots cannot see the store; the batch end is the
+    // only point where its occupancy is final.
+    let store_metrics = Metrics::enabled();
+    service.store().record_gauges(&store_metrics);
+    merged.merge(&store_metrics.snapshot());
+    let analysis_failures = failures;
+
+    if let Some(path) = &trace_out {
+        let traces: Vec<(String, nck_obs::PipelineTrace)> = items
+            .iter()
+            .zip(&outcomes)
+            .filter_map(|((path, _), outcome)| match &outcome.report {
+                Ok(report) => report.trace.clone().map(|t| {
+                    let label = if report.stats.package.is_empty() {
+                        path.clone()
+                    } else {
+                        report.stats.package.clone()
+                    };
+                    (label, t)
+                }),
+                Err(_) => None,
+            })
+            .collect();
+        if let Err(e) = std::fs::write(path, nck_obs::chrome_trace(&traces)) {
+            events.error(&format!("{}: {e}", path.display()));
+            failures += 1;
+        } else {
+            events.info(&format!(
+                "wrote {} ({} app traces)",
+                path.display(),
+                traces.len()
+            ));
+        }
+    }
+
+    if let Some(sink) = &sink {
+        emit_jsonl(sink, &items, &outcomes, &cache_stats, &merged, &mut latency);
+        sink.flush();
+    }
+
+    if doctor_mode {
+        let report = doctor::DoctorReport {
+            config: &config,
+            store: service.store(),
+            metrics: &merged,
+            phases: &phases,
+            apps: items.len(),
+            failed: analysis_failures,
+            degraded,
+        };
+        print!("{}", doctor::render(&report));
+    } else if !no_cache && !items.is_empty() {
+        // Cache accounting, part of the end-of-run report. Stderr under
+        // --json so stdout stays one JSON document per app.
+        let mut line = format!(
             "cache: {} hit(s), {} miss(es) ({:.0}% whole-report), classes reused {}/{}",
             cache_stats.hits,
             cache_stats.misses,
@@ -264,6 +377,15 @@ fn main() -> ExitCode {
             cache_stats.classes_reused,
             cache_stats.classes_total,
         );
+        if let (Some(p50), Some(p90), Some(p99)) = (
+            latency.percentile(50.0),
+            latency.percentile(90.0),
+            latency.percentile(99.0),
+        ) {
+            line.push_str(&format!(
+                "\nlatency: p50 {p50} µs, p90 {p90} µs, p99 {p99} µs per app"
+            ));
+        }
         if json {
             eprintln!("{line}");
         } else {
@@ -278,4 +400,116 @@ fn main() -> ExitCode {
     } else {
         ExitCode::SUCCESS
     }
+}
+
+/// Writes the structured JSONL records for the batch: one `app` record
+/// per analyzed bundle (phase totals and cache outcome), one `cache`
+/// record, one `funnel` record (targeted-mode counters), and one `run`
+/// summary record with the latency percentiles.
+fn emit_jsonl(
+    sink: &JsonlSink,
+    items: &[(String, Vec<u8>)],
+    outcomes: &[nck_svc::AppOutcome],
+    cache_stats: &nck_svc::BatchCacheStats,
+    merged: &nck_obs::MetricsSnapshot,
+    latency: &mut Series,
+) {
+    for ((path, _), outcome) in items.iter().zip(outcomes) {
+        match &outcome.report {
+            Ok(report) => {
+                let mut rec = JsonObj::new()
+                    .str("t", "app")
+                    .str("app", path)
+                    .str("package", &report.stats.package)
+                    .u64("defects", report.defects.len() as u64)
+                    .bool("degraded", report.degraded())
+                    .bool("cache_hit", outcome.reuse.whole_report);
+                if let Some(t) = &report.trace {
+                    rec = rec.u64("wall_us", t.wall_nanos() / 1_000);
+                    let mut per_app = PhaseTotals::new();
+                    per_app.absorb(t);
+                    let mut phases_obj = JsonObj::new();
+                    for (phase_path, total) in per_app.iter() {
+                        phases_obj = phases_obj.raw(
+                            phase_path,
+                            &JsonObj::new()
+                                .u64("us", total.nanos / 1_000)
+                                .u64("items", total.items)
+                                .u64("count", total.count)
+                                .finish(),
+                        );
+                    }
+                    rec = rec.raw("phases", &phases_obj.finish());
+                }
+                sink.emit(&rec.finish());
+            }
+            Err(e) => {
+                sink.emit(
+                    &JsonObj::new()
+                        .str("t", "app")
+                        .str("app", path)
+                        .str("error", &e.to_string())
+                        .finish(),
+                );
+            }
+        }
+    }
+    sink.emit(
+        &JsonObj::new()
+            .str("t", "cache")
+            .u64("hits", cache_stats.hits as u64)
+            .u64("misses", cache_stats.misses as u64)
+            .u64("classes_reused", cache_stats.classes_reused as u64)
+            .u64("classes_total", cache_stats.classes_total as u64)
+            .u64("degraded", cache_stats.degraded as u64)
+            .u64("evictions", counter(merged, "svc.cache.evict"))
+            .finish(),
+    );
+    sink.emit(
+        &JsonObj::new()
+            .str("t", "funnel")
+            .u64(
+                "prescan_skipped",
+                counter(merged, "targeted.prescan_skipped"),
+            )
+            .u64(
+                "touching_classes",
+                counter(merged, "targeted.touching_classes"),
+            )
+            .u64("relevant_refs", counter(merged, "targeted.relevant_refs"))
+            .u64("slice_methods", counter(merged, "targeted.slice_methods"))
+            .u64("methods_total", counter(merged, "targeted.methods_total"))
+            .u64("methods_lifted", counter(merged, "targeted.methods_lifted"))
+            .finish(),
+    );
+    let mut run = JsonObj::new()
+        .str("t", "run")
+        .u64("apps", items.len() as u64)
+        .u64(
+            "failed",
+            outcomes.iter().filter(|o| o.report.is_err()).count() as u64,
+        )
+        .i64(
+            "cache_mem_entries",
+            merged
+                .gauges
+                .get("svc.cache.mem_entries")
+                .map_or(0, |g| g.value),
+        );
+    if let (Some(p50), Some(p90), Some(p99)) = (
+        latency.percentile(50.0),
+        latency.percentile(90.0),
+        latency.percentile(99.0),
+    ) {
+        run = run
+            .u64("wall_us_p50", p50)
+            .u64("wall_us_p90", p90)
+            .u64("wall_us_p99", p99)
+            .u64("wall_us_max", latency.max().unwrap_or(0));
+    }
+    sink.emit(&run.finish());
+}
+
+fn counter(snap: &nck_obs::MetricsSnapshot, name: &str) -> u64 {
+    snap.counters.get(name).copied().unwrap_or(0)
 }

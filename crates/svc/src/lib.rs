@@ -20,11 +20,13 @@
 //! then re-runs the checkers in full — producing a report byte-identical
 //! to a cold analysis of the same bytes.
 
+pub mod doctor;
 pub mod pool;
 pub mod service;
 pub mod store;
 pub mod wire;
 
+pub use doctor::DoctorReport;
 pub use pool::{default_workers, run_pool};
 pub use service::{AnalysisService, AppOutcome, BatchCacheStats, ServiceOptions};
-pub use store::AnalysisStore;
+pub use store::{AnalysisStore, DiskStats};

@@ -164,6 +164,88 @@ impl AnalysisStore {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Per-shard memory-tier entry counts, in shard order.
+    pub fn mem_shard_sizes(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| lock(s).entries.len()).collect()
+    }
+
+    /// Records the memory tier's occupancy as point-in-time gauges:
+    /// `svc.cache.mem_entries` (total) and `svc.cache.mem_largest_shard`
+    /// (balance indicator).
+    pub fn record_gauges(&self, metrics: &nck_obs::Metrics) {
+        let sizes = self.mem_shard_sizes();
+        metrics.gauge("svc.cache.mem_entries", sizes.iter().sum::<usize>() as i64);
+        metrics.gauge(
+            "svc.cache.mem_largest_shard",
+            sizes.iter().copied().max().unwrap_or(0) as i64,
+        );
+    }
+
+    /// Scans this store's disk tier. Zeroed stats when no disk tier is
+    /// configured or the directory does not exist yet.
+    pub fn disk_stats(&self) -> DiskStats {
+        self.disk.as_deref().map_or_else(DiskStats::new, scan_disk)
+    }
+}
+
+/// Disk-tier occupancy, derived from the cache directory alone (the
+/// shard of each entry is recoverable from its file name).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DiskStats {
+    /// Cache entries (well-formed `.json` files).
+    pub entries: u64,
+    /// Total bytes across those entries.
+    pub bytes: u64,
+    /// Entries per shard, `SHARDS` slots in shard order.
+    pub shards: Vec<u64>,
+}
+
+impl DiskStats {
+    /// Empty stats with all shard slots present.
+    pub fn new() -> DiskStats {
+        DiskStats {
+            entries: 0,
+            bytes: 0,
+            shards: vec![0; SHARDS],
+        }
+    }
+}
+
+/// Scans `dir` for cache entries. Files that are not well-formed cache
+/// names (`{key_hash:016x}-{config_fp:016x}.json`) — including `.tmp`
+/// leftovers — are ignored.
+fn scan_disk(dir: &Path) -> DiskStats {
+    let mut stats = DiskStats::new();
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return stats;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(stem) = name.strip_suffix(".json") else {
+            continue;
+        };
+        let mut parts = stem.splitn(2, '-');
+        let (Some(key_hex), Some(cfg_hex)) = (parts.next(), parts.next()) else {
+            continue;
+        };
+        if key_hex.len() != 16 || cfg_hex.len() != 16 {
+            continue;
+        }
+        let Ok(key_hash) = u64::from_str_radix(key_hex, 16) else {
+            continue;
+        };
+        if u64::from_str_radix(cfg_hex, 16).is_err() {
+            continue;
+        }
+        stats.entries += 1;
+        stats.shards[(key_hash as usize) % SHARDS] += 1;
+        if let Ok(meta) = entry.metadata() {
+            stats.bytes += meta.len();
+        }
+    }
+    stats
 }
 
 impl Default for AnalysisStore {
@@ -296,6 +378,46 @@ mod tests {
         std::fs::write(disk_path(&dir, "app.d", 42), "{not json").unwrap();
         assert!(store.lookup_disk("app.d", 7, 42, &obs).is_none());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disk_stats_count_entries_bytes_and_shards() {
+        let dir = std::env::temp_dir().join(format!(
+            "nck-svc-diskstats-test-{}-{}",
+            std::process::id(),
+            key_hash("disk_stats")
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = AnalysisStore::with_options(8, Some(dir.clone()));
+        let obs = Obs::disabled();
+        assert_eq!(store.disk_stats(), DiskStats::new(), "missing dir is empty");
+        store.insert("app.a", entry(1, "app.a"), &obs);
+        store.insert("app.b", entry(2, "app.b"), &obs);
+        // Alien files and tmp leftovers are not entries.
+        std::fs::write(dir.join("README"), "not a cache file").unwrap();
+        std::fs::write(dir.join("0123456789abcdef-0123456789abcdef.tmp"), "x").unwrap();
+        let stats = store.disk_stats();
+        assert_eq!(stats.entries, 2);
+        assert!(stats.bytes > 0);
+        assert_eq!(stats.shards.len(), SHARDS);
+        assert_eq!(stats.shards.iter().sum::<u64>(), 2);
+        let mut expected = vec![0u64; SHARDS];
+        expected[(key_hash("app.a") as usize) % SHARDS] += 1;
+        expected[(key_hash("app.b") as usize) % SHARDS] += 1;
+        assert_eq!(stats.shards, expected);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn record_gauges_reports_mem_occupancy() {
+        let store = AnalysisStore::new();
+        let obs = Obs::enabled();
+        store.insert("app.a", entry(1, "app.a"), &obs);
+        store.insert("app.b", entry(2, "app.b"), &obs);
+        store.record_gauges(&obs.metrics);
+        let snap = obs.metrics.snapshot();
+        assert_eq!(snap.gauges["svc.cache.mem_entries"].value, 2);
+        assert!(snap.gauges["svc.cache.mem_largest_shard"].value >= 1);
     }
 
     #[test]

@@ -160,6 +160,184 @@ fn no_cache_silences_the_cache_summary() {
     assert!(!stdout.contains("cache:"), "{stdout}");
 }
 
+fn make_apps(prefix: &str, n: usize) -> Vec<std::path::PathBuf> {
+    (0..n)
+        .map(|i| {
+            let spec = AppSpec::new(
+                &format!("com.test.{prefix}{i}"),
+                vec![RequestSpec::new(Library::OkHttp, Origin::UserClick)],
+            );
+            let path = temp_path(&format!("{prefix}{i}.apk"));
+            nck_appgen::generate(&spec).save(&path).unwrap();
+            path
+        })
+        .collect()
+}
+
+#[test]
+fn doctor_snapshot_is_byte_identical_across_runs_and_jobs() {
+    let apps = make_apps("doctor", 4);
+    let cache = temp_path("doctor-cache");
+    let _ = std::fs::remove_dir_all(&cache);
+
+    let run = |jobs: &str| {
+        let out = std::process::Command::new(env!("CARGO_BIN_EXE_nchecker"))
+            .arg("--doctor")
+            .arg("--cache-dir")
+            .arg(&cache)
+            .arg("--jobs")
+            .arg(jobs)
+            .args(&apps)
+            .output()
+            .expect("cli runs");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        out.stdout
+    };
+    // Warm the cache, then compare warm snapshots: the disk tier is
+    // unchanged from here on.
+    let _cold = run("2");
+    let warm1 = run("1");
+    let warm8 = run("8");
+    let warm1b = run("1");
+    assert_eq!(warm1, warm1b, "repeated runs must be byte-identical");
+    assert_eq!(warm1, warm8, "--jobs must not change the snapshot");
+
+    let v: serde_json::Value =
+        serde_json::from_str(std::str::from_utf8(&warm1).unwrap()).expect("doctor emits JSON");
+    assert_eq!(v["schema"], 1);
+    assert_eq!(v["cache"]["hit"], 4, "warm run hits all apps");
+    assert_eq!(v["cache"]["disk"]["entries"], 4);
+    assert_eq!(v["last_run"]["apps"], 4);
+    for key in ["build", "config", "funnel"] {
+        assert!(v.get(key).is_some(), "missing {key}");
+    }
+
+    for p in &apps {
+        std::fs::remove_file(p).ok();
+    }
+    let _ = std::fs::remove_dir_all(&cache);
+}
+
+#[test]
+fn doctor_works_without_bundles() {
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_nchecker"))
+        .arg("--doctor")
+        .output()
+        .expect("cli runs");
+    assert!(out.status.success());
+    let v: serde_json::Value =
+        serde_json::from_str(std::str::from_utf8(&out.stdout).unwrap()).expect("doctor emits JSON");
+    assert_eq!(v["last_run"]["apps"], 0);
+    assert_eq!(v["cache"]["disk"]["configured"], false);
+}
+
+#[test]
+fn trace_out_writes_a_chrome_trace() {
+    let apps = make_apps("traceout", 3);
+    let trace_file = temp_path("trace.json");
+
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_nchecker"))
+        .arg("--summary")
+        .arg("--trace-out")
+        .arg(&trace_file)
+        .args(&apps)
+        .output()
+        .expect("cli runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // The stderr span tree stays opt-in (--trace): recording for the
+    // exporter must not spam the terminal.
+    assert!(
+        !String::from_utf8_lossy(&out.stderr).contains("--- trace:"),
+        "no stderr tree without --trace"
+    );
+
+    let text = std::fs::read_to_string(&trace_file).expect("trace file written");
+    let v: serde_json::Value = serde_json::from_str(&text).expect("trace is JSON");
+    let events = v["traceEvents"].as_array().expect("traceEvents array");
+    let spans: Vec<&serde_json::Value> = events.iter().filter(|e| e["ph"] == "X").collect();
+    assert!(spans.len() >= 3, "one root span per app at least");
+    assert!(
+        events.iter().any(|e| e["ph"] == "M"),
+        "lane metadata present"
+    );
+    // Monotonic ts within each lane.
+    let mut last_ts: std::collections::BTreeMap<i64, f64> = Default::default();
+    for s in &spans {
+        let tid = s["tid"].as_i64().unwrap();
+        let ts = s["ts"].as_f64().unwrap();
+        assert!(
+            ts >= last_ts.get(&tid).copied().unwrap_or(f64::MIN),
+            "ts not monotonic in lane {tid}"
+        );
+        last_ts.insert(tid, ts);
+    }
+    // Every app label appears on some root span.
+    for i in 0..3 {
+        let pkg = format!("com.test.traceout{i}");
+        assert!(
+            spans.iter().any(|s| s["args"]["app"] == pkg.as_str()),
+            "missing app {pkg}"
+        );
+    }
+
+    for p in &apps {
+        std::fs::remove_file(p).ok();
+    }
+    std::fs::remove_file(&trace_file).ok();
+}
+
+#[test]
+fn log_json_writes_typed_records() {
+    let apps = make_apps("logjson", 2);
+    let log_file = temp_path("log.jsonl");
+
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_nchecker"))
+        .arg("--summary")
+        .arg("--quiet")
+        .arg("--log-json")
+        .arg(&log_file)
+        .args(&apps)
+        .output()
+        .expect("cli runs");
+    assert!(out.status.success());
+
+    let text = std::fs::read_to_string(&log_file).expect("log file written");
+    let mut types = std::collections::BTreeSet::new();
+    let mut app_records = 0;
+    for line in text.lines() {
+        let v: serde_json::Value = serde_json::from_str(line).expect("every line is JSON");
+        let t = v["t"].as_str().expect("every record is typed").to_owned();
+        if t == "app" {
+            app_records += 1;
+            assert!(v["wall_us"].as_i64().unwrap() > 0, "wall time recorded");
+            assert!(v["phases"]["app"]["count"].as_i64().unwrap() >= 1);
+        }
+        if t == "run" {
+            assert_eq!(v["apps"], 2);
+            assert!(v["wall_us_p50"].as_i64().unwrap() > 0);
+            assert!(v["wall_us_p99"].as_i64().unwrap() >= v["wall_us_p50"].as_i64().unwrap());
+        }
+        types.insert(t);
+    }
+    assert_eq!(app_records, 2, "one app record per bundle");
+    for t in ["app", "cache", "funnel", "run"] {
+        assert!(types.contains(t), "missing record type {t} in:\n{text}");
+    }
+
+    for p in &apps {
+        std::fs::remove_file(p).ok();
+    }
+    std::fs::remove_file(&log_file).ok();
+}
+
 #[test]
 fn jobs_flag_accepts_a_worker_count_and_rejects_zero() {
     let spec = AppSpec::new(

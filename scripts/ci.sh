@@ -21,12 +21,8 @@ echo "==> corruption fuzz smoke test"
 ./target/release/fuzz_smoke 2000
 
 echo "==> hot-path throughput smoke test"
-# One measuring pass over the 285-app corpus. Exits non-zero on any
-# panic, or when throughput drops more than 30% below the recorded
-# hotpath baseline in BENCH_pipeline.json (the tolerance is deliberately
-# loose — CI machines are noisy, only a structural regression trips it).
-# On a fresh checkout with no recorded baseline the comparison is
-# skipped and the step only guards against crashes.
+# One measuring pass over the 285-app corpus; exits non-zero on any
+# panic. Regression verdicts live in the bench_gate step below.
 ./target/release/hotpath_bench --smoke
 
 echo "==> targeted-mode differential smoke test"
@@ -48,10 +44,16 @@ echo "targeted smoke ok: 16 apps byte-identical across modes"
 
 echo "==> targeted throughput smoke test"
 # Small clean-heavy corpus, both modes, in-bench byte-diff gate; exits
-# non-zero when targeted throughput drops more than 30% below the
-# recorded targeted baseline in BENCH_pipeline.json (skipped when no
-# baseline is recorded).
+# non-zero when the modes disagree. Throughput verdicts come from
+# bench_gate below.
 ./target/release/targeted_bench --smoke
+
+echo "==> bench regression gate"
+# One declarative check of the recorded BENCH_pipeline.json against the
+# committed BENCH_baseline.json tolerances (replaces the old per-bench
+# --smoke floors). --smoke tolerates sections a partial bench run did
+# not regenerate; out-of-tolerance values still fail.
+./target/release/bench_gate --smoke
 
 echo "==> observability smoke test"
 smoke_dir="$(mktemp -d)"
@@ -73,6 +75,70 @@ for defect in doc["defects"]:
     assert defect["provenance"][0]["kind"] == "request"
 print(f"smoke ok: {len(doc['defects'])} defects, "
       f"{len(metrics['counters'])} counters, provenance present")
+EOF
+
+echo "==> telemetry export smoke test"
+# Chrome trace + JSONL sinks and the --doctor snapshot, validated for
+# shape and the properties the exporters promise: per-lane monotonic
+# trace timestamps, typed JSONL records, and byte-identical doctor
+# output across --jobs on an unchanged cache directory.
+tele_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir" "$targeted_dir" "$tele_dir"' EXIT
+for i in $(seq 0 3); do
+    ./target/release/genapp "suite:$i" "$tele_dir/app$i.apk"
+done
+./target/release/nchecker --quiet --summary --cache-dir "$tele_dir/cache" \
+    --trace-out "$tele_dir/trace.json" --log-json "$tele_dir/log.jsonl" \
+    "$tele_dir"/app*.apk > /dev/null
+python3 - "$tele_dir/trace.json" "$tele_dir/log.jsonl" <<'EOF'
+import json, sys
+from collections import defaultdict
+
+with open(sys.argv[1]) as f:
+    trace = json.load(f)
+events = trace["traceEvents"]
+spans = [e for e in events if e["ph"] == "X"]
+meta = [e for e in events if e["ph"] == "M"]
+assert spans, "trace has no duration events"
+assert any(m["name"] == "process_name" for m in meta), "missing process_name"
+assert any(m["name"] == "thread_name" for m in meta), "missing worker lanes"
+for e in spans:
+    assert e["dur"] >= 0 and e["ts"] >= 0, f"negative time in {e}"
+lanes = defaultdict(list)
+for e in spans:
+    lanes[e["tid"]].append(e["ts"])
+for tid, ts in lanes.items():
+    assert ts == sorted(ts), f"lane {tid} timestamps not monotonic"
+
+types = set()
+with open(sys.argv[2]) as f:
+    for line in f:
+        rec = json.loads(line)
+        types.add(rec["t"])
+assert {"app", "cache", "funnel", "run"} <= types, f"missing record types: {types}"
+print(f"telemetry ok: {len(spans)} spans over {len(lanes)} lanes, "
+      f"record types {sorted(types)}")
+EOF
+# Doctor determinism: same snapshot bytes regardless of parallelism,
+# run twice against the cache directory the run above warmed.
+./target/release/nchecker --quiet --doctor --jobs 1 --cache-dir "$tele_dir/cache" \
+    "$tele_dir"/app*.apk > "$tele_dir/doctor1.json"
+./target/release/nchecker --quiet --doctor --jobs 8 --cache-dir "$tele_dir/cache" \
+    "$tele_dir"/app*.apk > "$tele_dir/doctor8.json"
+cmp "$tele_dir/doctor1.json" "$tele_dir/doctor8.json" \
+    || { echo "doctor snapshot differs across --jobs"; exit 1; }
+python3 - "$tele_dir/doctor1.json" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+for key in ("schema", "build", "config", "cache", "funnel", "last_run"):
+    assert key in doc, f"doctor snapshot missing {key}"
+assert doc["schema"] == 1
+assert doc["cache"]["disk"]["configured"] is True
+assert doc["cache"]["hit"] + doc["cache"]["miss"] >= 4, "no cache traffic recorded"
+print(f"doctor ok: {doc['cache']['disk']['entries']} cache entries, "
+      f"{doc['last_run']['apps']} apps, byte-identical across --jobs")
 EOF
 
 echo "==> cache determinism tests"
