@@ -540,8 +540,21 @@ impl NChecker {
                 .or_insert_with(|| e.to_string());
         }
 
-        if self.config.targeted && !self.config.icc {
-            return self.analyze_apk_targeted(apk, &bad_methods, obs);
+        if self.config.targeted {
+            if self.config.icc {
+                // The restriction stands (the ICC model reads component
+                // bodies the relevance slice does not cover), but the
+                // fallback must leave a trace instead of silently
+                // dropping the flag.
+                obs.metrics.inc("targeted.fallback_icc", 1);
+                obs.events.warn(
+                    "targeted mode is ignored with icc enabled: falling back to \
+                     whole-app analysis (the ICC model reads bodies outside the \
+                     relevance slice)",
+                );
+            } else {
+                return self.analyze_apk_targeted(apk, &bad_methods, obs);
+            }
         }
 
         let (program, lift_skips) = {

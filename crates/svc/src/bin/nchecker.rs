@@ -4,9 +4,11 @@
 //!
 //! ```text
 //! nchecker [--summary|--json] [--strict] [--no-interproc] [--targeted]
-//!          [--keep-going] [--trace] [--metrics] [--quiet|-v|-vv]
+//!          [--icc] [--keep-going] [--trace] [--metrics] [--quiet|-v|-vv]
 //!          [--trace-out FILE] [--log-json FILE] [--doctor]
 //!          [--jobs N] [--cache-dir DIR] [--no-cache] <app.apk>...
+//! nchecker serve (--stdio | --socket PATH) [--watch DIR] [--poll-ms N]
+//!          [--queue-capacity N] [checker and cache flags]
 //! ```
 //!
 //! Exit codes: `0` all apps analyzed cleanly, `1` at least one app failed
@@ -15,16 +17,19 @@
 
 use nchecker::CheckerConfig;
 use nck_obs::{Events, JsonObj, JsonlSink, Level, Metrics, Obs, PhaseTotals, Series, Tracer};
-use nck_svc::{doctor, AnalysisService, ServiceOptions};
-use std::path::PathBuf;
+use nck_svc::{daemon, doctor, AnalysisService, Daemon, DaemonOptions, ServiceOptions, Watcher};
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: nchecker [--summary|--json] [--strict] [--no-interproc] [--targeted] \
-         [--keep-going] [--trace] [--metrics] [--quiet|-v|-vv] [--trace-out FILE] \
+         [--icc] [--keep-going] [--trace] [--metrics] [--quiet|-v|-vv] [--trace-out FILE] \
          [--log-json FILE] [--doctor] [--jobs N] [--cache-dir DIR] \
-         [--no-cache] <app.apk>..."
+         [--no-cache] <app.apk>...\n\
+         \x20      nchecker serve (--stdio | --socket PATH) [--watch DIR] [--poll-ms N] \
+         [--queue-capacity N] [checker and cache flags]"
     );
     eprintln!();
     eprintln!("Statically analyzes ADX app bundles for network programming defects.");
@@ -34,7 +39,12 @@ fn usage() -> ExitCode {
     eprintln!("  --interproc     enable the summary engine (the default)");
     eprintln!("  --no-interproc  ablate the interprocedural summary engine");
     eprintln!("  --targeted      demand-driven mode: prescan the constant pool and lift");
-    eprintln!("                  only the defect-relevant slice (same reports, faster)");
+    eprintln!("                  only the defect-relevant slice (same reports, faster).");
+    eprintln!("                  Ignored when --icc is also given (the ICC model reads");
+    eprintln!("                  component bodies outside the relevance slice); the");
+    eprintln!("                  fallback to whole-app analysis is warned and counted");
+    eprintln!("                  (targeted.fallback_icc)");
+    eprintln!("  --icc           model inter-component communication (launch chains)");
     eprintln!("  --keep-going, -k  continue analyzing remaining apps after a failure");
     eprintln!("  --trace         record per-phase spans; tree printed to stderr");
     eprintln!("  --metrics       record pipeline metrics (embedded in --json output)");
@@ -50,6 +60,14 @@ fn usage() -> ExitCode {
     eprintln!("  --quiet, -q     suppress all diagnostics on stderr");
     eprintln!("  -v, -vv         raise diagnostic verbosity to info / debug");
     eprintln!();
+    eprintln!("serve mode (persistent daemon; line-delimited JSON protocol):");
+    eprintln!("  --stdio         speak the protocol on stdin/stdout");
+    eprintln!("  --socket PATH   listen on a Unix socket at PATH");
+    eprintln!("  --watch DIR     re-analyze bundles in DIR when their content changes");
+    eprintln!("  --poll-ms N     watch poll interval in milliseconds (default: 500)");
+    eprintln!("  --queue-capacity N  bound the request queue (default: 64); submits");
+    eprintln!("                  beyond it are rejected with a queue-full reply");
+    eprintln!();
     eprintln!("exit codes: 0 clean, 1 analysis failure, 2 usage, 3 degraded");
     ExitCode::from(2)
 }
@@ -61,6 +79,7 @@ const FLAGS: &[&str] = &[
     "--interproc",
     "--no-interproc",
     "--targeted",
+    "--icc",
     "--keep-going",
     "-k",
     "--trace",
@@ -78,10 +97,14 @@ const EXIT_DEGRADED: u8 = 3;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("serve") {
+        return serve_main(&args[1..]);
+    }
     let summary = args.iter().any(|a| a == "--summary");
     let json = args.iter().any(|a| a == "--json");
     let strict = args.iter().any(|a| a == "--strict");
     let targeted = args.iter().any(|a| a == "--targeted");
+    let icc = args.iter().any(|a| a == "--icc");
     let keep_going = args.iter().any(|a| a == "--keep-going" || a == "-k");
     let trace = args.iter().any(|a| a == "--trace");
     let metrics = args.iter().any(|a| a == "--metrics");
@@ -174,6 +197,7 @@ fn main() -> ExitCode {
         strict_connectivity: strict,
         interproc,
         targeted,
+        icc,
         ..CheckerConfig::default()
     };
     // The exporters need spans and counters even when the stderr views
@@ -399,6 +423,190 @@ fn main() -> ExitCode {
         ExitCode::from(EXIT_DEGRADED)
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+/// Flags `nchecker serve` accepts without a value.
+const SERVE_FLAGS: &[&str] = &[
+    "--stdio",
+    "--strict",
+    "--interproc",
+    "--no-interproc",
+    "--targeted",
+    "--icc",
+    "--no-cache",
+    "--quiet",
+    "-q",
+    "-v",
+    "-vv",
+];
+
+/// The `nchecker serve` entry point: builds the daemon, spawns the
+/// dispatcher (and the watcher when `--watch` is given), then serves
+/// the protocol on stdio or a Unix socket until shutdown, draining
+/// in-flight work before exiting.
+fn serve_main(args: &[String]) -> ExitCode {
+    let strict = args.iter().any(|a| a == "--strict");
+    let targeted = args.iter().any(|a| a == "--targeted");
+    let icc = args.iter().any(|a| a == "--icc");
+    let no_cache = args.iter().any(|a| a == "--no-cache");
+    let stdio = args.iter().any(|a| a == "--stdio");
+    let quiet = args.iter().any(|a| a == "--quiet" || a == "-q");
+    let verbose = args.iter().any(|a| a == "-v");
+    let very_verbose = args.iter().any(|a| a == "-vv");
+    let interproc = !matches!(
+        args.iter()
+            .rev()
+            .find(|a| *a == "--interproc" || *a == "--no-interproc"),
+        Some(a) if a == "--no-interproc"
+    );
+
+    let mut jobs: Option<usize> = None;
+    let mut cache_dir: Option<PathBuf> = None;
+    let mut socket: Option<PathBuf> = None;
+    let mut watch: Option<PathBuf> = None;
+    let mut poll_ms: u64 = 500;
+    let mut queue_capacity: Option<usize> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--jobs" => {
+                let Some(n) = it.next().and_then(|v| v.parse().ok()) else {
+                    return usage();
+                };
+                jobs = Some(n);
+            }
+            "--cache-dir" => {
+                let Some(dir) = it.next() else {
+                    return usage();
+                };
+                cache_dir = Some(PathBuf::from(dir));
+            }
+            "--socket" => {
+                let Some(path) = it.next() else {
+                    return usage();
+                };
+                socket = Some(PathBuf::from(path));
+            }
+            "--watch" => {
+                let Some(dir) = it.next() else {
+                    return usage();
+                };
+                watch = Some(PathBuf::from(dir));
+            }
+            "--poll-ms" => {
+                let Some(n) = it.next().and_then(|v| v.parse().ok()) else {
+                    return usage();
+                };
+                poll_ms = n;
+            }
+            "--queue-capacity" => {
+                let Some(n) = it.next().and_then(|v| v.parse().ok()) else {
+                    return usage();
+                };
+                queue_capacity = Some(n);
+            }
+            s if s.starts_with('-') => {
+                if !SERVE_FLAGS.contains(&s) {
+                    return usage();
+                }
+            }
+            _ => return usage(),
+        }
+    }
+    // Exactly one transport.
+    if stdio == socket.is_some() {
+        return usage();
+    }
+    if let (Some(0), _) | (_, Some(0)) = (jobs, queue_capacity) {
+        return usage();
+    }
+
+    let events = if quiet {
+        Events::silent()
+    } else if very_verbose {
+        Events::at(Level::Debug)
+    } else if verbose {
+        Events::at(Level::Info)
+    } else {
+        Events::default()
+    };
+    let config = CheckerConfig {
+        strict_connectivity: strict,
+        interproc,
+        targeted,
+        icc,
+        ..CheckerConfig::default()
+    };
+    let daemon = Arc::new(Daemon::new(
+        DaemonOptions {
+            service: ServiceOptions {
+                config,
+                jobs,
+                cache_dir,
+                no_cache,
+            },
+            queue_capacity,
+        },
+        events.clone(),
+    ));
+
+    let dispatcher = {
+        let d = Arc::clone(&daemon);
+        std::thread::spawn(move || d.run_dispatcher())
+    };
+    let watcher = watch.map(|dir| {
+        let d = Arc::clone(&daemon);
+        let ev = events.clone();
+        std::thread::spawn(move || watch_loop(&d, &dir, poll_ms, &ev))
+    });
+
+    let served = if stdio {
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        daemon::serve_lines(&daemon, &mut stdin.lock(), &mut stdout.lock())
+    } else {
+        let path = socket.expect("socket transport selected");
+        events.info(&format!("serve: listening on {}", path.display()));
+        daemon::serve_socket(&daemon, &path)
+    };
+
+    // Graceful exit: no new admissions, drain what is queued and
+    // in flight (the dispatcher flushes the disk cache), then reap the
+    // helper threads.
+    daemon.begin_shutdown();
+    daemon.await_drained();
+    let _ = dispatcher.join();
+    if let Some(w) = watcher {
+        let _ = w.join();
+    }
+    match served {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            events.error(&format!("serve: {e}"));
+            ExitCode::from(EXIT_FAILED)
+        }
+    }
+}
+
+/// The `--watch` loop: polls the directory and submits changed
+/// bundles under their path as the cache key, so an edited bundle
+/// rides the incremental ladder instead of a cold run.
+fn watch_loop(daemon: &Daemon, dir: &Path, poll_ms: u64, events: &Events) {
+    let mut watcher = Watcher::new(dir);
+    while !daemon.shutting_down() {
+        match watcher.poll() {
+            Ok(changed) => {
+                for (key, bytes) in changed {
+                    match daemon.submit_bytes(key.clone(), bytes) {
+                        Ok((id, _)) => events.info(&format!("watch: {key} submitted as job {id}")),
+                        Err((_, msg)) => events.warn(&format!("watch: {key}: {msg}")),
+                    }
+                }
+            }
+            Err(e) => events.warn(&format!("watch: {}: {e}", dir.display())),
+        }
+        std::thread::sleep(std::time::Duration::from_millis(poll_ms.max(10)));
     }
 }
 

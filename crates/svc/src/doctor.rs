@@ -56,6 +56,12 @@ fn counter(metrics: &MetricsSnapshot, name: &str) -> u64 {
 pub fn doctor_json(r: &DoctorReport<'_>) -> Value {
     let disk = r.store.disk_stats();
     let mem_shards = r.store.mem_shard_sizes();
+    // Cache counters come from the store's own lifetime registry, not
+    // the merged per-app metrics: the store is the authoritative owner
+    // of its traffic, and a daemon (whose per-app obs handles stay
+    // disabled so reports match one-shot `--json` bytes) would
+    // otherwise report zeros forever.
+    let store_counters = r.store.metrics().snapshot();
     let phases: BTreeMap<String, Value> = r
         .phases
         .iter()
@@ -91,11 +97,15 @@ pub fn doctor_json(r: &DoctorReport<'_>) -> Value {
                 "entries": mem_shards.iter().sum::<usize>(),
                 "shards": mem_shards,
             },
-            "hit": counter(r.metrics, "svc.cache.hit"),
-            "miss": counter(r.metrics, "svc.cache.miss"),
-            "evict": counter(r.metrics, "svc.cache.evict"),
+            "hit": counter(&store_counters, "svc.cache.hit"),
+            "miss": counter(&store_counters, "svc.cache.miss"),
+            "evict": counter(&store_counters, "svc.cache.evict"),
+            "corrupt_evict": counter(&store_counters, "svc.cache.corrupt_evict"),
+            "replay_apps": counter(&store_counters, "svc.cache.replay_apps"),
+            "replay_classes": counter(&store_counters, "svc.cache.replay_classes"),
         },
         "funnel": {
+            "fallback_icc": counter(r.metrics, "targeted.fallback_icc"),
             "prescan_skipped": counter(r.metrics, "targeted.prescan_skipped"),
             "touching_classes": counter(r.metrics, "targeted.touching_classes"),
             "relevant_refs": counter(r.metrics, "targeted.relevant_refs"),
@@ -148,8 +158,10 @@ mod tests {
     fn snapshot_has_required_sections_and_no_floats() {
         let config = CheckerConfig::default();
         let store = AnalysisStore::new();
+        let obs = nck_obs::Obs::disabled();
+        store.count_outcome(true, &obs);
+        store.count_outcome(true, &obs);
         let m = Metrics::enabled();
-        m.inc("svc.cache.hit", 2);
         m.inc("targeted.methods_total", 10);
         let metrics = m.snapshot();
         let phases = PhaseTotals::new();

@@ -10,7 +10,12 @@
 //!   in-memory tier (full replay seeds) and an optional on-disk tier
 //!   (durable whole-report entries in the [`wire`] format),
 //! - [`service`] — the [`service::AnalysisService`] façade gluing pool,
-//!   store, and checker together behind a keyed batch API.
+//!   store, and checker together behind a keyed batch API,
+//! - [`daemon`] + [`protocol`] — the long-running `nchecker serve`
+//!   front end: a bounded admission queue over the service, spoken to
+//!   in line-delimited JSON over a Unix socket or stdio,
+//! - [`watch`] — polling directory watcher feeding the daemon changed
+//!   bundles (the `--watch` mode).
 //!
 //! The incremental contract, end to end: analyzing version *N+1* of a
 //! bundle whose key was analyzed before replays every leading class
@@ -20,13 +25,19 @@
 //! then re-runs the checkers in full — producing a report byte-identical
 //! to a cold analysis of the same bytes.
 
+pub mod daemon;
 pub mod doctor;
 pub mod pool;
+pub mod protocol;
 pub mod service;
 pub mod store;
+pub mod watch;
 pub mod wire;
 
+pub use daemon::{Daemon, DaemonOptions};
 pub use doctor::DoctorReport;
 pub use pool::{default_workers, run_pool};
+pub use protocol::{ErrorCode, Request, MAX_REQUEST_LINE};
 pub use service::{AnalysisService, AppOutcome, BatchCacheStats, ServiceOptions};
 pub use store::{AnalysisStore, DiskStats};
+pub use watch::Watcher;

@@ -211,6 +211,12 @@ impl AnalysisService {
         match result {
             Ok((report, entry, reuse)) => {
                 self.store.count_outcome(reuse.whole_report, &svc_obs);
+                if !reuse.whole_report && reuse.classes_reused > 0 {
+                    // Rung 2 of the incremental ladder: class-prefix
+                    // replay on a whole-report miss.
+                    self.store
+                        .count_replay(reuse.classes_reused as u64, &svc_obs);
+                }
                 if let Some(entry) = entry {
                     debug_assert!(
                         !entry.report.degraded(),

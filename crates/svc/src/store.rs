@@ -13,11 +13,22 @@
 //!
 //! Every lookup runs under a `cache_lookup` span and bumps the
 //! `svc.cache.{hit,miss}` counters on the obs handle it is given;
-//! evictions bump `svc.cache.evict`. Corrupt or alien disk files decode
-//! as misses, never errors.
+//! evictions bump `svc.cache.evict`. Corrupt disk files decode as
+//! misses, never errors — and are *quarantined* (renamed out of the
+//! cache namespace) so they are not re-read and re-rejected on every
+//! subsequent lookup. Stale entries (well-formed, but recorded for a
+//! different bundle or config) are left in place: the next insert
+//! overwrites them.
+//!
+//! Besides the per-app obs handle, the store owns a service-lifetime
+//! [`Metrics`] registry mirroring every `svc.cache.*` counter. Per-app
+//! handles are often disabled (reports must stay byte-identical to
+//! uninstrumented runs), but a long-lived service still needs the
+//! lifetime totals — the `--doctor` snapshot and the daemon's `doctor`
+//! verb read them from [`AnalysisStore::metrics`].
 
 use nchecker::cache::AppCacheEntry;
-use nck_obs::Obs;
+use nck_obs::{Metrics, Obs};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -43,6 +54,7 @@ pub struct AnalysisStore {
     clock: AtomicU64,
     capacity: usize,
     disk: Option<PathBuf>,
+    metrics: Metrics,
 }
 
 impl AnalysisStore {
@@ -65,12 +77,25 @@ impl AnalysisStore {
             clock: AtomicU64::new(0),
             capacity: capacity.max(1),
             disk,
+            metrics: Metrics::enabled(),
         }
     }
 
     /// Whether a disk tier is configured.
     pub fn has_disk(&self) -> bool {
         self.disk.is_some()
+    }
+
+    /// The store-lifetime metrics registry: every `svc.cache.*` counter
+    /// this store ever bumped, regardless of whether the per-app obs
+    /// handle of the moment was recording.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    fn count(&self, name: &str, by: u64, obs: &Obs) {
+        self.metrics.inc(name, by);
+        obs.metrics.inc(name, by);
     }
 
     fn shard(&self, key: &str) -> &Mutex<Shard> {
@@ -96,6 +121,13 @@ impl AnalysisStore {
 
     /// Disk-tier lookup: returns the cached report only when both
     /// fingerprints match exactly.
+    ///
+    /// A *stale* entry (well-formed, fingerprints moved) is a plain
+    /// miss and stays on disk for the next insert to overwrite. A
+    /// *corrupt* entry (unparseable, wrong wire schema, or a shape the
+    /// decoder rejects) is quarantined: left in place it would be
+    /// re-read and re-rejected on every lookup and permanently inflate
+    /// the disk occupancy stats.
     pub fn lookup_disk(
         &self,
         key: &str,
@@ -105,14 +137,30 @@ impl AnalysisStore {
     ) -> Option<nchecker::AppReport> {
         let dir = self.disk.as_deref()?;
         let _s = obs.tracer.span("cache_lookup_disk");
-        let text = std::fs::read_to_string(disk_path(dir, key, config_fp)).ok()?;
-        let v = serde_json::from_str(&text).ok()?;
-        let stored_bundle = v.get("bundle_fp")?.as_str()?.parse::<u64>().ok()?;
-        let stored_config = v.get("config_fp")?.as_str()?.parse::<u64>().ok()?;
-        if stored_bundle != bundle_fp || stored_config != config_fp {
-            return None;
+        let path = disk_path(dir, key, config_fp);
+        let text = std::fs::read_to_string(&path).ok()?;
+        match decode_disk_entry(&text, bundle_fp, config_fp) {
+            DiskEntry::Hit(report) => Some(*report),
+            DiskEntry::Stale => None,
+            DiskEntry::Corrupt => {
+                self.quarantine(&path, obs);
+                None
+            }
         }
-        crate::wire::report_from_wire(v.get("report")?)
+    }
+
+    /// Renames a corrupt cache file out of the cache namespace
+    /// (`.json` → `.quarantine`, which [`scan_disk`] and lookups both
+    /// ignore), deleting it outright if even the rename fails.
+    fn quarantine(&self, path: &Path, obs: &Obs) {
+        if std::fs::rename(path, path.with_extension("quarantine")).is_err() {
+            let _ = std::fs::remove_file(path);
+        }
+        self.count("svc.cache.corrupt_evict", 1, obs);
+        obs.events.warn(&format!(
+            "cache: quarantined corrupt entry {}",
+            path.display()
+        ));
     }
 
     /// Records a finished clean analysis in both tiers. Degraded apps
@@ -136,7 +184,7 @@ impl AnalysisStore {
                 .map(|(k, _)| k.clone())
                 .expect("non-empty shard");
             shard.entries.remove(&oldest);
-            obs.metrics.inc("svc.cache.evict", 1);
+            self.count("svc.cache.evict", 1, obs);
         }
     }
 
@@ -145,14 +193,22 @@ impl AnalysisStore {
     /// as a hit: partial prefix reuse still recomputes the report, and
     /// its savings show up in the reuse stats instead.
     pub fn count_outcome(&self, hit: bool, obs: &Obs) {
-        obs.metrics.inc(
+        self.count(
             if hit {
                 "svc.cache.hit"
             } else {
                 "svc.cache.miss"
             },
             1,
+            obs,
         );
+    }
+
+    /// Records one rung-2 incremental analysis: a cache miss whose
+    /// class prefix replayed. `classes` is the replayed class count.
+    pub fn count_replay(&self, classes: u64, obs: &Obs) {
+        self.count("svc.cache.replay_apps", 1, obs);
+        self.count("svc.cache.replay_classes", classes, obs);
     }
 
     /// Number of memory-tier entries, across all shards.
@@ -187,6 +243,45 @@ impl AnalysisStore {
     pub fn disk_stats(&self) -> DiskStats {
         self.disk.as_deref().map_or_else(DiskStats::new, scan_disk)
     }
+
+    /// Best-effort flush of the disk tier: fsyncs the cache directory.
+    /// Entry files are written tmp+rename; the directory fsync is what
+    /// makes the renames themselves durable, so a daemon calls this
+    /// once at shutdown rather than per write.
+    pub fn sync_disk(&self) {
+        if let Some(dir) = self.disk.as_deref() {
+            if let Ok(d) = std::fs::File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+    }
+}
+
+enum DiskEntry {
+    Hit(Box<nchecker::AppReport>),
+    Stale,
+    Corrupt,
+}
+
+fn decode_disk_entry(text: &str, bundle_fp: u64, config_fp: u64) -> DiskEntry {
+    let Ok(v) = serde_json::from_str(text) else {
+        return DiskEntry::Corrupt;
+    };
+    let fps = (|| {
+        let b = v.get("bundle_fp")?.as_str()?.parse::<u64>().ok()?;
+        let c = v.get("config_fp")?.as_str()?.parse::<u64>().ok()?;
+        Some((b, c))
+    })();
+    let Some((stored_bundle, stored_config)) = fps else {
+        return DiskEntry::Corrupt;
+    };
+    if stored_bundle != bundle_fp || stored_config != config_fp {
+        return DiskEntry::Stale;
+    }
+    match v.get("report").and_then(crate::wire::report_from_wire) {
+        Some(report) => DiskEntry::Hit(Box::new(report)),
+        None => DiskEntry::Corrupt,
+    }
 }
 
 /// Disk-tier occupancy, derived from the cache directory alone (the
@@ -214,7 +309,7 @@ impl DiskStats {
 
 /// Scans `dir` for cache entries. Files that are not well-formed cache
 /// names (`{key_hash:016x}-{config_fp:016x}.json`) — including `.tmp`
-/// leftovers — are ignored.
+/// leftovers and `.quarantine`d corrupt entries — are ignored.
 fn scan_disk(dir: &Path) -> DiskStats {
     let mut stats = DiskStats::new();
     let Ok(entries) = std::fs::read_dir(dir) else {
@@ -378,6 +473,103 @@ mod tests {
         std::fs::write(disk_path(&dir, "app.d", 42), "{not json").unwrap();
         assert!(store.lookup_disk("app.d", 7, 42, &obs).is_none());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_disk_entry_is_quarantined_and_not_reread() {
+        let dir = std::env::temp_dir().join(format!(
+            "nck-svc-corrupt-test-{}-{}",
+            std::process::id(),
+            key_hash("corrupt_evict")
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = AnalysisStore::with_options(8, Some(dir.clone()));
+        let obs = Obs::enabled();
+        store.insert("app.q", entry(9, "app.q"), &obs);
+        let path = disk_path(&dir, "app.q", 42);
+        std::fs::write(&path, "{definitely not json").unwrap();
+
+        // First lookup: miss, file moved out of the cache namespace,
+        // counter bumped on both the per-app obs and the store registry.
+        assert!(store.lookup_disk("app.q", 9, 42, &obs).is_none());
+        assert!(!path.exists(), "corrupt file left in the cache namespace");
+        assert!(
+            path.with_extension("quarantine").exists(),
+            "corrupt file quarantined, not silently lost"
+        );
+        assert_eq!(
+            obs.metrics.snapshot().counters["svc.cache.corrupt_evict"],
+            1
+        );
+        assert_eq!(
+            store.metrics().snapshot().counters["svc.cache.corrupt_evict"],
+            1
+        );
+        assert_eq!(
+            store.disk_stats().entries,
+            0,
+            "occupancy no longer counts the corrupt entry"
+        );
+
+        // Second lookup: plain miss — the bad file is gone, so it is
+        // neither re-read nor re-quarantined.
+        assert!(store.lookup_disk("app.q", 9, 42, &obs).is_none());
+        assert_eq!(
+            obs.metrics.snapshot().counters["svc.cache.corrupt_evict"],
+            1
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wrong_wire_schema_is_corrupt_but_stale_fingerprints_are_not() {
+        let dir = std::env::temp_dir().join(format!(
+            "nck-svc-stale-test-{}-{}",
+            std::process::id(),
+            key_hash("stale_vs_corrupt")
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = AnalysisStore::with_options(8, Some(dir.clone()));
+        let obs = Obs::enabled();
+        store.insert("app.s", entry(5, "app.s"), &obs);
+        let path = disk_path(&dir, "app.s", 42);
+
+        // Stale: well-formed entry for a different bundle — left on
+        // disk (the next insert overwrites it), no quarantine.
+        assert!(store.lookup_disk("app.s", 6, 42, &obs).is_none());
+        assert!(path.exists(), "stale entries stay for overwrite");
+        assert!(!obs
+            .metrics
+            .snapshot()
+            .counters
+            .contains_key("svc.cache.corrupt_evict"));
+
+        // Wrong wire schema: decoder rejects the payload → corrupt.
+        let mut v = serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        if let serde_json::Value::Object(m) = &mut v {
+            if let Some(serde_json::Value::Object(r)) = m.get_mut("report") {
+                r.insert("schema".to_owned(), serde_json::json!(999));
+            }
+        }
+        std::fs::write(&path, serde_json::to_string(&v).unwrap()).unwrap();
+        assert!(store.lookup_disk("app.s", 5, 42, &obs).is_none());
+        assert!(!path.exists(), "undecodable entry quarantined");
+        assert_eq!(
+            obs.metrics.snapshot().counters["svc.cache.corrupt_evict"],
+            1
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn replay_counters_land_on_both_registries() {
+        let store = AnalysisStore::new();
+        let obs = Obs::enabled();
+        store.count_replay(12, &obs);
+        for snap in [obs.metrics.snapshot(), store.metrics().snapshot()] {
+            assert_eq!(snap.counters["svc.cache.replay_apps"], 1);
+            assert_eq!(snap.counters["svc.cache.replay_classes"], 12);
+        }
     }
 
     #[test]

@@ -141,6 +141,60 @@ print(f"doctor ok: {doc['cache']['disk']['entries']} cache entries, "
       f"{doc['last_run']['apps']} apps, byte-identical across --jobs")
 EOF
 
+echo "==> daemon smoke test"
+# The persistent daemon (`nchecker serve`) over --stdio: submit a suite
+# app, poll status, fetch the report and require it byte-identical to
+# the one-shot --json output, fetch the doctor snapshot (canonical
+# document + queue section), exercise a typed protocol error, and shut
+# down cleanly with exit 0.
+daemon_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir" "$targeted_dir" "$tele_dir" "$daemon_dir"' EXIT
+./target/release/genapp "suite:0" "$daemon_dir/app.apk"
+./target/release/nchecker --json --no-cache "$daemon_dir/app.apk" \
+    > "$daemon_dir/oneshot.json"
+python3 - "$daemon_dir" <<'EOF'
+import json, os, subprocess, sys, time
+
+d = sys.argv[1]
+proc = subprocess.Popen(
+    ["./target/release/nchecker", "serve", "--stdio", "--quiet"],
+    stdin=subprocess.PIPE, stdout=subprocess.PIPE, text=True)
+
+def rpc(req):
+    proc.stdin.write(json.dumps(req) + "\n")
+    proc.stdin.flush()
+    return json.loads(proc.stdout.readline())
+
+r = rpc({"verb": "submit", "path": os.path.join(d, "app.apk")})
+assert r["ok"], r
+job = r["id"]
+state = None
+for _ in range(500):
+    s = rpc({"verb": "status", "id": job})
+    state = s["state"]
+    if state in ("done", "failed"):
+        break
+    time.sleep(0.01)
+assert state == "done", f"job never finished: {state}"
+rep = rpc({"verb": "report", "id": job})
+with open(os.path.join(d, "oneshot.json")) as f:
+    oneshot = f.read()
+assert rep["report"] == oneshot, "daemon report differs from one-shot --json"
+doc = rpc({"verb": "doctor"})
+snap = json.loads(doc["doctor"])
+for key in ("schema", "build", "config", "cache", "funnel", "queue"):
+    assert key in snap, f"daemon doctor missing {key}"
+assert snap["queue"]["completed"] == 1, snap["queue"]
+bad = rpc({"verb": "frobnicate"})
+assert not bad["ok"] and bad["error"]["code"] == "unknown-verb", bad
+sd = rpc({"verb": "shutdown"})
+assert sd["ok"], sd
+proc.stdin.close()
+assert proc.wait(timeout=120) == 0, "daemon must exit 0 after clean shutdown"
+print("daemon ok: report byte-identical over the wire, "
+      "doctor + queue served, typed errors, clean shutdown")
+EOF
+
 echo "==> cache determinism tests"
 # Cold/warm differential suite: whole-report hits, prefix replay after
 # app updates, disk-tier restarts, no-cache mode, degraded bypass — all
