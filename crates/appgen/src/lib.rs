@@ -5,10 +5,13 @@
 //! bundles with *seeded, ground-truthed* defects instead (see DESIGN.md's
 //! substitution table). [`spec`] declares apps oracle-first, [`gen`]
 //! compiles specs to binaries, [`profile`] calibrates a 285-app corpus to
-//! the paper's aggregate rates, [`opensource`] builds the 16 ground-truth
-//! apps of Table 9, [`interproc_suite`] seeds helper-mediated idioms for
-//! the summary-engine ablation, and [`studyapps`] reconstructs named
-//! defects from the paper (ChatSecure, Telegram, GPSLogger, ...).
+//! the paper's aggregate rates, [`stream`] scales that profile to
+//! store-sized corpora without materializing them (random-access
+//! per-index derivation, version churn via [`update`]), [`opensource`]
+//! builds the 16 ground-truth apps of Table 9, [`interproc_suite`] seeds
+//! helper-mediated idioms for the summary-engine ablation, and
+//! [`studyapps`] reconstructs named defects from the paper (ChatSecure,
+//! Telegram, GPSLogger, ...).
 
 pub mod gen;
 pub mod interproc_suite;
@@ -16,10 +19,12 @@ pub mod mutate;
 pub mod opensource;
 pub mod profile;
 pub mod spec;
+pub mod stream;
 pub mod studyapps;
 pub mod update;
 
 pub use gen::{generate, generate_with_bulk};
 pub use mutate::{mutate, Expectation, Mutation, MutationKind, Outcome};
 pub use spec::{AppSpec, ConnCheck, Notification, Origin, RequestSpec, RespCheck, RetryShape};
+pub use stream::{CorpusStream, StreamOptions};
 pub use update::{evolve, Evolution};

@@ -91,6 +91,33 @@ pub struct AppCacheEntry {
     pub report: AppReport,
 }
 
+impl AppCacheEntry {
+    /// Approximate resident size of this entry, in bytes.
+    ///
+    /// Structural accounting, not deep measurement: each retained
+    /// artifact class is charged a calibrated per-item cost (a
+    /// `MethodAnalysis` holds a CFG plus per-statement dataflow facts; a
+    /// lift-seed class holds replayable bodies; a report defect carries
+    /// strings and a provenance chain). The absolute numbers are rough
+    /// by design — what matters for a byte-budgeted LRU is that an app
+    /// with 50× the methods is charged ~50× the bytes, so one batch of
+    /// huge apps cannot hide behind an entry-count cap.
+    pub fn approx_bytes(&self) -> usize {
+        const ENTRY_OVERHEAD: usize = 512;
+        const PER_CLASS: usize = 384; // lift-seed share: replayable class body
+        const PER_METHOD_ANALYSIS: usize = 4096; // CFG + per-stmt dataflow facts
+        const PER_CALLEE_FP: usize = 16;
+        const PER_DEFECT: usize = 768; // message, fix, call stack, provenance
+        const PER_SKIP: usize = 256;
+        ENTRY_OVERHEAD
+            + self.class_fps.len() * PER_CLASS
+            + self.callee_fps.len() * PER_CALLEE_FP
+            + self.analyses.len() * PER_METHOD_ANALYSIS
+            + self.report.defects.len() * PER_DEFECT
+            + self.report.skipped_methods.len() * PER_SKIP
+    }
+}
+
 /// What an incremental analysis actually reused, for hit-rate reporting.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ReuseStats {
@@ -167,6 +194,26 @@ mod tests {
         fps.push(fp);
         let distinct: std::collections::BTreeSet<u64> = fps.iter().copied().collect();
         assert_eq!(distinct.len(), fps.len(), "every toggle moves the key");
+    }
+
+    #[test]
+    fn approx_bytes_scales_with_retained_artifacts() {
+        let empty = AppCacheEntry::default();
+        assert!(empty.approx_bytes() > 0, "overhead is always charged");
+        let big = AppCacheEntry {
+            class_fps: vec![0; 100],
+            callee_fps: vec![0; 50],
+            ..AppCacheEntry::default()
+        };
+        assert!(big.approx_bytes() > empty.approx_bytes());
+        let bigger = AppCacheEntry {
+            class_fps: vec![0; 10_000],
+            ..AppCacheEntry::default()
+        };
+        assert!(
+            bigger.approx_bytes() > 50 * empty.approx_bytes(),
+            "size scales with artifact counts, not entry count"
+        );
     }
 
     #[test]

@@ -6,10 +6,19 @@
 //! nchecker [--summary|--json] [--strict] [--no-interproc] [--targeted]
 //!          [--icc] [--keep-going] [--trace] [--metrics] [--quiet|-v|-vv]
 //!          [--trace-out FILE] [--log-json FILE] [--doctor]
-//!          [--jobs N] [--cache-dir DIR] [--no-cache] <app.apk>...
+//!          [--jobs N] [--cache-dir DIR] [--no-cache] [--cache-budget BYTES]
+//!          [--delta-out FILE] <app.apk>...
 //! nchecker serve (--stdio | --socket PATH) [--watch DIR] [--poll-ms N]
 //!          [--queue-capacity N] [checker and cache flags]
+//! nchecker vet --workers N [--corpus-dir DIR | <app.apk>...]
+//!          [--delta-out FILE] [--summary] [checker and cache flags]
+//! nchecker cache-gc --cache-dir DIR --cache-budget BYTES
 //! ```
+//!
+//! `vet` is the store-scale front end: it shards the corpus across N
+//! worker *processes* (each an `nchecker serve --stdio` child) and
+//! prints the reports in input order — byte-identical to what a single
+//! `nchecker --json` run over the same paths would print.
 //!
 //! Exit codes: `0` all apps analyzed cleanly, `1` at least one app failed
 //! to analyze, `2` usage error, `3` every app analyzed but at least one
@@ -17,7 +26,10 @@
 
 use nchecker::CheckerConfig;
 use nck_obs::{Events, JsonObj, JsonlSink, Level, Metrics, Obs, PhaseTotals, Series, Tracer};
-use nck_svc::{daemon, doctor, AnalysisService, Daemon, DaemonOptions, ServiceOptions, Watcher};
+use nck_svc::{
+    daemon, doctor, AnalysisService, AnalysisStore, Daemon, DaemonOptions, OrchestratorOptions,
+    ServiceOptions, Watcher,
+};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -29,7 +41,10 @@ fn usage() -> ExitCode {
          [--log-json FILE] [--doctor] [--jobs N] [--cache-dir DIR] \
          [--no-cache] <app.apk>...\n\
          \x20      nchecker serve (--stdio | --socket PATH) [--watch DIR] [--poll-ms N] \
-         [--queue-capacity N] [checker and cache flags]"
+         [--queue-capacity N] [checker and cache flags]\n\
+         \x20      nchecker vet --workers N [--corpus-dir DIR | <app.apk>...] \
+         [--delta-out FILE] [--summary] [checker and cache flags]\n\
+         \x20      nchecker cache-gc --cache-dir DIR --cache-budget BYTES"
     );
     eprintln!();
     eprintln!("Statically analyzes ADX app bundles for network programming defects.");
@@ -57,6 +72,10 @@ fn usage() -> ExitCode {
     eprintln!("  --jobs N        analyze up to N apps in parallel (default: CPU count)");
     eprintln!("  --cache-dir DIR persist the analysis cache under DIR across runs");
     eprintln!("  --no-cache      disable the analysis cache entirely");
+    eprintln!("  --cache-budget BYTES  GC the disk cache down to BYTES after each run");
+    eprintln!("                  (suffixes K/M/G, base 1024); see also `cache-gc`");
+    eprintln!("  --delta-out FILE  write one JSONL defect-delta record per resubmitted");
+    eprintln!("                  app whose bundle changed (added/fixed/unchanged)");
     eprintln!("  --quiet, -q     suppress all diagnostics on stderr");
     eprintln!("  -v, -vv         raise diagnostic verbosity to info / debug");
     eprintln!();
@@ -67,6 +86,15 @@ fn usage() -> ExitCode {
     eprintln!("  --poll-ms N     watch poll interval in milliseconds (default: 500)");
     eprintln!("  --queue-capacity N  bound the request queue (default: 64); submits");
     eprintln!("                  beyond it are rejected with a queue-full reply");
+    eprintln!();
+    eprintln!("vet mode (multi-process store-scale vetting):");
+    eprintln!("  --workers N     worker processes (default: 2); the corpus is");
+    eprintln!("                  partitioned across them by key hash");
+    eprintln!("  --corpus-dir DIR  vet every *.apk/*.adx under DIR (recursive),");
+    eprintln!("                  sorted; positional paths also accepted");
+    eprintln!("  --summary       per-shard accounting only; skip report output");
+    eprintln!("  stdout is the workers' reports in input order, byte-identical");
+    eprintln!("  to one-shot --json output over the same paths");
     eprintln!();
     eprintln!("exit codes: 0 clean, 1 analysis failure, 2 usage, 3 degraded");
     ExitCode::from(2)
@@ -97,8 +125,11 @@ const EXIT_DEGRADED: u8 = 3;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.first().map(String::as_str) == Some("serve") {
-        return serve_main(&args[1..]);
+    match args.first().map(String::as_str) {
+        Some("serve") => return serve_main(&args[1..]),
+        Some("vet") => return vet_main(&args[1..]),
+        Some("cache-gc") => return gc_main(&args[1..]),
+        _ => {}
     }
     let summary = args.iter().any(|a| a == "--summary");
     let json = args.iter().any(|a| a == "--json");
@@ -124,6 +155,8 @@ fn main() -> ExitCode {
     // Value-taking flags and positionals.
     let mut jobs: Option<usize> = None;
     let mut cache_dir: Option<PathBuf> = None;
+    let mut cache_budget: Option<u64> = None;
+    let mut delta_out: Option<PathBuf> = None;
     let mut trace_out: Option<PathBuf> = None;
     let mut log_json: Option<PathBuf> = None;
     let mut paths: Vec<&String> = Vec::new();
@@ -141,6 +174,18 @@ fn main() -> ExitCode {
                     return usage();
                 };
                 cache_dir = Some(PathBuf::from(dir));
+            }
+            "--cache-budget" => {
+                let Some(n) = it.next().and_then(|v| parse_bytes(v)) else {
+                    return usage();
+                };
+                cache_budget = Some(n);
+            }
+            "--delta-out" => {
+                let Some(file) = it.next() else {
+                    return usage();
+                };
+                delta_out = Some(PathBuf::from(file));
             }
             "--trace-out" => {
                 let Some(file) = it.next() else {
@@ -244,6 +289,8 @@ fn main() -> ExitCode {
             jobs,
             cache_dir,
             no_cache,
+            mem_budget: None,
+            cache_budget,
         },
         obs,
     );
@@ -345,6 +392,24 @@ fn main() -> ExitCode {
     service.store().record_gauges(&store_metrics);
     merged.merge(&store_metrics.snapshot());
     let analysis_failures = failures;
+
+    // Defect deltas, one JSONL record per resubmitted-and-changed app,
+    // in input order (apps without a delta contribute no line).
+    if let Some(path) = &delta_out {
+        let mut text = String::new();
+        for outcome in &outcomes {
+            if let Some(delta) = &outcome.delta {
+                text.push_str(&serde_json::to_string(&delta.to_json()).expect("delta serializes"));
+                text.push('\n');
+            }
+        }
+        if let Err(e) = std::fs::write(path, text) {
+            events.error(&format!("{}: {e}", path.display()));
+            failures += 1;
+        } else {
+            events.info(&format!("wrote {}", path.display()));
+        }
+    }
 
     if let Some(path) = &trace_out {
         let traces: Vec<(String, nck_obs::PipelineTrace)> = items
@@ -463,6 +528,7 @@ fn serve_main(args: &[String]) -> ExitCode {
 
     let mut jobs: Option<usize> = None;
     let mut cache_dir: Option<PathBuf> = None;
+    let mut cache_budget: Option<u64> = None;
     let mut socket: Option<PathBuf> = None;
     let mut watch: Option<PathBuf> = None;
     let mut poll_ms: u64 = 500;
@@ -481,6 +547,12 @@ fn serve_main(args: &[String]) -> ExitCode {
                     return usage();
                 };
                 cache_dir = Some(PathBuf::from(dir));
+            }
+            "--cache-budget" => {
+                let Some(n) = it.next().and_then(|v| parse_bytes(v)) else {
+                    return usage();
+                };
+                cache_budget = Some(n);
             }
             "--socket" => {
                 let Some(path) = it.next() else {
@@ -545,6 +617,8 @@ fn serve_main(args: &[String]) -> ExitCode {
                 jobs,
                 cache_dir,
                 no_cache,
+                mem_budget: None,
+                cache_budget,
             },
             queue_capacity,
         },
@@ -589,15 +663,310 @@ fn serve_main(args: &[String]) -> ExitCode {
     }
 }
 
+/// Parses a byte-size argument: plain digits, or a K/M/G suffix
+/// (base 1024, case-insensitive).
+fn parse_bytes(s: &str) -> Option<u64> {
+    let (digits, shift) = match s.char_indices().last()? {
+        (i, 'k') | (i, 'K') => (&s[..i], 10),
+        (i, 'm') | (i, 'M') => (&s[..i], 20),
+        (i, 'g') | (i, 'G') => (&s[..i], 30),
+        _ => (s, 0),
+    };
+    let n: u64 = digits.parse().ok()?;
+    n.checked_shl(shift)
+}
+
+/// Collects every `*.apk` / `*.adx` under `dir`, recursively, sorted by
+/// path — the fixed input order a sharded corpus tree is vetted in.
+fn collect_corpus_dir(dir: &Path, out: &mut Vec<String>) -> std::io::Result<()> {
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        for entry in std::fs::read_dir(&d)? {
+            let path = entry?.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path
+                .extension()
+                .and_then(|e| e.to_str())
+                .is_some_and(|e| e == "apk" || e == "adx")
+            {
+                out.push(path.to_string_lossy().into_owned());
+            }
+        }
+    }
+    out.sort();
+    Ok(())
+}
+
+/// Flags `nchecker vet` accepts without a value.
+const VET_FLAGS: &[&str] = &[
+    "--summary",
+    "--strict",
+    "--interproc",
+    "--no-interproc",
+    "--targeted",
+    "--icc",
+    "--quiet",
+    "-q",
+    "-v",
+];
+
+/// The `nchecker vet` entry point: shard the corpus across worker
+/// processes and merge reports back in input order.
+fn vet_main(args: &[String]) -> ExitCode {
+    let summary = args.iter().any(|a| a == "--summary");
+    let strict = args.iter().any(|a| a == "--strict");
+    let targeted = args.iter().any(|a| a == "--targeted");
+    let icc = args.iter().any(|a| a == "--icc");
+    let quiet = args.iter().any(|a| a == "--quiet" || a == "-q");
+    let verbose = args.iter().any(|a| a == "-v");
+    let interproc = !matches!(
+        args.iter()
+            .rev()
+            .find(|a| *a == "--interproc" || *a == "--no-interproc"),
+        Some(a) if a == "--no-interproc"
+    );
+
+    let mut workers = 2usize;
+    let mut window = 32usize;
+    let mut jobs: Option<usize> = None;
+    let mut cache_dir: Option<String> = None;
+    let mut cache_budget: Option<u64> = None;
+    let mut delta_out: Option<PathBuf> = None;
+    let mut corpus_dir: Option<PathBuf> = None;
+    let mut worker_exe: Option<String> = None;
+    let mut paths: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workers" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => workers = n,
+                _ => return usage(),
+            },
+            "--window" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => window = n,
+                _ => return usage(),
+            },
+            "--jobs" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => jobs = Some(n),
+                _ => return usage(),
+            },
+            "--cache-dir" => match it.next() {
+                Some(dir) => cache_dir = Some(dir.clone()),
+                None => return usage(),
+            },
+            "--cache-budget" => match it.next().and_then(|v| parse_bytes(v)) {
+                Some(n) => cache_budget = Some(n),
+                None => return usage(),
+            },
+            "--delta-out" => match it.next() {
+                Some(f) => delta_out = Some(PathBuf::from(f)),
+                None => return usage(),
+            },
+            "--corpus-dir" => match it.next() {
+                Some(d) => corpus_dir = Some(PathBuf::from(d)),
+                None => return usage(),
+            },
+            // Testing hook: run THIS program as the worker instead of
+            // current_exe (lets harnesses interpose a crashing wrapper).
+            "--worker-exe" => match it.next() {
+                Some(exe) => worker_exe = Some(exe.clone()),
+                None => return usage(),
+            },
+            s if s.starts_with('-') => {
+                if !VET_FLAGS.contains(&s) {
+                    return usage();
+                }
+            }
+            _ => paths.push(a.clone()),
+        }
+    }
+
+    let events = if quiet {
+        Events::silent()
+    } else if verbose {
+        Events::at(Level::Info)
+    } else {
+        Events::default()
+    };
+    if let Some(dir) = &corpus_dir {
+        if let Err(e) = collect_corpus_dir(dir, &mut paths) {
+            events.error(&format!("{}: {e}", dir.display()));
+            return ExitCode::from(EXIT_FAILED);
+        }
+    }
+    if paths.is_empty() {
+        return usage();
+    }
+
+    // The worker command: this very binary in serve --stdio mode, with
+    // the checker and cache configuration forwarded. Queue capacity is
+    // pinned to the submit window so pipelined chunks are never
+    // admission-rejected.
+    let exe = match worker_exe {
+        Some(exe) => exe,
+        None => match std::env::current_exe() {
+            Ok(p) => p.to_string_lossy().into_owned(),
+            Err(e) => {
+                events.error(&format!("cannot resolve own executable: {e}"));
+                return ExitCode::from(EXIT_FAILED);
+            }
+        },
+    };
+    let mut worker_cmd = vec![
+        exe,
+        "serve".to_owned(),
+        "--stdio".to_owned(),
+        "--quiet".to_owned(),
+        "--queue-capacity".to_owned(),
+        window.to_string(),
+    ];
+    if strict {
+        worker_cmd.push("--strict".to_owned());
+    }
+    if targeted {
+        worker_cmd.push("--targeted".to_owned());
+    }
+    if icc {
+        worker_cmd.push("--icc".to_owned());
+    }
+    if !interproc {
+        worker_cmd.push("--no-interproc".to_owned());
+    }
+    if let Some(j) = jobs {
+        worker_cmd.push("--jobs".to_owned());
+        worker_cmd.push(j.to_string());
+    }
+    if let Some(dir) = &cache_dir {
+        worker_cmd.push("--cache-dir".to_owned());
+        worker_cmd.push(dir.clone());
+    }
+    if let Some(b) = cache_budget {
+        worker_cmd.push("--cache-budget".to_owned());
+        worker_cmd.push(b.to_string());
+    }
+
+    let options = OrchestratorOptions {
+        workers,
+        worker_cmd,
+        window,
+        ..OrchestratorOptions::default()
+    };
+    let outcome = nck_svc::vet(&options, &paths);
+
+    // stdout: the workers' reports in input order — the same bytes a
+    // single-process `nchecker --json` run over these paths prints.
+    if !summary {
+        let mut stdout = std::io::stdout().lock();
+        use std::io::Write;
+        for report in outcome.reports.iter().flatten() {
+            if stdout.write_all(report.as_bytes()).is_err() {
+                return ExitCode::from(EXIT_FAILED);
+            }
+        }
+    }
+
+    let mut failures = 0usize;
+    for (idx, msg) in &outcome.errors {
+        events.error(&format!("{}: {msg}", paths[*idx]));
+        failures += 1;
+    }
+    if let Some(path) = &delta_out {
+        let mut text = String::new();
+        for delta in outcome.deltas.iter().flatten() {
+            text.push_str(&serde_json::to_string(delta).expect("delta serializes"));
+            text.push('\n');
+        }
+        if let Err(e) = std::fs::write(path, text) {
+            events.error(&format!("{}: {e}", path.display()));
+            failures += 1;
+        }
+    }
+
+    for s in &outcome.shards {
+        events.info(&format!(
+            "vet: shard {}: {} assigned, {} completed, {} failed, {} restart(s), {} ms",
+            s.shard, s.assigned, s.completed, s.failed, s.restarts, s.wall_ms
+        ));
+    }
+    for shard in &outcome.stragglers {
+        events.warn(&format!("vet: shard {shard} straggled"));
+    }
+    let restarts: usize = outcome.shards.iter().map(|s| s.restarts).sum();
+    let deltas = outcome.deltas.iter().flatten().count();
+    events.warn(&format!(
+        "vet: {} app(s) over {} worker(s): {} completed, {} failed, {} degraded, \
+         {} delta(s), {} restart(s)",
+        paths.len(),
+        workers,
+        outcome.completed(),
+        failures,
+        outcome.degraded,
+        deltas,
+        restarts,
+    ));
+
+    if failures > 0 {
+        ExitCode::from(EXIT_FAILED)
+    } else if outcome.degraded > 0 {
+        ExitCode::from(EXIT_DEGRADED)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// The `nchecker cache-gc` entry point: one explicit GC pass over a
+/// disk cache directory.
+fn gc_main(args: &[String]) -> ExitCode {
+    let mut cache_dir: Option<PathBuf> = None;
+    let mut budget: Option<u64> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--cache-dir" => match it.next() {
+                Some(dir) => cache_dir = Some(PathBuf::from(dir)),
+                None => return usage(),
+            },
+            "--cache-budget" => match it.next().and_then(|v| parse_bytes(v)) {
+                Some(n) => budget = Some(n),
+                None => return usage(),
+            },
+            "--quiet" | "-q" => {}
+            _ => return usage(),
+        }
+    }
+    let (Some(dir), Some(budget)) = (cache_dir, budget) else {
+        return usage();
+    };
+    let store = AnalysisStore::with_options(1, Some(dir));
+    let stats = store.gc_disk(budget, &Obs::disabled());
+    println!(
+        "cache-gc: {} entries ({} bytes) -> evicted {}, freed {} bytes, {} bytes live",
+        stats.entries,
+        stats.bytes,
+        stats.evicted,
+        stats.freed_bytes,
+        stats.live_bytes(),
+    );
+    ExitCode::SUCCESS
+}
+
 /// The `--watch` loop: polls the directory and submits changed
 /// bundles under their path as the cache key, so an edited bundle
-/// rides the incremental ladder instead of a cold run.
+/// rides the incremental ladder instead of a cold run. Bundles whose
+/// file disappears have their finished daemon state retired — a watch
+/// session over a churning directory must not accumulate state for
+/// files that no longer exist.
 fn watch_loop(daemon: &Daemon, dir: &Path, poll_ms: u64, events: &Events) {
     let mut watcher = Watcher::new(dir);
     while !daemon.shutting_down() {
         match watcher.poll() {
-            Ok(changed) => {
-                for (key, bytes) in changed {
+            Ok(poll) => {
+                for key in poll.removed {
+                    let dropped = daemon.retire_key(&key);
+                    events.info(&format!("watch: {key} deleted, {dropped} job(s) retired"));
+                }
+                for (key, bytes) in poll.changed {
                     match daemon.submit_bytes(key.clone(), bytes) {
                         Ok((id, _)) => events.info(&format!("watch: {key} submitted as job {id}")),
                         Err((_, msg)) => events.warn(&format!("watch: {key}: {msg}")),

@@ -97,6 +97,9 @@ struct Job {
     enqueued: Instant,
     /// Exact one-shot `--json` bytes (pretty + trailing newline).
     report_json: Option<String>,
+    /// Defect delta against the previous version of this key, when the
+    /// service computed one (JSONL object shape).
+    delta: Option<Value>,
     error: Option<String>,
     degraded: bool,
     defects: usize,
@@ -115,6 +118,8 @@ struct State {
     completed: u64,
     failed: u64,
     degraded: u64,
+    /// Watched files that vanished and had their finished state dropped.
+    retired: u64,
 }
 
 impl State {
@@ -132,6 +137,7 @@ impl State {
             completed: 0,
             failed: 0,
             degraded: 0,
+            retired: 0,
         }
     }
 }
@@ -263,6 +269,7 @@ impl Daemon {
                 phase: Phase::Queued,
                 enqueued: Instant::now(),
                 report_json: None,
+                delta: None,
                 error: None,
                 degraded: false,
                 defects: 0,
@@ -274,6 +281,32 @@ impl Daemon {
         self.metrics.gauge("svc.queue.depth", depth as i64);
         self.work.notify_one();
         Ok((id, depth))
+    }
+
+    /// Retires all finished (done or failed) jobs submitted under
+    /// `key`: their retained reports are dropped and later `report`
+    /// fetches get `not-found`. The watch loop calls this when a
+    /// watched bundle file disappears — without it a long watch session
+    /// retains state for files that no longer exist, and
+    /// [`DONE_RETENTION`] is the only thing that ever frees it. Queued
+    /// and running jobs are left alone (their bytes were already read;
+    /// the submission is honored). Counts one `svc.watch.retired` per
+    /// call, i.e. per vanished path. Returns the jobs dropped.
+    pub fn retire_key(&self, key: &str) -> usize {
+        let mut st = self.state.lock().expect("daemon state");
+        let ids: Vec<u64> = st
+            .jobs
+            .iter()
+            .filter(|(_, j)| j.key == key && matches!(j.phase, Phase::Done | Phase::Failed))
+            .map(|(id, _)| *id)
+            .collect();
+        for id in &ids {
+            st.jobs.remove(id);
+        }
+        st.done_order.retain(|id| !ids.contains(id));
+        st.retired += 1;
+        self.metrics.inc("svc.watch.retired", 1);
+        ids.len()
     }
 
     /// Stops admission. Idempotent; returns the depth still queued.
@@ -384,6 +417,7 @@ impl Daemon {
                 job.degraded = report.degraded();
                 job.defects = report.defects.len();
                 job.report_json = Some(text);
+                job.delta = outcome.delta.map(|d| d.to_json());
                 job.phase = Phase::Done;
                 st.completed += 1;
                 self.metrics.inc("svc.queue.completed", 1);
@@ -447,6 +481,7 @@ impl Daemon {
                     "rejected": st.rejected,
                     "completed": st.completed,
                     "failed": st.failed,
+                    "retired": st.retired,
                 }))
             }
             Request::Status { id: Some(id) } => {
@@ -482,6 +517,10 @@ impl Daemon {
                             "key": job.key,
                             "degraded": job.degraded,
                             "defects": job.defects,
+                            // The report string stays byte-identical to
+                            // one-shot --json; the delta rides alongside
+                            // (null on first submission).
+                            "delta": job.delta.clone().unwrap_or(Value::Null),
                             "report": job.report_json.as_deref().unwrap_or(""),
                         })),
                     },
@@ -551,6 +590,7 @@ impl Daemon {
             "completed": st.completed,
             "failed": st.failed,
             "degraded": st.degraded,
+            "retired": st.retired,
             "wait_us": {
                 "count": wait.map_or(0, |h| h.count),
                 "p50": pct(50.0),

@@ -1,0 +1,245 @@
+//! Report deltas: what changed between two analyses of the same app.
+//!
+//! A store-scale vetting pipeline sees the same app key over and over —
+//! every resubmission is a new bundle under a known package. The
+//! interesting output for a reviewer is not the full report (it was
+//! already read last time) but the *difference*: which defects are new
+//! in this version, which were fixed, and how many carried over.
+//!
+//! A [`DeltaReport`] is computed whenever an analysis under a known key
+//! could not reuse the whole cached report — i.e. the bundle actually
+//! changed. The previous report comes from whichever cache tier held
+//! it: the in-memory entry within one process, or the stale-but-
+//! readable disk entry across process restarts
+//! ([`crate::AnalysisStore::lookup_disk_any`]). No extra hashing is
+//! spent on delta detection — the checker already fingerprints every
+//! bundle for whole-report reuse, so the two fingerprints ride along
+//! for free as version identifiers.
+//!
+//! Defects are identified by *kind at method granularity*
+//! ([`defect_id`]): the statement offset is deliberately excluded, so
+//! an unrelated edit that shifts code does not report a defect as
+//! fixed-here-added-there. Duplicate ids (the same defect kind twice in
+//! one method) are handled as a multiset, so going from two
+//! missed-timeout requests in a method to one counts as a fix.
+
+use nchecker::json::kind_id;
+use nchecker::{AppReport, Report};
+use std::collections::BTreeMap;
+
+/// The defect difference between two versions of one app.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaReport {
+    /// The app key both versions were submitted under.
+    pub key: String,
+    /// Bundle fingerprint of the previous (baseline) version.
+    pub prev_fp: u64,
+    /// Bundle fingerprint of the version just analyzed.
+    pub new_fp: u64,
+    /// Defect ids present now but not before, sorted.
+    pub added: Vec<String>,
+    /// Defect ids present before but not now, sorted.
+    pub fixed: Vec<String>,
+    /// Defects present in both versions.
+    pub unchanged: usize,
+}
+
+/// The stable identity of a defect across app versions: its kind tag
+/// anchored to the class and method it fires in. Statement offsets are
+/// excluded on purpose — unrelated edits shift code, and a shifted
+/// defect is the *same* defect.
+pub fn defect_id(r: &Report) -> String {
+    format!(
+        "{}@{}.{}",
+        kind_id(r.kind),
+        r.location.class,
+        r.location.method
+    )
+}
+
+fn id_multiset(report: &AppReport) -> BTreeMap<String, usize> {
+    let mut m = BTreeMap::new();
+    for d in &report.defects {
+        *m.entry(defect_id(d)).or_insert(0) += 1;
+    }
+    m
+}
+
+/// Multiset difference of the two reports' defect ids. An id occurring
+/// `p` times before and `n` times now contributes `min(p, n)` to
+/// `unchanged`, `n - p` copies to `added` (when positive), and `p - n`
+/// copies to `fixed`.
+pub fn diff_reports(
+    key: &str,
+    prev_fp: u64,
+    new_fp: u64,
+    prev: &AppReport,
+    new: &AppReport,
+) -> DeltaReport {
+    let prev_ids = id_multiset(prev);
+    let new_ids = id_multiset(new);
+    let mut added = Vec::new();
+    let mut fixed = Vec::new();
+    let mut unchanged = 0usize;
+    for (id, &n) in &new_ids {
+        let p = prev_ids.get(id).copied().unwrap_or(0);
+        unchanged += p.min(n);
+        for _ in p..n {
+            added.push(id.clone());
+        }
+    }
+    for (id, &p) in &prev_ids {
+        let n = new_ids.get(id).copied().unwrap_or(0);
+        for _ in n..p {
+            fixed.push(id.clone());
+        }
+    }
+    // BTreeMap iteration already sorts; duplicates stay adjacent.
+    DeltaReport {
+        key: key.to_owned(),
+        prev_fp,
+        new_fp,
+        added,
+        fixed,
+        unchanged,
+    }
+}
+
+impl DeltaReport {
+    /// Whether the two versions have identical defect multisets.
+    pub fn is_clean(&self) -> bool {
+        self.added.is_empty() && self.fixed.is_empty()
+    }
+
+    /// The JSONL export shape: one self-describing object per delta,
+    /// fingerprints in hex (they identify versions, not quantities).
+    pub fn to_json(&self) -> serde_json::Value {
+        serde_json::json!({
+            "t": "delta",
+            "key": self.key,
+            "prev_fp": format!("{:016x}", self.prev_fp),
+            "new_fp": format!("{:016x}", self.new_fp),
+            "added": self.added,
+            "fixed": self.fixed,
+            "unchanged": self.unchanged,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nchecker::{DefectKind, Location};
+    use nck_netlibs::Library;
+
+    fn defect(kind: DefectKind, class: &str, method: &str) -> Report {
+        Report {
+            kind,
+            library: Library::HttpUrlConnection,
+            location: Location {
+                class: class.to_owned(),
+                method: method.to_owned(),
+                stmt: 0,
+            },
+            message: String::new(),
+            context: String::new(),
+            call_stack: Vec::new(),
+            fix: String::new(),
+            provenance: Vec::new(),
+        }
+    }
+
+    fn report(defects: Vec<Report>) -> AppReport {
+        AppReport {
+            defects,
+            ..AppReport::default()
+        }
+    }
+
+    #[test]
+    fn identical_reports_produce_a_clean_delta() {
+        let r = report(vec![defect(DefectKind::MissedTimeout, "A", "run")]);
+        let d = diff_reports("app", 1, 2, &r, &r);
+        assert!(d.is_clean());
+        assert_eq!(d.unchanged, 1);
+        assert_eq!((d.prev_fp, d.new_fp), (1, 2));
+    }
+
+    #[test]
+    fn added_and_fixed_partition_the_symmetric_difference() {
+        let prev = report(vec![
+            defect(DefectKind::MissedTimeout, "A", "run"),
+            defect(DefectKind::MissedRetry, "A", "run"),
+        ]);
+        let new = report(vec![
+            defect(DefectKind::MissedTimeout, "A", "run"),
+            defect(DefectKind::MissedConnectivityCheck, "B", "go"),
+        ]);
+        let d = diff_reports("app", 1, 2, &prev, &new);
+        assert_eq!(d.added, vec!["missed-connectivity-check@B.go"]);
+        assert_eq!(d.fixed, vec!["missed-retry@A.run"]);
+        assert_eq!(d.unchanged, 1);
+        assert!(!d.is_clean());
+    }
+
+    #[test]
+    fn statement_shifts_do_not_move_a_defect() {
+        let mut shifted = defect(DefectKind::MissedTimeout, "A", "run");
+        shifted.location.stmt = 99;
+        let d = diff_reports(
+            "app",
+            1,
+            2,
+            &report(vec![defect(DefectKind::MissedTimeout, "A", "run")]),
+            &report(vec![shifted]),
+        );
+        assert!(d.is_clean(), "same kind, same method: same defect");
+    }
+
+    #[test]
+    fn duplicate_ids_diff_as_a_multiset() {
+        let twice = report(vec![
+            defect(DefectKind::MissedTimeout, "A", "run"),
+            defect(DefectKind::MissedTimeout, "A", "run"),
+        ]);
+        let once = report(vec![defect(DefectKind::MissedTimeout, "A", "run")]);
+        let d = diff_reports("app", 1, 2, &twice, &once);
+        assert_eq!(d.unchanged, 1);
+        assert_eq!(d.fixed, vec!["missed-timeout@A.run"], "one of two fixed");
+        assert!(d.added.is_empty());
+        let d = diff_reports("app", 2, 3, &once, &twice);
+        assert_eq!(d.added, vec!["missed-timeout@A.run"]);
+        assert!(d.fixed.is_empty());
+    }
+
+    #[test]
+    fn json_shape_is_stable_and_sorted() {
+        let d = diff_reports(
+            "com.a.b",
+            0xabc,
+            0xdef,
+            &report(vec![defect(DefectKind::MissedRetry, "Z", "m")]),
+            &report(vec![
+                defect(DefectKind::MissedTimeout, "B", "n"),
+                defect(DefectKind::MissedConnectivityCheck, "A", "m"),
+            ]),
+        );
+        let v = d.to_json();
+        assert_eq!(v["t"], "delta");
+        assert_eq!(v["key"], "com.a.b");
+        assert_eq!(v["prev_fp"], "0000000000000abc");
+        assert_eq!(v["new_fp"], "0000000000000def");
+        let added: Vec<&str> = v["added"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|x| x.as_str().unwrap())
+            .collect();
+        assert_eq!(
+            added,
+            vec!["missed-connectivity-check@A.m", "missed-timeout@B.n"],
+            "added ids sorted"
+        );
+        assert_eq!(v["unchanged"], 0);
+    }
+}

@@ -19,7 +19,11 @@
 //! each app's cache outcome (hit/miss) and workload counters depend
 //! only on the input and the cache directory contents, never on
 //! scheduling; per-shard eviction counts likewise depend only on how
-//! many distinct keys land in each shard.
+//! many distinct keys land in each shard. The one soft spot is
+//! `cache.mem.bytes`: when the memory tier actually evicted, the
+//! *membership* of the resident set (unlike its size) depends on
+//! completion order, so byte-comparing snapshots across `--jobs` is
+//! only guaranteed for runs that stayed within the memory tier's caps.
 
 use crate::store::AnalysisStore;
 use nchecker::cache::{config_fingerprint, ANALYSIS_VERSION};
@@ -95,12 +99,19 @@ pub fn doctor_json(r: &DoctorReport<'_>) -> Value {
             },
             "mem": {
                 "entries": mem_shards.iter().sum::<usize>(),
+                "bytes": r.store.mem_bytes(),
                 "shards": mem_shards,
+            },
+            "gc": {
+                "runs": counter(&store_counters, "svc.cache.gc_runs"),
+                "evicted": counter(&store_counters, "svc.cache.gc_evicted"),
+                "freed_bytes": counter(&store_counters, "svc.cache.gc_freed_bytes"),
             },
             "hit": counter(&store_counters, "svc.cache.hit"),
             "miss": counter(&store_counters, "svc.cache.miss"),
             "evict": counter(&store_counters, "svc.cache.evict"),
             "corrupt_evict": counter(&store_counters, "svc.cache.corrupt_evict"),
+            "deltas": counter(&store_counters, "svc.cache.deltas"),
             "replay_apps": counter(&store_counters, "svc.cache.replay_apps"),
             "replay_classes": counter(&store_counters, "svc.cache.replay_classes"),
         },

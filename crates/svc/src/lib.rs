@@ -15,7 +15,14 @@
 //!   front end: a bounded admission queue over the service, spoken to
 //!   in line-delimited JSON over a Unix socket or stdio,
 //! - [`watch`] — polling directory watcher feeding the daemon changed
-//!   bundles (the `--watch` mode).
+//!   bundles (the `--watch` mode),
+//! - [`orchestrator`] — the store-scale tier: partitions a corpus by
+//!   content hash across worker *processes* (each an `nchecker serve
+//!   --stdio` child spoken to over the wire protocol), with the shared
+//!   disk cache as the coordination-free result tier,
+//! - [`delta`] — defect deltas between versions of the same app
+//!   (added / fixed / unchanged), computed on resubmission under a
+//!   known key.
 //!
 //! The incremental contract, end to end: analyzing version *N+1* of a
 //! bundle whose key was analyzed before replays every leading class
@@ -26,7 +33,9 @@
 //! to a cold analysis of the same bytes.
 
 pub mod daemon;
+pub mod delta;
 pub mod doctor;
+pub mod orchestrator;
 pub mod pool;
 pub mod protocol;
 pub mod service;
@@ -35,9 +44,11 @@ pub mod watch;
 pub mod wire;
 
 pub use daemon::{Daemon, DaemonOptions};
+pub use delta::{defect_id, diff_reports, DeltaReport};
 pub use doctor::DoctorReport;
+pub use orchestrator::{vet, OrchestratorOptions, ShardReport, VetOutcome};
 pub use pool::{default_workers, run_pool};
 pub use protocol::{ErrorCode, Request, MAX_REQUEST_LINE};
 pub use service::{AnalysisService, AppOutcome, BatchCacheStats, ServiceOptions};
-pub use store::{AnalysisStore, DiskStats};
+pub use store::{AnalysisStore, DiskStats, GcStats};
 pub use watch::Watcher;

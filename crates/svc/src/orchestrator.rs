@@ -1,0 +1,570 @@
+//! The multi-process shard orchestrator behind `nchecker vet`.
+//!
+//! Store-scale vetting wants more isolation than a thread pool gives:
+//! one pathological bundle must not take down (or even slow) the other
+//! shards, and a corpus worth of cache entries must not live in one
+//! address space. So the orchestrator partitions the corpus by content
+//! hash of the *key* across N worker **processes** — each a spawned
+//! `nchecker serve --stdio` child spoken to over the existing
+//! line-delimited wire protocol — and merges their reports back into
+//! input order. The workers share nothing in memory; the on-disk
+//! [`crate::AnalysisStore`] tier (when `--cache-dir` is passed through)
+//! is the common cache, coordination-free because entries are
+//! content-addressed and written tmp+rename.
+//!
+//! Reliability is the orchestrator's job, not the workers':
+//!
+//! - **Crash-restart** — a worker that dies mid-chunk (EOF on its
+//!   stdout, a write failure, a malformed reply) is killed, respawned,
+//!   and the chunk's unfinished items are resubmitted, up to
+//!   [`OrchestratorOptions::max_restarts`] per shard. The shared disk
+//!   cache makes resubmission cheap: items the dead worker finished
+//!   writing are whole-report hits the second time.
+//! - **Straggler detection** — a shard still running after
+//!   `straggler_factor ×` the median completed-shard wall time is
+//!   flagged in [`VetOutcome::stragglers`] (detection, not preemption:
+//!   killing a slow shard would trade latency for lost work).
+//! - **Per-shard accounting** — every [`ShardReport`] carries assigned
+//!   / completed / failed counts, restarts, and wall time, so a vetting
+//!   run's summary names the shard that misbehaved.
+//!
+//! Output discipline: results land in input-order slots, and the
+//! report string for each app is the daemon's `report` verb payload —
+//! which the daemon guarantees is byte-identical to one-shot
+//! `--json` output. Concatenating [`VetOutcome::reports`] therefore
+//! reproduces exactly what a single `nchecker --json` run over the
+//! same paths would print.
+
+use crate::protocol;
+use serde_json::Value;
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// Tuning for a [`vet`] run.
+#[derive(Debug, Clone)]
+pub struct OrchestratorOptions {
+    /// Worker processes to spawn (clamped to at least 1).
+    pub workers: usize,
+    /// The worker command line: argv[0] plus arguments. Must speak the
+    /// serve wire protocol on stdio.
+    pub worker_cmd: Vec<String>,
+    /// Submits pipelined per chunk before reading replies back. Must
+    /// stay at or below the worker's queue capacity, or admission
+    /// control rejects the overflow.
+    pub window: usize,
+    /// Worker restarts tolerated per shard before the shard's remaining
+    /// items are marked failed.
+    pub max_restarts: usize,
+    /// A shard is a straggler after `straggler_factor ×` the median
+    /// completed-shard wall time (with a small absolute floor so tiny
+    /// corpora do not flag noise).
+    pub straggler_factor: u32,
+}
+
+impl Default for OrchestratorOptions {
+    fn default() -> OrchestratorOptions {
+        OrchestratorOptions {
+            workers: 2,
+            worker_cmd: Vec::new(),
+            window: 32,
+            max_restarts: 2,
+            straggler_factor: 4,
+        }
+    }
+}
+
+/// One shard's accounting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardReport {
+    /// Shard index (also the worker index).
+    pub shard: usize,
+    /// Items partitioned onto this shard.
+    pub assigned: usize,
+    /// Items with a report.
+    pub completed: usize,
+    /// Items that failed (analysis error, or worker restarts
+    /// exhausted).
+    pub failed: usize,
+    /// Worker processes respawned for this shard.
+    pub restarts: usize,
+    /// Shard wall time, milliseconds.
+    pub wall_ms: u64,
+}
+
+/// A finished [`vet`] run.
+#[derive(Debug, Default)]
+pub struct VetOutcome {
+    /// Per-input report strings (exact one-shot `--json` bytes), in
+    /// input order. `None` where that input failed.
+    pub reports: Vec<Option<String>>,
+    /// Per-input defect deltas (the daemon's `delta` payload), in input
+    /// order; `None` for first submissions and failures.
+    pub deltas: Vec<Option<Value>>,
+    /// `(input index, message)` for every failed input, sorted by
+    /// index.
+    pub errors: Vec<(usize, String)>,
+    /// Inputs whose analysis degraded (methods skipped).
+    pub degraded: usize,
+    /// Per-shard accounting, in shard order.
+    pub shards: Vec<ShardReport>,
+    /// Shard indices flagged as stragglers.
+    pub stragglers: Vec<usize>,
+}
+
+impl VetOutcome {
+    /// Inputs that produced a report.
+    pub fn completed(&self) -> usize {
+        self.reports.iter().flatten().count()
+    }
+}
+
+/// Which shard an input key belongs to: content hash of the key, not
+/// round-robin, so a re-vetting run with the same worker count routes
+/// every key to the same shard (and its warm worker-local state).
+pub fn shard_of(key: &str, workers: usize) -> usize {
+    (nck_dex::wire::fnv1a(key.as_bytes()) as usize) % workers.max(1)
+}
+
+/// Pure straggler rule, factored out for testing: given completed
+/// shard wall times and a still-running shard's elapsed time, is the
+/// runner a straggler? Needs a majority of shards finished to have a
+/// meaningful median, and floors the threshold at 50ms so micro-corpora
+/// never flag.
+pub fn is_straggler(
+    completed_walls: &[Duration],
+    elapsed: Duration,
+    factor: u32,
+    total: usize,
+) -> bool {
+    if completed_walls.len() * 2 < total {
+        return false;
+    }
+    let mut walls = completed_walls.to_vec();
+    walls.sort();
+    let median = walls[walls.len() / 2];
+    let threshold = (median * factor.max(1)).max(Duration::from_millis(50));
+    elapsed > threshold
+}
+
+/// One worker process and its wire-protocol plumbing.
+struct Worker {
+    child: Child,
+    stdin: BufWriter<std::process::ChildStdin>,
+    stdout: BufReader<std::process::ChildStdout>,
+}
+
+impl Worker {
+    fn spawn(cmd: &[String]) -> std::io::Result<Worker> {
+        let (argv0, rest) = cmd.split_first().ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidInput, "empty worker command")
+        })?;
+        let mut child = Command::new(argv0)
+            .args(rest)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()?;
+        let stdin = child.stdin.take().expect("piped stdin");
+        let stdout = child.stdout.take().expect("piped stdout");
+        Ok(Worker {
+            child,
+            stdin: BufWriter::new(stdin),
+            stdout: BufReader::new(stdout),
+        })
+    }
+
+    /// One request/reply round trip. The daemon replies serially in
+    /// request order, so pipelined callers read replies in send order.
+    fn send(&mut self, req: &Value) -> std::io::Result<()> {
+        let line = serde_json::to_string(req).expect("request serializes");
+        self.stdin.write_all(line.as_bytes())?;
+        self.stdin.write_all(b"\n")?;
+        self.stdin.flush()
+    }
+
+    fn recv(&mut self) -> std::io::Result<Value> {
+        let mut line = String::new();
+        let n = self.stdout.read_line(&mut line)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "worker closed its stdout",
+            ));
+        }
+        serde_json::from_str(&line).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("malformed worker reply: {e}"),
+            )
+        })
+    }
+
+    fn rpc(&mut self, req: &Value) -> std::io::Result<Value> {
+        self.send(req)?;
+        self.recv()
+    }
+
+    /// Graceful stop: `shutdown` verb, then reap. Kill as the fallback
+    /// so a wedged worker cannot hang the orchestrator.
+    fn shutdown(mut self) {
+        let _ = self.rpc(&serde_json::json!({"verb": "shutdown"}));
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            match self.child.try_wait() {
+                Ok(Some(_)) => return,
+                Ok(None) if Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(10))
+                }
+                _ => break,
+            }
+        }
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+
+    fn kill(mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// What one input ended as, inside a shard.
+enum ItemResult {
+    Done {
+        report: String,
+        delta: Option<Value>,
+        degraded: bool,
+    },
+    Failed(String),
+}
+
+/// Runs one shard: submits its items through a worker process in
+/// pipelined chunks, restarting the worker (and resubmitting the
+/// chunk's unfinished items) on death.
+fn run_shard(
+    cmd: &[String],
+    window: usize,
+    max_restarts: usize,
+    items: &[(usize, String)],
+) -> (BTreeMap<usize, ItemResult>, usize) {
+    let mut results: BTreeMap<usize, ItemResult> = BTreeMap::new();
+    let mut restarts = 0usize;
+    let mut worker = match Worker::spawn(cmd) {
+        Ok(w) => Some(w),
+        Err(e) => {
+            for (idx, _) in items {
+                results.insert(
+                    *idx,
+                    ItemResult::Failed(format!("worker spawn failed: {e}")),
+                );
+            }
+            return (results, restarts);
+        }
+    };
+
+    let window = window.max(1);
+    let mut chunk_start = 0usize;
+    while chunk_start < items.len() {
+        let chunk: Vec<&(usize, String)> = items[chunk_start..]
+            .iter()
+            .filter(|(idx, _)| !results.contains_key(idx))
+            .take(window)
+            .collect();
+        if chunk.is_empty() {
+            chunk_start = items.len();
+            continue;
+        }
+        let w = worker.as_mut().expect("live worker");
+        match run_chunk(w, &chunk, &mut results) {
+            Ok(()) => {
+                // Everything in the chunk resolved (done or failed);
+                // advance past every leading resolved item.
+                while chunk_start < items.len() && results.contains_key(&items[chunk_start].0) {
+                    chunk_start += 1;
+                }
+            }
+            Err(e) => {
+                // Worker I/O died mid-chunk. Kill, maybe respawn, and
+                // retry the chunk's unfinished items — finished ones
+                // keep their results, and re-analysis of items the dead
+                // worker had completed hits the shared disk cache.
+                worker.take().expect("live worker").kill();
+                if restarts >= max_restarts {
+                    for (idx, _) in items {
+                        results.entry(*idx).or_insert_with(|| {
+                            ItemResult::Failed(format!(
+                                "worker died ({e}); restart budget ({max_restarts}) exhausted"
+                            ))
+                        });
+                    }
+                    return (results, restarts);
+                }
+                restarts += 1;
+                match Worker::spawn(cmd) {
+                    Ok(w) => worker = Some(w),
+                    Err(spawn_err) => {
+                        for (idx, _) in items {
+                            results.entry(*idx).or_insert_with(|| {
+                                ItemResult::Failed(format!("worker respawn failed: {spawn_err}"))
+                            });
+                        }
+                        return (results, restarts);
+                    }
+                }
+            }
+        }
+    }
+    if let Some(w) = worker {
+        w.shutdown();
+    }
+    (results, restarts)
+}
+
+/// One pipelined chunk: submit everything, then resolve each id to a
+/// report. `Err` means the worker connection is unusable (caller
+/// restarts); per-item analysis failures are recorded and are *not*
+/// errors.
+fn run_chunk(
+    worker: &mut Worker,
+    chunk: &[&(usize, String)],
+    results: &mut BTreeMap<usize, ItemResult>,
+) -> std::io::Result<()> {
+    // Phase 1: pipelined submits (the daemon replies in request order).
+    for (_, path) in chunk {
+        worker.send(&serde_json::json!({"verb": "submit", "path": path}))?;
+    }
+    let mut job_ids: Vec<(usize, Option<u64>)> = Vec::with_capacity(chunk.len());
+    for (idx, path) in chunk {
+        let reply = worker.recv()?;
+        if reply["ok"].as_bool() == Some(true) {
+            job_ids.push((*idx, reply["id"].as_i64().map(|id| id as u64)));
+        } else {
+            // An admission reject is a protocol-level surprise (the
+            // window is sized to the queue) but not a dead worker.
+            results.insert(
+                *idx,
+                ItemResult::Failed(format!(
+                    "{path}: submit rejected: {}",
+                    reply["error"]["code"].as_str().unwrap_or("unknown")
+                )),
+            );
+            job_ids.push((*idx, None));
+        }
+    }
+
+    // Phase 2: fetch each report, polling not-ready jobs. The daemon
+    // drains in batches, so by the time the first report is ready the
+    // rest of the chunk usually is too.
+    for (idx, id) in job_ids {
+        let Some(id) = id else { continue };
+        loop {
+            let reply = worker.rpc(&serde_json::json!({"verb": "report", "id": id}))?;
+            if reply["ok"].as_bool() == Some(true) {
+                results.insert(
+                    idx,
+                    ItemResult::Done {
+                        report: reply["report"].as_str().unwrap_or("").to_owned(),
+                        delta: match &reply["delta"] {
+                            Value::Null => None,
+                            d => Some(d.clone()),
+                        },
+                        degraded: reply["degraded"].as_bool().unwrap_or(false),
+                    },
+                );
+                break;
+            }
+            match reply["error"]["code"].as_str() {
+                Some(code) if code == protocol::ErrorCode::NotReady.tag() => {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Some(code) => {
+                    results.insert(
+                        idx,
+                        ItemResult::Failed(format!(
+                            "{code}: {}",
+                            reply["error"]["message"]
+                                .as_str()
+                                .unwrap_or("analysis failed")
+                        )),
+                    );
+                    break;
+                }
+                None => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        "worker reply carries neither ok nor error",
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Vets `paths` across worker processes: partitions by key hash, runs
+/// every shard concurrently, and merges results back into input order.
+pub fn vet(options: &OrchestratorOptions, paths: &[String]) -> VetOutcome {
+    let workers = options.workers.max(1);
+    let mut partitions: Vec<Vec<(usize, String)>> = vec![Vec::new(); workers];
+    for (idx, path) in paths.iter().enumerate() {
+        partitions[shard_of(path, workers)].push((idx, path.clone()));
+    }
+
+    let mut outcome = VetOutcome {
+        reports: (0..paths.len()).map(|_| None).collect(),
+        deltas: (0..paths.len()).map(|_| None).collect(),
+        ..VetOutcome::default()
+    };
+
+    let started = Instant::now();
+    let shard_walls: Vec<std::sync::Mutex<Option<Duration>>> =
+        (0..workers).map(|_| std::sync::Mutex::new(None)).collect();
+    let mut shard_results: Vec<Option<(BTreeMap<usize, ItemResult>, usize)>> =
+        (0..workers).map(|_| None).collect();
+    let mut stragglers: Vec<usize> = Vec::new();
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = partitions
+            .iter()
+            .enumerate()
+            .map(|(shard, items)| {
+                let walls = &shard_walls;
+                let opts = options;
+                scope.spawn(move || {
+                    let t0 = Instant::now();
+                    let r = run_shard(&opts.worker_cmd, opts.window, opts.max_restarts, items);
+                    *walls[shard].lock().expect("wall slot") = Some(t0.elapsed());
+                    r
+                })
+            })
+            .collect();
+
+        // Straggler watch: poll until every shard finishes, flagging
+        // shards that outlive the completed median by the factor.
+        loop {
+            let walls: Vec<Duration> = shard_walls
+                .iter()
+                .filter_map(|w| *w.lock().expect("wall slot"))
+                .collect();
+            if walls.len() == workers {
+                break;
+            }
+            let elapsed = started.elapsed();
+            for (shard, slot) in shard_walls.iter().enumerate() {
+                if slot.lock().expect("wall slot").is_none()
+                    && !stragglers.contains(&shard)
+                    && is_straggler(&walls, elapsed, options.straggler_factor, workers)
+                {
+                    stragglers.push(shard);
+                }
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+
+        for (shard, handle) in handles.into_iter().enumerate() {
+            shard_results[shard] = Some(handle.join().unwrap_or_else(|_| {
+                let mut failed = BTreeMap::new();
+                for (idx, _) in &partitions[shard] {
+                    failed.insert(*idx, ItemResult::Failed("shard thread panicked".to_owned()));
+                }
+                (failed, 0)
+            }));
+        }
+    });
+
+    for (shard, slot) in shard_results.into_iter().enumerate() {
+        let (results, restarts) = slot.expect("joined shard");
+        let mut report = ShardReport {
+            shard,
+            assigned: partitions[shard].len(),
+            completed: 0,
+            failed: 0,
+            restarts,
+            wall_ms: shard_walls[shard]
+                .lock()
+                .expect("wall slot")
+                .map_or(0, |d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX)),
+        };
+        for (idx, result) in results {
+            match result {
+                ItemResult::Done {
+                    report: text,
+                    delta,
+                    degraded,
+                } => {
+                    report.completed += 1;
+                    outcome.degraded += usize::from(degraded);
+                    outcome.reports[idx] = Some(text);
+                    outcome.deltas[idx] = delta;
+                }
+                ItemResult::Failed(msg) => {
+                    report.failed += 1;
+                    outcome.errors.push((idx, msg));
+                }
+            }
+        }
+        outcome.shards.push(report);
+    }
+    outcome.errors.sort_by_key(|(idx, _)| *idx);
+    stragglers.sort_unstable();
+    outcome.stragglers = stragglers;
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_partition_is_stable_and_total() {
+        let keys = ["a.apk", "b.apk", "dir/c.apk", "dir/d.adx"];
+        for workers in 1..=4 {
+            for k in keys {
+                let s = shard_of(k, workers);
+                assert!(s < workers);
+                assert_eq!(s, shard_of(k, workers), "stable per key");
+            }
+        }
+        // Hash partitioning actually spreads keys (not all one shard).
+        let spread: std::collections::BTreeSet<usize> = (0..64)
+            .map(|i| shard_of(&format!("app{i:03}.apk"), 4))
+            .collect();
+        assert!(spread.len() > 1);
+    }
+
+    #[test]
+    fn straggler_rule_needs_a_median_and_a_margin() {
+        let ms = Duration::from_millis;
+        // Not enough finished shards: never a straggler.
+        assert!(!is_straggler(&[ms(10)], ms(10_000), 4, 4));
+        // Majority finished, runner just over the median: fine.
+        assert!(!is_straggler(&[ms(100), ms(120), ms(110)], ms(200), 4, 4));
+        // Runner far past factor × median: flagged.
+        assert!(is_straggler(&[ms(100), ms(120), ms(110)], ms(600), 4, 4));
+        // The 50ms floor: micro-shards never flag at micro-elapsed.
+        assert!(!is_straggler(&[ms(1), ms(1), ms(1)], ms(40), 4, 4));
+        assert!(is_straggler(&[ms(1), ms(1), ms(1)], ms(60), 4, 4));
+    }
+
+    #[test]
+    fn vet_with_an_unspawnable_worker_fails_every_input_cleanly() {
+        let options = OrchestratorOptions {
+            workers: 2,
+            worker_cmd: vec!["/nonexistent/bin/definitely-not-here".to_owned()],
+            ..OrchestratorOptions::default()
+        };
+        let paths = vec!["a.apk".to_owned(), "b.apk".to_owned(), "c.apk".to_owned()];
+        let out = vet(&options, &paths);
+        assert_eq!(out.completed(), 0);
+        assert_eq!(out.errors.len(), 3);
+        assert_eq!(out.reports, vec![None, None, None]);
+        assert_eq!(out.shards.len(), 2);
+        let assigned: usize = out.shards.iter().map(|s| s.assigned).sum();
+        let failed: usize = out.shards.iter().map(|s| s.failed).sum();
+        assert_eq!(assigned, 3);
+        assert_eq!(failed, 3);
+        assert!(out.errors.iter().all(|(_, m)| m.contains("spawn failed")));
+    }
+}

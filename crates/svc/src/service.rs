@@ -12,6 +12,7 @@
 //! entirely: their entries would record unknown behaviour as replayable
 //! truth.
 
+use crate::delta::{diff_reports, DeltaReport};
 use crate::pool::run_pool;
 use crate::store::AnalysisStore;
 use nchecker::cache::{config_fingerprint, ReuseStats};
@@ -26,6 +27,12 @@ pub struct AppOutcome {
     pub report: Result<AppReport, AnalyzeError>,
     /// Cache/reuse accounting for this app.
     pub reuse: ReuseStats,
+    /// The defect delta against the previous version of this key, when
+    /// the key was seen before (either cache tier) and the bundle
+    /// changed. `None` on first submission, identical resubmission
+    /// (whole-report reuse — nothing changed), failure, and degraded
+    /// runs (an incomplete report would produce phantom "fixes").
+    pub delta: Option<DeltaReport>,
 }
 
 /// Aggregate cache accounting for a batch.
@@ -87,6 +94,12 @@ pub struct ServiceOptions {
     pub cache_dir: Option<PathBuf>,
     /// Disable the cache entirely (lookups and writes).
     pub no_cache: bool,
+    /// Memory-tier byte budget override
+    /// (`None` = [`crate::store::DEFAULT_MEM_BYTES`]).
+    pub mem_budget: Option<usize>,
+    /// Disk-tier byte budget: when set, every batch ends with a
+    /// [`AnalysisStore::gc_disk`] pass down to this size.
+    pub cache_budget: Option<u64>,
 }
 
 /// The sharded batch-analysis service.
@@ -96,6 +109,7 @@ pub struct AnalysisService {
     store: AnalysisStore,
     jobs: Option<usize>,
     no_cache: bool,
+    cache_budget: Option<u64>,
 }
 
 impl AnalysisService {
@@ -104,9 +118,20 @@ impl AnalysisService {
     pub fn new(options: ServiceOptions, obs: Obs) -> AnalysisService {
         AnalysisService {
             config: options.config,
-            store: AnalysisStore::with_options(crate::store::DEFAULT_CAPACITY, options.cache_dir),
+            // The byte budget is the service's memory-tier cap; an
+            // entry-count cap on top would silently shrink the tier to
+            // 256 apps and push every hit beyond that to the disk tier
+            // (a ~100x slower lookup) long before memory is at risk.
+            store: AnalysisStore::with_budgets(
+                usize::MAX,
+                options
+                    .mem_budget
+                    .unwrap_or(crate::store::DEFAULT_MEM_BYTES),
+                options.cache_dir,
+            ),
             jobs: options.jobs,
             no_cache: options.no_cache,
+            cache_budget: options.cache_budget,
             obs,
         }
     }
@@ -135,7 +160,7 @@ impl AnalysisService {
                 self.analyze_with_checker(checker, key, bytes)
             },
         );
-        outcomes
+        let outcomes: Vec<AppOutcome> = outcomes
             .into_iter()
             .map(|slot| {
                 slot.unwrap_or_else(|| AppOutcome {
@@ -143,9 +168,16 @@ impl AnalysisService {
                         "worker died before writing a result".to_owned(),
                     )),
                     reuse: ReuseStats::default(),
+                    delta: None,
                 })
             })
-            .collect()
+            .collect();
+        // Auto-GC: a budgeted service never lets the disk tier grow
+        // unbounded across batches.
+        if let Some(budget) = self.cache_budget {
+            self.store.gc_disk(budget, &self.obs.fresh());
+        }
+        outcomes
     }
 
     /// Folds a batch's outcomes into aggregate cache stats.
@@ -173,26 +205,36 @@ impl AnalysisService {
             return AppOutcome {
                 report,
                 reuse: ReuseStats::default(),
+                delta: None,
             };
         }
 
         let prev = self.store.lookup(key, &svc_obs);
 
         // Disk tier: only consulted when the memory tier has nothing for
-        // this key (a memory entry subsumes its own disk twin).
+        // this key (a memory entry subsumes its own disk twin). An exact
+        // fingerprint match is a whole-report hit; a *stale* entry (same
+        // key, different bundle — a resubmitted version) becomes the
+        // delta base, so version diffs survive process restarts.
+        let mut disk_base: Option<(u64, AppReport)> = None;
         if prev.is_none() && self.store.has_disk() {
             let bundle_fp = nck_dex::wire::fnv1a(bytes);
             let config_fp = config_fingerprint(&self.config);
-            if let Some(report) = self.store.lookup_disk(key, bundle_fp, config_fp, &svc_obs) {
-                self.store.count_outcome(true, &svc_obs);
-                let reuse = ReuseStats {
-                    whole_report: true,
-                    ..ReuseStats::default()
-                };
-                return AppOutcome {
-                    report: Ok(self.stamp(report, &svc_obs)),
-                    reuse,
-                };
+            match self.store.lookup_disk_any(key, config_fp, &svc_obs) {
+                Some((stored_fp, report)) if stored_fp == bundle_fp => {
+                    self.store.count_outcome(true, &svc_obs);
+                    let reuse = ReuseStats {
+                        whole_report: true,
+                        ..ReuseStats::default()
+                    };
+                    return AppOutcome {
+                        report: Ok(self.stamp(report, &svc_obs)),
+                        reuse,
+                        delta: None,
+                    };
+                }
+                Some(stale) => disk_base = Some(stale),
+                None => {}
             }
         }
 
@@ -217,6 +259,35 @@ impl AnalysisService {
                     self.store
                         .count_replay(reuse.classes_reused as u64, &svc_obs);
                 }
+                // Defect delta: a known key whose bundle changed. The
+                // previous report comes from whichever tier held it; the
+                // fingerprints ride along from the cache entries — no
+                // hashing is spent on delta detection itself. Clean runs
+                // only (`entry` is `Some` exactly then): diffing against
+                // an incomplete report would invent fixes.
+                let delta = match (&entry, reuse.whole_report) {
+                    (Some(entry), false) => match (&prev, &disk_base) {
+                        (Some(p), _) => Some(diff_reports(
+                            key,
+                            p.bundle_fp,
+                            entry.bundle_fp,
+                            &p.report,
+                            &report,
+                        )),
+                        (None, Some((stored_fp, base))) => Some(diff_reports(
+                            key,
+                            *stored_fp,
+                            entry.bundle_fp,
+                            base,
+                            &report,
+                        )),
+                        (None, None) => None,
+                    },
+                    _ => None,
+                };
+                if delta.is_some() {
+                    self.store.count_delta(&svc_obs);
+                }
                 if let Some(entry) = entry {
                     debug_assert!(
                         !entry.report.degraded(),
@@ -227,6 +298,7 @@ impl AnalysisService {
                 AppOutcome {
                     report: Ok(self.stamp(report, &svc_obs)),
                     reuse,
+                    delta,
                 }
             }
             Err(e) => {
@@ -234,6 +306,7 @@ impl AnalysisService {
                 AppOutcome {
                     report: Err(e),
                     reuse: ReuseStats::default(),
+                    delta: None,
                 }
             }
         }

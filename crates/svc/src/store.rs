@@ -3,22 +3,34 @@
 //! Two tiers:
 //!
 //! - **Memory** — full [`AppCacheEntry`]s (replay seeds, `Arc`'d
-//!   dataflow artifacts, report) sharded by app key, LRU-evicted under a
-//!   capacity cap. Seeds embed interned symbol ids and shared pointers,
-//!   so this tier is process-local by construction.
+//!   dataflow artifacts, report) sharded by app key, LRU-evicted under
+//!   *both* an entry-count cap and an approximate byte budget (one batch
+//!   of huge apps must not blow past a memory target that a thousand
+//!   small apps respect). Seeds embed interned symbol ids and shared
+//!   pointers, so this tier is process-local by construction.
 //! - **Disk** (optional, under `--cache-dir`) — the durable subset: the
 //!   bundle and config fingerprints plus the report in the faithful
 //!   [`crate::wire`] format. A disk hit serves an *identical* bundle
-//!   across process restarts; a changed bundle misses and re-records.
+//!   across process restarts; a changed bundle misses and re-records —
+//!   but the stale entry is still *readable* ([`AnalysisStore::lookup_disk_any`]),
+//!   which is what lets a resubmitted app version produce a defect
+//!   delta even across process boundaries.
+//!
+//! The disk tier is garbage-collected by [`AnalysisStore::gc_disk`]:
+//! size-budgeted LRU eviction ordered by per-entry *atime sidecar*
+//! files (touched on every disk hit; entry mtime is the fallback stamp
+//! for entries never read back). Eviction is plain `unlink` against
+//! tmp+rename writers, so a concurrent reader sees a full entry or a
+//! miss — never a torn one. Quarantined `.quarantine` files are outside
+//! the cache namespace: GC neither counts them against the budget nor
+//! touches them.
 //!
 //! Every lookup runs under a `cache_lookup` span and bumps the
 //! `svc.cache.{hit,miss}` counters on the obs handle it is given;
-//! evictions bump `svc.cache.evict`. Corrupt disk files decode as
-//! misses, never errors — and are *quarantined* (renamed out of the
-//! cache namespace) so they are not re-read and re-rejected on every
-//! subsequent lookup. Stale entries (well-formed, but recorded for a
-//! different bundle or config) are left in place: the next insert
-//! overwrites them.
+//! evictions bump `svc.cache.evict`, GC bumps `svc.cache.gc_*`. Corrupt
+//! disk files decode as misses, never errors — and are *quarantined*
+//! (renamed out of the cache namespace) so they are not re-read and
+//! re-rejected on every subsequent lookup.
 //!
 //! Besides the per-app obs handle, the store owns a service-lifetime
 //! [`Metrics`] registry mirroring every `svc.cache.*` counter. Per-app
@@ -33,19 +45,27 @@ use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::SystemTime;
 
 const SHARDS: usize = 16;
 
 /// Default memory-tier capacity (entries across all shards).
 pub const DEFAULT_CAPACITY: usize = 256;
 
+/// Default memory-tier byte budget (approximate, across all shards).
+/// Generous enough that the entry-count cap binds first for typical
+/// corpora; the byte cap exists for the huge-app tail.
+pub const DEFAULT_MEM_BYTES: usize = 256 << 20;
+
 fn key_hash(key: &str) -> u64 {
     nck_dex::wire::fnv1a(key.as_bytes())
 }
 
 struct Shard {
-    // key -> (last-used tick, entry)
-    entries: HashMap<String, (u64, Arc<AppCacheEntry>)>,
+    // key -> (last-used tick, approx bytes, entry)
+    entries: HashMap<String, (u64, usize, Arc<AppCacheEntry>)>,
+    /// Sum of the approx-bytes column.
+    bytes: usize,
 }
 
 /// A sharded two-tier analysis cache, safe to hammer from the pool.
@@ -53,6 +73,7 @@ pub struct AnalysisStore {
     shards: Vec<Mutex<Shard>>,
     clock: AtomicU64,
     capacity: usize,
+    mem_budget: usize,
     disk: Option<PathBuf>,
     metrics: Metrics,
 }
@@ -63,19 +84,33 @@ impl AnalysisStore {
         AnalysisStore::with_options(DEFAULT_CAPACITY, None)
     }
 
-    /// A store with an explicit capacity and optional disk directory
-    /// (created on first write).
+    /// A store with an explicit entry capacity, the default byte
+    /// budget, and an optional disk directory (created on first write).
     pub fn with_options(capacity: usize, disk: Option<PathBuf>) -> AnalysisStore {
+        AnalysisStore::with_budgets(capacity, DEFAULT_MEM_BYTES, disk)
+    }
+
+    /// A store with explicit entry and byte caps on the memory tier.
+    /// Eviction triggers when *either* cap is exceeded; a shard always
+    /// retains at least its newest entry, so one entry larger than the
+    /// whole budget still caches (and evicts everything else).
+    pub fn with_budgets(
+        capacity: usize,
+        mem_budget: usize,
+        disk: Option<PathBuf>,
+    ) -> AnalysisStore {
         AnalysisStore {
             shards: (0..SHARDS)
                 .map(|_| {
                     Mutex::new(Shard {
                         entries: HashMap::new(),
+                        bytes: 0,
                     })
                 })
                 .collect(),
             clock: AtomicU64::new(0),
             capacity: capacity.max(1),
+            mem_budget: mem_budget.max(1),
             disk,
             metrics: Metrics::enabled(),
         }
@@ -115,19 +150,19 @@ impl AnalysisStore {
         let tick = self.tick();
         shard.entries.get_mut(key).map(|slot| {
             slot.0 = tick;
-            Arc::clone(&slot.1)
+            Arc::clone(&slot.2)
         })
     }
 
     /// Disk-tier lookup: returns the cached report only when both
     /// fingerprints match exactly.
     ///
-    /// A *stale* entry (well-formed, fingerprints moved) is a plain
-    /// miss and stays on disk for the next insert to overwrite. A
-    /// *corrupt* entry (unparseable, wrong wire schema, or a shape the
-    /// decoder rejects) is quarantined: left in place it would be
-    /// re-read and re-rejected on every lookup and permanently inflate
-    /// the disk occupancy stats.
+    /// A *stale* entry (well-formed, but recorded for a different
+    /// bundle) is a plain miss and stays on disk for the next insert to
+    /// overwrite. A *corrupt* entry (unparseable, wrong wire schema, or
+    /// a shape the decoder rejects) is quarantined: left in place it
+    /// would be re-read and re-rejected on every lookup and permanently
+    /// inflate the disk occupancy stats.
     pub fn lookup_disk(
         &self,
         key: &str,
@@ -135,13 +170,34 @@ impl AnalysisStore {
         config_fp: u64,
         obs: &Obs,
     ) -> Option<nchecker::AppReport> {
+        let (stored_fp, report) = self.lookup_disk_any(key, config_fp, obs)?;
+        (stored_fp == bundle_fp).then_some(report)
+    }
+
+    /// Disk-tier read *without* the bundle-fingerprint gate: returns
+    /// whatever well-formed entry exists for `(key, config_fp)`, along
+    /// with the bundle fingerprint it was recorded for. The caller
+    /// decides hit (fingerprints match) vs. *delta base* (they differ —
+    /// the entry's report describes the previous version of this app).
+    /// Corrupt entries quarantine exactly as in
+    /// [`AnalysisStore::lookup_disk`]. Reading touches the entry's
+    /// atime sidecar, which is what makes [`AnalysisStore::gc_disk`]'s
+    /// eviction order an LRU rather than FIFO.
+    pub fn lookup_disk_any(
+        &self,
+        key: &str,
+        config_fp: u64,
+        obs: &Obs,
+    ) -> Option<(u64, nchecker::AppReport)> {
         let dir = self.disk.as_deref()?;
         let _s = obs.tracer.span("cache_lookup_disk");
         let path = disk_path(dir, key, config_fp);
         let text = std::fs::read_to_string(&path).ok()?;
-        match decode_disk_entry(&text, bundle_fp, config_fp) {
-            DiskEntry::Hit(report) => Some(*report),
-            DiskEntry::Stale => None,
+        match decode_disk_entry(&text, config_fp) {
+            DiskEntry::Entry(stored_fp, report) => {
+                touch_atime(&path);
+                Some((stored_fp, *report))
+            }
             DiskEntry::Corrupt => {
                 self.quarantine(&path, obs);
                 None
@@ -151,11 +207,14 @@ impl AnalysisStore {
 
     /// Renames a corrupt cache file out of the cache namespace
     /// (`.json` → `.quarantine`, which [`scan_disk`] and lookups both
-    /// ignore), deleting it outright if even the rename fails.
+    /// ignore), deleting it outright if even the rename fails. The
+    /// atime sidecar goes with it — a quarantined entry must never be
+    /// charged against the GC budget again.
     fn quarantine(&self, path: &Path, obs: &Obs) {
         if std::fs::rename(path, path.with_extension("quarantine")).is_err() {
             let _ = std::fs::remove_file(path);
         }
+        let _ = std::fs::remove_file(path.with_extension("atime"));
         self.count("svc.cache.corrupt_evict", 1, obs);
         obs.events.warn(&format!(
             "cache: quarantined corrupt entry {}",
@@ -170,20 +229,30 @@ impl AnalysisStore {
         if let Some(dir) = self.disk.as_deref() {
             write_disk(dir, key, &entry, obs);
         }
+        let approx = entry.approx_bytes();
         let entry = Arc::new(entry);
         let tick = self.tick();
         let mut shard = lock(self.shard(key));
-        shard.entries.insert(key.to_owned(), (tick, entry));
-        // Per-shard share of the global capacity, at least 1.
+        if let Some((_, old_bytes, _)) = shard.entries.insert(key.to_owned(), (tick, approx, entry))
+        {
+            shard.bytes -= old_bytes;
+        }
+        shard.bytes += approx;
+        // Per-shard share of the global caps, at least 1 entry / 1 byte.
+        // Evicting down to (but never past) a single entry means an
+        // over-budget giant still caches.
         let cap = self.capacity.div_ceil(SHARDS);
-        while shard.entries.len() > cap {
+        let byte_cap = self.mem_budget.div_ceil(SHARDS);
+        while (shard.entries.len() > cap || shard.bytes > byte_cap) && shard.entries.len() > 1 {
             let oldest = shard
                 .entries
                 .iter()
-                .min_by_key(|(k, (t, _))| (*t, (*k).clone()))
+                .min_by_key(|(k, (t, _, _))| (*t, (*k).clone()))
                 .map(|(k, _)| k.clone())
                 .expect("non-empty shard");
-            shard.entries.remove(&oldest);
+            if let Some((_, bytes, _)) = shard.entries.remove(&oldest) {
+                shard.bytes -= bytes;
+            }
             self.count("svc.cache.evict", 1, obs);
         }
     }
@@ -211,6 +280,12 @@ impl AnalysisStore {
         self.count("svc.cache.replay_classes", classes, obs);
     }
 
+    /// Records one computed defect delta (a resubmission under a known
+    /// key whose bundle changed).
+    pub fn count_delta(&self, obs: &Obs) {
+        self.count("svc.cache.deltas", 1, obs);
+    }
+
     /// Number of memory-tier entries, across all shards.
     pub fn len(&self) -> usize {
         self.shards.iter().map(|s| lock(s).entries.len()).sum()
@@ -226,12 +301,21 @@ impl AnalysisStore {
         self.shards.iter().map(|s| lock(s).entries.len()).collect()
     }
 
+    /// Approximate memory-tier bytes, across all shards (the
+    /// [`AppCacheEntry::approx_bytes`] accounting the byte cap evicts
+    /// on).
+    pub fn mem_bytes(&self) -> usize {
+        self.shards.iter().map(|s| lock(s).bytes).sum()
+    }
+
     /// Records the memory tier's occupancy as point-in-time gauges:
-    /// `svc.cache.mem_entries` (total) and `svc.cache.mem_largest_shard`
+    /// `svc.cache.mem_entries` (total), `svc.cache.mem_bytes`
+    /// (approximate resident size), and `svc.cache.mem_largest_shard`
     /// (balance indicator).
     pub fn record_gauges(&self, metrics: &nck_obs::Metrics) {
         let sizes = self.mem_shard_sizes();
         metrics.gauge("svc.cache.mem_entries", sizes.iter().sum::<usize>() as i64);
+        metrics.gauge("svc.cache.mem_bytes", self.mem_bytes() as i64);
         metrics.gauge(
             "svc.cache.mem_largest_shard",
             sizes.iter().copied().max().unwrap_or(0) as i64,
@@ -242,6 +326,77 @@ impl AnalysisStore {
     /// configured or the directory does not exist yet.
     pub fn disk_stats(&self) -> DiskStats {
         self.disk.as_deref().map_or_else(DiskStats::new, scan_disk)
+    }
+
+    /// Garbage-collects the disk tier down to `budget` bytes of cache
+    /// entries, evicting least-recently-used first (atime sidecar,
+    /// falling back to the entry's own mtime for entries never read
+    /// back; ties break on file name so repeated runs evict
+    /// deterministically).
+    ///
+    /// Safe under concurrent readers and writers: eviction is a plain
+    /// `unlink`, and entries are written tmp+rename, so a reader racing
+    /// GC sees the full entry or a miss — never a torn file.
+    /// `.quarantine` and `.tmp` files are outside the cache namespace:
+    /// neither counted against the budget nor deleted.
+    ///
+    /// Counts `svc.cache.gc_runs`, `svc.cache.gc_evicted`, and
+    /// `svc.cache.gc_freed_bytes`. A no-op (no disk tier, or already
+    /// under budget) still counts the run.
+    pub fn gc_disk(&self, budget: u64, obs: &Obs) -> GcStats {
+        self.count("svc.cache.gc_runs", 1, obs);
+        let mut stats = GcStats::default();
+        let Some(dir) = self.disk.as_deref() else {
+            return stats;
+        };
+        let _s = obs.tracer.span("cache_gc");
+        let mut entries: Vec<(SystemTime, String, u64)> = Vec::new();
+        let Ok(dirents) = std::fs::read_dir(dir) else {
+            return stats;
+        };
+        for dirent in dirents.flatten() {
+            let name = dirent.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if !is_entry_name(name) {
+                continue;
+            }
+            let Ok(meta) = dirent.metadata() else {
+                continue;
+            };
+            let atime = std::fs::metadata(dir.join(name).with_extension("atime"))
+                .and_then(|m| m.modified())
+                .or_else(|_| meta.modified())
+                .unwrap_or(SystemTime::UNIX_EPOCH);
+            entries.push((atime, name.to_owned(), meta.len()));
+        }
+        stats.entries = entries.len() as u64;
+        stats.bytes = entries.iter().map(|(_, _, len)| len).sum();
+        if stats.bytes <= budget {
+            return stats;
+        }
+        entries.sort();
+        let mut live = stats.bytes;
+        for (_, name, len) in entries {
+            if live <= budget {
+                break;
+            }
+            let path = dir.join(&name);
+            if std::fs::remove_file(&path).is_ok() {
+                let _ = std::fs::remove_file(path.with_extension("atime"));
+                live -= len;
+                stats.evicted += 1;
+                stats.freed_bytes += len;
+            }
+        }
+        self.count("svc.cache.gc_evicted", stats.evicted, obs);
+        self.count("svc.cache.gc_freed_bytes", stats.freed_bytes, obs);
+        if stats.evicted > 0 {
+            obs.events.info(&format!(
+                "cache-gc: evicted {} of {} entries ({} bytes freed)",
+                stats.evicted, stats.entries, stats.freed_bytes
+            ));
+        }
+        stats
     }
 
     /// Best-effort flush of the disk tier: fsyncs the cache directory.
@@ -257,13 +412,34 @@ impl AnalysisStore {
     }
 }
 
+/// One [`AnalysisStore::gc_disk`] run's accounting.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GcStats {
+    /// Cache entries found by the scan (before eviction).
+    pub entries: u64,
+    /// Their total bytes (before eviction).
+    pub bytes: u64,
+    /// Entries evicted this run.
+    pub evicted: u64,
+    /// Bytes those evictions freed.
+    pub freed_bytes: u64,
+}
+
+impl GcStats {
+    /// Bytes still held by cache entries after the run.
+    pub fn live_bytes(&self) -> u64 {
+        self.bytes - self.freed_bytes
+    }
+}
+
 enum DiskEntry {
-    Hit(Box<nchecker::AppReport>),
-    Stale,
+    /// A well-formed entry: the bundle fingerprint it was recorded for,
+    /// plus its report.
+    Entry(u64, Box<nchecker::AppReport>),
     Corrupt,
 }
 
-fn decode_disk_entry(text: &str, bundle_fp: u64, config_fp: u64) -> DiskEntry {
+fn decode_disk_entry(text: &str, config_fp: u64) -> DiskEntry {
     let Ok(v) = serde_json::from_str(text) else {
         return DiskEntry::Corrupt;
     };
@@ -275,11 +451,13 @@ fn decode_disk_entry(text: &str, bundle_fp: u64, config_fp: u64) -> DiskEntry {
     let Some((stored_bundle, stored_config)) = fps else {
         return DiskEntry::Corrupt;
     };
-    if stored_bundle != bundle_fp || stored_config != config_fp {
-        return DiskEntry::Stale;
+    if stored_config != config_fp {
+        // The file name encodes the config fingerprint, so a mismatch
+        // inside means the payload does not belong to its name.
+        return DiskEntry::Corrupt;
     }
     match v.get("report").and_then(crate::wire::report_from_wire) {
-        Some(report) => DiskEntry::Hit(Box::new(report)),
+        Some(report) => DiskEntry::Entry(stored_bundle, Box::new(report)),
         None => DiskEntry::Corrupt,
     }
 }
@@ -307,9 +485,26 @@ impl DiskStats {
     }
 }
 
+/// Whether `name` is a well-formed cache entry file name
+/// (`{key_hash:016x}-{config_fp:016x}.json`). `.tmp` leftovers,
+/// `.atime` sidecars, and `.quarantine`d corrupt entries all fail this.
+fn is_entry_name(name: &str) -> bool {
+    let Some(stem) = name.strip_suffix(".json") else {
+        return false;
+    };
+    let mut parts = stem.splitn(2, '-');
+    let (Some(key_hex), Some(cfg_hex)) = (parts.next(), parts.next()) else {
+        return false;
+    };
+    key_hex.len() == 16
+        && cfg_hex.len() == 16
+        && u64::from_str_radix(key_hex, 16).is_ok()
+        && u64::from_str_radix(cfg_hex, 16).is_ok()
+}
+
 /// Scans `dir` for cache entries. Files that are not well-formed cache
-/// names (`{key_hash:016x}-{config_fp:016x}.json`) — including `.tmp`
-/// leftovers and `.quarantine`d corrupt entries — are ignored.
+/// names — including `.tmp` leftovers, `.atime` sidecars, and
+/// `.quarantine`d corrupt entries — are ignored.
 fn scan_disk(dir: &Path) -> DiskStats {
     let mut stats = DiskStats::new();
     let Ok(entries) = std::fs::read_dir(dir) else {
@@ -318,22 +513,10 @@ fn scan_disk(dir: &Path) -> DiskStats {
     for entry in entries.flatten() {
         let name = entry.file_name();
         let Some(name) = name.to_str() else { continue };
-        let Some(stem) = name.strip_suffix(".json") else {
-            continue;
-        };
-        let mut parts = stem.splitn(2, '-');
-        let (Some(key_hex), Some(cfg_hex)) = (parts.next(), parts.next()) else {
-            continue;
-        };
-        if key_hex.len() != 16 || cfg_hex.len() != 16 {
+        if !is_entry_name(name) {
             continue;
         }
-        let Ok(key_hash) = u64::from_str_radix(key_hex, 16) else {
-            continue;
-        };
-        if u64::from_str_radix(cfg_hex, 16).is_err() {
-            continue;
-        }
+        let key_hash = u64::from_str_radix(&name[..16], 16).expect("validated hex");
         stats.entries += 1;
         stats.shards[(key_hash as usize) % SHARDS] += 1;
         if let Ok(meta) = entry.metadata() {
@@ -358,6 +541,14 @@ fn lock(m: &Mutex<Shard>) -> std::sync::MutexGuard<'_, Shard> {
 /// cache directory.
 fn disk_path(dir: &Path, key: &str, config_fp: u64) -> PathBuf {
     dir.join(format!("{:016x}-{config_fp:016x}.json", key_hash(key)))
+}
+
+/// Refreshes the entry's atime sidecar (best-effort; GC falls back to
+/// the entry's mtime when the sidecar is missing). A sidecar rather
+/// than the entry's own mtime keeps "read" and "rewritten" distinct,
+/// and spares filesystems mounted `noatime` from lying to the GC.
+fn touch_atime(entry_path: &Path) {
+    let _ = std::fs::write(entry_path.with_extension("atime"), b"");
 }
 
 fn write_disk(dir: &Path, key: &str, entry: &AppCacheEntry, obs: &Obs) {
@@ -406,6 +597,16 @@ mod tests {
         }
     }
 
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "nck-svc-store-{tag}-{}-{}",
+            std::process::id(),
+            key_hash(tag)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
     #[test]
     fn lookup_returns_what_insert_stored() {
         let store = AnalysisStore::new();
@@ -449,13 +650,76 @@ mod tests {
     }
 
     #[test]
+    fn byte_budget_evicts_before_the_entry_cap() {
+        // Entry cap is generous; the byte budget is what binds. Entries
+        // with many class fingerprints are charged more.
+        let big = |fp: u64, package: &str| {
+            let mut e = entry(fp, package);
+            e.class_fps = vec![0; 1000]; // ~384 KB of charged bytes
+            e
+        };
+        let budget = big(0, "probe").approx_bytes() * SHARDS * 2;
+        let store = AnalysisStore::with_budgets(1_000_000, budget, None);
+        let obs = Obs::enabled();
+        // Find three keys in one shard: per-shard byte cap fits ~2 big
+        // entries, so the third insert evicts the least recently used.
+        let mut keys = Vec::new();
+        for i in 0..400 {
+            let cand = format!("app.b{i}");
+            if (key_hash(&cand) as usize).is_multiple_of(SHARDS) {
+                keys.push(cand);
+                if keys.len() == 3 {
+                    break;
+                }
+            }
+        }
+        assert_eq!(keys.len(), 3, "three same-shard keys exist");
+        for (i, k) in keys.iter().enumerate() {
+            store.insert(k, big(i as u64, k), &obs);
+        }
+        assert!(
+            store.lookup(&keys[0], &obs).is_none(),
+            "oldest evicted by byte pressure"
+        );
+        assert!(store.lookup(&keys[2], &obs).is_some());
+        assert!(
+            obs.metrics.snapshot().counters["svc.cache.evict"] >= 1,
+            "byte eviction counted"
+        );
+        // Accounting matches what is resident.
+        assert!(store.mem_bytes() <= budget.div_ceil(SHARDS) * SHARDS);
+    }
+
+    #[test]
+    fn reinserting_a_key_replaces_its_byte_charge() {
+        let store = AnalysisStore::new();
+        let obs = Obs::disabled();
+        let mut fat = entry(1, "app.r");
+        fat.class_fps = vec![0; 1000];
+        let fat_bytes = fat.approx_bytes();
+        store.insert("app.r", fat, &obs);
+        assert_eq!(store.mem_bytes(), fat_bytes);
+        let lean = entry(2, "app.r");
+        let lean_bytes = lean.approx_bytes();
+        store.insert("app.r", lean, &obs);
+        assert_eq!(store.mem_bytes(), lean_bytes, "old charge released");
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn an_oversized_entry_still_caches() {
+        // One entry bigger than the whole budget: everything else
+        // evicts, the newcomer stays.
+        let store = AnalysisStore::with_budgets(16, 1, None);
+        let obs = Obs::enabled();
+        store.insert("app.huge", entry(1, "app.huge"), &obs);
+        assert!(store.lookup("app.huge", &obs).is_some());
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
     fn disk_tier_roundtrips_and_rejects_stale_fingerprints() {
-        let dir = std::env::temp_dir().join(format!(
-            "nck-svc-store-test-{}-{}",
-            std::process::id(),
-            key_hash("disk_tier_roundtrips")
-        ));
-        let _ = std::fs::remove_dir_all(&dir);
+        let dir = tmpdir("roundtrip");
         let store = AnalysisStore::with_options(8, Some(dir.clone()));
         let obs = Obs::disabled();
         store.insert("app.d", entry(7, "app.d"), &obs);
@@ -476,13 +740,24 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_disk_entry_is_quarantined_and_not_reread() {
-        let dir = std::env::temp_dir().join(format!(
-            "nck-svc-corrupt-test-{}-{}",
-            std::process::id(),
-            key_hash("corrupt_evict")
-        ));
+    fn lookup_disk_any_recovers_the_stale_entry_for_deltas() {
+        let dir = tmpdir("staleany");
+        let store = AnalysisStore::with_options(8, Some(dir.clone()));
+        let obs = Obs::disabled();
+        store.insert("app.v", entry(7, "app.v"), &obs);
+        // The strict lookup under the *new* bundle misses...
+        assert!(store.lookup_disk("app.v", 8, 42, &obs).is_none());
+        // ...but the any-lookup recovers the previous version's report
+        // and says which bundle it belonged to.
+        let (stored_fp, report) = store.lookup_disk_any("app.v", 42, &obs).unwrap();
+        assert_eq!(stored_fp, 7);
+        assert_eq!(report.stats.package, "app.v");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_disk_entry_is_quarantined_and_not_reread() {
+        let dir = tmpdir("corrupt");
         let store = AnalysisStore::with_options(8, Some(dir.clone()));
         let obs = Obs::enabled();
         store.insert("app.q", entry(9, "app.q"), &obs);
@@ -523,12 +798,7 @@ mod tests {
 
     #[test]
     fn wrong_wire_schema_is_corrupt_but_stale_fingerprints_are_not() {
-        let dir = std::env::temp_dir().join(format!(
-            "nck-svc-stale-test-{}-{}",
-            std::process::id(),
-            key_hash("stale_vs_corrupt")
-        ));
-        let _ = std::fs::remove_dir_all(&dir);
+        let dir = tmpdir("staleschema");
         let store = AnalysisStore::with_options(8, Some(dir.clone()));
         let obs = Obs::enabled();
         store.insert("app.s", entry(5, "app.s"), &obs);
@@ -562,6 +832,71 @@ mod tests {
     }
 
     #[test]
+    fn gc_evicts_least_recently_used_down_to_budget() {
+        let dir = tmpdir("gc");
+        let store = AnalysisStore::with_options(8, Some(dir.clone()));
+        let obs = Obs::enabled();
+        for (i, key) in ["app.old", "app.mid", "app.new"].iter().enumerate() {
+            store.insert(key, entry(i as u64, key), &obs);
+        }
+        // Deterministic recency: give old/mid/new strictly increasing
+        // atime stamps via explicit sidecar mtimes (filesystem clocks
+        // are too coarse to rely on insert order).
+        for (age, key) in ["app.old", "app.mid", "app.new"].iter().enumerate() {
+            let sidecar = disk_path(&dir, key, 42).with_extension("atime");
+            std::fs::write(&sidecar, b"").unwrap();
+            let stamp = std::time::SystemTime::UNIX_EPOCH
+                + std::time::Duration::from_secs(1_000_000 + age as u64 * 100);
+            let f = std::fs::File::options().write(true).open(&sidecar).unwrap();
+            f.set_modified(stamp).unwrap();
+        }
+        let one_entry = std::fs::metadata(disk_path(&dir, "app.old", 42))
+            .unwrap()
+            .len();
+        // Budget for roughly two entries: the oldest goes.
+        let stats = store.gc_disk(one_entry * 2 + one_entry / 2, &obs);
+        assert_eq!(stats.entries, 3);
+        assert_eq!(stats.evicted, 1);
+        assert!(stats.freed_bytes > 0);
+        assert!(!disk_path(&dir, "app.old", 42).exists(), "LRU evicted");
+        assert!(disk_path(&dir, "app.new", 42).exists());
+        assert!(
+            !disk_path(&dir, "app.old", 42)
+                .with_extension("atime")
+                .exists(),
+            "sidecar evicted with its entry"
+        );
+        let snap = store.metrics().snapshot();
+        assert_eq!(snap.counters["svc.cache.gc_runs"], 1);
+        assert_eq!(snap.counters["svc.cache.gc_evicted"], 1);
+        assert!(snap.counters["svc.cache.gc_freed_bytes"] > 0);
+        // Under budget: a run is counted, nothing is evicted.
+        let stats = store.gc_disk(u64::MAX, &obs);
+        assert_eq!(stats.evicted, 0);
+        assert_eq!(stats.entries, 2);
+        assert_eq!(store.metrics().snapshot().counters["svc.cache.gc_runs"], 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disk_reads_touch_the_atime_sidecar() {
+        let dir = tmpdir("atime");
+        let store = AnalysisStore::with_options(8, Some(dir.clone()));
+        let obs = Obs::disabled();
+        store.insert("app.t", entry(3, "app.t"), &obs);
+        let sidecar = disk_path(&dir, "app.t", 42).with_extension("atime");
+        assert!(!sidecar.exists(), "no sidecar until the entry is read");
+        assert!(store.lookup_disk("app.t", 3, 42, &obs).is_some());
+        assert!(sidecar.exists(), "hit touched the sidecar");
+        assert_eq!(
+            store.disk_stats().entries,
+            1,
+            "sidecars are not cache entries"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn replay_counters_land_on_both_registries() {
         let store = AnalysisStore::new();
         let obs = Obs::enabled();
@@ -574,12 +909,7 @@ mod tests {
 
     #[test]
     fn disk_stats_count_entries_bytes_and_shards() {
-        let dir = std::env::temp_dir().join(format!(
-            "nck-svc-diskstats-test-{}-{}",
-            std::process::id(),
-            key_hash("disk_stats")
-        ));
-        let _ = std::fs::remove_dir_all(&dir);
+        let dir = tmpdir("diskstats");
         let store = AnalysisStore::with_options(8, Some(dir.clone()));
         let obs = Obs::disabled();
         assert_eq!(store.disk_stats(), DiskStats::new(), "missing dir is empty");
@@ -610,6 +940,11 @@ mod tests {
         let snap = obs.metrics.snapshot();
         assert_eq!(snap.gauges["svc.cache.mem_entries"].value, 2);
         assert!(snap.gauges["svc.cache.mem_largest_shard"].value >= 1);
+        assert_eq!(
+            snap.gauges["svc.cache.mem_bytes"].value,
+            store.mem_bytes() as i64
+        );
+        assert!(snap.gauges["svc.cache.mem_bytes"].value > 0);
     }
 
     #[test]

@@ -9,6 +9,13 @@
 //! The returned key is the file path, which is exactly what makes a
 //! re-submitted bundle land on the incremental ladder: same key, new
 //! bytes → class-prefix replay (rung 2) instead of a cold run.
+//!
+//! Deletion is a first-class event: a bundle that vanishes between
+//! polls is dropped from the watcher's signature map and reported in
+//! [`Poll::removed`], so the daemon can retire its state. Without this,
+//! a delete-then-recreate of *identical bytes* would be silently
+//! swallowed (the old signature still matches) and long-running watch
+//! sessions would leak one map entry per deleted file.
 
 use std::collections::BTreeMap;
 use std::io;
@@ -23,6 +30,16 @@ struct FileSig {
     mtime: Option<SystemTime>,
     len: u64,
     content_fp: u64,
+}
+
+/// One [`Watcher::poll`]'s worth of events.
+#[derive(Debug, Default)]
+pub struct Poll {
+    /// `(key, bytes)` for every new or content-changed bundle, sorted
+    /// by path.
+    pub changed: Vec<(String, Vec<u8>)>,
+    /// Keys of previously seen bundles whose file is gone, sorted.
+    pub removed: Vec<String>,
 }
 
 /// A polling directory watcher over app bundles.
@@ -47,10 +64,10 @@ impl Watcher {
         &self.dir
     }
 
-    /// Scans once; returns `(key, bytes)` for every new or
-    /// content-changed bundle, in sorted path order. Files that vanish
-    /// mid-scan are skipped, not errors.
-    pub fn poll(&mut self) -> io::Result<Vec<(String, Vec<u8>)>> {
+    /// Scans once; reports content changes and deletions. Files that
+    /// vanish mid-scan are skipped this round (they surface as
+    /// [`Poll::removed`] on the next one), not errors.
+    pub fn poll(&mut self) -> io::Result<Poll> {
         let mut paths: Vec<PathBuf> = std::fs::read_dir(&self.dir)?
             .filter_map(|entry| {
                 let path = entry.ok()?.path();
@@ -60,7 +77,22 @@ impl Watcher {
             .collect();
         paths.sort();
 
-        let mut changed = Vec::new();
+        let mut out = Poll::default();
+
+        // Retire signatures of files the scan no longer sees. `seen` and
+        // `paths` are both sorted, so the difference is one merge walk.
+        let present: std::collections::BTreeSet<&PathBuf> = paths.iter().collect();
+        let gone: Vec<PathBuf> = self
+            .seen
+            .keys()
+            .filter(|p| !present.contains(p))
+            .cloned()
+            .collect();
+        for path in gone {
+            self.seen.remove(&path);
+            out.removed.push(path.to_string_lossy().into_owned());
+        }
+
         for path in paths {
             let Ok(meta) = std::fs::metadata(&path) else {
                 continue;
@@ -91,10 +123,11 @@ impl Watcher {
                 },
             );
             if !same_content {
-                changed.push((path.to_string_lossy().into_owned(), bytes));
+                out.changed
+                    .push((path.to_string_lossy().into_owned(), bytes));
             }
         }
-        Ok(changed)
+        Ok(out)
     }
 }
 
@@ -120,8 +153,8 @@ mod tests {
         std::fs::write(dir.join("a.adx"), b"aaa").unwrap();
         std::fs::write(dir.join("ignore.txt"), b"no").unwrap();
         let mut w = Watcher::new(&dir);
-        let changed = w.poll().unwrap();
-        let keys: Vec<&str> = changed.iter().map(|(k, _)| k.as_str()).collect();
+        let poll = w.poll().unwrap();
+        let keys: Vec<&str> = poll.changed.iter().map(|(k, _)| k.as_str()).collect();
         assert_eq!(
             keys,
             vec![
@@ -129,8 +162,11 @@ mod tests {
                 dir.join("b.apk").to_str().unwrap(),
             ]
         );
+        assert!(poll.removed.is_empty());
         // Steady state: nothing changed, nothing reported.
-        assert!(w.poll().unwrap().is_empty());
+        let poll = w.poll().unwrap();
+        assert!(poll.changed.is_empty());
+        assert!(poll.removed.is_empty());
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -140,15 +176,40 @@ mod tests {
         let file = dir.join("app.apk");
         std::fs::write(&file, b"same bytes").unwrap();
         let mut w = Watcher::new(&dir);
-        assert_eq!(w.poll().unwrap().len(), 1);
+        assert_eq!(w.poll().unwrap().changed.len(), 1);
         // Rewrite identical bytes: mtime moves, content does not.
         std::fs::write(&file, b"same bytes").unwrap();
-        assert!(w.poll().unwrap().is_empty());
+        assert!(w.poll().unwrap().changed.is_empty());
         // A real edit is reported.
         std::fs::write(&file, b"new bytes!").unwrap();
-        let changed = w.poll().unwrap();
-        assert_eq!(changed.len(), 1);
-        assert_eq!(changed[0].1, b"new bytes!");
+        let poll = w.poll().unwrap();
+        assert_eq!(poll.changed.len(), 1);
+        assert_eq!(poll.changed[0].1, b"new bytes!");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn deleted_files_are_retired_not_leaked() {
+        let dir = tmpdir("retire");
+        let file = dir.join("app.apk");
+        std::fs::write(&file, b"v1 bytes").unwrap();
+        let mut w = Watcher::new(&dir);
+        assert_eq!(w.poll().unwrap().changed.len(), 1);
+
+        std::fs::remove_file(&file).unwrap();
+        let poll = w.poll().unwrap();
+        assert!(poll.changed.is_empty());
+        assert_eq!(poll.removed, vec![file.to_string_lossy().into_owned()]);
+        assert!(w.seen.is_empty(), "signature map must not leak");
+        // Removal is reported once, not every poll.
+        assert!(w.poll().unwrap().removed.is_empty());
+
+        // Recreating the file with the *same* bytes is a fresh arrival —
+        // before retirement this was swallowed by the stale signature.
+        std::fs::write(&file, b"v1 bytes").unwrap();
+        let poll = w.poll().unwrap();
+        assert_eq!(poll.changed.len(), 1, "recreated file must re-analyze");
+        assert_eq!(poll.changed[0].1, b"v1 bytes");
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

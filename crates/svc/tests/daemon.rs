@@ -382,7 +382,7 @@ fn watch_resubmission_hits_the_replay_rung() {
     let daemon = default_daemon();
     let mut watcher = Watcher::new(&dir);
     let submit_changed = |watcher: &mut Watcher| {
-        let changed = watcher.poll().unwrap();
+        let changed = watcher.poll().unwrap().changed;
         let n = changed.len();
         for (key, bytes) in changed {
             daemon.submit_bytes(key, bytes).unwrap();
@@ -491,4 +491,64 @@ fn stdio_binary_round_trip_matches_one_shot_json() {
     let status = child.wait().expect("daemon exits");
     assert!(status.success(), "clean shutdown exits 0");
     std::fs::remove_file(&app).ok();
+}
+
+/// Retiring a key (the watch loop's response to a deleted bundle)
+/// drops its finished jobs, surfaces in the queue counters, and makes
+/// a later `report` a clean not-found.
+#[test]
+fn retiring_a_key_drops_its_jobs_and_counts() {
+    let daemon = default_daemon();
+    let spec = profile::corpus(23).into_iter().next().expect("corpus app");
+    let bytes = generate_with_bulk(&spec, 4).to_bytes();
+    let (id, _) = daemon
+        .submit_bytes("watched.apk".to_owned(), bytes.clone())
+        .unwrap();
+    daemon.drain_now();
+    let v = parse(&request(
+        &daemon,
+        &format!(r#"{{"verb": "report", "id": {id}}}"#),
+    ));
+    assert_eq!(v["ok"], true);
+
+    // Resubmitting the same key after churn attaches a delta to the
+    // report reply; the first report carried null.
+    assert_eq!(v["delta"], Value::Null, "first submission: no delta");
+    let evolved = evolve(&spec, 0.10, 5);
+    let (id2, _) = daemon
+        .submit_bytes(
+            "watched.apk".to_owned(),
+            generate_with_bulk(&evolved.spec, 4).to_bytes(),
+        )
+        .unwrap();
+    daemon.drain_now();
+    let v = parse(&request(
+        &daemon,
+        &format!(r#"{{"verb": "report", "id": {id2}}}"#),
+    ));
+    assert_eq!(v["ok"], true);
+    assert_eq!(v["delta"]["t"], "delta", "churned resubmit carries a delta");
+
+    assert_eq!(daemon.retire_key("watched.apk"), 2, "both jobs dropped");
+    for id in [id, id2] {
+        let v = parse(&request(
+            &daemon,
+            &format!(r#"{{"verb": "report", "id": {id}}}"#),
+        ));
+        assert_eq!(error_code(&v), "not-found");
+    }
+    let st = parse(&request(&daemon, r#"{"verb": "status"}"#));
+    assert_eq!(st["retired"].as_i64(), Some(1), "{st:?}");
+    assert_eq!(
+        daemon
+            .metrics()
+            .snapshot()
+            .counters
+            .get("svc.watch.retired")
+            .copied(),
+        Some(1)
+    );
+
+    // Retiring an unknown key is a no-op, not an error.
+    assert_eq!(daemon.retire_key("never-seen.apk"), 0);
 }

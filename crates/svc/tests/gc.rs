@@ -1,0 +1,174 @@
+//! Disk-cache GC correctness: quarantined entries stay dead, eviction
+//! under concurrent readers is full-or-miss, and a post-GC warm run
+//! reproduces the cold run byte for byte.
+
+use nck_appgen::CorpusStream;
+use nck_obs::Obs;
+use nck_svc::{AnalysisService, AnalysisStore, ServiceOptions};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("nck-gc-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn service(cache_dir: &Path) -> AnalysisService {
+    AnalysisService::new(
+        ServiceOptions {
+            cache_dir: Some(cache_dir.to_path_buf()),
+            ..ServiceOptions::default()
+        },
+        Obs::disabled(),
+    )
+}
+
+/// The one-shot `--json` byte form of a report.
+fn render(report: &nchecker::AppReport) -> String {
+    let mut text = serde_json::to_string_pretty(&nchecker::app_report_to_json(report))
+        .expect("report serializes");
+    text.push('\n');
+    text
+}
+
+fn corpus_bundles(seed: u64, n: usize) -> Vec<(String, Vec<u8>)> {
+    let stream = CorpusStream::new(seed, n);
+    (0..n)
+        .map(|i| {
+            let spec = stream.spec_at(i);
+            (spec.package.clone(), nck_appgen::generate(&spec).to_bytes())
+        })
+        .collect()
+}
+
+/// A corrupt entry is quarantined on first read; GC neither counts the
+/// `.quarantine` file against the budget nor resurrects it, and a
+/// later run re-analyzes rather than serving the poisoned bytes.
+#[test]
+fn quarantined_entries_are_invisible_to_gc_and_stay_dead() {
+    let cache = temp_dir("quarantine");
+    let bundles = corpus_bundles(11, 1);
+
+    let cold = service(&cache).analyze_one(&bundles[0].0, &bundles[0].1);
+    let cold_report = render(cold.report.as_ref().expect("analyzes"));
+
+    // Poison the single entry on disk.
+    let entry_path = std::fs::read_dir(&cache)
+        .unwrap()
+        .filter_map(|e| Some(e.ok()?.path()))
+        .find(|p| p.extension().is_some_and(|e| e == "json"))
+        .expect("one cache entry");
+    std::fs::write(&entry_path, b"{ not json").unwrap();
+
+    // A fresh service (empty memory tier) hits the corrupt entry,
+    // quarantines it, and re-analyzes to the same bytes.
+    let warm = service(&cache).analyze_one(&bundles[0].0, &bundles[0].1);
+    assert_eq!(
+        render(warm.report.as_ref().expect("re-analyzes")),
+        cold_report
+    );
+    let quarantined: Vec<PathBuf> = std::fs::read_dir(&cache)
+        .unwrap()
+        .filter_map(|e| Some(e.ok()?.path()))
+        .filter(|p| p.extension().is_some_and(|e| e == "quarantine"))
+        .collect();
+    assert_eq!(quarantined.len(), 1, "corrupt entry moved aside");
+
+    // GC with an unlimited budget: the quarantine file is not an entry.
+    let store = AnalysisStore::with_options(4, Some(cache.clone()));
+    let stats = store.gc_disk(u64::MAX, &Obs::disabled());
+    assert_eq!(stats.entries, 1, "only the rewritten entry is live");
+    assert_eq!(stats.evicted, 0);
+
+    // GC to zero evicts the live entry but leaves the quarantine file
+    // for the operator — and never un-quarantines it.
+    let stats = store.gc_disk(0, &Obs::disabled());
+    assert_eq!(stats.evicted, 1);
+    assert!(quarantined[0].exists(), "quarantine survives GC");
+    assert_eq!(store.disk_stats().entries, 0, "nothing resurrected");
+}
+
+/// Readers racing a GC pass must see full entries or clean misses —
+/// never a torn read surfaced as a corruption eviction.
+#[test]
+fn gc_under_concurrent_readers_is_full_or_miss() {
+    let cache = temp_dir("race");
+    let bundles = corpus_bundles(13, 12);
+    let svc = service(&cache);
+    let outcomes = svc.analyze_batch(&bundles);
+    let config_fp = nchecker::cache::config_fingerprint(&nchecker::CheckerConfig::default());
+    let expected: Vec<(String, String)> = bundles
+        .iter()
+        .zip(&outcomes)
+        .map(|((key, _), o)| (key.clone(), render(o.report.as_ref().unwrap())))
+        .collect();
+
+    let store = AnalysisStore::with_options(4, Some(cache.clone()));
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        for _ in 0..3 {
+            scope.spawn(|| {
+                let obs = Obs::disabled();
+                while !stop.load(Ordering::Relaxed) {
+                    for (key, report) in &expected {
+                        // An evicted entry is a clean miss (None);
+                        // anything found must be whole.
+                        if let Some((_, found)) = store.lookup_disk_any(key, config_fp, &obs) {
+                            assert_eq!(render(&found), *report, "torn entry for {key}");
+                        }
+                    }
+                }
+            });
+        }
+        // Shrink the budget stepwise while the readers hammer the dir.
+        let obs = Obs::disabled();
+        let full = store.gc_disk(u64::MAX, &obs).bytes;
+        for step in (0..=4).rev() {
+            store.gc_disk(full * step / 4, &obs);
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    let counters = store.metrics().snapshot();
+    assert_eq!(
+        counters
+            .counters
+            .get("svc.cache.corrupt_evict")
+            .copied()
+            .unwrap_or(0),
+        0,
+        "no torn read was ever mistaken for corruption"
+    );
+    assert_eq!(store.disk_stats().entries, 0, "budget 0 emptied the tier");
+}
+
+/// After GC evicts part of the cache, a warm run over the whole corpus
+/// reproduces the cold run's bytes exactly: evicted apps re-analyze,
+/// surviving apps replay, and neither path changes the report.
+#[test]
+fn post_gc_warm_run_is_byte_identical_to_cold() {
+    let cache = temp_dir("warm");
+    let bundles = corpus_bundles(17, 8);
+
+    let cold: Vec<String> = service(&cache)
+        .analyze_batch(&bundles)
+        .iter()
+        .map(|o| render(o.report.as_ref().expect("analyzes")))
+        .collect();
+
+    // Evict roughly half the tier.
+    let store = AnalysisStore::with_options(4, Some(cache.clone()));
+    let full = store.gc_disk(u64::MAX, &Obs::disabled()).bytes;
+    let stats = store.gc_disk(full / 2, &Obs::disabled());
+    assert!(stats.evicted > 0, "GC must evict something for this test");
+    assert!(store.disk_stats().entries > 0, "and keep something");
+
+    let warm: Vec<String> = service(&cache)
+        .analyze_batch(&bundles)
+        .iter()
+        .map(|o| render(o.report.as_ref().expect("analyzes")))
+        .collect();
+    assert_eq!(warm, cold);
+}

@@ -214,4 +214,42 @@ echo "$incr_out" | grep -q "100% whole-report hits" \
 echo "$incr_out" | grep -Eq "warm:.* [1-9][0-9]*% classes replayed" \
     || { echo "incremental smoke: warm pass reported no class reuse"; exit 1; }
 
+echo "==> store-scale vetting smoke test"
+# A small sharded corpus through the multi-process orchestrator: vet
+# output must be byte-identical to the single-process --json run; a
+# version-churn rerun over the same cache must emit well-formed report
+# deltas; and an explicit GC pass must respect a tight byte budget.
+vet_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir" "$targeted_dir" "$tele_dir" "$daemon_dir" "$vet_dir"' EXIT
+./target/release/genapp corpus --seed 7 --count 40 --shards 8 "$vet_dir/corpus"
+./target/release/nchecker --json --no-cache \
+    $(find "$vet_dir/corpus" -name '*.apk' | sort) > "$vet_dir/oneshot.json"
+./target/release/nchecker vet --workers 2 --corpus-dir "$vet_dir/corpus" \
+    --cache-dir "$vet_dir/cache" --quiet > "$vet_dir/vet.json"
+cmp "$vet_dir/oneshot.json" "$vet_dir/vet.json" \
+    || { echo "vet smoke: multi-process output differs from one-shot"; exit 1; }
+echo "vet smoke ok: 40 apps byte-identical across 2 worker processes"
+./target/release/genapp corpus --seed 7 --count 40 --shards 8 --version 1 \
+    "$vet_dir/corpus"
+./target/release/nchecker vet --workers 2 --corpus-dir "$vet_dir/corpus" \
+    --cache-dir "$vet_dir/cache" --delta-out "$vet_dir/deltas.jsonl" \
+    --summary --quiet
+python3 - "$vet_dir/deltas.jsonl" <<'EOF'
+import json, sys
+
+deltas = [json.loads(line) for line in open(sys.argv[1])]
+assert deltas, "version churn produced no deltas"
+for d in deltas:
+    assert d["t"] == "delta", d
+    for key in ("key", "prev_fp", "new_fp", "added", "fixed", "unchanged"):
+        assert key in d, f"delta missing {key}: {d}"
+    assert len(d["prev_fp"]) == 16 and len(d["new_fp"]) == 16, d
+    assert isinstance(d["added"], list) and isinstance(d["fixed"], list), d
+changed = sum(1 for d in deltas if d["added"] or d["fixed"])
+print(f"delta smoke ok: {len(deltas)} deltas, {changed} with defect churn")
+EOF
+./target/release/nchecker cache-gc --cache-dir "$vet_dir/cache" --cache-budget 64K \
+    | grep -q "evicted" || { echo "cache-gc smoke: no stats line"; exit 1; }
+./target/release/store_scale_bench --smoke --apps 1000 --waves 2
+
 echo "CI green."
