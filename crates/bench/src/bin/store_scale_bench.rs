@@ -7,10 +7,17 @@
 //! *everything*: unchanged apps must come back as whole-report hits
 //! (memory or disk tier), churned apps re-analyze and emit a
 //! [`DeltaReport`] against the cached base. The bench reports sustained
-//! analysis throughput, the per-wave hit curve, delta counts against
+//! analysis throughput, the per-wave hit curve, the **warm speedup**
+//! (mean warm-wave rate over the cold rate — the number that proves a
+//! cache hit is cheaper than a cold analysis), delta counts against
 //! the generator's churn ground truth, disk-GC counters, and the
 //! process's peak RSS — the number that proves "streaming": it must
 //! stay bounded while corpus size grows without bound.
+//!
+//! Warm-wave outputs are also spot-checked for byte identity: a sample
+//! of every warm wave's reports is re-rendered and compared against a
+//! cache-disabled reference analysis of the same bytes, so the fast
+//! path can never drift from the cold path's output surface.
 //!
 //! Results merge into `BENCH_pipeline.json` under `"store_scale"`.
 //!
@@ -108,6 +115,24 @@ fn main() {
         },
         Obs::disabled(),
     );
+    // Cache-disabled reference for the byte-identity spot checks: the
+    // slowest, plainest path the warm output must match exactly.
+    let reference = AnalysisService::new(
+        ServiceOptions {
+            no_cache: true,
+            ..ServiceOptions::default()
+        },
+        Obs::disabled(),
+    );
+    let render = |report: &nchecker::AppReport| {
+        let mut text = serde_json::to_string_pretty(&nchecker::app_report_to_json(report))
+            .expect("report serializes");
+        text.push('\n');
+        text
+    };
+    // ~32 spot checks per warm wave, spread across the corpus.
+    let sample_stride = (apps / 32).max(1);
+    let mut identity_checks = 0usize;
 
     println!(
         "=== store-scale streaming (seed {seed}, {apps} apps, {waves} wave(s), \
@@ -158,6 +183,26 @@ fn main() {
             for o in &outcomes {
                 o.report.as_ref().expect("store corpus apps analyze");
             }
+            // Byte-identity spot checks, outside the timer: warm-wave
+            // reports (hits, replays, promoted entries, cached render
+            // cells) must match a cache-disabled cold analysis of the
+            // same bytes exactly.
+            if wave > 0 {
+                for (off, o) in outcomes.iter().enumerate() {
+                    if !(i + off).is_multiple_of(sample_stride) {
+                        continue;
+                    }
+                    let (key, bytes) = &items[off];
+                    let warm = render(o.report.as_ref().expect("sampled app analyzed"));
+                    let cold_outcome = reference.analyze_one(key, bytes);
+                    let cold = render(cold_outcome.report.as_ref().expect("reference analyzes"));
+                    if warm != cold {
+                        eprintln!("FAILED: wave {wave} app {key}: warm output != cold output");
+                        std::process::exit(1);
+                    }
+                    identity_checks += 1;
+                }
+            }
             i += n;
         }
         analysis_secs += wave_secs;
@@ -180,16 +225,19 @@ fn main() {
     let warm_rate = warm_rates.iter().sum::<f64>() / warm_rates.len().max(1) as f64;
     let churn_hit_rate = wave_hits[1..].iter().sum::<f64>() / warm_rates.len().max(1) as f64;
     let overall = (apps * (waves + 1)) as f64 / analysis_secs.max(1e-9);
+    let warm_speedup = warm_rate / cold_rate.max(1e-9);
 
     println!(
-        "overall: {overall:.1} apps/s  cold {cold_rate:.1}  warm {warm_rate:.1}  \
-         churn hit rate {:.1}%",
+        "overall: {overall:.1} apps/s  cold {cold_rate:.1}  warm {warm_rate:.1} \
+         ({warm_speedup:.2}x cold)  churn hit rate {:.1}%",
         churn_hit_rate * 100.0
     );
     println!(
         "deltas: {total_deltas} emitted / {total_churned} churned; \
-         gc: {} run(s), {} evicted, {} bytes freed",
+         gc: {} run(s), {} skipped, {} evicted, {} bytes freed; \
+         {identity_checks} identity check(s)",
         counter("svc.cache.gc_runs"),
+        counter("svc.cache.gc_skipped"),
         counter("svc.cache.gc_evicted"),
         counter("svc.cache.gc_freed_bytes"),
     );
@@ -205,6 +253,13 @@ fn main() {
         eprintln!("FAILED: peak RSS {peak:.1} MiB over the {rss_budget_mb:.0} MiB budget");
         std::process::exit(1);
     }
+    // The tentpole invariant: the steady state must be the fast path.
+    // Smoke runs skip the floor (micro-corpora are too noisy) but still
+    // ran the identity checks above.
+    if !smoke && warm_speedup < 2.0 {
+        eprintln!("FAILED: warm speedup {warm_speedup:.2}x under the 2.0x floor");
+        std::process::exit(1);
+    }
 
     if write {
         let section = json!({
@@ -215,13 +270,16 @@ fn main() {
             "apps_per_sec": overall,
             "cold_apps_per_sec": cold_rate,
             "warm_apps_per_sec": warm_rate,
+            "warm_speedup": warm_speedup,
             "wave_hit_rates": wave_hits,
             "churn_hit_rate": churn_hit_rate,
             "deltas": total_deltas,
             "churned": total_churned,
+            "identity_checks": identity_checks,
             "peak_rss_mb": peak,
             "gc": {
                 "runs": counter("svc.cache.gc_runs"),
+                "skipped": counter("svc.cache.gc_skipped"),
                 "evicted": counter("svc.cache.gc_evicted"),
                 "freed_bytes": counter("svc.cache.gc_freed_bytes"),
             },

@@ -372,12 +372,35 @@ impl NChecker {
         ),
         AnalyzeError,
     > {
+        self.analyze_bytes_reusing_fp(bytes, nck_dex::wire::fnv1a(bytes), prev)
+    }
+
+    /// [`Checker::analyze_bytes_reusing`] with the bundle fingerprint
+    /// supplied by the caller. The service hashes each bundle exactly
+    /// once per lookup (the same fingerprint gates both cache tiers) and
+    /// threads it through here instead of re-hashing per rung.
+    /// `bundle_fp` must be `fnv1a(bytes)`; anything else would record a
+    /// cache entry that can never be matched — or worse, matched
+    /// wrongly.
+    pub fn analyze_bytes_reusing_fp(
+        &self,
+        bytes: &[u8],
+        bundle_fp: u64,
+        prev: Option<&crate::cache::AppCacheEntry>,
+    ) -> Result<
+        (
+            AppReport,
+            Option<crate::cache::AppCacheEntry>,
+            crate::cache::ReuseStats,
+        ),
+        AnalyzeError,
+    > {
         use crate::cache::{config_fingerprint, AppCacheEntry, ReuseStats};
         use crate::context::AppReuse;
 
+        debug_assert_eq!(bundle_fp, nck_dex::wire::fnv1a(bytes));
         let obs = self.obs.fresh();
         let config_fp = config_fingerprint(&self.config);
-        let bundle_fp = nck_dex::wire::fnv1a(bytes);
         if let Some(p) = prev {
             if p.bundle_fp == bundle_fp && p.config_fp == config_fp {
                 let stats = ReuseStats {

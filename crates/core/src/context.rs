@@ -320,8 +320,6 @@ impl<'r> AnalyzedApp<'r> {
             obs.metrics.inc("context.entries", entries.len() as u64);
             obs.metrics
                 .inc("context.methods_analyzed", analyses.len() as u64);
-            obs.metrics
-                .inc("context.analyses_reused", stats.analyses_reused as u64);
         }
         AnalyzedApp {
             manifest,

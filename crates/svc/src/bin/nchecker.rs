@@ -896,7 +896,7 @@ fn vet_main(args: &[String]) -> ExitCode {
     let deltas = outcome.deltas.iter().flatten().count();
     events.warn(&format!(
         "vet: {} app(s) over {} worker(s): {} completed, {} failed, {} degraded, \
-         {} delta(s), {} restart(s)",
+         {} delta(s), {} restart(s), {} spawned, {} reused",
         paths.len(),
         workers,
         outcome.completed(),
@@ -904,6 +904,8 @@ fn vet_main(args: &[String]) -> ExitCode {
         outcome.degraded,
         deltas,
         restarts,
+        outcome.worker_spawns,
+        outcome.workers_reused,
     ));
 
     if failures > 0 {

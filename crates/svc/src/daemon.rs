@@ -95,8 +95,11 @@ struct Job {
     bytes: Option<Vec<u8>>,
     phase: Phase,
     enqueued: Instant,
-    /// Exact one-shot `--json` bytes (pretty + trailing newline).
-    report_json: Option<String>,
+    /// Exact one-shot `--json` bytes (pretty + trailing newline),
+    /// shared with the store's render cell when the report came out of
+    /// (or went into) the cache — a repeat hit serves these bytes
+    /// without re-encoding the report.
+    report_json: Option<std::sync::Arc<String>>,
     /// Defect delta against the previous version of this key, when the
     /// service computed one (JSONL object shape).
     delta: Option<Value>,
@@ -410,10 +413,23 @@ impl Daemon {
         match outcome.report {
             Ok(report) => {
                 // The exact byte surface the one-shot CLI prints under
-                // --json: pretty JSON plus the println! newline.
-                let mut text = serde_json::to_string_pretty(&nchecker::app_report_to_json(&report))
-                    .expect("report serializes");
-                text.push('\n');
+                // --json: pretty JSON plus the println! newline. The
+                // daemon's per-app obs is always disabled, so this
+                // rendering is a pure function of the report — which is
+                // what makes memoizing it in the store's render cell
+                // sound. A repeat hit whose cell is already filled
+                // costs an Arc clone here, not a re-encode.
+                let render = || {
+                    let mut text =
+                        serde_json::to_string_pretty(&nchecker::app_report_to_json(&report))
+                            .expect("report serializes");
+                    text.push('\n');
+                    text
+                };
+                let text = match &outcome.rendered {
+                    Some(cell) => cell.get_or_render(render),
+                    None => std::sync::Arc::new(render()),
+                };
                 job.degraded = report.degraded();
                 job.defects = report.defects.len();
                 job.report_json = Some(text);
@@ -521,7 +537,7 @@ impl Daemon {
                             // one-shot --json; the delta rides alongside
                             // (null on first submission).
                             "delta": job.delta.clone().unwrap_or(Value::Null),
-                            "report": job.report_json.as_deref().unwrap_or(""),
+                            "report": job.report_json.as_deref().map_or("", String::as_str),
                         })),
                     },
                 }

@@ -106,6 +106,7 @@ pub fn doctor_json(r: &DoctorReport<'_>) -> Value {
                 "runs": counter(&store_counters, "svc.cache.gc_runs"),
                 "evicted": counter(&store_counters, "svc.cache.gc_evicted"),
                 "freed_bytes": counter(&store_counters, "svc.cache.gc_freed_bytes"),
+                "skipped": counter(&store_counters, "svc.cache.gc_skipped"),
             },
             "hit": counter(&store_counters, "svc.cache.hit"),
             "miss": counter(&store_counters, "svc.cache.miss"),

@@ -46,9 +46,9 @@ pub mod wire;
 pub use daemon::{Daemon, DaemonOptions};
 pub use delta::{defect_id, diff_reports, DeltaReport};
 pub use doctor::DoctorReport;
-pub use orchestrator::{vet, OrchestratorOptions, ShardReport, VetOutcome};
+pub use orchestrator::{vet, OrchestratorOptions, ShardReport, VetOutcome, WorkerFleet};
 pub use pool::{default_workers, run_pool};
 pub use protocol::{ErrorCode, Request, MAX_REQUEST_LINE};
 pub use service::{AnalysisService, AppOutcome, BatchCacheStats, ServiceOptions};
-pub use store::{AnalysisStore, DiskStats, GcStats};
+pub use store::{AnalysisStore, DiskStats, GcStats, RenderCell};
 pub use watch::Watcher;

@@ -34,6 +34,15 @@
 //! `--json` output. Concatenating [`VetOutcome::reports`] therefore
 //! reproduces exactly what a single `nchecker --json` run over the
 //! same paths would print.
+//!
+//! Workers are owned by a [`WorkerFleet`], which outlives any single
+//! [`WorkerFleet::vet`] round: the shard processes stay alive between
+//! rounds, so a continuous-vetting loop (re-vetting a corpus wave
+//! after wave) pays process spawn and startup exactly once per shard,
+//! not once per wave. A shard with no items in a round spawns nothing;
+//! a warm worker that died between rounds respawns on demand through
+//! the normal restart path. The one-shot [`vet`] entry point wraps a
+//! fleet around a single round and shuts it down.
 
 use crate::protocol;
 use serde_json::Value;
@@ -111,6 +120,12 @@ pub struct VetOutcome {
     pub shards: Vec<ShardReport>,
     /// Shard indices flagged as stragglers.
     pub stragglers: Vec<usize>,
+    /// Worker processes spawned during this round (cold shards plus
+    /// crash respawns). A round served entirely by a warm fleet is 0.
+    pub worker_spawns: usize,
+    /// Shards served by a worker that was already alive when the round
+    /// started.
+    pub workers_reused: usize,
 }
 
 impl VetOutcome {
@@ -240,29 +255,54 @@ enum ItemResult {
     Failed(String),
 }
 
-/// Runs one shard: submits its items through a worker process in
-/// pipelined chunks, restarting the worker (and resubmitting the
-/// chunk's unfinished items) on death.
+/// How a shard used its worker slot during one round.
+#[derive(Debug, Default, Clone, Copy)]
+struct ShardUse {
+    /// Workers respawned after a death.
+    restarts: usize,
+    /// Processes spawned (cold start plus respawns).
+    spawned: usize,
+    /// 1 when the round started on an already-warm worker.
+    reused: usize,
+}
+
+/// Runs one shard: submits its items through the worker process in
+/// `slot` — reusing it warm when present, spawning it when not —
+/// restarting it (and resubmitting the chunk's unfinished items) on
+/// death. The worker is *left alive in the slot* when the round ends;
+/// the owning [`WorkerFleet`] decides when it shuts down. A shard with
+/// no items spawns nothing.
 fn run_shard(
+    slot: &mut Option<Worker>,
     cmd: &[String],
     window: usize,
     max_restarts: usize,
     items: &[(usize, String)],
-) -> (BTreeMap<usize, ItemResult>, usize) {
+) -> (BTreeMap<usize, ItemResult>, ShardUse) {
     let mut results: BTreeMap<usize, ItemResult> = BTreeMap::new();
-    let mut restarts = 0usize;
-    let mut worker = match Worker::spawn(cmd) {
-        Ok(w) => Some(w),
-        Err(e) => {
-            for (idx, _) in items {
-                results.insert(
-                    *idx,
-                    ItemResult::Failed(format!("worker spawn failed: {e}")),
-                );
+    let mut usage = ShardUse::default();
+    if items.is_empty() {
+        return (results, usage);
+    }
+    if slot.is_some() {
+        usage.reused = 1;
+    } else {
+        match Worker::spawn(cmd) {
+            Ok(w) => {
+                *slot = Some(w);
+                usage.spawned += 1;
             }
-            return (results, restarts);
+            Err(e) => {
+                for (idx, _) in items {
+                    results.insert(
+                        *idx,
+                        ItemResult::Failed(format!("worker spawn failed: {e}")),
+                    );
+                }
+                return (results, usage);
+            }
         }
-    };
+    }
 
     let window = window.max(1);
     let mut chunk_start = 0usize;
@@ -276,7 +316,7 @@ fn run_shard(
             chunk_start = items.len();
             continue;
         }
-        let w = worker.as_mut().expect("live worker");
+        let w = slot.as_mut().expect("live worker");
         match run_chunk(w, &chunk, &mut results) {
             Ok(()) => {
                 // Everything in the chunk resolved (done or failed);
@@ -290,8 +330,8 @@ fn run_shard(
                 // retry the chunk's unfinished items — finished ones
                 // keep their results, and re-analysis of items the dead
                 // worker had completed hits the shared disk cache.
-                worker.take().expect("live worker").kill();
-                if restarts >= max_restarts {
+                slot.take().expect("live worker").kill();
+                if usage.restarts >= max_restarts {
                     for (idx, _) in items {
                         results.entry(*idx).or_insert_with(|| {
                             ItemResult::Failed(format!(
@@ -299,27 +339,27 @@ fn run_shard(
                             ))
                         });
                     }
-                    return (results, restarts);
+                    return (results, usage);
                 }
-                restarts += 1;
+                usage.restarts += 1;
                 match Worker::spawn(cmd) {
-                    Ok(w) => worker = Some(w),
+                    Ok(w) => {
+                        *slot = Some(w);
+                        usage.spawned += 1;
+                    }
                     Err(spawn_err) => {
                         for (idx, _) in items {
                             results.entry(*idx).or_insert_with(|| {
                                 ItemResult::Failed(format!("worker respawn failed: {spawn_err}"))
                             });
                         }
-                        return (results, restarts);
+                        return (results, usage);
                     }
                 }
             }
         }
     }
-    if let Some(w) = worker {
-        w.shutdown();
-    }
-    (results, restarts)
+    (results, usage)
 }
 
 /// One pipelined chunk: submit everything, then resolve each id to a
@@ -403,113 +443,185 @@ fn run_chunk(
     Ok(())
 }
 
-/// Vets `paths` across worker processes: partitions by key hash, runs
-/// every shard concurrently, and merges results back into input order.
-pub fn vet(options: &OrchestratorOptions, paths: &[String]) -> VetOutcome {
-    let workers = options.workers.max(1);
-    let mut partitions: Vec<Vec<(usize, String)>> = vec![Vec::new(); workers];
-    for (idx, path) in paths.iter().enumerate() {
-        partitions[shard_of(path, workers)].push((idx, path.clone()));
+/// A persistent fleet of shard worker processes. One fleet serves any
+/// number of [`WorkerFleet::vet`] rounds; workers spawned for a round
+/// stay alive for the next, so continuous vetting pays spawn and
+/// startup once per shard, not once per wave. Key→shard routing is
+/// stable ([`shard_of`]), so a re-vetted key lands on the same warm
+/// worker — and its warm memory-tier cache — every round.
+pub struct WorkerFleet {
+    options: OrchestratorOptions,
+    slots: Vec<Option<Worker>>,
+}
+
+impl WorkerFleet {
+    /// A fleet with every slot cold. No processes spawn until a round
+    /// routes items to their shards.
+    pub fn new(options: OrchestratorOptions) -> WorkerFleet {
+        let workers = options.workers.max(1);
+        WorkerFleet {
+            options,
+            slots: (0..workers).map(|_| None).collect(),
+        }
     }
 
-    let mut outcome = VetOutcome {
-        reports: (0..paths.len()).map(|_| None).collect(),
-        deltas: (0..paths.len()).map(|_| None).collect(),
-        ..VetOutcome::default()
-    };
+    /// Workers currently alive in the fleet.
+    pub fn warm_workers(&self) -> usize {
+        self.slots.iter().flatten().count()
+    }
 
-    let started = Instant::now();
-    let shard_walls: Vec<std::sync::Mutex<Option<Duration>>> =
-        (0..workers).map(|_| std::sync::Mutex::new(None)).collect();
-    let mut shard_results: Vec<Option<(BTreeMap<usize, ItemResult>, usize)>> =
-        (0..workers).map(|_| None).collect();
-    let mut stragglers: Vec<usize> = Vec::new();
-
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = partitions
-            .iter()
-            .enumerate()
-            .map(|(shard, items)| {
-                let walls = &shard_walls;
-                let opts = options;
-                scope.spawn(move || {
-                    let t0 = Instant::now();
-                    let r = run_shard(&opts.worker_cmd, opts.window, opts.max_restarts, items);
-                    *walls[shard].lock().expect("wall slot") = Some(t0.elapsed());
-                    r
-                })
-            })
-            .collect();
-
-        // Straggler watch: poll until every shard finishes, flagging
-        // shards that outlive the completed median by the factor.
-        loop {
-            let walls: Vec<Duration> = shard_walls
-                .iter()
-                .filter_map(|w| *w.lock().expect("wall slot"))
-                .collect();
-            if walls.len() == workers {
-                break;
-            }
-            let elapsed = started.elapsed();
-            for (shard, slot) in shard_walls.iter().enumerate() {
-                if slot.lock().expect("wall slot").is_none()
-                    && !stragglers.contains(&shard)
-                    && is_straggler(&walls, elapsed, options.straggler_factor, workers)
-                {
-                    stragglers.push(shard);
-                }
-            }
-            std::thread::sleep(Duration::from_millis(5));
+    /// Vets `paths` across the fleet: partitions by key hash, runs
+    /// every shard concurrently (reusing warm workers, spawning cold
+    /// ones), and merges results back into input order.
+    pub fn vet(&mut self, paths: &[String]) -> VetOutcome {
+        let options = &self.options;
+        let workers = options.workers.max(1);
+        let mut partitions: Vec<Vec<(usize, String)>> = vec![Vec::new(); workers];
+        for (idx, path) in paths.iter().enumerate() {
+            partitions[shard_of(path, workers)].push((idx, path.clone()));
         }
 
-        for (shard, handle) in handles.into_iter().enumerate() {
-            shard_results[shard] = Some(handle.join().unwrap_or_else(|_| {
-                let mut failed = BTreeMap::new();
-                for (idx, _) in &partitions[shard] {
-                    failed.insert(*idx, ItemResult::Failed("shard thread panicked".to_owned()));
-                }
-                (failed, 0)
-            }));
-        }
-    });
-
-    for (shard, slot) in shard_results.into_iter().enumerate() {
-        let (results, restarts) = slot.expect("joined shard");
-        let mut report = ShardReport {
-            shard,
-            assigned: partitions[shard].len(),
-            completed: 0,
-            failed: 0,
-            restarts,
-            wall_ms: shard_walls[shard]
-                .lock()
-                .expect("wall slot")
-                .map_or(0, |d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX)),
+        let mut outcome = VetOutcome {
+            reports: (0..paths.len()).map(|_| None).collect(),
+            deltas: (0..paths.len()).map(|_| None).collect(),
+            ..VetOutcome::default()
         };
-        for (idx, result) in results {
-            match result {
-                ItemResult::Done {
-                    report: text,
-                    delta,
-                    degraded,
-                } => {
-                    report.completed += 1;
-                    outcome.degraded += usize::from(degraded);
-                    outcome.reports[idx] = Some(text);
-                    outcome.deltas[idx] = delta;
+
+        let started = Instant::now();
+        let shard_walls: Vec<std::sync::Mutex<Option<Duration>>> =
+            (0..workers).map(|_| std::sync::Mutex::new(None)).collect();
+        let mut shard_results: Vec<Option<(BTreeMap<usize, ItemResult>, ShardUse)>> =
+            (0..workers).map(|_| None).collect();
+        let mut stragglers: Vec<usize> = Vec::new();
+
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = partitions
+                .iter()
+                .enumerate()
+                .zip(self.slots.iter_mut())
+                .map(|((shard, items), slot)| {
+                    let walls = &shard_walls;
+                    let opts = options;
+                    scope.spawn(move || {
+                        let t0 = Instant::now();
+                        let r = run_shard(
+                            slot,
+                            &opts.worker_cmd,
+                            opts.window,
+                            opts.max_restarts,
+                            items,
+                        );
+                        *walls[shard].lock().expect("wall slot") = Some(t0.elapsed());
+                        r
+                    })
+                })
+                .collect();
+
+            // Straggler watch: poll until every shard finishes, flagging
+            // shards that outlive the completed median by the factor.
+            loop {
+                let walls: Vec<Duration> = shard_walls
+                    .iter()
+                    .filter_map(|w| *w.lock().expect("wall slot"))
+                    .collect();
+                if walls.len() == workers {
+                    break;
                 }
-                ItemResult::Failed(msg) => {
-                    report.failed += 1;
-                    outcome.errors.push((idx, msg));
+                let elapsed = started.elapsed();
+                for (shard, slot) in shard_walls.iter().enumerate() {
+                    if slot.lock().expect("wall slot").is_none()
+                        && !stragglers.contains(&shard)
+                        && is_straggler(&walls, elapsed, options.straggler_factor, workers)
+                    {
+                        stragglers.push(shard);
+                    }
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+
+            for (shard, handle) in handles.into_iter().enumerate() {
+                shard_results[shard] = Some(handle.join().unwrap_or_else(|_| {
+                    let mut failed = BTreeMap::new();
+                    for (idx, _) in &partitions[shard] {
+                        failed.insert(*idx, ItemResult::Failed("shard thread panicked".to_owned()));
+                    }
+                    (failed, ShardUse::default())
+                }));
+            }
+        });
+
+        for (shard, slot) in shard_results.into_iter().enumerate() {
+            let (results, usage) = slot.expect("joined shard");
+            outcome.worker_spawns += usage.spawned;
+            outcome.workers_reused += usage.reused;
+            let mut report = ShardReport {
+                shard,
+                assigned: partitions[shard].len(),
+                completed: 0,
+                failed: 0,
+                restarts: usage.restarts,
+                wall_ms: shard_walls[shard]
+                    .lock()
+                    .expect("wall slot")
+                    .map_or(0, |d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX)),
+            };
+            for (idx, result) in results {
+                match result {
+                    ItemResult::Done {
+                        report: text,
+                        delta,
+                        degraded,
+                    } => {
+                        report.completed += 1;
+                        outcome.degraded += usize::from(degraded);
+                        outcome.reports[idx] = Some(text);
+                        outcome.deltas[idx] = delta;
+                    }
+                    ItemResult::Failed(msg) => {
+                        report.failed += 1;
+                        outcome.errors.push((idx, msg));
+                    }
                 }
             }
+            outcome.shards.push(report);
         }
-        outcome.shards.push(report);
+        outcome.errors.sort_by_key(|(idx, _)| *idx);
+        stragglers.sort_unstable();
+        outcome.stragglers = stragglers;
+        outcome
     }
-    outcome.errors.sort_by_key(|(idx, _)| *idx);
-    stragglers.sort_unstable();
-    outcome.stragglers = stragglers;
+
+    /// Graceful teardown: every warm worker gets the `shutdown` verb
+    /// and a reap (with the kill fallback), in shard order.
+    pub fn shutdown(mut self) {
+        for slot in &mut self.slots {
+            if let Some(w) = slot.take() {
+                w.shutdown();
+            }
+        }
+    }
+}
+
+impl Drop for WorkerFleet {
+    fn drop(&mut self) {
+        // A dropped (not shut down) fleet must not leak processes, and
+        // must not hang for the graceful-shutdown deadline per worker:
+        // kill outright.
+        for slot in &mut self.slots {
+            if let Some(w) = slot.take() {
+                w.kill();
+            }
+        }
+    }
+}
+
+/// Vets `paths` across worker processes in one round: a [`WorkerFleet`]
+/// spun up for the call and shut down after it. Continuous vetting
+/// should hold a fleet instead and call [`WorkerFleet::vet`] per wave.
+pub fn vet(options: &OrchestratorOptions, paths: &[String]) -> VetOutcome {
+    let mut fleet = WorkerFleet::new(options.clone());
+    let outcome = fleet.vet(paths);
+    fleet.shutdown();
     outcome
 }
 
@@ -566,5 +678,23 @@ mod tests {
         assert_eq!(assigned, 3);
         assert_eq!(failed, 3);
         assert!(out.errors.iter().all(|(_, m)| m.contains("spawn failed")));
+        assert_eq!(out.worker_spawns, 0, "failed spawns are not spawns");
+        assert_eq!(out.workers_reused, 0);
+    }
+
+    #[test]
+    fn a_fleet_round_with_no_items_spawns_nothing() {
+        let mut fleet = WorkerFleet::new(OrchestratorOptions {
+            workers: 3,
+            worker_cmd: vec!["/nonexistent/bin/definitely-not-here".to_owned()],
+            ..OrchestratorOptions::default()
+        });
+        let out = fleet.vet(&[]);
+        assert_eq!(out.worker_spawns, 0);
+        assert_eq!(out.workers_reused, 0);
+        assert_eq!(fleet.warm_workers(), 0);
+        assert_eq!(out.shards.len(), 3);
+        assert!(out.shards.iter().all(|s| s.assigned == 0));
+        fleet.shutdown();
     }
 }

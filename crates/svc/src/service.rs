@@ -14,11 +14,12 @@
 
 use crate::delta::{diff_reports, DeltaReport};
 use crate::pool::run_pool;
-use crate::store::AnalysisStore;
-use nchecker::cache::{config_fingerprint, ReuseStats};
+use crate::store::{AnalysisStore, RenderCell};
+use nchecker::cache::{config_fingerprint, AppCacheEntry, ReuseStats};
 use nchecker::{AnalyzeError, AppReport, CheckerConfig, NChecker};
 use nck_obs::Obs;
 use std::path::PathBuf;
+use std::sync::Arc;
 
 /// One analyzed app: the report (or failure) plus what the cache did.
 #[derive(Debug)]
@@ -33,6 +34,13 @@ pub struct AppOutcome {
     /// (whole-report reuse — nothing changed), failure, and degraded
     /// runs (an incomplete report would produce phantom "fixes").
     pub delta: Option<DeltaReport>,
+    /// Render-memoization cell for this outcome's report, shared with
+    /// the memory-tier entry it came from (or was recorded as). A
+    /// consumer that serializes reports deterministically — the daemon,
+    /// whose per-app obs is always disabled — renders through it once
+    /// and serves the cached bytes on every later hit. `None` when the
+    /// report is not resident (failure, degraded, cache disabled).
+    pub rendered: Option<Arc<RenderCell>>,
 }
 
 /// Aggregate cache accounting for a batch.
@@ -98,13 +106,18 @@ pub struct ServiceOptions {
     /// (`None` = [`crate::store::DEFAULT_MEM_BYTES`]).
     pub mem_budget: Option<usize>,
     /// Disk-tier byte budget: when set, every batch ends with a
-    /// [`AnalysisStore::gc_disk`] pass down to this size.
+    /// watermark-gated [`AnalysisStore::maybe_gc_disk`] — a skipped
+    /// check while under budget, a collection down to the low
+    /// watermark once occupancy crosses it.
     pub cache_budget: Option<u64>,
 }
 
 /// The sharded batch-analysis service.
 pub struct AnalysisService {
     config: CheckerConfig,
+    /// [`config_fingerprint`] of `config`, computed once — it gates
+    /// every disk lookup and never changes for a built service.
+    config_fp: u64,
     obs: Obs,
     store: AnalysisStore,
     jobs: Option<usize>,
@@ -118,6 +131,7 @@ impl AnalysisService {
     pub fn new(options: ServiceOptions, obs: Obs) -> AnalysisService {
         AnalysisService {
             config: options.config,
+            config_fp: config_fingerprint(&options.config),
             // The byte budget is the service's memory-tier cap; an
             // entry-count cap on top would silently shrink the tier to
             // 256 apps and push every hit beyond that to the disk tier
@@ -169,13 +183,16 @@ impl AnalysisService {
                     )),
                     reuse: ReuseStats::default(),
                     delta: None,
+                    rendered: None,
                 })
             })
             .collect();
         // Auto-GC: a budgeted service never lets the disk tier grow
-        // unbounded across batches.
+        // unbounded across batches. Watermark-gated — while the live
+        // occupancy estimate is under budget this is one atomic load,
+        // not a directory rescan.
         if let Some(budget) = self.cache_budget {
-            self.store.gc_disk(budget, &self.obs.fresh());
+            self.store.maybe_gc_disk(budget, &self.obs.fresh());
         }
         outcomes
     }
@@ -206,23 +223,43 @@ impl AnalysisService {
                 report,
                 reuse: ReuseStats::default(),
                 delta: None,
+                rendered: None,
             };
         }
 
+        // The bundle is hashed exactly once per lookup: this same
+        // fingerprint gates the memory tier (inside
+        // `analyze_bytes_reusing_fp`), the disk tier, and the recorded
+        // entry.
+        let bundle_fp = nck_dex::wire::fnv1a(bytes);
         let prev = self.store.lookup(key, &svc_obs);
 
         // Disk tier: only consulted when the memory tier has nothing for
         // this key (a memory entry subsumes its own disk twin). An exact
-        // fingerprint match is a whole-report hit; a *stale* entry (same
-        // key, different bundle — a resubmitted version) becomes the
-        // delta base, so version diffs survive process restarts.
+        // fingerprint match is a whole-report hit — *promoted* into the
+        // memory tier so the next lookup for this key skips the read and
+        // decode entirely. A *stale* entry (same key, different bundle —
+        // a resubmitted version) becomes the delta base, so version
+        // diffs survive process restarts.
         let mut disk_base: Option<(u64, AppReport)> = None;
         if prev.is_none() && self.store.has_disk() {
-            let bundle_fp = nck_dex::wire::fnv1a(bytes);
-            let config_fp = config_fingerprint(&self.config);
-            match self.store.lookup_disk_any(key, config_fp, &svc_obs) {
+            match self.store.lookup_disk_any(key, self.config_fp, &svc_obs) {
                 Some((stored_fp, report)) if stored_fp == bundle_fp => {
                     self.store.count_outcome(true, &svc_obs);
+                    // The disk tier holds exactly this: fingerprints and
+                    // report, no replay seeds. The promoted entry serves
+                    // rung 1 (whole-report reuse) from memory; a changed
+                    // bundle recomputes cold either way.
+                    self.store.promote(
+                        key,
+                        AppCacheEntry {
+                            bundle_fp,
+                            config_fp: self.config_fp,
+                            report: report.clone(),
+                            ..AppCacheEntry::default()
+                        },
+                        &svc_obs,
+                    );
                     let reuse = ReuseStats {
                         whole_report: true,
                         ..ReuseStats::default()
@@ -231,6 +268,7 @@ impl AnalysisService {
                         report: Ok(self.stamp(report, &svc_obs)),
                         reuse,
                         delta: None,
+                        rendered: self.store.render_cell(key, bundle_fp),
                     };
                 }
                 Some(stale) => disk_base = Some(stale),
@@ -239,7 +277,7 @@ impl AnalysisService {
         }
 
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            checker.analyze_bytes_reusing(bytes, prev.as_deref())
+            checker.analyze_bytes_reusing_fp(bytes, bundle_fp, prev.as_deref())
         }))
         .unwrap_or_else(|payload| {
             let msg = payload
@@ -295,10 +333,15 @@ impl AnalysisService {
                     );
                     self.store.insert(key, entry, &svc_obs);
                 }
+                // The resident entry's render cell — present after an
+                // insert, and on a rung-1 memory hit (the entry that
+                // served it is still resident with this fingerprint).
+                let rendered = self.store.render_cell(key, bundle_fp);
                 AppOutcome {
                     report: Ok(self.stamp(report, &svc_obs)),
                     reuse,
                     delta,
+                    rendered,
                 }
             }
             Err(e) => {
@@ -307,6 +350,7 @@ impl AnalysisService {
                     report: Err(e),
                     reuse: ReuseStats::default(),
                     delta: None,
+                    rendered: None,
                 }
             }
         }

@@ -18,12 +18,25 @@
 //!
 //! The disk tier is garbage-collected by [`AnalysisStore::gc_disk`]:
 //! size-budgeted LRU eviction ordered by per-entry *atime sidecar*
-//! files (touched on every disk hit; entry mtime is the fallback stamp
-//! for entries never read back). Eviction is plain `unlink` against
-//! tmp+rename writers, so a concurrent reader sees a full entry or a
-//! miss — never a torn one. Quarantined `.quarantine` files are outside
-//! the cache namespace: GC neither counts them against the budget nor
-//! touches them.
+//! files (entry mtime is the fallback stamp for entries never read
+//! back). A disk hit does **no** sidecar I/O on the hot path: reads
+//! land in an in-memory write-behind journal
+//! ([`AnalysisStore::flush_atimes`]) that is flushed in batches —
+//! before every GC scan, on [`AnalysisStore::sync_disk`], and when the
+//! store drops. A crash loses only the unflushed journal; GC then
+//! degrades to the mtime fallback for those entries (an entry is never
+//! evicted *wrongly*, only ranked by its older stamp). Eviction is
+//! plain `unlink` against tmp+rename writers, so a concurrent reader
+//! sees a full entry or a miss — never a torn one. Quarantined
+//! `.quarantine` files are outside the cache namespace: GC neither
+//! counts them against the budget nor touches them.
+//!
+//! The store also keeps a **live occupancy estimate** of the disk tier
+//! (seeded by one startup scan, maintained on every insert, eviction,
+//! and quarantine), so a budgeted service can gate GC on a watermark
+//! ([`AnalysisStore::maybe_gc_disk`]) instead of paying a full
+//! directory rescan per batch: under the high watermark the check is
+//! one atomic load and a `svc.cache.gc_skipped` bump.
 //!
 //! Every lookup runs under a `cache_lookup` span and bumps the
 //! `svc.cache.{hit,miss}` counters on the obs handle it is given;
@@ -44,7 +57,7 @@ use nck_obs::{Metrics, Obs};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, Once, OnceLock};
 use std::time::SystemTime;
 
 const SHARDS: usize = 16;
@@ -61,9 +74,40 @@ fn key_hash(key: &str) -> u64 {
     nck_dex::wire::fnv1a(key.as_bytes())
 }
 
+/// One resident memory-tier entry.
+struct MemEntry {
+    /// Last-used tick (LRU ordering).
+    tick: u64,
+    /// Approximate byte charge ([`AppCacheEntry::approx_bytes`]).
+    approx: usize,
+    entry: Arc<AppCacheEntry>,
+    /// Lazily-filled rendered one-shot JSON of this entry's report,
+    /// shared out via [`AnalysisStore::render_cell`]. Reset whenever
+    /// the entry is replaced, so the bytes always describe `entry`.
+    rendered: Arc<RenderCell>,
+}
+
+/// A memoization slot for one cache entry's rendered one-shot `--json`
+/// bytes. Filled at most once per resident entry; consumers that find
+/// it filled skip re-encoding the report entirely.
+#[derive(Debug, Default)]
+pub struct RenderCell(OnceLock<Arc<String>>);
+
+impl RenderCell {
+    /// The cached rendering, computing (and caching) it via `render` on
+    /// first use.
+    pub fn get_or_render(&self, render: impl FnOnce() -> String) -> Arc<String> {
+        Arc::clone(self.0.get_or_init(|| Arc::new(render())))
+    }
+
+    /// The cached rendering, if one was ever computed.
+    pub fn get(&self) -> Option<Arc<String>> {
+        self.0.get().cloned()
+    }
+}
+
 struct Shard {
-    // key -> (last-used tick, approx bytes, entry)
-    entries: HashMap<String, (u64, usize, Arc<AppCacheEntry>)>,
+    entries: HashMap<String, MemEntry>,
     /// Sum of the approx-bytes column.
     bytes: usize,
 }
@@ -76,6 +120,14 @@ pub struct AnalysisStore {
     mem_budget: usize,
     disk: Option<PathBuf>,
     metrics: Metrics,
+    /// Write-behind atime journal: entry path → last read stamp.
+    /// Flushed to sidecar files by [`AnalysisStore::flush_atimes`].
+    atime_journal: Mutex<HashMap<PathBuf, SystemTime>>,
+    /// Live disk-tier occupancy estimate, bytes. Valid once
+    /// `disk_seeded` ran; resynced to exact numbers by every GC scan.
+    disk_bytes: AtomicU64,
+    /// Gates the one startup scan that seeds `disk_bytes`.
+    disk_seeded: Once,
 }
 
 impl AnalysisStore {
@@ -113,6 +165,9 @@ impl AnalysisStore {
             mem_budget: mem_budget.max(1),
             disk,
             metrics: Metrics::enabled(),
+            atime_journal: Mutex::new(HashMap::new()),
+            disk_bytes: AtomicU64::new(0),
+            disk_seeded: Once::new(),
         }
     }
 
@@ -149,9 +204,22 @@ impl AnalysisStore {
         let mut shard = lock(self.shard(key));
         let tick = self.tick();
         shard.entries.get_mut(key).map(|slot| {
-            slot.0 = tick;
-            Arc::clone(&slot.2)
+            slot.tick = tick;
+            Arc::clone(&slot.entry)
         })
+    }
+
+    /// The render-memoization cell of the resident memory entry for
+    /// `key`, provided that entry was recorded for `bundle_fp` (a cell
+    /// must never serve bytes rendered from a different bundle's
+    /// report). `None` when the key is absent or the entry moved on.
+    pub fn render_cell(&self, key: &str, bundle_fp: u64) -> Option<Arc<RenderCell>> {
+        let shard = lock(self.shard(key));
+        shard
+            .entries
+            .get(key)
+            .filter(|m| m.entry.bundle_fp == bundle_fp)
+            .map(|m| Arc::clone(&m.rendered))
     }
 
     /// Disk-tier lookup: returns the cached report only when both
@@ -180,9 +248,10 @@ impl AnalysisStore {
     /// decides hit (fingerprints match) vs. *delta base* (they differ —
     /// the entry's report describes the previous version of this app).
     /// Corrupt entries quarantine exactly as in
-    /// [`AnalysisStore::lookup_disk`]. Reading touches the entry's
-    /// atime sidecar, which is what makes [`AnalysisStore::gc_disk`]'s
-    /// eviction order an LRU rather than FIFO.
+    /// [`AnalysisStore::lookup_disk`]. Reading records the entry in the
+    /// in-memory atime journal (no sidecar I/O on the hot path), which
+    /// is what makes [`AnalysisStore::gc_disk`]'s eviction order an LRU
+    /// rather than FIFO.
     pub fn lookup_disk_any(
         &self,
         key: &str,
@@ -195,7 +264,7 @@ impl AnalysisStore {
         let text = std::fs::read_to_string(&path).ok()?;
         match decode_disk_entry(&text, config_fp) {
             DiskEntry::Entry(stored_fp, report) => {
-                touch_atime(&path);
+                lock_plain(&self.atime_journal).insert(path, SystemTime::now());
                 Some((stored_fp, *report))
             }
             DiskEntry::Corrupt => {
@@ -205,16 +274,50 @@ impl AnalysisStore {
         }
     }
 
+    /// Flushes the write-behind atime journal: every journaled read
+    /// becomes a sidecar file whose mtime is the recorded read stamp,
+    /// so relative recency survives the batching exactly. Entries that
+    /// vanished since the read (evicted, quarantined) are dropped
+    /// rather than resurrected as orphan sidecars. Called before every
+    /// GC scan, by [`AnalysisStore::sync_disk`], and on drop; a crash
+    /// in between loses only the journal, never an entry.
+    pub fn flush_atimes(&self) {
+        let drained: Vec<(PathBuf, SystemTime)> = {
+            let mut journal = lock_plain(&self.atime_journal);
+            journal.drain().collect()
+        };
+        for (path, stamp) in drained {
+            if !path.exists() {
+                continue;
+            }
+            let sidecar = path.with_extension("atime");
+            if std::fs::write(&sidecar, b"").is_ok() {
+                if let Ok(f) = std::fs::File::options().write(true).open(&sidecar) {
+                    let _ = f.set_modified(stamp);
+                }
+            }
+        }
+    }
+
+    /// Reads pending in the atime journal (tests and introspection).
+    pub fn journaled_atimes(&self) -> usize {
+        lock_plain(&self.atime_journal).len()
+    }
+
     /// Renames a corrupt cache file out of the cache namespace
     /// (`.json` → `.quarantine`, which [`scan_disk`] and lookups both
     /// ignore), deleting it outright if even the rename fails. The
     /// atime sidecar goes with it — a quarantined entry must never be
     /// charged against the GC budget again.
     fn quarantine(&self, path: &Path, obs: &Obs) {
+        self.seed_occupancy();
+        let len = std::fs::metadata(path).map_or(0, |m| m.len());
         if std::fs::rename(path, path.with_extension("quarantine")).is_err() {
             let _ = std::fs::remove_file(path);
         }
         let _ = std::fs::remove_file(path.with_extension("atime"));
+        lock_plain(&self.atime_journal).remove(path);
+        self.sub_occupancy(len);
         self.count("svc.cache.corrupt_evict", 1, obs);
         obs.events.warn(&format!(
             "cache: quarantined corrupt entry {}",
@@ -227,15 +330,32 @@ impl AnalysisStore {
     /// already returns no entry for them).
     pub fn insert(&self, key: &str, entry: AppCacheEntry, obs: &Obs) {
         if let Some(dir) = self.disk.as_deref() {
-            write_disk(dir, key, &entry, obs);
+            self.seed_occupancy();
+            let (new_len, old_len) = write_disk(dir, key, &entry, obs);
+            self.sub_occupancy(old_len);
+            self.disk_bytes.fetch_add(new_len, Ordering::Relaxed);
         }
+        self.insert_memory(key, entry, obs);
+    }
+
+    /// Promotes an entry into the memory tier *only* — the disk tier
+    /// already holds it. Used on a disk hit so the next lookup for the
+    /// same key is a memory hit instead of a read + decode.
+    pub fn promote(&self, key: &str, entry: AppCacheEntry, obs: &Obs) {
+        self.insert_memory(key, entry, obs);
+    }
+
+    fn insert_memory(&self, key: &str, entry: AppCacheEntry, obs: &Obs) {
         let approx = entry.approx_bytes();
-        let entry = Arc::new(entry);
-        let tick = self.tick();
+        let slot = MemEntry {
+            tick: self.tick(),
+            approx,
+            entry: Arc::new(entry),
+            rendered: Arc::new(RenderCell::default()),
+        };
         let mut shard = lock(self.shard(key));
-        if let Some((_, old_bytes, _)) = shard.entries.insert(key.to_owned(), (tick, approx, entry))
-        {
-            shard.bytes -= old_bytes;
+        if let Some(old) = shard.entries.insert(key.to_owned(), slot) {
+            shard.bytes -= old.approx;
         }
         shard.bytes += approx;
         // Per-shard share of the global caps, at least 1 entry / 1 byte.
@@ -247,11 +367,11 @@ impl AnalysisStore {
             let oldest = shard
                 .entries
                 .iter()
-                .min_by_key(|(k, (t, _, _))| (*t, (*k).clone()))
+                .min_by(|(ka, ma), (kb, mb)| (ma.tick, ka.as_str()).cmp(&(mb.tick, kb.as_str())))
                 .map(|(k, _)| k.clone())
                 .expect("non-empty shard");
-            if let Some((_, bytes, _)) = shard.entries.remove(&oldest) {
-                shard.bytes -= bytes;
+            if let Some(old) = shard.entries.remove(&oldest) {
+                shard.bytes -= old.approx;
             }
             self.count("svc.cache.evict", 1, obs);
         }
@@ -328,6 +448,49 @@ impl AnalysisStore {
         self.disk.as_deref().map_or_else(DiskStats::new, scan_disk)
     }
 
+    /// Seeds the live occupancy estimate with one full scan, exactly
+    /// once per store. Every disk mutation calls this first, so the
+    /// estimate never double-counts the seeding scan's own bytes.
+    fn seed_occupancy(&self) {
+        self.disk_seeded.call_once(|| {
+            self.disk_bytes
+                .store(self.disk_stats().bytes, Ordering::Relaxed);
+        });
+    }
+
+    fn sub_occupancy(&self, len: u64) {
+        let _ = self
+            .disk_bytes
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(len))
+            });
+    }
+
+    /// The live disk-tier occupancy estimate, in bytes. Seeded by one
+    /// scan on first use, then maintained incrementally on every
+    /// insert, quarantine, and GC resync — reading it is one atomic
+    /// load, not a directory walk.
+    pub fn disk_occupancy(&self) -> u64 {
+        self.seed_occupancy();
+        self.disk_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Watermark-gated GC: a no-op (one atomic load plus a
+    /// `svc.cache.gc_skipped` bump) while the occupancy estimate is at
+    /// or under `budget` (the high watermark). When occupancy crosses
+    /// it, collects down to the *low* watermark — `budget` minus one
+    /// eighth — so the next run is not re-triggered by the very next
+    /// insert (hysteresis). Returns `None` when the run was skipped.
+    pub fn maybe_gc_disk(&self, budget: u64, obs: &Obs) -> Option<GcStats> {
+        self.disk.as_ref()?;
+        if self.disk_occupancy() <= budget {
+            self.count("svc.cache.gc_skipped", 1, obs);
+            return None;
+        }
+        let low = budget - budget / 8;
+        Some(self.gc_disk(low, obs))
+    }
+
     /// Garbage-collects the disk tier down to `budget` bytes of cache
     /// entries, evicting least-recently-used first (atime sidecar,
     /// falling back to the entry's own mtime for entries never read
@@ -350,6 +513,10 @@ impl AnalysisStore {
             return stats;
         };
         let _s = obs.tracer.span("cache_gc");
+        // Journaled reads become sidecars before the scan, so the
+        // eviction order sees every recorded recency. Unflushed entries
+        // from a *crashed* predecessor fall back to entry mtime below.
+        self.flush_atimes();
         let mut entries: Vec<(SystemTime, String, u64)> = Vec::new();
         let Ok(dirents) = std::fs::read_dir(dir) else {
             return stats;
@@ -390,6 +557,9 @@ impl AnalysisStore {
         }
         self.count("svc.cache.gc_evicted", stats.evicted, obs);
         self.count("svc.cache.gc_freed_bytes", stats.freed_bytes, obs);
+        // The scan just measured the tier exactly; resync the estimate.
+        self.disk_seeded.call_once(|| {});
+        self.disk_bytes.store(stats.live_bytes(), Ordering::Relaxed);
         if stats.evicted > 0 {
             obs.events.info(&format!(
                 "cache-gc: evicted {} of {} entries ({} bytes freed)",
@@ -399,16 +569,26 @@ impl AnalysisStore {
         stats
     }
 
-    /// Best-effort flush of the disk tier: fsyncs the cache directory.
-    /// Entry files are written tmp+rename; the directory fsync is what
-    /// makes the renames themselves durable, so a daemon calls this
-    /// once at shutdown rather than per write.
+    /// Best-effort flush of the disk tier: writes out the atime
+    /// journal, then fsyncs the cache directory. Entry files are
+    /// written tmp+rename; the directory fsync is what makes the
+    /// renames themselves durable, so a daemon calls this once at
+    /// shutdown rather than per write.
     pub fn sync_disk(&self) {
+        self.flush_atimes();
         if let Some(dir) = self.disk.as_deref() {
             if let Ok(d) = std::fs::File::open(dir) {
                 let _ = d.sync_all();
             }
         }
+    }
+}
+
+impl Drop for AnalysisStore {
+    fn drop(&mut self) {
+        // A clean shutdown persists every journaled read; a crash
+        // skips this and GC degrades to the mtime fallback.
+        self.flush_atimes();
     }
 }
 
@@ -536,6 +716,10 @@ fn lock(m: &Mutex<Shard>) -> std::sync::MutexGuard<'_, Shard> {
     m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
+fn lock_plain<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 /// Disk file name: key hash + config fingerprint, both hex. The key is
 /// hashed (not embedded) so arbitrary package strings cannot escape the
 /// cache directory.
@@ -543,15 +727,11 @@ fn disk_path(dir: &Path, key: &str, config_fp: u64) -> PathBuf {
     dir.join(format!("{:016x}-{config_fp:016x}.json", key_hash(key)))
 }
 
-/// Refreshes the entry's atime sidecar (best-effort; GC falls back to
-/// the entry's mtime when the sidecar is missing). A sidecar rather
-/// than the entry's own mtime keeps "read" and "rewritten" distinct,
-/// and spares filesystems mounted `noatime` from lying to the GC.
-fn touch_atime(entry_path: &Path) {
-    let _ = std::fs::write(entry_path.with_extension("atime"), b"");
-}
-
-fn write_disk(dir: &Path, key: &str, entry: &AppCacheEntry, obs: &Obs) {
+/// Writes one entry tmp+rename, returning `(new_len, replaced_len)` —
+/// the bytes the write added and the bytes of whatever same-named
+/// entry it overwrote — so the caller can maintain the live occupancy
+/// estimate without a rescan.
+fn write_disk(dir: &Path, key: &str, entry: &AppCacheEntry, obs: &Obs) -> (u64, u64) {
     // u64 fingerprints ride as strings: the wire format's numbers are
     // i64, and fingerprints use the full unsigned range.
     let v = serde_json::json!({
@@ -561,19 +741,25 @@ fn write_disk(dir: &Path, key: &str, entry: &AppCacheEntry, obs: &Obs) {
         "report": crate::wire::report_to_wire(&entry.report),
     });
     let Ok(text) = serde_json::to_string(&v) else {
-        return;
+        return (0, 0);
     };
     // Cache writes are best-effort: a read-only or vanished directory
     // degrades to memory-only, it does not fail the analysis.
     if std::fs::create_dir_all(dir).is_err() {
         obs.events.warn("cache dir could not be created");
-        return;
+        return (0, 0);
     }
     let path = disk_path(dir, key, entry.config_fp);
+    let old_len = std::fs::metadata(&path).map_or(0, |m| m.len());
     let tmp = path.with_extension("tmp");
-    if std::fs::write(&tmp, &text).is_ok() && std::fs::rename(&tmp, &path).is_err() {
-        obs.events.warn("cache file rename failed");
+    if std::fs::write(&tmp, &text).is_ok() {
+        if std::fs::rename(&tmp, &path).is_err() {
+            obs.events.warn("cache file rename failed");
+        } else {
+            return (text.len() as u64, old_len);
+        }
     }
+    (0, 0)
 }
 
 #[cfg(test)]
@@ -879,21 +1065,162 @@ mod tests {
     }
 
     #[test]
-    fn disk_reads_touch_the_atime_sidecar() {
+    fn disk_reads_journal_the_atime_and_flush_writes_the_sidecar() {
         let dir = tmpdir("atime");
         let store = AnalysisStore::with_options(8, Some(dir.clone()));
         let obs = Obs::disabled();
         store.insert("app.t", entry(3, "app.t"), &obs);
         let sidecar = disk_path(&dir, "app.t", 42).with_extension("atime");
-        assert!(!sidecar.exists(), "no sidecar until the entry is read");
         assert!(store.lookup_disk("app.t", 3, 42, &obs).is_some());
-        assert!(sidecar.exists(), "hit touched the sidecar");
+        assert!(
+            !sidecar.exists(),
+            "the hit path must not do sidecar I/O — the read is journaled"
+        );
+        assert_eq!(store.journaled_atimes(), 1);
+        store.flush_atimes();
+        assert!(sidecar.exists(), "flush materialized the sidecar");
+        assert_eq!(store.journaled_atimes(), 0, "flush drained the journal");
         assert_eq!(
             store.disk_stats().entries,
             1,
             "sidecars are not cache entries"
         );
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn flush_preserves_read_order_and_skips_vanished_entries() {
+        let dir = tmpdir("flushorder");
+        let store = AnalysisStore::with_options(8, Some(dir.clone()));
+        let obs = Obs::disabled();
+        for key in ["app.first", "app.second", "app.gone"] {
+            store.insert(key, entry(1, key), &obs);
+        }
+        // Journal reads with explicit, strictly increasing stamps.
+        for (age, key) in ["app.first", "app.second"].iter().enumerate() {
+            let path = disk_path(&dir, key, 42);
+            let stamp = std::time::SystemTime::UNIX_EPOCH
+                + std::time::Duration::from_secs(2_000_000 + age as u64 * 100);
+            lock_plain(&store.atime_journal).insert(path, stamp);
+        }
+        // A journaled entry that was evicted before the flush must not
+        // come back as an orphan sidecar.
+        let gone = disk_path(&dir, "app.gone", 42);
+        lock_plain(&store.atime_journal).insert(gone.clone(), SystemTime::now());
+        std::fs::remove_file(&gone).unwrap();
+        store.flush_atimes();
+        assert!(!gone.with_extension("atime").exists(), "no orphan sidecar");
+        let mtime = |key: &str| {
+            std::fs::metadata(disk_path(&dir, key, 42).with_extension("atime"))
+                .unwrap()
+                .modified()
+                .unwrap()
+        };
+        assert!(
+            mtime("app.first") < mtime("app.second"),
+            "flush reproduced the journaled stamps exactly"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn occupancy_estimate_tracks_inserts_without_rescans() {
+        let dir = tmpdir("occupancy");
+        // Pre-existing tier from a previous process: the seed scan must
+        // count it.
+        {
+            let store = AnalysisStore::with_options(8, Some(dir.clone()));
+            store.insert("app.pre", entry(1, "app.pre"), &Obs::disabled());
+        }
+        let store = AnalysisStore::with_options(8, Some(dir.clone()));
+        let obs = Obs::disabled();
+        let seeded = store.disk_occupancy();
+        assert_eq!(seeded, store.disk_stats().bytes, "seed scan is exact");
+        store.insert("app.a", entry(2, "app.a"), &obs);
+        assert_eq!(store.disk_occupancy(), store.disk_stats().bytes);
+        // Overwriting a key replaces its charge instead of adding.
+        store.insert("app.a", entry(3, "app.a"), &obs);
+        assert_eq!(store.disk_occupancy(), store.disk_stats().bytes);
+        // Quarantine releases the corrupt entry's charge.
+        let path = disk_path(&dir, "app.a", 42);
+        let corrupt_len = 7u64;
+        std::fs::write(&path, "corrupt").unwrap();
+        let before = store.disk_occupancy();
+        assert!(store.lookup_disk("app.a", 3, 42, &obs).is_none());
+        assert_eq!(store.disk_occupancy(), before - corrupt_len);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn maybe_gc_skips_under_watermark_and_collects_to_the_low_one() {
+        let dir = tmpdir("watermark");
+        let store = AnalysisStore::with_options(8, Some(dir.clone()));
+        let obs = Obs::enabled();
+        for i in 0..4 {
+            let key = format!("app.w{i}");
+            store.insert(&key, entry(i, &key), &obs);
+        }
+        let occupied = store.disk_occupancy();
+        // Under the high watermark: skipped, counted, no run.
+        assert!(store.maybe_gc_disk(occupied + 1, &obs).is_none());
+        let snap = store.metrics().snapshot();
+        assert_eq!(snap.counters["svc.cache.gc_skipped"], 1);
+        assert!(!snap.counters.contains_key("svc.cache.gc_runs"));
+        // Over it: runs, and collects below the *low* watermark
+        // (budget - budget/8), not merely below the budget.
+        let budget = occupied - 1;
+        let stats = store.maybe_gc_disk(budget, &obs).expect("over watermark");
+        assert!(stats.evicted > 0);
+        assert!(store.disk_occupancy() <= budget - budget / 8);
+        assert_eq!(
+            store.disk_occupancy(),
+            store.disk_stats().bytes,
+            "GC resynced the estimate to the exact scan"
+        );
+        assert_eq!(store.metrics().snapshot().counters["svc.cache.gc_runs"], 1);
+        // No disk tier: no skip counting, no run.
+        let memonly = AnalysisStore::new();
+        assert!(memonly.maybe_gc_disk(0, &obs).is_none());
+        assert!(!memonly
+            .metrics()
+            .snapshot()
+            .counters
+            .contains_key("svc.cache.gc_skipped"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn promote_is_memory_only_and_serves_the_next_lookup() {
+        let dir = tmpdir("promote");
+        let store = AnalysisStore::with_options(8, Some(dir.clone()));
+        let obs = Obs::disabled();
+        assert!(store.lookup("app.p", &obs).is_none());
+        store.promote("app.p", entry(11, "app.p"), &obs);
+        assert_eq!(store.lookup("app.p", &obs).unwrap().bundle_fp, 11);
+        assert_eq!(store.disk_stats().entries, 0, "promotion writes no disk");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn render_cell_memoizes_and_is_reset_on_replacement() {
+        let store = AnalysisStore::new();
+        let obs = Obs::disabled();
+        store.insert("app.c", entry(5, "app.c"), &obs);
+        assert!(
+            store.render_cell("app.c", 6).is_none(),
+            "bundle fingerprint gates the cell"
+        );
+        let cell = store.render_cell("app.c", 5).unwrap();
+        assert!(cell.get().is_none());
+        let first = cell.get_or_render(|| "rendered".to_owned());
+        let second = cell.get_or_render(|| "never recomputed".to_owned());
+        assert_eq!(*first, "rendered");
+        assert!(Arc::ptr_eq(&first, &second), "one render, shared out");
+        // Replacing the entry resets the memoization.
+        store.insert("app.c", entry(6, "app.c"), &obs);
+        let fresh = store.render_cell("app.c", 6).unwrap();
+        assert!(fresh.get().is_none(), "new entry, empty cell");
+        assert!(store.render_cell("app.c", 5).is_none());
     }
 
     #[test]

@@ -231,9 +231,15 @@ cmp "$vet_dir/oneshot.json" "$vet_dir/vet.json" \
 echo "vet smoke ok: 40 apps byte-identical across 2 worker processes"
 ./target/release/genapp corpus --seed 7 --count 40 --shards 8 --version 1 \
     "$vet_dir/corpus"
+# Keep the summary on stderr this time: the clean path must spawn the
+# worker fleet exactly once (one process per shard, zero respawns).
 ./target/release/nchecker vet --workers 2 --corpus-dir "$vet_dir/corpus" \
     --cache-dir "$vet_dir/cache" --delta-out "$vet_dir/deltas.jsonl" \
-    --summary --quiet
+    --summary 2> "$vet_dir/vet-churn.log"
+grep -q "0 restart(s), 2 spawned, 0 reused" "$vet_dir/vet-churn.log" \
+    || { echo "vet smoke: worker fleet was not spawned exactly once"; \
+         cat "$vet_dir/vet-churn.log"; exit 1; }
+echo "vet fleet ok: 2 workers spawned once, 0 respawns on the clean path"
 python3 - "$vet_dir/deltas.jsonl" <<'EOF'
 import json, sys
 

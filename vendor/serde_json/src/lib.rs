@@ -529,6 +529,23 @@ impl<'a> Parser<'a> {
         self.eat(b'"')?;
         let mut out = String::new();
         loop {
+            // Bulk-consume the unescaped span: everything up to the
+            // next quote, backslash, or control byte lands in `out` in
+            // one push, UTF-8 validated once per span rather than once
+            // per character (validating the whole remaining input per
+            // character made parsing quadratic in document size).
+            let start = self.pos;
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if self.pos > start {
+                let span = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| Error("bad utf-8".into()))?;
+                out.push_str(span);
+            }
             match self.peek() {
                 None => return self.err("unterminated string"),
                 Some(b'"') => {
@@ -564,13 +581,11 @@ impl<'a> Parser<'a> {
                     }
                     self.pos += 1;
                 }
-                Some(_) => {
-                    // Consume one UTF-8 scalar.
-                    let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest).map_err(|_| Error("bad utf-8".into()))?;
-                    let c = s.chars().next().unwrap();
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                // A raw control byte the span stopped at: tolerated as
+                // a literal character (ASCII, so the cast is exact).
+                Some(b) => {
+                    out.push(b as char);
+                    self.pos += 1;
                 }
             }
         }
@@ -652,6 +667,27 @@ mod tests {
             let back = from_str(&text).unwrap();
             assert_eq!(back, v);
         }
+    }
+
+    #[test]
+    fn string_spans_escapes_and_non_ascii() {
+        let v = from_str(r#"{"k": "plain \"mid\" café ünïcode \\ tail"}"#).unwrap();
+        assert_eq!(v["k"], "plain \"mid\" café ünïcode \\ tail");
+        // A raw control byte inside a string is tolerated as a literal.
+        let v = from_str("\"a\u{1}b\"").unwrap();
+        assert_eq!(v, "a\u{1}b");
+        // Parsing stays linear: a large flat document must be quick
+        // even in debug builds (the quadratic parser took seconds).
+        let big = to_string(&Value::Array(
+            (0..2000)
+                .map(|i| json!({ "name": format!("entry-{i}"), "idx": i }))
+                .collect(),
+        ))
+        .unwrap();
+        let t = std::time::Instant::now();
+        let back = from_str(&big).unwrap();
+        assert_eq!(back.as_array().unwrap().len(), 2000);
+        assert!(t.elapsed() < std::time::Duration::from_secs(2));
     }
 
     #[test]
